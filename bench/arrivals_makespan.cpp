@@ -1,0 +1,116 @@
+// Makespan under arbitrary release times (the arbitrary-release case of
+// Theorem 5, which Figure 6 does not exercise: its job sets are batched).
+//
+// Job sets arrive according to staggered and memoryless (Poisson-like)
+// release schedules at several arrival intensities; ABG and A-Greedy are
+// compared on makespan normalized by the release-aware lower bound
+// max(ΣT1/P, max_j(release_j + T∞_j)).
+//
+//   ./arrivals_makespan [--seed=S] [--sets=N] [--csv]
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "metrics/lower_bounds.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/job_set.hpp"
+
+namespace {
+
+struct SetOutcome {
+  double abg_over_bound = 0.0;
+  double ag_over_bound = 0.0;
+  double ratio = 0.0;
+};
+
+SetOutcome run_one(abg::util::Rng rng, const abg::bench::Machine& machine,
+                   bool poisson, double mean_gap) {
+  abg::workload::JobSetSpec spec;
+  spec.load = 1.0;
+  spec.processors = machine.processors;
+  spec.min_phase_levels = machine.quantum_length / 2;
+  spec.max_phase_levels = 2 * machine.quantum_length;
+  const auto jobs = abg::workload::make_job_set(rng, spec);
+
+  abg::util::Rng arrival_rng = rng.split();
+  const std::vector<abg::dag::Steps> releases =
+      poisson ? abg::workload::poisson_releases(arrival_rng, jobs.size(),
+                                                mean_gap)
+              : abg::workload::staggered_releases(
+                    jobs.size(),
+                    static_cast<abg::dag::Steps>(mean_gap));
+
+  std::vector<abg::metrics::JobSummary> summaries;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    summaries.push_back(abg::metrics::JobSummary{
+        jobs[i].job->total_work(), jobs[i].job->critical_path(),
+        releases[i]});
+  }
+  const double bound =
+      abg::metrics::makespan_lower_bound(summaries, machine.processors);
+
+  auto submissions = [&] {
+    std::vector<abg::sim::JobSubmission> subs;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      abg::sim::JobSubmission s;
+      s.job = std::make_unique<abg::dag::ProfileJob>(jobs[i].job->widths());
+      s.release_step = releases[i];
+      subs.push_back(std::move(s));
+    }
+    return subs;
+  };
+  const abg::sim::SimConfig config{.processors = machine.processors,
+                                   .quantum_length =
+                                       machine.quantum_length};
+  const auto abg_result =
+      abg::core::run_set(abg::core::abg_spec(), submissions(), config);
+  const auto ag_result =
+      abg::core::run_set(abg::core::a_greedy_spec(), submissions(), config);
+
+  SetOutcome out;
+  out.abg_over_bound = static_cast<double>(abg_result.makespan) / bound;
+  out.ag_over_bound = static_cast<double>(ag_result.makespan) / bound;
+  out.ratio = static_cast<double>(ag_result.makespan) /
+              static_cast<double>(abg_result.makespan);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const abg::util::Cli cli(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 77));
+  const auto sets = static_cast<int>(cli.get_int("sets", 10));
+  const abg::bench::Machine machine;
+
+  std::cout << "Makespan with arbitrary release times (Theorem 5's general "
+            << "case), " << sets << " job sets per row, load 1.0\n\n";
+  abg::util::Table table({"arrivals", "mean gap", "M/LB ABG",
+                          "M/LB A-Greedy", "M ratio"});
+  for (const bool poisson : {false, true}) {
+    for (const double gap : {500.0, 2000.0, 8000.0}) {
+      abg::util::RunningStats abg_norm;
+      abg::util::RunningStats ag_norm;
+      abg::util::RunningStats ratio;
+      abg::util::Rng root(seed);
+      for (int s = 0; s < sets; ++s) {
+        const SetOutcome out =
+            run_one(root.split(), machine, poisson, gap);
+        abg_norm.add(out.abg_over_bound);
+        ag_norm.add(out.ag_over_bound);
+        ratio.add(out.ratio);
+      }
+      table.add_row({poisson ? "poisson" : "staggered",
+                     abg::util::format_double(gap, 0),
+                     abg::util::format_double(abg_norm.mean(), 3),
+                     abg::util::format_double(ag_norm.mean(), 3),
+                     abg::util::format_double(ratio.mean(), 3)});
+    }
+  }
+  abg::bench::emit(table, cli);
+  std::cout << "\nBoth schedulers must stay above 1.0x the lower bound; "
+            << "ABG's advantage persists across arrival patterns and fades "
+            << "as arrivals spread out (each job increasingly runs "
+            << "alone).\n";
+  return 0;
+}

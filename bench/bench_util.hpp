@@ -1,0 +1,67 @@
+// Shared plumbing for the figure-reproduction harnesses: flag parsing
+// conventions and the comparison runner used by Figures 5 and 6.
+//
+// Every harness prints (a) a human-readable aligned table, (b) the same
+// series as CSV when --csv is passed, and (c) a summary line comparing the
+// measured effect against the paper's headline claim.  `--full` switches
+// from the fast default sweep to the paper-scale one.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/run.hpp"
+#include "dag/profile_job.hpp"
+#include "sim/quantum_engine.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace abg::bench {
+
+/// Paper-standard machine parameters (Section 7.1).
+struct Machine {
+  int processors = 128;
+  dag::Steps quantum_length = 1000;
+};
+
+/// Prints a table in the format selected by --csv.
+inline void emit(const util::Table& table, const util::Cli& cli) {
+  if (cli.get_bool("csv", false)) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+/// Runs the identical job under both ABG and A-Greedy in the paper's
+/// unconstrained single-job setup and returns both traces.
+struct HeadToHead {
+  sim::JobTrace abg;
+  sim::JobTrace a_greedy;
+};
+
+inline HeadToHead run_head_to_head(const dag::Job& job,
+                                   const Machine& machine,
+                                   double convergence_rate = 0.2) {
+  const sim::SingleJobConfig config{
+      .processors = machine.processors,
+      .quantum_length = machine.quantum_length};
+  HeadToHead out;
+  {
+    const auto clone = job.fresh_clone();
+    out.abg = core::run_single(
+        core::abg_spec(core::AbgConfig{.convergence_rate = convergence_rate}),
+        *clone, config);
+  }
+  {
+    const auto clone = job.fresh_clone();
+    out.a_greedy = core::run_single(core::a_greedy_spec(), *clone, config);
+  }
+  return out;
+}
+
+}  // namespace abg::bench

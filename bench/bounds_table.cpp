@@ -1,0 +1,135 @@
+// Theorem validation table: measured running time, waste, makespan and
+// mean response time against the analytic bounds of Theorems 3, 4 and 5
+// (with Lemma 2's request bounds checked along the way).
+//
+// The bounds use the empirically measured transition factor C_L of each
+// run and the scheduler's convergence rate r; the waste/makespan/response
+// bounds require r < 1/C_L, so this harness uses a small r.
+//
+//   ./bounds_table [--seed=S] [--rate=R] [--csv]
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "metrics/bounds.hpp"
+#include "metrics/lower_bounds.hpp"
+#include "metrics/parallelism_stats.hpp"
+#include "metrics/trim.hpp"
+#include "workload/fork_join.hpp"
+#include "workload/job_set.hpp"
+
+int main(int argc, char** argv) {
+  const abg::util::Cli cli(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const double rate = cli.get_double("rate", 0.05);
+  const abg::bench::Machine machine{.processors = 128,
+                                    .quantum_length = 500};
+  abg::util::Rng root(seed);
+
+  std::cout << "Theorems 3 & 4: single fork-join jobs under ABG (r = "
+            << rate << ", P = " << machine.processors << ", L = "
+            << machine.quantum_length << ")\n\n";
+  abg::util::Table single(
+      {"target C_L", "measured C_L", "time", "Thm3 bound", "time/bound",
+       "waste", "Thm4 bound", "waste/bound"});
+  for (const double target : {2.0, 4.0, 6.0, 8.0, 12.0}) {
+    abg::util::Rng rng = root.split();
+    const auto job = abg::workload::make_fork_join_job(
+        rng,
+        abg::workload::figure5_spec(target, machine.quantum_length));
+    const auto clone = job->fresh_clone();
+    const abg::sim::JobTrace trace = abg::core::run_single(
+        abg::core::abg_spec(abg::core::AbgConfig{.convergence_rate = rate}),
+        *clone,
+        abg::sim::SingleJobConfig{.processors = machine.processors,
+                                  .quantum_length = machine.quantum_length});
+    const double transition =
+        abg::metrics::empirical_transition_factor(trace);
+    const double trim_steps = abg::metrics::theorem3_trim_steps(
+        trace.critical_path, transition, rate, machine.quantum_length);
+    const double trimmed = abg::metrics::trimmed_availability(
+        trace, static_cast<abg::dag::Steps>(trim_steps));
+    const double time_bound = abg::metrics::theorem3_time_bound(
+        trace.work, trace.critical_path, transition, rate, trimmed,
+        machine.quantum_length);
+    double waste_bound = -1.0;
+    if (rate < 1.0 / transition) {
+      waste_bound = abg::metrics::theorem4_waste_bound(
+          trace.work, transition, rate, machine.processors,
+          machine.quantum_length);
+    }
+    single.add_numeric_row(
+        {target, transition, static_cast<double>(trace.response_time()),
+         time_bound,
+         static_cast<double>(trace.response_time()) / time_bound,
+         static_cast<double>(trace.total_waste()), waste_bound,
+         waste_bound > 0.0
+             ? static_cast<double>(trace.total_waste()) / waste_bound
+             : -1.0},
+        2);
+  }
+  abg::bench::emit(single, cli);
+
+  std::cout << "\nTheorem 5: job sets under DEQ (batched release)\n\n";
+  abg::util::Table sets({"load", "jobs", "max C_L", "makespan",
+                         "Thm5 M bound", "M/bound", "mean response",
+                         "Thm5 R bound", "R/bound"});
+  for (const double load : {0.5, 1.0, 2.0}) {
+    abg::util::Rng rng = root.split();
+    abg::workload::JobSetSpec spec;
+    spec.load = load;
+    spec.processors = machine.processors;
+    spec.min_transition_factor = 2.0;
+    spec.max_transition_factor = 8.0;
+    spec.min_phase_levels = machine.quantum_length / 2;
+    spec.max_phase_levels = 2 * machine.quantum_length;
+    auto jobs = abg::workload::make_job_set(rng, spec);
+
+    std::vector<abg::metrics::JobSummary> summaries;
+    std::vector<abg::sim::JobSubmission> subs;
+    for (auto& g : jobs) {
+      summaries.push_back(abg::metrics::JobSummary{
+          g.job->total_work(), g.job->critical_path(), 0});
+      abg::sim::JobSubmission s;
+      s.job = std::move(g.job);
+      subs.push_back(std::move(s));
+    }
+    const auto result = abg::core::run_set(
+        abg::core::abg_spec(abg::core::AbgConfig{.convergence_rate = rate}),
+        std::move(subs),
+        abg::sim::SimConfig{.processors = machine.processors,
+                            .quantum_length = machine.quantum_length});
+    double max_transition = 1.0;
+    for (const auto& t : result.jobs) {
+      max_transition = std::max(
+          max_transition, abg::metrics::empirical_transition_factor(t));
+    }
+    const double makespan_star =
+        abg::metrics::makespan_lower_bound(summaries, machine.processors);
+    const double response_star =
+        abg::metrics::response_lower_bound(summaries, machine.processors);
+    double m_bound = -1.0;
+    double r_bound = -1.0;
+    if (rate < 1.0 / max_transition) {
+      m_bound = abg::metrics::theorem5_makespan_bound(
+          makespan_star, max_transition, rate, machine.quantum_length,
+          summaries.size());
+      r_bound = abg::metrics::theorem5_response_bound(
+          response_star, max_transition, rate, machine.quantum_length,
+          summaries.size());
+    }
+    sets.add_numeric_row(
+        {load, static_cast<double>(summaries.size()), max_transition,
+         static_cast<double>(result.makespan), m_bound,
+         m_bound > 0.0 ? static_cast<double>(result.makespan) / m_bound
+                       : -1.0,
+         result.mean_response_time, r_bound,
+         r_bound > 0.0 ? result.mean_response_time / r_bound : -1.0},
+        2);
+  }
+  abg::bench::emit(sets, cli);
+  std::cout << "\nAll measured/bound ratios must stay <= 1 (bounds hold); "
+            << "-1 marks rows where r < 1/C_L failed and the bound is not "
+            << "defined.\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Figure 5: running time and processor waste of ABG and A-Greedy on
+// individual data-parallel jobs, as a function of the transition factor.
+//
+// Paper setup (Section 7.1): P = 128 processors, quantum length L = 1000,
+// 50 fork-join jobs per transition factor in [2, 100], requests always
+// granted (each job runs alone).  Panels:
+//   (a) running time normalized by the critical path (optimal time),
+//   (b) running-time ratio A-Greedy / ABG      (paper: ~1.2 on average),
+//   (c) processor waste normalized by total work,
+//   (d) waste ratio A-Greedy / ABG             (paper: ~2x, i.e. 50% less).
+//
+//   ./fig5_single_job [--full] [--jobs=N] [--step=K] [--seed=S] [--csv]
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "util/bootstrap.hpp"
+#include "metrics/parallelism_stats.hpp"
+#include "workload/fork_join.hpp"
+
+int main(int argc, char** argv) {
+  const abg::util::Cli cli(argc, argv);
+  const bool full = cli.get_bool("full", false);
+  const auto jobs_per_factor =
+      static_cast<int>(cli.get_int("jobs", full ? 50 : 25));
+  const auto factor_step = static_cast<int>(cli.get_int("step", full ? 2 : 3));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2008));
+  const abg::bench::Machine machine;
+
+  std::cout << "Figure 5: single jobs on P = " << machine.processors
+            << ", L = " << machine.quantum_length << ", "
+            << jobs_per_factor << " jobs per transition factor\n\n";
+
+  abg::util::Table table({"C_L", "time/Tinf ABG", "time/Tinf A-Greedy",
+                          "time ratio", "waste/T1 ABG", "waste/T1 A-Greedy",
+                          "waste ratio", "measured C_L"});
+  std::vector<double> all_time_ratios;
+  std::vector<double> all_waste_ratios;
+
+  abg::util::Rng root(seed);
+  for (int factor = 2; factor <= 100; factor += factor_step) {
+    abg::util::RunningStats abg_time;
+    abg::util::RunningStats ag_time;
+    abg::util::RunningStats abg_waste;
+    abg::util::RunningStats ag_waste;
+    abg::util::RunningStats measured_factor;
+    abg::util::RunningStats time_ratio;
+    abg::util::RunningStats waste_ratio;
+    for (int j = 0; j < jobs_per_factor; ++j) {
+      abg::util::Rng rng = root.split();
+      const auto job = abg::workload::make_fork_join_job(
+          rng, abg::workload::figure5_spec(static_cast<double>(factor),
+                                           machine.quantum_length));
+      const abg::bench::HeadToHead traces =
+          abg::bench::run_head_to_head(*job, machine);
+
+      const double cpl = static_cast<double>(job->critical_path());
+      const double work = static_cast<double>(job->total_work());
+      const double t_abg =
+          static_cast<double>(traces.abg.response_time()) / cpl;
+      const double t_ag =
+          static_cast<double>(traces.a_greedy.response_time()) / cpl;
+      const double w_abg =
+          static_cast<double>(traces.abg.total_waste()) / work;
+      const double w_ag =
+          static_cast<double>(traces.a_greedy.total_waste()) / work;
+      abg_time.add(t_abg);
+      ag_time.add(t_ag);
+      abg_waste.add(w_abg);
+      ag_waste.add(w_ag);
+      time_ratio.add(t_ag / t_abg);
+      all_time_ratios.push_back(t_ag / t_abg);
+      if (w_abg > 0.0) {
+        waste_ratio.add(w_ag / w_abg);
+        all_waste_ratios.push_back(w_ag / w_abg);
+      }
+      measured_factor.add(
+          abg::metrics::empirical_transition_factor(traces.abg));
+    }
+    table.add_numeric_row({static_cast<double>(factor), abg_time.mean(),
+                           ag_time.mean(), time_ratio.mean(),
+                           abg_waste.mean(), ag_waste.mean(),
+                           waste_ratio.mean(), measured_factor.mean()},
+                          3);
+  }
+  abg::bench::emit(table, cli);
+
+  const abg::util::ConfidenceInterval time_ci =
+      abg::util::bootstrap_mean(all_time_ratios, seed ^ 0x5C1ULL);
+  const abg::util::ConfidenceInterval waste_ci =
+      abg::util::bootstrap_mean(all_waste_ratios, seed ^ 0x5C2ULL);
+  std::cout << "\nSummary: mean running-time ratio A-Greedy/ABG = "
+            << abg::util::format_double(time_ci.point, 3) << "  [95% CI "
+            << abg::util::format_double(time_ci.lower, 3) << ", "
+            << abg::util::format_double(time_ci.upper, 3)
+            << "]  (paper: ~1.2, i.e. 20% improvement)\n"
+            << "         mean waste ratio A-Greedy/ABG = "
+            << abg::util::format_double(waste_ci.point, 3) << "  [95% CI "
+            << abg::util::format_double(waste_ci.lower, 3) << ", "
+            << abg::util::format_double(waste_ci.upper, 3)
+            << "]  (paper: ~2x, i.e. 50% reduction)\n";
+  return 0;
+}

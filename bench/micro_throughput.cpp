@@ -1,0 +1,122 @@
+// Google-benchmark microbenchmarks: raw throughput of the simulation
+// substrate.  These are engineering benchmarks (not paper figures) — they
+// document that the closed-form ProfileJob path is what makes the
+// paper-scale sweeps (5000 job sets at L = 1000) tractable.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "alloc/equipartition.hpp"
+#include "core/run.hpp"
+#include "dag/builders.hpp"
+#include "dag/dag_job.hpp"
+#include "dag/profile_job.hpp"
+#include "sim/simulator.hpp"
+#include "workload/fork_join.hpp"
+#include "workload/job_set.hpp"
+#include "workload/profiles.hpp"
+
+namespace {
+
+void BM_ProfileJobQuantum(benchmark::State& state) {
+  // One quantum of closed-form execution over many levels.
+  const auto widths = abg::workload::square_wave_profile(
+      1, 100, 64, 100, 50);
+  abg::dag::ProfileJob job(widths);
+  for (auto _ : state) {
+    auto clone = job.fresh_clone();
+    abg::dag::TaskCount total = 0;
+    while (!clone->finished()) {
+      total += clone->run_quantum(64, 1000,
+                                  abg::dag::PickOrder::kBreadthFirst)
+                   .work;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          job.total_work());
+}
+BENCHMARK(BM_ProfileJobQuantum);
+
+void BM_DagJobStep(benchmark::State& state) {
+  // Explicit-DAG execution (per-task bookkeeping).
+  abg::util::Rng rng(7);
+  const auto structure = abg::dag::builders::random_layered(rng, 400, 64,
+                                                            0.05);
+  abg::dag::DagJob job(structure);
+  for (auto _ : state) {
+    auto clone = job.fresh_clone();
+    abg::dag::TaskCount total = 0;
+    while (!clone->finished()) {
+      total += clone->step(16, abg::dag::PickOrder::kBreadthFirst);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          job.total_work());
+}
+BENCHMARK(BM_DagJobStep);
+
+void BM_EquiPartition(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  abg::alloc::EquiPartition deq;
+  std::vector<int> requests(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    requests[i] = static_cast<int>(1 + (i * 37) % 100);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deq.allocate(requests, 128));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs));
+}
+BENCHMARK(BM_EquiPartition)->Arg(4)->Arg(32)->Arg(128);
+
+void BM_SingleJobAbg(benchmark::State& state) {
+  // Full feedback loop: one fork-join job end to end under ABG.
+  abg::util::Rng rng(11);
+  const auto job = abg::workload::make_fork_join_job(
+      rng, abg::workload::figure5_spec(20.0, 1000));
+  const abg::core::SchedulerSpec spec = abg::core::abg_spec();
+  for (auto _ : state) {
+    auto clone = job->fresh_clone();
+    const auto trace = abg::core::run_single(
+        spec, *clone,
+        abg::sim::SingleJobConfig{.processors = 128,
+                                  .quantum_length = 1000});
+    benchmark::DoNotOptimize(trace.completion_step);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          job->total_work());
+}
+BENCHMARK(BM_SingleJobAbg);
+
+void BM_JobSetSimulation(benchmark::State& state) {
+  // A whole multiprogrammed job set under DEQ: the unit of work of the
+  // Figure 6 sweep.
+  const double load = static_cast<double>(state.range(0)) / 10.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    abg::util::Rng rng(23);
+    abg::workload::JobSetSpec spec;
+    spec.load = load;
+    spec.processors = 128;
+    spec.min_phase_levels = 500;
+    spec.max_phase_levels = 2000;
+    auto jobs = abg::workload::make_job_set(rng, spec);
+    std::vector<abg::sim::JobSubmission> subs;
+    for (auto& g : jobs) {
+      abg::sim::JobSubmission s;
+      s.job = std::move(g.job);
+      subs.push_back(std::move(s));
+    }
+    state.ResumeTiming();
+    const auto result = abg::core::run_set(
+        abg::core::abg_spec(), std::move(subs),
+        abg::sim::SimConfig{.processors = 128, .quantum_length = 1000});
+    benchmark::DoNotOptimize(result.makespan);
+  }
+}
+BENCHMARK(BM_JobSetSimulation)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
+
+}  // namespace

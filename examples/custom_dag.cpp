@@ -1,0 +1,69 @@
+// Scheduling a hand-built DAG: the library is not limited to fork-join
+// profiles — any acyclic dependency structure of unit tasks is a malleable
+// job.
+//
+//   ./custom_dag
+//
+// Builds a small pipeline-with-fan-out DAG explicitly, prints its intrinsic
+// characteristics, and schedules it with ABG on a 4-processor machine with
+// very short quanta so the whole feedback loop is visible.
+#include <iostream>
+
+#include "core/run.hpp"
+#include "dag/characteristics.hpp"
+#include "dag/dag_job.hpp"
+#include "sim/quantum_engine.hpp"
+#include "util/table.hpp"
+
+int main() {
+  // A two-stage map-reduce-like DAG:
+  //
+  //          1  2  3  4          (stage A: 4 independent maps)
+  //           \ | | /
+  //    0 ----->  5               (reduce; also depends on a setup task 0)
+  //            / | \.
+  //           6  7  8            (stage B: 3 maps)
+  //            \ | /
+  //              9               (final reduce)
+  abg::dag::DagStructure structure;
+  structure.children.resize(10);
+  structure.children[0] = {5};
+  for (abg::dag::NodeId map_task : {1u, 2u, 3u, 4u}) {
+    structure.children[map_task] = {5};
+  }
+  structure.children[5] = {6, 7, 8};
+  for (abg::dag::NodeId map_task : {6u, 7u, 8u}) {
+    structure.children[map_task] = {9};
+  }
+
+  abg::dag::DagJob job{structure};
+  const abg::dag::JobCharacteristics c = abg::dag::characteristics_of(job);
+  std::cout << "Custom DAG: " << structure.node_count() << " tasks, "
+            << structure.edge_count() << " edges\n"
+            << "T1 = " << c.work << ", T_inf = " << c.critical_path
+            << ", average parallelism = "
+            << abg::util::format_double(c.average_parallelism, 2)
+            << ", widest level = " << c.max_level_width << "\n\n";
+
+  std::cout << "Levels: ";
+  for (abg::dag::NodeId id = 0; id < 10; ++id) {
+    std::cout << job.node_level(id) << (id + 1 < 10 ? " " : "\n\n");
+  }
+
+  const abg::sim::JobTrace trace = abg::core::run_single(
+      abg::core::abg_spec(), job,
+      abg::sim::SingleJobConfig{.processors = 4, .quantum_length = 2});
+
+  abg::util::Table table(
+      {"quantum", "d(q)", "a(q)", "T1(q)", "T_inf(q)", "A(q)"});
+  for (const auto& q : trace.quanta) {
+    table.add_row({std::to_string(q.index), std::to_string(q.request),
+                   std::to_string(q.allotment), std::to_string(q.work),
+                   abg::util::format_double(q.cpl, 2),
+                   abg::util::format_double(q.average_parallelism(), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nCompleted in " << trace.response_time()
+            << " steps (critical path " << trace.critical_path << ").\n";
+  return 0;
+}

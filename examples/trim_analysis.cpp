@@ -1,0 +1,113 @@
+// Trim analysis walkthrough: why raw average availability is the wrong
+// yardstick, and how the R-trimmed availability fixes it.
+//
+//   ./trim_analysis [--seed=N]
+//
+// An adversarial OS allocator floods the job with processors exactly when
+// its parallelism is low (serial phases) and starves it when parallelism
+// is high.  Speedup measured against the raw average availability looks
+// terrible — no scheduler could have used those processors.  Trim analysis
+// removes the few quanta with the highest availability and evaluates
+// against the rest (Section 6.1); ABG achieves near-linear speedup by that
+// yardstick, and its running time respects the Theorem 3 bound.
+#include <cmath>
+#include <iostream>
+
+#include "alloc/availability_profile.hpp"
+#include "core/run.hpp"
+#include "metrics/bounds.hpp"
+#include "metrics/parallelism_stats.hpp"
+#include "metrics/trim.hpp"
+#include "sim/quantum_engine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/fork_join.hpp"
+
+int main(int argc, char** argv) {
+  const abg::util::Cli cli(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 5));
+  const int processors = 128;
+  const abg::dag::Steps quantum = 500;
+  const double rate = 0.1;
+
+  abg::util::Rng rng(seed);
+  const auto job = abg::workload::make_fork_join_job(
+      rng, abg::workload::figure5_spec(8.0, quantum));
+
+  // The adversary: enormous availability on a few quanta (when the serial
+  // prefix keeps requests at 1), scarcity otherwise.
+  std::vector<int> availability;
+  abg::util::Rng adv = rng.split();
+  for (int q = 0; q < 400; ++q) {
+    availability.push_back(q % 7 == 0 ? processors
+                                      : static_cast<int>(
+                                            adv.uniform_int(2, 12)));
+  }
+  abg::alloc::AvailabilityProfile allocator(availability);
+
+  const abg::sim::JobTrace trace = abg::core::run_single(
+      abg::core::abg_spec(abg::core::AbgConfig{.convergence_rate = rate}),
+      *job,
+      abg::sim::SingleJobConfig{.processors = processors,
+                                .quantum_length = quantum},
+      &allocator);
+
+  const double transition = abg::metrics::empirical_transition_factor(trace);
+  const double time = static_cast<double>(trace.response_time());
+  const double total_steps =
+      static_cast<double>(trace.quanta.size()) *
+      static_cast<double>(quantum);
+
+  std::cout << "Job: T1 = " << trace.work << ", T_inf = "
+            << trace.critical_path << ", measured C_L = "
+            << abg::util::format_double(transition, 2)
+            << "; running time T = " << time
+            << "; adversarial availability profile (flood every 7th "
+            << "quantum)\n\n";
+
+  // Sweep the trim budget: the raw average (R = 0) counts the adversary's
+  // unusable floods; once the flooded quanta are trimmed, the remaining
+  // availability reflects what the job could actually have used.
+  abg::util::Table table(
+      {"trim R (steps)", "trimmed availability", "speedup (T1/T)/avail"});
+  for (const double frac : {0.0, 0.05, 0.10, 0.20, 0.30}) {
+    const auto r = static_cast<abg::dag::Steps>(frac * total_steps);
+    const double avail = abg::metrics::trimmed_availability(trace, r);
+    table.add_row(
+        {abg::util::format_double(static_cast<double>(r), 0),
+         abg::util::format_double(avail, 1),
+         avail > 0.0
+             ? abg::util::format_double(
+                   static_cast<double>(trace.work) / time / avail, 3)
+             : "-"});
+  }
+  table.print(std::cout);
+
+  // The Theorem 3 allowance itself: for fork-join jobs C_L*T_inf is of the
+  // order of T1, so the theorem's trim can cover the entire run — the
+  // bound then holds through its critical-path term alone.
+  const double trim_steps = abg::metrics::theorem3_trim_steps(
+      trace.critical_path, transition, rate, quantum);
+  const double trimmed = abg::metrics::trimmed_availability(
+      trace, static_cast<abg::dag::Steps>(std::ceil(trim_steps)));
+  const double bound = abg::metrics::theorem3_time_bound(
+      trace.work, trace.critical_path, transition, rate, trimmed, quantum);
+  std::cout << "\nTheorem 3 allowance R = "
+            << abg::util::format_double(trim_steps, 0) << " steps ("
+            << abg::util::format_double(100.0 * trim_steps / total_steps, 0)
+            << "% of the run" << (trim_steps >= total_steps ? ", i.e. all"
+                                                            : "")
+            << "), bound = " << abg::util::format_double(bound, 0)
+            << ", T / bound = "
+            << abg::util::format_double(time / bound, 3) << "\n";
+
+  const auto classes = abg::metrics::classify_quanta(trace);
+  const auto counts = abg::metrics::count_classes(classes);
+  std::cout << "\nQuantum classification: " << counts.accounted
+            << " accounted, " << counts.deductible << " deductible, "
+            << counts.non_full << " non-full.\n"
+            << "The raw average is dominated by the unusable floods; "
+            << "trimming ~15% of the steps\n(the flooded quanta) yields "
+            << "the availability the job was genuinely offered.\n";
+  return 0;
+}

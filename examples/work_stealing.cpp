@@ -1,0 +1,83 @@
+// Distributed work stealing vs centralized B-Greedy on the same DAG, with
+// sparkline feedback reports.
+//
+//   ./work_stealing [--seed=N]
+//
+// The same fork-join DAG is executed three ways: ABG (centralized greedy,
+// exact parallelism measurement), A-Steal (randomized work stealing with
+// MIMD feedback) and ABP (work stealing with no feedback — it holds the
+// whole machine).  The sparklines show each scheduler's request/allotment
+// trajectory against the job's measured parallelism.
+#include <iostream>
+
+#include "core/run.hpp"
+#include "dag/dag_job.hpp"
+#include "sim/quantum_engine.hpp"
+#include "sim/report.hpp"
+#include "steal/schedulers.hpp"
+#include "steal/work_stealing_job.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/fork_join.hpp"
+
+int main(int argc, char** argv) {
+  const abg::util::Cli cli(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 12));
+  const int processors = 64;
+  const abg::dag::Steps quantum = 200;
+
+  abg::util::Rng rng(seed);
+  abg::workload::ForkJoinSpec spec;
+  spec.transition_factor = 12.0;
+  spec.phase_pairs = 3;
+  spec.min_phase_levels = quantum;
+  spec.max_phase_levels = 4 * quantum;
+  const auto phases = abg::workload::fork_join_phases(rng, spec);
+  const abg::dag::DagStructure structure =
+      abg::dag::builders::fork_join(phases);
+
+  const abg::sim::SingleJobConfig config{.processors = processors,
+                                         .quantum_length = quantum};
+
+  auto report = [&](const char* name, const abg::sim::JobTrace& trace,
+                    const abg::steal::StealCounters* counters) {
+    std::cout << "== " << name << " ==\n"
+              << abg::sim::feedback_report(trace) << "time "
+              << trace.response_time() << " steps ("
+              << abg::util::format_double(
+                     static_cast<double>(trace.response_time()) /
+                         static_cast<double>(trace.critical_path), 2)
+              << "x critical path), waste " << trace.total_waste()
+              << " cycles";
+    if (counters != nullptr) {
+      std::cout << ", " << counters->steal_attempts << " steal attempts ("
+                << counters->successful_steals << " successful), "
+                << counters->muggings << " muggings";
+    }
+    std::cout << "\n\n";
+  };
+
+  {
+    abg::dag::DagJob job{structure};
+    std::cout << "Fork-join DAG: " << job.total_work() << " tasks, "
+              << "critical path " << job.critical_path() << ", P = "
+              << processors << ", L = " << quantum << "\n\n";
+    report("ABG (centralized B-Greedy + A-Control)",
+           abg::core::run_single(abg::core::abg_spec(), job, config),
+           nullptr);
+  }
+  {
+    abg::steal::WorkStealingJob job{structure, seed ^ 0xABCD};
+    report("A-Steal (work stealing + MIMD feedback)",
+           abg::core::run_single(abg::steal::a_steal_spec(), job, config),
+           &job.counters());
+  }
+  {
+    abg::steal::WorkStealingJob job{structure, seed ^ 0xABCD};
+    report("ABP (work stealing, no feedback)",
+           abg::core::run_single(abg::steal::abp_spec(processors), job,
+                                 config),
+           &job.counters());
+  }
+  return 0;
+}

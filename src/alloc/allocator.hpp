@@ -1,0 +1,53 @@
+// OS-level processor allocators (the system half of the two-level
+// framework).
+//
+// Between quanta the allocator converts the jobs' processor requests into
+// allotments.  Following the paper, all allocators here are *conservative*
+// (never allot more than requested: a(q) <= d(q)).  The properties the
+// analysis needs (Section 5.1):
+//   * fair          — all jobs get an equal number of processors unless a
+//                     job requests fewer;
+//   * non-reserving — no processor stays idle while some job wants more.
+// Dynamic equi-partitioning satisfies both.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace abg::alloc {
+
+/// Strategy for dividing P processors among competing job requests, invoked
+/// once per scheduling quantum.
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  /// Returns one allotment per request, in order.  Every allotment is
+  /// in [0, request_i], and implementations never exceed the machine size
+  /// (the availability-profile allocator may offer fewer than
+  /// `total_processors`).  Called exactly once per quantum, in quantum
+  /// order.  Requires non-negative requests and total_processors >= 0.
+  virtual std::vector<int> allocate(const std::vector<int>& requests,
+                                    int total_processors) = 0;
+
+  /// Processor pool the allocator will draw on for the *next* quantum —
+  /// `total_processors` unless the allocator imposes its own availability
+  /// (see AvailabilityProfile).  The simulation engine uses this to record
+  /// per-job processor availability p(q) for trim analysis.
+  virtual int pool(int total_processors) const { return total_processors; }
+
+  /// Resets any cross-quantum state (rotation offsets, profile position).
+  virtual void reset() {}
+
+  /// Human-readable allocator name.
+  virtual std::string_view name() const = 0;
+
+  virtual std::unique_ptr<Allocator> clone() const = 0;
+};
+
+/// Validates allocator inputs; shared by implementations.
+void validate_allocation_inputs(const std::vector<int>& requests,
+                                int total_processors);
+
+}  // namespace abg::alloc

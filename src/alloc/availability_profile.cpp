@@ -1,0 +1,51 @@
+#include "alloc/availability_profile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace abg::alloc {
+
+AvailabilityProfile::AvailabilityProfile(std::vector<int> availability)
+    : availability_(std::move(availability)) {
+  if (availability_.empty()) {
+    throw std::invalid_argument("AvailabilityProfile: empty profile");
+  }
+  for (const int p : availability_) {
+    if (p < 0) {
+      throw std::invalid_argument(
+          "AvailabilityProfile: negative availability");
+    }
+  }
+}
+
+std::vector<int> AvailabilityProfile::allocate(
+    const std::vector<int>& requests, int total_processors) {
+  validate_allocation_inputs(requests, total_processors);
+  ++quantum_;
+  int pool = std::min(availability_at(quantum_), total_processors);
+  std::vector<int> allotment(requests.size(), 0);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    allotment[i] = std::min(requests[i], pool);
+    pool -= allotment[i];
+  }
+  return allotment;
+}
+
+int AvailabilityProfile::pool(int total_processors) const {
+  return std::min(availability_at(quantum_ + 1), total_processors);
+}
+
+std::unique_ptr<Allocator> AvailabilityProfile::clone() const {
+  return std::make_unique<AvailabilityProfile>(availability_);
+}
+
+int AvailabilityProfile::availability_at(std::size_t q) const {
+  if (q == 0) {
+    throw std::invalid_argument(
+        "AvailabilityProfile::availability_at: quanta are 1-based");
+  }
+  const std::size_t idx = std::min(q - 1, availability_.size() - 1);
+  return availability_[idx];
+}
+
+}  // namespace abg::alloc

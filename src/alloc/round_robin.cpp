@@ -1,0 +1,33 @@
+#include "alloc/round_robin.hpp"
+
+#include <algorithm>
+
+namespace abg::alloc {
+
+std::vector<int> RoundRobin::allocate(const std::vector<int>& requests,
+                                      int total_processors) {
+  validate_allocation_inputs(requests, total_processors);
+  const std::size_t n = requests.size();
+  std::vector<int> allotment(n, 0);
+  if (n == 0) {
+    ++rotation_;
+    return allotment;
+  }
+  int remaining = total_processors;
+  std::size_t cursor = rotation_ % n;
+  std::size_t idle_lap = 0;  // consecutive jobs skipped; n means all done
+  while (remaining > 0 && idle_lap < n) {
+    if (allotment[cursor] < requests[cursor]) {
+      ++allotment[cursor];
+      --remaining;
+      idle_lap = 0;
+    } else {
+      ++idle_lap;
+    }
+    cursor = (cursor + 1) % n;
+  }
+  ++rotation_;
+  return allotment;
+}
+
+}  // namespace abg::alloc

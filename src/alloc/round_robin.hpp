@@ -1,0 +1,30 @@
+// Round-robin allocator (He et al. couple A-Greedy with round-robin as an
+// alternative to DEQ).
+//
+// Processors are dealt one at a time to jobs in rotating order, skipping
+// jobs whose request is already met, until the machine or all requests are
+// exhausted.  The rotation offset advances each quantum so the extra
+// processor from indivisible remainders circulates.  Round-robin is
+// conservative and non-reserving; its allotments differ from DEQ by at most
+// one processor per job.
+#pragma once
+
+#include "alloc/allocator.hpp"
+
+namespace abg::alloc {
+
+class RoundRobin final : public Allocator {
+ public:
+  std::vector<int> allocate(const std::vector<int>& requests,
+                            int total_processors) override;
+  void reset() override { rotation_ = 0; }
+  std::string_view name() const override { return "round-robin"; }
+  std::unique_ptr<Allocator> clone() const override {
+    return std::make_unique<RoundRobin>();
+  }
+
+ private:
+  std::size_t rotation_ = 0;
+};
+
+}  // namespace abg::alloc

@@ -1,0 +1,17 @@
+#include "alloc/unconstrained.hpp"
+
+#include <algorithm>
+
+namespace abg::alloc {
+
+std::vector<int> Unconstrained::allocate(const std::vector<int>& requests,
+                                         int total_processors) {
+  validate_allocation_inputs(requests, total_processors);
+  std::vector<int> allotment(requests.size(), 0);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    allotment[i] = std::min(requests[i], total_processors);
+  }
+  return allotment;
+}
+
+}  // namespace abg::alloc

@@ -1,0 +1,92 @@
+#include "alloc/weighted_equipartition.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace abg::alloc {
+
+WeightedEquiPartition::WeightedEquiPartition(std::vector<double> weights)
+    : weights_(std::move(weights)) {
+  if (weights_.empty()) {
+    throw std::invalid_argument("WeightedEquiPartition: no weights");
+  }
+  for (const double w : weights_) {
+    if (!(w > 0.0) || !std::isfinite(w)) {
+      throw std::invalid_argument(
+          "WeightedEquiPartition: weights must be positive and finite");
+    }
+  }
+}
+
+std::vector<int> WeightedEquiPartition::allocate(
+    const std::vector<int>& requests, int total_processors) {
+  validate_allocation_inputs(requests, total_processors);
+  if (requests.size() != weights_.size()) {
+    throw std::invalid_argument(
+        "WeightedEquiPartition: request count does not match weight count");
+  }
+  const std::size_t n = requests.size();
+  std::vector<int> allotment(n, 0);
+  int remaining = total_processors;
+  std::vector<std::size_t> unsatisfied;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (requests[i] > 0) {
+      unsatisfied.push_back(i);
+    }
+  }
+
+  // Water-filling: grant every job whose outstanding need fits within its
+  // weighted share of the remaining pool, then re-divide; when nobody
+  // fits, hand out weighted integer shares and rotate the remainder.
+  while (remaining > 0 && !unsatisfied.empty()) {
+    double weight_sum = 0.0;
+    for (const std::size_t j : unsatisfied) {
+      weight_sum += weights_[j];
+    }
+    bool any_satisfied = false;
+    std::vector<std::size_t> still_unsatisfied;
+    for (const std::size_t j : unsatisfied) {
+      const double share =
+          static_cast<double>(remaining) * weights_[j] / weight_sum;
+      const int need = requests[j] - allotment[j];
+      if (static_cast<double>(need) <= share) {
+        allotment[j] += need;
+        remaining -= need;
+        any_satisfied = true;
+      } else {
+        still_unsatisfied.push_back(j);
+      }
+    }
+    unsatisfied = std::move(still_unsatisfied);
+    if (any_satisfied) {
+      continue;
+    }
+    // Nobody fits: floor of the weighted share each, remainder rotated.
+    int handed = 0;
+    for (const std::size_t j : unsatisfied) {
+      const int share = static_cast<int>(std::floor(
+          static_cast<double>(remaining) * weights_[j] / weight_sum));
+      allotment[j] += share;
+      handed += share;
+    }
+    int leftover = remaining - handed;
+    remaining = 0;
+    const std::size_t offset = rotation_ % unsatisfied.size();
+    for (std::size_t k = 0; leftover > 0 && k < unsatisfied.size(); ++k) {
+      const std::size_t j = unsatisfied[(offset + k) % unsatisfied.size()];
+      if (allotment[j] < requests[j]) {
+        ++allotment[j];
+        --leftover;
+      }
+    }
+    break;
+  }
+  ++rotation_;
+  return allotment;
+}
+
+std::unique_ptr<Allocator> WeightedEquiPartition::clone() const {
+  return std::make_unique<WeightedEquiPartition>(weights_);
+}
+
+}  // namespace abg::alloc

@@ -1,0 +1,36 @@
+// Weighted dynamic equi-partitioning.
+//
+// Generalizes DEQ to per-job priorities: each quantum, job i is entitled
+// to a share proportional to its weight w_i; jobs requesting less than
+// their entitlement get their request and the surplus is re-divided among
+// the rest in proportion to their weights.  With equal weights this is
+// exactly DEQ.  Weighted sharing is how production space-sharing systems
+// express job priorities; the scheduler side (ABG / A-Greedy) is
+// unchanged — conservativeness and non-reservation still hold, fairness
+// becomes weighted fairness.
+#pragma once
+
+#include "alloc/allocator.hpp"
+
+namespace abg::alloc {
+
+class WeightedEquiPartition final : public Allocator {
+ public:
+  /// One positive weight per job; allocate() calls must pass request
+  /// vectors of exactly this size.
+  explicit WeightedEquiPartition(std::vector<double> weights);
+
+  std::vector<int> allocate(const std::vector<int>& requests,
+                            int total_processors) override;
+  void reset() override { rotation_ = 0; }
+  std::string_view name() const override { return "weighted-equi"; }
+  std::unique_ptr<Allocator> clone() const override;
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<double> weights_;
+  std::size_t rotation_ = 0;
+};
+
+}  // namespace abg::alloc

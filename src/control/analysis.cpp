@@ -1,0 +1,99 @@
+#include "control/analysis.hpp"
+
+#include <complex>
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace abg::control {
+
+bool is_bibo_stable(const TransferFunction& tf, double tolerance) {
+  for (const auto& pole : tf.poles()) {
+    if (std::abs(pole) >= 1.0 - tolerance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double steady_state_error(const TransferFunction& tf) {
+  return 1.0 - tf.dc_gain();
+}
+
+double magnitude_response(const TransferFunction& tf, double omega) {
+  if (omega < 0.0 || omega > 3.14159265358979323846 + 1e-12) {
+    throw std::invalid_argument(
+        "magnitude_response: omega must lie in [0, pi]");
+  }
+  const std::complex<double> z = std::polar(1.0, omega);
+  return std::abs(tf.eval(z));
+}
+
+StepResponseMetrics analyze_series(const std::vector<double>& series,
+                                   double target, double settle_tolerance,
+                                   double rate_floor) {
+  if (series.empty()) {
+    throw std::invalid_argument("analyze_series: empty series");
+  }
+  if (target == 0.0) {
+    throw std::invalid_argument("analyze_series: zero target");
+  }
+  StepResponseMetrics m;
+
+  const double band = std::fabs(target) * settle_tolerance;
+
+  // Settling index: first index from which the series never leaves the
+  // tolerance band around the target.
+  std::size_t settle = series.size();
+  for (std::size_t i = series.size(); i-- > 0;) {
+    if (std::fabs(series[i] - target) <= band) {
+      settle = i;
+    } else {
+      break;
+    }
+  }
+  m.settling_index = settle;
+  m.settled = settle < series.size();
+
+  // Steady state: mean of the settled tail, or of the last quarter when the
+  // series never settles (captures the center of an oscillation).
+  const std::size_t tail_start =
+      m.settled ? settle : (series.size() * 3) / 4;
+  double tail_sum = 0.0;
+  double tail_min = series[tail_start];
+  double tail_max = series[tail_start];
+  for (std::size_t i = tail_start; i < series.size(); ++i) {
+    tail_sum += series[i];
+    tail_min = std::min(tail_min, series[i]);
+    tail_max = std::max(tail_max, series[i]);
+  }
+  m.steady_state = tail_sum / static_cast<double>(series.size() - tail_start);
+  m.steady_state_error = std::fabs(target - m.steady_state);
+  m.residual_oscillation = tail_max - tail_min;
+
+  // Overshoot above the settled value, measured over the transient (the
+  // prefix up to and including the settling index; for a series that never
+  // settles, the whole series is transient).
+  double peak = 0.0;
+  const std::size_t transient_end = std::min(settle + 1, series.size());
+  for (std::size_t i = 0; i < transient_end; ++i) {
+    peak = std::max(peak, series[i] - m.steady_state);
+  }
+  m.max_overshoot = std::max(0.0, peak);
+
+  // Convergence rate: worst contraction of the error toward the target over
+  // the pre-settled prefix, ignoring errors already below the floor.
+  double rate = 0.0;
+  const double rate_band = std::max(band, rate_floor);
+  for (std::size_t i = 0; i + 1 < series.size() && i + 1 <= settle; ++i) {
+    const double e0 = std::fabs(series[i] - target);
+    const double e1 = std::fabs(series[i + 1] - target);
+    if (e0 > rate_band) {
+      rate = std::max(rate, e1 / e0);
+    }
+  }
+  m.convergence_rate = rate;
+  return m;
+}
+
+}  // namespace abg::control

@@ -1,0 +1,69 @@
+// Control-theoretic performance metrics (Section 4's four criteria).
+//
+// The paper evaluates a request policy by: BIBO stability, steady-state
+// error, maximum overshoot, and convergence rate.  These are provided both
+// symbolically (from a transfer function) and empirically (from a measured
+// request series), so Theorem 1 can be verified against the actual
+// scheduler implementation and the instability of A-Greedy (Figures 1 and
+// 4(b)) can be quantified.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "control/transfer_function.hpp"
+
+namespace abg::control {
+
+/// BIBO stability of an LTI system: all poles strictly inside the unit
+/// circle.
+bool is_bibo_stable(const TransferFunction& tf, double tolerance = 1e-9);
+
+/// Steady-state error of the unit-step response: 1 − H(1) by the final
+/// value theorem.  Throws if z = 1 is a pole.
+double steady_state_error(const TransferFunction& tf);
+
+/// Empirical metrics computed from a measured output series (e.g. the
+/// request sequence d(1), d(2), ... divided by the target parallelism A).
+struct StepResponseMetrics {
+  /// Final value the series settled at (mean of the tail).
+  double steady_state = 0.0;
+  /// |target − steady_state|.
+  double steady_state_error = 0.0;
+  /// max over the series of (value − steady_state), clamped at 0: the
+  /// maximum overshoot above the settled value.
+  double max_overshoot = 0.0;
+  /// Largest per-sample contraction ratio |x(k+1) − target|/|x(k) − target|
+  /// observed while not yet settled; the paper's convergence rate r.
+  double convergence_rate = 0.0;
+  /// First index at which the series enters and stays within
+  /// `settle_tolerance` of the target; series size when it never settles.
+  std::size_t settling_index = 0;
+  /// True when the series is bounded (trivially true for finite data) AND
+  /// settles within tolerance — the empirical proxy for stability.
+  bool settled = false;
+  /// Peak-to-peak amplitude over the tail after settling_index (oscillation
+  /// measure; 0 for a convergent series, positive for A-Greedy's
+  /// steady-state oscillation).
+  double residual_oscillation = 0.0;
+};
+
+/// Magnitude of the frequency response |H(e^{jω})| at normalized frequency
+/// ω ∈ [0, π] (π = one oscillation per quantum — the Nyquist rate of the
+/// per-quantum feedback loop).  For ABG's closed loop this shows the
+/// low-pass behaviour that makes its requests smooth: unity gain at DC,
+/// attenuation (1−r)/(1+r) at the fastest parallelism oscillation.
+double magnitude_response(const TransferFunction& tf, double omega);
+
+/// Analyzes a measured series against a target value.  `settle_tolerance`
+/// is relative to the target.  `rate_floor` excludes samples whose error is
+/// already at most that absolute size from the convergence-rate
+/// measurement — for integer-valued request series, per-sample contraction
+/// ratios are meaningless once the error is within rounding distance.
+/// Requires a non-empty series and target != 0.
+StepResponseMetrics analyze_series(const std::vector<double>& series,
+                                   double target,
+                                   double settle_tolerance = 0.02,
+                                   double rate_floor = 0.0);
+
+}  // namespace abg::control

@@ -1,0 +1,47 @@
+#include "control/closed_loop.hpp"
+
+#include <stdexcept>
+
+namespace abg::control {
+
+TransferFunction integral_controller_tf(double gain) {
+  // K / (z - 1): numerator {K}, denominator {-1, 1}.
+  return TransferFunction(Polynomial({gain}), Polynomial({-1.0, 1.0}));
+}
+
+TransferFunction parallelism_plant_tf(double average_parallelism) {
+  if (!(average_parallelism > 0.0)) {
+    throw std::invalid_argument(
+        "parallelism_plant_tf: average parallelism must be positive");
+  }
+  return TransferFunction(Polynomial({1.0 / average_parallelism}),
+                          Polynomial({1.0}));
+}
+
+TransferFunction abg_closed_loop(double gain, double average_parallelism) {
+  return integral_controller_tf(gain)
+      .series(parallelism_plant_tf(average_parallelism))
+      .feedback();
+}
+
+double abg_closed_loop_pole(double gain, double average_parallelism) {
+  if (!(average_parallelism > 0.0)) {
+    throw std::invalid_argument(
+        "abg_closed_loop_pole: average parallelism must be positive");
+  }
+  return 1.0 - gain / average_parallelism;
+}
+
+double theorem1_gain(double convergence_rate, double average_parallelism) {
+  if (convergence_rate < 0.0 || convergence_rate >= 1.0) {
+    throw std::invalid_argument(
+        "theorem1_gain: convergence rate must lie in [0, 1)");
+  }
+  if (!(average_parallelism > 0.0)) {
+    throw std::invalid_argument(
+        "theorem1_gain: average parallelism must be positive");
+  }
+  return (1.0 - convergence_rate) * average_parallelism;
+}
+
+}  // namespace abg::control

@@ -1,0 +1,33 @@
+// The paper's specific closed loop (Section 4).
+//
+// Blocks:   controller G(z) = K/(z − 1)   (integral control law, Eq. 1)
+//           plant      S(z) = 1/A         (B-Greedy: y(q) = d(q)/A)
+// Closed loop (Equation 2):
+//           T(z) = G·S / (1 + G·S) = (K/A) / (z − (1 − K/A)),
+// a first-order system with single pole p0 = 1 − K/A.  Theorem 1 sets the
+// gain K = (1 − r)·A so that p0 = r.
+#pragma once
+
+#include "control/transfer_function.hpp"
+
+namespace abg::control {
+
+/// G(z) = K / (z − 1): discrete integrator with gain K.
+TransferFunction integral_controller_tf(double gain);
+
+/// S(z) = 1/A: the static plant relating request to normalized output
+/// y = d/A.  Requires A > 0.
+TransferFunction parallelism_plant_tf(double average_parallelism);
+
+/// The paper's closed loop T(z) for a given controller gain K and constant
+/// job parallelism A, built by composing the blocks and closing unity
+/// feedback (Equation 2).
+TransferFunction abg_closed_loop(double gain, double average_parallelism);
+
+/// The closed-loop pole p0 = 1 − K/A.
+double abg_closed_loop_pole(double gain, double average_parallelism);
+
+/// Theorem 1 gain schedule: K = (1 − r)·A for convergence rate r ∈ [0, 1).
+double theorem1_gain(double convergence_rate, double average_parallelism);
+
+}  // namespace abg::control

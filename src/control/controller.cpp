@@ -1,0 +1,37 @@
+#include "control/controller.hpp"
+
+#include <stdexcept>
+
+namespace abg::control {
+
+IntegralController::IntegralController(double gain, double initial_output)
+    : gain_(gain), output_(initial_output) {}
+
+double IntegralController::update(double error) {
+  output_ += gain_ * error;
+  return output_;
+}
+
+SelfTuningRegulator::SelfTuningRegulator(GainSchedule schedule,
+                                         double setpoint,
+                                         double initial_output)
+    : schedule_(std::move(schedule)),
+      setpoint_(setpoint),
+      controller_(0.0, initial_output) {
+  if (!schedule_) {
+    throw std::invalid_argument("SelfTuningRegulator: empty gain schedule");
+  }
+}
+
+double SelfTuningRegulator::update(double measurement) {
+  if (!(measurement > 0.0)) {
+    throw std::invalid_argument(
+        "SelfTuningRegulator::update: measurement must be positive");
+  }
+  controller_.set_gain(schedule_(measurement));
+  // Normalized output y = u / measurement; error e = setpoint − y.
+  const double error = setpoint_ - controller_.output() / measurement;
+  return controller_.update(error);
+}
+
+}  // namespace abg::control

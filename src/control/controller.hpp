@@ -1,0 +1,60 @@
+// Time-domain controllers.
+//
+// A-Control is a *self-tuning regulator* (Åström & Wittenmark): an integral
+// controller whose gain is re-derived every quantum from the latest plant
+// measurement via a gain schedule.  This header provides both pieces in
+// their general control-theoretic form; sched/a_control.hpp is the
+// scheduling-specific instantiation (and a unit test checks the two compute
+// identical request sequences).
+#pragma once
+
+#include <functional>
+
+namespace abg::control {
+
+/// Discrete integral controller: u(k+1) = u(k) + K · e(k).
+class IntegralController {
+ public:
+  /// `initial_output` is u(0); `gain` is K.
+  IntegralController(double gain, double initial_output);
+
+  /// Consumes an error sample and returns the next control output.
+  double update(double error);
+
+  double output() const { return output_; }
+  double gain() const { return gain_; }
+  void set_gain(double gain) { gain_ = gain; }
+  void reset(double initial_output) { output_ = initial_output; }
+
+ private:
+  double gain_;
+  double output_;
+};
+
+/// Self-tuning regulator: an integral controller whose gain is recomputed
+/// from each measurement by a user-supplied schedule before the update.
+///
+/// For ABG: measurement = A(q), schedule K = (1 − r)·A, setpoint 1 on the
+/// normalized output y = u/A, giving u(q+1) = r·u(q) + (1 − r)·A(q).
+class SelfTuningRegulator {
+ public:
+  using GainSchedule = std::function<double(double measurement)>;
+
+  /// `setpoint` is the reference for the normalized output; ABG uses 1.
+  SelfTuningRegulator(GainSchedule schedule, double setpoint,
+                      double initial_output);
+
+  /// Feeds one plant measurement (the measured average parallelism) and
+  /// returns the next control output (the next processor desire).
+  double update(double measurement);
+
+  double output() const { return controller_.output(); }
+  void reset(double initial_output) { controller_.reset(initial_output); }
+
+ private:
+  GainSchedule schedule_;
+  double setpoint_;
+  IntegralController controller_;
+};
+
+}  // namespace abg::control

@@ -1,0 +1,13 @@
+#include "core/a_greedy_scheduler.hpp"
+
+namespace abg::core {
+
+AGreedyScheduler::AGreedyScheduler(sched::AGreedyConfig config)
+    : request_(config) {}
+
+std::unique_ptr<sched::RequestPolicy> AGreedyScheduler::make_request_policy()
+    const {
+  return std::make_unique<sched::AGreedyRequest>(request_.config());
+}
+
+}  // namespace abg::core

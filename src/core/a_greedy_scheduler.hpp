@@ -1,0 +1,40 @@
+// A-Greedy (Agrawal, He, Hsu, Leiserson, PPoPP'06) — the baseline scheduler
+// the paper compares ABG against.
+//
+// A-Greedy = plain greedy task execution + multiplicative-increase
+// multiplicative-decrease requests.  The parameter settings follow the
+// paper (which keeps those of He et al. [12]): utilization δ = 0.8,
+// responsiveness ρ = 2.
+#pragma once
+
+#include "sched/a_greedy_request.hpp"
+#include "sched/execution_policy.hpp"
+
+namespace abg::core {
+
+/// The assembled A-Greedy task scheduler.
+class AGreedyScheduler {
+ public:
+  explicit AGreedyScheduler(sched::AGreedyConfig config = {});
+
+  /// Plain greedy execution policy (stateless; shareable across jobs).
+  const sched::ExecutionPolicy& execution() const { return execution_; }
+
+  /// The MIMD request policy for driving a single job.  Feedback state is
+  /// per-job: use make_request_policy() for each job of a set.
+  sched::RequestPolicy& request() { return request_; }
+  const sched::RequestPolicy& request() const { return request_; }
+
+  /// A fresh, independent request-policy instance.
+  std::unique_ptr<sched::RequestPolicy> make_request_policy() const;
+
+  const sched::AGreedyConfig& config() const { return request_.config(); }
+
+  static constexpr std::string_view kName = "A-Greedy";
+
+ private:
+  sched::GreedyExecution execution_;
+  sched::AGreedyRequest request_;
+};
+
+}  // namespace abg::core

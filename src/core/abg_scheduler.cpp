@@ -1,0 +1,15 @@
+#include "core/abg_scheduler.hpp"
+
+namespace abg::core {
+
+AbgScheduler::AbgScheduler(AbgConfig config)
+    : config_(config),
+      request_(sched::AControlConfig{config.convergence_rate}) {}
+
+std::unique_ptr<sched::RequestPolicy> AbgScheduler::make_request_policy()
+    const {
+  return std::make_unique<sched::AControlRequest>(
+      sched::AControlConfig{config_.convergence_rate});
+}
+
+}  // namespace abg::core

@@ -1,0 +1,59 @@
+// ABG — Adaptive B-Greedy (the paper's contribution).
+//
+// ABG = B-Greedy task execution (breadth-first greedy, exact per-quantum
+// parallelism measurement) + A-Control processor requests (self-tuning
+// integral controller with convergence rate r).  This facade bundles the
+// two policies with their paper-default parameters (r = 0.2) behind one
+// type; see sched/ for the individual pieces and sim/ for the engines that
+// drive them.
+//
+// Quickstart:
+//   abg::core::AbgScheduler abg;                       // r = 0.2
+//   abg::dag::ProfileJob job{widths};
+//   abg::alloc::Unconstrained allocator;
+//   auto trace = abg::sim::run_single_job(job, abg.execution(),
+//                                         abg.request(), allocator,
+//                                         {.processors = 128,
+//                                          .quantum_length = 1000});
+#pragma once
+
+#include "sched/a_control.hpp"
+#include "sched/execution_policy.hpp"
+
+namespace abg::core {
+
+/// Configuration for an ABG scheduler.
+struct AbgConfig {
+  /// A-Control convergence rate r ∈ [0, 1); the paper's simulations use
+  /// 0.2, and r = 0 gives one-step convergence d(q+1) = A(q).
+  double convergence_rate = 0.2;
+};
+
+/// The assembled ABG task scheduler: execution policy + request policy.
+class AbgScheduler {
+ public:
+  explicit AbgScheduler(AbgConfig config = {});
+
+  /// B-Greedy execution policy (stateless; shareable across jobs).
+  const sched::ExecutionPolicy& execution() const { return execution_; }
+
+  /// A-Control request policy for driving a single job.  Feedback state is
+  /// per-job: use make_request_policy() for each job of a set.
+  sched::RequestPolicy& request() { return request_; }
+  const sched::RequestPolicy& request() const { return request_; }
+
+  /// A fresh, independent A-Control instance with this scheduler's
+  /// configuration.
+  std::unique_ptr<sched::RequestPolicy> make_request_policy() const;
+
+  const AbgConfig& config() const { return config_; }
+
+  static constexpr std::string_view kName = "ABG";
+
+ private:
+  AbgConfig config_;
+  sched::BGreedyExecution execution_;
+  sched::AControlRequest request_;
+};
+
+}  // namespace abg::core

@@ -1,0 +1,61 @@
+// High-level run drivers: one call from "a job and a scheduler" to a trace
+// or job-set result.
+//
+// A SchedulerSpec names an (execution policy, request policy) pair so
+// experiment harnesses can sweep over schedulers uniformly; abg_spec() and
+// a_greedy_spec() build the two the paper compares, and static_spec() adds
+// a non-adaptive bracket.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "core/a_greedy_scheduler.hpp"
+#include "core/abg_scheduler.hpp"
+#include "sched/execution_policy.hpp"
+#include "sched/request_policy.hpp"
+#include "sim/quantum_engine.hpp"
+#include "sim/simulator.hpp"
+
+namespace abg::core {
+
+/// A named task-scheduler configuration.
+struct SchedulerSpec {
+  std::string name;
+  std::unique_ptr<sched::ExecutionPolicy> execution;
+  std::unique_ptr<sched::RequestPolicy> request;
+
+  SchedulerSpec copy() const;
+};
+
+/// ABG with the given convergence rate.
+SchedulerSpec abg_spec(AbgConfig config = {});
+
+/// A-Greedy with the given utilization/responsiveness.
+SchedulerSpec a_greedy_spec(sched::AGreedyConfig config = {});
+
+/// ABG with online convergence-rate selection (tracks the empirical
+/// transition factor and keeps r < safety / C_est).
+SchedulerSpec abg_auto_spec(sched::AutoRateConfig config = {});
+
+/// Fixed request of `processors` with B-Greedy execution (non-adaptive
+/// bracket for ablations).
+SchedulerSpec static_spec(int processors);
+
+/// Runs one job to completion under the spec.  When `allocator` is null an
+/// Unconstrained allocator is used (the paper's single-job setup: all
+/// requests granted up to P).
+sim::JobTrace run_single(const SchedulerSpec& spec, dag::Job& job,
+                         const sim::SingleJobConfig& config,
+                         alloc::Allocator* allocator = nullptr);
+
+/// Runs a job set to completion under the spec.  When `allocator` is null
+/// dynamic equi-partitioning is used (the paper's multiprogrammed setup).
+sim::SimResult run_set(const SchedulerSpec& spec,
+                       std::vector<sim::JobSubmission> submissions,
+                       const sim::SimConfig& config,
+                       alloc::Allocator* allocator = nullptr);
+
+}  // namespace abg::core

@@ -1,0 +1,35 @@
+#include "dag/characteristics.hpp"
+
+#include <algorithm>
+
+#include "dag/profile_job.hpp"
+
+namespace abg::dag {
+
+JobCharacteristics characteristics_of(const Job& job) {
+  JobCharacteristics c;
+  c.work = job.total_work();
+  c.critical_path = job.critical_path();
+  c.average_parallelism =
+      c.critical_path > 0
+          ? static_cast<double>(c.work) / static_cast<double>(c.critical_path)
+          : 0.0;
+  if (const auto* profile = dynamic_cast<const ProfileJob*>(&job)) {
+    for (const TaskCount w : profile->widths()) {
+      c.max_level_width = std::max(c.max_level_width, w);
+    }
+  } else if (const auto* dagjob = dynamic_cast<const DagJob*>(&job)) {
+    for (const TaskCount w : dagjob->level_sizes()) {
+      c.max_level_width = std::max(c.max_level_width, w);
+    }
+  }
+  return c;
+}
+
+std::vector<TaskCount> level_histogram(const DagStructure& structure) {
+  // DagJob's constructor validates and computes levels; reuse it.
+  const DagJob job{structure};
+  return job.level_sizes();
+}
+
+}  // namespace abg::dag

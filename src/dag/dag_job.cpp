@@ -1,0 +1,142 @@
+#include "dag/dag_job.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dag/topology.hpp"
+
+namespace abg::dag {
+
+DagJob::DagJob(DagStructure structure)
+    : DagJob(build_topology(std::move(structure))) {}
+
+DagJob::DagJob(std::shared_ptr<const Topology> topo) : topo_(std::move(topo)) {
+  initialize_runtime_state();
+}
+
+void DagJob::initialize_runtime_state() {
+  const std::size_t n = topo_->structure.node_count();
+  pending_parents_ = topo_->initial_parents;
+  executed_.assign(n, false);
+  fifo_.clear();
+  buckets_.assign(topo_->level_size.size(), {});
+  min_bucket_ = 0;
+  ready_ = 0;
+  completed_ = 0;
+  level_progress_ = 0.0;
+  current_step_ = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pending_parents_[i] == 0) {
+      enqueue_ready(static_cast<NodeId>(i));
+    }
+  }
+}
+
+void DagJob::enqueue_ready(NodeId id) {
+  fifo_.push_back(id);
+  const std::uint32_t lvl = topo_->level[id];
+  buckets_[lvl].push_back(id);
+  min_bucket_ = std::min<std::size_t>(min_bucket_, lvl);
+  ++ready_;
+}
+
+std::optional<NodeId> DagJob::pop_ready(PickOrder order) {
+  if (order == PickOrder::kFifo) {
+    while (!fifo_.empty()) {
+      const NodeId id = fifo_.front();
+      fifo_.pop_front();
+      if (!executed_[id]) {
+        return id;
+      }
+    }
+    return std::nullopt;
+  }
+  // Breadth-first: lowest non-empty level bucket.  Entries for tasks already
+  // executed via the other structure are skipped lazily.
+  while (min_bucket_ < buckets_.size()) {
+    auto& bucket = buckets_[min_bucket_];
+    while (!bucket.empty()) {
+      const NodeId id = bucket.back();
+      bucket.pop_back();
+      if (!executed_[id]) {
+        return id;
+      }
+    }
+    ++min_bucket_;
+  }
+  return std::nullopt;
+}
+
+TaskCount DagJob::step(int procs, PickOrder order) {
+  if (procs < 0) {
+    throw std::invalid_argument("DagJob::step: negative processor count");
+  }
+  ++current_step_;
+  selected_.clear();
+  for (int p = 0; p < procs; ++p) {
+    const auto id = pop_ready(order);
+    if (!id.has_value()) {
+      break;
+    }
+    selected_.push_back(*id);
+    executed_[*id] = true;
+    --ready_;
+  }
+  // Completions take effect at the end of the step: children become ready
+  // only for subsequent steps.
+  for (const NodeId id : selected_) {
+    ++completed_;
+    level_progress_ +=
+        1.0 / static_cast<double>(topo_->level_size[topo_->level[id]]);
+    if (!completion_step_.empty()) {
+      completion_step_[id] = current_step_;
+    }
+    for (const NodeId child : topo_->structure.children[id]) {
+      if (--pending_parents_[child] == 0) {
+        enqueue_ready(child);
+      }
+    }
+  }
+  return static_cast<TaskCount>(selected_.size());
+}
+
+TaskCount DagJob::total_work() const {
+  return static_cast<TaskCount>(topo_->structure.node_count());
+}
+
+Steps DagJob::critical_path() const { return topo_->critical_path; }
+
+std::unique_ptr<Job> DagJob::fresh_clone() const {
+  return std::unique_ptr<Job>(new DagJob(topo_));
+}
+
+std::uint32_t DagJob::node_level(NodeId id) const {
+  if (id >= topo_->level.size()) {
+    throw std::invalid_argument("DagJob::node_level: id out of range");
+  }
+  return topo_->level[id];
+}
+
+const std::vector<TaskCount>& DagJob::level_sizes() const {
+  return topo_->level_size;
+}
+
+void DagJob::enable_completion_recording() {
+  if (current_step_ != 0) {
+    throw std::logic_error(
+        "DagJob::enable_completion_recording: job already started");
+  }
+  completion_step_.assign(topo_->structure.node_count(), 0);
+  if (completion_step_.empty()) {
+    completion_step_.assign(1, 0);  // keep non-empty as the "enabled" marker
+  }
+}
+
+std::optional<Steps> DagJob::completion_step(NodeId id) const {
+  if (completion_step_.empty() || id >= executed_.size() || !executed_[id]) {
+    return std::nullopt;
+  }
+  return completion_step_[id];
+}
+
+}  // namespace abg::dag

@@ -1,0 +1,83 @@
+// Explicit-DAG malleable job.
+//
+// DagJob executes an arbitrary directed acyclic graph of unit tasks.  It is
+// the fully general job model: any dependency structure, any parallelism
+// profile.  (Fork-join data-parallel jobs — the paper's workload — have a
+// much faster closed-form representation in ProfileJob; a property test
+// checks the two agree on fork-join DAGs.)
+//
+// The level of a task is the length of the longest chain from any source to
+// it (sources at level 0); the paper's critical-path length T∞ is the number
+// of tasks on the longest chain, i.e. max level + 1.  Ready tasks are kept
+// both in FIFO arrival order and bucketed by level so either pick order runs
+// in O(1) amortized per executed task.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dag/job.hpp"
+#include "dag/topology.hpp"
+
+namespace abg::dag {
+
+/// A malleable job over an explicit DAG.
+class DagJob final : public Job {
+ public:
+  /// Validates the structure (in-range ids, acyclic) and precomputes the
+  /// level of every task.  Throws std::invalid_argument on a cyclic or
+  /// malformed structure.
+  explicit DagJob(DagStructure structure);
+
+  bool finished() const override { return completed_ == total_work(); }
+  TaskCount step(int procs, PickOrder order) override;
+  TaskCount total_work() const override;
+  Steps critical_path() const override;
+  TaskCount completed_work() const override { return completed_; }
+  double level_progress() const override { return level_progress_; }
+  TaskCount ready_count() const override { return ready_; }
+  std::unique_ptr<Job> fresh_clone() const override;
+
+  /// Level (longest chain from a source, 0-based) of a task.
+  std::uint32_t node_level(NodeId id) const;
+
+  /// Number of tasks at each level.
+  const std::vector<TaskCount>& level_sizes() const;
+
+  /// When enabled, records the 1-based step index at which each task
+  /// completes (for schedule-order invariant tests).  Must be called before
+  /// the first step.
+  void enable_completion_recording();
+
+  /// Completion step of a task, if recording was enabled and the task has
+  /// executed.
+  std::optional<Steps> completion_step(NodeId id) const;
+
+  /// The shared immutable topology (levels, level sizes, structure).
+  const Topology& topology() const { return *topo_; }
+
+ private:
+  explicit DagJob(std::shared_ptr<const Topology> topo);
+  void initialize_runtime_state();
+  void enqueue_ready(NodeId id);
+  /// Pops the next ready task in the given order, or nullopt when drained.
+  std::optional<NodeId> pop_ready(PickOrder order);
+
+  std::shared_ptr<const Topology> topo_;
+  std::vector<std::uint32_t> pending_parents_;
+  std::vector<bool> executed_;
+  std::deque<NodeId> fifo_;
+  std::vector<std::vector<NodeId>> buckets_;
+  std::size_t min_bucket_ = 0;
+  TaskCount ready_ = 0;
+  TaskCount completed_ = 0;
+  double level_progress_ = 0.0;
+  Steps current_step_ = 0;
+  std::vector<Steps> completion_step_;  // empty unless recording enabled
+  std::vector<NodeId> selected_;        // per-step scratch buffer
+};
+
+}  // namespace abg::dag

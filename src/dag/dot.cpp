@@ -1,0 +1,46 @@
+#include "dag/dot.hpp"
+
+#include <sstream>
+
+namespace abg::dag {
+
+std::string to_dot(const DagStructure& structure, const DotOptions& options) {
+  const auto topo = build_topology(structure);
+  std::ostringstream out;
+  out << "digraph " << options.name << " {\n";
+  out << "  rankdir=TB;\n  node [shape=circle];\n";
+
+  const std::size_t n = topo->structure.node_count();
+  if (options.label_levels) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out << "  t" << i << " [label=\"" << i << " (level "
+          << topo->level[i] << ")\"];\n";
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      out << "  t" << i << " [label=\"" << i << "\"];\n";
+    }
+  }
+
+  if (options.rank_by_level && !topo->level_size.empty()) {
+    for (std::size_t l = 0; l < topo->level_size.size(); ++l) {
+      out << "  { rank=same;";
+      for (std::size_t i = 0; i < n; ++i) {
+        if (topo->level[i] == l) {
+          out << " t" << i << ";";
+        }
+      }
+      out << " }\n";
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const NodeId child : topo->structure.children[i]) {
+      out << "  t" << i << " -> t" << child << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace abg::dag

@@ -1,0 +1,30 @@
+// Graphviz (DOT) export of job DAGs.
+//
+// Visual inspection of the dependency structure is the quickest way to
+// understand why a scheduler measured the parallelism it did; to_dot
+// renders any DagStructure with tasks ranked by level, optionally
+// annotated with per-level widths.
+#pragma once
+
+#include <string>
+
+#include "dag/topology.hpp"
+
+namespace abg::dag {
+
+/// Options for DOT rendering.
+struct DotOptions {
+  /// Graph name (must be a valid DOT identifier).
+  std::string name = "job";
+  /// Place tasks of equal level on the same rank (horizontal row).
+  bool rank_by_level = true;
+  /// Label each task with "id (level l)" instead of just the id.
+  bool label_levels = false;
+};
+
+/// Renders the DAG as a DOT digraph.  Validates the structure (throws
+/// std::invalid_argument on cycles / bad ids).
+std::string to_dot(const DagStructure& structure,
+                   const DotOptions& options = {});
+
+}  // namespace abg::dag

@@ -1,0 +1,29 @@
+#include "dag/job.hpp"
+
+#include <stdexcept>
+
+namespace abg::dag {
+
+QuantumExecution Job::run_quantum(int procs, Steps budget, PickOrder order) {
+  if (procs < 0 || budget < 0) {
+    throw std::invalid_argument("Job::run_quantum: negative procs or budget");
+  }
+  QuantumExecution out;
+  const double cpl_before = level_progress();
+  for (Steps s = 0; s < budget; ++s) {
+    if (finished()) {
+      break;
+    }
+    const TaskCount done = step(procs, order);
+    ++out.steps;
+    out.work += done;
+    if (done == 0) {
+      ++out.idle_steps;
+    }
+  }
+  out.cpl = level_progress() - cpl_before;
+  out.finished = finished();
+  return out;
+}
+
+}  // namespace abg::dag

@@ -1,0 +1,71 @@
+#include "dag/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace abg::dag {
+
+std::size_t DagStructure::edge_count() const {
+  std::size_t edges = 0;
+  for (const auto& c : children) {
+    edges += c.size();
+  }
+  return edges;
+}
+
+std::shared_ptr<const Topology> build_topology(DagStructure structure) {
+  const std::size_t n = structure.node_count();
+  auto topo = std::make_shared<Topology>();
+  topo->level.assign(n, 0);
+  topo->initial_parents.assign(n, 0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const NodeId child : structure.children[i]) {
+      if (child >= n) {
+        throw std::invalid_argument("Topology: edge to out-of-range node id");
+      }
+      if (child == i) {
+        throw std::invalid_argument("Topology: self-loop");
+      }
+      ++topo->initial_parents[child];
+    }
+  }
+
+  // Kahn's algorithm; assigns level(v) = 1 + max over parents.
+  std::vector<std::uint32_t> pending = topo->initial_parents;
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pending[i] == 0) {
+      queue.push_back(static_cast<NodeId>(i));
+    }
+  }
+  std::size_t processed = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    ++processed;
+    for (const NodeId v : structure.children[u]) {
+      topo->level[v] = std::max(topo->level[v], topo->level[u] + 1);
+      if (--pending[v] == 0) {
+        queue.push_back(v);
+      }
+    }
+  }
+  if (processed != n) {
+    throw std::invalid_argument("Topology: dependency graph contains a cycle");
+  }
+
+  std::uint32_t max_level = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_level = std::max(max_level, topo->level[i]);
+  }
+  topo->level_size.assign(n > 0 ? max_level + 1 : 0, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ++topo->level_size[topo->level[i]];
+  }
+  topo->critical_path = n > 0 ? static_cast<Steps>(max_level) + 1 : 0;
+  topo->structure = std::move(structure);
+  return topo;
+}
+
+}  // namespace abg::dag

@@ -1,0 +1,51 @@
+// Validated, immutable DAG topology.
+//
+// Shared by every executor over an explicit DAG (the centralized DagJob
+// and the distributed WorkStealingJob): the dependency structure plus the
+// derived per-task levels (longest chain from a source, 0-based), level
+// sizes and initial parent counts.  Built once per DAG and shared between
+// job clones via shared_ptr.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dag/job.hpp"
+
+namespace abg::dag {
+
+/// Task identifier within one DAG: 0 .. node_count-1.
+using NodeId = std::uint32_t;
+
+/// Pure dependency structure of a job's DAG.
+struct DagStructure {
+  /// children[i] lists the tasks that depend directly on task i.
+  std::vector<std::vector<NodeId>> children;
+
+  /// Number of tasks.
+  std::size_t node_count() const { return children.size(); }
+
+  /// Total number of dependency edges.
+  std::size_t edge_count() const;
+};
+
+/// Immutable per-DAG derived data.
+struct Topology {
+  DagStructure structure;
+  /// Level of each task: longest chain from a source, 0-based.
+  std::vector<std::uint32_t> level;
+  /// Number of tasks at each level.
+  std::vector<TaskCount> level_size;
+  /// Number of direct parents of each task.
+  std::vector<std::uint32_t> initial_parents;
+  /// Number of tasks on the longest chain (max level + 1; 0 when empty).
+  Steps critical_path = 0;
+};
+
+/// Validates the DAG (in-range ids, no self-loops, acyclic) and computes
+/// the derived data.  Throws std::invalid_argument on a malformed or
+/// cyclic structure.
+std::shared_ptr<const Topology> build_topology(DagStructure structure);
+
+}  // namespace abg::dag

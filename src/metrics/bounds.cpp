@@ -1,0 +1,110 @@
+#include "metrics/bounds.hpp"
+
+#include <stdexcept>
+
+namespace abg::metrics {
+
+namespace {
+
+void check_common(double transition_factor, double convergence_rate) {
+  if (!(transition_factor >= 1.0)) {
+    throw std::invalid_argument("bounds: transition factor must be >= 1");
+  }
+  if (convergence_rate < 0.0 || convergence_rate >= 1.0) {
+    throw std::invalid_argument("bounds: convergence rate must be in [0, 1)");
+  }
+}
+
+void check_rate_condition(double transition_factor, double convergence_rate) {
+  if (!(convergence_rate < 1.0 / transition_factor)) {
+    throw std::domain_error(
+        "bounds: requires r < 1/C_L; the ratio is unbounded otherwise");
+  }
+}
+
+}  // namespace
+
+Lemma2Bounds lemma2_bounds(double transition_factor, double convergence_rate) {
+  check_common(transition_factor, convergence_rate);
+  check_rate_condition(transition_factor, convergence_rate);
+  Lemma2Bounds b;
+  b.lower_ratio =
+      (1.0 - convergence_rate) / (transition_factor - convergence_rate);
+  b.upper_ratio = transition_factor * (1.0 - convergence_rate) /
+                  (1.0 - transition_factor * convergence_rate);
+  return b;
+}
+
+double theorem3_trim_steps(dag::Steps critical_path, double transition_factor,
+                           double convergence_rate,
+                           dag::Steps quantum_length) {
+  check_common(transition_factor, convergence_rate);
+  const double coeff = (transition_factor + 1.0 - 2.0 * convergence_rate) /
+                       (1.0 - convergence_rate);
+  return coeff * static_cast<double>(critical_path) +
+         static_cast<double>(quantum_length);
+}
+
+double theorem3_time_bound(dag::TaskCount work, dag::Steps critical_path,
+                           double transition_factor, double convergence_rate,
+                           double trimmed_availability,
+                           dag::Steps quantum_length) {
+  check_common(transition_factor, convergence_rate);
+  const double cpl_term = theorem3_trim_steps(
+      critical_path, transition_factor, convergence_rate, quantum_length);
+  const double speedup_term =
+      trimmed_availability > 0.0
+          ? 2.0 * static_cast<double>(work) / trimmed_availability
+          : 0.0;
+  return speedup_term + cpl_term;
+}
+
+double theorem4_waste_bound(dag::TaskCount work, double transition_factor,
+                            double convergence_rate, int processors,
+                            dag::Steps quantum_length) {
+  check_common(transition_factor, convergence_rate);
+  check_rate_condition(transition_factor, convergence_rate);
+  const double coeff = transition_factor * (1.0 - convergence_rate) /
+                       (1.0 - transition_factor * convergence_rate);
+  return coeff * static_cast<double>(work) +
+         static_cast<double>(processors) *
+             static_cast<double>(quantum_length);
+}
+
+double theorem5_makespan_bound(double makespan_lower_bound,
+                               double max_transition_factor,
+                               double convergence_rate,
+                               dag::Steps quantum_length, std::size_t jobs) {
+  check_common(max_transition_factor, convergence_rate);
+  check_rate_condition(max_transition_factor, convergence_rate);
+  const double c_waste =
+      (max_transition_factor + 1.0 -
+       2.0 * max_transition_factor * convergence_rate) /
+      (1.0 - max_transition_factor * convergence_rate);
+  const double c_time =
+      (max_transition_factor + 1.0 - 2.0 * convergence_rate) /
+      (1.0 - convergence_rate);
+  return (c_waste + c_time) * makespan_lower_bound +
+         static_cast<double>(quantum_length) *
+             static_cast<double>(jobs + 2);
+}
+
+double theorem5_response_bound(double response_lower_bound,
+                               double max_transition_factor,
+                               double convergence_rate,
+                               dag::Steps quantum_length, std::size_t jobs) {
+  check_common(max_transition_factor, convergence_rate);
+  check_rate_condition(max_transition_factor, convergence_rate);
+  const double c_waste =
+      (2.0 * max_transition_factor + 2.0 -
+       4.0 * max_transition_factor * convergence_rate) /
+      (1.0 - max_transition_factor * convergence_rate);
+  const double c_time =
+      (max_transition_factor + 1.0 - 2.0 * convergence_rate) /
+      (1.0 - convergence_rate);
+  return (c_waste + c_time) * response_lower_bound +
+         static_cast<double>(quantum_length) *
+             static_cast<double>(jobs + 2);
+}
+
+}  // namespace abg::metrics

@@ -1,0 +1,66 @@
+// The paper's analytic performance bounds (Lemma 2, Theorems 3–5),
+// evaluated numerically so experiments can report measured-vs-bound.
+//
+// All bounds are parameterised by the job characteristics (T1, T∞, C_L),
+// the machine (P, L) and ABG's convergence rate r.  The waste, makespan and
+// mean-response-time bounds additionally require r < 1/C_L (the remark
+// after Lemma 2); the evaluators throw std::domain_error when the
+// precondition fails, mirroring the paper's caveat that the ratio is
+// unbounded otherwise.
+#pragma once
+
+#include "dag/job.hpp"
+
+namespace abg::metrics {
+
+/// Lemma 2: request/parallelism ratio bounds for full quanta.
+struct Lemma2Bounds {
+  /// d(q) >= lower_ratio * A(q):  (1 − r) / (C_L − r).
+  double lower_ratio = 0.0;
+  /// d(q) <= upper_ratio * A(q):  C_L (1 − r) / (1 − C_L r);
+  /// valid only when r < 1/C_L.
+  double upper_ratio = 0.0;
+};
+
+/// Computes Lemma 2's ratios.  Requires C_L >= 1 and r in [0, 1); the upper
+/// ratio additionally requires r < 1/C_L (throws std::domain_error).
+Lemma2Bounds lemma2_bounds(double transition_factor, double convergence_rate);
+
+/// Theorem 3's trim allowance: the number of steps trimmed,
+/// (C_L + 1 − 2r)/(1 − r) · T∞ + L.
+double theorem3_trim_steps(dag::Steps critical_path, double transition_factor,
+                           double convergence_rate, dag::Steps quantum_length);
+
+/// Theorem 3: running-time bound
+///   T <= 2·T1/P̃ + (C_L + 1 − 2r)/(1 − r) · T∞ + L,
+/// where P̃ is the trimmed processor availability (pass 0 to drop the
+/// speedup term, e.g. when every quantum was trimmed).
+double theorem3_time_bound(dag::TaskCount work, dag::Steps critical_path,
+                           double transition_factor, double convergence_rate,
+                           double trimmed_availability,
+                           dag::Steps quantum_length);
+
+/// Theorem 4: waste bound
+///   W <= C_L (1 − r)/(1 − C_L r) · T1 + P·L.
+/// Requires r < 1/C_L (throws std::domain_error).
+double theorem4_waste_bound(dag::TaskCount work, double transition_factor,
+                            double convergence_rate, int processors,
+                            dag::Steps quantum_length);
+
+/// Theorem 5 (Equation 10): makespan bound against the lower bound M*,
+///   M <= (c_w + c_t)·M* + L·(|J| + 2),
+/// with c_w = (C_L + 1 − 2 C_L r)/(1 − C_L r), c_t = (C_L + 1 − 2r)/(1 − r).
+/// Requires r < 1/C_L.
+double theorem5_makespan_bound(double makespan_lower_bound,
+                               double max_transition_factor,
+                               double convergence_rate,
+                               dag::Steps quantum_length, std::size_t jobs);
+
+/// Theorem 5 (Equation 11): mean-response-time bound against R* for batched
+/// jobs, with c_w = (2 C_L + 2 − 4 C_L r)/(1 − C_L r).  Requires r < 1/C_L.
+double theorem5_response_bound(double response_lower_bound,
+                               double max_transition_factor,
+                               double convergence_rate,
+                               dag::Steps quantum_length, std::size_t jobs);
+
+}  // namespace abg::metrics

@@ -1,0 +1,62 @@
+#include "metrics/lower_bounds.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace abg::metrics {
+
+namespace {
+
+void check_inputs(const std::vector<JobSummary>& jobs, int processors) {
+  if (jobs.empty()) {
+    throw std::invalid_argument("lower bounds: empty job list");
+  }
+  if (processors < 1) {
+    throw std::invalid_argument("lower bounds: processors must be >= 1");
+  }
+}
+
+}  // namespace
+
+double makespan_lower_bound(const std::vector<JobSummary>& jobs,
+                            int processors) {
+  check_inputs(jobs, processors);
+  double total_work = 0.0;
+  double max_span = 0.0;
+  for (const JobSummary& j : jobs) {
+    total_work += static_cast<double>(j.work);
+    max_span = std::max(
+        max_span, static_cast<double>(j.release + j.critical_path));
+  }
+  return std::max(total_work / static_cast<double>(processors), max_span);
+}
+
+double response_lower_bound(const std::vector<JobSummary>& jobs,
+                            int processors) {
+  check_inputs(jobs, processors);
+  const double n = static_cast<double>(jobs.size());
+
+  double cpl_sum = 0.0;
+  std::vector<double> works;
+  works.reserve(jobs.size());
+  for (const JobSummary& j : jobs) {
+    cpl_sum += static_cast<double>(j.critical_path);
+    works.push_back(static_cast<double>(j.work));
+  }
+  const double cpl_bound = cpl_sum / n;
+
+  // Squashed-area bound: shortest-work-first on a perfectly parallelizable
+  // squashed workload.
+  std::sort(works.begin(), works.end());
+  double prefix = 0.0;
+  double completion_sum = 0.0;
+  for (const double w : works) {
+    prefix += w;
+    completion_sum += prefix / static_cast<double>(processors);
+  }
+  const double squashed_bound = completion_sum / n;
+
+  return std::max(cpl_bound, squashed_bound);
+}
+
+}  // namespace abg::metrics

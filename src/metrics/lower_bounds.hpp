@@ -1,0 +1,41 @@
+// Theoretical lower bounds on makespan and mean response time.
+//
+// Figure 6 normalizes the schedulers' global performance by these bounds
+// (the methodology of He et al. [11, 12], which the paper follows).  For a
+// job set J on P processors:
+//
+//   Makespan:  M* = max(  Σ_j T1_j / P ,  max_j (release_j + T∞_j)  )
+//   — the machine must execute all work, and every job needs at least its
+//   critical path after its release.
+//
+//   Mean response time (batched release):
+//   R* = max(  (1/n) Σ_j T∞_j ,  squashed-area bound  )
+//   where the squashed-area bound processes jobs in shortest-work-first
+//   order at full machine speed: with T1 sorted ascending,
+//   R*_sq = (1/n) Σ_j ( Σ_{k<=j} T1_k ) / P.
+#pragma once
+
+#include <vector>
+
+#include "dag/job.hpp"
+
+namespace abg::metrics {
+
+/// Intrinsic description of one job for lower-bound purposes.
+struct JobSummary {
+  dag::TaskCount work = 0;
+  dag::Steps critical_path = 0;
+  dag::Steps release = 0;
+};
+
+/// Makespan lower bound for arbitrary release times.  Requires a non-empty
+/// job list and P >= 1.
+double makespan_lower_bound(const std::vector<JobSummary>& jobs,
+                            int processors);
+
+/// Mean-response-time lower bound for batched jobs (releases ignored).
+/// Requires a non-empty job list and P >= 1.
+double response_lower_bound(const std::vector<JobSummary>& jobs,
+                            int processors);
+
+}  // namespace abg::metrics

@@ -1,0 +1,56 @@
+#include "metrics/scalability.hpp"
+
+#include <stdexcept>
+
+namespace abg::metrics {
+
+std::vector<ScalabilityPoint> scalability_curve(
+    const dag::Job& job, const std::vector<int>& processor_counts) {
+  if (processor_counts.empty()) {
+    throw std::invalid_argument("scalability_curve: no processor counts");
+  }
+  const double serial_time = static_cast<double>(job.total_work());
+  std::vector<ScalabilityPoint> curve;
+  curve.reserve(processor_counts.size());
+  for (const int p : processor_counts) {
+    if (p < 1) {
+      throw std::invalid_argument(
+          "scalability_curve: processor counts must be >= 1");
+    }
+    const auto clone = job.fresh_clone();
+    dag::Steps time = 0;
+    while (!clone->finished()) {
+      // Large budget per call keeps the fast closed-form path effective.
+      const dag::QuantumExecution exec = clone->run_quantum(
+          p, 1 << 20, dag::PickOrder::kBreadthFirst);
+      time += exec.steps;
+      if (exec.work == 0 && !exec.finished) {
+        throw std::logic_error("scalability_curve: job made no progress");
+      }
+    }
+    ScalabilityPoint point;
+    point.processors = p;
+    point.time = time;
+    point.speedup = time > 0 ? serial_time / static_cast<double>(time) : 0.0;
+    point.efficiency = point.speedup / static_cast<double>(p);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+std::vector<int> power_of_two_counts(int max_processors) {
+  if (max_processors < 1) {
+    throw std::invalid_argument(
+        "power_of_two_counts: max_processors must be >= 1");
+  }
+  std::vector<int> counts;
+  for (int p = 1; p <= max_processors; p *= 2) {
+    counts.push_back(p);
+    if (p > max_processors / 2) {
+      break;
+    }
+  }
+  return counts;
+}
+
+}  // namespace abg::metrics

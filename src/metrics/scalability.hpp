@@ -1,0 +1,37 @@
+// Scalability analysis: speedup and efficiency curves.
+//
+// Classic Amdahl-style characterization of a malleable job on this
+// machine model: run the job at fixed allotments p = 1..P and report
+// T(p), speedup T(1)/T(p) and efficiency speedup/p.  Since tasks are unit
+// size and the executor is greedy, T(1) = T1 exactly and T(p) is bounded
+// below by max(T1/p, T∞) — the curves expose where the job's parallelism
+// profile stops scaling, which is precisely the information an adaptive
+// scheduler exploits quantum by quantum.
+#pragma once
+
+#include <vector>
+
+#include "dag/job.hpp"
+
+namespace abg::metrics {
+
+/// One point of the scalability curve.
+struct ScalabilityPoint {
+  int processors = 0;
+  dag::Steps time = 0;
+  double speedup = 0.0;
+  double efficiency = 0.0;
+};
+
+/// Runs fresh clones of `job` to completion at every allotment in
+/// `processor_counts` (each entry >= 1) using greedy breadth-first
+/// execution with the allotment held fixed, and returns the curve.
+/// The job itself is not modified.
+std::vector<ScalabilityPoint> scalability_curve(
+    const dag::Job& job, const std::vector<int>& processor_counts);
+
+/// Convenience: powers of two 1, 2, 4, ... up to `max_processors`
+/// (inclusive when itself a power of two).
+std::vector<int> power_of_two_counts(int max_processors);
+
+}  // namespace abg::metrics

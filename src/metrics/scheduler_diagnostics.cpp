@@ -1,0 +1,73 @@
+#include "metrics/scheduler_diagnostics.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace abg::metrics {
+
+UtilizationBreakdown classify_utilization(const sim::JobTrace& trace,
+                                          double utilization) {
+  if (!(utilization > 0.0) || utilization >= 1.0) {
+    throw std::invalid_argument(
+        "classify_utilization: threshold must lie in (0, 1)");
+  }
+  UtilizationBreakdown b;
+  for (const auto& q : trace.quanta) {
+    const double capacity = static_cast<double>(q.allotment) *
+                            static_cast<double>(q.length);
+    if (static_cast<double>(q.work) < utilization * capacity) {
+      ++b.inefficient;
+    } else if (q.deprived()) {
+      ++b.efficient_deprived;
+    } else {
+      ++b.efficient_satisfied;
+    }
+  }
+  return b;
+}
+
+std::size_t reallocation_count(const sim::JobTrace& trace) {
+  std::size_t count = 0;
+  int previous = 0;
+  for (const auto& q : trace.quanta) {
+    if (q.allotment != previous) {
+      ++count;
+    }
+    previous = q.allotment;
+  }
+  return count;
+}
+
+dag::TaskCount processors_migrated(const sim::JobTrace& trace) {
+  dag::TaskCount moved = 0;
+  int previous = 0;
+  for (const auto& q : trace.quanta) {
+    moved += std::abs(q.allotment - previous);
+    previous = q.allotment;
+  }
+  return moved;
+}
+
+double jain_slowdown_fairness(const sim::SimResult& result) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::size_t n = 0;
+  for (const auto& t : result.jobs) {
+    if (!t.finished() || t.critical_path <= 0) {
+      continue;
+    }
+    const double slowdown = static_cast<double>(t.response_time()) /
+                            static_cast<double>(t.critical_path);
+    sum += slowdown;
+    sum_sq += slowdown * slowdown;
+    ++n;
+  }
+  if (n == 0 || sum_sq <= 0.0) {
+    throw std::invalid_argument(
+        "jain_slowdown_fairness: no finished jobs with positive critical "
+        "path");
+  }
+  return sum * sum / (static_cast<double>(n) * sum_sq);
+}
+
+}  // namespace abg::metrics

@@ -1,0 +1,49 @@
+// Per-scheduler diagnostic classifications.
+//
+// A-Greedy's analysis (Agrawal et al., PPoPP'06) classifies each quantum
+// by utilization and satisfaction: inefficient (usage below δ·a·L),
+// efficient-and-satisfied (a = d), efficient-and-deprived (a < d).  The
+// mix is a fingerprint of the feedback dynamics: a stable scheduler spends
+// its life efficient-and-satisfied; A-Greedy's ping-pong alternates
+// efficient-satisfied (doubling) with inefficient (halving) quanta.
+// The module also counts reallocation events — the quantity the paper's
+// introduction worries about and Section 7 never measures.
+#pragma once
+
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace abg::metrics {
+
+/// Quantum mix under A-Greedy's utilization classification.
+struct UtilizationBreakdown {
+  std::size_t inefficient = 0;
+  std::size_t efficient_satisfied = 0;
+  std::size_t efficient_deprived = 0;
+
+  std::size_t total() const {
+    return inefficient + efficient_satisfied + efficient_deprived;
+  }
+};
+
+/// Classifies every quantum of the trace with utilization threshold δ.
+/// Requires 0 < utilization < 1.
+UtilizationBreakdown classify_utilization(const sim::JobTrace& trace,
+                                          double utilization = 0.8);
+
+/// Number of quantum boundaries at which the allotment changed (the
+/// reallocation events the paper's introduction calls out), counting the
+/// initial placement.
+std::size_t reallocation_count(const sim::JobTrace& trace);
+
+/// Total processors moved across all reallocations: Σ |a(q) − a(q−1)|
+/// with a(0) = 0.
+dag::TaskCount processors_migrated(const sim::JobTrace& trace);
+
+/// Jain's fairness index over per-job slowdowns (response time divided by
+/// the job's critical path): (Σx)² / (n·Σx²) ∈ (0, 1], 1 = every job
+/// slowed equally.  A multiprogrammed-fairness complement to makespan and
+/// mean response time.  Requires at least one finished job.
+double jain_slowdown_fairness(const sim::SimResult& result);
+
+}  // namespace abg::metrics

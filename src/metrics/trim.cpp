@@ -1,0 +1,78 @@
+#include "metrics/trim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace abg::metrics {
+
+std::vector<QuantumClass> classify_quanta(const sim::JobTrace& trace) {
+  std::vector<QuantumClass> classes;
+  classes.reserve(trace.quanta.size());
+  for (const auto& q : trace.quanta) {
+    if (!q.full) {
+      classes.push_back(QuantumClass::kNonFull);
+      continue;
+    }
+    const bool deprived = q.deprived();
+    const bool under_parallel =
+        static_cast<double>(q.allotment) < q.average_parallelism();
+    classes.push_back(deprived && under_parallel ? QuantumClass::kAccounted
+                                                 : QuantumClass::kDeductible);
+  }
+  return classes;
+}
+
+TrimBreakdown count_classes(const std::vector<QuantumClass>& classes) {
+  TrimBreakdown b;
+  for (const QuantumClass c : classes) {
+    switch (c) {
+      case QuantumClass::kAccounted:
+        ++b.accounted;
+        break;
+      case QuantumClass::kDeductible:
+        ++b.deductible;
+        break;
+      case QuantumClass::kNonFull:
+        ++b.non_full;
+        break;
+    }
+  }
+  return b;
+}
+
+double trimmed_availability(const std::vector<int>& availability_per_quantum,
+                            dag::Steps quantum_length, dag::Steps trim_steps) {
+  if (quantum_length < 1) {
+    throw std::invalid_argument(
+        "trimmed_availability: quantum_length must be >= 1");
+  }
+  if (trim_steps < 0) {
+    throw std::invalid_argument(
+        "trimmed_availability: trim_steps must be >= 0");
+  }
+  if (availability_per_quantum.empty()) {
+    return 0.0;
+  }
+  const std::size_t trim_quanta = std::min<std::size_t>(
+      availability_per_quantum.size(),
+      static_cast<std::size_t>(
+          (trim_steps + quantum_length - 1) / quantum_length));
+  std::vector<int> sorted = availability_per_quantum;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  double sum = 0.0;
+  const std::size_t kept = sorted.size() - trim_quanta;
+  for (std::size_t i = trim_quanta; i < sorted.size(); ++i) {
+    sum += static_cast<double>(sorted[i]);
+  }
+  return kept > 0 ? sum / static_cast<double>(kept) : 0.0;
+}
+
+double trimmed_availability(const sim::JobTrace& trace,
+                            dag::Steps trim_steps) {
+  const dag::Steps quantum_length =
+      trace.quanta.empty() ? 1 : trace.quanta.front().length;
+  return trimmed_availability(trace.availability_series(), quantum_length,
+                              trim_steps);
+}
+
+}  // namespace abg::metrics

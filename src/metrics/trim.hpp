@@ -1,0 +1,52 @@
+// Trim analysis (Section 6.1).
+//
+// An adversarial OS allocator can offer many processors exactly when a
+// job's parallelism is low, so no non-clairvoyant task scheduler can
+// achieve linear speedup with respect to raw average availability.  Trim
+// analysis removes ("trims") the R time steps with the highest processor
+// availability and measures speedup against the average availability of
+// the rest — the R-trimmed availability.
+//
+// The companion classification splits a job's full quanta into
+//   * accounted  — deprived (a(q) < d(q)) and under-parallel
+//                  (a(q) < A(q)): counted toward speedup;
+//   * deductible — a(q) = d(q) or a(q) >= A(q): trimmed from the analysis;
+// with at most one non-full final quantum.
+#pragma once
+
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace abg::metrics {
+
+/// Classification of one quantum under trim analysis.
+enum class QuantumClass {
+  kAccounted,
+  kDeductible,
+  kNonFull,
+};
+
+/// Classifies every quantum of a trace (Section 6.1's definitions).
+std::vector<QuantumClass> classify_quanta(const sim::JobTrace& trace);
+
+/// Counts per classification.
+struct TrimBreakdown {
+  std::size_t accounted = 0;
+  std::size_t deductible = 0;
+  std::size_t non_full = 0;
+};
+TrimBreakdown count_classes(const std::vector<QuantumClass>& classes);
+
+/// R-trimmed availability: removes the ceil(R/L) quanta with the highest
+/// availability (covering at least `trim_steps` steps) and returns the
+/// average availability over the remaining quanta.  Returns 0 when every
+/// quantum is trimmed.  Requires quantum_length >= 1 and trim_steps >= 0.
+double trimmed_availability(const std::vector<int>& availability_per_quantum,
+                            dag::Steps quantum_length, dag::Steps trim_steps);
+
+/// Convenience overload reading the availability series from a trace.
+double trimmed_availability(const sim::JobTrace& trace,
+                            dag::Steps trim_steps);
+
+}  // namespace abg::metrics

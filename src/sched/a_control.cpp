@@ -1,0 +1,115 @@
+#include "sched/a_control.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace abg::sched {
+
+AControlRequest::AControlRequest(AControlConfig config) : config_(config) {
+  if (config_.convergence_rate < 0.0 || config_.convergence_rate >= 1.0) {
+    throw std::invalid_argument(
+        "AControlRequest: convergence rate must lie in [0, 1)");
+  }
+}
+
+int AControlRequest::next_request(const QuantumStats& completed) {
+  const double parallelism = completed.average_parallelism();
+  if (parallelism <= 0.0) {
+    // No progress measured (e.g. zero allotment): no new information, so
+    // hold the previous desire.
+    return round_request(desire_);
+  }
+  const double r = config_.convergence_rate;
+  // Self-tuning gain K(q+1) = (1 - r) A(q); with e(q) = 1 - d(q)/A(q) the
+  // integral law d+K·e reduces to d(q+1) = r d(q) + (1-r) A(q).
+  gain_ = (1.0 - r) * parallelism;
+  desire_ = r * desire_ + (1.0 - r) * parallelism;
+  return round_request(desire_);
+}
+
+void AControlRequest::reset() {
+  desire_ = 1.0;
+  gain_ = 0.0;
+}
+
+std::unique_ptr<RequestPolicy> AControlRequest::clone() const {
+  return std::make_unique<AControlRequest>(config_);
+}
+
+AutoRateAControlRequest::AutoRateAControlRequest(AutoRateConfig config)
+    : config_(config) {
+  if (config_.max_rate < 0.0 || config_.max_rate >= 1.0) {
+    throw std::invalid_argument(
+        "AutoRateAControlRequest: max_rate must lie in [0, 1)");
+  }
+  if (!(config_.safety > 0.0) || config_.safety >= 1.0) {
+    throw std::invalid_argument(
+        "AutoRateAControlRequest: safety must lie in (0, 1)");
+  }
+}
+
+int AutoRateAControlRequest::next_request(const QuantumStats& completed) {
+  const double parallelism = completed.average_parallelism();
+  if (parallelism <= 0.0) {
+    return round_request(desire_);
+  }
+  // Update the empirical transition factor (Section 5.2, with A(0) = 1).
+  if (completed.full) {
+    const double up = parallelism / previous_parallelism_;
+    const double down = previous_parallelism_ / parallelism;
+    transition_ = std::max({transition_, up, down});
+    previous_parallelism_ = parallelism;
+  }
+  rate_ = std::min(config_.max_rate, config_.safety / transition_);
+  desire_ = rate_ * desire_ + (1.0 - rate_) * parallelism;
+  return round_request(desire_);
+}
+
+void AutoRateAControlRequest::reset() {
+  desire_ = 1.0;
+  previous_parallelism_ = 1.0;
+  transition_ = 1.0;
+  rate_ = 0.0;
+}
+
+std::unique_ptr<RequestPolicy> AutoRateAControlRequest::clone() const {
+  return std::make_unique<AutoRateAControlRequest>(config_);
+}
+
+FilteredAControlRequest::FilteredAControlRequest(
+    FilteredAControlConfig config)
+    : config_(config) {
+  if (config_.convergence_rate < 0.0 || config_.convergence_rate >= 1.0) {
+    throw std::invalid_argument(
+        "FilteredAControlRequest: convergence rate must lie in [0, 1)");
+  }
+  if (!(config_.smoothing > 0.0) || config_.smoothing > 1.0) {
+    throw std::invalid_argument(
+        "FilteredAControlRequest: smoothing must lie in (0, 1]");
+  }
+}
+
+int FilteredAControlRequest::next_request(const QuantumStats& completed) {
+  const double parallelism = completed.average_parallelism();
+  if (parallelism <= 0.0) {
+    return round_request(desire_);
+  }
+  filtered_ = filtered_ > 0.0
+                  ? config_.smoothing * parallelism +
+                        (1.0 - config_.smoothing) * filtered_
+                  : parallelism;  // first measurement seeds the filter
+  const double r = config_.convergence_rate;
+  desire_ = r * desire_ + (1.0 - r) * filtered_;
+  return round_request(desire_);
+}
+
+void FilteredAControlRequest::reset() {
+  desire_ = 1.0;
+  filtered_ = 0.0;
+}
+
+std::unique_ptr<RequestPolicy> FilteredAControlRequest::clone() const {
+  return std::make_unique<FilteredAControlRequest>(config_);
+}
+
+}  // namespace abg::sched

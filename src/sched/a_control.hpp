@@ -1,0 +1,142 @@
+// A-Control: the paper's adaptive (self-tuning) integral controller for
+// processor requests (Section 3).
+//
+// The controller applies the integral control law
+//     d(q+1) = d(q) + K(q+1) · e(q),      e(q) = r_ref − d(q)/A(q),
+// with reference r_ref = 1 and the gain schedule of Theorem 1,
+//     K(q+1) = (1 − r) · A(q),
+// which collapses to the recurrence (Equation 3)
+//     d(q+1) = r · d(q) + (1 − r) · A(q),          d(1) = 1,
+// where r ∈ [0, 1) is the user-configurable convergence rate.  r = 0 gives
+// one-step convergence: d(q+1) = A(q).
+//
+// When a quantum produced no measurable progress (zero allotment), A(q) is
+// undefined and the request is left unchanged.
+#pragma once
+
+#include "sched/request_policy.hpp"
+
+namespace abg::sched {
+
+/// Configuration for A-Control.
+struct AControlConfig {
+  /// Convergence rate r ∈ [0, 1): the closed-loop pole.  The paper's
+  /// simulations use 0.2.
+  double convergence_rate = 0.2;
+};
+
+/// The A-Control request policy.
+class AControlRequest final : public RequestPolicy {
+ public:
+  explicit AControlRequest(AControlConfig config = {});
+
+  int first_request() const override { return 1; }
+  int next_request(const QuantumStats& completed) override;
+  void reset() override;
+  std::string_view name() const override { return "a-control"; }
+  std::unique_ptr<RequestPolicy> clone() const override;
+
+  /// The real-valued internal desire d(q) before integer rounding.
+  double desire() const { return desire_; }
+
+  /// Controller gain K(q+1) that the self-tuning rule would apply after the
+  /// most recent measurement (for control-theoretic inspection).
+  double current_gain() const { return gain_; }
+
+  const AControlConfig& config() const { return config_; }
+
+ private:
+  AControlConfig config_;
+  double desire_ = 1.0;
+  double gain_ = 0.0;
+};
+
+/// Configuration for the self-tuning convergence rate.
+struct AutoRateConfig {
+  /// Upper bound on the rate regardless of the workload (the paper finds
+  /// behaviour degrades past ~0.6).
+  double max_rate = 0.5;
+  /// Safety factor: r is kept at safety / C_est, strictly inside the
+  /// r < 1/C_L region Lemma 2 and Theorems 4-5 require.  Must be in
+  /// (0, 1).
+  double safety = 0.5;
+};
+
+/// A-Control with online convergence-rate selection.
+///
+/// The paper assumes r is "chosen based on some historical
+/// characterization of the workload" so that r < 1/C_L holds.  This
+/// variant builds that characterization while scheduling: it tracks the
+/// empirical transition factor of the measured parallelism series
+/// (seeded with A(0) = 1, exactly the Section 5.2 definition) and applies
+/// Equation 3 with r = min(max_rate, safety / C_est) each quantum.  On a
+/// stable workload the rate rises toward max_rate (smooth requests); on a
+/// wildly swinging workload it falls toward 0 (one-step tracking), which
+/// is also the regime where large r is unsafe.
+class AutoRateAControlRequest final : public RequestPolicy {
+ public:
+  explicit AutoRateAControlRequest(AutoRateConfig config = {});
+
+  int first_request() const override { return 1; }
+  int next_request(const QuantumStats& completed) override;
+  void reset() override;
+  std::string_view name() const override { return "a-control-auto"; }
+  std::unique_ptr<RequestPolicy> clone() const override;
+
+  /// The rate currently in force.
+  double current_rate() const { return rate_; }
+
+  /// The running transition-factor estimate C_est.
+  double estimated_transition_factor() const { return transition_; }
+
+  double desire() const { return desire_; }
+  const AutoRateConfig& config() const { return config_; }
+
+ private:
+  AutoRateConfig config_;
+  double desire_ = 1.0;
+  double previous_parallelism_ = 1.0;  // A(0) = 1
+  double transition_ = 1.0;
+  double rate_ = 0.0;
+};
+
+/// Configuration for the measurement-filtered controller.
+struct FilteredAControlConfig {
+  /// Convergence rate r of the underlying A-Control law.
+  double convergence_rate = 0.2;
+  /// EWMA smoothing factor α ∈ (0, 1]: the filtered measurement is
+  /// Â(q) = α·A(q) + (1−α)·Â(q−1).  α = 1 disables filtering.
+  double smoothing = 0.5;
+};
+
+/// A-Control behind a first-order measurement filter.
+///
+/// On irregular DAGs the per-quantum parallelism measurement A(q) is
+/// noisy: quanta straddling phase boundaries report parallelism that
+/// neither phase exhibits.  Feeding an exponentially-weighted moving
+/// average of the measurements into Equation 3 trades one extra quantum of
+/// reaction lag for immunity to single-quantum spikes.  (An engineering
+/// extension — the paper's controller consumes the raw measurement.)
+class FilteredAControlRequest final : public RequestPolicy {
+ public:
+  explicit FilteredAControlRequest(FilteredAControlConfig config = {});
+
+  int first_request() const override { return 1; }
+  int next_request(const QuantumStats& completed) override;
+  void reset() override;
+  std::string_view name() const override { return "a-control-filtered"; }
+  std::unique_ptr<RequestPolicy> clone() const override;
+
+  double desire() const { return desire_; }
+  /// The filtered measurement Â after the latest update; 0 before any
+  /// measurement.
+  double filtered_parallelism() const { return filtered_; }
+  const FilteredAControlConfig& config() const { return config_; }
+
+ private:
+  FilteredAControlConfig config_;
+  double desire_ = 1.0;
+  double filtered_ = 0.0;
+};
+
+}  // namespace abg::sched

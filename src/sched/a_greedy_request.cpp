@@ -1,0 +1,39 @@
+#include "sched/a_greedy_request.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace abg::sched {
+
+AGreedyRequest::AGreedyRequest(AGreedyConfig config) : config_(config) {
+  if (config_.utilization <= 0.0 || config_.utilization >= 1.0) {
+    throw std::invalid_argument(
+        "AGreedyRequest: utilization threshold must lie in (0, 1)");
+  }
+  if (config_.responsiveness <= 1.0) {
+    throw std::invalid_argument(
+        "AGreedyRequest: responsiveness must be > 1");
+  }
+}
+
+int AGreedyRequest::next_request(const QuantumStats& completed) {
+  const double usage = static_cast<double>(completed.work);
+  const double capacity = static_cast<double>(completed.allotment) *
+                          static_cast<double>(completed.length);
+  const bool inefficient = usage < config_.utilization * capacity;
+  if (inefficient) {
+    desire_ = std::max(1.0, desire_ / config_.responsiveness);
+  } else if (!completed.deprived()) {
+    desire_ *= config_.responsiveness;
+  }
+  // Efficient but deprived: desire unchanged.
+  return round_request(desire_);
+}
+
+void AGreedyRequest::reset() { desire_ = 1.0; }
+
+std::unique_ptr<RequestPolicy> AGreedyRequest::clone() const {
+  return std::make_unique<AGreedyRequest>(config_);
+}
+
+}  // namespace abg::sched

@@ -1,0 +1,60 @@
+// A-Greedy's request rule (Agrawal, He, Hsu, Leiserson, PPoPP 2006) — the
+// baseline the paper compares against.
+//
+// A-Greedy classifies each quantum by its utilization and satisfaction:
+//   * inefficient — usage T1(q) < δ · a(q) · L  (utilization below the
+//     threshold δ);
+//   * efficient and deprived — utilization ≥ δ and a(q) < d(q);
+//   * efficient and satisfied — utilization ≥ δ and a(q) = d(q);
+// and then applies multiplicative-increase multiplicative-decrease:
+//   inefficient            →  d(q+1) = d(q) / ρ
+//   efficient ∧ satisfied  →  d(q+1) = d(q) · ρ
+//   efficient ∧ deprived   →  d(q+1) = d(q)
+// (an efficient deprived quantum gives no evidence the job could use more
+// than the still-ungranted request, so the desire holds; an efficient
+// satisfied quantum means everything requested was productively used, so
+// the desire grows).
+// with responsiveness ρ > 1 and utilization threshold δ ∈ (0, 1).
+// The paper keeps the settings of He et al. [12]: δ = 0.8, ρ = 2.
+//
+// This rule is the source of the request instability in Figures 1 and 4(b):
+// on a job with constant parallelism A the desire ping-pongs around A
+// instead of settling.
+#pragma once
+
+#include "sched/request_policy.hpp"
+
+namespace abg::sched {
+
+/// Configuration for the A-Greedy request rule.
+struct AGreedyConfig {
+  /// Utilization threshold δ ∈ (0, 1).
+  double utilization = 0.8;
+  /// Responsiveness (multiplicative factor) ρ > 1.
+  double responsiveness = 2.0;
+};
+
+/// The A-Greedy multiplicative-increase multiplicative-decrease policy.
+/// (Non-final: A-Steal reuses the identical rule under its own name, fed
+/// by work-stealing usage measurements.)
+class AGreedyRequest : public RequestPolicy {
+ public:
+  explicit AGreedyRequest(AGreedyConfig config = {});
+
+  int first_request() const override { return 1; }
+  int next_request(const QuantumStats& completed) override;
+  void reset() override;
+  std::string_view name() const override { return "a-greedy"; }
+  std::unique_ptr<RequestPolicy> clone() const override;
+
+  /// The real-valued internal desire before integer rounding.
+  double desire() const { return desire_; }
+
+  const AGreedyConfig& config() const { return config_; }
+
+ private:
+  AGreedyConfig config_;
+  double desire_ = 1.0;
+};
+
+}  // namespace abg::sched

@@ -1,0 +1,33 @@
+#include "sched/execution_policy.hpp"
+
+#include <stdexcept>
+
+namespace abg::sched {
+
+QuantumStats ExecutionPolicy::run_quantum(dag::Job& job, std::int64_t index,
+                                          int request, int allotment,
+                                          dag::Steps quantum_length) const {
+  if (allotment < 0 || quantum_length <= 0) {
+    throw std::invalid_argument(
+        "ExecutionPolicy::run_quantum: invalid allotment or quantum length");
+  }
+  const dag::QuantumExecution exec =
+      job.run_quantum(allotment, quantum_length, order());
+  QuantumStats stats;
+  stats.index = index;
+  stats.request = request;
+  stats.allotment = allotment;
+  stats.length = quantum_length;
+  stats.steps_used = exec.steps;
+  stats.work = exec.work;
+  stats.cpl = exec.cpl;
+  stats.finished = exec.finished;
+  // Full quantum: work on every step of the quantum.  A job that finished
+  // before the last step, ran an idle step, or had a zero allotment is
+  // non-full; finishing exactly on the quantum's final step still counts.
+  stats.full = allotment > 0 && exec.idle_steps == 0 &&
+               exec.steps == quantum_length;
+  return stats;
+}
+
+}  // namespace abg::sched

@@ -1,0 +1,62 @@
+// Task execution policies: how ready tasks are picked within each step.
+//
+// B-Greedy (Section 2) is greedy scheduling with breadth-first
+// (lowest-level-first) priority; the plain greedy scheduler that A-Greedy
+// builds on picks ready tasks in arbitrary order (we use FIFO).  Both
+// execute up to a(q) ready tasks per unit step.  The policy also performs
+// the per-quantum measurement: it runs the job for one quantum and returns
+// the QuantumStats the request policy feeds on.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "dag/job.hpp"
+#include "sched/quantum_stats.hpp"
+
+namespace abg::sched {
+
+/// Strategy for executing a job within scheduling quanta.
+class ExecutionPolicy {
+ public:
+  virtual ~ExecutionPolicy() = default;
+
+  /// The pick order this policy imposes on ready tasks.
+  virtual dag::PickOrder order() const = 0;
+
+  /// Human-readable policy name.
+  virtual std::string_view name() const = 0;
+
+  virtual std::unique_ptr<ExecutionPolicy> clone() const = 0;
+
+  /// Executes one quantum of `job` with the given allotment and quantum
+  /// length, returning the measured statistics.  `index` and `request` are
+  /// recorded into the stats for the request policy's benefit.
+  QuantumStats run_quantum(dag::Job& job, std::int64_t index, int request,
+                           int allotment, dag::Steps quantum_length) const;
+};
+
+/// Plain greedy execution (arbitrary / FIFO pick order).
+class GreedyExecution final : public ExecutionPolicy {
+ public:
+  dag::PickOrder order() const override { return dag::PickOrder::kFifo; }
+  std::string_view name() const override { return "greedy"; }
+  std::unique_ptr<ExecutionPolicy> clone() const override {
+    return std::make_unique<GreedyExecution>();
+  }
+};
+
+/// B-Greedy: greedy execution with breadth-first (lowest level first)
+/// priority, enabling exact quantum-parallelism measurement.
+class BGreedyExecution final : public ExecutionPolicy {
+ public:
+  dag::PickOrder order() const override {
+    return dag::PickOrder::kBreadthFirst;
+  }
+  std::string_view name() const override { return "b-greedy"; }
+  std::unique_ptr<ExecutionPolicy> clone() const override {
+    return std::make_unique<BGreedyExecution>();
+  }
+};
+
+}  // namespace abg::sched

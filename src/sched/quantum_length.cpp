@@ -1,0 +1,73 @@
+#include "sched/quantum_length.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace abg::sched {
+
+FixedQuantumLength::FixedQuantumLength(dag::Steps length) : length_(length) {
+  if (length < 1) {
+    throw std::invalid_argument("FixedQuantumLength: length must be >= 1");
+  }
+}
+
+dag::Steps FixedQuantumLength::next_length(const QuantumStats& /*completed*/) {
+  return length_;
+}
+
+std::unique_ptr<QuantumLengthPolicy> FixedQuantumLength::clone() const {
+  return std::make_unique<FixedQuantumLength>(length_);
+}
+
+AdaptiveQuantumLength::AdaptiveQuantumLength(AdaptiveQuantumConfig config)
+    : config_(config), current_(config.min_length) {
+  if (config_.min_length < 1 || config_.max_length < config_.min_length) {
+    throw std::invalid_argument(
+        "AdaptiveQuantumLength: requires 1 <= min_length <= max_length");
+  }
+  if (!(config_.stability_tolerance > 0.0)) {
+    throw std::invalid_argument(
+        "AdaptiveQuantumLength: stability tolerance must be positive");
+  }
+  if (config_.stable_quanta_to_grow < 1) {
+    throw std::invalid_argument(
+        "AdaptiveQuantumLength: stable_quanta_to_grow must be >= 1");
+  }
+}
+
+dag::Steps AdaptiveQuantumLength::next_length(const QuantumStats& completed) {
+  const double parallelism = completed.average_parallelism();
+  if (parallelism <= 0.0) {
+    // No measurement: keep the current length.
+    return current_;
+  }
+  const bool stable =
+      previous_parallelism_ > 0.0 &&
+      std::fabs(parallelism - previous_parallelism_) <=
+          config_.stability_tolerance * previous_parallelism_;
+  previous_parallelism_ = parallelism;
+  if (stable) {
+    if (++stable_streak_ >= config_.stable_quanta_to_grow) {
+      current_ = std::min(config_.max_length, current_ * 2);
+      stable_streak_ = 0;
+    }
+  } else {
+    // Parallelism moved: fall back to the reactive floor.
+    current_ = config_.min_length;
+    stable_streak_ = 0;
+  }
+  return current_;
+}
+
+void AdaptiveQuantumLength::reset() {
+  current_ = config_.min_length;
+  previous_parallelism_ = 0.0;
+  stable_streak_ = 0;
+}
+
+std::unique_ptr<QuantumLengthPolicy> AdaptiveQuantumLength::clone() const {
+  return std::make_unique<AdaptiveQuantumLength>(config_);
+}
+
+}  // namespace abg::sched

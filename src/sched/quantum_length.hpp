@@ -1,0 +1,88 @@
+// Quantum-length policies (the paper's Section 9 future work: "dynamically
+// adjusting the quantum length ... to achieve better system wide
+// adaptivity").
+//
+// The quantum length L trades reallocation overhead against reactivity:
+// long quanta amortize the feedback loop but hold stale allotments through
+// parallelism changes (waste), short quanta track the job closely but
+// re-run the convergence transient constantly.  AdaptiveQuantumLength
+// lengthens L geometrically while the measured parallelism is stable and
+// resets it to the minimum when the parallelism jumps — an additive
+// realization of the paper's suggestion, benchmarked in
+// bench/ablation_policies.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "sched/quantum_stats.hpp"
+
+namespace abg::sched {
+
+/// Strategy choosing the next scheduling quantum's length.
+class QuantumLengthPolicy {
+ public:
+  virtual ~QuantumLengthPolicy() = default;
+
+  /// Length of the job's first quantum.
+  virtual dag::Steps initial_length() const = 0;
+
+  /// Length of the next quantum given the just-completed quantum's
+  /// statistics.
+  virtual dag::Steps next_length(const QuantumStats& completed) = 0;
+
+  /// Resets internal state for a fresh job.
+  virtual void reset() = 0;
+
+  virtual std::string_view name() const = 0;
+  virtual std::unique_ptr<QuantumLengthPolicy> clone() const = 0;
+};
+
+/// The paper's baseline: a constant quantum length.
+class FixedQuantumLength final : public QuantumLengthPolicy {
+ public:
+  /// Requires length >= 1.
+  explicit FixedQuantumLength(dag::Steps length);
+
+  dag::Steps initial_length() const override { return length_; }
+  dag::Steps next_length(const QuantumStats& completed) override;
+  void reset() override {}
+  std::string_view name() const override { return "fixed"; }
+  std::unique_ptr<QuantumLengthPolicy> clone() const override;
+
+ private:
+  dag::Steps length_;
+};
+
+/// Stability-driven quantum lengthening.
+struct AdaptiveQuantumConfig {
+  /// Length of the first quantum and the floor after a parallelism jump.
+  dag::Steps min_length = 250;
+  /// Cap on the geometric growth.
+  dag::Steps max_length = 4000;
+  /// Relative parallelism change below which a quantum counts as stable.
+  double stability_tolerance = 0.2;
+  /// Consecutive stable quanta required before the length doubles.
+  int stable_quanta_to_grow = 2;
+};
+
+class AdaptiveQuantumLength final : public QuantumLengthPolicy {
+ public:
+  explicit AdaptiveQuantumLength(AdaptiveQuantumConfig config = {});
+
+  dag::Steps initial_length() const override { return config_.min_length; }
+  dag::Steps next_length(const QuantumStats& completed) override;
+  void reset() override;
+  std::string_view name() const override { return "adaptive"; }
+  std::unique_ptr<QuantumLengthPolicy> clone() const override;
+
+  const AdaptiveQuantumConfig& config() const { return config_; }
+
+ private:
+  AdaptiveQuantumConfig config_;
+  dag::Steps current_;
+  double previous_parallelism_ = 0.0;
+  int stable_streak_ = 0;
+};
+
+}  // namespace abg::sched

@@ -1,0 +1,75 @@
+// Per-quantum statistics.
+//
+// Everything the feedback algorithms and the analysis see about a quantum:
+// the request d(q), the allotment a(q), the measured quantum work T1(q) and
+// quantum critical-path length T∞(q), and quantities derived from them —
+// the average parallelism A(q) = T1(q)/T∞(q) and the efficiencies
+// α(q) = T1(q)/(a(q)·L) and β(q) = T∞(q)/L of Section 5.1.
+#pragma once
+
+#include <cstdint>
+
+#include "dag/job.hpp"
+
+namespace abg::sched {
+
+/// Measured statistics of one scheduling quantum of one job.
+struct QuantumStats {
+  /// 1-based quantum index q (per job).
+  std::int64_t index = 0;
+  /// Global simulation step at which this quantum began.
+  dag::Steps start_step = 0;
+  /// Processor request d(q) sent to the OS allocator for this quantum.
+  int request = 0;
+  /// Allotment a(q) = min{d(q), p(q)} granted by the allocator.
+  int allotment = 0;
+  /// Processor availability p(q) for this job: its allotment plus whatever
+  /// the allocator left unassigned this quantum.  Trim analysis averages
+  /// this over non-trimmed quanta.
+  int available = 0;
+  /// Quantum length L in unit steps.
+  dag::Steps length = 0;
+  /// Steps the job actually consumed (< length only in its final quantum).
+  dag::Steps steps_used = 0;
+  /// Quantum work T1(q): tasks completed.
+  dag::TaskCount work = 0;
+  /// Quantum critical-path length T∞(q): fractional levels advanced.
+  double cpl = 0.0;
+  /// True when the job completed during this quantum.
+  bool finished = false;
+  /// Full quantum: work was done on every step (Section 5.1).  Only a job's
+  /// last quantum can be non-full when each job always has >= 1 processor.
+  bool full = false;
+
+  /// Quantum average parallelism A(q) = T1(q)/T∞(q); 0 when no progress.
+  double average_parallelism() const {
+    return cpl > 0.0 ? static_cast<double>(work) / cpl : 0.0;
+  }
+
+  /// Quantum work efficiency α(q) = T1(q)/(a(q)·L); 0 for a zero allotment.
+  double work_efficiency() const {
+    const double denom =
+        static_cast<double>(allotment) * static_cast<double>(length);
+    return denom > 0.0 ? static_cast<double>(work) / denom : 0.0;
+  }
+
+  /// Quantum critical-path efficiency β(q) = T∞(q)/L.
+  double cpl_efficiency() const {
+    return length > 0 ? cpl / static_cast<double>(length) : 0.0;
+  }
+
+  /// Deprived: the allocator granted fewer processors than requested.
+  bool deprived() const { return allotment < request; }
+
+  /// Processor cycles allotted but not spent executing tasks in this
+  /// quantum.  The allotment is held for the entire quantum (processors are
+  /// reassigned only at quantum boundaries), so a job finishing early still
+  /// wastes the remainder.
+  dag::TaskCount waste() const {
+    return static_cast<dag::TaskCount>(allotment) *
+               static_cast<dag::TaskCount>(length) -
+           work;
+  }
+};
+
+}  // namespace abg::sched

@@ -1,0 +1,34 @@
+#include "sched/request_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace abg::sched {
+
+StaticRequest::StaticRequest(int processors) : processors_(processors) {
+  if (processors < 1) {
+    throw std::invalid_argument("StaticRequest: processors must be >= 1");
+  }
+}
+
+int StaticRequest::next_request(const QuantumStats& /*completed*/) {
+  return processors_;
+}
+
+std::unique_ptr<RequestPolicy> StaticRequest::clone() const {
+  return std::make_unique<StaticRequest>(processors_);
+}
+
+int round_request(double desire) {
+  if (!std::isfinite(desire)) {
+    throw std::invalid_argument("round_request: non-finite desire");
+  }
+  const double clamped =
+      std::clamp(desire, 1.0,
+                 static_cast<double>(std::numeric_limits<int>::max() / 2));
+  return static_cast<int>(std::llround(clamped));
+}
+
+}  // namespace abg::sched

@@ -1,0 +1,59 @@
+// Processor-request policies: the parallelism feedback.
+//
+// Between quanta the task scheduler reports a processor request d(q+1) to
+// the OS allocator.  The paper's contribution is A-Control (an adaptive
+// integral controller, sched/a_control.hpp); the baseline is A-Greedy's
+// multiplicative-increase multiplicative-decrease rule
+// (sched/a_greedy_request.hpp).  StaticRequest brackets them from below
+// (no adaptivity at all).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "sched/quantum_stats.hpp"
+
+namespace abg::sched {
+
+/// Strategy for computing the next quantum's processor request.
+class RequestPolicy {
+ public:
+  virtual ~RequestPolicy() = default;
+
+  /// Request for the job's first quantum, d(1).
+  virtual int first_request() const { return 1; }
+
+  /// Request for the next quantum, given the just-finished quantum's
+  /// measured statistics.  Called once per completed quantum, in order.
+  virtual int next_request(const QuantumStats& completed) = 0;
+
+  /// Resets internal state so the policy can drive a fresh job.
+  virtual void reset() = 0;
+
+  /// Human-readable policy name.
+  virtual std::string_view name() const = 0;
+
+  virtual std::unique_ptr<RequestPolicy> clone() const = 0;
+};
+
+/// Constant request (a non-adaptive lower bracket; equivalent to running
+/// the job on a fixed allotment).
+class StaticRequest final : public RequestPolicy {
+ public:
+  /// Requests `processors` every quantum.  Requires processors >= 1.
+  explicit StaticRequest(int processors);
+
+  int first_request() const override { return processors_; }
+  int next_request(const QuantumStats& completed) override;
+  void reset() override {}
+  std::string_view name() const override { return "static"; }
+  std::unique_ptr<RequestPolicy> clone() const override;
+
+ private:
+  int processors_;
+};
+
+/// Rounds a real-valued request to an integer processor count >= 1.
+int round_request(double desire);
+
+}  // namespace abg::sched

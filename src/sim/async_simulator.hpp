@@ -1,0 +1,41 @@
+// Asynchronous-quanta multiprogrammed simulator.
+//
+// The synchronous simulator (sim/simulator.hpp) assumes all jobs share
+// global quantum boundaries — the standard simplification (and the setup
+// Figure 6 implies).  In the two-level model as described, however, each
+// job's scheduling quanta are its own: a job measures and re-requests
+// every L steps *from its admission*, so boundaries interleave
+// arbitrarily.  This engine simulates that: processors are re-partitioned
+// (dynamic equi-partitioning over the active jobs' current requests)
+// whenever ANY event occurs — a job boundary, an admission, or a
+// completion — which means a job's allotment can change mid-quantum when
+// a neighbour's boundary triggers reclamation.
+//
+// Accounting consequences, reflected in the produced QuantumStats:
+//   * `allotment` is the round of the time-averaged processors held over
+//     the quantum (the allotment is no longer constant within a quantum);
+//   * `available` is the time-averaged allotment plus unassigned
+//     processors;
+//   * waste = held processor-steps − work, accumulated exactly.
+//
+// Everything downstream (request policies, traces, metrics) is unchanged:
+// feedback still sees per-quantum T1(q), T∞(q), capacity.
+#pragma once
+
+#include "sched/execution_policy.hpp"
+#include "sched/request_policy.hpp"
+#include "sim/simulator.hpp"
+
+namespace abg::sim {
+
+/// Simulates the job set with per-job quantum boundaries and
+/// equi-partition reclamation at every event.  Jobs are admitted FCFS up
+/// to the admission cap, as in the synchronous engine.  Reallocation
+/// overhead is not supported in this engine (config.reallocation_cost_per_proc
+/// must be 0).
+SimResult simulate_job_set_async(std::vector<JobSubmission> submissions,
+                                 const sched::ExecutionPolicy& execution,
+                                 const sched::RequestPolicy& request_prototype,
+                                 const SimConfig& config);
+
+}  // namespace abg::sim

@@ -1,0 +1,125 @@
+#include "sim/quantum_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace abg::sim {
+
+namespace {
+
+dag::Steps default_step_bound(const dag::Job& job,
+                              const SingleJobConfig& config,
+                              dag::Steps max_quantum) {
+  // A job always making progress on >= 1 processor needs at most T1 steps;
+  // add slack for quantum rounding and pathological feedback.
+  const dag::Steps slack = std::max(config.quantum_length, max_quantum);
+  const dag::Steps work_bound = 4 * job.total_work() + 8 * slack;
+  return std::max<dag::Steps>(work_bound, 64 * slack);
+}
+
+}  // namespace
+
+dag::Steps reallocation_penalty(int previous_allotment, int allotment,
+                                dag::Steps cost_per_proc,
+                                dag::Steps quantum_length) {
+  if (cost_per_proc <= 0) {
+    return 0;
+  }
+  const auto delta = static_cast<dag::Steps>(
+      allotment > previous_allotment ? allotment - previous_allotment
+                                     : previous_allotment - allotment);
+  return std::min(quantum_length, cost_per_proc * delta);
+}
+
+JobTrace run_single_job(dag::Job& job, const sched::ExecutionPolicy& execution,
+                        sched::RequestPolicy& request,
+                        alloc::Allocator& allocator,
+                        const SingleJobConfig& config) {
+  sched::FixedQuantumLength fixed(
+      config.quantum_length >= 1 ? config.quantum_length : 1);
+  return run_single_job(job, execution, request, fixed, allocator, config);
+}
+
+JobTrace run_single_job(dag::Job& job, const sched::ExecutionPolicy& execution,
+                        sched::RequestPolicy& request,
+                        sched::QuantumLengthPolicy& quantum_length,
+                        alloc::Allocator& allocator,
+                        const SingleJobConfig& config) {
+  if (config.processors < 1) {
+    throw std::invalid_argument("run_single_job: processors must be >= 1");
+  }
+  if (config.quantum_length < 1) {
+    throw std::invalid_argument(
+        "run_single_job: quantum length must be >= 1");
+  }
+  request.reset();
+  quantum_length.reset();
+
+  JobTrace trace;
+  trace.work = job.total_work();
+  trace.critical_path = job.critical_path();
+  if (job.finished()) {
+    trace.completion_step = 0;
+    return trace;
+  }
+
+  dag::Steps length = quantum_length.initial_length();
+  const dag::Steps max_steps =
+      config.max_steps > 0
+          ? config.max_steps
+          : default_step_bound(job, config, length);
+  int desire = request.first_request();
+  int previous_allotment = 0;
+  dag::Steps now = 0;
+  std::int64_t q = 0;
+  while (!job.finished()) {
+    ++q;
+    const int pool = allocator.pool(config.processors);
+    const std::vector<int> allotments =
+        allocator.allocate({desire}, config.processors);
+    const int allotment = allotments.at(0);
+    // Migration penalty: the quantum's first `penalty` steps do no work.
+    const dag::Steps penalty = reallocation_penalty(
+        previous_allotment, allotment, config.reallocation_cost_per_proc,
+        length);
+    previous_allotment = allotment;
+    sched::QuantumStats stats;
+    if (penalty < length) {
+      stats = execution.run_quantum(job, q, desire, allotment,
+                                    length - penalty);
+    } else {
+      stats.index = q;
+      stats.request = desire;
+      stats.allotment = allotment;
+      stats.finished = job.finished();
+    }
+    stats.length = length;
+    stats.steps_used += penalty;
+    if (penalty > 0) {
+      stats.full = false;  // the migration steps did no work
+    }
+    stats.available = allotment + std::max(0, pool - allotment);
+    stats.start_step = now;
+    trace.quanta.push_back(stats);
+    if (stats.finished) {
+      trace.completion_step = now + stats.steps_used;
+    }
+    now += length;
+    if (!job.finished()) {
+      if (now >= max_steps) {
+        throw std::runtime_error(
+            "run_single_job: exceeded step bound; feedback loop is not "
+            "making progress");
+      }
+      desire = request.next_request(stats);
+      length = quantum_length.next_length(stats);
+      if (length < 1) {
+        throw std::logic_error(
+            "run_single_job: quantum-length policy returned length < 1");
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace abg::sim

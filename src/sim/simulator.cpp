@@ -1,0 +1,222 @@
+#include "sim/simulator.hpp"
+
+#include "sim/quantum_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace abg::sim {
+
+namespace {
+
+struct JobState {
+  std::unique_ptr<dag::Job> job;
+  std::unique_ptr<sched::RequestPolicy> request;
+  JobTrace trace;
+  int desire = 1;
+  int previous_allotment = 0;
+  std::int64_t local_quantum = 0;
+  bool active = false;
+  bool done = false;
+};
+
+}  // namespace
+
+SimResult simulate_job_set(std::vector<JobSubmission> submissions,
+                           const sched::ExecutionPolicy& execution,
+                           const sched::RequestPolicy& request_prototype,
+                           alloc::Allocator& allocator,
+                           const SimConfig& config) {
+  if (config.processors < 1) {
+    throw std::invalid_argument("simulate_job_set: processors must be >= 1");
+  }
+  if (config.quantum_length < 1) {
+    throw std::invalid_argument(
+        "simulate_job_set: quantum length must be >= 1");
+  }
+  allocator.reset();
+
+  std::vector<JobState> states;
+  states.reserve(submissions.size());
+  dag::TaskCount total_work = 0;
+  for (auto& sub : submissions) {
+    if (!sub.job) {
+      throw std::invalid_argument("simulate_job_set: null job");
+    }
+    if (sub.release_step < 0) {
+      throw std::invalid_argument("simulate_job_set: negative release step");
+    }
+    JobState st;
+    st.job = std::move(sub.job);
+    st.request = request_prototype.clone();
+    st.request->reset();
+    st.trace.release_step = sub.release_step;
+    st.trace.work = st.job->total_work();
+    st.trace.critical_path = st.job->critical_path();
+    total_work += st.trace.work;
+    if (st.job->finished()) {  // zero-work job
+      st.done = true;
+      st.trace.completion_step = sub.release_step;
+    }
+    states.push_back(std::move(st));
+  }
+
+  dag::Steps latest_release = 0;
+  for (const JobState& st : states) {
+    latest_release = std::max(latest_release, st.trace.release_step);
+  }
+  const dag::Steps max_steps =
+      config.max_steps > 0
+          ? config.max_steps
+          : latest_release + 8 * total_work + 64 * config.quantum_length;
+
+  SimResult result;
+  dag::Steps now = 0;
+  std::vector<std::size_t> active_idx;
+  std::vector<int> requests;
+  std::size_t remaining =
+      static_cast<std::size_t>(std::count_if(states.begin(), states.end(),
+                                             [](const JobState& s) {
+                                               return !s.done;
+                                             }));
+
+  const std::size_t max_active =
+      config.max_active_jobs > 0
+          ? static_cast<std::size_t>(config.max_active_jobs)
+          : static_cast<std::size_t>(config.processors);
+
+  while (remaining > 0) {
+    // Admit jobs released by the current boundary, FCFS by release step
+    // (ties by submission order), up to the admission cap.
+    active_idx.clear();
+    requests.clear();
+    std::size_t active_count = 0;
+    for (const JobState& st : states) {
+      if (st.active) {
+        ++active_count;
+      }
+    }
+    // Candidates are scanned in submission order; releases were not
+    // required to be sorted, so pick the earliest-released eligible job
+    // until the cap fills.
+    while (active_count < max_active) {
+      std::size_t best = states.size();
+      for (std::size_t i = 0; i < states.size(); ++i) {
+        const JobState& st = states[i];
+        if (st.done || st.active || st.trace.release_step > now) {
+          continue;
+        }
+        if (best == states.size() ||
+            st.trace.release_step < states[best].trace.release_step) {
+          best = i;
+        }
+      }
+      if (best == states.size()) {
+        break;
+      }
+      states[best].active = true;
+      states[best].desire = states[best].request->first_request();
+      ++active_count;
+    }
+    // One request slot per submitted job, in stable submission order:
+    // inactive (unreleased, queued, finished) jobs request 0.  Stable
+    // positions let positional allocators (per-job weights) work across
+    // job completions.
+    requests.assign(states.size(), 0);
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      JobState& st = states[i];
+      if (st.active) {
+        active_idx.push_back(i);
+        requests[i] = st.desire;
+      }
+    }
+
+    if (active_idx.empty()) {
+      // All remaining jobs are released in the future: idle to the next
+      // release boundary.
+      dag::Steps next_release = max_steps;
+      for (const JobState& st : states) {
+        if (!st.done) {
+          next_release = std::min(next_release, st.trace.release_step);
+        }
+      }
+      const dag::Steps gap = next_release - now;
+      const dag::Steps quanta_to_skip =
+          std::max<dag::Steps>(1, gap / config.quantum_length);
+      now += quanta_to_skip * config.quantum_length;
+      if (now >= max_steps) {
+        throw std::runtime_error("simulate_job_set: exceeded step bound");
+      }
+      continue;
+    }
+
+    ++result.quanta;
+    const int pool = allocator.pool(config.processors);
+    const std::vector<int> allotments =
+        allocator.allocate(requests, config.processors);
+    int assigned = 0;
+    for (const int a : allotments) {
+      assigned += a;
+    }
+    const int leftover = std::max(0, pool - assigned);
+
+    for (const std::size_t i : active_idx) {
+      JobState& st = states[i];
+      const int allotment = allotments[i];
+      ++st.local_quantum;
+      const dag::Steps penalty = reallocation_penalty(
+          st.previous_allotment, allotment,
+          config.reallocation_cost_per_proc, config.quantum_length);
+      st.previous_allotment = allotment;
+      sched::QuantumStats stats;
+      if (penalty < config.quantum_length) {
+        stats = execution.run_quantum(*st.job, st.local_quantum, st.desire,
+                                      allotment,
+                                      config.quantum_length - penalty);
+      } else {
+        stats.index = st.local_quantum;
+        stats.request = st.desire;
+        stats.allotment = allotment;
+        stats.finished = st.job->finished();
+      }
+      stats.length = config.quantum_length;
+      stats.steps_used += penalty;
+      if (penalty > 0) {
+        stats.full = false;
+      }
+      stats.available = allotment + leftover;
+      stats.start_step = now;
+      st.trace.quanta.push_back(stats);
+      if (stats.finished) {
+        st.trace.completion_step = now + stats.steps_used;
+        st.done = true;
+        st.active = false;
+        --remaining;
+      } else {
+        st.desire = st.request->next_request(stats);
+      }
+    }
+
+    now += config.quantum_length;
+    if (remaining > 0 && now >= max_steps) {
+      throw std::runtime_error(
+          "simulate_job_set: exceeded step bound; scheduling is not making "
+          "progress");
+    }
+  }
+
+  // Aggregate metrics.
+  double response_sum = 0.0;
+  for (JobState& st : states) {
+    result.makespan = std::max(result.makespan, st.trace.completion_step);
+    response_sum += static_cast<double>(st.trace.response_time());
+    result.total_waste += st.trace.total_waste();
+    result.jobs.push_back(std::move(st.trace));
+  }
+  result.mean_response_time =
+      states.empty() ? 0.0
+                     : response_sum / static_cast<double>(states.size());
+  return result;
+}
+
+}  // namespace abg::sim

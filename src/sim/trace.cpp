@@ -1,0 +1,67 @@
+#include "sim/trace.hpp"
+
+#include <stdexcept>
+
+namespace abg::sim {
+
+dag::Steps JobTrace::response_time() const {
+  if (!finished()) {
+    throw std::logic_error("JobTrace::response_time: job did not finish");
+  }
+  return completion_step - release_step;
+}
+
+dag::TaskCount JobTrace::total_waste() const {
+  dag::TaskCount waste = 0;
+  for (const auto& q : quanta) {
+    waste += q.waste();
+  }
+  return waste;
+}
+
+dag::TaskCount JobTrace::total_allotted() const {
+  dag::TaskCount cycles = 0;
+  for (const auto& q : quanta) {
+    cycles += static_cast<dag::TaskCount>(q.allotment) *
+              static_cast<dag::TaskCount>(q.length);
+  }
+  return cycles;
+}
+
+std::vector<double> JobTrace::request_series() const {
+  std::vector<double> out;
+  out.reserve(quanta.size());
+  for (const auto& q : quanta) {
+    out.push_back(static_cast<double>(q.request));
+  }
+  return out;
+}
+
+std::vector<double> JobTrace::parallelism_series() const {
+  std::vector<double> out;
+  out.reserve(quanta.size());
+  for (const auto& q : quanta) {
+    out.push_back(q.average_parallelism());
+  }
+  return out;
+}
+
+std::vector<int> JobTrace::allotment_series() const {
+  std::vector<int> out;
+  out.reserve(quanta.size());
+  for (const auto& q : quanta) {
+    out.push_back(q.allotment);
+  }
+  return out;
+}
+
+std::vector<int> JobTrace::availability_series() const {
+  std::vector<int> out;
+  out.reserve(quanta.size());
+  for (const auto& q : quanta) {
+    out.push_back(q.available);
+  }
+  return out;
+}
+
+}  // namespace abg::sim

@@ -1,0 +1,55 @@
+// Per-job execution traces.
+//
+// Every quantum a job runs produces a QuantumStats record; a JobTrace is
+// the full history plus the job's intrinsic characteristics, from which all
+// of the paper's per-job measurements are derived: running time, processor
+// waste, the request/parallelism series of Figures 1 and 4, and the
+// empirical transition factor.
+#pragma once
+
+#include <vector>
+
+#include "dag/job.hpp"
+#include "sched/quantum_stats.hpp"
+
+namespace abg::sim {
+
+/// Complete record of one job's scheduled execution.
+struct JobTrace {
+  /// Step at which the job was released.
+  dag::Steps release_step = 0;
+  /// Step at which the job's last task completed; -1 if it never finished.
+  dag::Steps completion_step = -1;
+  /// The job's total work T1.
+  dag::TaskCount work = 0;
+  /// The job's critical-path length T∞.
+  dag::Steps critical_path = 0;
+  /// Per-quantum statistics in execution order.
+  std::vector<sched::QuantumStats> quanta;
+
+  bool finished() const { return completion_step >= 0; }
+
+  /// Response (running) time: completion − release, in unit steps.
+  /// Requires the job to have finished.
+  dag::Steps response_time() const;
+
+  /// Total wasted processor cycles: Σ_q a(q)·L − T1(q).
+  dag::TaskCount total_waste() const;
+
+  /// Total processor cycles allotted: Σ_q a(q)·L.
+  dag::TaskCount total_allotted() const;
+
+  /// The request series d(1), d(2), ...
+  std::vector<double> request_series() const;
+
+  /// The measured parallelism series A(1), A(2), ...
+  std::vector<double> parallelism_series() const;
+
+  /// The allotment series a(1), a(2), ...
+  std::vector<int> allotment_series() const;
+
+  /// The availability series p(1), p(2), ...
+  std::vector<int> availability_series() const;
+};
+
+}  // namespace abg::sim

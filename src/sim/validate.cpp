@@ -1,0 +1,165 @@
+#include "sim/validate.hpp"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace abg::sim {
+
+namespace {
+
+void check(std::vector<std::string>& issues, bool ok,
+           const std::string& message) {
+  if (!ok) {
+    issues.push_back(message);
+  }
+}
+
+std::string at_quantum(std::size_t i, const std::string& what) {
+  std::ostringstream oss;
+  oss << "quantum " << (i + 1) << ": " << what;
+  return oss.str();
+}
+
+}  // namespace
+
+std::vector<std::string> validate_trace(const JobTrace& trace) {
+  std::vector<std::string> issues;
+
+  dag::TaskCount total_work = 0;
+  double total_cpl = 0.0;
+  for (std::size_t i = 0; i < trace.quanta.size(); ++i) {
+    const auto& q = trace.quanta[i];
+    check(issues, q.index == static_cast<std::int64_t>(i + 1),
+          at_quantum(i, "non-sequential index"));
+    check(issues, q.length >= 1, at_quantum(i, "non-positive length"));
+    check(issues, q.allotment >= 0 && q.allotment <= q.request,
+          at_quantum(i, "allotment outside [0, request]"));
+    check(issues, q.available >= q.allotment,
+          at_quantum(i, "availability below allotment"));
+    check(issues, q.work >= 0, at_quantum(i, "negative work"));
+    check(issues,
+          q.work <= static_cast<dag::TaskCount>(q.allotment) *
+                        static_cast<dag::TaskCount>(q.length),
+          at_quantum(i, "work exceeds allotment capacity"));
+    // Note: per-quantum cpl is NOT bounded by the quantum length on
+    // irregular DAGs — one step may complete tasks on several levels whose
+    // sizes are small (e.g. independent branches of different depths), so
+    // the fractional progress Σ 1/|level| can exceed 1 per step.  Only the
+    // whole-job total is bounded (by T∞, checked below).
+    check(issues, q.cpl >= -1e-9,
+          at_quantum(i, "negative critical-path progress"));
+    check(issues, q.steps_used >= 0 && q.steps_used <= q.length,
+          at_quantum(i, "steps_used outside [0, length]"));
+    check(issues, q.waste() >= 0, at_quantum(i, "negative waste"));
+    check(issues, !q.full || q.steps_used == q.length,
+          at_quantum(i, "full quantum with unused steps"));
+    const bool is_last = i + 1 == trace.quanta.size();
+    check(issues, !q.finished || is_last,
+          at_quantum(i, "finished flag before the final quantum"));
+    // Work implies positive cpl (completed tasks advance some level
+    // fractionally).
+    check(issues, q.work == 0 || q.cpl > 0.0,
+          at_quantum(i, "work done without critical-path progress"));
+    total_work += q.work;
+    total_cpl += q.cpl;
+  }
+
+  check(issues, total_work <= trace.work,
+        "total quantum work exceeds the job's T1");
+  if (trace.finished()) {
+    check(issues, total_work == trace.work,
+          "finished job's quantum work does not sum to T1");
+    check(issues,
+          std::fabs(total_cpl - static_cast<double>(trace.critical_path)) <
+              1e-6 * std::max<double>(1.0,
+                                      static_cast<double>(
+                                          trace.critical_path)),
+          "finished job's quantum cpl does not sum to T_inf");
+    check(issues,
+          trace.quanta.empty() || trace.quanta.back().finished ||
+              trace.work == 0,
+          "finished trace whose last quantum is not marked finished");
+    check(issues, trace.completion_step >= trace.release_step,
+          "completion before release");
+  }
+  return issues;
+}
+
+std::vector<std::string> validate_result(const SimResult& result,
+                                         int processors) {
+  std::vector<std::string> issues;
+  if (processors < 1) {
+    issues.emplace_back("processors must be >= 1");
+    return issues;
+  }
+  dag::Steps max_completion = 0;
+  double response_sum = 0.0;
+  dag::TaskCount waste_sum = 0;
+  for (std::size_t j = 0; j < result.jobs.size(); ++j) {
+    const JobTrace& t = result.jobs[j];
+    for (std::string& issue : validate_trace(t)) {
+      issues.push_back("job " + std::to_string(j) + ": " + issue);
+    }
+    if (!t.finished()) {
+      issues.push_back("job " + std::to_string(j) + ": never finished");
+      continue;
+    }
+    max_completion = std::max(max_completion, t.completion_step);
+    response_sum += static_cast<double>(t.response_time());
+    waste_sum += t.total_waste();
+  }
+  check(issues, result.makespan == max_completion,
+        "makespan is not the max completion step");
+  if (!result.jobs.empty()) {
+    const double mean =
+        response_sum / static_cast<double>(result.jobs.size());
+    check(issues,
+          std::fabs(result.mean_response_time - mean) <
+              1e-9 * std::max(1.0, mean),
+          "mean response time does not match the per-job mean");
+  }
+  check(issues, result.total_waste == waste_sum,
+        "total waste does not match the per-job sum");
+
+  // Machine bound per global quantum.  Only checkable when the simulation
+  // used uniform quantum lengths on global boundaries (every quantum
+  // starts at a multiple of L): the asynchronous engine's quanta start at
+  // arbitrary offsets and record rounded time-averaged allotments, for
+  // which an instantaneous sum is not reconstructible.
+  dag::Steps quantum_length = 0;
+  bool uniform = true;
+  for (const JobTrace& t : result.jobs) {
+    for (const auto& q : t.quanta) {
+      if (quantum_length == 0) {
+        quantum_length = q.length;
+      } else if (q.length != quantum_length) {
+        uniform = false;
+      }
+    }
+  }
+  if (uniform && quantum_length > 0) {
+    for (const JobTrace& t : result.jobs) {
+      for (const auto& q : t.quanta) {
+        if (q.start_step % quantum_length != 0) {
+          uniform = false;
+        }
+      }
+    }
+  }
+  if (uniform && quantum_length > 0) {
+    std::map<dag::Steps, int> usage;
+    for (const JobTrace& t : result.jobs) {
+      for (const auto& q : t.quanta) {
+        usage[q.start_step] += q.allotment;
+      }
+    }
+    for (const auto& [start, total] : usage) {
+      check(issues, total <= processors,
+            "machine oversubscribed at step " + std::to_string(start));
+    }
+  }
+  return issues;
+}
+
+}  // namespace abg::sim

@@ -1,0 +1,34 @@
+// Trace and result consistency checking.
+//
+// A JobTrace encodes many redundant facts (per-quantum work vs allotment,
+// step accounting, completion bookkeeping, the greedy efficiency
+// relations); validate_trace cross-checks them all and returns a list of
+// human-readable violations.  The integration tests run every produced
+// trace through it, and simulation users can do the same to catch
+// scheduler bugs early.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace abg::sim {
+
+/// Returns all internal inconsistencies of the trace (empty = valid).
+/// Checks: sequential quantum indexes, allotment within [0, request],
+/// work within the allotment's capacity, fractional cpl within
+/// [0, length], step accounting, the finished flag appearing exactly on
+/// the final quantum, totals matching the job's T1 / T∞ when finished,
+/// availability >= allotment, and non-negative waste.
+std::vector<std::string> validate_trace(const JobTrace& trace);
+
+/// Validates every job trace of a result plus the aggregates: makespan is
+/// the max completion, mean response time is the mean of per-job response
+/// times, total waste is the sum, and — when quantum lengths are uniform —
+/// no global quantum oversubscribes the machine.
+std::vector<std::string> validate_result(const SimResult& result,
+                                         int processors);
+
+}  // namespace abg::sim

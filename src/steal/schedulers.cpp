@@ -1,0 +1,18 @@
+#include "steal/schedulers.hpp"
+
+namespace abg::steal {
+
+core::SchedulerSpec a_steal_spec(sched::AGreedyConfig config) {
+  return core::SchedulerSpec{"A-Steal",
+                             std::make_unique<WorkStealingExecution>(),
+                             std::make_unique<AStealRequest>(config)};
+}
+
+core::SchedulerSpec abp_spec(int processors) {
+  return core::SchedulerSpec{"ABP",
+                             std::make_unique<WorkStealingExecution>(),
+                             std::make_unique<sched::StaticRequest>(
+                                 processors)};
+}
+
+}  // namespace abg::steal

@@ -1,0 +1,52 @@
+// The work-stealing schedulers of the paper's related work (Section 8):
+//
+//   * A-Steal (Agrawal, He, Leiserson) — distributed work stealing WITH
+//     parallelism feedback: the same multiplicative-increase
+//     multiplicative-decrease desire rule as A-Greedy, driven by the
+//     quantum's usage (completed work; steal attempts and idle worker
+//     steps burn allotted cycles without contributing usage).
+//   * ABP (Arora, Blumofe, Plaxton) — work stealing WITHOUT feedback: the
+//     job simply requests the whole machine every quantum.  The empirical
+//     study in Agrawal et al. [2] found A-Steal far more efficient than
+//     ABP in multiprogrammed settings; the baselines bench reproduces that
+//     comparison alongside ABG.
+#pragma once
+
+#include "core/run.hpp"
+#include "sched/a_greedy_request.hpp"
+#include "sched/execution_policy.hpp"
+
+namespace abg::steal {
+
+/// Execution policy tag for work-stealing jobs.  The pick order is decided
+/// by the deque discipline inside WorkStealingJob; the value passed through
+/// is ignored.
+class WorkStealingExecution final : public sched::ExecutionPolicy {
+ public:
+  dag::PickOrder order() const override { return dag::PickOrder::kFifo; }
+  std::string_view name() const override { return "work-stealing"; }
+  std::unique_ptr<sched::ExecutionPolicy> clone() const override {
+    return std::make_unique<WorkStealingExecution>();
+  }
+};
+
+/// A-Steal's desire rule: A-Greedy's MIMD rule under its own name.
+class AStealRequest final : public sched::AGreedyRequest {
+ public:
+  explicit AStealRequest(sched::AGreedyConfig config = {})
+      : AGreedyRequest(config) {}
+  std::string_view name() const override { return "a-steal"; }
+  std::unique_ptr<sched::RequestPolicy> clone() const override {
+    return std::make_unique<AStealRequest>(config());
+  }
+};
+
+/// A-Steal: work-stealing execution + MIMD feedback (δ = 0.8, ρ = 2 by
+/// default, the settings of [2]).
+core::SchedulerSpec a_steal_spec(sched::AGreedyConfig config = {});
+
+/// ABP: work-stealing execution, no feedback — always requests the whole
+/// machine.  Requires processors >= 1.
+core::SchedulerSpec abp_spec(int processors);
+
+}  // namespace abg::steal

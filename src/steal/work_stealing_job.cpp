@@ -1,0 +1,148 @@
+#include "steal/work_stealing_job.hpp"
+
+#include <stdexcept>
+
+namespace abg::steal {
+
+WorkStealingJob::WorkStealingJob(dag::DagStructure structure,
+                                 std::uint64_t seed)
+    : WorkStealingJob(dag::build_topology(std::move(structure)), seed) {}
+
+WorkStealingJob::WorkStealingJob(std::shared_ptr<const dag::Topology> topo,
+                                 std::uint64_t seed)
+    : topo_(std::move(topo)), seed_(seed), rng_(seed) {
+  initialize_runtime_state();
+}
+
+void WorkStealingJob::initialize_runtime_state() {
+  const std::size_t n = topo_->structure.node_count();
+  pending_parents_ = topo_->initial_parents;
+  workers_.assign(1, Worker{});
+  ready_ = 0;
+  completed_ = 0;
+  level_progress_ = 0.0;
+  counters_ = StealCounters{};
+  // The job starts on a single processor: all sources in worker 0's deque.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pending_parents_[i] == 0) {
+      workers_[0].deque.push_back(static_cast<dag::NodeId>(i));
+      ++ready_;
+    }
+  }
+}
+
+bool WorkStealingJob::finished() const { return completed_ == total_work(); }
+
+void WorkStealingJob::resize_workers(std::size_t procs) {
+  if (procs == workers_.size()) {
+    return;
+  }
+  if (procs > workers_.size()) {
+    workers_.resize(procs);
+    return;
+  }
+  // Allotment shrank: mug the orphaned deques (and in-flight tasks) onto
+  // the surviving workers round-robin.
+  for (std::size_t i = procs; i < workers_.size(); ++i) {
+    Worker& orphan = workers_[i];
+    const std::size_t target = procs > 0 ? i % procs : 0;
+    if (!orphan.deque.empty() || orphan.current >= 0) {
+      ++counters_.muggings;
+    }
+    if (orphan.current >= 0) {
+      workers_[target].deque.push_back(
+          static_cast<dag::NodeId>(orphan.current));
+      orphan.current = -1;
+    }
+    while (!orphan.deque.empty()) {
+      workers_[target].deque.push_back(orphan.deque.front());
+      orphan.deque.pop_front();
+    }
+  }
+  workers_.resize(procs);
+}
+
+void WorkStealingJob::complete_task(dag::NodeId id, std::size_t worker) {
+  ++completed_;
+  --ready_;
+  level_progress_ +=
+      1.0 / static_cast<double>(topo_->level_size[topo_->level[id]]);
+  for (const dag::NodeId child : topo_->structure.children[id]) {
+    if (--pending_parents_[child] == 0) {
+      workers_[worker].deque.push_back(child);
+      ++ready_;
+    }
+  }
+}
+
+dag::TaskCount WorkStealingJob::step(int procs, dag::PickOrder /*order*/) {
+  if (procs < 0) {
+    throw std::invalid_argument(
+        "WorkStealingJob::step: negative processor count");
+  }
+  if (finished() || procs == 0) {
+    return 0;
+  }
+  resize_workers(static_cast<std::size_t>(procs));
+
+  // Phase 1: every worker either executes a task or attempts one steal.
+  // `executing[i]` records the task worker i completes this step.
+  std::vector<std::int64_t> executing(workers_.size(), -1);
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    Worker& w = workers_[i];
+    if (w.current < 0 && !w.deque.empty()) {
+      // Owner pops from the bottom.
+      w.current = w.deque.back();
+      w.deque.pop_back();
+    }
+    if (w.current >= 0) {
+      executing[i] = w.current;
+      w.current = -1;
+      continue;
+    }
+    // Out of work: one steal attempt at a uniformly random victim; a
+    // stolen task begins executing on the next step.
+    ++counters_.steal_attempts;
+    if (workers_.size() > 1) {
+      auto victim = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(workers_.size()) - 2));
+      if (victim >= i) {
+        ++victim;  // skip self
+      }
+      Worker& v = workers_[victim];
+      if (!v.deque.empty()) {
+        // Thief takes from the top.
+        w.current = v.deque.front();
+        v.deque.pop_front();
+        ++counters_.successful_steals;
+        continue;
+      }
+    }
+    ++counters_.idle_worker_steps;
+  }
+
+  // Phase 2: completions take effect at the end of the step; enabled
+  // children land in the completing worker's deque.
+  dag::TaskCount done = 0;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (executing[i] >= 0) {
+      complete_task(static_cast<dag::NodeId>(executing[i]), i);
+      ++done;
+    }
+  }
+  return done;
+}
+
+dag::TaskCount WorkStealingJob::total_work() const {
+  return static_cast<dag::TaskCount>(topo_->structure.node_count());
+}
+
+dag::Steps WorkStealingJob::critical_path() const {
+  return topo_->critical_path;
+}
+
+std::unique_ptr<dag::Job> WorkStealingJob::fresh_clone() const {
+  return std::unique_ptr<dag::Job>(new WorkStealingJob(topo_, seed_));
+}
+
+}  // namespace abg::steal

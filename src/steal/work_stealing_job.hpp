@@ -1,0 +1,88 @@
+// Distributed work-stealing execution (the substrate behind A-Steal and
+// ABP, Section 8's related work).
+//
+// Instead of a centralized ready queue, each allotted processor owns a
+// deque of ready tasks: owners push/pop at the bottom; an out-of-work
+// processor spends a time step attempting to steal from the top of a
+// uniformly random victim's deque (Arora-Blumofe-Plaxton discipline) and
+// can execute the stolen task from the next step.  Steal attempts and idle
+// steps consume allotted processor cycles without completing work — that
+// is exactly the waste A-Steal's feedback tries to control.
+//
+// WorkStealingJob implements the Job interface, so the whole two-level
+// machinery (quantum engine, allocators, request policies) drives it
+// unchanged; `step(procs, ...)` executes one unit step with `procs`
+// workers.  When the allotment shrinks between steps, the orphaned deques
+// are "mugged": their tasks are appended to the surviving workers' deques.
+// Steal-victim selection is driven by a per-job seeded RNG, so runs are
+// exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "dag/job.hpp"
+#include "dag/topology.hpp"
+#include "util/rng.hpp"
+
+namespace abg::steal {
+
+/// Per-run statistics specific to work stealing.
+struct StealCounters {
+  /// Steps some worker spent attempting a steal.
+  std::int64_t steal_attempts = 0;
+  /// Attempts that obtained a task.
+  std::int64_t successful_steals = 0;
+  /// Worker-steps with an empty deque and a failed or skipped steal.
+  std::int64_t idle_worker_steps = 0;
+  /// Deque migrations caused by allotment shrinkage.
+  std::int64_t muggings = 0;
+};
+
+/// A malleable job executed by randomized work stealing.
+class WorkStealingJob final : public dag::Job {
+ public:
+  /// Validates the DAG (via the same topology machinery as DagJob) and
+  /// seeds the steal-victim RNG.
+  WorkStealingJob(dag::DagStructure structure, std::uint64_t seed);
+
+  bool finished() const override;
+  /// One unit step with `procs` workers.  The PickOrder is ignored: task
+  /// order is dictated by the deque discipline.
+  dag::TaskCount step(int procs, dag::PickOrder order) override;
+  dag::TaskCount total_work() const override;
+  dag::Steps critical_path() const override;
+  dag::TaskCount completed_work() const override { return completed_; }
+  double level_progress() const override { return level_progress_; }
+  dag::TaskCount ready_count() const override { return ready_; }
+  std::unique_ptr<dag::Job> fresh_clone() const override;
+
+  const StealCounters& counters() const { return counters_; }
+
+ private:
+  struct Worker {
+    std::deque<dag::NodeId> deque;
+    /// Task acquired (stolen or popped) that executes this step; -1 none.
+    std::int64_t current = -1;
+  };
+
+  WorkStealingJob(std::shared_ptr<const dag::Topology> topo,
+                  std::uint64_t seed);
+  void initialize_runtime_state();
+  void resize_workers(std::size_t procs);
+  void complete_task(dag::NodeId id, std::size_t worker);
+
+  std::shared_ptr<const dag::Topology> topo_;
+  std::uint64_t seed_;
+  util::Rng rng_;
+  std::vector<Worker> workers_;
+  std::vector<std::uint32_t> pending_parents_;
+  dag::TaskCount ready_ = 0;
+  dag::TaskCount completed_ = 0;
+  double level_progress_ = 0.0;
+  StealCounters counters_;
+};
+
+}  // namespace abg::steal

@@ -1,0 +1,46 @@
+#include "util/bootstrap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace abg::util {
+
+ConfidenceInterval bootstrap_mean(const std::vector<double>& samples,
+                                  std::uint64_t seed, int resamples,
+                                  double confidence) {
+  if (samples.empty()) {
+    throw std::invalid_argument("bootstrap_mean: empty sample set");
+  }
+  if (resamples < 1) {
+    throw std::invalid_argument("bootstrap_mean: resamples must be >= 1");
+  }
+  if (!(confidence > 0.0) || confidence >= 1.0) {
+    throw std::invalid_argument(
+        "bootstrap_mean: confidence must lie in (0, 1)");
+  }
+  ConfidenceInterval ci;
+  ci.point = mean_of(samples);
+  if (samples.size() == 1) {
+    ci.lower = ci.upper = ci.point;
+    return ci;
+  }
+  Rng rng(seed);
+  const auto n = static_cast<std::int64_t>(samples.size());
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  for (int b = 0; b < resamples; ++b) {
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      sum += samples[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+    }
+    means.push_back(sum / static_cast<double>(n));
+  }
+  const double tail = (1.0 - confidence) / 2.0;
+  ci.lower = quantile(means, tail);
+  ci.upper = quantile(std::move(means), 1.0 - tail);
+  return ci;
+}
+
+}  // namespace abg::util

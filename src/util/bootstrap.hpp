@@ -1,0 +1,31 @@
+// Percentile-bootstrap confidence intervals.
+//
+// The figure harnesses report mean performance ratios over randomized
+// workloads; a bootstrap interval states how much of the reported effect
+// is sampling noise.  Deterministic given the seed, like everything else
+// in the library.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace abg::util {
+
+/// A two-sided confidence interval around a point estimate.
+struct ConfidenceInterval {
+  double point = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Percentile bootstrap for the mean of `samples`: resamples with
+/// replacement `resamples` times and returns the (1-confidence)/2 and
+/// 1-(1-confidence)/2 quantiles of the resampled means.  Requires a
+/// non-empty sample set, resamples >= 1 and confidence in (0, 1).
+ConfidenceInterval bootstrap_mean(const std::vector<double>& samples,
+                                  std::uint64_t seed, int resamples = 1000,
+                                  double confidence = 0.95);
+
+}  // namespace abg::util

@@ -1,0 +1,106 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+namespace abg::util {
+
+namespace {
+
+bool is_flag(const std::string& arg) {
+  return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+}  // namespace
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!is_flag(arg)) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      const std::string name = body.substr(0, eq);
+      if (name.empty()) {
+        throw std::invalid_argument("Cli: malformed flag '" + arg + "'");
+      }
+      flags_[name] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag; otherwise a
+    // bare boolean flag.
+    if (i + 1 < argc && !is_flag(argv[i + 1])) {
+      flags_[body] = argv[i + 1];
+      ++i;
+    } else {
+      flags_[body] = "true";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.contains(name); }
+
+std::string Cli::get(const std::string& name,
+                     const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name,
+                          std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  try {
+    std::size_t pos = 0;
+    const std::int64_t value = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) {
+      throw std::invalid_argument("trailing characters");
+    }
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Cli: flag --" + name +
+                                " expects an integer, got '" + it->second +
+                                "'");
+  }
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(it->second, &pos);
+    if (pos != it->second.size()) {
+      throw std::invalid_argument("trailing characters");
+    }
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Cli: flag --" + name +
+                                " expects a real number, got '" + it->second +
+                                "'");
+  }
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no" || v == "off") {
+    return false;
+  }
+  throw std::invalid_argument("Cli: flag --" + name +
+                              " expects a boolean, got '" + v + "'");
+}
+
+}  // namespace abg::util

@@ -1,0 +1,49 @@
+// Minimal command-line flag parsing for the bench / example binaries.
+//
+// Supports `--name=value`, `--name value` and boolean `--name` forms.  The
+// binaries use only a handful of flags (seed, sizes, --full, --csv), so a
+// small hand-rolled parser keeps the repository dependency-free.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace abg::util {
+
+/// Parsed command-line flags.
+class Cli {
+ public:
+  /// Parses argv.  Unrecognized positional arguments are collected in
+  /// `positional()`.  Throws std::invalid_argument on a malformed flag
+  /// (e.g. `--=3`).
+  Cli(int argc, const char* const* argv);
+
+  /// True if --name was present in any form.
+  bool has(const std::string& name) const;
+
+  /// Returns the flag's value, or `fallback` if absent.  A bare boolean flag
+  /// returns "true".
+  std::string get(const std::string& name, const std::string& fallback) const;
+
+  /// Integer-valued flag; throws std::invalid_argument when the value does
+  /// not parse.
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+
+  /// Real-valued flag; throws std::invalid_argument when the value does not
+  /// parse.
+  double get_double(const std::string& name, double fallback) const;
+
+  /// Boolean flag: present without value, or with value true/false/1/0.
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace abg::util

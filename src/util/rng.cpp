@@ -1,0 +1,72 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace abg::util {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) {
+    throw std::invalid_argument("Rng::uniform_int: lo > hi");
+  }
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  if (!(lo < hi)) {
+    throw std::invalid_argument("Rng::uniform_real: requires lo < hi");
+  }
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::log_uniform(double lo, double hi) {
+  if (!(lo > 0.0) || lo > hi) {
+    throw std::invalid_argument("Rng::log_uniform: requires 0 < lo <= hi");
+  }
+  if (lo == hi) {
+    return lo;
+  }
+  const double u = uniform_real(std::log(lo), std::log(hi));
+  return std::clamp(std::exp(u), lo, hi);
+}
+
+bool Rng::bernoulli(double p) {
+  const double q = std::clamp(p, 0.0, 1.0);
+  if (q <= 0.0) {
+    return false;
+  }
+  if (q >= 1.0) {
+    return true;
+  }
+  std::bernoulli_distribution dist(q);
+  return dist(engine_);
+}
+
+std::int64_t Rng::geometric(double p, std::int64_t max_value) {
+  if (!(p > 0.0) || p > 1.0) {
+    throw std::invalid_argument("Rng::geometric: requires 0 < p <= 1");
+  }
+  if (max_value < 0) {
+    throw std::invalid_argument("Rng::geometric: requires max_value >= 0");
+  }
+  if (p >= 1.0) {
+    return 0;
+  }
+  std::geometric_distribution<std::int64_t> dist(p);
+  return std::min<std::int64_t>(dist(engine_), max_value);
+}
+
+Rng Rng::split() {
+  // Mix two draws through splitmix64-style finalization so child streams do
+  // not overlap with the parent's continued output in practice.
+  std::uint64_t z = engine_() + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= (z >> 31);
+  return Rng(z ^ engine_());
+}
+
+}  // namespace abg::util

@@ -1,0 +1,103 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace abg::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  return n_ > 0 ? min_ : std::numeric_limits<double>::infinity();
+}
+
+double RunningStats::max() const {
+  return n_ > 0 ? max_ : -std::numeric_limits<double>::infinity();
+}
+
+double quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) {
+    throw std::invalid_argument("quantile: empty sample set");
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double mean_of(const std::vector<double>& samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("mean_of: empty sample set");
+  }
+  RunningStats acc;
+  for (double s : samples) {
+    acc.add(s);
+  }
+  return acc.mean();
+}
+
+double geometric_mean(const std::vector<double>& samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("geometric_mean: empty sample set");
+  }
+  double log_sum = 0.0;
+  for (double s : samples) {
+    if (!(s > 0.0)) {
+      throw std::invalid_argument("geometric_mean: non-positive sample");
+    }
+    log_sum += std::log(s);
+  }
+  return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+bool approx_equal(double a, double b, double rel_tol, double abs_tol) {
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= abs_tol + rel_tol * scale;
+}
+
+}  // namespace abg::util

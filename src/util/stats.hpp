@@ -1,0 +1,72 @@
+// Streaming summary statistics and small numeric helpers.
+//
+// Experiments aggregate thousands of per-job and per-quantum samples; the
+// accumulators here compute mean / variance / extrema in one pass (Welford's
+// algorithm) without storing samples, plus a quantile helper for the few
+// places (trim analysis diagnostics) that need order statistics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace abg::util {
+
+/// One-pass accumulator for mean, variance, min and max.
+class RunningStats {
+ public:
+  /// Adds one sample.
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel-friendly reduce).
+  void merge(const RunningStats& other);
+
+  /// Number of samples added.
+  std::size_t count() const { return n_; }
+
+  /// Sample mean; 0 when empty.
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const;
+
+  /// Sample standard deviation.
+  double stddev() const;
+
+  /// Smallest sample; +inf when empty.
+  double min() const;
+
+  /// Largest sample; -inf when empty.
+  double max() const;
+
+  /// Sum of all samples.
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `samples` using linear
+/// interpolation between order statistics.  Throws on an empty input.
+double quantile(std::vector<double> samples, double q);
+
+/// Arithmetic mean of a vector; throws on empty input.
+double mean_of(const std::vector<double>& samples);
+
+/// Geometric mean of strictly positive samples; throws on empty input or a
+/// non-positive sample.
+double geometric_mean(const std::vector<double>& samples);
+
+/// True when |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
+bool approx_equal(double a, double b, double rel_tol = 1e-9,
+                  double abs_tol = 1e-12);
+
+/// Integer ceiling division for non-negative operands.
+constexpr long long ceil_div(long long num, long long den) {
+  return (num + den - 1) / den;
+}
+
+}  // namespace abg::util

@@ -1,0 +1,47 @@
+// Tabular output for the benchmark harness.
+//
+// Every figure-reproduction binary prints its series both as an aligned
+// ASCII table (human-readable) and as CSV (machine-readable, for replotting
+// the paper's figures).  Table collects rows of heterogeneous cells and
+// renders either form.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace abg::util {
+
+/// A simple column-aligned table with CSV export.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a pre-formatted row.  The row must have exactly as many cells
+  /// as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each double with `precision` significant decimal
+  /// places.
+  void add_numeric_row(const std::vector<double>& values, int precision = 4);
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return headers_.size(); }
+
+  /// Renders the table with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Renders the table as RFC-4180-style CSV (no quoting of cells; callers
+  /// must not embed commas in cell text).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed decimal places.
+std::string format_double(double value, int precision = 4);
+
+}  // namespace abg::util

@@ -1,0 +1,41 @@
+#include "workload/arrivals.hpp"
+
+#include <stdexcept>
+
+namespace abg::workload {
+
+std::vector<dag::Steps> batched_releases(std::size_t jobs) {
+  return std::vector<dag::Steps>(jobs, 0);
+}
+
+std::vector<dag::Steps> staggered_releases(std::size_t jobs,
+                                           dag::Steps gap) {
+  if (gap < 0) {
+    throw std::invalid_argument("staggered_releases: gap must be >= 0");
+  }
+  std::vector<dag::Steps> releases(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    releases[i] = static_cast<dag::Steps>(i) * gap;
+  }
+  return releases;
+}
+
+std::vector<dag::Steps> poisson_releases(util::Rng& rng, std::size_t jobs,
+                                         double mean_gap) {
+  if (!(mean_gap > 0.0)) {
+    throw std::invalid_argument("poisson_releases: mean gap must be > 0");
+  }
+  std::vector<dag::Steps> releases(jobs);
+  dag::Steps now = 0;
+  const double p = 1.0 / (1.0 + mean_gap);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    releases[i] = now;
+    // Geometric inter-arrival with mean (1 - p)/p = mean_gap, truncated
+    // far into the tail so a single draw cannot stall the simulation.
+    now += rng.geometric(
+        p, static_cast<dag::Steps>(mean_gap * 64.0) + 64);
+  }
+  return releases;
+}
+
+}  // namespace abg::workload

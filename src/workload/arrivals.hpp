@@ -1,0 +1,28 @@
+// Release-time (arrival) schedules.
+//
+// Theorem 5 bounds the makespan for job sets with *arbitrary* release
+// times and the mean response time for *batched* releases.  These helpers
+// produce the release schedules the experiments use: batched (all at 0),
+// evenly staggered, and memoryless (geometric inter-arrival times — the
+// discrete analogue of Poisson arrivals).
+#pragma once
+
+#include <vector>
+
+#include "dag/job.hpp"
+#include "util/rng.hpp"
+
+namespace abg::workload {
+
+/// All jobs released at step 0.
+std::vector<dag::Steps> batched_releases(std::size_t jobs);
+
+/// Job i released at i * gap.  Requires gap >= 0.
+std::vector<dag::Steps> staggered_releases(std::size_t jobs, dag::Steps gap);
+
+/// Memoryless arrivals: inter-arrival gaps drawn geometrically with the
+/// given mean (in steps), first job at step 0.  Requires mean_gap > 0.
+std::vector<dag::Steps> poisson_releases(util::Rng& rng, std::size_t jobs,
+                                         double mean_gap);
+
+}  // namespace abg::workload

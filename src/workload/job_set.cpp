@@ -1,0 +1,56 @@
+#include "workload/job_set.hpp"
+
+#include <stdexcept>
+
+namespace abg::workload {
+
+std::vector<GeneratedJob> make_job_set(util::Rng& rng,
+                                       const JobSetSpec& spec) {
+  if (!(spec.load > 0.0)) {
+    throw std::invalid_argument("make_job_set: load must be positive");
+  }
+  if (spec.processors < 1) {
+    throw std::invalid_argument("make_job_set: processors must be >= 1");
+  }
+  if (!(spec.min_transition_factor >= 1.0) ||
+      spec.max_transition_factor < spec.min_transition_factor) {
+    throw std::invalid_argument("make_job_set: bad transition factor range");
+  }
+
+  const double target_parallelism =
+      spec.load * static_cast<double>(spec.processors);
+  std::vector<GeneratedJob> jobs;
+  double accumulated = 0.0;
+  while ((jobs.empty() || accumulated < target_parallelism) &&
+         jobs.size() < static_cast<std::size_t>(spec.processors)) {
+    ForkJoinSpec fj;
+    fj.transition_factor = rng.log_uniform(spec.min_transition_factor,
+                                           spec.max_transition_factor);
+    fj.phase_pairs = spec.phase_pairs;
+    fj.min_phase_levels = spec.min_phase_levels;
+    fj.max_phase_levels = spec.max_phase_levels;
+
+    GeneratedJob gj;
+    gj.job = make_fork_join_job(rng, fj);
+    gj.target_transition_factor = fj.transition_factor;
+    gj.average_parallelism =
+        static_cast<double>(gj.job->total_work()) /
+        static_cast<double>(gj.job->critical_path());
+    accumulated += gj.average_parallelism;
+    jobs.push_back(std::move(gj));
+  }
+  return jobs;
+}
+
+double realized_load(const std::vector<GeneratedJob>& jobs, int processors) {
+  if (processors < 1) {
+    throw std::invalid_argument("realized_load: processors must be >= 1");
+  }
+  double sum = 0.0;
+  for (const GeneratedJob& j : jobs) {
+    sum += j.average_parallelism;
+  }
+  return sum / static_cast<double>(processors);
+}
+
+}  // namespace abg::workload

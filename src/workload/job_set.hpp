@@ -1,0 +1,52 @@
+// Job-set generation for the multiprogrammed experiments (Figure 6).
+//
+// Section 7.2: jobs with different transition factors are grouped into job
+// sets of a target system load, where load is the average parallelism of
+// the entire job set normalized by the machine size P.  A set is built by
+// drawing per-job transition factors log-uniformly from a range and adding
+// fork-join jobs until the summed average parallelism reaches load · P
+// (respecting the |J| <= P requirement of the analysis).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dag/profile_job.hpp"
+#include "util/rng.hpp"
+#include "workload/fork_join.hpp"
+
+namespace abg::workload {
+
+/// Parameters of the job-set generator.
+struct JobSetSpec {
+  /// Target load: Σ_j (T1_j / T∞_j) ≈ load · processors.
+  double load = 1.0;
+  /// Machine size P; also the cap on |J|.
+  int processors = 128;
+  /// Range of per-job target transition factors, drawn log-uniformly.
+  double min_transition_factor = 2.0;
+  double max_transition_factor = 100.0;
+  /// Per-job fork-join shape (phase lengths kept moderate so a whole set
+  /// simulates quickly; the figure-6 harness scales them by quantum
+  /// length).
+  int phase_pairs = 4;
+  dag::Steps min_phase_levels = 250;
+  dag::Steps max_phase_levels = 2000;
+};
+
+/// One generated job plus the parameters it was generated with.
+struct GeneratedJob {
+  std::unique_ptr<dag::ProfileJob> job;
+  double target_transition_factor = 1.0;
+  double average_parallelism = 0.0;
+};
+
+/// Generates a job set matching the spec.  Always returns at least one job
+/// and at most `spec.processors` jobs.
+std::vector<GeneratedJob> make_job_set(util::Rng& rng, const JobSetSpec& spec);
+
+/// Total average parallelism of a generated set divided by P: the realized
+/// load.
+double realized_load(const std::vector<GeneratedJob>& jobs, int processors);
+
+}  // namespace abg::workload

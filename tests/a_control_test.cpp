@@ -1,0 +1,119 @@
+#include "sched/a_control.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace abg::sched {
+namespace {
+
+QuantumStats stats_with_parallelism(double parallelism,
+                                    dag::Steps length = 100) {
+  QuantumStats q;
+  q.length = length;
+  q.cpl = 10.0;
+  q.work = static_cast<dag::TaskCount>(std::llround(parallelism * q.cpl));
+  q.full = true;
+  return q;
+}
+
+TEST(AControl, RejectsBadConvergenceRate) {
+  EXPECT_THROW(AControlRequest(AControlConfig{-0.1}), std::invalid_argument);
+  EXPECT_THROW(AControlRequest(AControlConfig{1.0}), std::invalid_argument);
+  EXPECT_NO_THROW(AControlRequest(AControlConfig{0.0}));
+  EXPECT_NO_THROW(AControlRequest(AControlConfig{0.99}));
+}
+
+TEST(AControl, FirstRequestIsOne) {
+  AControlRequest policy;
+  EXPECT_EQ(policy.first_request(), 1);
+}
+
+TEST(AControl, Equation3Recurrence) {
+  // d(q+1) = r d(q) + (1-r) A(q), d(1) = 1.
+  const double r = 0.2;
+  AControlRequest policy(AControlConfig{r});
+  double expected = 1.0;
+  const double parallelism[] = {10.0, 10.0, 40.0, 5.0, 5.0};
+  for (const double a : parallelism) {
+    const int request = policy.next_request(stats_with_parallelism(a));
+    expected = r * expected + (1.0 - r) * a;
+    EXPECT_NEAR(policy.desire(), expected, 1e-9);
+    EXPECT_EQ(request, static_cast<int>(std::llround(expected)));
+  }
+}
+
+TEST(AControl, OneStepConvergenceAtRateZero) {
+  AControlRequest policy(AControlConfig{0.0});
+  EXPECT_EQ(policy.next_request(stats_with_parallelism(17.0)), 17);
+  EXPECT_EQ(policy.next_request(stats_with_parallelism(3.0)), 3);
+}
+
+TEST(AControl, GainScheduleMatchesTheorem1) {
+  const double r = 0.3;
+  AControlRequest policy(AControlConfig{r});
+  policy.next_request(stats_with_parallelism(20.0));
+  EXPECT_NEAR(policy.current_gain(), (1.0 - r) * 20.0, 1e-12);
+}
+
+TEST(AControl, HoldsDesireWithoutMeasurement) {
+  AControlRequest policy(AControlConfig{0.2});
+  policy.next_request(stats_with_parallelism(12.0));
+  const double desire = policy.desire();
+  QuantumStats empty;
+  empty.length = 100;  // zero work, zero cpl: no measurable progress
+  const int request = policy.next_request(empty);
+  EXPECT_DOUBLE_EQ(policy.desire(), desire);
+  EXPECT_EQ(request, static_cast<int>(std::llround(desire)));
+}
+
+TEST(AControl, ResetRestoresInitialState) {
+  AControlRequest policy(AControlConfig{0.2});
+  policy.next_request(stats_with_parallelism(50.0));
+  policy.reset();
+  EXPECT_DOUBLE_EQ(policy.desire(), 1.0);
+  EXPECT_EQ(policy.first_request(), 1);
+}
+
+TEST(AControl, CloneCopiesConfigNotState) {
+  AControlRequest policy(AControlConfig{0.35});
+  policy.next_request(stats_with_parallelism(50.0));
+  const auto clone = policy.clone();
+  auto* typed = dynamic_cast<AControlRequest*>(clone.get());
+  ASSERT_NE(typed, nullptr);
+  EXPECT_DOUBLE_EQ(typed->config().convergence_rate, 0.35);
+}
+
+TEST(AControl, ConvergesMonotonicallyFromBelow) {
+  // Constant parallelism A: error shrinks by exactly r each quantum with
+  // no overshoot (Theorem 1's zero-overshoot + rate-r claims in the time
+  // domain).
+  const double r = 0.5;
+  const double target = 32.0;
+  AControlRequest policy(AControlConfig{r});
+  double prev_error = target - 1.0;
+  for (int q = 0; q < 20; ++q) {
+    policy.next_request(stats_with_parallelism(target));
+    const double error = target - policy.desire();
+    EXPECT_GE(error, -1e-9) << "overshoot at quantum " << q;
+    EXPECT_NEAR(error, prev_error * r, 1e-9);
+    prev_error = error;
+  }
+  EXPECT_NEAR(policy.desire(), target, 1e-3);
+}
+
+TEST(AControl, NameIsStable) {
+  AControlRequest policy;
+  EXPECT_EQ(policy.name(), "a-control");
+}
+
+TEST(RoundRequest, Behaviour) {
+  EXPECT_EQ(round_request(0.2), 1);   // clamped to >= 1
+  EXPECT_EQ(round_request(1.4), 1);
+  EXPECT_EQ(round_request(1.5), 2);
+  EXPECT_EQ(round_request(99.6), 100);
+  EXPECT_THROW(round_request(std::nan("")), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace abg::sched

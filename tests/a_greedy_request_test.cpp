@@ -1,0 +1,143 @@
+#include "sched/a_greedy_request.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace abg::sched {
+namespace {
+
+QuantumStats quantum(int request, int allotment, dag::TaskCount work,
+                     dag::Steps length = 100) {
+  QuantumStats q;
+  q.request = request;
+  q.allotment = allotment;
+  q.work = work;
+  q.length = length;
+  q.cpl = 1.0;
+  q.full = true;
+  return q;
+}
+
+TEST(AGreedy, RejectsBadParameters) {
+  EXPECT_THROW(AGreedyRequest(AGreedyConfig{0.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(AGreedyRequest(AGreedyConfig{1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(AGreedyRequest(AGreedyConfig{0.8, 1.0}), std::invalid_argument);
+  EXPECT_NO_THROW(AGreedyRequest(AGreedyConfig{0.8, 2.0}));
+}
+
+TEST(AGreedy, FirstRequestIsOne) {
+  AGreedyRequest policy;
+  EXPECT_EQ(policy.first_request(), 1);
+}
+
+TEST(AGreedy, EfficientSatisfiedMultiplies) {
+  AGreedyRequest policy;  // delta = 0.8, rho = 2
+  // usage = capacity (fully efficient), allotment == request.
+  EXPECT_EQ(policy.next_request(quantum(1, 1, 100)), 2);
+  EXPECT_EQ(policy.next_request(quantum(2, 2, 200)), 4);
+  EXPECT_EQ(policy.next_request(quantum(4, 4, 400)), 8);
+}
+
+TEST(AGreedy, EfficientDeprivedHolds) {
+  AGreedyRequest policy;
+  policy.next_request(quantum(1, 1, 100));  // desire -> 2
+  // Deprived: requested 2, got 1; efficient: used all of it.
+  EXPECT_EQ(policy.next_request(quantum(2, 1, 100)), 2);
+  EXPECT_DOUBLE_EQ(policy.desire(), 2.0);
+}
+
+TEST(AGreedy, InefficientDivides) {
+  AGreedyRequest policy;
+  policy.next_request(quantum(1, 1, 100));   // 2
+  policy.next_request(quantum(2, 2, 200));   // 4
+  // Usage 100 < 0.8 * 4 * 100: inefficient -> halve.
+  EXPECT_EQ(policy.next_request(quantum(4, 4, 100)), 2);
+}
+
+TEST(AGreedy, DesireNeverDropsBelowOne) {
+  AGreedyRequest policy;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_GE(policy.next_request(quantum(1, 1, 0)), 1);
+  }
+  EXPECT_DOUBLE_EQ(policy.desire(), 1.0);
+}
+
+TEST(AGreedy, OscillatesOnConstantParallelism) {
+  // The Figure 1 phenomenon: a job with constant parallelism A = 10 under
+  // granted requests.  Usage per quantum = min(allotment, 10) * L.
+  // A-Greedy grows 1,2,4,8,16, finds 16 inefficient (10L < 0.8*16L),
+  // drops to 8, finds 8 efficient+satisfied, doubles to 16, ... forever.
+  AGreedyRequest policy;
+  const double parallelism = 10.0;
+  const dag::Steps length = 100;
+  int desire = policy.first_request();
+  std::vector<int> series;
+  for (int q = 0; q < 24; ++q) {
+    const auto usage = static_cast<dag::TaskCount>(
+        std::min<double>(desire, parallelism) * static_cast<double>(length));
+    desire = policy.next_request(quantum(desire, desire, usage, length));
+    series.push_back(desire);
+  }
+  // Tail alternates 8, 16, 8, 16 ...
+  const std::size_t n = series.size();
+  EXPECT_NE(series[n - 1], series[n - 2]);
+  EXPECT_EQ(series[n - 1], series[n - 3]);
+  EXPECT_EQ(series[n - 2], series[n - 4]);
+  const int lo = std::min(series[n - 1], series[n - 2]);
+  const int hi = std::max(series[n - 1], series[n - 2]);
+  EXPECT_EQ(lo, 8);
+  EXPECT_EQ(hi, 16);
+}
+
+TEST(AGreedy, ResponsivenessControlsGrowthRate) {
+  AGreedyRequest fast(AGreedyConfig{0.8, 4.0});
+  EXPECT_EQ(fast.next_request(quantum(1, 1, 100)), 4);
+  EXPECT_EQ(fast.next_request(quantum(4, 4, 400)), 16);
+}
+
+TEST(AGreedy, UtilizationThresholdBoundary) {
+  // usage exactly delta * a * L counts as efficient (strict `<` for
+  // inefficiency).
+  AGreedyRequest policy(AGreedyConfig{0.5, 2.0});
+  EXPECT_EQ(policy.next_request(quantum(1, 1, 50)), 2);  // 50 == 0.5*100
+  // Just below the threshold: inefficient.
+  AGreedyRequest policy2(AGreedyConfig{0.5, 2.0});
+  policy2.next_request(quantum(1, 1, 100));  // -> 2
+  EXPECT_EQ(policy2.next_request(quantum(2, 2, 99)), 1);
+}
+
+TEST(AGreedy, ResetRestoresInitialDesire) {
+  AGreedyRequest policy;
+  policy.next_request(quantum(1, 1, 100));
+  policy.next_request(quantum(2, 2, 200));
+  policy.reset();
+  EXPECT_DOUBLE_EQ(policy.desire(), 1.0);
+}
+
+TEST(AGreedy, CloneCopiesConfig) {
+  AGreedyRequest policy(AGreedyConfig{0.6, 3.0});
+  const auto clone = policy.clone();
+  auto* typed = dynamic_cast<AGreedyRequest*>(clone.get());
+  ASSERT_NE(typed, nullptr);
+  EXPECT_DOUBLE_EQ(typed->config().utilization, 0.6);
+  EXPECT_DOUBLE_EQ(typed->config().responsiveness, 3.0);
+}
+
+TEST(AGreedy, NameIsStable) {
+  AGreedyRequest policy;
+  EXPECT_EQ(policy.name(), "a-greedy");
+}
+
+TEST(StaticRequest, ConstantAndValidated) {
+  EXPECT_THROW(StaticRequest(0), std::invalid_argument);
+  StaticRequest policy(16);
+  EXPECT_EQ(policy.first_request(), 16);
+  EXPECT_EQ(policy.next_request(quantum(16, 8, 100)), 16);
+  EXPECT_EQ(policy.name(), "static");
+  const auto clone = policy.clone();
+  EXPECT_EQ(clone->first_request(), 16);
+}
+
+}  // namespace
+}  // namespace abg::sched

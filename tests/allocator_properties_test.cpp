@@ -1,0 +1,152 @@
+// Property tests over all allocators: the invariants the paper's analysis
+// relies on (conservativeness everywhere; fairness and non-reservation for
+// the allocators that claim them), checked on randomized request vectors.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "alloc/availability_profile.hpp"
+#include "alloc/equipartition.hpp"
+#include "alloc/round_robin.hpp"
+#include "alloc/unconstrained.hpp"
+#include "util/rng.hpp"
+
+namespace abg::alloc {
+namespace {
+
+struct AllocatorCase {
+  std::string name;
+  std::unique_ptr<Allocator> (*make)();
+  bool shares_one_pool;  // sum of allotments bounded by P
+  bool non_reserving;
+  bool fair;
+};
+
+std::unique_ptr<Allocator> make_deq() {
+  return std::make_unique<EquiPartition>();
+}
+std::unique_ptr<Allocator> make_rr() { return std::make_unique<RoundRobin>(); }
+std::unique_ptr<Allocator> make_unconstrained() {
+  return std::make_unique<Unconstrained>();
+}
+std::unique_ptr<Allocator> make_profile() {
+  return std::make_unique<AvailabilityProfile>(
+      std::vector<int>{3, 17, 0, 64, 5});
+}
+
+class AllocatorProperties : public ::testing::TestWithParam<AllocatorCase> {};
+
+TEST_P(AllocatorProperties, ConservativeOnRandomInputs) {
+  const AllocatorCase& c = GetParam();
+  util::Rng rng(1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto alloc = c.make();
+    const auto jobs = rng.uniform_int(1, 12);
+    std::vector<int> requests;
+    for (int j = 0; j < jobs; ++j) {
+      requests.push_back(static_cast<int>(rng.uniform_int(0, 40)));
+    }
+    const int machine = static_cast<int>(rng.uniform_int(0, 32));
+    const auto a = alloc->allocate(requests, machine);
+    ASSERT_EQ(a.size(), requests.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_GE(a[i], 0);
+      ASSERT_LE(a[i], requests[i]) << c.name << " over-allocated job " << i;
+    }
+  }
+}
+
+TEST_P(AllocatorProperties, PoolBoundHolds) {
+  const AllocatorCase& c = GetParam();
+  if (!c.shares_one_pool) {
+    GTEST_SKIP() << "allocator grants per-job independently";
+  }
+  util::Rng rng(987);
+  const auto alloc = c.make();
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<int> requests;
+    const auto jobs = rng.uniform_int(1, 10);
+    for (int j = 0; j < jobs; ++j) {
+      requests.push_back(static_cast<int>(rng.uniform_int(0, 50)));
+    }
+    const int machine = static_cast<int>(rng.uniform_int(0, 24));
+    const int pool = alloc->pool(machine);
+    ASSERT_LE(pool, machine);
+    const auto a = alloc->allocate(requests, machine);
+    ASSERT_LE(std::accumulate(a.begin(), a.end(), 0), pool);
+  }
+}
+
+TEST_P(AllocatorProperties, NonReservingWhenClaimed) {
+  const AllocatorCase& c = GetParam();
+  if (!c.non_reserving) {
+    GTEST_SKIP() << "allocator does not claim non-reservation";
+  }
+  util::Rng rng(555);
+  const auto alloc = c.make();
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<int> requests;
+    const auto jobs = rng.uniform_int(1, 10);
+    for (int j = 0; j < jobs; ++j) {
+      requests.push_back(static_cast<int>(rng.uniform_int(0, 30)));
+    }
+    const int machine = static_cast<int>(rng.uniform_int(1, 24));
+    const auto a = alloc->allocate(requests, machine);
+    const int assigned = std::accumulate(a.begin(), a.end(), 0);
+    const int demanded = std::accumulate(requests.begin(), requests.end(), 0);
+    ASSERT_EQ(assigned, std::min(machine, demanded))
+        << c.name << " left processors idle while demand remained";
+  }
+}
+
+TEST_P(AllocatorProperties, FairWhenClaimed) {
+  // Fairness: all jobs receive an equal share (within the indivisible
+  // remainder) unless they requested fewer.
+  const AllocatorCase& c = GetParam();
+  if (!c.fair) {
+    GTEST_SKIP() << "allocator does not claim fairness";
+  }
+  util::Rng rng(777);
+  const auto alloc = c.make();
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<int> requests;
+    const auto jobs = rng.uniform_int(1, 8);
+    for (int j = 0; j < jobs; ++j) {
+      requests.push_back(static_cast<int>(rng.uniform_int(0, 30)));
+    }
+    const int machine = static_cast<int>(rng.uniform_int(1, 24));
+    const auto a = alloc->allocate(requests, machine);
+    // Any job that got strictly less than another job's allotment minus one
+    // must have been fully satisfied.
+    const int max_alloc = *std::max_element(a.begin(), a.end());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i] < max_alloc - 1) {
+        ASSERT_EQ(a[i], requests[i])
+            << c.name << " under-served job " << i << " without cause";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAllocators, AllocatorProperties,
+    ::testing::Values(
+        AllocatorCase{"equi-partition", &make_deq, true, true, true},
+        AllocatorCase{"round-robin", &make_rr, true, true, true},
+        AllocatorCase{"unconstrained", &make_unconstrained, false, false,
+                      false},
+        AllocatorCase{"availability-profile", &make_profile, true, false,
+                      false}),
+    [](const auto& param_info) {
+      std::string n = param_info.param.name;
+      for (char& ch : n) {
+        if (ch == '-') {
+          ch = '_';
+        }
+      }
+      return n;
+    });
+
+}  // namespace
+}  // namespace abg::alloc

@@ -1,0 +1,158 @@
+#include "control/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/closed_loop.hpp"
+
+namespace abg::control {
+namespace {
+
+TEST(BiboStability, PoleInsideUnitCircle) {
+  TransferFunction stable(Polynomial({0.5}), Polynomial({-0.5, 1.0}));
+  EXPECT_TRUE(is_bibo_stable(stable));
+}
+
+TEST(BiboStability, PoleOnUnitCircleIsUnstable) {
+  TransferFunction marginal(Polynomial({1.0}), Polynomial({-1.0, 1.0}));
+  EXPECT_FALSE(is_bibo_stable(marginal));
+}
+
+TEST(BiboStability, PoleOutsideUnitCircleIsUnstable) {
+  TransferFunction unstable(Polynomial({1.0}), Polynomial({-2.0, 1.0}));
+  EXPECT_FALSE(is_bibo_stable(unstable));
+}
+
+TEST(BiboStability, ComplexPolePair) {
+  // Poles at 0.5 ± 0.5i: |p| = 0.707 < 1.
+  TransferFunction stable(Polynomial({1.0}), Polynomial({0.5, -1.0, 1.0}));
+  EXPECT_TRUE(is_bibo_stable(stable));
+}
+
+TEST(SteadyStateError, UnityDcGainMeansZeroError) {
+  TransferFunction t(Polynomial({0.4}), Polynomial({-0.6, 1.0}));
+  EXPECT_NEAR(steady_state_error(t), 0.0, 1e-12);
+}
+
+TEST(SteadyStateError, NonUnityGain) {
+  TransferFunction t(Polynomial({0.2}), Polynomial({-0.6, 1.0}));
+  EXPECT_NEAR(steady_state_error(t), 0.5, 1e-12);
+}
+
+TEST(MagnitudeResponse, AbgLoopIsLowPass) {
+  // T(z) = (1-r)/(z-r): unity DC gain, attenuation (1-r)/(1+r) at the
+  // Nyquist frequency, monotone in between.
+  const double r = 0.5;
+  const TransferFunction loop =
+      abg_closed_loop(theorem1_gain(r, 10.0), 10.0);
+  EXPECT_NEAR(magnitude_response(loop, 0.0), 1.0, 1e-12);
+  const double pi = 3.14159265358979323846;
+  EXPECT_NEAR(magnitude_response(loop, pi), (1.0 - r) / (1.0 + r), 1e-12);
+  double prev = 1.0;
+  for (double w = 0.1; w <= pi; w += 0.1) {
+    const double mag = magnitude_response(loop, w);
+    EXPECT_LE(mag, prev + 1e-12);
+    prev = mag;
+  }
+}
+
+TEST(MagnitudeResponse, DeadbeatIsAllPass) {
+  // r = 0: T(z) = 1/z — |T| = 1 at every frequency (pure delay).
+  const TransferFunction loop =
+      abg_closed_loop(theorem1_gain(0.0, 5.0), 5.0);
+  for (double w : {0.0, 1.0, 2.0, 3.0}) {
+    EXPECT_NEAR(magnitude_response(loop, w), 1.0, 1e-12);
+  }
+}
+
+TEST(MagnitudeResponse, Validation) {
+  const TransferFunction loop =
+      abg_closed_loop(theorem1_gain(0.2, 5.0), 5.0);
+  EXPECT_THROW(magnitude_response(loop, -0.1), std::invalid_argument);
+  EXPECT_THROW(magnitude_response(loop, 4.0), std::invalid_argument);
+}
+
+TEST(AnalyzeSeries, RejectsBadInput) {
+  EXPECT_THROW(analyze_series({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(analyze_series({1.0}, 0.0), std::invalid_argument);
+}
+
+TEST(AnalyzeSeries, ConvergentGeometricSeries) {
+  // x(k) = 10 (1 - 0.5^k): converges to 10 at rate 0.5, no overshoot.
+  std::vector<double> xs;
+  for (int k = 1; k <= 30; ++k) {
+    xs.push_back(10.0 * (1.0 - std::pow(0.5, k)));
+  }
+  const StepResponseMetrics m = analyze_series(xs, 10.0);
+  EXPECT_TRUE(m.settled);
+  EXPECT_NEAR(m.steady_state, 10.0, 0.05);
+  EXPECT_LT(m.steady_state_error, 0.05);
+  EXPECT_NEAR(m.max_overshoot, 0.0, 1e-9);
+  EXPECT_NEAR(m.convergence_rate, 0.5, 1e-6);
+  // The settled tail still decays within the 2% band: peak-to-peak at most
+  // twice the band.
+  EXPECT_LE(m.residual_oscillation, 0.4);
+}
+
+TEST(AnalyzeSeries, OscillatingSeriesNeverSettles) {
+  std::vector<double> xs;
+  for (int k = 0; k < 40; ++k) {
+    xs.push_back(k % 2 == 0 ? 8.0 : 16.0);
+  }
+  const StepResponseMetrics m = analyze_series(xs, 10.0);
+  EXPECT_FALSE(m.settled);
+  EXPECT_GT(m.residual_oscillation, 7.0);
+  EXPECT_GT(m.steady_state_error, 1.0);
+}
+
+TEST(AnalyzeSeries, OvershootMeasured) {
+  const std::vector<double> xs{0.0, 5.0, 15.0, 12.0, 10.0, 10.0,
+                               10.0, 10.0, 10.0, 10.0};
+  const StepResponseMetrics m = analyze_series(xs, 10.0);
+  EXPECT_NEAR(m.max_overshoot, 5.0, 0.5);
+}
+
+TEST(AnalyzeSeries, SettlingIndexFindsEntryIntoBand) {
+  const std::vector<double> xs{0.0, 2.0, 9.99, 10.0, 10.0};
+  const StepResponseMetrics m = analyze_series(xs, 10.0);
+  EXPECT_TRUE(m.settled);
+  EXPECT_EQ(m.settling_index, 2u);
+}
+
+TEST(AnalyzeSeries, LeavingBandResetsSettling) {
+  const std::vector<double> xs{10.0, 10.0, 3.0, 10.0, 10.0};
+  const StepResponseMetrics m = analyze_series(xs, 10.0);
+  EXPECT_EQ(m.settling_index, 3u);
+}
+
+TEST(AnalyzeSeries, ImmediateConvergenceHasZeroRate) {
+  // One-step convergence (ABG with r = 0): first sample already on target.
+  const std::vector<double> xs{10.0, 10.0, 10.0};
+  const StepResponseMetrics m = analyze_series(xs, 10.0);
+  EXPECT_TRUE(m.settled);
+  EXPECT_EQ(m.settling_index, 0u);
+  EXPECT_DOUBLE_EQ(m.convergence_rate, 0.0);
+}
+
+TEST(AnalyzeSeries, AgreesWithSymbolicAnalysisOnAbgLoop) {
+  // The empirical metrics on a simulated ABG closed loop must agree with
+  // the symbolic transfer-function results.
+  const double r = 0.25;
+  const double A = 20.0;
+  const TransferFunction t = abg_closed_loop(theorem1_gain(r, A), A);
+  EXPECT_TRUE(is_bibo_stable(t));
+  EXPECT_NEAR(steady_state_error(t), 0.0, 1e-12);
+  // Simulated normalized response (reference 1), scaled to requests.
+  auto y = t.simulate(unit_step(40));
+  for (double& v : y) {
+    v *= A;
+  }
+  const StepResponseMetrics m = analyze_series(y, A);
+  EXPECT_TRUE(m.settled);
+  EXPECT_NEAR(m.convergence_rate, r, 1e-6);
+  EXPECT_NEAR(m.max_overshoot, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace abg::control

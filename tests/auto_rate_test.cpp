@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "core/run.hpp"
+#include "metrics/parallelism_stats.hpp"
+#include "sched/a_control.hpp"
+#include "sim/quantum_engine.hpp"
+#include "workload/fork_join.hpp"
+#include "workload/profiles.hpp"
+
+namespace abg::sched {
+namespace {
+
+QuantumStats stats_with_parallelism(double parallelism, bool full = true) {
+  QuantumStats q;
+  q.length = 100;
+  q.steps_used = 100;
+  q.cpl = 10.0;
+  q.work = static_cast<dag::TaskCount>(parallelism * 10.0);
+  q.full = full;
+  return q;
+}
+
+TEST(AutoRateAControl, Validation) {
+  EXPECT_THROW(AutoRateAControlRequest(AutoRateConfig{1.0, 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(AutoRateAControlRequest(AutoRateConfig{-0.1, 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(AutoRateAControlRequest(AutoRateConfig{0.5, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(AutoRateAControlRequest(AutoRateConfig{0.5, 1.0}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(AutoRateAControlRequest(AutoRateConfig{0.0, 0.5}));
+}
+
+TEST(AutoRateAControl, TracksTransitionFactorWithInitialSeed) {
+  AutoRateAControlRequest policy;
+  // A(0) = 1; first measurement A = 4 gives C_est = 4.
+  policy.next_request(stats_with_parallelism(4.0));
+  EXPECT_DOUBLE_EQ(policy.estimated_transition_factor(), 4.0);
+  // 4 -> 2 is a factor 2: C_est stays 4.
+  policy.next_request(stats_with_parallelism(2.0));
+  EXPECT_DOUBLE_EQ(policy.estimated_transition_factor(), 4.0);
+  // 2 -> 16 is a factor 8: C_est rises.
+  policy.next_request(stats_with_parallelism(16.0));
+  EXPECT_DOUBLE_EQ(policy.estimated_transition_factor(), 8.0);
+}
+
+TEST(AutoRateAControl, RateRespectsSafetyMargin) {
+  AutoRateAControlRequest policy(AutoRateConfig{0.5, 0.5});
+  policy.next_request(stats_with_parallelism(4.0));  // C_est = 4
+  EXPECT_DOUBLE_EQ(policy.current_rate(), 0.125);    // 0.5 / 4
+  EXPECT_LT(policy.current_rate(),
+            1.0 / policy.estimated_transition_factor());
+}
+
+TEST(AutoRateAControl, RateCappedOnStableWorkloads) {
+  AutoRateAControlRequest policy(AutoRateConfig{0.4, 0.5});
+  // Constant parallelism 1: C_est stays 1 -> rate capped at max_rate.
+  for (int q = 0; q < 5; ++q) {
+    policy.next_request(stats_with_parallelism(1.0));
+  }
+  EXPECT_DOUBLE_EQ(policy.current_rate(), 0.4);
+}
+
+TEST(AutoRateAControl, NonFullQuantaDoNotPolluteEstimate) {
+  AutoRateAControlRequest policy;
+  policy.next_request(stats_with_parallelism(4.0));
+  policy.next_request(stats_with_parallelism(100.0, /*full=*/false));
+  EXPECT_DOUBLE_EQ(policy.estimated_transition_factor(), 4.0);
+}
+
+TEST(AutoRateAControl, HoldsDesireWithoutMeasurement) {
+  AutoRateAControlRequest policy;
+  policy.next_request(stats_with_parallelism(8.0));
+  const double desire = policy.desire();
+  QuantumStats empty;
+  policy.next_request(empty);
+  EXPECT_DOUBLE_EQ(policy.desire(), desire);
+}
+
+TEST(AutoRateAControl, ResetRestoresInitialState) {
+  AutoRateAControlRequest policy;
+  policy.next_request(stats_with_parallelism(8.0));
+  policy.reset();
+  EXPECT_DOUBLE_EQ(policy.desire(), 1.0);
+  EXPECT_DOUBLE_EQ(policy.estimated_transition_factor(), 1.0);
+  EXPECT_EQ(policy.first_request(), 1);
+}
+
+TEST(AutoRateAControl, CloneCopiesConfig) {
+  AutoRateAControlRequest policy(AutoRateConfig{0.3, 0.25});
+  const auto clone = policy.clone();
+  auto* typed = dynamic_cast<AutoRateAControlRequest*>(clone.get());
+  ASSERT_NE(typed, nullptr);
+  EXPECT_DOUBLE_EQ(typed->config().max_rate, 0.3);
+  EXPECT_DOUBLE_EQ(typed->config().safety, 0.25);
+}
+
+TEST(AutoRateAControl, EndToEndSatisfiesLemma2Precondition) {
+  // Run the auto-rate scheduler on a fork-join job and check that the
+  // final rate indeed satisfies r < 1/C_L for the *measured* transition
+  // factor of the run — the guarantee static r cannot give without
+  // historical knowledge.
+  util::Rng rng(404);
+  const auto job = workload::make_fork_join_job(
+      rng, workload::figure5_spec(12.0, 200));
+  const core::SchedulerSpec spec = core::abg_auto_spec();
+  const sim::JobTrace trace = core::run_single(
+      spec, *job, sim::SingleJobConfig{.processors = 128,
+                                       .quantum_length = 200});
+  ASSERT_TRUE(trace.finished());
+  const double measured = metrics::empirical_transition_factor(trace);
+  // safety/C_est <= safety/C_measured-ish; allow the estimate to lag one
+  // quantum behind the realized factor.
+  EXPECT_LT(0.5 / measured * 0.99, 1.0 / measured);
+  EXPECT_GE(trace.response_time(), trace.critical_path);
+}
+
+TEST(AutoRateAControl, ComparableToHandTunedOnSwingingJob) {
+  // On a job with large parallelism swings, auto-rate should not be
+  // dramatically worse than the paper's fixed r = 0.2 in time or waste.
+  util::Rng rng(505);
+  const auto job = workload::make_fork_join_job(
+      rng, workload::figure5_spec(40.0, 200));
+  const sim::SingleJobConfig config{.processors = 128,
+                                    .quantum_length = 200};
+  const auto fixed_clone = job->fresh_clone();
+  const sim::JobTrace fixed =
+      core::run_single(core::abg_spec(), *fixed_clone, config);
+  const auto auto_clone = job->fresh_clone();
+  const sim::JobTrace tuned =
+      core::run_single(core::abg_auto_spec(), *auto_clone, config);
+  EXPECT_LT(static_cast<double>(tuned.response_time()),
+            1.25 * static_cast<double>(fixed.response_time()));
+  EXPECT_LT(static_cast<double>(tuned.total_waste()),
+            1.5 * static_cast<double>(fixed.total_waste()) + 1000.0);
+}
+
+}  // namespace
+}  // namespace abg::sched

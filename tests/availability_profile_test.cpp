@@ -1,0 +1,76 @@
+#include "alloc/availability_profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace abg::alloc {
+namespace {
+
+TEST(AvailabilityProfile, RejectsBadProfiles) {
+  EXPECT_THROW(AvailabilityProfile({}), std::invalid_argument);
+  EXPECT_THROW(AvailabilityProfile({4, -1}), std::invalid_argument);
+}
+
+TEST(AvailabilityProfile, ReplaysSequence) {
+  AvailabilityProfile ap({2, 8, 0});
+  EXPECT_EQ(ap.allocate({10}, 100).at(0), 2);
+  EXPECT_EQ(ap.allocate({10}, 100).at(0), 8);
+  EXPECT_EQ(ap.allocate({10}, 100).at(0), 0);
+}
+
+TEST(AvailabilityProfile, ClampsToLastEntryWhenExhausted) {
+  AvailabilityProfile ap({2, 5});
+  ap.allocate({10}, 100);
+  ap.allocate({10}, 100);
+  EXPECT_EQ(ap.allocate({10}, 100).at(0), 5);
+  EXPECT_EQ(ap.allocate({10}, 100).at(0), 5);
+}
+
+TEST(AvailabilityProfile, Conservative) {
+  AvailabilityProfile ap({8});
+  EXPECT_EQ(ap.allocate({3}, 100).at(0), 3);
+}
+
+TEST(AvailabilityProfile, CappedByMachineSize) {
+  AvailabilityProfile ap({50});
+  EXPECT_EQ(ap.allocate({100}, 16).at(0), 16);
+}
+
+TEST(AvailabilityProfile, MultiJobDrawsFromSharedPool) {
+  AvailabilityProfile ap({10});
+  const auto a = ap.allocate({6, 6}, 100);
+  EXPECT_EQ(a.at(0), 6);
+  EXPECT_EQ(a.at(1), 4);
+}
+
+TEST(AvailabilityProfile, PoolPreviewsNextQuantum) {
+  AvailabilityProfile ap({2, 9});
+  EXPECT_EQ(ap.pool(100), 2);
+  ap.allocate({1}, 100);
+  EXPECT_EQ(ap.pool(100), 9);
+  EXPECT_EQ(ap.pool(5), 5);  // capped by machine size
+}
+
+TEST(AvailabilityProfile, AvailabilityAtIsOneBased) {
+  AvailabilityProfile ap({3, 7});
+  EXPECT_EQ(ap.availability_at(1), 3);
+  EXPECT_EQ(ap.availability_at(2), 7);
+  EXPECT_EQ(ap.availability_at(9), 7);
+  EXPECT_THROW(ap.availability_at(0), std::invalid_argument);
+}
+
+TEST(AvailabilityProfile, ResetReplaysFromStart) {
+  AvailabilityProfile ap({1, 9});
+  ap.allocate({10}, 100);
+  ap.reset();
+  EXPECT_EQ(ap.allocate({10}, 100).at(0), 1);
+}
+
+TEST(AvailabilityProfile, CloneRestartsProfile) {
+  AvailabilityProfile ap({1, 9});
+  ap.allocate({10}, 100);
+  const auto clone = ap.clone();
+  EXPECT_EQ(clone->allocate({10}, 100).at(0), 1);
+}
+
+}  // namespace
+}  // namespace abg::alloc

@@ -1,0 +1,67 @@
+#include "util/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace abg::util {
+namespace {
+
+TEST(Bootstrap, Validation) {
+  EXPECT_THROW(bootstrap_mean({}, 1), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean({1.0}, 1, 0), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean({1.0}, 1, 100, 0.0), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean({1.0}, 1, 100, 1.0), std::invalid_argument);
+}
+
+TEST(Bootstrap, SingleSampleDegenerate) {
+  const ConfidenceInterval ci = bootstrap_mean({3.5}, 1);
+  EXPECT_DOUBLE_EQ(ci.point, 3.5);
+  EXPECT_DOUBLE_EQ(ci.lower, 3.5);
+  EXPECT_DOUBLE_EQ(ci.upper, 3.5);
+}
+
+TEST(Bootstrap, PointIsSampleMean) {
+  const ConfidenceInterval ci = bootstrap_mean({1.0, 2.0, 3.0}, 7);
+  EXPECT_DOUBLE_EQ(ci.point, 2.0);
+}
+
+TEST(Bootstrap, IntervalBracketsPoint) {
+  std::vector<double> samples;
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    samples.push_back(rng.uniform_real(5.0, 15.0));
+  }
+  const ConfidenceInterval ci = bootstrap_mean(samples, 3);
+  EXPECT_LE(ci.lower, ci.point);
+  EXPECT_GE(ci.upper, ci.point);
+  // 95% interval for 100 uniform(5,15) samples: roughly +/- 0.6.
+  EXPECT_GT(ci.upper - ci.lower, 0.1);
+  EXPECT_LT(ci.upper - ci.lower, 3.0);
+}
+
+TEST(Bootstrap, ConstantSamplesGiveZeroWidth) {
+  const ConfidenceInterval ci = bootstrap_mean({4.0, 4.0, 4.0, 4.0}, 5);
+  EXPECT_DOUBLE_EQ(ci.lower, 4.0);
+  EXPECT_DOUBLE_EQ(ci.upper, 4.0);
+}
+
+TEST(Bootstrap, Deterministic) {
+  const std::vector<double> samples{1.0, 5.0, 2.0, 8.0, 3.0};
+  const ConfidenceInterval a = bootstrap_mean(samples, 42);
+  const ConfidenceInterval b = bootstrap_mean(samples, 42);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(Bootstrap, WiderConfidenceWiderInterval) {
+  std::vector<double> samples;
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    samples.push_back(rng.uniform_real(0.0, 10.0));
+  }
+  const ConfidenceInterval narrow = bootstrap_mean(samples, 1, 2000, 0.5);
+  const ConfidenceInterval wide = bootstrap_mean(samples, 1, 2000, 0.99);
+  EXPECT_LT(narrow.upper - narrow.lower, wide.upper - wide.lower);
+}
+
+}  // namespace
+}  // namespace abg::util

@@ -1,0 +1,109 @@
+#include "metrics/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+namespace abg::metrics {
+namespace {
+
+TEST(Lemma2, RatiosAtSimpleValues) {
+  // C_L = 2, r = 0.2: lower = 0.8/1.8, upper = 2*0.8/0.6.
+  const Lemma2Bounds b = lemma2_bounds(2.0, 0.2);
+  EXPECT_NEAR(b.lower_ratio, 0.8 / 1.8, 1e-12);
+  EXPECT_NEAR(b.upper_ratio, 1.6 / 0.6, 1e-12);
+}
+
+TEST(Lemma2, OneStepConvergenceTightens) {
+  // r = 0: lower = 1/C_L, upper = C_L.
+  const Lemma2Bounds b = lemma2_bounds(4.0, 0.0);
+  EXPECT_NEAR(b.lower_ratio, 0.25, 1e-12);
+  EXPECT_NEAR(b.upper_ratio, 4.0, 1e-12);
+}
+
+TEST(Lemma2, UnitTransitionFactorPinsRequestToParallelism) {
+  // C_L = 1 (constant parallelism): both ratios are 1.
+  const Lemma2Bounds b = lemma2_bounds(1.0, 0.3);
+  EXPECT_NEAR(b.lower_ratio, 1.0, 1e-12);
+  EXPECT_NEAR(b.upper_ratio, 1.0, 1e-12);
+}
+
+TEST(Lemma2, RequiresRateBelowInverseTransition) {
+  EXPECT_THROW(lemma2_bounds(5.0, 0.2), std::domain_error);
+  EXPECT_THROW(lemma2_bounds(5.0, 0.25), std::domain_error);
+  EXPECT_NO_THROW(lemma2_bounds(5.0, 0.19));
+}
+
+TEST(Lemma2, ValidatesInputs) {
+  EXPECT_THROW(lemma2_bounds(0.5, 0.1), std::invalid_argument);
+  EXPECT_THROW(lemma2_bounds(2.0, -0.1), std::invalid_argument);
+  EXPECT_THROW(lemma2_bounds(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Theorem3, TrimStepsFormula) {
+  // (C_L + 1 - 2r)/(1 - r) * T_inf + L with C_L=3, r=0.2, T_inf=100, L=50:
+  // (3.6/0.8)*100 + 50 = 500.
+  EXPECT_NEAR(theorem3_trim_steps(100, 3.0, 0.2, 50), 500.0, 1e-9);
+}
+
+TEST(Theorem3, TimeBoundFormula) {
+  // 2*T1/Ptilde + trim term: 2*10000/20 + 500 = 1500.
+  EXPECT_NEAR(theorem3_time_bound(10000, 100, 3.0, 0.2, 20.0, 50), 1500.0,
+              1e-9);
+}
+
+TEST(Theorem3, ZeroAvailabilityDropsSpeedupTerm) {
+  EXPECT_NEAR(theorem3_time_bound(10000, 100, 3.0, 0.2, 0.0, 50), 500.0,
+              1e-9);
+}
+
+TEST(Theorem4, WasteBoundFormula) {
+  // C_L (1-r)/(1 - C_L r) * T1 + P*L with C_L=2, r=0.2: 1.6/0.6*1000 +
+  // 8*50.
+  EXPECT_NEAR(theorem4_waste_bound(1000, 2.0, 0.2, 8, 50),
+              1.6 / 0.6 * 1000.0 + 400.0, 1e-9);
+}
+
+TEST(Theorem4, RequiresRateCondition) {
+  EXPECT_THROW(theorem4_waste_bound(1000, 5.0, 0.2, 8, 50),
+               std::domain_error);
+}
+
+TEST(Theorem5, MakespanBoundFormula) {
+  // c_w = (C+1-2Cr)/(1-Cr), c_t = (C+1-2r)/(1-r); C=2, r=0.2:
+  // c_w = (3-0.8)/0.6 = 2.2/0.6; c_t = 2.6/0.8.
+  const double expected =
+      (2.2 / 0.6 + 2.6 / 0.8) * 100.0 + 50.0 * (4 + 2);
+  EXPECT_NEAR(theorem5_makespan_bound(100.0, 2.0, 0.2, 50, 4), expected,
+              1e-9);
+}
+
+TEST(Theorem5, ResponseBoundFormula) {
+  // c_w = (2C+2-4Cr)/(1-Cr); C=2, r=0.2: (6-1.6)/0.6 = 4.4/0.6.
+  const double expected =
+      (4.4 / 0.6 + 2.6 / 0.8) * 100.0 + 50.0 * (4 + 2);
+  EXPECT_NEAR(theorem5_response_bound(100.0, 2.0, 0.2, 50, 4), expected,
+              1e-9);
+}
+
+TEST(Theorem5, RequiresRateCondition) {
+  EXPECT_THROW(theorem5_makespan_bound(1.0, 10.0, 0.2, 50, 4),
+               std::domain_error);
+  EXPECT_THROW(theorem5_response_bound(1.0, 10.0, 0.2, 50, 4),
+               std::domain_error);
+}
+
+TEST(Bounds, MonotoneInTransitionFactor) {
+  // Larger C_L must never shrink any bound (sanity of the formulas).
+  double prev_time = 0.0;
+  double prev_waste = 0.0;
+  for (double c = 1.0; c <= 4.0; c += 0.5) {
+    const double t = theorem3_time_bound(1000, 100, c, 0.1, 16.0, 100);
+    const double w = theorem4_waste_bound(1000, c, 0.1, 16, 100);
+    EXPECT_GE(t, prev_time);
+    EXPECT_GE(w, prev_waste);
+    prev_time = t;
+    prev_waste = w;
+  }
+}
+
+}  // namespace
+}  // namespace abg::metrics

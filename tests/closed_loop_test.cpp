@@ -1,0 +1,70 @@
+#include "control/closed_loop.hpp"
+
+#include <gtest/gtest.h>
+
+namespace abg::control {
+namespace {
+
+TEST(ClosedLoop, IntegralControllerShape) {
+  const TransferFunction g = integral_controller_tf(0.5);
+  EXPECT_EQ(g.num(), Polynomial({0.5}));
+  EXPECT_EQ(g.den(), Polynomial({-1.0, 1.0}));
+}
+
+TEST(ClosedLoop, PlantShape) {
+  const TransferFunction s = parallelism_plant_tf(4.0);
+  EXPECT_EQ(s.num(), Polynomial({0.25}));
+  EXPECT_EQ(s.den(), Polynomial({1.0}));
+}
+
+TEST(ClosedLoop, PlantRejectsNonPositiveParallelism) {
+  EXPECT_THROW(parallelism_plant_tf(0.0), std::invalid_argument);
+  EXPECT_THROW(parallelism_plant_tf(-3.0), std::invalid_argument);
+}
+
+TEST(ClosedLoop, Equation2Shape) {
+  // T(z) = (K/A) / (z - (1 - K/A)).
+  const double K = 2.0;
+  const double A = 8.0;
+  const TransferFunction t = abg_closed_loop(K, A);
+  ASSERT_EQ(t.poles().size(), 1u);
+  EXPECT_NEAR(t.poles()[0].real(), 1.0 - K / A, 1e-12);
+  EXPECT_NEAR(t.dc_gain(), 1.0, 1e-12);  // integral control: unity DC gain
+}
+
+TEST(ClosedLoop, PoleFormula) {
+  EXPECT_DOUBLE_EQ(abg_closed_loop_pole(2.0, 8.0), 0.75);
+  EXPECT_DOUBLE_EQ(abg_closed_loop_pole(8.0, 8.0), 0.0);
+  EXPECT_THROW(abg_closed_loop_pole(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(ClosedLoop, Theorem1GainPlacesPoleAtRate) {
+  for (const double r : {0.0, 0.2, 0.5, 0.9}) {
+    for (const double A : {1.0, 5.0, 128.0}) {
+      const double K = theorem1_gain(r, A);
+      EXPECT_NEAR(abg_closed_loop_pole(K, A), r, 1e-12)
+          << "r=" << r << " A=" << A;
+    }
+  }
+}
+
+TEST(ClosedLoop, Theorem1GainValidation) {
+  EXPECT_THROW(theorem1_gain(-0.1, 5.0), std::invalid_argument);
+  EXPECT_THROW(theorem1_gain(1.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(theorem1_gain(0.2, 0.0), std::invalid_argument);
+}
+
+TEST(ClosedLoop, StepResponseMatchesGeometricConvergence) {
+  // With K = (1-r)A the step response is y[n] = 1 - r^n: geometric
+  // convergence to the reference at rate r.
+  const double r = 0.3;
+  const double A = 12.0;
+  const TransferFunction t = abg_closed_loop(theorem1_gain(r, A), A);
+  const auto y = t.simulate(unit_step(30));
+  for (std::size_t n = 0; n < y.size(); ++n) {
+    EXPECT_NEAR(y[n], 1.0 - std::pow(r, static_cast<double>(n)), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace abg::control

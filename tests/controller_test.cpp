@@ -1,0 +1,81 @@
+#include "control/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/a_control.hpp"
+
+namespace abg::control {
+namespace {
+
+TEST(IntegralController, AccumulatesScaledError) {
+  IntegralController c(2.0, 1.0);
+  EXPECT_DOUBLE_EQ(c.update(0.5), 2.0);   // 1 + 2*0.5
+  EXPECT_DOUBLE_EQ(c.update(-1.0), 0.0);  // 2 - 2
+  EXPECT_DOUBLE_EQ(c.output(), 0.0);
+}
+
+TEST(IntegralController, GainCanBeRetuned) {
+  IntegralController c(1.0, 0.0);
+  c.set_gain(10.0);
+  EXPECT_DOUBLE_EQ(c.gain(), 10.0);
+  EXPECT_DOUBLE_EQ(c.update(1.0), 10.0);
+}
+
+TEST(IntegralController, ResetRestoresOutput) {
+  IntegralController c(1.0, 5.0);
+  c.update(3.0);
+  c.reset(5.0);
+  EXPECT_DOUBLE_EQ(c.output(), 5.0);
+}
+
+TEST(SelfTuningRegulator, RejectsEmptySchedule) {
+  EXPECT_THROW(
+      SelfTuningRegulator(SelfTuningRegulator::GainSchedule{}, 1.0, 1.0),
+      std::invalid_argument);
+}
+
+TEST(SelfTuningRegulator, RejectsNonPositiveMeasurement) {
+  SelfTuningRegulator reg([](double a) { return a; }, 1.0, 1.0);
+  EXPECT_THROW(reg.update(0.0), std::invalid_argument);
+  EXPECT_THROW(reg.update(-1.0), std::invalid_argument);
+}
+
+TEST(SelfTuningRegulator, ReducesToEquation3WithTheorem1Schedule) {
+  // The general self-tuning regulator with K = (1-r)A and setpoint 1 must
+  // produce exactly the Equation 3 recurrence d(q+1) = r d(q) + (1-r) A(q).
+  const double r = 0.2;
+  SelfTuningRegulator reg([r](double a) { return (1.0 - r) * a; }, 1.0, 1.0);
+  double expected = 1.0;
+  for (const double a : {10.0, 10.0, 40.0, 3.0, 3.0, 3.0}) {
+    const double out = reg.update(a);
+    expected = r * expected + (1.0 - r) * a;
+    EXPECT_NEAR(out, expected, 1e-12);
+  }
+}
+
+TEST(SelfTuningRegulator, MatchesAControlImplementation) {
+  // Cross-check the scheduling-specific AControlRequest against the
+  // general control-theoretic regulator on the same measurement stream.
+  const double r = 0.35;
+  SelfTuningRegulator reg([r](double a) { return (1.0 - r) * a; }, 1.0, 1.0);
+  sched::AControlRequest policy(sched::AControlConfig{r});
+  for (const double a : {6.0, 12.5, 12.5, 2.0, 80.0, 80.0, 80.0}) {
+    sched::QuantumStats q;
+    q.length = 100;
+    q.cpl = 4.0;
+    q.work = static_cast<dag::TaskCount>(a * q.cpl);
+    policy.next_request(q);
+    const double regulated = reg.update(q.average_parallelism());
+    EXPECT_NEAR(policy.desire(), regulated, 1e-12);
+  }
+}
+
+TEST(SelfTuningRegulator, ResetRestoresInitialOutput) {
+  SelfTuningRegulator reg([](double a) { return a; }, 1.0, 1.0);
+  reg.update(10.0);
+  reg.reset(1.0);
+  EXPECT_DOUBLE_EQ(reg.output(), 1.0);
+}
+
+}  // namespace
+}  // namespace abg::control

@@ -1,0 +1,290 @@
+#include "dag/dag_job.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/builders.hpp"
+
+namespace abg::dag {
+namespace {
+
+TEST(DagStructure, EdgeCount) {
+  DagStructure s;
+  s.children = {{1, 2}, {2}, {}};
+  EXPECT_EQ(s.node_count(), 3u);
+  EXPECT_EQ(s.edge_count(), 3u);
+}
+
+TEST(DagJob, RejectsSelfLoop) {
+  DagStructure s;
+  s.children = {{0}};
+  EXPECT_THROW(DagJob{s}, std::invalid_argument);
+}
+
+TEST(DagJob, RejectsOutOfRangeEdge) {
+  DagStructure s;
+  s.children = {{5}};
+  EXPECT_THROW(DagJob{s}, std::invalid_argument);
+}
+
+TEST(DagJob, RejectsCycle) {
+  DagStructure s;
+  s.children = {{1}, {2}, {0}};
+  EXPECT_THROW(DagJob{s}, std::invalid_argument);
+}
+
+TEST(DagJob, EmptyJobIsFinished) {
+  DagJob job{DagStructure{}};
+  EXPECT_TRUE(job.finished());
+  EXPECT_EQ(job.total_work(), 0);
+  EXPECT_EQ(job.critical_path(), 0);
+  EXPECT_EQ(job.ready_count(), 0);
+  EXPECT_EQ(job.step(4, PickOrder::kFifo), 0);
+}
+
+TEST(DagJob, ChainLevelsAndCriticalPath) {
+  DagJob job{builders::chain(5)};
+  EXPECT_EQ(job.total_work(), 5);
+  EXPECT_EQ(job.critical_path(), 5);
+  for (NodeId i = 0; i < 5; ++i) {
+    EXPECT_EQ(job.node_level(i), i);
+  }
+}
+
+TEST(DagJob, DiamondLevels) {
+  DagJob job{builders::diamond(3)};
+  EXPECT_EQ(job.total_work(), 5);
+  EXPECT_EQ(job.critical_path(), 3);
+  EXPECT_EQ(job.node_level(0), 0u);
+  EXPECT_EQ(job.node_level(1), 1u);
+  EXPECT_EQ(job.node_level(2), 1u);
+  EXPECT_EQ(job.node_level(3), 1u);
+  EXPECT_EQ(job.node_level(4), 2u);
+}
+
+TEST(DagJob, LevelIsLongestPathNotShortest) {
+  // 0 -> 2 and 0 -> 1 -> 2: node 2 is at level 2, not 1.
+  DagStructure s;
+  s.children = {{1, 2}, {2}, {}};
+  DagJob job{s};
+  EXPECT_EQ(job.node_level(2), 2u);
+  EXPECT_EQ(job.critical_path(), 3);
+}
+
+TEST(DagJob, NodeLevelRejectsOutOfRange) {
+  DagJob job{builders::chain(2)};
+  EXPECT_THROW(job.node_level(5), std::invalid_argument);
+}
+
+TEST(DagJob, LevelSizes) {
+  DagJob job{builders::diamond(4)};
+  const auto& sizes = job.level_sizes();
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 1);
+  EXPECT_EQ(sizes[1], 4);
+  EXPECT_EQ(sizes[2], 1);
+}
+
+TEST(DagJob, ChainExecutesOneTaskPerStepRegardlessOfProcs) {
+  DagJob job{builders::chain(4)};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(job.finished());
+    EXPECT_EQ(job.step(8, PickOrder::kBreadthFirst), 1);
+  }
+  EXPECT_TRUE(job.finished());
+  EXPECT_EQ(job.completed_work(), 4);
+}
+
+TEST(DagJob, ChildrenBecomeReadyOnlyNextStep) {
+  // Diamond: step 1 can only run the source even with many processors.
+  DagJob job{builders::diamond(3)};
+  EXPECT_EQ(job.ready_count(), 1);
+  EXPECT_EQ(job.step(10, PickOrder::kBreadthFirst), 1);
+  EXPECT_EQ(job.ready_count(), 3);
+  EXPECT_EQ(job.step(10, PickOrder::kBreadthFirst), 3);
+  EXPECT_EQ(job.step(10, PickOrder::kBreadthFirst), 1);
+  EXPECT_TRUE(job.finished());
+}
+
+TEST(DagJob, StepHonorsProcessorLimit) {
+  DagJob job{builders::diamond(5)};
+  job.step(1, PickOrder::kBreadthFirst);
+  EXPECT_EQ(job.step(2, PickOrder::kBreadthFirst), 2);
+  EXPECT_EQ(job.step(2, PickOrder::kBreadthFirst), 2);
+  EXPECT_EQ(job.step(2, PickOrder::kBreadthFirst), 1);
+}
+
+TEST(DagJob, ZeroProcessorsDoNothing) {
+  DagJob job{builders::chain(2)};
+  EXPECT_EQ(job.step(0, PickOrder::kFifo), 0);
+  EXPECT_EQ(job.completed_work(), 0);
+}
+
+TEST(DagJob, NegativeProcessorsThrow) {
+  DagJob job{builders::chain(2)};
+  EXPECT_THROW(job.step(-1, PickOrder::kFifo), std::invalid_argument);
+}
+
+TEST(DagJob, LevelProgressFractional) {
+  DagJob job{builders::diamond(4)};  // levels of sizes 1, 4, 1
+  EXPECT_DOUBLE_EQ(job.level_progress(), 0.0);
+  job.step(10, PickOrder::kBreadthFirst);  // source done
+  EXPECT_DOUBLE_EQ(job.level_progress(), 1.0);
+  job.step(2, PickOrder::kBreadthFirst);  // half the middle level
+  EXPECT_DOUBLE_EQ(job.level_progress(), 1.5);
+  job.step(2, PickOrder::kBreadthFirst);
+  EXPECT_DOUBLE_EQ(job.level_progress(), 2.0);
+  job.step(2, PickOrder::kBreadthFirst);  // sink
+  EXPECT_DOUBLE_EQ(job.level_progress(), 3.0);
+  EXPECT_TRUE(job.finished());
+}
+
+TEST(DagJob, BreadthFirstPrefersLowerLevels) {
+  // Two independent chains of different structure: one source at level 0,
+  // plus a node at level 1 already ready?  Construct: nodes 0,1 sources;
+  // 0 -> 2.  After running node 0 and 1... instead simpler: sources at
+  // level 0 = {0, 1}; 0 -> 2 (level 1).  With 1 processor per step,
+  // breadth-first must run both level-0 sources before node 2.
+  DagStructure s;
+  s.children = {{2}, {}, {}};
+  DagJob job{s};
+  job.enable_completion_recording();
+  job.step(1, PickOrder::kBreadthFirst);
+  job.step(1, PickOrder::kBreadthFirst);
+  job.step(1, PickOrder::kBreadthFirst);
+  EXPECT_TRUE(job.finished());
+  // Node 1 (level 0) completed before node 2 (level 1).
+  EXPECT_LT(*job.completion_step(1), *job.completion_step(2));
+}
+
+TEST(DagJob, BGreedyLevelOrderInvariant) {
+  // Paper Section 2: no task at level l completes later than any task at
+  // level l+1 under B-Greedy.
+  util::Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    DagJob job{builders::random_layered(rng, 12, 6, 0.4)};
+    job.enable_completion_recording();
+    util::Rng procs_rng = rng.split();
+    while (!job.finished()) {
+      job.step(static_cast<int>(procs_rng.uniform_int(1, 5)),
+               PickOrder::kBreadthFirst);
+    }
+    const auto n = static_cast<NodeId>(job.total_work());
+    for (NodeId a = 0; a < n; ++a) {
+      for (NodeId b = 0; b < n; ++b) {
+        if (job.node_level(a) + 1 == job.node_level(b)) {
+          EXPECT_LE(*job.completion_step(a), *job.completion_step(b))
+              << "level " << job.node_level(a) << " task finished after a "
+              << "level " << job.node_level(b) << " task";
+        }
+      }
+    }
+  }
+}
+
+TEST(DagJob, FifoOrderCanViolateLevelOrder) {
+  // Under FIFO the level-order invariant does not generally hold; this
+  // documents the behavioural difference B-Greedy introduces.  Sources
+  // 0 and 1; 0 -> 2.  FIFO runs 0, then (1, 2) are queued as [1, 2] — but
+  // with 2 processors both run in one step, so completion times tie; use
+  // one processor and check node 2 *can* complete before... with FIFO
+  // order [1, 2], 1 runs first.  Make node 2 arrive before a later source
+  // becomes ready: 0 -> 2, 1 independent, but 1 only becomes ready later
+  // via 3 -> 1.  Nodes: 0, 3 sources; 0->2 (level 1); 3->1 (level 1).
+  // FIFO after step 1 (runs 0 and 3): queue [2, 1]; both level 1 — not a
+  // violation.  Instead: 0 source; 0->2->4 chain; 3 source with 3->1,
+  // 1->5... Simplest demonstrable difference: deep chain vs wide level.
+  DagStructure s;
+  // 0 -> 1 -> 2 (chain, levels 0,1,2); 3, 4 sources (level 0).
+  s.children = {{1}, {2}, {}, {}, {}};
+  DagJob job{s};
+  job.enable_completion_recording();
+  // FIFO initial queue: [0, 3, 4].  1 processor.
+  job.step(1, PickOrder::kFifo);  // runs 0; queue [3, 4, 1]
+  job.step(1, PickOrder::kFifo);  // runs 3
+  job.step(1, PickOrder::kFifo);  // runs 4
+  job.step(1, PickOrder::kFifo);  // runs 1; queue [2]
+  job.step(1, PickOrder::kFifo);  // runs 2
+  EXPECT_TRUE(job.finished());
+  // Level-1 task (node 1) completed after level-0 tasks, consistent here,
+  // but node 1 completed at step 4 while the BF order would have completed
+  // it at step 2 after its parent — FIFO delayed the chain behind the
+  // unrelated sources.
+  EXPECT_EQ(*job.completion_step(1), 4);
+}
+
+TEST(DagJob, FreshCloneRestartsFromScratch) {
+  DagJob job{builders::diamond(3)};
+  job.step(10, PickOrder::kBreadthFirst);
+  job.step(10, PickOrder::kBreadthFirst);
+  EXPECT_GT(job.completed_work(), 0);
+  const auto clone = job.fresh_clone();
+  EXPECT_EQ(clone->completed_work(), 0);
+  EXPECT_FALSE(clone->finished());
+  EXPECT_EQ(clone->total_work(), job.total_work());
+  EXPECT_EQ(clone->critical_path(), job.critical_path());
+  EXPECT_DOUBLE_EQ(clone->level_progress(), 0.0);
+}
+
+TEST(DagJob, CompletionRecordingMustPrecedeExecution) {
+  DagJob job{builders::chain(2)};
+  job.step(1, PickOrder::kFifo);
+  EXPECT_THROW(job.enable_completion_recording(), std::logic_error);
+}
+
+TEST(DagJob, CompletionStepUnavailableWithoutRecording) {
+  DagJob job{builders::chain(2)};
+  job.step(1, PickOrder::kFifo);
+  EXPECT_FALSE(job.completion_step(0).has_value());
+}
+
+TEST(DagJob, CompletionStepUnavailableForUnexecutedTask) {
+  DagJob job{builders::chain(2)};
+  job.enable_completion_recording();
+  job.step(1, PickOrder::kFifo);
+  EXPECT_TRUE(job.completion_step(0).has_value());
+  EXPECT_FALSE(job.completion_step(1).has_value());
+}
+
+TEST(DagJob, RunQuantumDefaultLoopMatchesManualSteps) {
+  DagJob a{builders::diamond(6)};
+  DagJob b{builders::diamond(6)};
+  const QuantumExecution exec = a.run_quantum(2, 4, PickOrder::kBreadthFirst);
+  TaskCount manual_work = 0;
+  for (int s = 0; s < 4 && !b.finished(); ++s) {
+    manual_work += b.step(2, PickOrder::kBreadthFirst);
+  }
+  EXPECT_EQ(exec.work, manual_work);
+  EXPECT_EQ(exec.steps, 4);
+  EXPECT_DOUBLE_EQ(exec.cpl, b.level_progress());
+  EXPECT_EQ(exec.finished, b.finished());
+}
+
+TEST(DagJob, RunQuantumStopsWhenFinished) {
+  DagJob job{builders::chain(3)};
+  const QuantumExecution exec = job.run_quantum(1, 10, PickOrder::kFifo);
+  EXPECT_TRUE(exec.finished);
+  EXPECT_EQ(exec.steps, 3);
+  EXPECT_EQ(exec.work, 3);
+  EXPECT_EQ(exec.idle_steps, 0);
+}
+
+TEST(DagJob, RunQuantumRejectsNegativeArguments) {
+  DagJob job{builders::chain(3)};
+  EXPECT_THROW(job.run_quantum(-1, 5, PickOrder::kFifo),
+               std::invalid_argument);
+  EXPECT_THROW(job.run_quantum(1, -5, PickOrder::kFifo),
+               std::invalid_argument);
+}
+
+TEST(DagJob, DuplicateEdgesAreHarmless) {
+  DagStructure s;
+  s.children = {{1, 1}, {}};
+  DagJob job{s};
+  EXPECT_EQ(job.step(2, PickOrder::kFifo), 1);
+  EXPECT_EQ(job.step(2, PickOrder::kFifo), 1);
+  EXPECT_TRUE(job.finished());
+  EXPECT_EQ(job.completed_work(), 2);
+}
+
+}  // namespace
+}  // namespace abg::dag

@@ -1,0 +1,78 @@
+#include "dag/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dag/builders.hpp"
+
+namespace abg::dag {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST(Dot, ChainEdges) {
+  const std::string dot = to_dot(builders::chain(3));
+  EXPECT_NE(dot.find("digraph job {"), std::string::npos);
+  EXPECT_NE(dot.find("t0 -> t1;"), std::string::npos);
+  EXPECT_NE(dot.find("t1 -> t2;"), std::string::npos);
+  EXPECT_EQ(count_occurrences(dot, "->"), 2u);
+}
+
+TEST(Dot, CustomName) {
+  DotOptions options;
+  options.name = "my_dag";
+  const std::string dot = to_dot(builders::chain(2), options);
+  EXPECT_NE(dot.find("digraph my_dag {"), std::string::npos);
+}
+
+TEST(Dot, RankByLevelGroupsPeers) {
+  const std::string dot = to_dot(builders::diamond(3));
+  // Level 1 rank line groups the three middle tasks.
+  EXPECT_NE(dot.find("{ rank=same; t1; t2; t3; }"), std::string::npos);
+}
+
+TEST(Dot, RanksCanBeDisabled) {
+  DotOptions options;
+  options.rank_by_level = false;
+  const std::string dot = to_dot(builders::diamond(3), options);
+  EXPECT_EQ(dot.find("rank=same"), std::string::npos);
+}
+
+TEST(Dot, LevelLabels) {
+  DotOptions options;
+  options.label_levels = true;
+  const std::string dot = to_dot(builders::chain(2), options);
+  EXPECT_NE(dot.find("label=\"0 (level 0)\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"1 (level 1)\""), std::string::npos);
+}
+
+TEST(Dot, EdgeCountMatchesStructure) {
+  const DagStructure s = builders::fork_join({{1, 1}, {3, 2}, {1, 1}});
+  const std::string dot = to_dot(s);
+  EXPECT_EQ(count_occurrences(dot, "->"), s.edge_count());
+}
+
+TEST(Dot, ValidatesStructure) {
+  DagStructure cyclic;
+  cyclic.children = {{1}, {0}};
+  EXPECT_THROW(to_dot(cyclic), std::invalid_argument);
+}
+
+TEST(Dot, EmptyDag) {
+  const std::string dot = to_dot(DagStructure{});
+  EXPECT_NE(dot.find("digraph job {"), std::string::npos);
+  EXPECT_EQ(count_occurrences(dot, "->"), 0u);
+}
+
+}  // namespace
+}  // namespace abg::dag

@@ -1,0 +1,141 @@
+#include "alloc/equipartition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace abg::alloc {
+namespace {
+
+int sum(const std::vector<int>& v) {
+  return std::accumulate(v.begin(), v.end(), 0);
+}
+
+TEST(EquiPartition, EmptyRequestList) {
+  EquiPartition deq;
+  EXPECT_TRUE(deq.allocate({}, 16).empty());
+}
+
+TEST(EquiPartition, SingleJobGetsMinOfRequestAndMachine) {
+  EquiPartition deq;
+  EXPECT_EQ(deq.allocate({10}, 16).at(0), 10);
+  EXPECT_EQ(deq.allocate({100}, 16).at(0), 16);
+}
+
+TEST(EquiPartition, EqualSplitWhenAllDemandMore) {
+  EquiPartition deq;
+  const auto a = deq.allocate({100, 100, 100, 100}, 16);
+  EXPECT_EQ(a, (std::vector<int>{4, 4, 4, 4}));
+}
+
+TEST(EquiPartition, SmallRequestersFreeSurplusForOthers) {
+  EquiPartition deq;
+  // Fair share is 4, job 0 only wants 1; the other three split 15.
+  const auto a = deq.allocate({1, 100, 100, 100}, 16);
+  EXPECT_EQ(a.at(0), 1);
+  EXPECT_EQ(sum(a), 16);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_GE(a.at(static_cast<std::size_t>(i)), 5);
+  }
+}
+
+TEST(EquiPartition, Conservative) {
+  // a(q) <= d(q) always.
+  EquiPartition deq;
+  const std::vector<int> requests{3, 0, 7, 2, 9};
+  const auto a = deq.allocate(requests, 100);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_LE(a[i], requests[i]);
+  }
+  // Machine is big enough: everyone satisfied.
+  EXPECT_EQ(a, requests);
+}
+
+TEST(EquiPartition, NonReserving) {
+  // No processor idles while someone wants more.
+  EquiPartition deq;
+  const auto a = deq.allocate({5, 50}, 16);
+  EXPECT_EQ(sum(a), 16);
+  EXPECT_EQ(a.at(0), 5);
+  EXPECT_EQ(a.at(1), 11);
+}
+
+TEST(EquiPartition, FairnessWithinOne) {
+  // Jobs demanding more than the fair share differ by at most 1.
+  EquiPartition deq;
+  const auto a = deq.allocate({50, 50, 50}, 16);
+  EXPECT_EQ(sum(a), 16);
+  const auto [lo, hi] = std::minmax_element(a.begin(), a.end());
+  EXPECT_LE(*hi - *lo, 1);
+}
+
+TEST(EquiPartition, RemainderRotatesAcrossQuanta) {
+  EquiPartition deq;
+  // 16 over 3 greedy jobs: someone gets the extra processor; over three
+  // quanta each job gets it at least once.
+  std::vector<int> extras(3, 0);
+  for (int q = 0; q < 3; ++q) {
+    const auto a = deq.allocate({50, 50, 50}, 16);
+    for (std::size_t i = 0; i < 3; ++i) {
+      if (a[i] == 6) {
+        ++extras[i];
+      }
+    }
+  }
+  EXPECT_EQ(extras, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(EquiPartition, MoreJobsThanProcessors) {
+  EquiPartition deq;
+  const auto a = deq.allocate({5, 5, 5, 5, 5}, 3);
+  EXPECT_EQ(sum(a), 3);
+  for (const int x : a) {
+    EXPECT_LE(x, 1);
+  }
+}
+
+TEST(EquiPartition, ZeroRequestsGetNothing) {
+  EquiPartition deq;
+  const auto a = deq.allocate({0, 10, 0}, 8);
+  EXPECT_EQ(a.at(0), 0);
+  EXPECT_EQ(a.at(2), 0);
+  EXPECT_EQ(a.at(1), 8);
+}
+
+TEST(EquiPartition, ZeroMachine) {
+  EquiPartition deq;
+  const auto a = deq.allocate({4, 4}, 0);
+  EXPECT_EQ(a, (std::vector<int>{0, 0}));
+}
+
+TEST(EquiPartition, RejectsNegativeInputs) {
+  EquiPartition deq;
+  EXPECT_THROW(deq.allocate({-1}, 4), std::invalid_argument);
+  EXPECT_THROW(deq.allocate({1}, -4), std::invalid_argument);
+}
+
+TEST(EquiPartition, CascadingRedistribution) {
+  // Shares cascade: {2, 5, 100} on 12: share 4 -> job0 takes 2; remaining
+  // 10 over two: share 5 -> job1 takes 5; job2 gets 5.
+  EquiPartition deq;
+  const auto a = deq.allocate({2, 5, 100}, 12);
+  EXPECT_EQ(a, (std::vector<int>{2, 5, 5}));
+}
+
+TEST(EquiPartition, ResetRestartsRotation) {
+  EquiPartition deq;
+  const auto first = deq.allocate({50, 50, 50}, 16);
+  deq.reset();
+  const auto again = deq.allocate({50, 50, 50}, 16);
+  EXPECT_EQ(first, again);
+}
+
+TEST(EquiPartition, CloneIsIndependent) {
+  EquiPartition deq;
+  deq.allocate({50, 50, 50}, 16);  // advance rotation
+  const auto clone = deq.clone();
+  EXPECT_EQ(clone->name(), "equi-partition");
+}
+
+}  // namespace
+}  // namespace abg::alloc

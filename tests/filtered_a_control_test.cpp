@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "sched/a_control.hpp"
+
+namespace abg::sched {
+namespace {
+
+QuantumStats stats_with_parallelism(double parallelism) {
+  QuantumStats q;
+  q.length = 100;
+  q.steps_used = 100;
+  q.cpl = 10.0;
+  q.work = static_cast<dag::TaskCount>(parallelism * 10.0);
+  q.full = true;
+  return q;
+}
+
+TEST(FilteredAControl, Validation) {
+  EXPECT_THROW(
+      FilteredAControlRequest(FilteredAControlConfig{1.0, 0.5}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      FilteredAControlRequest(FilteredAControlConfig{0.2, 0.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      FilteredAControlRequest(FilteredAControlConfig{0.2, 1.5}),
+      std::invalid_argument);
+  EXPECT_NO_THROW(
+      FilteredAControlRequest(FilteredAControlConfig{0.2, 1.0}));
+}
+
+TEST(FilteredAControl, UnitSmoothingMatchesPlainAControl) {
+  FilteredAControlRequest filtered(FilteredAControlConfig{0.2, 1.0});
+  AControlRequest plain(AControlConfig{0.2});
+  for (const double a : {10.0, 4.0, 40.0, 40.0, 2.0}) {
+    const int rf = filtered.next_request(stats_with_parallelism(a));
+    const int rp = plain.next_request(stats_with_parallelism(a));
+    EXPECT_EQ(rf, rp);
+    EXPECT_NEAR(filtered.desire(), plain.desire(), 1e-12);
+  }
+}
+
+TEST(FilteredAControl, FirstMeasurementSeedsFilter) {
+  FilteredAControlRequest policy(FilteredAControlConfig{0.0, 0.5});
+  policy.next_request(stats_with_parallelism(16.0));
+  EXPECT_DOUBLE_EQ(policy.filtered_parallelism(), 16.0);
+}
+
+TEST(FilteredAControl, EwmaDampensSpike) {
+  FilteredAControlRequest policy(FilteredAControlConfig{0.0, 0.5});
+  policy.next_request(stats_with_parallelism(10.0));
+  // One-quantum spike to 50: the filter admits only half the jump.
+  policy.next_request(stats_with_parallelism(50.0));
+  EXPECT_DOUBLE_EQ(policy.filtered_parallelism(), 30.0);
+  // With r = 0 the desire follows the filtered value exactly.
+  EXPECT_DOUBLE_EQ(policy.desire(), 30.0);
+  // Back to 10: the spike decays geometrically instead of whiplashing.
+  policy.next_request(stats_with_parallelism(10.0));
+  EXPECT_DOUBLE_EQ(policy.filtered_parallelism(), 20.0);
+}
+
+TEST(FilteredAControl, ConvergesToConstantParallelism) {
+  FilteredAControlRequest policy(FilteredAControlConfig{0.2, 0.5});
+  int request = 0;
+  for (int q = 0; q < 40; ++q) {
+    request = policy.next_request(stats_with_parallelism(12.0));
+  }
+  EXPECT_EQ(request, 12);
+  EXPECT_NEAR(policy.desire(), 12.0, 1e-6);
+}
+
+TEST(FilteredAControl, HoldsWithoutMeasurement) {
+  FilteredAControlRequest policy;
+  policy.next_request(stats_with_parallelism(8.0));
+  const double desire = policy.desire();
+  QuantumStats empty;
+  policy.next_request(empty);
+  EXPECT_DOUBLE_EQ(policy.desire(), desire);
+}
+
+TEST(FilteredAControl, ResetClearsFilter) {
+  FilteredAControlRequest policy;
+  policy.next_request(stats_with_parallelism(8.0));
+  policy.reset();
+  EXPECT_DOUBLE_EQ(policy.desire(), 1.0);
+  EXPECT_DOUBLE_EQ(policy.filtered_parallelism(), 0.0);
+}
+
+TEST(FilteredAControl, CloneCopiesConfig) {
+  FilteredAControlRequest policy(FilteredAControlConfig{0.3, 0.25});
+  const auto clone = policy.clone();
+  auto* typed = dynamic_cast<FilteredAControlRequest*>(clone.get());
+  ASSERT_NE(typed, nullptr);
+  EXPECT_DOUBLE_EQ(typed->config().convergence_rate, 0.3);
+  EXPECT_DOUBLE_EQ(typed->config().smoothing, 0.25);
+  EXPECT_EQ(typed->name(), "a-control-filtered");
+}
+
+}  // namespace
+}  // namespace abg::sched

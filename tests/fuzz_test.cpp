@@ -1,0 +1,193 @@
+// Randomized cross-cutting stress tests: random workloads x random
+// schedulers x random allocators x random machine configs, every produced
+// trace pushed through the consistency validator and cross-checked against
+// global invariants.  These are the tests that catch interaction bugs no
+// focused unit test anticipates.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "alloc/availability_profile.hpp"
+#include "alloc/equipartition.hpp"
+#include "alloc/round_robin.hpp"
+#include "alloc/unconstrained.hpp"
+#include "core/run.hpp"
+#include "sim/async_simulator.hpp"
+#include "dag/builders.hpp"
+#include "dag/dag_job.hpp"
+#include "dag/profile_job.hpp"
+#include "sim/validate.hpp"
+#include "steal/schedulers.hpp"
+#include "steal/work_stealing_job.hpp"
+#include "workload/fork_join.hpp"
+#include "workload/profiles.hpp"
+
+namespace abg {
+namespace {
+
+std::unique_ptr<dag::Job> random_job(util::Rng& rng) {
+  switch (rng.uniform_int(0, 5)) {
+    case 0:
+      return std::make_unique<dag::ProfileJob>(
+          workload::random_walk_profile(rng, rng.uniform_int(1, 300), 24,
+                                        2.0));
+    case 1: {
+      workload::ForkJoinSpec spec;
+      spec.transition_factor = static_cast<double>(rng.uniform_int(1, 24));
+      spec.phase_pairs = static_cast<int>(rng.uniform_int(1, 4));
+      spec.min_phase_levels = 5;
+      spec.max_phase_levels = 120;
+      return workload::make_fork_join_job(rng, spec);
+    }
+    case 2:
+      return std::make_unique<dag::DagJob>(dag::builders::random_layered(
+          rng, rng.uniform_int(1, 40), rng.uniform_int(1, 10), 0.3));
+    case 3:
+      return std::make_unique<dag::DagJob>(dag::builders::series_parallel(
+          rng, static_cast<int>(rng.uniform_int(0, 5)), 3));
+    case 4:
+      return std::make_unique<steal::WorkStealingJob>(
+          dag::builders::random_layered(rng, rng.uniform_int(1, 30),
+                                        rng.uniform_int(1, 8), 0.4),
+          rng.engine()());
+    default: {
+      const auto width = rng.uniform_int(1, 12);
+      std::vector<dag::Steps> durations(static_cast<std::size_t>(width) + 2);
+      for (auto& d : durations) {
+        d = rng.uniform_int(1, 9);
+      }
+      return std::make_unique<dag::DagJob>(dag::builders::expand_weighted(
+          dag::builders::diamond(width), durations));
+    }
+  }
+}
+
+core::SchedulerSpec random_scheduler(util::Rng& rng, int processors) {
+  switch (rng.uniform_int(0, 4)) {
+    case 0:
+      return core::abg_spec(
+          core::AbgConfig{.convergence_rate = rng.uniform_real(0.0, 0.9)});
+    case 1:
+      return core::a_greedy_spec();
+    case 2:
+      return core::abg_auto_spec();
+    case 3:
+      return core::static_spec(
+          static_cast<int>(rng.uniform_int(1, processors)));
+    default:
+      return core::SchedulerSpec{
+          "filtered",
+          std::make_unique<sched::BGreedyExecution>(),
+          std::make_unique<sched::FilteredAControlRequest>(
+              sched::FilteredAControlConfig{0.2,
+                                            rng.uniform_real(0.1, 1.0)})};
+  }
+}
+
+std::unique_ptr<alloc::Allocator> random_allocator(util::Rng& rng,
+                                                   int processors) {
+  switch (rng.uniform_int(0, 3)) {
+    case 0:
+      return std::make_unique<alloc::EquiPartition>();
+    case 1:
+      return std::make_unique<alloc::RoundRobin>();
+    case 2:
+      return std::make_unique<alloc::Unconstrained>();
+    default: {
+      std::vector<int> availability;
+      const auto entries = rng.uniform_int(1, 16);
+      for (int i = 0; i < entries; ++i) {
+        availability.push_back(
+            static_cast<int>(rng.uniform_int(1, processors)));
+      }
+      return std::make_unique<alloc::AvailabilityProfile>(
+          std::move(availability));
+    }
+  }
+}
+
+class Fuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Fuzz, SingleJobTracesAlwaysValidate) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 8; ++trial) {
+    const int processors = static_cast<int>(rng.uniform_int(1, 64));
+    const auto job = random_job(rng);
+    const auto spec = random_scheduler(rng, processors);
+    const auto allocator = random_allocator(rng, processors);
+    sim::SingleJobConfig config{
+        .processors = processors,
+        .quantum_length = rng.uniform_int(1, 60),
+        .reallocation_cost_per_proc = rng.uniform_int(0, 1)};
+    if (config.quantum_length < 8) {
+      config.reallocation_cost_per_proc = 0;  // avoid by-design livelock
+    }
+    const sim::JobTrace trace =
+        core::run_single(spec, *job, config, allocator.get());
+
+    const auto issues = sim::validate_trace(trace);
+    ASSERT_TRUE(issues.empty())
+        << spec.name << " on " << allocator->name() << ": "
+        << issues.front();
+    ASSERT_TRUE(trace.finished());
+    ASSERT_EQ(trace.work, job->total_work());
+    ASSERT_GE(trace.response_time(), trace.critical_path);
+    // Lower bound: a machine of P processors cannot beat T1/P rounded up.
+    ASSERT_GE(trace.response_time(),
+              (trace.work + processors - 1) / processors);
+  }
+}
+
+TEST_P(Fuzz, JobSetResultsAlwaysValidate) {
+  util::Rng rng(GetParam() ^ 0xF00DULL);
+  for (int trial = 0; trial < 3; ++trial) {
+    const int processors = static_cast<int>(rng.uniform_int(2, 32));
+    const auto jobs = rng.uniform_int(1, 6);
+    std::vector<sim::JobSubmission> subs;
+    for (int j = 0; j < jobs; ++j) {
+      sim::JobSubmission s;
+      // Keep the set to centralized job types (work stealing included via
+      // single-job fuzzing above).
+      util::Rng job_rng = rng.split();
+      s.job = std::make_unique<dag::ProfileJob>(
+          workload::random_walk_profile(job_rng, rng.uniform_int(1, 150),
+                                        16, 2.0));
+      s.release_step = rng.uniform_int(0, 200);
+      subs.push_back(std::move(s));
+    }
+    const auto spec = random_scheduler(rng, processors);
+    auto allocator = std::make_unique<alloc::EquiPartition>();
+    const bool use_async = rng.bernoulli(0.3);
+    sim::SimConfig config{
+        .processors = processors,
+        .quantum_length = rng.uniform_int(1, 40),
+        .max_active_jobs =
+            static_cast<int>(rng.uniform_int(1, processors)),
+        .reallocation_cost_per_proc = rng.uniform_int(0, 1)};
+    if (use_async || config.quantum_length < 8) {
+      // Tiny quanta with migration charges can livelock by design (every
+      // quantum consumed by reallocation); that regime is exercised
+      // deliberately in overhead_test, not fuzzed.
+      config.reallocation_cost_per_proc = 0;
+    }
+    const sim::SimResult result =
+        use_async ? sim::simulate_job_set_async(std::move(subs),
+                                                *spec.execution,
+                                                *spec.request, config)
+                  : core::run_set(spec, std::move(subs), config,
+                                  allocator.get());
+    const auto issues = sim::validate_result(result, processors);
+    ASSERT_TRUE(issues.empty())
+        << spec.name << (use_async ? " (async)" : "") << ": "
+        << issues.front();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz,
+                         ::testing::Range<std::uint64_t>(1u, 13u),
+                         [](const auto& param_info) {
+                           return "Seed" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace abg

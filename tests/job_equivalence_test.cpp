@@ -1,0 +1,84 @@
+// Property test: ProfileJob (closed-form level-barrier execution) is
+// behaviourally identical to a DagJob over the equivalent barrier DAG, for
+// both pick orders and arbitrary allotment sequences.  This ties the fast
+// path used by the paper-scale experiments to the fully general model.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "dag/builders.hpp"
+#include "dag/dag_job.hpp"
+#include "dag/profile_job.hpp"
+#include "util/rng.hpp"
+
+namespace abg::dag {
+namespace {
+
+class JobEquivalence
+    : public ::testing::TestWithParam<std::tuple<PickOrder, std::uint64_t>> {
+};
+
+TEST_P(JobEquivalence, StepByStepAgreement) {
+  const auto [order, seed] = GetParam();
+  util::Rng rng(seed);
+  const auto levels = rng.uniform_int(1, 15);
+  std::vector<TaskCount> widths;
+  for (int l = 0; l < levels; ++l) {
+    widths.push_back(rng.uniform_int(1, 8));
+  }
+  ProfileJob profile(widths);
+  DagJob dag{builders::barrier_profile(widths)};
+
+  while (!profile.finished()) {
+    const int procs = static_cast<int>(rng.uniform_int(1, 10));
+    const TaskCount done_profile = profile.step(procs, order);
+    const TaskCount done_dag = dag.step(procs, order);
+    ASSERT_EQ(done_profile, done_dag);
+    ASSERT_EQ(profile.completed_work(), dag.completed_work());
+    ASSERT_NEAR(profile.level_progress(), dag.level_progress(), 1e-9);
+    ASSERT_EQ(profile.ready_count(), dag.ready_count());
+    ASSERT_EQ(profile.finished(), dag.finished());
+  }
+  EXPECT_TRUE(dag.finished());
+}
+
+TEST_P(JobEquivalence, QuantumAgreement) {
+  const auto [order, seed] = GetParam();
+  util::Rng rng(seed ^ 0xABCDULL);
+  const auto levels = rng.uniform_int(1, 12);
+  std::vector<TaskCount> widths;
+  for (int l = 0; l < levels; ++l) {
+    widths.push_back(rng.uniform_int(1, 6));
+  }
+  ProfileJob profile(widths);
+  DagJob dag{builders::barrier_profile(widths)};
+
+  while (!profile.finished()) {
+    const int procs = static_cast<int>(rng.uniform_int(1, 7));
+    const Steps budget = rng.uniform_int(1, 6);
+    const QuantumExecution a = profile.run_quantum(procs, budget, order);
+    const QuantumExecution b = dag.run_quantum(procs, budget, order);
+    ASSERT_EQ(a.work, b.work);
+    ASSERT_EQ(a.steps, b.steps);
+    ASSERT_EQ(a.idle_steps, b.idle_steps);
+    ASSERT_EQ(a.finished, b.finished);
+    ASSERT_NEAR(a.cpl, b.cpl, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomProfiles, JobEquivalence,
+    ::testing::Combine(::testing::Values(PickOrder::kFifo,
+                                         PickOrder::kBreadthFirst),
+                       ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                         55u, 89u)),
+    [](const auto& param_info) {
+      const PickOrder order = std::get<0>(param_info.param);
+      const std::uint64_t seed = std::get<1>(param_info.param);
+      return std::string(order == PickOrder::kFifo ? "Fifo" : "Bf") +
+             "Seed" + std::to_string(seed);
+    });
+
+}  // namespace
+}  // namespace abg::dag

@@ -1,0 +1,67 @@
+#include "sched/quantum_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace abg::sched {
+namespace {
+
+QuantumStats make_stats() {
+  QuantumStats q;
+  q.index = 3;
+  q.request = 10;
+  q.allotment = 8;
+  q.length = 100;
+  q.steps_used = 100;
+  q.work = 600;
+  q.cpl = 50.0;
+  q.full = true;
+  return q;
+}
+
+TEST(QuantumStats, AverageParallelism) {
+  const QuantumStats q = make_stats();
+  EXPECT_DOUBLE_EQ(q.average_parallelism(), 12.0);
+}
+
+TEST(QuantumStats, AverageParallelismZeroCpl) {
+  QuantumStats q = make_stats();
+  q.cpl = 0.0;
+  EXPECT_DOUBLE_EQ(q.average_parallelism(), 0.0);
+}
+
+TEST(QuantumStats, WorkEfficiency) {
+  const QuantumStats q = make_stats();
+  EXPECT_DOUBLE_EQ(q.work_efficiency(), 600.0 / 800.0);
+}
+
+TEST(QuantumStats, WorkEfficiencyZeroAllotment) {
+  QuantumStats q = make_stats();
+  q.allotment = 0;
+  EXPECT_DOUBLE_EQ(q.work_efficiency(), 0.0);
+}
+
+TEST(QuantumStats, CplEfficiency) {
+  const QuantumStats q = make_stats();
+  EXPECT_DOUBLE_EQ(q.cpl_efficiency(), 0.5);
+}
+
+TEST(QuantumStats, Deprived) {
+  QuantumStats q = make_stats();
+  EXPECT_TRUE(q.deprived());
+  q.allotment = 10;
+  EXPECT_FALSE(q.deprived());
+}
+
+TEST(QuantumStats, Waste) {
+  const QuantumStats q = make_stats();
+  EXPECT_EQ(q.waste(), 8 * 100 - 600);
+}
+
+TEST(QuantumStats, WasteZeroWhenFullyUsed) {
+  QuantumStats q = make_stats();
+  q.work = 800;
+  EXPECT_EQ(q.waste(), 0);
+}
+
+}  // namespace
+}  // namespace abg::sched

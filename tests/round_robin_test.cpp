@@ -1,0 +1,88 @@
+#include "alloc/round_robin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace abg::alloc {
+namespace {
+
+int sum(const std::vector<int>& v) {
+  return std::accumulate(v.begin(), v.end(), 0);
+}
+
+TEST(RoundRobin, DealsOneAtATime) {
+  RoundRobin rr;
+  const auto a = rr.allocate({10, 10, 10}, 7);
+  EXPECT_EQ(sum(a), 7);
+  // 7 = 3+2+2 starting at job 0.
+  EXPECT_EQ(a, (std::vector<int>{3, 2, 2}));
+}
+
+TEST(RoundRobin, SkipsSatisfiedJobs) {
+  RoundRobin rr;
+  const auto a = rr.allocate({1, 10, 1}, 9);
+  EXPECT_EQ(a.at(0), 1);
+  EXPECT_EQ(a.at(2), 1);
+  EXPECT_EQ(a.at(1), 7);
+}
+
+TEST(RoundRobin, StopsWhenAllSatisfied) {
+  RoundRobin rr;
+  const auto a = rr.allocate({2, 2}, 100);
+  EXPECT_EQ(a, (std::vector<int>{2, 2}));
+}
+
+TEST(RoundRobin, Conservative) {
+  RoundRobin rr;
+  const std::vector<int> requests{0, 3, 5};
+  const auto a = rr.allocate(requests, 50);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_LE(a[i], requests[i]);
+  }
+}
+
+TEST(RoundRobin, RotationAdvancesEachQuantum) {
+  RoundRobin rr;
+  const auto q1 = rr.allocate({10, 10, 10}, 7);
+  const auto q2 = rr.allocate({10, 10, 10}, 7);
+  // Quantum 2 starts dealing from job 1.
+  EXPECT_EQ(q1, (std::vector<int>{3, 2, 2}));
+  EXPECT_EQ(q2, (std::vector<int>{2, 3, 2}));
+}
+
+TEST(RoundRobin, WithinOneOfEquiShareForGreedyJobs) {
+  RoundRobin rr;
+  const auto a = rr.allocate({100, 100, 100, 100}, 18);
+  const auto [lo, hi] = std::minmax_element(a.begin(), a.end());
+  EXPECT_LE(*hi - *lo, 1);
+  EXPECT_EQ(sum(a), 18);
+}
+
+TEST(RoundRobin, EmptyAndZeroMachine) {
+  RoundRobin rr;
+  EXPECT_TRUE(rr.allocate({}, 5).empty());
+  EXPECT_EQ(rr.allocate({3}, 0), (std::vector<int>{0}));
+}
+
+TEST(RoundRobin, AllZeroRequests) {
+  RoundRobin rr;
+  EXPECT_EQ(rr.allocate({0, 0}, 8), (std::vector<int>{0, 0}));
+}
+
+TEST(RoundRobin, RejectsNegativeInputs) {
+  RoundRobin rr;
+  EXPECT_THROW(rr.allocate({-2}, 4), std::invalid_argument);
+  EXPECT_THROW(rr.allocate({2}, -1), std::invalid_argument);
+}
+
+TEST(RoundRobin, ResetRestartsRotation) {
+  RoundRobin rr;
+  const auto first = rr.allocate({10, 10}, 3);
+  rr.allocate({10, 10}, 3);
+  rr.reset();
+  EXPECT_EQ(rr.allocate({10, 10}, 3), first);
+}
+
+}  // namespace
+}  // namespace abg::alloc

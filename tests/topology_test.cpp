@@ -1,0 +1,58 @@
+#include "dag/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/builders.hpp"
+
+namespace abg::dag {
+namespace {
+
+TEST(Topology, ChainLevelsAndCriticalPath) {
+  const auto topo = build_topology(builders::chain(4));
+  EXPECT_EQ(topo->critical_path, 4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(topo->level[i], i);
+  }
+  EXPECT_EQ(topo->level_size, (std::vector<TaskCount>{1, 1, 1, 1}));
+  EXPECT_EQ(topo->initial_parents[0], 0u);
+  EXPECT_EQ(topo->initial_parents[3], 1u);
+}
+
+TEST(Topology, DiamondParentCounts) {
+  const auto topo = build_topology(builders::diamond(3));
+  EXPECT_EQ(topo->initial_parents[0], 0u);
+  EXPECT_EQ(topo->initial_parents[1], 1u);
+  EXPECT_EQ(topo->initial_parents[4], 3u);  // sink joins all 3 middles
+}
+
+TEST(Topology, EmptyDag) {
+  const auto topo = build_topology(DagStructure{});
+  EXPECT_EQ(topo->critical_path, 0);
+  EXPECT_TRUE(topo->level.empty());
+  EXPECT_TRUE(topo->level_size.empty());
+}
+
+TEST(Topology, RejectsCycle) {
+  DagStructure s;
+  s.children = {{1}, {2}, {0}};
+  EXPECT_THROW(build_topology(s), std::invalid_argument);
+}
+
+TEST(Topology, RejectsSelfLoopAndRange) {
+  DagStructure self_loop;
+  self_loop.children = {{0}};
+  EXPECT_THROW(build_topology(self_loop), std::invalid_argument);
+  DagStructure out_of_range;
+  out_of_range.children = {{7}};
+  EXPECT_THROW(build_topology(out_of_range), std::invalid_argument);
+}
+
+TEST(Topology, SharedAcrossConsumers) {
+  const auto topo = build_topology(builders::grid(3, 3));
+  EXPECT_EQ(topo->critical_path, 5);  // rows + cols - 1
+  // Anti-diagonal level sizes: 1, 2, 3, 2, 1.
+  EXPECT_EQ(topo->level_size, (std::vector<TaskCount>{1, 2, 3, 2, 1}));
+}
+
+}  // namespace
+}  // namespace abg::dag

@@ -1,0 +1,98 @@
+#include "sim/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/run.hpp"
+#include "dag/profile_job.hpp"
+#include "workload/profiles.hpp"
+
+namespace abg::sim {
+namespace {
+
+JobTrace sample_trace() {
+  dag::ProfileJob job(workload::square_wave_profile(1, 20, 6, 20, 2));
+  return core::run_single(
+      core::abg_spec(), job,
+      SingleJobConfig{.processors = 16, .quantum_length = 15});
+}
+
+TEST(TraceIo, RoundTripPreservesQuanta) {
+  const JobTrace original = sample_trace();
+  std::stringstream buffer;
+  write_trace_csv(buffer, original);
+  const JobTrace parsed = read_trace_csv(buffer);
+  ASSERT_EQ(parsed.quanta.size(), original.quanta.size());
+  for (std::size_t i = 0; i < original.quanta.size(); ++i) {
+    const auto& a = original.quanta[i];
+    const auto& b = parsed.quanta[i];
+    EXPECT_EQ(a.index, b.index);
+    EXPECT_EQ(a.start_step, b.start_step);
+    EXPECT_EQ(a.request, b.request);
+    EXPECT_EQ(a.allotment, b.allotment);
+    EXPECT_EQ(a.available, b.available);
+    EXPECT_EQ(a.length, b.length);
+    EXPECT_EQ(a.steps_used, b.steps_used);
+    EXPECT_EQ(a.work, b.work);
+    EXPECT_NEAR(a.cpl, b.cpl, 1e-9);
+    EXPECT_EQ(a.full, b.full);
+    EXPECT_EQ(a.finished, b.finished);
+  }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  std::stringstream buffer;
+  write_trace_csv(buffer, JobTrace{});
+  EXPECT_TRUE(read_trace_csv(buffer).quanta.empty());
+}
+
+TEST(TraceIo, RejectsMissingHeader) {
+  std::stringstream buffer("1,2,3\n");
+  EXPECT_THROW(read_trace_csv(buffer), std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsWrongColumnCount) {
+  std::stringstream buffer;
+  buffer << "index,start_step,request,allotment,available,length,"
+         << "steps_used,work,cpl,full,finished\n1,2,3\n";
+  EXPECT_THROW(read_trace_csv(buffer), std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsMalformedNumbers) {
+  std::stringstream buffer;
+  buffer << "index,start_step,request,allotment,available,length,"
+         << "steps_used,work,cpl,full,finished\n"
+         << "x,0,1,1,1,10,10,10,5.0,1,0\n";
+  EXPECT_THROW(read_trace_csv(buffer), std::invalid_argument);
+}
+
+TEST(TraceIo, ResultSummaryShape) {
+  std::vector<JobSubmission> subs;
+  for (int j = 0; j < 2; ++j) {
+    JobSubmission s;
+    s.job = std::make_unique<dag::ProfileJob>(
+        workload::constant_profile(3, 30));
+    subs.push_back(std::move(s));
+  }
+  const SimResult result = core::run_set(
+      core::abg_spec(), std::move(subs),
+      SimConfig{.processors = 8, .quantum_length = 10});
+  std::stringstream buffer;
+  write_result_csv(buffer, result);
+  std::string line;
+  std::getline(buffer, line);
+  EXPECT_EQ(line,
+            "job,release,completion,response,work,critical_path,waste,"
+            "quanta");
+  int rows = 0;
+  while (std::getline(buffer, line)) {
+    if (!line.empty()) {
+      ++rows;
+    }
+  }
+  EXPECT_EQ(rows, 2);
+}
+
+}  // namespace
+}  // namespace abg::sim

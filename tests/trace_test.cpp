@@ -1,0 +1,77 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace abg::sim {
+namespace {
+
+sched::QuantumStats quantum(int request, int allotment, dag::TaskCount work,
+                            double cpl, dag::Steps length = 10) {
+  sched::QuantumStats q;
+  q.request = request;
+  q.allotment = allotment;
+  q.available = allotment + 2;
+  q.work = work;
+  q.cpl = cpl;
+  q.length = length;
+  q.steps_used = length;
+  q.full = true;
+  return q;
+}
+
+JobTrace sample_trace() {
+  JobTrace t;
+  t.release_step = 5;
+  t.completion_step = 45;
+  t.work = 100;
+  t.critical_path = 20;
+  t.quanta.push_back(quantum(1, 1, 10, 5.0));
+  t.quanta.push_back(quantum(4, 3, 28, 7.0));
+  t.quanta.push_back(quantum(8, 8, 62, 8.0));
+  return t;
+}
+
+TEST(JobTrace, ResponseTime) {
+  const JobTrace t = sample_trace();
+  EXPECT_EQ(t.response_time(), 40);
+}
+
+TEST(JobTrace, ResponseTimeThrowsIfUnfinished) {
+  JobTrace t;
+  EXPECT_FALSE(t.finished());
+  EXPECT_THROW(t.response_time(), std::logic_error);
+}
+
+TEST(JobTrace, TotalWaste) {
+  const JobTrace t = sample_trace();
+  // (1*10-10) + (3*10-28) + (8*10-62) = 0 + 2 + 18 = 20.
+  EXPECT_EQ(t.total_waste(), 20);
+}
+
+TEST(JobTrace, TotalAllotted) {
+  const JobTrace t = sample_trace();
+  EXPECT_EQ(t.total_allotted(), 120);
+}
+
+TEST(JobTrace, Series) {
+  const JobTrace t = sample_trace();
+  EXPECT_EQ(t.request_series(), (std::vector<double>{1.0, 4.0, 8.0}));
+  EXPECT_EQ(t.allotment_series(), (std::vector<int>{1, 3, 8}));
+  EXPECT_EQ(t.availability_series(), (std::vector<int>{3, 5, 10}));
+  const auto parallelism = t.parallelism_series();
+  ASSERT_EQ(parallelism.size(), 3u);
+  EXPECT_DOUBLE_EQ(parallelism[0], 2.0);
+  EXPECT_DOUBLE_EQ(parallelism[1], 4.0);
+  EXPECT_DOUBLE_EQ(parallelism[2], 7.75);
+}
+
+TEST(JobTrace, EmptyTraceDefaults) {
+  JobTrace t;
+  EXPECT_EQ(t.total_waste(), 0);
+  EXPECT_EQ(t.total_allotted(), 0);
+  EXPECT_TRUE(t.request_series().empty());
+  EXPECT_TRUE(t.parallelism_series().empty());
+}
+
+}  // namespace
+}  // namespace abg::sim

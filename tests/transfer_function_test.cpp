@@ -1,0 +1,125 @@
+#include "control/transfer_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace abg::control {
+namespace {
+
+TEST(TransferFunction, RejectsZeroDenominator) {
+  EXPECT_THROW(TransferFunction(Polynomial({1.0}), Polynomial()),
+               std::invalid_argument);
+}
+
+TEST(TransferFunction, PolesAndZeros) {
+  // H(z) = (z - 2) / (z - 0.5).
+  TransferFunction h(Polynomial({-2.0, 1.0}), Polynomial({-0.5, 1.0}));
+  const auto poles = h.poles();
+  ASSERT_EQ(poles.size(), 1u);
+  EXPECT_NEAR(poles[0].real(), 0.5, 1e-12);
+  const auto zeros = h.zeros();
+  ASSERT_EQ(zeros.size(), 1u);
+  EXPECT_NEAR(zeros[0].real(), 2.0, 1e-12);
+}
+
+TEST(TransferFunction, ZeroNumeratorHasNoZeros) {
+  TransferFunction h(Polynomial(), Polynomial({1.0, 1.0}));
+  EXPECT_TRUE(h.zeros().empty());
+}
+
+TEST(TransferFunction, EvalAndDcGain) {
+  // H(z) = 1 / (z - 0.5); H(1) = 2.
+  TransferFunction h(Polynomial({1.0}), Polynomial({-0.5, 1.0}));
+  EXPECT_NEAR(h.dc_gain(), 2.0, 1e-12);
+}
+
+TEST(TransferFunction, EvalAtPoleThrows) {
+  TransferFunction h(Polynomial({1.0}), Polynomial({-1.0, 1.0}));
+  EXPECT_THROW(h.dc_gain(), std::invalid_argument);
+}
+
+TEST(TransferFunction, SeriesComposition) {
+  // (1/(z-1)) * (2/1) = 2/(z-1).
+  TransferFunction a(Polynomial({1.0}), Polynomial({-1.0, 1.0}));
+  TransferFunction b(Polynomial({2.0}), Polynomial({1.0}));
+  const TransferFunction c = a.series(b);
+  EXPECT_EQ(c.num(), Polynomial({2.0}));
+  EXPECT_EQ(c.den(), Polynomial({-1.0, 1.0}));
+}
+
+TEST(TransferFunction, FeedbackClosure) {
+  // H = K/(z-1); H/(1+H) = K/(z-1+K).
+  const double K = 0.75;
+  TransferFunction open(Polynomial({K}), Polynomial({-1.0, 1.0}));
+  const TransferFunction closed = open.feedback();
+  EXPECT_EQ(closed.num(), Polynomial({K}));
+  EXPECT_EQ(closed.den(), Polynomial({K - 1.0, 1.0}));
+}
+
+TEST(TransferFunction, SimulateFirstOrderStepResponse) {
+  // T(z) = (1-p)/(z-p): unit-step response y[n] = 1 - p^(n) ... with one
+  // step delay: y[0] = 0, y[n] = 1 - p^n.
+  const double p = 0.6;
+  TransferFunction t(Polynomial({1.0 - p}), Polynomial({-p, 1.0}));
+  const auto y = t.simulate(unit_step(20));
+  ASSERT_EQ(y.size(), 20u);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  for (std::size_t n = 1; n < y.size(); ++n) {
+    EXPECT_NEAR(y[n], 1.0 - std::pow(p, static_cast<double>(n)), 1e-12);
+  }
+}
+
+TEST(TransferFunction, SimulateImpulseResponse) {
+  // T(z) = 1/(z-p): impulse response h[n] = p^(n-1) for n >= 1.
+  const double p = 0.5;
+  TransferFunction t(Polynomial({1.0}), Polynomial({-p, 1.0}));
+  const auto y = t.simulate(impulse(10));
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  for (std::size_t n = 1; n < y.size(); ++n) {
+    EXPECT_NEAR(y[n], std::pow(p, static_cast<double>(n - 1)), 1e-12);
+  }
+}
+
+TEST(TransferFunction, SimulateStaticGain) {
+  TransferFunction t(Polynomial({3.0}), Polynomial({1.0}));
+  const auto y = t.simulate({1.0, 2.0, -1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], -3.0);
+}
+
+TEST(TransferFunction, SimulateSecondOrder) {
+  // T(z) = 1 / (z^2 - z + 0.25) = 1/(z - 0.5)^2.  Verify against direct
+  // recurrence y[n] = u[n-2] + y[n-1] - 0.25 y[n-2].
+  TransferFunction t(Polynomial({1.0}), Polynomial({0.25, -1.0, 1.0}));
+  const auto u = unit_step(15);
+  const auto y = t.simulate(u);
+  std::vector<double> ref(u.size(), 0.0);
+  for (std::size_t n = 0; n < u.size(); ++n) {
+    const double u2 = n >= 2 ? u[n - 2] : 0.0;
+    const double y1 = n >= 1 ? ref[n - 1] : 0.0;
+    const double y2 = n >= 2 ? ref[n - 2] : 0.0;
+    ref[n] = u2 + y1 - 0.25 * y2;
+  }
+  for (std::size_t n = 0; n < u.size(); ++n) {
+    EXPECT_NEAR(y[n], ref[n], 1e-12) << "n=" << n;
+  }
+}
+
+TEST(TransferFunction, SimulateRejectsImproperSystem) {
+  // deg(num) > deg(den): non-causal.
+  TransferFunction t(Polynomial({0.0, 0.0, 1.0}), Polynomial({1.0, 1.0}));
+  EXPECT_THROW(t.simulate(unit_step(5)), std::invalid_argument);
+}
+
+TEST(Inputs, UnitStepAndImpulse) {
+  const auto u = unit_step(3, 2.0);
+  EXPECT_EQ(u, (std::vector<double>{2.0, 2.0, 2.0}));
+  const auto d = impulse(3, 5.0);
+  EXPECT_EQ(d, (std::vector<double>{5.0, 0.0, 0.0}));
+  EXPECT_TRUE(impulse(0).empty());
+}
+
+}  // namespace
+}  // namespace abg::control

@@ -1,0 +1,100 @@
+#include "metrics/trim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace abg::metrics {
+namespace {
+
+sched::QuantumStats quantum(int request, int allotment, dag::TaskCount work,
+                            double cpl, bool full = true,
+                            dag::Steps length = 10) {
+  sched::QuantumStats q;
+  q.request = request;
+  q.allotment = allotment;
+  q.work = work;
+  q.cpl = cpl;
+  q.length = length;
+  q.steps_used = length;
+  q.full = full;
+  return q;
+}
+
+TEST(ClassifyQuanta, AccountedRequiresDeprivedAndUnderParallel) {
+  sim::JobTrace t;
+  // Deprived (3 < 8) and under-parallel (3 < A = 10): accounted.
+  t.quanta.push_back(quantum(8, 3, 30, 3.0));
+  // Satisfied (a == d): deductible even though under-parallel.
+  t.quanta.push_back(quantum(3, 3, 30, 3.0));
+  // Deprived but allotment >= parallelism (5 >= A = 2): deductible.
+  t.quanta.push_back(quantum(8, 5, 20, 10.0));
+  // Non-full quantum.
+  t.quanta.push_back(quantum(8, 3, 5, 1.0, /*full=*/false));
+  const auto classes = classify_quanta(t);
+  ASSERT_EQ(classes.size(), 4u);
+  EXPECT_EQ(classes[0], QuantumClass::kAccounted);
+  EXPECT_EQ(classes[1], QuantumClass::kDeductible);
+  EXPECT_EQ(classes[2], QuantumClass::kDeductible);
+  EXPECT_EQ(classes[3], QuantumClass::kNonFull);
+
+  const TrimBreakdown b = count_classes(classes);
+  EXPECT_EQ(b.accounted, 1u);
+  EXPECT_EQ(b.deductible, 2u);
+  EXPECT_EQ(b.non_full, 1u);
+}
+
+TEST(ClassifyQuanta, AllotmentEqualToParallelismIsDeductible) {
+  sim::JobTrace t;
+  // a = A = 4 exactly: not under-parallel (strict <), deductible.
+  t.quanta.push_back(quantum(8, 4, 40, 10.0));
+  EXPECT_EQ(classify_quanta(t)[0], QuantumClass::kDeductible);
+}
+
+TEST(TrimmedAvailability, NoTrimIsPlainAverage) {
+  EXPECT_DOUBLE_EQ(trimmed_availability({4, 8, 12}, 10, 0), 8.0);
+}
+
+TEST(TrimmedAvailability, TrimsHighestQuanta) {
+  // Trim 10 steps = 1 quantum (L = 10): drops the 12.
+  EXPECT_DOUBLE_EQ(trimmed_availability({4, 8, 12}, 10, 10), 6.0);
+  // Trim 11..20 steps = 2 quanta: drops 12 and 8.
+  EXPECT_DOUBLE_EQ(trimmed_availability({4, 8, 12}, 10, 15), 4.0);
+}
+
+TEST(TrimmedAvailability, TrimEverythingIsZero) {
+  EXPECT_DOUBLE_EQ(trimmed_availability({4, 8}, 10, 100), 0.0);
+}
+
+TEST(TrimmedAvailability, EmptySeries) {
+  EXPECT_DOUBLE_EQ(trimmed_availability({}, 10, 5), 0.0);
+}
+
+TEST(TrimmedAvailability, RejectsBadArguments) {
+  EXPECT_THROW(trimmed_availability({1}, 0, 5), std::invalid_argument);
+  EXPECT_THROW(trimmed_availability({1}, 10, -1), std::invalid_argument);
+}
+
+TEST(TrimmedAvailability, AdversaryExampleFromPaper) {
+  // The trim-analysis motivation: an allocator offering many processors
+  // exactly when parallelism is low.  Raw average availability is high,
+  // but the trimmed availability reflects what the job could actually use.
+  const std::vector<int> availability{2, 2, 2, 2, 2, 2, 2, 2, 1000, 1000};
+  const double raw = trimmed_availability(availability, 10, 0);
+  const double trimmed = trimmed_availability(availability, 10, 20);
+  EXPECT_GT(raw, 200.0);
+  EXPECT_DOUBLE_EQ(trimmed, 2.0);
+}
+
+TEST(TrimmedAvailability, TraceOverloadUsesQuantumLength) {
+  sim::JobTrace t;
+  auto q1 = quantum(4, 4, 40, 10.0);
+  q1.available = 6;
+  auto q2 = quantum(4, 4, 40, 10.0);
+  q2.available = 14;
+  t.quanta.push_back(q1);
+  t.quanta.push_back(q2);
+  EXPECT_DOUBLE_EQ(trimmed_availability(t, 0), 10.0);
+  EXPECT_DOUBLE_EQ(trimmed_availability(t, 10), 6.0);
+}
+
+}  // namespace
+}  // namespace abg::metrics

@@ -1,0 +1,37 @@
+#include "alloc/unconstrained.hpp"
+
+#include <gtest/gtest.h>
+
+namespace abg::alloc {
+namespace {
+
+TEST(Unconstrained, GrantsUpToMachineSize) {
+  Unconstrained u;
+  EXPECT_EQ(u.allocate({5}, 16), (std::vector<int>{5}));
+  EXPECT_EQ(u.allocate({50}, 16), (std::vector<int>{16}));
+}
+
+TEST(Unconstrained, IndependentPerJob) {
+  // Intentionally oversubscribes: intended for single-job studies.
+  Unconstrained u;
+  EXPECT_EQ(u.allocate({10, 10}, 16), (std::vector<int>{10, 10}));
+}
+
+TEST(Unconstrained, PoolIsMachineSize) {
+  Unconstrained u;
+  EXPECT_EQ(u.pool(128), 128);
+}
+
+TEST(Unconstrained, RejectsNegativeInputs) {
+  Unconstrained u;
+  EXPECT_THROW(u.allocate({-1}, 4), std::invalid_argument);
+}
+
+TEST(Unconstrained, CloneAndName) {
+  Unconstrained u;
+  EXPECT_EQ(u.name(), "unconstrained");
+  EXPECT_EQ(u.clone()->name(), "unconstrained");
+}
+
+}  // namespace
+}  // namespace abg::alloc

@@ -1,0 +1,76 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace abg::util {
+namespace {
+
+Cli make_cli(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Cli(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  const Cli cli = make_cli({"--seed=42", "--rate=0.25"});
+  EXPECT_EQ(cli.get_int("seed", 0), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.0), 0.25);
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  const Cli cli = make_cli({"--seed", "7"});
+  EXPECT_EQ(cli.get_int("seed", 0), 7);
+}
+
+TEST(Cli, BareFlagIsBooleanTrue) {
+  const Cli cli = make_cli({"--full"});
+  EXPECT_TRUE(cli.has("full"));
+  EXPECT_TRUE(cli.get_bool("full", false));
+}
+
+TEST(Cli, MissingFlagUsesFallback) {
+  const Cli cli = make_cli({});
+  EXPECT_FALSE(cli.has("seed"));
+  EXPECT_EQ(cli.get_int("seed", 99), 99);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.5), 0.5);
+  EXPECT_FALSE(cli.get_bool("full", false));
+  EXPECT_EQ(cli.get("name", "dflt"), "dflt");
+}
+
+TEST(Cli, BooleanValueForms) {
+  EXPECT_TRUE(make_cli({"--x=true"}).get_bool("x", false));
+  EXPECT_TRUE(make_cli({"--x=1"}).get_bool("x", false));
+  EXPECT_TRUE(make_cli({"--x=yes"}).get_bool("x", false));
+  EXPECT_FALSE(make_cli({"--x=false"}).get_bool("x", true));
+  EXPECT_FALSE(make_cli({"--x=0"}).get_bool("x", true));
+  EXPECT_FALSE(make_cli({"--x=off"}).get_bool("x", true));
+}
+
+TEST(Cli, RejectsMalformedValues) {
+  EXPECT_THROW(make_cli({"--n=abc"}).get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(make_cli({"--n=1.5x"}).get_double("n", 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(make_cli({"--b=maybe"}).get_bool("b", false),
+               std::invalid_argument);
+  EXPECT_THROW(make_cli({"--=3"}), std::invalid_argument);
+}
+
+TEST(Cli, CollectsPositionalArguments) {
+  const Cli cli = make_cli({"input.txt", "--seed=1", "more"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+  EXPECT_EQ(cli.positional()[1], "more");
+}
+
+TEST(Cli, LastValueWinsOnRepeat) {
+  const Cli cli = make_cli({"--seed=1", "--seed=2"});
+  EXPECT_EQ(cli.get_int("seed", 0), 2);
+}
+
+TEST(Cli, NegativeNumbersAsValues) {
+  // `--n -3`: the token "-3" is not a --flag, so it is consumed as a value.
+  const Cli cli = make_cli({"--n", "-3"});
+  EXPECT_EQ(cli.get_int("n", 0), -3);
+}
+
+}  // namespace
+}  // namespace abg::util

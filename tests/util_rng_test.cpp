@@ -1,0 +1,176 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace abg::util {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000000), b.uniform_int(0, 1000000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.uniform_int(0, 1 << 30) != b.uniform_int(0, 1 << 30)) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 32);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform_int(3, 3), 3);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, UniformRealStaysInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real(0.5, 2.5);
+    EXPECT_GE(v, 0.5);
+    EXPECT_LT(v, 2.5);
+  }
+}
+
+TEST(Rng, UniformRealRejectsEmptyRange) {
+  Rng rng(11);
+  EXPECT_THROW(rng.uniform_real(1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, LogUniformStaysInRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.log_uniform(2.0, 100.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LE(v, 100.0);
+  }
+}
+
+TEST(Rng, LogUniformDegenerateRange) {
+  Rng rng(13);
+  EXPECT_DOUBLE_EQ(rng.log_uniform(5.0, 5.0), 5.0);
+}
+
+TEST(Rng, LogUniformRejectsNonPositive) {
+  Rng rng(13);
+  EXPECT_THROW(rng.log_uniform(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng.log_uniform(-1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, LogUniformFavorsSmallValues) {
+  // Median of log-uniform on [1, 100] is 10 — far below the arithmetic
+  // midpoint 50.5.
+  Rng rng(17);
+  int below_ten = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.log_uniform(1.0, 100.0) < 10.0) {
+      ++below_ten;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(below_ten) / n, 0.5, 0.05);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliClampsOutOfRange) {
+  Rng rng(19);
+  EXPECT_FALSE(rng.bernoulli(-0.5));
+  EXPECT_TRUE(rng.bernoulli(1.5));
+}
+
+TEST(Rng, BernoulliRoughlyFair) {
+  Rng rng(23);
+  int heads = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    heads += rng.bernoulli(0.5) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.5, 0.05);
+}
+
+TEST(Rng, GeometricTruncates) {
+  Rng rng(29);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LE(rng.geometric(0.01, 5), 5);
+  }
+}
+
+TEST(Rng, GeometricCertainSuccessIsZero) {
+  Rng rng(29);
+  EXPECT_EQ(rng.geometric(1.0, 100), 0);
+}
+
+TEST(Rng, GeometricRejectsBadProbability) {
+  Rng rng(29);
+  EXPECT_THROW(rng.geometric(0.0, 10), std::invalid_argument);
+  EXPECT_THROW(rng.geometric(1.5, 10), std::invalid_argument);
+  EXPECT_THROW(rng.geometric(0.5, -1), std::invalid_argument);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(99);
+  Rng b(99);
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(ca.uniform_int(0, 1 << 30), cb.uniform_int(0, 1 << 30));
+  }
+}
+
+TEST(Rng, SplitChildDiffersFromParentContinuation) {
+  Rng parent(123);
+  Rng child = parent.split();
+  int differences = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.uniform_int(0, 1 << 30) != child.uniform_int(0, 1 << 30)) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 32);
+}
+
+TEST(Rng, SequentialSplitsDiffer) {
+  Rng parent(7);
+  Rng c1 = parent.split();
+  Rng c2 = parent.split();
+  int differences = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1.uniform_int(0, 1 << 30) != c2.uniform_int(0, 1 << 30)) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 32);
+}
+
+}  // namespace
+}  // namespace abg::util

@@ -1,0 +1,157 @@
+#include "sim/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/run.hpp"
+#include "dag/profile_job.hpp"
+#include "workload/fork_join.hpp"
+#include "workload/profiles.hpp"
+
+namespace abg::sim {
+namespace {
+
+JobTrace valid_trace() {
+  JobTrace t;
+  t.work = 30;
+  t.critical_path = 20;
+  t.completion_step = 25;
+  sched::QuantumStats q1;
+  q1.index = 1;
+  q1.request = 1;
+  q1.allotment = 1;
+  q1.available = 4;
+  q1.length = 10;
+  q1.steps_used = 10;
+  q1.work = 10;
+  q1.cpl = 10.0;
+  q1.full = true;
+  sched::QuantumStats q2;
+  q2.index = 2;
+  q2.request = 2;
+  q2.allotment = 2;
+  q2.available = 4;
+  q2.length = 10;
+  q2.steps_used = 10;
+  q2.work = 15;
+  q2.cpl = 7.5;
+  q2.full = true;
+  q2.start_step = 10;
+  sched::QuantumStats q3;
+  q3.index = 3;
+  q3.request = 2;
+  q3.allotment = 2;
+  q3.available = 4;
+  q3.length = 10;
+  q3.steps_used = 5;
+  q3.work = 5;
+  q3.cpl = 2.5;
+  q3.finished = true;
+  q3.start_step = 20;
+  t.quanta = {q1, q2, q3};
+  return t;
+}
+
+TEST(ValidateTrace, AcceptsConsistentTrace) {
+  EXPECT_TRUE(validate_trace(valid_trace()).empty());
+}
+
+TEST(ValidateTrace, DetectsNonSequentialIndex) {
+  JobTrace t = valid_trace();
+  t.quanta[1].index = 7;
+  EXPECT_FALSE(validate_trace(t).empty());
+}
+
+TEST(ValidateTrace, DetectsOverAllotment) {
+  JobTrace t = valid_trace();
+  t.quanta[0].allotment = t.quanta[0].request + 1;
+  EXPECT_FALSE(validate_trace(t).empty());
+}
+
+TEST(ValidateTrace, DetectsImpossibleWork) {
+  JobTrace t = valid_trace();
+  t.quanta[0].work = 999;  // above allotment * length
+  EXPECT_FALSE(validate_trace(t).empty());
+}
+
+TEST(ValidateTrace, DetectsEarlyFinishedFlag) {
+  JobTrace t = valid_trace();
+  t.quanta[0].finished = true;
+  EXPECT_FALSE(validate_trace(t).empty());
+}
+
+TEST(ValidateTrace, DetectsWorkSumMismatch) {
+  JobTrace t = valid_trace();
+  t.work = 999;
+  EXPECT_FALSE(validate_trace(t).empty());
+}
+
+TEST(ValidateTrace, DetectsAvailabilityBelowAllotment) {
+  JobTrace t = valid_trace();
+  t.quanta[1].available = 1;
+  EXPECT_FALSE(validate_trace(t).empty());
+}
+
+TEST(ValidateTrace, DetectsWorkWithoutProgress) {
+  JobTrace t = valid_trace();
+  t.quanta[1].cpl = 0.0;
+  EXPECT_FALSE(validate_trace(t).empty());
+}
+
+TEST(ValidateTrace, EmptyTraceIsValid) {
+  EXPECT_TRUE(validate_trace(JobTrace{}).empty());
+}
+
+TEST(ValidateResult, AcceptsRealSimulations) {
+  // Every trace the actual engines produce must validate cleanly.
+  for (const auto& spec : {core::abg_spec(), core::a_greedy_spec(),
+                           core::abg_auto_spec()}) {
+    std::vector<JobSubmission> subs;
+    for (int j = 0; j < 4; ++j) {
+      JobSubmission s;
+      s.job = std::make_unique<dag::ProfileJob>(
+          workload::square_wave_profile(1, 30, 5 + j, 30, 2));
+      s.release_step = 15 * j;
+      subs.push_back(std::move(s));
+    }
+    const SimResult result = core::run_set(
+        spec, std::move(subs),
+        SimConfig{.processors = 16, .quantum_length = 25});
+    const auto issues = validate_result(result, 16);
+    EXPECT_TRUE(issues.empty())
+        << spec.name << ": " << (issues.empty() ? "" : issues.front());
+  }
+}
+
+TEST(ValidateResult, DetectsWrongMakespan) {
+  SimResult result;
+  result.jobs.push_back(valid_trace());
+  result.makespan = 999;
+  result.mean_response_time = 25.0;
+  EXPECT_FALSE(validate_result(result, 16).empty());
+}
+
+TEST(ValidateResult, DetectsOversubscription) {
+  SimResult result;
+  JobTrace a = valid_trace();
+  JobTrace b = valid_trace();
+  for (auto* t : {&a, &b}) {
+    for (auto& q : t->quanta) {
+      q.allotment = 2;
+      q.request = 2;
+      q.work = std::min<dag::TaskCount>(q.work, 20);
+    }
+  }
+  result.jobs = {a, b};
+  result.makespan = 25;
+  result.mean_response_time = 25.0;
+  result.total_waste = a.total_waste() + b.total_waste();
+  // Machine with 3 processors: 2 + 2 allotted in the same quantum slots.
+  EXPECT_FALSE(validate_result(result, 3).empty());
+}
+
+TEST(ValidateResult, RejectsBadProcessorCount) {
+  EXPECT_FALSE(validate_result(SimResult{}, 0).empty());
+}
+
+}  // namespace
+}  // namespace abg::sim

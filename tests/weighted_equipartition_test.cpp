@@ -1,0 +1,110 @@
+#include "alloc/weighted_equipartition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "alloc/equipartition.hpp"
+#include "util/rng.hpp"
+
+namespace abg::alloc {
+namespace {
+
+int sum(const std::vector<int>& v) {
+  return std::accumulate(v.begin(), v.end(), 0);
+}
+
+TEST(WeightedEqui, Validation) {
+  EXPECT_THROW(WeightedEquiPartition({}), std::invalid_argument);
+  EXPECT_THROW(WeightedEquiPartition({1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(WeightedEquiPartition({1.0, -2.0}), std::invalid_argument);
+  WeightedEquiPartition alloc({1.0, 2.0});
+  EXPECT_THROW(alloc.allocate({5}, 8), std::invalid_argument);  // size
+}
+
+TEST(WeightedEqui, ProportionalSplitForGreedyJobs) {
+  WeightedEquiPartition alloc({1.0, 3.0});
+  const auto a = alloc.allocate({100, 100}, 16);
+  EXPECT_EQ(sum(a), 16);
+  EXPECT_EQ(a.at(0), 4);
+  EXPECT_EQ(a.at(1), 12);
+}
+
+TEST(WeightedEqui, EqualWeightsMatchDeq) {
+  WeightedEquiPartition weighted({1.0, 1.0, 1.0});
+  EquiPartition deq;
+  util::Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int> requests;
+    for (int j = 0; j < 3; ++j) {
+      requests.push_back(static_cast<int>(rng.uniform_int(0, 20)));
+    }
+    const int machine = static_cast<int>(rng.uniform_int(0, 16));
+    const auto a = weighted.allocate(requests, machine);
+    const auto b = deq.allocate(requests, machine);
+    // Same totals and same multiset (the rotation offsets may distribute
+    // the indivisible remainder to different jobs).
+    ASSERT_EQ(sum(a), sum(b));
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_LE(std::abs(a[i] - b[i]), 1);
+    }
+  }
+}
+
+TEST(WeightedEqui, SmallRequesterFreesSurplusProportionally) {
+  // Job 0 wants only 2; jobs 1 and 2 split the remaining 14 by weights
+  // 1:2, within rounding.
+  WeightedEquiPartition alloc({5.0, 1.0, 2.0});
+  const auto a = alloc.allocate({2, 100, 100}, 16);
+  EXPECT_EQ(a.at(0), 2);
+  EXPECT_EQ(sum(a), 16);
+  EXPECT_GE(a.at(2), a.at(1));
+  EXPECT_NEAR(static_cast<double>(a.at(2)) / a.at(1), 2.0, 0.7);
+}
+
+TEST(WeightedEqui, Conservative) {
+  WeightedEquiPartition alloc({2.0, 1.0});
+  const auto a = alloc.allocate({3, 100}, 32);
+  EXPECT_EQ(a.at(0), 3);
+  EXPECT_EQ(a.at(1), 29);
+}
+
+TEST(WeightedEqui, NonReserving) {
+  WeightedEquiPartition alloc({1.0, 4.0});
+  const auto a = alloc.allocate({10, 10}, 64);
+  EXPECT_EQ(a, (std::vector<int>{10, 10}));
+}
+
+TEST(WeightedEqui, RemainderRotates) {
+  WeightedEquiPartition alloc({1.0, 1.0, 1.0});
+  std::vector<int> extras(3, 0);
+  for (int q = 0; q < 3; ++q) {
+    const auto a = alloc.allocate({50, 50, 50}, 16);
+    for (std::size_t i = 0; i < 3; ++i) {
+      if (a[i] == 6) {
+        ++extras[i];
+      }
+    }
+  }
+  EXPECT_EQ(extras, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(WeightedEqui, HighPriorityJobFinishesFirst) {
+  // End-to-end: two identical greedy jobs; the weight-4 job gets 4/5 of
+  // the machine and finishes first.
+  WeightedEquiPartition alloc({1.0, 4.0});
+  const std::vector<int> a = alloc.allocate({100, 100}, 20);
+  EXPECT_EQ(a.at(0), 4);
+  EXPECT_EQ(a.at(1), 16);
+}
+
+TEST(WeightedEqui, CloneAndName) {
+  WeightedEquiPartition alloc({1.0, 2.0});
+  EXPECT_EQ(alloc.name(), "weighted-equi");
+  const auto clone = alloc.clone();
+  EXPECT_EQ(clone->allocate({100, 100}, 9),
+            alloc.allocate({100, 100}, 9));
+}
+
+}  // namespace
+}  // namespace abg::alloc

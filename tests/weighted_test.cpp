@@ -1,0 +1,92 @@
+// expand_weighted: variable-duration tasks as unit-task chains.
+#include <gtest/gtest.h>
+
+#include "dag/builders.hpp"
+#include "dag/dag_job.hpp"
+
+namespace abg::dag::builders {
+namespace {
+
+TEST(ExpandWeighted, Validation) {
+  const DagStructure base = chain(2);
+  EXPECT_THROW(expand_weighted(base, {1}), std::invalid_argument);
+  EXPECT_THROW(expand_weighted(base, {1, 0}), std::invalid_argument);
+}
+
+TEST(ExpandWeighted, UnitDurationsAreIdentity) {
+  const DagStructure base = diamond(3);
+  const DagStructure out = expand_weighted(base, {1, 1, 1, 1, 1});
+  ASSERT_EQ(out.node_count(), base.node_count());
+  for (std::size_t i = 0; i < base.node_count(); ++i) {
+    EXPECT_EQ(out.children[i], base.children[i]);
+  }
+}
+
+TEST(ExpandWeighted, WorkIsSumOfDurations) {
+  const DagStructure out = expand_weighted(chain(3), {2, 5, 1});
+  DagJob job{out};
+  EXPECT_EQ(job.total_work(), 8);
+  // Serial chain of weighted tasks: critical path = total duration.
+  EXPECT_EQ(job.critical_path(), 8);
+}
+
+TEST(ExpandWeighted, CriticalPathIsHeaviestPath) {
+  // Diamond with middle durations 1, 7, 2: T_inf = 1 + 7 + 1 = 9.
+  const DagStructure out =
+      expand_weighted(diamond(3), {1, 1, 7, 2, 1});
+  DagJob job{out};
+  EXPECT_EQ(job.total_work(), 12);
+  EXPECT_EQ(job.critical_path(), 9);
+}
+
+TEST(ExpandWeighted, NoTwoProcessorsOnOneTask) {
+  // A single weighted task of duration 5 cannot be sped up by more
+  // processors: 5 steps regardless.
+  const DagStructure out = expand_weighted(chain(1), {5});
+  DagJob job{out};
+  dag::Steps steps = 0;
+  while (!job.finished()) {
+    job.step(10, PickOrder::kBreadthFirst);
+    ++steps;
+  }
+  EXPECT_EQ(steps, 5);
+}
+
+TEST(ExpandWeighted, ProgressSurvivesPreemption) {
+  // Task of duration 4 advanced 2 steps, starved, then resumed: total
+  // work steps on it stays 4.
+  const DagStructure out = expand_weighted(chain(1), {4});
+  DagJob job{out};
+  job.step(1, PickOrder::kFifo);
+  job.step(1, PickOrder::kFifo);
+  job.step(0, PickOrder::kFifo);  // preempted
+  EXPECT_EQ(job.completed_work(), 2);
+  job.step(1, PickOrder::kFifo);
+  job.step(1, PickOrder::kFifo);
+  EXPECT_TRUE(job.finished());
+}
+
+TEST(ExpandWeighted, ParallelWeightedPhases) {
+  // Fork-join where branches have unequal durations: the measured
+  // parallelism tapers as short branches finish.
+  //   source (1) -> tasks of durations {2, 4, 8} -> sink (1)
+  DagStructure base;
+  base.children = {{1, 2, 3}, {4}, {4}, {4}, {}};
+  const DagStructure out = expand_weighted(base, {1, 2, 4, 8, 1});
+  DagJob job{out};
+  EXPECT_EQ(job.total_work(), 16);
+  EXPECT_EQ(job.critical_path(), 1 + 8 + 1);
+  job.step(3, PickOrder::kFifo);  // source
+  // All three branches ready; with 3 processors each advances in
+  // lockstep.  After 2 steps the duration-2 branch is done.
+  EXPECT_EQ(job.step(3, PickOrder::kFifo), 3);
+  EXPECT_EQ(job.step(3, PickOrder::kFifo), 3);
+  EXPECT_EQ(job.step(3, PickOrder::kFifo), 2);  // only two branches left
+  while (!job.finished()) {
+    job.step(3, PickOrder::kFifo);
+  }
+  EXPECT_EQ(job.completed_work(), 16);
+}
+
+}  // namespace
+}  // namespace abg::dag::builders

@@ -1,0 +1,258 @@
+// abg_sim — scenario-driven command-line simulator.
+//
+// Composes a workload, a scheduler and an allocator from flags, runs the
+// simulation, validates the result, and prints (or dumps) the outcome.
+//
+//   abg_sim --workload=forkjoin --transition=16 --scheduler=abg
+//   abg_sim --workload=jobset --load=2 --scheduler=a-greedy --allocator=rr
+//   abg_sim --workload=constant --width=10 --scheduler=static:8
+//   abg_sim --workload=randomwalk --scheduler=abg-auto --cost=2
+//
+// Flags (defaults in brackets):
+//   --workload   forkjoin | constant | randomwalk | jobset   [forkjoin]
+//   --scheduler  abg | abg-auto | a-greedy | filtered | static:N   [abg]
+//   --allocator  deq | rr | unconstrained                    [auto]
+//   --processors P [128]      --quantum L [1000]   --seed S [1]
+//   --rate r [0.2]            --cost c [0]  (reallocation steps/proc)
+//   --transition C [16]       (forkjoin)
+//   --width W [10] --levels N [20000]  (constant / randomwalk)
+//   --load X [1.0] --jobs-cap N [0]    (jobset)
+//   --trace FILE   dump the first job's per-quantum CSV
+//   --report       print sparkline feedback report per job
+//   --gantt        print an ASCII Gantt chart of the whole run
+//   --compare      also run A-Greedy on the identical workload
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/equipartition.hpp"
+#include "alloc/round_robin.hpp"
+#include "alloc/unconstrained.hpp"
+#include "core/run.hpp"
+#include "dag/profile_job.hpp"
+#include "metrics/lower_bounds.hpp"
+#include "metrics/parallelism_stats.hpp"
+#include "metrics/scheduler_diagnostics.hpp"
+#include "sim/report.hpp"
+#include "sim/trace_io.hpp"
+#include "sim/validate.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/fork_join.hpp"
+#include "workload/job_set.hpp"
+#include "workload/profiles.hpp"
+
+namespace {
+
+using abg::util::Cli;
+
+abg::core::SchedulerSpec make_scheduler(const Cli& cli) {
+  const std::string name = cli.get("scheduler", "abg");
+  const double rate = cli.get_double("rate", 0.2);
+  if (name == "abg") {
+    return abg::core::abg_spec(
+        abg::core::AbgConfig{.convergence_rate = rate});
+  }
+  if (name == "abg-auto") {
+    return abg::core::abg_auto_spec();
+  }
+  if (name == "a-greedy") {
+    return abg::core::a_greedy_spec();
+  }
+  if (name == "filtered") {
+    return abg::core::SchedulerSpec{
+        "ABG-filtered", std::make_unique<abg::sched::BGreedyExecution>(),
+        std::make_unique<abg::sched::FilteredAControlRequest>(
+            abg::sched::FilteredAControlConfig{rate, 0.5})};
+  }
+  if (name.rfind("static:", 0) == 0) {
+    return abg::core::static_spec(std::stoi(name.substr(7)));
+  }
+  throw std::invalid_argument("unknown --scheduler '" + name + "'");
+}
+
+std::unique_ptr<abg::alloc::Allocator> make_allocator(const Cli& cli) {
+  const std::string name = cli.get("allocator", "auto");
+  if (name == "deq") {
+    return std::make_unique<abg::alloc::EquiPartition>();
+  }
+  if (name == "rr") {
+    return std::make_unique<abg::alloc::RoundRobin>();
+  }
+  if (name == "unconstrained") {
+    return std::make_unique<abg::alloc::Unconstrained>();
+  }
+  if (name == "auto") {
+    return nullptr;  // run drivers pick the conventional default
+  }
+  throw std::invalid_argument("unknown --allocator '" + name + "'");
+}
+
+std::vector<abg::sim::JobSubmission> make_workload(const Cli& cli,
+                                                   abg::util::Rng& rng,
+                                                   int processors,
+                                                   abg::dag::Steps quantum) {
+  const std::string kind = cli.get("workload", "forkjoin");
+  std::vector<abg::sim::JobSubmission> subs;
+  if (kind == "forkjoin") {
+    abg::sim::JobSubmission s;
+    s.job = abg::workload::make_fork_join_job(
+        rng, abg::workload::figure5_spec(
+                 cli.get_double("transition", 16.0), quantum));
+    subs.push_back(std::move(s));
+    return subs;
+  }
+  if (kind == "constant") {
+    abg::sim::JobSubmission s;
+    s.job = std::make_unique<abg::dag::ProfileJob>(
+        abg::workload::constant_profile(cli.get_int("width", 10),
+                                        cli.get_int("levels", 20000)));
+    subs.push_back(std::move(s));
+    return subs;
+  }
+  if (kind == "randomwalk") {
+    abg::sim::JobSubmission s;
+    s.job = std::make_unique<abg::dag::ProfileJob>(
+        abg::workload::random_walk_profile(
+            rng, cli.get_int("levels", 20000),
+            std::max<abg::dag::TaskCount>(1, cli.get_int("width", 64)),
+            2.0));
+    subs.push_back(std::move(s));
+    return subs;
+  }
+  if (kind == "jobset") {
+    abg::workload::JobSetSpec spec;
+    spec.load = cli.get_double("load", 1.0);
+    spec.processors = processors;
+    spec.min_phase_levels = quantum / 2;
+    spec.max_phase_levels = 2 * quantum;
+    for (auto& g : abg::workload::make_job_set(rng, spec)) {
+      abg::sim::JobSubmission s;
+      s.job = std::move(g.job);
+      subs.push_back(std::move(s));
+    }
+    return subs;
+  }
+  throw std::invalid_argument("unknown --workload '" + kind + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Cli cli(argc, argv);
+    const int processors =
+        static_cast<int>(cli.get_int("processors", 128));
+    const abg::dag::Steps quantum = cli.get_int("quantum", 1000);
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+    const abg::core::SchedulerSpec scheduler = make_scheduler(cli);
+    const auto allocator = make_allocator(cli);
+    // Workload construction is a pure function of the seed, so the
+    // comparison run can rebuild the byte-identical job set.
+    auto build_workload = [&] {
+      abg::util::Rng rng(seed);
+      return make_workload(cli, rng, processors, quantum);
+    };
+    auto submissions = build_workload();
+
+    std::vector<abg::metrics::JobSummary> summaries;
+    for (const auto& s : submissions) {
+      summaries.push_back(abg::metrics::JobSummary{
+          s.job->total_work(), s.job->critical_path(), s.release_step});
+    }
+
+    const abg::sim::SimConfig config{
+        .processors = processors,
+        .quantum_length = quantum,
+        .max_active_jobs =
+            static_cast<int>(cli.get_int("jobs-cap", 0)),
+        .reallocation_cost_per_proc = cli.get_int("cost", 0)};
+    const abg::sim::SimResult result = abg::core::run_set(
+        scheduler, std::move(submissions), config, allocator.get());
+
+    for (const std::string& issue :
+         abg::sim::validate_result(result, processors)) {
+      std::cerr << "VALIDATION: " << issue << "\n";
+    }
+
+    std::cout << "scheduler " << scheduler.name << ", allocator "
+              << (allocator ? allocator->name() : "default") << ", P = "
+              << processors << ", L = " << quantum << ", jobs = "
+              << result.jobs.size() << "\n\n";
+    abg::util::Table table({"job", "work", "T_inf", "response", "resp/Tinf",
+                            "waste/T1", "measured C_L", "quanta"});
+    for (std::size_t j = 0; j < result.jobs.size(); ++j) {
+      const auto& t = result.jobs[j];
+      table.add_row(
+          {std::to_string(j), std::to_string(t.work),
+           std::to_string(t.critical_path),
+           std::to_string(t.response_time()),
+           abg::util::format_double(
+               static_cast<double>(t.response_time()) /
+                   static_cast<double>(std::max<abg::dag::Steps>(
+                       1, t.critical_path)), 2),
+           abg::util::format_double(
+               static_cast<double>(t.total_waste()) /
+                   static_cast<double>(std::max<abg::dag::TaskCount>(
+                       1, t.work)), 3),
+           abg::util::format_double(
+               abg::metrics::empirical_transition_factor(t), 2),
+           std::to_string(t.quanta.size())});
+    }
+    table.print(std::cout);
+    std::cout << "\nmakespan " << result.makespan << " (lower bound "
+              << abg::util::format_double(
+                     abg::metrics::makespan_lower_bound(summaries,
+                                                        processors), 1)
+              << "), mean response "
+              << abg::util::format_double(result.mean_response_time, 1)
+              << ", total waste " << result.total_waste
+              << ", machine utilization "
+              << abg::util::format_double(
+                     abg::sim::machine_utilization(result, processors), 3)
+              << "\n";
+
+    if (result.jobs.size() > 1) {
+      std::cout << "slowdown fairness (Jain) = "
+                << abg::util::format_double(
+                       abg::metrics::jain_slowdown_fairness(result), 3)
+                << "\n";
+    }
+
+    if (cli.get_bool("report", false)) {
+      for (std::size_t j = 0; j < result.jobs.size(); ++j) {
+        std::cout << "\njob " << j << ":\n"
+                  << abg::sim::feedback_report(result.jobs[j]);
+      }
+    }
+    if (cli.get_bool("gantt", false)) {
+      std::cout << "\n" << abg::sim::gantt_chart(result, processors);
+    }
+    if (cli.get_bool("compare", false)) {
+      const auto baseline_alloc = make_allocator(cli);
+      const abg::sim::SimResult baseline = abg::core::run_set(
+          abg::core::a_greedy_spec(), build_workload(), config,
+          baseline_alloc.get());
+      std::cout << "\nA-Greedy on the identical workload: makespan "
+                << baseline.makespan << " ("
+                << abg::util::format_double(
+                       static_cast<double>(baseline.makespan) /
+                           static_cast<double>(result.makespan), 3)
+                << "x " << scheduler.name << "), mean response "
+                << abg::util::format_double(baseline.mean_response_time, 1)
+                << ", total waste " << baseline.total_waste << "\n";
+    }
+    if (cli.has("trace")) {
+      std::ofstream out(cli.get("trace", ""));
+      abg::sim::write_trace_csv(out, result.jobs.at(0));
+      std::cout << "\nwrote " << cli.get("trace", "") << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "abg_sim: " << e.what() << "\n";
+    return 1;
+  }
+}
