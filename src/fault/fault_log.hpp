@@ -1,0 +1,62 @@
+// Record of the faults a simulation actually applied.
+//
+// The engines fill a FaultLog while replaying a FaultPlan so the
+// resilience analysis can reconstruct exact lost-work accounting without
+// re-deriving it from traces: every cycle the machine ever granted is
+// either useful surviving work, work that was executed and then discarded
+// by a crash, or waste.  The balance
+//
+//     allotted_cycles = work done + lost_work + waste
+//
+// (with waste = trace waste + (discarded_cycles - lost_work)) is checked
+// by the resilience tests.
+#pragma once
+
+#include <vector>
+
+#include "dag/job.hpp"
+
+namespace abg::fault {
+
+/// One applied job crash.
+struct CrashRecord {
+  /// Submission index of the crashed job.
+  std::size_t job = 0;
+  /// Global step of the quantum boundary (sync) or unit step (async) at
+  /// which the crash was applied.
+  dag::Steps step = 0;
+  /// Executed tasks discarded by the crash (0 under checkpoint recovery).
+  dag::TaskCount lost_work = 0;
+  /// Allotted cycles dropped from the job's trace by the crash: the work
+  /// above plus the idle fraction of the discarded quanta.
+  dag::TaskCount discarded_cycles = 0;
+};
+
+/// Everything a faulty run recorded about its disturbances.
+struct FaultLog {
+  /// True when the simulation ran with a non-empty FaultPlan attached.
+  bool enabled = false;
+  /// Every applied crash, in application order.
+  std::vector<CrashRecord> crashes;
+  /// Step of every applied event (all kinds), in application order; the
+  /// resilience analysis anchors its per-disturbance recovery windows
+  /// here.
+  std::vector<dag::Steps> disturbance_steps;
+  /// Counts by kind.
+  int failure_events = 0;
+  int repair_events = 0;
+  int revocation_events = 0;
+  /// Minimum machine capacity the allocator ever saw (= P when no
+  /// failures fired).
+  int min_capacity = 0;
+  /// Every processor cycle the machine granted, including cycles later
+  /// discarded by restart-from-scratch crashes.  (The per-trace totals
+  /// only cover surviving quanta.)
+  dag::TaskCount allotted_cycles = 0;
+  /// Sum of CrashRecord::lost_work.
+  dag::TaskCount lost_work = 0;
+  /// Sum of CrashRecord::discarded_cycles.
+  dag::TaskCount discarded_cycles = 0;
+};
+
+}  // namespace abg::fault

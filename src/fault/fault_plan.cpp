@@ -1,0 +1,152 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace abg::fault {
+
+namespace {
+
+void validate_event(const FaultEvent& e) {
+  if (e.step < 0) {
+    throw std::invalid_argument("FaultPlan: event with negative step");
+  }
+  switch (e.kind) {
+    case FaultKind::kProcessorFailure:
+    case FaultKind::kProcessorRepair:
+      if (e.processors < 1) {
+        throw std::invalid_argument(
+            "FaultPlan: failure/repair must affect >= 1 processor");
+      }
+      break;
+    case FaultKind::kJobCrash:
+      if (e.job < 0) {
+        throw std::invalid_argument("FaultPlan: crash without a job target");
+      }
+      break;
+    case FaultKind::kAllotmentRevocation:
+      if (e.job < 0) {
+        throw std::invalid_argument(
+            "FaultPlan: revocation without a job target");
+      }
+      if (e.cap < 0) {
+        throw std::invalid_argument("FaultPlan: negative revocation cap");
+      }
+      if (e.duration < 0) {
+        throw std::invalid_argument(
+            "FaultPlan: negative revocation duration");
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+void FaultPlan::normalize() {
+  for (const FaultEvent& e : events) {
+    validate_event(e);
+  }
+  if (restart_delay < 0) {
+    throw std::invalid_argument("FaultPlan: negative restart delay");
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.step < b.step;
+                   });
+}
+
+dag::Steps FaultPlan::last_event_step() const {
+  dag::Steps last = 0;
+  for (const FaultEvent& e : events) {
+    last = std::max(last, e.step + std::max<dag::Steps>(e.duration, 0));
+  }
+  return last;
+}
+
+std::size_t FaultPlan::crash_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(events.begin(), events.end(), [](const FaultEvent& e) {
+        return e.kind == FaultKind::kJobCrash;
+      }));
+}
+
+FaultPlan step_failure_plan(dag::Steps step, int processors) {
+  FaultPlan plan;
+  plan.events.push_back(
+      FaultEvent{step, FaultKind::kProcessorFailure, processors});
+  plan.normalize();
+  return plan;
+}
+
+FaultPlan impulse_failure_plan(dag::Steps step, int processors,
+                               dag::Steps outage) {
+  if (outage < 1) {
+    throw std::invalid_argument(
+        "impulse_failure_plan: outage must be >= 1 step");
+  }
+  FaultPlan plan;
+  plan.events.push_back(
+      FaultEvent{step, FaultKind::kProcessorFailure, processors});
+  plan.events.push_back(
+      FaultEvent{step + outage, FaultKind::kProcessorRepair, processors});
+  plan.normalize();
+  return plan;
+}
+
+FaultPlan poisson_churn_plan(util::Rng& rng, dag::Steps horizon,
+                             double failure_rate, dag::Steps mean_outage,
+                             int max_down) {
+  if (horizon < 1 || failure_rate <= 0.0 || mean_outage < 1 ||
+      max_down < 1) {
+    throw std::invalid_argument("poisson_churn_plan: invalid parameters");
+  }
+  FaultPlan plan;
+  // Exponential inter-arrival times give the Poisson process; exponential
+  // outages give memoryless repairs.  Repairs are scheduled immediately so
+  // the concurrent-failure count is known at draw time.
+  std::vector<dag::Steps> repair_steps;  // pending repairs, any order
+  double t = 0.0;
+  while (true) {
+    t += -std::log(1.0 - rng.uniform01()) / failure_rate;
+    const auto step = static_cast<dag::Steps>(t);
+    if (step >= horizon) {
+      break;
+    }
+    std::erase_if(repair_steps,
+                  [step](dag::Steps r) { return r <= step; });
+    if (static_cast<int>(repair_steps.size()) >= max_down) {
+      continue;  // churn cap reached; drop this failure
+    }
+    const auto outage = std::max<dag::Steps>(
+        1, static_cast<dag::Steps>(
+               -std::log(1.0 - rng.uniform01()) *
+               static_cast<double>(mean_outage)));
+    plan.events.push_back(
+        FaultEvent{step, FaultKind::kProcessorFailure, 1});
+    plan.events.push_back(
+        FaultEvent{step + outage, FaultKind::kProcessorRepair, 1});
+    repair_steps.push_back(step + outage);
+  }
+  plan.normalize();
+  return plan;
+}
+
+FaultPlan periodic_crash_plan(int job, dag::Steps first_step,
+                              dag::Steps period, int count) {
+  if (period < 1 || count < 1) {
+    throw std::invalid_argument("periodic_crash_plan: invalid parameters");
+  }
+  FaultPlan plan;
+  for (int i = 0; i < count; ++i) {
+    FaultEvent e;
+    e.step = first_step + static_cast<dag::Steps>(i) * period;
+    e.kind = FaultKind::kJobCrash;
+    e.job = job;
+    plan.events.push_back(e);
+  }
+  plan.normalize();
+  return plan;
+}
+
+}  // namespace abg::fault

@@ -1,0 +1,127 @@
+// Deterministic fault plans: the disturbance half of the resilience story.
+//
+// The paper analyzes ABG's A-Control loop as a disturbance-rejecting
+// controller (Theorem 1) but only ever simulates it on a well-behaved
+// machine.  A FaultPlan is a seeded, fully deterministic script of the
+// disturbances a production two-level scheduler must survive:
+//
+//   * processor failure / repair — the machine capacity seen by the OS
+//     allocator shrinks and later recovers;
+//   * job crash — a running job loses its in-flight quantum and re-enters
+//     the admission queue, either restarting from scratch or resuming from
+//     its last quantum-boundary checkpoint, with its request-policy state
+//     reset or preserved;
+//   * allotment revocation — the allocator forcibly caps one job's
+//     allotment for a window (e.g. a higher-priority tenant reclaims
+//     processors), independent of the job's request.
+//
+// Plans are plain data: builders below generate the step / impulse /
+// Poisson churn patterns the resilience bench sweeps, and any plan can be
+// assembled by hand.  The same plan replayed against the same workload
+// and seed yields the identical schedule.
+#pragma once
+
+#include <vector>
+
+#include "dag/job.hpp"
+#include "util/rng.hpp"
+
+namespace abg::fault {
+
+/// Kind of disturbance a FaultEvent injects.
+enum class FaultKind {
+  /// `processors` machine processors fail at `step`.
+  kProcessorFailure,
+  /// `processors` previously failed processors come back at `step`.
+  kProcessorRepair,
+  /// Job `job` crashes during the quantum containing `step`.
+  kJobCrash,
+  /// Job `job`'s allotment is capped at `cap` for `duration` steps
+  /// starting at `step` (duration 0 = one scheduling quantum).
+  kAllotmentRevocation,
+};
+
+/// One scripted disturbance.
+struct FaultEvent {
+  /// Global simulation step at which the event takes effect.
+  dag::Steps step = 0;
+  FaultKind kind = FaultKind::kProcessorFailure;
+  /// Processors affected (failure / repair).  Must be >= 1 for those kinds.
+  int processors = 1;
+  /// Target job by submission index (crash / revocation).
+  int job = -1;
+  /// Revocation: allotment ceiling while the window is active.
+  int cap = 0;
+  /// Revocation: window length in steps; 0 = the enclosing quantum only.
+  dag::Steps duration = 0;
+};
+
+/// What a crashed job loses.
+enum class WorkLoss {
+  /// Resume from the last quantum-boundary checkpoint: completed quanta
+  /// survive, only the in-flight quantum is forfeited.
+  kCheckpointQuantum,
+  /// All completed work is discarded; the job restarts as a fresh DAG.
+  kRestartFromScratch,
+};
+
+/// What happens to the per-job request-policy state on restart.
+enum class PolicyOnRestart {
+  /// Feedback state survives the crash (the runtime checkpointed it).
+  kPreserve,
+  /// The policy is reset: the restarted job re-requests d(1).
+  kReset,
+};
+
+/// A complete, deterministic disturbance script plus recovery semantics.
+struct FaultPlan {
+  /// Events in non-decreasing step order (normalize() enforces this).
+  std::vector<FaultEvent> events;
+  /// Work-loss semantics applied to every crash in the plan.
+  WorkLoss work_loss = WorkLoss::kCheckpointQuantum;
+  /// Request-policy semantics applied to every crash in the plan.
+  PolicyOnRestart policy_on_restart = PolicyOnRestart::kPreserve;
+  /// Steps a crashed job waits (beyond the crash quantum) before it is
+  /// eligible for re-admission.
+  dag::Steps restart_delay = 0;
+
+  /// True when the plan injects nothing: engines treat an empty plan as
+  /// a strict no-op and take the fault-free code path.
+  bool empty() const { return events.empty(); }
+
+  /// Stable-sorts events by step and validates fields; throws
+  /// std::invalid_argument on a malformed event (negative step, crash
+  /// without a job target, non-positive processor count, ...).
+  void normalize();
+
+  /// Step of the last event; 0 for an empty plan.
+  dag::Steps last_event_step() const;
+
+  /// Number of crash events in the plan.
+  std::size_t crash_count() const;
+};
+
+/// Permanent loss: `processors` fail at `step` and never come back.
+FaultPlan step_failure_plan(dag::Steps step, int processors);
+
+/// Outage: `processors` fail at `step` and are repaired `outage` steps
+/// later.
+FaultPlan impulse_failure_plan(dag::Steps step, int processors,
+                               dag::Steps outage);
+
+/// Poisson processor churn: single-processor failures arrive as a Poisson
+/// process of rate `failure_rate` (expected failures per step) over
+/// [0, horizon); each failed processor is repaired after an exponential
+/// outage with mean `mean_outage` steps.  At most `max_down` processors
+/// are down at once (excess failures are dropped).  Fully deterministic
+/// given the rng's seed.
+FaultPlan poisson_churn_plan(util::Rng& rng, dag::Steps horizon,
+                             double failure_rate, dag::Steps mean_outage,
+                             int max_down);
+
+/// `count` crashes of job `job`, the first during the quantum containing
+/// `first_step`, then every `period` steps.
+FaultPlan periodic_crash_plan(int job, dag::Steps first_step,
+                              dag::Steps period, int count);
+
+}  // namespace abg::fault

@@ -1,0 +1,49 @@
+#include "fault/faulty_allocator.hpp"
+
+namespace abg::fault {
+
+FaultyAllocator::FaultyAllocator(alloc::Allocator& inner,
+                                 const FaultInjector& injector)
+    : inner_(&inner),
+      injector_(&injector),
+      name_("faulty(" + std::string(inner.name()) + ")") {}
+
+FaultyAllocator::FaultyAllocator(std::unique_ptr<alloc::Allocator> inner,
+                                 const FaultInjector& injector)
+    : owned_(std::move(inner)),
+      inner_(owned_.get()),
+      injector_(&injector),
+      name_("faulty(" + std::string(inner_->name()) + ")") {}
+
+std::vector<int> FaultyAllocator::allocate(const std::vector<int>& requests,
+                                           int total_processors) {
+  std::vector<int> allotments =
+      inner_->allocate(requests, injector_->capacity(total_processors));
+  last_revoked_ = 0;
+  if (injector_->revocation_active()) {
+    for (std::size_t i = 0; i < allotments.size(); ++i) {
+      const int cap = injector_->allotment_cap(i);
+      if (allotments[i] > cap) {
+        last_revoked_ += allotments[i] - cap;
+        allotments[i] = cap;
+      }
+    }
+  }
+  return allotments;
+}
+
+int FaultyAllocator::pool(int total_processors) const {
+  return inner_->pool(injector_->capacity(total_processors));
+}
+
+void FaultyAllocator::reset() {
+  inner_->reset();
+  last_revoked_ = 0;
+}
+
+std::unique_ptr<alloc::Allocator> FaultyAllocator::clone() const {
+  return std::unique_ptr<alloc::Allocator>(
+      new FaultyAllocator(inner_->clone(), *injector_));
+}
+
+}  // namespace abg::fault

@@ -1,0 +1,182 @@
+#include "fault/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace abg::fault {
+
+namespace {
+
+/// Aggregate per-global-quantum request signal Σ_j d_j(q), indexed by
+/// slot = start_step / L.  Empty when the result's quanta are not
+/// uniform-length and boundary-aligned (async engine).
+std::vector<double> aggregate_request_series(const sim::SimResult& result,
+                                             dag::Steps* length_out) {
+  dag::Steps length = 0;
+  for (const sim::JobTrace& t : result.jobs) {
+    for (const auto& q : t.quanta) {
+      if (length == 0) {
+        length = q.length;
+      }
+      if (q.length != length || length == 0 ||
+          q.start_step % length != 0) {
+        return {};
+      }
+    }
+  }
+  *length_out = length;
+  if (length == 0) {
+    return {};
+  }
+  std::vector<double> series;
+  for (const sim::JobTrace& t : result.jobs) {
+    for (const auto& q : t.quanta) {
+      const auto slot = static_cast<std::size_t>(q.start_step / length);
+      if (slot >= series.size()) {
+        series.resize(slot + 1, 0.0);
+      }
+      series[slot] += static_cast<double>(q.request);
+    }
+  }
+  return series;
+}
+
+DisturbanceResponse analyze_window(const std::vector<double>& series,
+                                   std::size_t slot, std::size_t wend,
+                                   dag::Steps step, double tolerance) {
+  DisturbanceResponse resp;
+  resp.step = step;
+  const double settled = series[wend];
+  const double band = std::max(1.0, tolerance * std::fabs(settled));
+  // Walk backwards from the window end: the signal is "recovered" from
+  // the first index after which it never leaves the settled band again.
+  std::size_t recovered_from = slot;
+  for (std::size_t k = wend + 1; k-- > slot;) {
+    if (std::fabs(series[k] - settled) > band) {
+      recovered_from = k + 1;
+      break;
+    }
+    if (k == slot) {
+      recovered_from = slot;
+    }
+  }
+  if (recovered_from > wend) {
+    resp.recovery_quanta = -1;  // never re-entered the band
+  } else {
+    resp.recovery_quanta =
+        static_cast<std::int64_t>(recovered_from - slot);
+  }
+  double peak = 0.0;
+  for (std::size_t k = slot; k <= wend; ++k) {
+    peak = std::max(peak, series[k] - settled);
+  }
+  resp.overshoot = peak;
+  return resp;
+}
+
+}  // namespace
+
+ResilienceReport analyze_resilience(const sim::SimResult& faulty,
+                                    const sim::SimResult& reference,
+                                    double settle_tolerance) {
+  const FaultLog& log = faulty.fault_log;
+  ResilienceReport report;
+  dag::TaskCount trace_allotted = 0;
+  for (const sim::JobTrace& t : faulty.jobs) {
+    for (const auto& q : t.quanta) {
+      report.work_done += q.work;
+    }
+    trace_allotted += t.total_allotted();
+  }
+  report.lost_work = log.lost_work;
+  report.allotted_cycles =
+      log.enabled ? log.allotted_cycles
+                  : trace_allotted;  // fault-free run: nothing discarded
+  report.waste =
+      faulty.total_waste + (log.discarded_cycles - log.lost_work);
+  report.makespan = faulty.makespan;
+  report.reference_makespan = reference.makespan;
+  report.makespan_degradation =
+      reference.makespan > 0
+          ? static_cast<double>(faulty.makespan) /
+                static_cast<double>(reference.makespan)
+          : 0.0;
+  report.failure_events = log.failure_events;
+  report.repair_events = log.repair_events;
+  report.revocation_events = log.revocation_events;
+  report.crash_events = log.crashes.size();
+  report.min_capacity = log.min_capacity;
+
+  dag::Steps length = 0;
+  const std::vector<double> series =
+      faulty.averaged_allotments
+          ? std::vector<double>{}
+          : aggregate_request_series(faulty, &length);
+  if (!series.empty() && length > 0) {
+    // Distinct disturbed slots in time order; each response window runs
+    // to the quantum before the next disturbance (or the series end).
+    std::vector<std::size_t> slots;
+    for (const dag::Steps step : log.disturbance_steps) {
+      const auto slot = static_cast<std::size_t>(step / length);
+      if (slot < series.size() &&
+          (slots.empty() || slot > slots.back())) {
+        slots.push_back(slot);
+      }
+    }
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      const std::size_t wend = i + 1 < slots.size()
+                                   ? slots[i + 1] - 1
+                                   : series.size() - 1;
+      if (wend < slots[i]) {
+        continue;  // back-to-back disturbances share one window
+      }
+      report.responses.push_back(analyze_window(
+          series, slots[i], wend,
+          static_cast<dag::Steps>(slots[i]) * length, settle_tolerance));
+    }
+  }
+  for (const DisturbanceResponse& resp : report.responses) {
+    if (resp.recovery_quanta < 0) {
+      report.max_recovery_quanta = -1;
+    } else if (report.max_recovery_quanta >= 0) {
+      report.max_recovery_quanta =
+          std::max(report.max_recovery_quanta, resp.recovery_quanta);
+    }
+    report.max_overshoot = std::max(report.max_overshoot, resp.overshoot);
+  }
+  return report;
+}
+
+std::string format_resilience_report(const ResilienceReport& report) {
+  std::ostringstream os;
+  os << "resilience: " << report.failure_events << " failures, "
+     << report.repair_events << " repairs, " << report.crash_events
+     << " crashes, " << report.revocation_events << " revocations";
+  if (report.failure_events > 0 || report.repair_events > 0 ||
+      report.revocation_events > 0) {
+    os << " (min capacity " << report.min_capacity << ")";
+  }
+  os << "\n";
+  os << "accounting: allotted " << report.allotted_cycles << " = work "
+     << report.work_done << " + lost " << report.lost_work << " + waste "
+     << report.waste
+     << (report.accounting_balances() ? " (balanced)" : " (IMBALANCED)")
+     << "\n";
+  os << "makespan: " << report.makespan << " vs fault-free "
+     << report.reference_makespan << " (degradation ";
+  os.precision(3);
+  os << std::fixed << report.makespan_degradation << "x)\n";
+  for (const DisturbanceResponse& resp : report.responses) {
+    os << "disturbance @" << resp.step << ": recovery ";
+    if (resp.recovery_quanta < 0) {
+      os << "never";
+    } else {
+      os << resp.recovery_quanta << " quanta";
+    }
+    os << ", request overshoot " << resp.overshoot << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace abg::fault

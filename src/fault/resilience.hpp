@@ -1,0 +1,90 @@
+// Resilience analysis: what a fault cost, and how fast the feedback loop
+// recovered.
+//
+// Given a faulty run (with its FaultLog) and the fault-free reference run
+// of the identical workload, analyze_resilience produces:
+//
+//   * exact lost-work accounting — every granted cycle is surviving work,
+//     discarded (crash-lost) work, or waste, and the three must sum to
+//     the granted capacity;
+//   * per-disturbance recovery metrics on the aggregate request signal
+//     Σ_j d_j(q): how many quanta until the signal re-settles after each
+//     disturbance, and how far it overshoots its new settled level —
+//     the Figure 1 instability story turned into a measured quantity;
+//   * makespan degradation versus the fault-free reference.
+//
+// Recovery metrics need per-quantum-aligned traces (the synchronous
+// engine); on averaged/async traces the accounting is still exact but the
+// per-disturbance responses are left empty.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/fault_log.hpp"
+#include "sim/simulator.hpp"
+
+namespace abg::fault {
+
+/// Feedback-loop response to one disturbance.
+struct DisturbanceResponse {
+  /// Step of the disturbance.
+  dag::Steps step = 0;
+  /// Global quanta from the disturbance until the aggregate request
+  /// signal enters and stays within tolerance of its post-disturbance
+  /// settled level; -1 when it never re-settles inside the window.
+  std::int64_t recovery_quanta = -1;
+  /// Peak of the aggregate request signal above its settled level within
+  /// the window (processors; 0 for a monotone recovery).
+  double overshoot = 0.0;
+};
+
+/// Complete resilience summary of one faulty run.
+struct ResilienceReport {
+  /// Surviving useful work (sum of per-trace quantum work).
+  dag::TaskCount work_done = 0;
+  /// Executed work discarded by crashes.
+  dag::TaskCount lost_work = 0;
+  /// Allotted cycles that produced nothing: per-trace waste plus the idle
+  /// fraction of crash-discarded quanta.
+  dag::TaskCount waste = 0;
+  /// Every cycle the machine granted (from the engine's own counter).
+  dag::TaskCount allotted_cycles = 0;
+  /// The accounting identity the engines must maintain.
+  bool accounting_balances() const {
+    return work_done + lost_work + waste == allotted_cycles;
+  }
+
+  dag::Steps makespan = 0;
+  dag::Steps reference_makespan = 0;
+  /// makespan / reference_makespan; 0 when the reference is degenerate.
+  double makespan_degradation = 0.0;
+
+  /// One entry per distinct disturbed quantum, in time order (empty when
+  /// the traces are not quantum-aligned).
+  std::vector<DisturbanceResponse> responses;
+  /// Worst recovery over all responses (-1 if any never settled).
+  std::int64_t max_recovery_quanta = 0;
+  /// Worst overshoot over all responses.
+  double max_overshoot = 0.0;
+
+  /// Counts carried over from the log.
+  int failure_events = 0;
+  int repair_events = 0;
+  int revocation_events = 0;
+  std::size_t crash_events = 0;
+  int min_capacity = 0;
+};
+
+/// Analyzes `faulty` (a run produced with a FaultPlan attached) against
+/// the fault-free `reference` run of the same workload.  `settle_tolerance`
+/// is the relative band (with a 1-processor absolute floor) the aggregate
+/// request signal must re-enter to count as recovered.
+ResilienceReport analyze_resilience(const sim::SimResult& faulty,
+                                    const sim::SimResult& reference,
+                                    double settle_tolerance = 0.05);
+
+/// Multi-line human-readable rendering of a report.
+std::string format_resilience_report(const ResilienceReport& report);
+
+}  // namespace abg::fault

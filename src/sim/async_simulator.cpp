@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "alloc/equipartition.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/faulty_allocator.hpp"
 
 namespace abg::sim {
 
@@ -16,6 +19,12 @@ struct AsyncJobState {
   JobTrace trace;
   int desire = 1;
   int allotment = 0;
+  /// Step from which the job may be (re-)admitted: the release step, or
+  /// after a crash the crash step plus one plus the restart delay.
+  dag::Steps eligible_step = 0;
+  /// A crashed job with preserved policy state resumes with its last
+  /// desire instead of first_request() on re-admission.
+  bool resumed = false;
   bool active = false;
   bool done = false;
   // Current-quantum accumulators.
@@ -65,6 +74,7 @@ SimResult simulate_job_set_async(std::vector<JobSubmission> submissions,
     st.request = request_prototype.clone();
     st.request->reset();
     st.trace.release_step = sub.release_step;
+    st.eligible_step = sub.release_step;
     st.trace.work = st.job->total_work();
     st.trace.critical_path = st.job->critical_path();
     total_work += st.trace.work;
@@ -76,23 +86,59 @@ SimResult simulate_job_set_async(std::vector<JobSubmission> submissions,
     states.push_back(std::move(st));
   }
 
-  const dag::Steps max_steps =
+  // Fault machinery only exists when a non-empty plan is attached; the
+  // fault-free path below is byte-identical to a run without the plan.
+  const bool faulty = config.faults != nullptr && !config.faults->empty();
+  dag::Steps max_steps =
       config.max_steps > 0
           ? config.max_steps
           : latest_release + 8 * total_work + 64 * config.quantum_length;
+  if (faulty && config.max_steps == 0) {
+    const auto crashes =
+        static_cast<dag::Steps>(config.faults->crash_count());
+    const auto events =
+        static_cast<dag::Steps>(config.faults->events.size());
+    max_steps += config.faults->last_event_step() +
+                 config.faults->restart_delay * crashes +
+                 8 * total_work * crashes +
+                 64 * config.quantum_length * events;
+  }
   const std::size_t max_active =
       config.max_active_jobs > 0
           ? static_cast<std::size_t>(config.max_active_jobs)
           : static_cast<std::size_t>(config.processors);
 
   alloc::EquiPartition deq;
+  std::optional<fault::FaultInjector> injector;
+  std::optional<fault::FaultyAllocator> faulty_allocator;
+  if (faulty) {
+    injector.emplace(*config.faults);
+    faulty_allocator.emplace(deq, *injector);
+  }
+  alloc::Allocator& machine =
+      faulty ? static_cast<alloc::Allocator&>(*faulty_allocator) : deq;
+
   SimResult result;
+  result.averaged_allotments = true;
+  if (faulty) {
+    result.fault_log.enabled = true;
+    result.fault_log.min_capacity = config.processors;
+  }
+  fault::FaultLog& log = result.fault_log;
   dag::Steps now = 0;
   bool partition_dirty = true;
   std::size_t remaining = 0;
   for (const AsyncJobState& st : states) {
     remaining += st.done ? 0u : 1u;
   }
+
+  // Rounded-up allotted cycles of the in-flight quantum, matching how
+  // finalize_quantum will record it in the trace.
+  auto rounded_cycles = [&](const AsyncJobState& st) {
+    const dag::TaskCount procs =
+        (st.held_cycles + config.quantum_length - 1) / config.quantum_length;
+    return procs * static_cast<dag::TaskCount>(config.quantum_length);
+  };
 
   auto finalize_quantum = [&](AsyncJobState& st, bool finished) {
     sched::QuantumStats stats;
@@ -113,10 +159,87 @@ SimResult simulate_job_set_async(std::vector<JobSubmission> submissions,
     stats.available = stats.allotment;
     stats.full = !finished && st.idle_steps == 0 && stats.allotment > 0;
     st.trace.quanta.push_back(stats);
+    if (faulty) {
+      // Mirror the trace's rounded accounting so the balance identity
+      // holds exactly against total_allotted()/total_waste().
+      log.allotted_cycles +=
+          static_cast<dag::TaskCount>(stats.allotment) *
+          static_cast<dag::TaskCount>(config.quantum_length);
+    }
   };
 
   while (remaining > 0) {
-    // Admission, FCFS by release step.
+    // Consume fault events for the unit step [now, now + 1).  Events in
+    // ranges skipped by the idle fast-path are consumed lazily on the
+    // next iteration, which is sound: failures/repairs net out and a
+    // crash can only hit an active job.
+    if (faulty) {
+      const fault::WindowFaults window = injector->advance(now, now + 1);
+      for (const fault::FaultEvent& e : window.applied) {
+        log.disturbance_steps.push_back(e.step);
+        switch (e.kind) {
+          case fault::FaultKind::kProcessorFailure:
+            ++log.failure_events;
+            break;
+          case fault::FaultKind::kProcessorRepair:
+            ++log.repair_events;
+            break;
+          case fault::FaultKind::kAllotmentRevocation:
+            ++log.revocation_events;
+            break;
+          case fault::FaultKind::kJobCrash:
+            break;  // counted via log.crashes when applied
+        }
+      }
+      log.min_capacity =
+          std::min(log.min_capacity, injector->capacity(config.processors));
+      if (window.capacity_changed) {
+        partition_dirty = true;
+      }
+      for (const fault::FaultEvent& e : window.crashes) {
+        const auto j = static_cast<std::size_t>(e.job);
+        if (j >= states.size() || !states[j].active) {
+          continue;  // crash of an inactive job is a no-op
+        }
+        AsyncJobState& st = states[j];
+        fault::CrashRecord record;
+        record.job = j;
+        record.step = now;
+        if (config.faults->work_loss ==
+            fault::WorkLoss::kCheckpointQuantum) {
+          // The work executed so far survives (there is no rollback in a
+          // live DAG): close the in-flight quantum early as a checkpoint.
+          finalize_quantum(st, /*finished=*/false);
+          st.trace.quanta.back().steps_used = st.quantum_elapsed;
+          st.trace.quanta.back().full = false;
+        } else {
+          // Restart from scratch: the whole trace so far, including the
+          // in-flight quantum, is discarded and the job restarts fresh.
+          record.lost_work = st.job->completed_work();
+          record.discarded_cycles =
+              st.trace.total_allotted() + rounded_cycles(st);
+          log.allotted_cycles += rounded_cycles(st);
+          st.job = st.job->fresh_clone();
+          st.trace.quanta.clear();
+        }
+        if (config.faults->policy_on_restart ==
+            fault::PolicyOnRestart::kReset) {
+          st.request->reset();
+          st.resumed = false;
+        } else {
+          st.resumed = true;  // re-admission keeps the preserved desire
+        }
+        log.crashes.push_back(record);
+        log.lost_work += record.lost_work;
+        log.discarded_cycles += record.discarded_cycles;
+        st.active = false;
+        st.allotment = 0;
+        st.eligible_step = now + 1 + config.faults->restart_delay;
+        partition_dirty = true;
+      }
+    }
+
+    // Admission, FCFS by eligible (release or post-crash restart) step.
     std::size_t active_count = 0;
     for (const AsyncJobState& st : states) {
       active_count += st.active ? 1u : 0u;
@@ -125,11 +248,11 @@ SimResult simulate_job_set_async(std::vector<JobSubmission> submissions,
       std::size_t best = states.size();
       for (std::size_t i = 0; i < states.size(); ++i) {
         const AsyncJobState& st = states[i];
-        if (st.done || st.active || st.trace.release_step > now) {
+        if (st.done || st.active || st.eligible_step > now) {
           continue;
         }
         if (best == states.size() ||
-            st.trace.release_step < states[best].trace.release_step) {
+            st.eligible_step < states[best].eligible_step) {
           best = i;
         }
       }
@@ -138,8 +261,15 @@ SimResult simulate_job_set_async(std::vector<JobSubmission> submissions,
       }
       AsyncJobState& st = states[best];
       st.active = true;
-      st.desire = st.request->first_request();
-      st.local_quantum = 1;
+      if (st.resumed) {
+        st.resumed = false;  // keep the preserved desire
+      } else {
+        st.desire = st.request->first_request();
+      }
+      // Continues the trace after a checkpoint crash; 1 on first
+      // admission and after a from-scratch restart.
+      st.local_quantum =
+          static_cast<std::int64_t>(st.trace.quanta.size()) + 1;
       st.quantum_start = now;
       st.quantum_elapsed = 0;
       st.work_before = st.job->completed_work();
@@ -152,11 +282,11 @@ SimResult simulate_job_set_async(std::vector<JobSubmission> submissions,
     }
 
     if (active_count == 0) {
-      // Idle-skip to the next release.
+      // Idle-skip to the next eligibility boundary.
       dag::Steps next_release = max_steps;
       for (const AsyncJobState& st : states) {
         if (!st.done) {
-          next_release = std::min(next_release, st.trace.release_step);
+          next_release = std::min(next_release, st.eligible_step);
         }
       }
       now = std::max(now + 1, next_release);
@@ -175,7 +305,7 @@ SimResult simulate_job_set_async(std::vector<JobSubmission> submissions,
         }
       }
       const std::vector<int> allotments =
-          deq.allocate(requests, config.processors);
+          machine.allocate(requests, config.processors);
       for (std::size_t i = 0; i < states.size(); ++i) {
         if (states[i].active) {
           states[i].allotment = allotments[i];

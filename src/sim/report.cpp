@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fault/resilience.hpp"
+
 namespace abg::sim {
 
 namespace {
@@ -143,6 +145,12 @@ double machine_utilization(const SimResult& result, int processors) {
   return static_cast<double>(work) /
          (static_cast<double>(result.makespan) *
           static_cast<double>(processors));
+}
+
+std::string resilience_report(const SimResult& faulty,
+                              const SimResult& reference) {
+  return fault::format_resilience_report(
+      fault::analyze_resilience(faulty, reference));
 }
 
 }  // namespace abg::sim

@@ -42,4 +42,11 @@ double machine_utilization(const SimResult& result, int processors);
 /// processors >= 1.
 std::string gantt_chart(const SimResult& result, int processors);
 
+/// Resilience summary of a faulty run against its fault-free reference:
+/// disturbance counts, the lost-work accounting balance, makespan
+/// degradation, and per-disturbance recovery of the aggregate request
+/// signal (see fault/resilience.hpp for the underlying analysis).
+std::string resilience_report(const SimResult& faulty,
+                              const SimResult& reference);
+
 }  // namespace abg::sim

@@ -1,8 +1,11 @@
 #include "sim/simulator.hpp"
 
+#include "fault/fault_injector.hpp"
+#include "fault/faulty_allocator.hpp"
 #include "sim/quantum_engine.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 namespace abg::sim {
@@ -16,6 +19,12 @@ struct JobState {
   int desire = 1;
   int previous_allotment = 0;
   std::int64_t local_quantum = 0;
+  /// Step from which the job may be (re-)admitted: the release step, or
+  /// after a crash the end of the crash quantum plus the restart delay.
+  dag::Steps eligible_step = 0;
+  /// A checkpoint-crashed job with preserved policy state resumes with
+  /// its last desire instead of first_request() on re-admission.
+  bool resumed = false;
   bool active = false;
   bool done = false;
 };
@@ -36,6 +45,19 @@ SimResult simulate_job_set(std::vector<JobSubmission> submissions,
   }
   allocator.reset();
 
+  // Fault machinery only exists when a non-empty plan is attached; the
+  // fault-free path below is byte-identical to a run without the plan.
+  const bool faulty = config.faults != nullptr && !config.faults->empty();
+  std::optional<fault::FaultInjector> injector;
+  std::optional<fault::FaultyAllocator> faulty_allocator;
+  if (faulty) {
+    injector.emplace(*config.faults);
+    faulty_allocator.emplace(allocator, *injector);
+  }
+  alloc::Allocator& machine =
+      faulty ? static_cast<alloc::Allocator&>(*faulty_allocator)
+             : allocator;
+
   std::vector<JobState> states;
   states.reserve(submissions.size());
   dag::TaskCount total_work = 0;
@@ -51,6 +73,7 @@ SimResult simulate_job_set(std::vector<JobSubmission> submissions,
     st.request = request_prototype.clone();
     st.request->reset();
     st.trace.release_step = sub.release_step;
+    st.eligible_step = sub.release_step;
     st.trace.work = st.job->total_work();
     st.trace.critical_path = st.job->critical_path();
     total_work += st.trace.work;
@@ -65,12 +88,30 @@ SimResult simulate_job_set(std::vector<JobSubmission> submissions,
   for (const JobState& st : states) {
     latest_release = std::max(latest_release, st.trace.release_step);
   }
-  const dag::Steps max_steps =
+  dag::Steps max_steps =
       config.max_steps > 0
           ? config.max_steps
           : latest_release + 8 * total_work + 64 * config.quantum_length;
+  if (faulty && config.max_steps == 0) {
+    // Crashes redo work and outages stall progress: widen the safety
+    // bound by the work each crash can force to be repeated, a window per
+    // event, and the plan's own horizon.
+    const auto crashes =
+        static_cast<dag::Steps>(config.faults->crash_count());
+    const auto events =
+        static_cast<dag::Steps>(config.faults->events.size());
+    max_steps += config.faults->last_event_step() +
+                 config.faults->restart_delay * crashes +
+                 8 * total_work * crashes +
+                 64 * config.quantum_length * events;
+  }
 
   SimResult result;
+  if (faulty) {
+    result.fault_log.enabled = true;
+    result.fault_log.min_capacity = config.processors;
+  }
+  fault::FaultLog& log = result.fault_log;
   dag::Steps now = 0;
   std::vector<std::size_t> active_idx;
   std::vector<int> requests;
@@ -86,7 +127,34 @@ SimResult simulate_job_set(std::vector<JobSubmission> submissions,
           : static_cast<std::size_t>(config.processors);
 
   while (remaining > 0) {
-    // Admit jobs released by the current boundary, FCFS by release step
+    // Consume fault events for the quantum [now, now + L).  Events inside
+    // windows skipped by the idle fast-path below are consumed lazily on
+    // the next boundary; failures/repairs net out and crashes of
+    // non-running jobs are no-ops, so laziness is sound.
+    fault::WindowFaults window;
+    if (faulty) {
+      window = injector->advance(now, now + config.quantum_length);
+      for (const fault::FaultEvent& e : window.applied) {
+        log.disturbance_steps.push_back(e.step);
+        switch (e.kind) {
+          case fault::FaultKind::kProcessorFailure:
+            ++log.failure_events;
+            break;
+          case fault::FaultKind::kProcessorRepair:
+            ++log.repair_events;
+            break;
+          case fault::FaultKind::kAllotmentRevocation:
+            ++log.revocation_events;
+            break;
+          case fault::FaultKind::kJobCrash:
+            break;  // counted via log.crashes when applied
+        }
+      }
+      log.min_capacity =
+          std::min(log.min_capacity, injector->capacity(config.processors));
+    }
+
+    // Admit jobs eligible by the current boundary, FCFS by eligible step
     // (ties by submission order), up to the admission cap.
     active_idx.clear();
     requests.clear();
@@ -97,25 +165,30 @@ SimResult simulate_job_set(std::vector<JobSubmission> submissions,
       }
     }
     // Candidates are scanned in submission order; releases were not
-    // required to be sorted, so pick the earliest-released eligible job
-    // until the cap fills.
+    // required to be sorted, so pick the earliest-eligible job until the
+    // cap fills.
     while (active_count < max_active) {
       std::size_t best = states.size();
       for (std::size_t i = 0; i < states.size(); ++i) {
         const JobState& st = states[i];
-        if (st.done || st.active || st.trace.release_step > now) {
+        if (st.done || st.active || st.eligible_step > now) {
           continue;
         }
         if (best == states.size() ||
-            st.trace.release_step < states[best].trace.release_step) {
+            st.eligible_step < states[best].eligible_step) {
           best = i;
         }
       }
       if (best == states.size()) {
         break;
       }
-      states[best].active = true;
-      states[best].desire = states[best].request->first_request();
+      JobState& st = states[best];
+      st.active = true;
+      if (st.resumed) {
+        st.resumed = false;  // keep the preserved desire
+      } else {
+        st.desire = st.request->first_request();
+      }
       ++active_count;
     }
     // One request slot per submitted job, in stable submission order:
@@ -132,12 +205,12 @@ SimResult simulate_job_set(std::vector<JobSubmission> submissions,
     }
 
     if (active_idx.empty()) {
-      // All remaining jobs are released in the future: idle to the next
-      // release boundary.
+      // All remaining jobs are eligible in the future: idle to the next
+      // eligibility boundary.
       dag::Steps next_release = max_steps;
       for (const JobState& st : states) {
         if (!st.done) {
-          next_release = std::min(next_release, st.trace.release_step);
+          next_release = std::min(next_release, st.eligible_step);
         }
       }
       const dag::Steps gap = next_release - now;
@@ -151,18 +224,83 @@ SimResult simulate_job_set(std::vector<JobSubmission> submissions,
     }
 
     ++result.quanta;
-    const int pool = allocator.pool(config.processors);
+    const int pool = machine.pool(config.processors);
     const std::vector<int> allotments =
-        allocator.allocate(requests, config.processors);
+        machine.allocate(requests, config.processors);
     int assigned = 0;
     for (const int a : allotments) {
       assigned += a;
     }
-    const int leftover = std::max(0, pool - assigned);
+    // Revoked processors are held by the revoker, not idle: exclude them
+    // from the leftover availability reported to jobs.
+    const int revoked = faulty ? faulty_allocator->last_revoked() : 0;
+    const int leftover = std::max(0, pool - assigned - revoked);
+
+    // Which active jobs crash during this quantum.
+    std::vector<std::size_t> crash_victims;
+    if (faulty) {
+      for (const fault::FaultEvent& e : window.crashes) {
+        const auto j = static_cast<std::size_t>(e.job);
+        if (j < states.size() && states[j].active &&
+            std::find(crash_victims.begin(), crash_victims.end(), j) ==
+                crash_victims.end()) {
+          crash_victims.push_back(j);
+        }
+      }
+    }
 
     for (const std::size_t i : active_idx) {
       JobState& st = states[i];
       const int allotment = allotments[i];
+      if (faulty) {
+        log.allotted_cycles +=
+            static_cast<dag::TaskCount>(allotment) *
+            static_cast<dag::TaskCount>(config.quantum_length);
+      }
+      const bool crashed =
+          faulty && std::find(crash_victims.begin(), crash_victims.end(),
+                              i) != crash_victims.end();
+      if (crashed) {
+        // The job held its allotment when the crash hit: the whole
+        // quantum is forfeited.  Under checkpoint recovery the voided
+        // quantum stays in the trace as pure waste; under
+        // restart-from-scratch the entire trace so far is discarded and
+        // the job restarts as a fresh DAG.
+        ++st.local_quantum;
+        sched::QuantumStats stats;
+        stats.index = st.local_quantum;
+        stats.start_step = now;
+        stats.request = st.desire;
+        stats.allotment = allotment;
+        stats.available = allotment + leftover;
+        stats.length = config.quantum_length;
+        st.trace.quanta.push_back(stats);
+        fault::CrashRecord record;
+        record.job = i;
+        record.step = now;
+        if (config.faults->work_loss == fault::WorkLoss::kRestartFromScratch) {
+          record.lost_work = st.job->completed_work();
+          record.discarded_cycles = st.trace.total_allotted();
+          st.job = st.job->fresh_clone();
+          st.trace.quanta.clear();
+          st.local_quantum = 0;
+        }
+        if (config.faults->policy_on_restart ==
+            fault::PolicyOnRestart::kReset) {
+          st.request->reset();
+          st.desire = st.request->first_request();
+        } else {
+          st.resumed = true;  // re-admission keeps the preserved desire
+        }
+        log.crashes.push_back(record);
+        log.lost_work += record.lost_work;
+        log.discarded_cycles += record.discarded_cycles;
+        st.previous_allotment = 0;
+        st.active = false;
+        st.eligible_step =
+            now + config.quantum_length + config.faults->restart_delay;
+        continue;
+      }
       ++st.local_quantum;
       const dag::Steps penalty = reallocation_penalty(
           st.previous_allotment, allotment,

@@ -16,6 +16,8 @@
 
 #include "alloc/allocator.hpp"
 #include "dag/job.hpp"
+#include "fault/fault_log.hpp"
+#include "fault/fault_plan.hpp"
 #include "sched/execution_policy.hpp"
 #include "sched/request_policy.hpp"
 #include "sim/trace.hpp"
@@ -48,6 +50,12 @@ struct SimConfig {
   /// loses `cost * |Δa|` steps (capped at L) to migration at the start of
   /// the quantum.  0 reproduces the paper's overhead-free setting.
   dag::Steps reallocation_cost_per_proc = 0;
+  /// Optional fault plan (processor churn, job crashes, allotment
+  /// revocations; see fault/fault_plan.hpp).  Null or empty is a strict
+  /// no-op: the engine takes exactly the fault-free code path and its
+  /// output is identical to a run without the field.  The plan must
+  /// outlive the simulation call.
+  const fault::FaultPlan* faults = nullptr;
 };
 
 /// Result of simulating a job set.
@@ -62,6 +70,14 @@ struct SimResult {
   dag::TaskCount total_waste = 0;
   /// Number of global quanta simulated.
   std::int64_t quanta = 0;
+  /// Log of applied disturbances; `fault_log.enabled` is true only when
+  /// the run had a non-empty fault plan attached.
+  fault::FaultLog fault_log;
+  /// True when per-quantum allotments are rounded time averages (the
+  /// asynchronous engine) rather than constants held for the whole
+  /// quantum, in which case instantaneous machine-capacity checks cannot
+  /// be reconstructed from the traces.
+  bool averaged_allotments = false;
 };
 
 /// Simulates the job set to completion.  Each job gets its own clone of the

@@ -122,41 +122,28 @@ std::vector<std::string> validate_result(const SimResult& result,
   check(issues, result.total_waste == waste_sum,
         "total waste does not match the per-job sum");
 
-  // Machine bound per global quantum.  Only checkable when the simulation
-  // used uniform quantum lengths on global boundaries (every quantum
-  // starts at a multiple of L): the asynchronous engine's quanta start at
-  // arbitrary offsets and record rounded time-averaged allotments, for
-  // which an instantaneous sum is not reconstructible.
-  dag::Steps quantum_length = 0;
-  bool uniform = true;
-  for (const JobTrace& t : result.jobs) {
-    for (const auto& q : t.quanta) {
-      if (quantum_length == 0) {
-        quantum_length = q.length;
-      } else if (q.length != quantum_length) {
-        uniform = false;
-      }
-    }
-  }
-  if (uniform && quantum_length > 0) {
+  // Machine bound at every instant, by interval sweep: each quantum holds
+  // its allotment for its full length [start, start + length), so the
+  // running sum of +allotment at each start and -allotment at each end
+  // must never exceed P.  This handles non-uniform and unaligned quantum
+  // lengths; it is skipped only for results whose recorded allotments are
+  // rounded time averages (the asynchronous engine), where sums of
+  // per-window averages can legitimately exceed P.
+  if (!result.averaged_allotments) {
+    std::map<dag::Steps, int> deltas;
     for (const JobTrace& t : result.jobs) {
       for (const auto& q : t.quanta) {
-        if (q.start_step % quantum_length != 0) {
-          uniform = false;
+        if (q.allotment > 0 && q.length > 0) {
+          deltas[q.start_step] += q.allotment;
+          deltas[q.start_step + q.length] -= q.allotment;
         }
       }
     }
-  }
-  if (uniform && quantum_length > 0) {
-    std::map<dag::Steps, int> usage;
-    for (const JobTrace& t : result.jobs) {
-      for (const auto& q : t.quanta) {
-        usage[q.start_step] += q.allotment;
-      }
-    }
-    for (const auto& [start, total] : usage) {
-      check(issues, total <= processors,
-            "machine oversubscribed at step " + std::to_string(start));
+    int held = 0;
+    for (const auto& [step, delta] : deltas) {
+      held += delta;
+      check(issues, held <= processors,
+            "machine oversubscribed at step " + std::to_string(step));
     }
   }
   return issues;

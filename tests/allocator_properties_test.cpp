@@ -10,6 +10,8 @@
 #include "alloc/equipartition.hpp"
 #include "alloc/round_robin.hpp"
 #include "alloc/unconstrained.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/faulty_allocator.hpp"
 #include "util/rng.hpp"
 
 namespace abg::alloc {
@@ -33,6 +35,22 @@ std::unique_ptr<Allocator> make_unconstrained() {
 std::unique_ptr<Allocator> make_profile() {
   return std::make_unique<AvailabilityProfile>(
       std::vector<int>{3, 17, 0, 64, 5});
+}
+
+// A quiescent injector (no events fired): the fault decorator must be a
+// strict pass-through, so the wrapped allocators claim every invariant
+// their inner allocator claims.
+const fault::FaultInjector& idle_injector() {
+  static fault::FaultInjector injector{fault::FaultPlan{}};
+  return injector;
+}
+std::unique_ptr<Allocator> make_faulty_deq() {
+  return std::make_unique<fault::FaultyAllocator>(make_deq(),
+                                                  idle_injector());
+}
+std::unique_ptr<Allocator> make_faulty_rr() {
+  return std::make_unique<fault::FaultyAllocator>(make_rr(),
+                                                  idle_injector());
 }
 
 class AllocatorProperties : public ::testing::TestWithParam<AllocatorCase> {};
@@ -137,7 +155,11 @@ INSTANTIATE_TEST_SUITE_P(
         AllocatorCase{"unconstrained", &make_unconstrained, false, false,
                       false},
         AllocatorCase{"availability-profile", &make_profile, true, false,
-                      false}),
+                      false},
+        AllocatorCase{"faulty-equi-partition", &make_faulty_deq, true, true,
+                      true},
+        AllocatorCase{"faulty-round-robin", &make_faulty_rr, true, true,
+                      true}),
     [](const auto& param_info) {
       std::string n = param_info.param.name;
       for (char& ch : n) {
@@ -148,5 +170,74 @@ INSTANTIATE_TEST_SUITE_P(
       return n;
     });
 
+TEST(FaultyAllocatorProperties, InvariantsHoldWhileCapacityShrinks) {
+  // Walk a churn plan through the injector and check conservativeness and
+  // the pool bound against the *surviving* capacity at every window.
+  util::Rng plan_rng(31337);
+  fault::FaultInjector injector(
+      fault::poisson_churn_plan(plan_rng, 5000, 0.01, 300, 12));
+  EquiPartition deq;
+  fault::FaultyAllocator wrapped(deq, injector);
+
+  util::Rng rng(4242);
+  const int machine = 16;
+  for (dag::Steps step = 0; step < 5000; step += 50) {
+    injector.advance(step, step + 50);
+    const int capacity = injector.capacity(machine);
+    std::vector<int> requests;
+    const auto jobs = rng.uniform_int(1, 8);
+    for (int j = 0; j < jobs; ++j) {
+      requests.push_back(static_cast<int>(rng.uniform_int(0, 24)));
+    }
+    const int pool = wrapped.pool(machine);
+    ASSERT_LE(pool, capacity);
+    const auto a = wrapped.allocate(requests, machine);
+    ASSERT_EQ(a.size(), requests.size());
+    int assigned = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_GE(a[i], 0);
+      ASSERT_LE(a[i], requests[i]) << "over-allocation at step " << step;
+      assigned += a[i];
+    }
+    ASSERT_LE(assigned, capacity)
+        << "allocated beyond surviving capacity at step " << step;
+  }
+}
+
+TEST(FaultyAllocatorProperties, RevocationNeverBreaksConservativeness) {
+  fault::FaultPlan plan;
+  util::Rng rng(99);
+  for (int i = 0; i < 20; ++i) {
+    fault::FaultEvent revoke;
+    revoke.step = 10 * i;
+    revoke.kind = fault::FaultKind::kAllotmentRevocation;
+    revoke.job = static_cast<int>(rng.uniform_int(0, 5));
+    revoke.cap = static_cast<int>(rng.uniform_int(0, 3));
+    revoke.duration = rng.uniform_int(5, 40);
+    plan.events.push_back(revoke);
+  }
+  fault::FaultInjector injector(plan);
+  EquiPartition deq;
+  fault::FaultyAllocator wrapped(deq, injector);
+
+  for (dag::Steps step = 0; step < 300; step += 10) {
+    injector.advance(step, step + 10);
+    std::vector<int> requests;
+    for (int j = 0; j < 6; ++j) {
+      requests.push_back(static_cast<int>(rng.uniform_int(0, 20)));
+    }
+    const auto a = wrapped.allocate(requests, 16);
+    int assigned = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_GE(a[i], 0);
+      ASSERT_LE(a[i], requests[i]);
+      ASSERT_LE(a[i], injector.allotment_cap(i));
+      assigned += a[i];
+    }
+    ASSERT_LE(assigned + wrapped.last_revoked(), wrapped.pool(16));
+  }
+}
+
 }  // namespace
 }  // namespace abg::alloc
+

@@ -1,0 +1,102 @@
+// FaultyAllocator decorator: transparency with no active faults, capacity
+// shrinking, revocation clamping, and clone semantics.
+#include "fault/faulty_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "alloc/equipartition.hpp"
+#include "fault/fault_injector.hpp"
+
+namespace abg::fault {
+namespace {
+
+TEST(FaultyAllocator, TransparentWithoutActiveFaults) {
+  alloc::EquiPartition inner;
+  alloc::EquiPartition reference;
+  FaultInjector injector((FaultPlan()));
+  FaultyAllocator wrapped(inner, injector);
+
+  const std::vector<int> requests{5, 9, 2, 0};
+  EXPECT_EQ(wrapped.allocate(requests, 12),
+            reference.allocate(requests, 12));
+  EXPECT_EQ(wrapped.pool(12), reference.pool(12));
+  EXPECT_EQ(wrapped.last_revoked(), 0);
+  EXPECT_EQ(wrapped.name(), "faulty(equi-partition)");
+}
+
+TEST(FaultyAllocator, FailuresShrinkTheMachine) {
+  alloc::EquiPartition inner;
+  FaultInjector injector(step_failure_plan(0, 5));
+  injector.advance(0, 10);
+  FaultyAllocator wrapped(inner, injector);
+
+  const std::vector<int> requests{8, 8, 8};
+  const std::vector<int> allotments = wrapped.allocate(requests, 12);
+  EXPECT_EQ(std::accumulate(allotments.begin(), allotments.end(), 0), 7);
+  EXPECT_EQ(wrapped.pool(12), 7);
+}
+
+TEST(FaultyAllocator, RevocationClampsTheVictimOnly) {
+  alloc::EquiPartition inner;
+  FaultPlan plan;
+  FaultEvent revoke;
+  revoke.step = 0;
+  revoke.kind = FaultKind::kAllotmentRevocation;
+  revoke.job = 1;
+  revoke.cap = 1;
+  revoke.duration = 100;
+  plan.events.push_back(revoke);
+  FaultInjector injector(plan);
+  injector.advance(0, 10);
+  FaultyAllocator wrapped(inner, injector);
+
+  const std::vector<int> requests{4, 4, 4};
+  const std::vector<int> allotments = wrapped.allocate(requests, 12);
+  ASSERT_EQ(allotments.size(), 3u);
+  EXPECT_EQ(allotments[0], 4);
+  EXPECT_EQ(allotments[1], 1);
+  EXPECT_EQ(allotments[2], 4);
+  EXPECT_EQ(wrapped.last_revoked(), 3);
+
+  // The conservative invariant survives the clamp.
+  for (std::size_t i = 0; i < allotments.size(); ++i) {
+    EXPECT_LE(allotments[i], requests[i]);
+    EXPECT_GE(allotments[i], 0);
+  }
+}
+
+TEST(FaultyAllocator, CloneSharesTheInjector) {
+  alloc::EquiPartition inner;
+  FaultInjector injector(step_failure_plan(0, 2));
+  injector.advance(0, 10);
+  FaultyAllocator wrapped(inner, injector);
+  const auto copy = wrapped.clone();
+
+  const std::vector<int> requests{6, 6};
+  EXPECT_EQ(copy->allocate(requests, 8), wrapped.allocate(requests, 8));
+  EXPECT_EQ(copy->pool(8), 6);
+  EXPECT_EQ(copy->name(), wrapped.name());
+}
+
+TEST(FaultyAllocator, ResetClearsRevocationCounter) {
+  alloc::EquiPartition inner;
+  FaultPlan plan;
+  FaultEvent revoke;
+  revoke.kind = FaultKind::kAllotmentRevocation;
+  revoke.job = 0;
+  revoke.cap = 0;
+  revoke.duration = 50;
+  plan.events.push_back(revoke);
+  FaultInjector injector(plan);
+  injector.advance(0, 10);
+  FaultyAllocator wrapped(inner, injector);
+  wrapped.allocate({3}, 4);
+  EXPECT_GT(wrapped.last_revoked(), 0);
+  wrapped.reset();
+  EXPECT_EQ(wrapped.last_revoked(), 0);
+}
+
+}  // namespace
+}  // namespace abg::fault

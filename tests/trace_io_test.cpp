@@ -67,6 +67,72 @@ TEST(TraceIo, RejectsMalformedNumbers) {
   EXPECT_THROW(read_trace_csv(buffer), std::invalid_argument);
 }
 
+TEST(TraceIo, RejectsEmptyStream) {
+  std::stringstream buffer("");
+  EXPECT_THROW(read_trace_csv(buffer), std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsTruncatedRow) {
+  // A row cut off mid-record (e.g. a crashed writer) has too few cells.
+  std::stringstream buffer;
+  buffer << "index,start_step,request,allotment,available,length,"
+         << "steps_used,work,cpl,full,finished\n"
+         << "1,0,1,1,1,10,10,10,5.0,1,0\n"
+         << "2,10,1,1,1,10\n";
+  EXPECT_THROW(read_trace_csv(buffer), std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsExtraColumns) {
+  std::stringstream buffer;
+  buffer << "index,start_step,request,allotment,available,length,"
+         << "steps_used,work,cpl,full,finished\n"
+         << "1,0,1,1,1,10,10,10,5.0,1,0,99\n";
+  EXPECT_THROW(read_trace_csv(buffer), std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsNonNumericCellsInEveryNumericColumn) {
+  const char* rows[] = {
+      "oops,0,1,1,1,10,10,10,5.0,1,0",  // index
+      "1,oops,1,1,1,10,10,10,5.0,1,0",  // start_step
+      "1,0,oops,1,1,10,10,10,5.0,1,0",  // request
+      "1,0,1,oops,1,10,10,10,5.0,1,0",  // allotment
+      "1,0,1,1,oops,10,10,10,5.0,1,0",  // available
+      "1,0,1,1,1,oops,10,10,5.0,1,0",   // length
+      "1,0,1,1,1,10,oops,10,5.0,1,0",   // steps_used
+      "1,0,1,1,1,10,10,oops,5.0,1,0",   // work
+      "1,0,1,1,1,10,10,10,oops,1,0",    // cpl
+  };
+  for (const char* row : rows) {
+    std::stringstream buffer;
+    buffer << "index,start_step,request,allotment,available,length,"
+           << "steps_used,work,cpl,full,finished\n"
+           << row << '\n';
+    EXPECT_THROW(read_trace_csv(buffer), std::invalid_argument)
+        << "accepted row: " << row;
+  }
+}
+
+TEST(TraceIo, RejectsOutOfRangeValues) {
+  // Values that overflow the target integer types must be rejected, not
+  // silently wrapped.
+  const char* rows[] = {
+      // request overflows int.
+      "1,0,99999999999,1,1,10,10,10,5.0,1,0",
+      // index overflows int64.
+      "99999999999999999999999,0,1,1,1,10,10,10,5.0,1,0",
+      // work overflows int64.
+      "1,0,1,1,1,10,10,99999999999999999999999,5.0,1,0",
+  };
+  for (const char* row : rows) {
+    std::stringstream buffer;
+    buffer << "index,start_step,request,allotment,available,length,"
+           << "steps_used,work,cpl,full,finished\n"
+           << row << '\n';
+    EXPECT_THROW(read_trace_csv(buffer), std::invalid_argument)
+        << "accepted row: " << row;
+  }
+}
+
 TEST(TraceIo, ResultSummaryShape) {
   std::vector<JobSubmission> subs;
   for (int j = 0; j < 2; ++j) {

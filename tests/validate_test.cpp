@@ -153,5 +153,71 @@ TEST(ValidateResult, RejectsBadProcessorCount) {
   EXPECT_FALSE(validate_result(SimResult{}, 0).empty());
 }
 
+// Two single-quantum traces with different quantum lengths whose holding
+// intervals overlap on [10, 20): job A holds 2 processors over [0, 30),
+// job B holds 2 over [10, 20).
+SimResult non_uniform_result() {
+  SimResult result;
+  JobTrace a;
+  a.work = 10;
+  a.critical_path = 5;
+  a.completion_step = 30;
+  sched::QuantumStats qa;
+  qa.index = 1;
+  qa.request = 2;
+  qa.allotment = 2;
+  qa.available = 2;
+  qa.length = 30;
+  qa.steps_used = 30;
+  qa.work = 10;
+  qa.cpl = 5.0;
+  qa.finished = true;
+  a.quanta = {qa};
+
+  JobTrace b;
+  b.work = 8;
+  b.critical_path = 4;
+  b.completion_step = 20;
+  sched::QuantumStats qb;
+  qb.index = 1;
+  qb.start_step = 10;
+  qb.request = 2;
+  qb.allotment = 2;
+  qb.available = 2;
+  qb.length = 10;
+  qb.steps_used = 10;
+  qb.work = 8;
+  qb.cpl = 4.0;
+  qb.finished = true;
+  b.quanta = {qb};
+
+  result.jobs = {a, b};
+  result.makespan = 30;
+  result.mean_response_time = 25.0;
+  result.total_waste = a.total_waste() + b.total_waste();
+  return result;
+}
+
+TEST(ValidateResult, DetectsOversubscriptionWithNonUniformLengths) {
+  // 4 processors held on [10, 20) but the machine only has 3: the old
+  // uniform-length-only check skipped this case entirely.
+  const SimResult result = non_uniform_result();
+  const auto issues = validate_result(result, 3);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues.front().find("oversubscribed"), std::string::npos);
+}
+
+TEST(ValidateResult, AcceptsNonUniformLengthsWithinCapacity) {
+  EXPECT_TRUE(validate_result(non_uniform_result(), 4).empty());
+}
+
+TEST(ValidateResult, AveragedAllotmentsSkipTheCapacitySweep) {
+  // Async-engine results record rounded time-averaged allotments whose
+  // instantaneous sum can legitimately exceed P; the sweep must not fire.
+  SimResult result = non_uniform_result();
+  result.averaged_allotments = true;
+  EXPECT_TRUE(validate_result(result, 3).empty());
+}
+
 }  // namespace
 }  // namespace abg::sim

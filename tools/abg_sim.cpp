@@ -21,6 +21,12 @@
 //   --report       print sparkline feedback report per job
 //   --gantt        print an ASCII Gantt chart of the whole run
 //   --compare      also run A-Greedy on the identical workload
+//   --faults SPEC  inject faults: step:STEP:N | impulse:STEP:N:OUTAGE |
+//                  poisson:RATE:HORIZON | crash:JOB:FIRST:PERIOD:COUNT
+//   --crash-policy checkpoint | scratch    [checkpoint]
+//   --policy-restart preserve | reset      [preserve]
+//   --restart-delay N [0]
+//   --resilience   also run fault-free and print the resilience report
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -31,6 +37,7 @@
 #include "alloc/round_robin.hpp"
 #include "alloc/unconstrained.hpp"
 #include "core/run.hpp"
+#include "fault/fault_plan.hpp"
 #include "dag/profile_job.hpp"
 #include "metrics/lower_bounds.hpp"
 #include "metrics/parallelism_stats.hpp"
@@ -138,6 +145,99 @@ std::vector<abg::sim::JobSubmission> make_workload(const Cli& cli,
   throw std::invalid_argument("unknown --workload '" + kind + "'");
 }
 
+// Splits "step:500:8" into its ':'-separated fields.
+std::vector<std::string> split_spec(const std::string& spec) {
+  std::vector<std::string> fields;
+  std::string::size_type from = 0;
+  while (true) {
+    const auto colon = spec.find(':', from);
+    if (colon == std::string::npos) {
+      fields.push_back(spec.substr(from));
+      return fields;
+    }
+    fields.push_back(spec.substr(from, colon - from));
+    from = colon + 1;
+  }
+}
+
+abg::fault::FaultPlan make_fault_plan(const Cli& cli, std::uint64_t seed) {
+  abg::fault::FaultPlan plan;
+  if (cli.has("faults")) {
+    const std::string spec = cli.get("faults", "");
+    const std::vector<std::string> f = split_spec(spec);
+    try {
+      if (f[0] == "step" && f.size() == 3) {
+        plan = abg::fault::step_failure_plan(std::stoll(f[1]),
+                                             std::stoi(f[2]));
+      } else if (f[0] == "impulse" && f.size() == 4) {
+        plan = abg::fault::impulse_failure_plan(
+            std::stoll(f[1]), std::stoi(f[2]), std::stoll(f[3]));
+      } else if (f[0] == "poisson" && f.size() == 3) {
+        // Deterministic given --seed; a distinct stream from the
+        // workload's so the job set is unchanged by adding faults.
+        abg::util::Rng rng(seed + 0x9e3779b97f4a7c15ull);
+        plan = abg::fault::poisson_churn_plan(rng, std::stoll(f[2]),
+                                              std::stod(f[1]),
+                                              /*mean_outage=*/500,
+                                              /*max_down=*/8);
+      } else if (f[0] == "crash" && f.size() == 5) {
+        plan = abg::fault::periodic_crash_plan(
+            std::stoi(f[1]), std::stoll(f[2]), std::stoll(f[3]),
+            std::stoi(f[4]));
+      } else {
+        throw std::invalid_argument("unrecognized pattern");
+      }
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument(
+          "malformed --faults '" + spec +
+          "' (expected step:STEP:N, impulse:STEP:N:OUTAGE, "
+          "poisson:RATE:HORIZON or crash:JOB:FIRST:PERIOD:COUNT)");
+    } catch (const std::out_of_range&) {
+      throw std::invalid_argument("--faults '" + spec +
+                                  "' has an out-of-range field");
+    }
+  }
+  const std::string crash_policy = cli.get("crash-policy", "checkpoint");
+  if (crash_policy == "checkpoint") {
+    plan.work_loss = abg::fault::WorkLoss::kCheckpointQuantum;
+  } else if (crash_policy == "scratch") {
+    plan.work_loss = abg::fault::WorkLoss::kRestartFromScratch;
+  } else {
+    throw std::invalid_argument("unknown --crash-policy '" + crash_policy +
+                                "' (checkpoint | scratch)");
+  }
+  const std::string restart = cli.get("policy-restart", "preserve");
+  if (restart == "preserve") {
+    plan.policy_on_restart = abg::fault::PolicyOnRestart::kPreserve;
+  } else if (restart == "reset") {
+    plan.policy_on_restart = abg::fault::PolicyOnRestart::kReset;
+  } else {
+    throw std::invalid_argument("unknown --policy-restart '" + restart +
+                                "' (preserve | reset)");
+  }
+  plan.restart_delay = cli.get_int("restart-delay", 0);
+  plan.normalize();
+  return plan;
+}
+
+void print_usage(std::ostream& os) {
+  os << "usage: abg_sim [--workload=forkjoin|constant|randomwalk|jobset]\n"
+        "               [--scheduler=abg|abg-auto|a-greedy|filtered|"
+        "static:N]\n"
+        "               [--allocator=deq|rr|unconstrained]\n"
+        "               [--processors=P] [--quantum=L] [--seed=S]\n"
+        "               [--rate=r] [--cost=c] [--transition=C]\n"
+        "               [--width=W] [--levels=N] [--load=X] "
+        "[--jobs-cap=N]\n"
+        "               [--faults=step:STEP:N|impulse:STEP:N:OUTAGE|"
+        "poisson:RATE:HORIZON|crash:JOB:FIRST:PERIOD:COUNT]\n"
+        "               [--crash-policy=checkpoint|scratch]\n"
+        "               [--policy-restart=preserve|reset] "
+        "[--restart-delay=N]\n"
+        "               [--resilience] [--trace=FILE] [--report] "
+        "[--gantt] [--compare]\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -164,12 +264,16 @@ int main(int argc, char** argv) {
           s.job->total_work(), s.job->critical_path(), s.release_step});
     }
 
-    const abg::sim::SimConfig config{
+    const abg::fault::FaultPlan faults = make_fault_plan(cli, seed);
+    abg::sim::SimConfig config{
         .processors = processors,
         .quantum_length = quantum,
         .max_active_jobs =
             static_cast<int>(cli.get_int("jobs-cap", 0)),
         .reallocation_cost_per_proc = cli.get_int("cost", 0)};
+    if (!faults.empty()) {
+      config.faults = &faults;
+    }
     const abg::sim::SimResult result = abg::core::run_set(
         scheduler, std::move(submissions), config, allocator.get());
 
@@ -245,12 +349,29 @@ int main(int argc, char** argv) {
                 << abg::util::format_double(baseline.mean_response_time, 1)
                 << ", total waste " << baseline.total_waste << "\n";
     }
+    if (cli.get_bool("resilience", false)) {
+      // Fault-free reference on the byte-identical workload.
+      abg::sim::SimConfig reference_config = config;
+      reference_config.faults = nullptr;
+      const auto reference_alloc = make_allocator(cli);
+      const abg::sim::SimResult reference = abg::core::run_set(
+          scheduler, build_workload(), reference_config,
+          reference_alloc.get());
+      std::cout << "\n"
+                << abg::sim::resilience_report(result, reference);
+    }
     if (cli.has("trace")) {
       std::ofstream out(cli.get("trace", ""));
       abg::sim::write_trace_csv(out, result.jobs.at(0));
       std::cout << "\nwrote " << cli.get("trace", "") << "\n";
     }
     return 0;
+  } catch (const std::invalid_argument& e) {
+    // Bad flag or flag value: say what was wrong, show the usage, and
+    // exit distinctly from runtime failures.
+    std::cerr << "abg_sim: " << e.what() << "\n\n";
+    print_usage(std::cerr);
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "abg_sim: " << e.what() << "\n";
     return 1;
