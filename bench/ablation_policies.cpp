@@ -54,7 +54,7 @@ abg::core::SchedulerSpec abg_auto() { return abg::core::abg_auto_spec(); }
 
 int main(int argc, char** argv) {
   const abg::util::Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 99));
+  const abg::bench::StandardFlags flags(cli, 99);
   const auto jobs = static_cast<int>(cli.get_int("jobs", 6));
   const abg::bench::Machine machine{.processors = 128,
                                     .quantum_length = 500};
@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
     abg::util::RunningStats time_norm;
     abg::util::RunningStats waste_norm;
     abg::util::RunningStats quanta;
-    abg::util::Rng root(seed);
+    abg::util::Rng root(flags.seed);
     for (int j = 0; j < jobs; ++j) {
       abg::util::Rng rng = root.split();
       const auto job = abg::workload::make_fork_join_job(
@@ -101,7 +101,7 @@ int main(int argc, char** argv) {
                         abg::util::format_double(waste_norm.mean(), 3),
                         abg::util::format_double(quanta.mean(), 1)});
   }
-  abg::bench::emit(grid_table, cli);
+  abg::bench::emit(grid_table, flags);
 
   std::cout << "\nAblation 2: convergence rate sweep (same jobs)\n\n";
   abg::util::Table rate_table({"r", "time/Tinf", "waste/T1"});
@@ -109,7 +109,7 @@ int main(int argc, char** argv) {
        {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
     abg::util::RunningStats time_norm;
     abg::util::RunningStats waste_norm;
-    abg::util::Rng root(seed);
+    abg::util::Rng root(flags.seed);
     for (int j = 0; j < jobs; ++j) {
       abg::util::Rng rng = root.split();
       const auto job = abg::workload::make_fork_join_job(
@@ -130,7 +130,7 @@ int main(int argc, char** argv) {
     rate_table.add_numeric_row({rate, time_norm.mean(), waste_norm.mean()},
                                3);
   }
-  abg::bench::emit(rate_table, cli);
+  abg::bench::emit(rate_table, flags);
 
   std::cout << "\nAblation 3: quantum length sweep (ABG, r = 0.2)\n\n";
   abg::util::Table quantum_table({"L", "time/Tinf", "waste/T1", "quanta"});
@@ -138,7 +138,7 @@ int main(int argc, char** argv) {
     abg::util::RunningStats time_norm;
     abg::util::RunningStats waste_norm;
     abg::util::RunningStats quanta;
-    abg::util::Rng root(seed);
+    abg::util::Rng root(flags.seed);
     for (int j = 0; j < jobs; ++j) {
       abg::util::Rng rng = root.split();
       // Job shape held fixed (defined in levels of the 500-step reference
@@ -160,7 +160,7 @@ int main(int argc, char** argv) {
          quanta.mean()},
         3);
   }
-  abg::bench::emit(quantum_table, cli);
+  abg::bench::emit(quantum_table, flags);
   std::cout << "\nLong quanta amortize reallocation but react slowly; "
             << "short quanta track parallelism closely at the cost of "
             << "convergence transients each phase change.\n";
@@ -173,7 +173,7 @@ int main(int argc, char** argv) {
     abg::util::RunningStats time_norm;
     abg::util::RunningStats waste_norm;
     abg::util::RunningStats quanta;
-    abg::util::Rng root(seed);
+    abg::util::Rng root(flags.seed);
     for (int j = 0; j < jobs; ++j) {
       abg::util::Rng rng = root.split();
       const auto job = abg::workload::make_fork_join_job(
@@ -205,7 +205,7 @@ int main(int argc, char** argv) {
          abg::util::format_double(waste_norm.mean(), 3),
          abg::util::format_double(quanta.mean(), 1)});
   }
-  abg::bench::emit(dynamic_table, cli);
+  abg::bench::emit(dynamic_table, flags);
   std::cout << "\nThe adaptive policy shortens quanta through parallelism "
             << "transitions (less stale-allotment waste) and lengthens "
             << "them during stable phases (fewer reallocations).\n";
@@ -216,7 +216,7 @@ int main(int argc, char** argv) {
       {"boundaries", "scheduler", "makespan", "mean response",
        "waste/work"});
   {
-    abg::util::Rng rng(seed);
+    abg::util::Rng rng(flags.seed);
     abg::workload::JobSetSpec set_spec;
     set_spec.load = 1.0;
     set_spec.processors = machine.processors;
@@ -258,7 +258,7 @@ int main(int argc, char** argv) {
                static_cast<double>(async.total_waste) / total_work, 3)});
     }
   }
-  abg::bench::emit(sync_table, cli);
+  abg::bench::emit(sync_table, flags);
   std::cout << "\nAsynchrony is a modeling detail: both schedulers keep "
             << "their relative ordering whether quanta share global "
             << "boundaries or drift per job.\n";

@@ -20,7 +20,7 @@
 
 int main(int argc, char** argv) {
   const abg::util::Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const abg::bench::StandardFlags flags(cli, 7);
   const auto jobs = static_cast<int>(cli.get_int("jobs", 8));
   const abg::bench::Machine machine{.processors = 128,
                                     .quantum_length = 500};
@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
       abg::util::RunningStats waste_norm;
       abg::util::RunningStats inefficient;
       abg::util::RunningStats reallocs;
-      abg::util::Rng root(seed);
+      abg::util::Rng root(flags.seed);
       for (int j = 0; j < jobs; ++j) {
         abg::util::Rng rng = root.split();
         const auto job = abg::workload::make_fork_join_job(
@@ -77,13 +77,13 @@ int main(int argc, char** argv) {
       }
     }
   }
-  abg::bench::emit(table, cli);
+  abg::bench::emit(table, flags);
 
   // ABG reference at the paper's r = 0.2 on the same jobs.
   abg::util::RunningStats abg_time;
   abg::util::RunningStats abg_waste;
   abg::util::RunningStats abg_reallocs;
-  abg::util::Rng root(seed);
+  abg::util::Rng root(flags.seed);
   for (int j = 0; j < jobs; ++j) {
     abg::util::Rng rng = root.split();
     const auto job = abg::workload::make_fork_join_job(

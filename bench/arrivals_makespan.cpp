@@ -79,7 +79,7 @@ SetOutcome run_one(abg::util::Rng rng, const abg::bench::Machine& machine,
 
 int main(int argc, char** argv) {
   const abg::util::Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 77));
+  const abg::bench::StandardFlags flags(cli, 77);
   const auto sets = static_cast<int>(cli.get_int("sets", 10));
   const abg::bench::Machine machine;
 
@@ -92,7 +92,7 @@ int main(int argc, char** argv) {
       abg::util::RunningStats abg_norm;
       abg::util::RunningStats ag_norm;
       abg::util::RunningStats ratio;
-      abg::util::Rng root(seed);
+      abg::util::Rng root(flags.seed);
       for (int s = 0; s < sets; ++s) {
         const SetOutcome out =
             run_one(root.split(), machine, poisson, gap);
@@ -107,7 +107,7 @@ int main(int argc, char** argv) {
                      abg::util::format_double(ratio.mean(), 3)});
     }
   }
-  abg::bench::emit(table, cli);
+  abg::bench::emit(table, flags);
   std::cout << "\nBoth schedulers must stay above 1.0x the lower bound; "
             << "ABG's advantage persists across arrival patterns and fades "
             << "as arrivals spread out (each job increasingly runs "

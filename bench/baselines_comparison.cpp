@@ -19,7 +19,7 @@
 
 int main(int argc, char** argv) {
   const abg::util::Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const abg::bench::StandardFlags flags(cli, 42);
   const auto jobs = static_cast<int>(cli.get_int("jobs", 6));
   const abg::bench::Machine machine{.processors = 64, .quantum_length = 200};
 
@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
     Acc acc[4];
     const char* names[4] = {"ABG", "A-Greedy", "A-Steal", "ABP"};
 
-    abg::util::Rng root(seed);
+    abg::util::Rng root(flags.seed);
     for (int j = 0; j < jobs; ++j) {
       abg::util::Rng rng = root.split();
       abg::workload::ForkJoinSpec spec;
@@ -97,7 +97,7 @@ int main(int argc, char** argv) {
                      abg::util::format_double(acc[s].steals.mean(), 3)});
     }
   }
-  abg::bench::emit(table, cli);
+  abg::bench::emit(table, flags);
 
   std::cout << "\nExpected shape: ABG lowest waste; A-Steal close behind "
             << "(steal attempts add overhead); ABP pays for holding the "

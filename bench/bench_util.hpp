@@ -28,9 +28,32 @@ struct Machine {
   dag::Steps quantum_length = 1000;
 };
 
+/// The flag set every harness shares — parsed once here instead of the
+/// copy-pasted get_bool/get_int blocks each binary used to carry:
+///   --full       paper-scale sweep instead of the fast default,
+///   --csv        machine-readable table output,
+///   --seed=S     base seed (per-harness default).
+struct StandardFlags {
+  bool full = false;
+  bool csv = false;
+  std::uint64_t seed = 2008;
+
+  explicit StandardFlags(const util::Cli& cli,
+                         std::int64_t default_seed = 2008)
+      : full(cli.get_bool("full", false)),
+        csv(cli.get_bool("csv", false)),
+        seed(static_cast<std::uint64_t>(cli.get_int("seed", default_seed))) {}
+};
+
+/// Worker threads for the harnesses that sweep through exp::SweepRunner:
+/// --jobs=N, where N <= 0 selects hardware_concurrency.
+inline int thread_count_flag(const util::Cli& cli) {
+  return static_cast<int>(cli.get_int("jobs", 1));
+}
+
 /// Prints a table in the format selected by --csv.
-inline void emit(const util::Table& table, const util::Cli& cli) {
-  if (cli.get_bool("csv", false)) {
+inline void emit(const util::Table& table, const StandardFlags& flags) {
+  if (flags.csv) {
     table.print_csv(std::cout);
   } else {
     table.print(std::cout);

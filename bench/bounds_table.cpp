@@ -20,11 +20,11 @@
 
 int main(int argc, char** argv) {
   const abg::util::Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const abg::bench::StandardFlags flags(cli, 1);
   const double rate = cli.get_double("rate", 0.05);
   const abg::bench::Machine machine{.processors = 128,
                                     .quantum_length = 500};
-  abg::util::Rng root(seed);
+  abg::util::Rng root(flags.seed);
 
   std::cout << "Theorems 3 & 4: single fork-join jobs under ABG (r = "
             << rate << ", P = " << machine.processors << ", L = "
@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
              : -1.0},
         2);
   }
-  abg::bench::emit(single, cli);
+  abg::bench::emit(single, flags);
 
   std::cout << "\nTheorem 5: job sets under DEQ (batched release)\n\n";
   abg::util::Table sets({"load", "jobs", "max C_L", "makespan",
@@ -127,7 +127,7 @@ int main(int argc, char** argv) {
          r_bound > 0.0 ? result.mean_response_time / r_bound : -1.0},
         2);
   }
-  abg::bench::emit(sets, cli);
+  abg::bench::emit(sets, flags);
   std::cout << "\nAll measured/bound ratios must stay <= 1 (bounds hold); "
             << "-1 marks rows where r < 1/C_L failed and the bound is not "
             << "defined.\n";

@@ -14,6 +14,7 @@
 
 int main(int argc, char** argv) {
   const abg::util::Cli cli(argc, argv);
+  const abg::bench::StandardFlags flags(cli);
   const abg::bench::Machine machine{.processors = 512,
                                     .quantum_length = 200};
 
@@ -60,7 +61,7 @@ int main(int argc, char** argv) {
                      measured.settled ? "yes" : "NO"});
     }
   }
-  abg::bench::emit(table, cli);
+  abg::bench::emit(table, flags);
   std::cout << "\nExpected: pole = r, BIBO stable, zero steady-state error "
             << "and zero overshoot for every r in [0, 1); the measured "
             << "contraction rate tracks r up to integer rounding of "

@@ -14,144 +14,104 @@
 // request signal, lost work, and whether the lost-work accounting
 // balances (allotted = work + lost + waste).
 //
-//   ./fault_resilience [--seed=S] [--jobs=N] [--full] [--csv]
-//                      [--crash-policy=checkpoint|scratch]
+// Every (scheduler, scenario) cell is an independent RunSpec on the
+// exp::SweepRunner pool; each run simulates its own fault-free reference
+// (the disturbances are anchored on its makespan) before replaying the
+// identical workload under the plan.
+//
+//   ./fault_resilience [--seed=S] [--set-size=N] [--full] [--csv]
+//                      [--jobs=N] [--crash-policy=checkpoint|scratch]
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
-#include "fault/fault_plan.hpp"
-#include "fault/resilience.hpp"
-#include "sim/validate.hpp"
-#include "workload/profiles.hpp"
+#include "exp/runner.hpp"
 
 namespace {
 
-using abg::fault::FaultPlan;
-
-std::vector<abg::sim::JobSubmission> build_jobs(std::uint64_t seed,
-                                                int count,
-                                                abg::dag::Steps levels) {
-  abg::util::Rng rng(seed);
-  std::vector<abg::sim::JobSubmission> subs;
-  for (int j = 0; j < count; ++j) {
-    abg::sim::JobSubmission s;
-    // Square waves of varying parallelism so the request signal has
-    // structure for the disturbance to perturb.
-    const auto low = static_cast<abg::dag::TaskCount>(
-        rng.uniform_int(1, 4));
-    const auto high = static_cast<abg::dag::TaskCount>(
-        rng.uniform_int(8, 24));
-    const auto phase = rng.uniform_int(levels / 8, levels / 3);
-    s.job = std::make_unique<abg::dag::ProfileJob>(
-        abg::workload::square_wave_profile(low, high, phase, levels, 4));
-    subs.push_back(std::move(s));
-  }
-  return subs;
-}
-
-struct Scenario {
-  std::string name;
-  FaultPlan plan;
-};
-
-std::string fmt_recovery(std::int64_t quanta) {
-  return quanta < 0 ? std::string("never") : std::to_string(quanta);
+std::string fmt_recovery(double quanta) {
+  return quanta < 0 ? std::string("never")
+                    : std::to_string(static_cast<std::int64_t>(quanta));
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const abg::util::Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
-  const bool full = cli.get_bool("full", false);
-  const auto jobs =
-      static_cast<int>(cli.get_int("jobs", full ? 12 : 4));
+  const abg::bench::StandardFlags flags(cli, 7);
+  const auto set_size =
+      static_cast<int>(cli.get_int("set-size", flags.full ? 12 : 4));
   const abg::bench::Machine machine{
-      .processors = full ? 128 : 32,
-      .quantum_length = full ? 1000 : 50};
-  const abg::dag::Steps levels = full ? 4000 : 600;
+      .processors = flags.full ? 128 : 32,
+      .quantum_length = flags.full ? 1000 : 50};
+  const abg::dag::Steps levels = flags.full ? 4000 : 600;
   const bool scratch = cli.get("crash-policy", "checkpoint") == "scratch";
+  const int threads = abg::bench::thread_count_flag(cli);
 
-  const abg::sim::SimConfig reference_config{
-      .processors = machine.processors,
-      .quantum_length = machine.quantum_length};
+  const std::vector<abg::exp::SchedulerKind> schedulers = {
+      abg::exp::SchedulerKind::kAbg, abg::exp::SchedulerKind::kAGreedy};
+  const std::vector<abg::exp::FaultScenario> scenarios = {
+      abg::exp::FaultScenario::kStep, abg::exp::FaultScenario::kImpulse,
+      abg::exp::FaultScenario::kPoisson, abg::exp::FaultScenario::kCrash};
 
-  struct SchedulerEntry {
-    std::string name;
-    abg::core::SchedulerSpec (*make)();
-  };
-  const std::vector<SchedulerEntry> schedulers = {
-      {"ABG", [] { return abg::core::abg_spec(); }},
-      {"A-Greedy", [] { return abg::core::a_greedy_spec(); }},
-  };
+  // Every cell shares seed index 0: one workload, disturbed four ways,
+  // under each scheduler.
+  std::vector<abg::exp::RunSpec> specs;
+  for (const abg::exp::SchedulerKind scheduler : schedulers) {
+    for (const abg::exp::FaultScenario scenario : scenarios) {
+      abg::exp::RunSpec spec;
+      spec.scheduler = scheduler;
+      spec.workload.kind = abg::exp::WorkloadKind::kSquareWave;
+      spec.workload.jobs = set_size;
+      spec.workload.levels = levels;
+      spec.machine = {.processors = machine.processors,
+                      .quantum_length = machine.quantum_length};
+      spec.faults.scenario = scenario;
+      spec.faults.fraction = 0.5;
+      spec.faults.scratch = scratch;
+      spec.group = abg::exp::to_string(scenario);
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  abg::exp::SweepConfig sweep;
+  sweep.threads = threads;
+  sweep.base_seed = flags.seed;
+  const std::vector<abg::exp::RunRecord> records =
+      abg::exp::SweepRunner(sweep).run(specs);
 
   abg::util::Table table({"scheduler", "scenario", "makespan", "degradation",
                           "recovery (quanta)", "overshoot", "lost work",
                           "crashes", "balance"});
-
-  for (const SchedulerEntry& entry : schedulers) {
-    const abg::sim::SimResult reference = abg::core::run_set(
-        entry.make(), build_jobs(seed, jobs, levels), reference_config,
-        nullptr);
-
-    // Anchor the disturbances inside the reference run.
-    const abg::dag::Steps mid = reference.makespan / 3;
-    const abg::dag::Steps l = machine.quantum_length;
-    const int half = machine.processors / 2;
-
-    std::vector<Scenario> scenarios;
-    scenarios.push_back({"step", abg::fault::step_failure_plan(mid, half)});
-    scenarios.push_back(
-        {"impulse",
-         abg::fault::impulse_failure_plan(mid, half, 8 * l)});
-    {
-      abg::util::Rng churn_rng(seed + 1);
-      scenarios.push_back(
-          {"poisson",
-           abg::fault::poisson_churn_plan(
-               churn_rng, reference.makespan,
-               1.0 / static_cast<double>(4 * l), 6 * l,
-               machine.processors / 4)});
-    }
-    {
-      FaultPlan crash = abg::fault::periodic_crash_plan(
-          0, mid, std::max<abg::dag::Steps>(1, reference.makespan / 4), 2);
-      crash.work_loss = scratch
-                            ? abg::fault::WorkLoss::kRestartFromScratch
-                            : abg::fault::WorkLoss::kCheckpointQuantum;
-      scenarios.push_back({"crash", std::move(crash)});
-    }
-
-    for (const Scenario& scenario : scenarios) {
-      abg::sim::SimConfig config = reference_config;
-      config.faults = &scenario.plan;
-      const abg::sim::SimResult faulty = abg::core::run_set(
-          entry.make(), build_jobs(seed, jobs, levels), config, nullptr);
-      for (const std::string& issue :
-           abg::sim::validate_result(faulty, machine.processors)) {
-        std::cerr << "VALIDATION (" << entry.name << "/" << scenario.name
-                  << "): " << issue << "\n";
+  std::size_t r = 0;
+  for (const abg::exp::SchedulerKind scheduler : schedulers) {
+    const std::string name =
+        scheduler == abg::exp::SchedulerKind::kAbg ? "ABG" : "A-Greedy";
+    for (std::size_t cell = 0; cell < scenarios.size(); ++cell) {
+      const abg::exp::RunRecord& rec = records[r++];
+      if (rec.metric("validation_issues") > 0) {
+        std::cerr << "VALIDATION (" << name << "/" << rec.group << "): "
+                  << rec.metric("validation_issues")
+                  << " issue(s); rerun via abg_sim --faults for details\n";
       }
-      const abg::fault::ResilienceReport report =
-          abg::fault::analyze_resilience(faulty, reference);
       table.add_row(
-          {entry.name, scenario.name, std::to_string(report.makespan),
-           abg::util::format_double(report.makespan_degradation, 3),
-           fmt_recovery(report.max_recovery_quanta),
-           abg::util::format_double(report.max_overshoot, 1),
-           std::to_string(report.lost_work),
-           std::to_string(report.crash_events),
-           report.accounting_balances() ? "ok" : "IMBALANCED"});
+          {name, rec.group,
+           std::to_string(static_cast<std::int64_t>(rec.metric("makespan"))),
+           abg::util::format_double(rec.metric("makespan_degradation"), 3),
+           fmt_recovery(rec.metric("recovery_quanta")),
+           abg::util::format_double(rec.metric("overshoot"), 1),
+           std::to_string(static_cast<std::int64_t>(rec.metric("lost_work"))),
+           std::to_string(static_cast<std::int64_t>(rec.metric("crashes"))),
+           rec.metric("accounting_balanced") > 0 ? "ok" : "IMBALANCED"});
     }
   }
 
   std::cout << "fault resilience, P = " << machine.processors << ", L = "
-            << machine.quantum_length << ", jobs = " << jobs
+            << machine.quantum_length << ", jobs = " << set_size
             << ", crash policy = " << (scratch ? "scratch" : "checkpoint")
             << "\n\n";
-  abg::bench::emit(table, cli);
+  abg::bench::emit(table, flags);
   std::cout << "\nEvery row's accounting must balance; recovery is the "
                "worst settle time of the aggregate request signal over "
                "all disturbances of the scenario.\n";

@@ -15,6 +15,7 @@
 
 int main(int argc, char** argv) {
   const abg::util::Cli cli(argc, argv);
+  const abg::bench::StandardFlags flags(cli);
   const auto parallelism = cli.get_int("parallelism", 10);
   const auto quanta = cli.get_int("quanta", 16);
   const abg::bench::Machine machine;
@@ -35,7 +36,7 @@ int main(int argc, char** argv) {
     table.add_row({std::to_string(q.index), std::to_string(q.request),
                    std::to_string(parallelism)});
   }
-  abg::bench::emit(table, cli);
+  abg::bench::emit(table, flags);
 
   std::vector<double> requests = trace.request_series();
   if (requests.size() > 1) {

@@ -15,6 +15,7 @@
 
 int main(int argc, char** argv) {
   const abg::util::Cli cli(argc, argv);
+  const abg::bench::StandardFlags flags(cli);
   const auto parallelism = cli.get_int("parallelism", 10);
   const double rate = cli.get_double("rate", 0.2);
   const auto quanta = cli.get_int("quanta", 8);
@@ -42,7 +43,7 @@ int main(int argc, char** argv) {
                    std::to_string(ag_request),
                    std::to_string(parallelism)});
   }
-  abg::bench::emit(table, cli);
+  abg::bench::emit(table, flags);
 
   auto metrics_for = [&](const abg::sim::JobTrace& trace) {
     std::vector<double> requests = trace.request_series();

@@ -20,11 +20,11 @@
 
 int main(int argc, char** argv) {
   const abg::util::Cli cli(argc, argv);
-  const bool full = cli.get_bool("full", false);
+  const abg::bench::StandardFlags flags(cli, 2008);
   const auto jobs_per_factor =
-      static_cast<int>(cli.get_int("jobs", full ? 50 : 25));
-  const auto factor_step = static_cast<int>(cli.get_int("step", full ? 2 : 3));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2008));
+      static_cast<int>(cli.get_int("jobs", flags.full ? 50 : 25));
+  const auto factor_step =
+      static_cast<int>(cli.get_int("step", flags.full ? 2 : 3));
   const abg::bench::Machine machine;
 
   std::cout << "Figure 5: single jobs on P = " << machine.processors
@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   std::vector<double> all_time_ratios;
   std::vector<double> all_waste_ratios;
 
-  abg::util::Rng root(seed);
+  abg::util::Rng root(flags.seed);
   for (int factor = 2; factor <= 100; factor += factor_step) {
     abg::util::RunningStats abg_time;
     abg::util::RunningStats ag_time;
@@ -83,12 +83,14 @@ int main(int argc, char** argv) {
                            waste_ratio.mean(), measured_factor.mean()},
                           3);
   }
-  abg::bench::emit(table, cli);
+  abg::bench::emit(table, flags);
 
   const abg::util::ConfidenceInterval time_ci =
-      abg::util::bootstrap_mean(all_time_ratios, seed ^ 0x5C1ULL);
+      abg::util::bootstrap_mean(
+          all_time_ratios, abg::util::Rng::derive_seed(flags.seed, 1));
   const abg::util::ConfidenceInterval waste_ci =
-      abg::util::bootstrap_mean(all_waste_ratios, seed ^ 0x5C2ULL);
+      abg::util::bootstrap_mean(
+          all_waste_ratios, abg::util::Rng::derive_seed(flags.seed, 2));
   std::cout << "\nSummary: mean running-time ratio A-Greedy/ABG = "
             << abg::util::format_double(time_ci.point, 3) << "  [95% CI "
             << abg::util::format_double(time_ci.lower, 3) << ", "

@@ -10,41 +10,31 @@
 //   (c) mean response time / lower bound vs load,
 //   (d) response-time ratio A-Greedy / ABG.
 //
-//   ./fig6_job_sets [--full] [--sets=N] [--seed=S] [--csv]
+// The sweep executes on the exp::SweepRunner thread pool: every (load,
+// set, scheduler) triple is an independent RunSpec, schedulers share a
+// seed index so both face identical job sets, and results are identical
+// at any --jobs level.
+//
+//   ./fig6_job_sets [--full] [--sets=N] [--seed=S] [--csv] [--jobs=N]
+//                   [--allocator=deq|rr] [--jsonl=PATH] [--json=PATH]
+#include <fstream>
 #include <iostream>
 #include <vector>
 
-#include "alloc/round_robin.hpp"
 #include "bench_util.hpp"
+#include "exp/result_sink.hpp"
+#include "exp/runner.hpp"
 #include "util/bootstrap.hpp"
-#include "metrics/lower_bounds.hpp"
-#include "workload/job_set.hpp"
-
-namespace {
-
-std::vector<abg::sim::JobSubmission> submissions_of(
-    const std::vector<abg::workload::GeneratedJob>& jobs) {
-  std::vector<abg::sim::JobSubmission> subs;
-  subs.reserve(jobs.size());
-  for (const auto& g : jobs) {
-    abg::sim::JobSubmission s;
-    s.job = std::make_unique<abg::dag::ProfileJob>(g.job->widths());
-    subs.push_back(std::move(s));
-  }
-  return subs;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const abg::util::Cli cli(argc, argv);
-  const bool full = cli.get_bool("full", false);
+  const abg::bench::StandardFlags flags(cli, 2008);
   const auto sets_per_load =
-      static_cast<int>(cli.get_int("sets", full ? 500 : 30));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2008));
+      static_cast<int>(cli.get_int("sets", flags.full ? 500 : 30));
   // --allocator=rr swaps dynamic equi-partitioning for round-robin (the
   // other fair allocator He et al. couple the schedulers with).
   const bool use_round_robin = cli.get("allocator", "deq") == "rr";
+  const int threads = abg::bench::thread_count_flag(cli);
   const abg::bench::Machine machine;
   const std::vector<double> loads{0.25, 0.5, 1.0, 1.5, 2.0,
                                   3.0,  4.0, 5.0, 6.0};
@@ -53,7 +43,45 @@ int main(int argc, char** argv) {
             << (use_round_robin ? "round-robin" : "dynamic equi-partitioning")
             << ", P = "
             << machine.processors << ", L = " << machine.quantum_length
-            << ", " << sets_per_load << " sets per load\n\n";
+            << ", " << sets_per_load << " sets per load, " << threads
+            << " worker thread(s)\n\n";
+
+  // Grid: loads x sets x {ABG, A-Greedy}.  Scheduler variants of the same
+  // (load, set) share a seed index and therefore the exact job set.
+  const std::vector<abg::exp::SchedulerKind> schedulers = {
+      abg::exp::SchedulerKind::kAbg, abg::exp::SchedulerKind::kAGreedy};
+  std::vector<abg::exp::RunSpec> specs;
+  specs.reserve(loads.size() * static_cast<std::size_t>(sets_per_load) *
+                schedulers.size());
+  for (std::size_t li = 0; li < loads.size(); ++li) {
+    for (int s = 0; s < sets_per_load; ++s) {
+      for (const abg::exp::SchedulerKind scheduler : schedulers) {
+        abg::exp::RunSpec spec;
+        spec.scheduler = scheduler;
+        spec.workload.kind = abg::exp::WorkloadKind::kJobSet;
+        spec.workload.load = loads[li];
+        spec.machine = {.processors = machine.processors,
+                        .quantum_length = machine.quantum_length};
+        spec.allocator = use_round_robin
+                             ? abg::exp::AllocatorKind::kRoundRobin
+                             : abg::exp::AllocatorKind::kDefault;
+        spec.seed_index =
+            li * static_cast<std::uint64_t>(sets_per_load) +
+            static_cast<std::uint64_t>(s);
+        spec.group = "load=" + abg::util::format_double(loads[li], 2);
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+
+  abg::exp::SweepConfig sweep;
+  sweep.threads = threads;
+  sweep.base_seed = flags.seed;
+  if (threads != 1) {
+    sweep.on_progress = abg::exp::stderr_progress();
+  }
+  const std::vector<abg::exp::RunRecord> records =
+      abg::exp::SweepRunner(sweep).run(specs);
 
   abg::util::Table table(
       {"load", "jobs", "M/LB ABG", "M/LB A-Greedy", "M ratio", "R/LB ABG",
@@ -63,7 +91,8 @@ int main(int argc, char** argv) {
   std::vector<double> heavy_makespan_ratio;
   std::vector<double> heavy_response_ratio;
 
-  abg::util::Rng root(seed);
+  // Records come back in grid order: (abg, a-greedy) pairs per set.
+  std::size_t r = 0;
   for (const double load : loads) {
     abg::util::RunningStats m_abg;
     abg::util::RunningStats m_ag;
@@ -73,45 +102,16 @@ int main(int argc, char** argv) {
     abg::util::RunningStats r_ratio;
     abg::util::RunningStats set_size;
     for (int s = 0; s < sets_per_load; ++s) {
-      abg::util::Rng rng = root.split();
-      abg::workload::JobSetSpec spec;
-      spec.load = load;
-      spec.processors = machine.processors;
-      spec.min_phase_levels = machine.quantum_length / 2;
-      spec.max_phase_levels = 2 * machine.quantum_length;
-      const auto jobs = abg::workload::make_job_set(rng, spec);
-      set_size.add(static_cast<double>(jobs.size()));
-
-      std::vector<abg::metrics::JobSummary> summaries;
-      for (const auto& g : jobs) {
-        summaries.push_back(abg::metrics::JobSummary{
-            g.job->total_work(), g.job->critical_path(), 0});
-      }
-      const double makespan_star = abg::metrics::makespan_lower_bound(
-          summaries, machine.processors);
-      const double response_star = abg::metrics::response_lower_bound(
-          summaries, machine.processors);
-
-      const abg::sim::SimConfig config{
-          .processors = machine.processors,
-          .quantum_length = machine.quantum_length};
-      abg::alloc::RoundRobin rr_abg;
-      abg::alloc::RoundRobin rr_ag;
-      const auto abg_result = abg::core::run_set(
-          abg::core::abg_spec(), submissions_of(jobs), config,
-          use_round_robin ? &rr_abg : nullptr);
-      const auto ag_result = abg::core::run_set(
-          abg::core::a_greedy_spec(), submissions_of(jobs), config,
-          use_round_robin ? &rr_ag : nullptr);
-
-      m_abg.add(static_cast<double>(abg_result.makespan) / makespan_star);
-      m_ag.add(static_cast<double>(ag_result.makespan) / makespan_star);
-      r_abg.add(abg_result.mean_response_time / response_star);
-      r_ag.add(ag_result.mean_response_time / response_star);
-      const double mr = static_cast<double>(ag_result.makespan) /
-                        static_cast<double>(abg_result.makespan);
-      const double rr =
-          ag_result.mean_response_time / abg_result.mean_response_time;
+      const abg::exp::RunRecord& abg_rec = records[r++];
+      const abg::exp::RunRecord& ag_rec = records[r++];
+      set_size.add(abg_rec.metric("jobs"));
+      m_abg.add(abg_rec.metric("makespan_over_lb"));
+      m_ag.add(ag_rec.metric("makespan_over_lb"));
+      r_abg.add(abg_rec.metric("response_over_lb"));
+      r_ag.add(ag_rec.metric("response_over_lb"));
+      const double mr = ag_rec.metric("makespan") / abg_rec.metric("makespan");
+      const double rr = ag_rec.metric("mean_response_time") /
+                        abg_rec.metric("mean_response_time");
       m_ratio.add(mr);
       r_ratio.add(rr);
       if (load <= 1.5) {
@@ -128,12 +128,12 @@ int main(int argc, char** argv) {
                            r_ratio.mean()},
                           3);
   }
-  abg::bench::emit(table, cli);
+  abg::bench::emit(table, flags);
 
   auto ci_text = [&](const std::vector<double>& samples,
                      std::uint64_t salt) {
-    const abg::util::ConfidenceInterval ci =
-        abg::util::bootstrap_mean(samples, seed ^ salt);
+    const abg::util::ConfidenceInterval ci = abg::util::bootstrap_mean(
+        samples, abg::util::Rng::derive_seed(flags.seed, salt));
     return abg::util::format_double(ci.point, 3) + " [" +
            abg::util::format_double(ci.lower, 3) + ", " +
            abg::util::format_double(ci.upper, 3) + "]";
@@ -148,5 +148,17 @@ int main(int argc, char** argv) {
             << ci_text(heavy_makespan_ratio, 0xA3)
             << ", response ratio = "
             << ci_text(heavy_response_ratio, 0xA4) << "\n";
+
+  // Machine-readable trajectory: per-run JSONL and the aggregated summary.
+  abg::exp::ResultSink sink("fig6_job_sets", flags.seed);
+  sink.add_all(records);
+  if (cli.has("jsonl")) {
+    std::ofstream out(cli.get("jsonl", ""));
+    sink.write_jsonl(out);
+  }
+  if (cli.has("json")) {
+    std::ofstream out(cli.get("json", ""));
+    sink.write_summary(out);
+  }
   return 0;
 }

@@ -2,12 +2,21 @@
 // substrate.  These are engineering benchmarks (not paper figures) — they
 // document that the closed-form ProfileJob path is what makes the
 // paper-scale sweeps (5000 job sets at L = 1000) tractable.
+//
+// A custom main() funnels every measured run through exp::ResultSink and
+// writes BENCH_throughput.json (override with --sink-out=PATH, disable
+// with --sink-out=none; --sink-jsonl=PATH additionally dumps per-run
+// records), so the repository tracks a throughput trajectory per change.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "alloc/equipartition.hpp"
 #include "core/run.hpp"
+#include "exp/result_sink.hpp"
 #include "dag/builders.hpp"
 #include "dag/dag_job.hpp"
 #include "dag/profile_job.hpp"
@@ -119,4 +128,81 @@ void BM_JobSetSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_JobSetSimulation)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
 
+/// Console reporter that additionally records every run in a ResultSink.
+class SinkReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit SinkReporter(abg::exp::ResultSink* sink) : sink_(sink) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      abg::exp::RunRecord record;
+      record.run_id = next_id_++;
+      record.group = run.benchmark_name();
+      record.scheduler = "";
+      record.workload = "micro";
+      record.fault = "none";
+      record.metrics.emplace_back("real_time_ns", run.GetAdjustedRealTime());
+      record.metrics.emplace_back("cpu_time_ns", run.GetAdjustedCPUTime());
+      record.metrics.emplace_back("iterations",
+                                  static_cast<double>(run.iterations));
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        record.metrics.emplace_back("items_per_second",
+                                    items->second.value);
+      }
+      sink_->add(std::move(record));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  abg::exp::ResultSink* sink_;
+  std::int64_t next_id_ = 0;
+};
+
+/// Strips `--name=value` from argv and returns its value (or `fallback`).
+std::string take_flag(int& argc, char** argv, const std::string& name,
+                      const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      for (int j = i; j + 1 < argc; ++j) {
+        argv[j] = argv[j + 1];
+      }
+      --argc;
+      return arg.substr(prefix.size());
+    }
+  }
+  return fallback;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  const std::string sink_out =
+      take_flag(argc, argv, "sink-out", "BENCH_throughput.json");
+  const std::string sink_jsonl = take_flag(argc, argv, "sink-jsonl", "none");
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  abg::exp::ResultSink sink("throughput", 0);
+  SinkReporter reporter(&sink);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (sink_out != "none") {
+    std::ofstream out(sink_out);
+    sink.write_summary(out);
+  }
+  if (sink_jsonl != "none") {
+    std::ofstream out(sink_jsonl);
+    sink.write_jsonl(out);
+  }
+  return 0;
+}

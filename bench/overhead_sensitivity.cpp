@@ -17,7 +17,7 @@
 
 int main(int argc, char** argv) {
   const abg::util::Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const abg::bench::StandardFlags flags(cli, 7);
   const auto jobs = static_cast<int>(cli.get_int("jobs", 10));
   const abg::bench::Machine machine{.processors = 128,
                                     .quantum_length = 500};
@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
     abg::util::RunningStats ag_time;
     abg::util::RunningStats abg_waste;
     abg::util::RunningStats ag_waste;
-    abg::util::Rng root(seed);
+    abg::util::Rng root(flags.seed);
     for (int j = 0; j < jobs; ++j) {
       abg::util::Rng rng = root.split();
       const auto job = abg::workload::make_fork_join_job(
@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
          ag_waste.mean(), ag_waste.mean() / abg_waste.mean()},
         3);
   }
-  abg::bench::emit(table, cli);
+  abg::bench::emit(table, flags);
   std::cout << "\nExpected: both schedulers slow down as reallocation gets "
             << "dearer, but A-Greedy degrades faster — its steady-state "
             << "request oscillation pays the migration cost every quantum "

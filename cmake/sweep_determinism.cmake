@@ -1,0 +1,48 @@
+# Runs abg_sweep twice on the same small grid — single-threaded and with 4
+# worker threads — and fails unless the JSONL records and the summary JSON
+# are byte-identical.  This is the CLI-level guarantee behind every
+# BENCH_*.json trajectory: thread count never changes results.
+#
+# Expects: -DABG_SWEEP=<path to binary> -DWORK_DIR=<scratch dir>
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(grid
+  --param scheduler=abg,a-greedy
+  --param load=0.5,1.5
+  --param quantum=50
+  --param processors=32
+  --reps=2 --seed=77 --quiet)
+
+execute_process(
+  COMMAND "${ABG_SWEEP}" ${grid} --jobs=1
+          --jsonl=${WORK_DIR}/serial.jsonl --summary=${WORK_DIR}/serial.json
+  RESULT_VARIABLE serial_status
+  OUTPUT_QUIET)
+if(NOT serial_status EQUAL 0)
+  message(FATAL_ERROR "abg_sweep --jobs=1 failed (${serial_status})")
+endif()
+
+execute_process(
+  COMMAND "${ABG_SWEEP}" ${grid} --jobs=4
+          --jsonl=${WORK_DIR}/pool.jsonl --summary=${WORK_DIR}/pool.json
+  RESULT_VARIABLE pool_status
+  OUTPUT_QUIET)
+if(NOT pool_status EQUAL 0)
+  message(FATAL_ERROR "abg_sweep --jobs=4 failed (${pool_status})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK_DIR}/serial.jsonl" "${WORK_DIR}/pool.jsonl"
+  RESULT_VARIABLE jsonl_diff)
+if(NOT jsonl_diff EQUAL 0)
+  message(FATAL_ERROR "JSONL differs between --jobs=1 and --jobs=4")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK_DIR}/serial.json" "${WORK_DIR}/pool.json"
+  RESULT_VARIABLE summary_diff)
+if(NOT summary_diff EQUAL 0)
+  message(FATAL_ERROR "summary JSON differs between --jobs=1 and --jobs=4")
+endif()

@@ -67,13 +67,15 @@ int main(int argc, char** argv) {
            nullptr);
   }
   {
-    abg::steal::WorkStealingJob job{structure, seed ^ 0xABCD};
+    abg::steal::WorkStealingJob job{
+        structure, abg::util::Rng::derive_seed(seed, 0xABCD)};
     report("A-Steal (work stealing + MIMD feedback)",
            abg::core::run_single(abg::steal::a_steal_spec(), job, config),
            &job.counters());
   }
   {
-    abg::steal::WorkStealingJob job{structure, seed ^ 0xABCD};
+    abg::steal::WorkStealingJob job{
+        structure, abg::util::Rng::derive_seed(seed, 0xABCD)};
     report("ABP (work stealing, no feedback)",
            abg::core::run_single(abg::steal::abp_spec(processors), job,
                                  config),

@@ -1,0 +1,124 @@
+#include "exp/result_sink.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/bootstrap.hpp"
+#include "util/rng.hpp"
+
+namespace abg::exp {
+
+void ResultSink::add(RunRecord record) {
+  records_.push_back(std::move(record));
+}
+
+void ResultSink::add_all(std::vector<RunRecord> records) {
+  for (RunRecord& record : records) {
+    records_.push_back(std::move(record));
+  }
+}
+
+util::Json record_to_json(const RunRecord& record) {
+  util::Json metrics = util::Json::object();
+  for (const auto& [name, value] : record.metrics) {
+    metrics.set(name, util::Json::number(value));
+  }
+  util::Json j = util::Json::object();
+  j.set("run_id", util::Json::integer(record.run_id))
+      .set("group", util::Json::string(record.group))
+      .set("scheduler", util::Json::string(record.scheduler))
+      .set("workload", util::Json::string(record.workload))
+      .set("fault", util::Json::string(record.fault))
+      .set("seed", util::Json::integer(static_cast<std::int64_t>(record.seed)))
+      .set("metrics", std::move(metrics));
+  return j;
+}
+
+void ResultSink::write_jsonl(std::ostream& os) const {
+  std::vector<const RunRecord*> ordered;
+  ordered.reserve(records_.size());
+  for (const RunRecord& record : records_) {
+    ordered.push_back(&record);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const RunRecord* a, const RunRecord* b) {
+                     return a->run_id < b->run_id;
+                   });
+  for (const RunRecord* record : ordered) {
+    record_to_json(*record).write(os);
+    os << '\n';
+  }
+}
+
+util::Json ResultSink::summary() const {
+  // Group by (group, scheduler) in order of first appearance.
+  struct Bucket {
+    const RunRecord* exemplar = nullptr;
+    std::vector<const RunRecord*> members;
+  };
+  std::vector<std::pair<std::pair<std::string, std::string>, Bucket>> buckets;
+  for (const RunRecord& record : records_) {
+    const auto key = std::make_pair(record.group, record.scheduler);
+    auto it = std::find_if(buckets.begin(), buckets.end(),
+                           [&](const auto& b) { return b.first == key; });
+    if (it == buckets.end()) {
+      buckets.push_back({key, Bucket{&record, {}}});
+      it = std::prev(buckets.end());
+    }
+    it->second.members.push_back(&record);
+  }
+
+  util::Json groups = util::Json::array();
+  std::uint64_t ordinal = 0;
+  for (const auto& [key, bucket] : buckets) {
+    util::Json metrics = util::Json::object();
+    // The exemplar fixes the metric set and its order; records missing a
+    // metric simply do not contribute a sample to it.
+    for (const auto& [name, unused] : bucket.exemplar->metrics) {
+      (void)unused;
+      std::vector<double> samples;
+      samples.reserve(bucket.members.size());
+      for (const RunRecord* member : bucket.members) {
+        if (member->has_metric(name)) {
+          samples.push_back(member->metric(name));
+        }
+      }
+      if (samples.empty()) {
+        continue;
+      }
+      const util::ConfidenceInterval ci = util::bootstrap_mean(
+          samples, util::Rng::derive_seed(base_seed_, ordinal));
+      metrics.set(name, util::Json::object()
+                            .set("mean", util::Json::number(ci.point))
+                            .set("ci_lower", util::Json::number(ci.lower))
+                            .set("ci_upper", util::Json::number(ci.upper))
+                            .set("samples", util::Json::integer(
+                                                static_cast<std::int64_t>(
+                                                    samples.size()))));
+    }
+    groups.push(util::Json::object()
+                    .set("group", util::Json::string(key.first))
+                    .set("scheduler", util::Json::string(key.second))
+                    .set("runs", util::Json::integer(static_cast<std::int64_t>(
+                                     bucket.members.size())))
+                    .set("metrics", std::move(metrics)));
+    ++ordinal;
+  }
+
+  util::Json j = util::Json::object();
+  j.set("benchmark", util::Json::string(benchmark_))
+      .set("base_seed",
+           util::Json::integer(static_cast<std::int64_t>(base_seed_)))
+      .set("total_runs", util::Json::integer(
+                             static_cast<std::int64_t>(records_.size())))
+      .set("groups", std::move(groups));
+  return j;
+}
+
+void ResultSink::write_summary(std::ostream& os) const {
+  summary().write(os);
+  os << '\n';
+}
+
+}  // namespace abg::exp

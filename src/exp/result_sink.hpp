@@ -1,0 +1,63 @@
+// Aggregation and serialization of sweep results.
+//
+// The sink is the single funnel between "a vector of RunRecords" and the
+// artifacts the repository tracks:
+//
+//   * JSONL — one compact JSON object per record, in run-id order.  This
+//     is the raw trajectory; byte-identical across thread counts because
+//     the runner's records are.
+//   * summary JSON (BENCH_*.json) — per (group, scheduler) mean and 95%
+//     bootstrap confidence interval of every metric, via util/bootstrap.
+//
+// Summary bootstrap seeds derive from the base seed and the group ordinal
+// (Rng::derive_seed), so summaries are as reproducible as the runs.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "util/json.hpp"
+
+namespace abg::exp {
+
+/// Collects RunRecords and renders the JSONL / summary artifacts.
+class ResultSink {
+ public:
+  /// `benchmark` names the artifact (e.g. "sweeps", "throughput") and is
+  /// echoed into the summary header; `base_seed` seeds the bootstrap.
+  ResultSink(std::string benchmark, std::uint64_t base_seed)
+      : benchmark_(std::move(benchmark)), base_seed_(base_seed) {}
+
+  /// Adds one record (kept in insertion order; the runner already orders
+  /// by run id).
+  void add(RunRecord record);
+
+  /// Adds a whole result vector.
+  void add_all(std::vector<RunRecord> records);
+
+  const std::vector<RunRecord>& records() const { return records_; }
+
+  /// One compact JSON object per record, newline-terminated, in run-id
+  /// order (records are stably sorted by run_id before emission).
+  void write_jsonl(std::ostream& os) const;
+
+  /// The summary tree: per (group, scheduler) record counts plus
+  /// mean / CI-lower / CI-upper of every metric.
+  util::Json summary() const;
+
+  /// Serializes summary() with a trailing newline.
+  void write_summary(std::ostream& os) const;
+
+ private:
+  std::string benchmark_;
+  std::uint64_t base_seed_;
+  std::vector<RunRecord> records_;
+};
+
+/// Renders one record as a compact JSON object (no newline).
+util::Json record_to_json(const RunRecord& record);
+
+}  // namespace abg::exp

@@ -1,0 +1,125 @@
+// Declarative description of one simulation run of a parameter sweep.
+//
+// A RunSpec names everything a run needs — scheduler (by kind + params),
+// workload (by generator kind + params), machine, optional fault scenario,
+// and a seed index — without holding any live objects, so specs are cheap
+// to copy across threads and a grid of them fully determines a sweep.  The
+// runner materializes jobs / policies / fault plans per run from
+// Rng::derive(base_seed, seed_index), which is what makes results
+// independent of execution order and thread count.
+//
+// Grid points that differ only in scheduler share a seed index, so every
+// scheduler variant faces byte-identical workloads (common random numbers:
+// paired comparisons like Figure 6's A-Greedy/ABG ratios stay exact).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/run.hpp"
+#include "dag/job.hpp"
+
+namespace abg::exp {
+
+/// Scheduler families the sweep engine can instantiate.
+enum class SchedulerKind { kAbg, kAGreedy, kAbgAuto, kStatic };
+
+/// Tunables of the scheduler families (unused members are ignored).
+struct SchedulerParams {
+  /// ABG convergence rate r.
+  double convergence_rate = 0.2;
+  /// A-Greedy utilization δ and responsiveness ρ.
+  double utilization = 0.8;
+  double responsiveness = 2.0;
+  /// Fixed request of the static bracket.
+  int static_processors = 64;
+};
+
+/// Workload generators the sweep engine can materialize.
+enum class WorkloadKind {
+  /// Figure-6 multiprogrammed job set at a target load (workload::make_job_set).
+  kJobSet,
+  /// `jobs` independent fork-join jobs at a target transition factor
+  /// (workload::make_fork_join_job, Figure-5 spec).
+  kForkJoin,
+  /// `jobs` square-wave ProfileJobs with randomized amplitudes and phase
+  /// lengths (the fault-resilience workload).
+  kSquareWave,
+};
+
+/// Parameters of the workload generators (unused members are ignored).
+struct WorkloadSpec {
+  WorkloadKind kind = WorkloadKind::kJobSet;
+  /// kJobSet: target load (Σ average parallelism / P).
+  double load = 1.0;
+  /// kForkJoin: target transition factor.
+  double transition_factor = 10.0;
+  /// kForkJoin / kSquareWave: number of jobs.
+  int jobs = 1;
+  /// kSquareWave: per-job profile length scale in levels.
+  dag::Steps levels = 600;
+};
+
+/// Machine parameters of a run.
+struct MachineSpec {
+  int processors = 128;
+  dag::Steps quantum_length = 1000;
+};
+
+/// Disturbance patterns of the fault-resilience study.  Plans are anchored
+/// on the fault-free reference makespan of the same (workload, scheduler,
+/// machine), which the runner simulates first within the same task.
+enum class FaultScenario { kNone, kStep, kImpulse, kPoisson, kCrash };
+
+/// Fault-scenario parameters (ignored when scenario == kNone).
+struct FaultSpec {
+  FaultScenario scenario = FaultScenario::kNone;
+  /// Fraction of the machine affected (step/impulse loss, poisson cap).
+  double fraction = 0.5;
+  /// kCrash: index of the crashing job and number of crashes.
+  int crash_job = 0;
+  int crashes = 2;
+  /// kCrash: restart from scratch instead of the last quantum checkpoint.
+  bool scratch = false;
+};
+
+/// OS-level allocator coupled with the schedulers.
+enum class AllocatorKind {
+  /// Engine default: dynamic equi-partitioning (the paper's setup).
+  kDefault,
+  /// Round-robin (the other fair allocator the benches compare against).
+  kRoundRobin,
+};
+
+/// One run of a sweep: the full cartesian point plus its seed index.
+struct RunSpec {
+  SchedulerKind scheduler = SchedulerKind::kAbg;
+  SchedulerParams scheduler_params;
+  WorkloadSpec workload;
+  MachineSpec machine;
+  FaultSpec faults;
+  AllocatorKind allocator = AllocatorKind::kDefault;
+  /// Index fed to Rng::derive(base_seed, seed_index) for workload and
+  /// fault-plan generation.  Specs sharing a seed index see identical
+  /// workloads (use this to pair scheduler variants).
+  std::uint64_t seed_index = 0;
+  /// Aggregation key: records with equal (group, scheduler name) are
+  /// summarized together by the ResultSink (e.g. "load=1.5").
+  std::string group;
+};
+
+/// Canonical lower-case names used in CLI flags and JSON records.
+std::string to_string(SchedulerKind kind);
+std::string to_string(WorkloadKind kind);
+std::string to_string(FaultScenario scenario);
+
+/// Parses the canonical names (throws std::invalid_argument on unknown).
+SchedulerKind scheduler_kind_from_name(const std::string& name);
+WorkloadKind workload_kind_from_name(const std::string& name);
+FaultScenario fault_scenario_from_name(const std::string& name);
+
+/// Instantiates the scheduler a spec names.
+core::SchedulerSpec make_scheduler(SchedulerKind kind,
+                                   const SchedulerParams& params);
+
+}  // namespace abg::exp

@@ -1,0 +1,318 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "alloc/round_robin.hpp"
+#include "exp/thread_pool.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/resilience.hpp"
+#include "metrics/lower_bounds.hpp"
+#include "sim/validate.hpp"
+#include "util/rng.hpp"
+#include "workload/fork_join.hpp"
+#include "workload/job_set.hpp"
+#include "workload/profiles.hpp"
+
+namespace abg::exp {
+
+double RunRecord::metric(const std::string& name) const {
+  for (const auto& [key, value] : metrics) {
+    if (key == name) {
+      return value;
+    }
+  }
+  throw std::out_of_range("RunRecord: no metric '" + name + "'");
+}
+
+bool RunRecord::has_metric(const std::string& name) const {
+  return std::any_of(metrics.begin(), metrics.end(),
+                     [&](const auto& kv) { return kv.first == name; });
+}
+
+std::function<void(const Progress&)> stderr_progress() {
+  return [](const Progress& p) {
+    std::fprintf(stderr,
+                 "\r[sweep] %lld/%lld runs  %.1f runs/s  ETA %.0fs   ",
+                 static_cast<long long>(p.completed),
+                 static_cast<long long>(p.total), p.runs_per_second,
+                 p.eta_seconds);
+    if (p.completed == p.total) {
+      std::fprintf(stderr, "\n");
+    }
+  };
+}
+
+namespace {
+
+/// Materializes the spec's workload from `rng` and returns submissions.
+std::vector<sim::JobSubmission> build_workload(const RunSpec& spec,
+                                               util::Rng& rng) {
+  std::vector<sim::JobSubmission> subs;
+  switch (spec.workload.kind) {
+    case WorkloadKind::kJobSet: {
+      workload::JobSetSpec set_spec;
+      set_spec.load = spec.workload.load;
+      set_spec.processors = spec.machine.processors;
+      set_spec.min_phase_levels = spec.machine.quantum_length / 2;
+      set_spec.max_phase_levels = 2 * spec.machine.quantum_length;
+      auto jobs = workload::make_job_set(rng, set_spec);
+      subs.reserve(jobs.size());
+      for (auto& g : jobs) {
+        sim::JobSubmission s;
+        s.job = std::move(g.job);
+        subs.push_back(std::move(s));
+      }
+      break;
+    }
+    case WorkloadKind::kForkJoin: {
+      if (spec.workload.jobs < 1) {
+        throw std::invalid_argument(
+            "RunSpec: fork-join workload needs jobs >= 1");
+      }
+      subs.reserve(static_cast<std::size_t>(spec.workload.jobs));
+      for (int j = 0; j < spec.workload.jobs; ++j) {
+        sim::JobSubmission s;
+        s.job = workload::make_fork_join_job(
+            rng, workload::figure5_spec(spec.workload.transition_factor,
+                                        spec.machine.quantum_length));
+        subs.push_back(std::move(s));
+      }
+      break;
+    }
+    case WorkloadKind::kSquareWave: {
+      if (spec.workload.jobs < 1) {
+        throw std::invalid_argument(
+            "RunSpec: square-wave workload needs jobs >= 1");
+      }
+      const dag::Steps levels = std::max<dag::Steps>(8, spec.workload.levels);
+      subs.reserve(static_cast<std::size_t>(spec.workload.jobs));
+      for (int j = 0; j < spec.workload.jobs; ++j) {
+        const auto low = static_cast<dag::TaskCount>(rng.uniform_int(1, 4));
+        const auto high = static_cast<dag::TaskCount>(rng.uniform_int(8, 24));
+        const dag::Steps phase = rng.uniform_int(levels / 8, levels / 3);
+        sim::JobSubmission s;
+        s.job = std::make_unique<dag::ProfileJob>(
+            workload::square_wave_profile(low, phase, high, phase, 4));
+        subs.push_back(std::move(s));
+      }
+      break;
+    }
+  }
+  if (subs.empty()) {
+    throw std::invalid_argument("RunSpec: workload produced no jobs");
+  }
+  return subs;
+}
+
+/// Builds the spec's fault plan, anchored on the fault-free reference run.
+fault::FaultPlan build_fault_plan(const RunSpec& spec,
+                                  const sim::SimResult& reference,
+                                  util::Rng& fault_rng) {
+  const dag::Steps mid = reference.makespan / 3;
+  const dag::Steps l = spec.machine.quantum_length;
+  const int affected = std::max(
+      1, static_cast<int>(spec.faults.fraction *
+                          static_cast<double>(spec.machine.processors)));
+  switch (spec.faults.scenario) {
+    case FaultScenario::kStep:
+      return fault::step_failure_plan(mid, affected);
+    case FaultScenario::kImpulse:
+      return fault::impulse_failure_plan(mid, affected, 8 * l);
+    case FaultScenario::kPoisson:
+      return fault::poisson_churn_plan(
+          fault_rng, reference.makespan, 1.0 / static_cast<double>(4 * l),
+          6 * l, std::max(1, affected / 2));
+    case FaultScenario::kCrash: {
+      fault::FaultPlan plan = fault::periodic_crash_plan(
+          spec.faults.crash_job, mid,
+          std::max<dag::Steps>(1, reference.makespan / 4),
+          spec.faults.crashes);
+      plan.work_loss = spec.faults.scratch
+                           ? fault::WorkLoss::kRestartFromScratch
+                           : fault::WorkLoss::kCheckpointQuantum;
+      return plan;
+    }
+    case FaultScenario::kNone:
+      break;
+  }
+  return {};
+}
+
+/// Appends the simulation metrics shared by every run.
+void append_sim_metrics(const RunSpec& spec, const sim::SimResult& result,
+                        const std::vector<metrics::JobSummary>& summaries,
+                        RunRecord& record) {
+  std::int64_t satisfied = 0;
+  std::int64_t deprived = 0;
+  dag::TaskCount work = 0;
+  for (const sim::JobTrace& trace : result.jobs) {
+    work += trace.work;
+    for (const auto& q : trace.quanta) {
+      if (q.deprived()) {
+        ++deprived;
+      } else {
+        ++satisfied;
+      }
+    }
+  }
+  const double makespan_star =
+      metrics::makespan_lower_bound(summaries, spec.machine.processors);
+  const double response_star =
+      metrics::response_lower_bound(summaries, spec.machine.processors);
+
+  record.metrics.emplace_back("jobs",
+                              static_cast<double>(result.jobs.size()));
+  record.metrics.emplace_back("makespan",
+                              static_cast<double>(result.makespan));
+  record.metrics.emplace_back("mean_response_time",
+                              result.mean_response_time);
+  record.metrics.emplace_back("total_work", static_cast<double>(work));
+  record.metrics.emplace_back("total_waste",
+                              static_cast<double>(result.total_waste));
+  record.metrics.emplace_back("quanta", static_cast<double>(result.quanta));
+  record.metrics.emplace_back("satisfied_quanta",
+                              static_cast<double>(satisfied));
+  record.metrics.emplace_back("deprived_quanta",
+                              static_cast<double>(deprived));
+  if (makespan_star > 0.0) {
+    record.metrics.emplace_back(
+        "makespan_over_lb",
+        static_cast<double>(result.makespan) / makespan_star);
+  }
+  if (response_star > 0.0) {
+    record.metrics.emplace_back("response_over_lb",
+                                result.mean_response_time / response_star);
+  }
+}
+
+}  // namespace
+
+RunRecord execute_run(const RunSpec& spec, std::uint64_t base_seed) {
+  const std::uint64_t seed = util::Rng::derive_seed(base_seed,
+                                                    spec.seed_index);
+  RunRecord record;
+  record.group = spec.group;
+  record.scheduler = to_string(spec.scheduler);
+  record.workload = to_string(spec.workload.kind);
+  record.fault = to_string(spec.faults.scenario);
+  record.seed = seed;
+
+  // Workload generation consumes the run's stream from the start so a
+  // given seed index always means the same jobs, faulted or not.
+  util::Rng workload_rng(seed);
+  auto submissions = build_workload(spec, workload_rng);
+  std::vector<metrics::JobSummary> summaries;
+  summaries.reserve(submissions.size());
+  for (const auto& s : submissions) {
+    summaries.push_back(metrics::JobSummary{s.job->total_work(),
+                                            s.job->critical_path(), 0});
+  }
+
+  const sim::SimConfig config{.processors = spec.machine.processors,
+                              .quantum_length = spec.machine.quantum_length};
+
+  // One allocator instance per simulated run: allocators may be stateful
+  // (round-robin rotates its start index), so sharing one across threads
+  // would both race and break determinism.
+  const auto run_once = [&spec, &config](
+                            std::vector<sim::JobSubmission> subs,
+                            const fault::FaultPlan* plan) {
+    sim::SimConfig run_config = config;
+    run_config.faults = plan;
+    alloc::RoundRobin round_robin;
+    return core::run_set(
+        make_scheduler(spec.scheduler, spec.scheduler_params),
+        std::move(subs), run_config,
+        spec.allocator == AllocatorKind::kRoundRobin ? &round_robin
+                                                     : nullptr);
+  };
+
+  if (spec.faults.scenario == FaultScenario::kNone) {
+    const sim::SimResult result = run_once(std::move(submissions), nullptr);
+    append_sim_metrics(spec, result, summaries, record);
+    return record;
+  }
+
+  // Faulty run: simulate the fault-free reference of the identical
+  // workload first (the plans are anchored on its makespan), then replay
+  // the same jobs under the plan and analyze the difference.
+  const sim::SimResult reference = run_once(std::move(submissions), nullptr);
+
+  util::Rng replay_rng(seed);
+  auto faulty_submissions = build_workload(spec, replay_rng);
+  util::Rng fault_rng = util::Rng::derive(seed, 1);
+  const fault::FaultPlan plan = build_fault_plan(spec, reference, fault_rng);
+  const sim::SimResult faulty =
+      run_once(std::move(faulty_submissions), &plan);
+
+  append_sim_metrics(spec, faulty, summaries, record);
+  const fault::ResilienceReport report =
+      fault::analyze_resilience(faulty, reference);
+  record.metrics.emplace_back("reference_makespan",
+                              static_cast<double>(reference.makespan));
+  record.metrics.emplace_back("makespan_degradation",
+                              report.makespan_degradation);
+  record.metrics.emplace_back(
+      "recovery_quanta", static_cast<double>(report.max_recovery_quanta));
+  record.metrics.emplace_back("overshoot", report.max_overshoot);
+  record.metrics.emplace_back("lost_work",
+                              static_cast<double>(report.lost_work));
+  record.metrics.emplace_back("crashes",
+                              static_cast<double>(report.crash_events));
+  record.metrics.emplace_back("accounting_balanced",
+                              report.accounting_balances() ? 1.0 : 0.0);
+  record.metrics.emplace_back(
+      "validation_issues",
+      static_cast<double>(
+          sim::validate_result(faulty, spec.machine.processors).size()));
+  return record;
+}
+
+std::vector<RunRecord> SweepRunner::run(
+    const std::vector<RunSpec>& specs) const {
+  std::vector<RunRecord> records(specs.size());
+  if (specs.empty()) {
+    return records;
+  }
+
+  ThreadPool pool(ThreadPool::resolve_threads(config_.threads));
+  std::mutex progress_mutex;
+  std::int64_t completed = 0;
+  const auto start = std::chrono::steady_clock::now();
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    pool.submit([this, i, &specs, &records, &progress_mutex, &completed,
+                 start] {
+      RunRecord record = execute_run(specs[i], config_.base_seed);
+      record.run_id = static_cast<std::int64_t>(i);
+      records[i] = std::move(record);
+      if (config_.on_progress) {
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        ++completed;
+        Progress p;
+        p.completed = completed;
+        p.total = static_cast<std::int64_t>(specs.size());
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        p.runs_per_second =
+            elapsed > 0.0 ? static_cast<double>(completed) / elapsed : 0.0;
+        p.eta_seconds = p.runs_per_second > 0.0
+                            ? static_cast<double>(p.total - completed) /
+                                  p.runs_per_second
+                            : 0.0;
+        config_.on_progress(p);
+      }
+    });
+  }
+  pool.wait();
+  return records;
+}
+
+}  // namespace abg::exp

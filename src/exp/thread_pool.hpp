@@ -1,0 +1,66 @@
+// Fixed-size thread pool for the experiment runner.
+//
+// Deliberately simple: one shared FIFO queue, a fixed number of workers,
+// no work stealing.  Sweep tasks are coarse (one full simulation each), so
+// queue contention is negligible and a deterministic structure is worth
+// more than the last few percent of scheduling efficiency — each task
+// writes to a caller-owned slot, which is what lets SweepRunner produce
+// byte-identical results at any thread count.
+//
+// Exception contract: the first exception thrown by any task is captured
+// and rethrown from wait(); later exceptions are dropped.  Tasks submitted
+// after a failure still run (they are independent simulations).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace abg::exp {
+
+/// A fixed-size worker pool executing std::function<void()> tasks.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+
+  /// Drains the queue (discarding not-yet-started tasks), then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Thread-safe; may be called from tasks.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first task exception (if any) and clears it.  The pool remains usable
+  /// afterwards.
+  void wait();
+
+  /// Number of worker threads.
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Recommended worker count for `requested`: the value itself when
+  /// positive, otherwise std::thread::hardware_concurrency (>= 1).
+  static int resolve_threads(int requested);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace abg::exp

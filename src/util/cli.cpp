@@ -26,16 +26,16 @@ Cli::Cli(int argc, const char* const* argv) {
       if (name.empty()) {
         throw std::invalid_argument("Cli: malformed flag '" + arg + "'");
       }
-      flags_[name] = body.substr(eq + 1);
+      flags_[name].push_back(body.substr(eq + 1));
       continue;
     }
     // `--name value` when the next token is not itself a flag; otherwise a
     // bare boolean flag.
     if (i + 1 < argc && !is_flag(argv[i + 1])) {
-      flags_[body] = argv[i + 1];
+      flags_[body].push_back(argv[i + 1]);
       ++i;
     } else {
-      flags_[body] = "true";
+      flags_[body].push_back("true");
     }
   }
 }
@@ -45,7 +45,12 @@ bool Cli::has(const std::string& name) const { return flags_.contains(name); }
 std::string Cli::get(const std::string& name,
                      const std::string& fallback) const {
   const auto it = flags_.find(name);
-  return it == flags_.end() ? fallback : it->second;
+  return it == flags_.end() ? fallback : it->second.back();
+}
+
+std::vector<std::string> Cli::get_all(const std::string& name) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? std::vector<std::string>{} : it->second;
 }
 
 std::int64_t Cli::get_int(const std::string& name,
@@ -56,14 +61,14 @@ std::int64_t Cli::get_int(const std::string& name,
   }
   try {
     std::size_t pos = 0;
-    const std::int64_t value = std::stoll(it->second, &pos);
-    if (pos != it->second.size()) {
+    const std::int64_t value = std::stoll(it->second.back(), &pos);
+    if (pos != it->second.back().size()) {
       throw std::invalid_argument("trailing characters");
     }
     return value;
   } catch (const std::exception&) {
     throw std::invalid_argument("Cli: flag --" + name +
-                                " expects an integer, got '" + it->second +
+                                " expects an integer, got '" + it->second.back() +
                                 "'");
   }
 }
@@ -75,14 +80,14 @@ double Cli::get_double(const std::string& name, double fallback) const {
   }
   try {
     std::size_t pos = 0;
-    const double value = std::stod(it->second, &pos);
-    if (pos != it->second.size()) {
+    const double value = std::stod(it->second.back(), &pos);
+    if (pos != it->second.back().size()) {
       throw std::invalid_argument("trailing characters");
     }
     return value;
   } catch (const std::exception&) {
     throw std::invalid_argument("Cli: flag --" + name +
-                                " expects a real number, got '" + it->second +
+                                " expects a real number, got '" + it->second.back() +
                                 "'");
   }
 }
@@ -92,7 +97,7 @@ bool Cli::get_bool(const std::string& name, bool fallback) const {
   if (it == flags_.end()) {
     return fallback;
   }
-  const std::string& v = it->second;
+  const std::string& v = it->second.back();
   if (v == "true" || v == "1" || v == "yes" || v == "on") {
     return true;
   }

@@ -24,8 +24,13 @@ class Cli {
   bool has(const std::string& name) const;
 
   /// Returns the flag's value, or `fallback` if absent.  A bare boolean flag
-  /// returns "true".
+  /// returns "true".  When the flag was repeated, the last occurrence wins.
   std::string get(const std::string& name, const std::string& fallback) const;
+
+  /// Every value the flag was given, in order of appearance; empty when the
+  /// flag is absent.  This is how grid flags (`--param k=v1,v2 --param ...`)
+  /// are collected.
+  std::vector<std::string> get_all(const std::string& name) const;
 
   /// Integer-valued flag; throws std::invalid_argument when the value does
   /// not parse.
@@ -42,7 +47,7 @@ class Cli {
   const std::vector<std::string>& positional() const { return positional_; }
 
  private:
-  std::map<std::string, std::string> flags_;
+  std::map<std::string, std::vector<std::string>> flags_;
   std::vector<std::string> positional_;
 };
 

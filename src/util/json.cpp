@@ -1,0 +1,152 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace abg::util {
+
+Json Json::object() { return Json(Kind::kObject); }
+Json Json::array() { return Json(Kind::kArray); }
+
+Json Json::string(std::string value) {
+  Json j(Kind::kString);
+  j.string_ = std::move(value);
+  return j;
+}
+
+Json Json::number(double value) {
+  Json j(Kind::kNumber);
+  j.number_ = value;
+  return j;
+}
+
+Json Json::integer(std::int64_t value) {
+  Json j(Kind::kInteger);
+  j.integer_ = value;
+  return j;
+}
+
+Json Json::boolean(bool value) {
+  Json j(Kind::kBoolean);
+  j.boolean_ = value;
+  return j;
+}
+
+Json& Json::set(std::string key, Json value) {
+  if (kind_ != Kind::kObject) {
+    throw std::logic_error("Json::set: not an object");
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  if (kind_ != Kind::kArray) {
+    throw std::logic_error("Json::push: not an array");
+  }
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+std::string Json::format_number(double value) {
+  // JSON has no NaN/Inf; clamp to null-adjacent sentinels explicitly so
+  // malformed metrics are visible rather than silently invalid.
+  if (std::isnan(value) || std::isinf(value)) {
+    return "null";
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc()) {
+    throw std::runtime_error("Json::format_number: to_chars failed");
+  }
+  return std::string(buf, ptr);
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Json::write(std::ostream& os) const {
+  switch (kind_) {
+    case Kind::kObject: {
+      os << '{';
+      bool first = true;
+      for (const auto& [key, value] : members_) {
+        if (!first) {
+          os << ',';
+        }
+        first = false;
+        os << '"' << json_escape(key) << "\":";
+        value.write(os);
+      }
+      os << '}';
+      break;
+    }
+    case Kind::kArray: {
+      os << '[';
+      bool first = true;
+      for (const Json& value : elements_) {
+        if (!first) {
+          os << ',';
+        }
+        first = false;
+        value.write(os);
+      }
+      os << ']';
+      break;
+    }
+    case Kind::kString:
+      os << '"' << json_escape(string_) << '"';
+      break;
+    case Kind::kNumber:
+      os << format_number(number_);
+      break;
+    case Kind::kInteger:
+      os << integer_;
+      break;
+    case Kind::kBoolean:
+      os << (boolean_ ? "true" : "false");
+      break;
+  }
+}
+
+std::string Json::dump() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+}  // namespace abg::util

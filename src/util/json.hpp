@@ -1,0 +1,70 @@
+// Minimal deterministic JSON emission for experiment results.
+//
+// The experiment runner streams machine-readable results (JSONL records
+// and BENCH_*.json summaries) that must be byte-identical across runs and
+// thread counts, so the writer is deliberately strict: object keys keep
+// insertion order, doubles are rendered with std::to_chars (shortest
+// round-trip form, locale-independent), and there is no whitespace
+// variation.  Only what the sinks need is implemented — construction and
+// serialization, no parsing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace abg::util {
+
+/// An immutable-ish JSON value tree with deterministic serialization.
+class Json {
+ public:
+  /// Scalar constructors.
+  static Json object();
+  static Json array();
+  static Json string(std::string value);
+  static Json number(double value);
+  static Json integer(std::int64_t value);
+  static Json boolean(bool value);
+
+  /// Adds a key/value pair to an object (keys keep insertion order; the
+  /// caller must not repeat keys).  Returns *this for chaining.  Throws
+  /// std::logic_error when this value is not an object.
+  Json& set(std::string key, Json value);
+
+  /// Appends an element to an array.  Returns *this for chaining.  Throws
+  /// std::logic_error when this value is not an array.
+  Json& push(Json value);
+
+  /// Serializes compactly (no spaces, "\n"-free); deterministic for a
+  /// deterministically built tree.
+  void write(std::ostream& os) const;
+
+  /// write() into a string.
+  std::string dump() const;
+
+  /// Renders a double exactly as the serializer would (shortest
+  /// round-trip via std::to_chars).  Exposed so labels derived from
+  /// parameter values match the emitted JSON.
+  static std::string format_number(double value);
+
+ private:
+  enum class Kind { kObject, kArray, kString, kNumber, kInteger, kBoolean };
+
+  explicit Json(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::vector<std::pair<std::string, Json>> members_;  // kObject
+  std::vector<Json> elements_;                         // kArray
+  std::string string_ = {};                            // kString
+  double number_ = 0.0;                                // kNumber
+  std::int64_t integer_ = 0;                           // kInteger
+  bool boolean_ = false;                               // kBoolean
+};
+
+/// Escapes `text` as the contents of a JSON string literal (no quotes).
+std::string json_escape(const std::string& text);
+
+}  // namespace abg::util

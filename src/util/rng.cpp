@@ -59,6 +59,25 @@ std::int64_t Rng::geometric(double p, std::int64_t max_value) {
   return std::min<std::int64_t>(dist(engine_), max_value);
 }
 
+namespace {
+
+// splitmix64 finalizer: the standard 64-bit avalanche mix.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t Rng::derive_seed(std::uint64_t base_seed, std::uint64_t index) {
+  // Two rounds of splitmix64 over base and index keep distinct indices
+  // (and distinct bases) statistically independent even for small inputs.
+  const std::uint64_t a = mix64(base_seed + 0x9E3779B97F4A7C15ULL);
+  const std::uint64_t b = mix64(index + 0xD1B54A32D192ED03ULL);
+  return mix64(a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2)));
+}
+
 Rng Rng::split() {
   // Mix two draws through splitmix64-style finalization so child streams do
   // not overlap with the parent's continued output in practice.

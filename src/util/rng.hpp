@@ -48,6 +48,21 @@ class Rng {
   /// different orders.
   Rng split();
 
+  /// Seed of the `index`-th derived stream of `base_seed`: a stateless
+  /// splitmix64-style hash of (base_seed, index).  Unlike split(), the
+  /// result does not depend on any generator state or call order, which is
+  /// what lets N-thread and 1-thread sweeps produce identical runs —
+  /// every run's stream is a pure function of (base seed, run index).
+  static std::uint64_t derive_seed(std::uint64_t base_seed,
+                                   std::uint64_t index);
+
+  /// Generator seeded with derive_seed(base_seed, index).  Replaces the
+  /// ad-hoc `Rng(seed + k)` / `seed ^ salt` reseeding the harnesses used
+  /// to write by hand.
+  static Rng derive(std::uint64_t base_seed, std::uint64_t index) {
+    return Rng(derive_seed(base_seed, index));
+  }
+
   /// Access to the raw engine for use with standard distributions.
   std::mt19937_64& engine() { return engine_; }
 

@@ -1,0 +1,82 @@
+#include "exp/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace abg::exp {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, SingleThreadPoolIsSequential) {
+  // With one worker, tasks run in submission order — no slot is written
+  // out of turn.
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1);
+  std::vector<int> order;
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&order, i] { order.push_back(i); });
+  }
+  pool.wait();
+  ASSERT_EQ(order.size(), 32u);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(ThreadPool, ThreadCountIsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1);
+  ThreadPool negative(-7);
+  EXPECT_EQ(negative.thread_count(), 1);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&completed] { completed.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // Independent tasks still ran despite the failure.
+  EXPECT_EQ(completed.load(), 16);
+  // The error is cleared: the pool remains usable.
+  pool.submit([&completed] { completed.fetch_add(1); });
+  EXPECT_NO_THROW(pool.wait());
+  EXPECT_EQ(completed.load(), 17);
+}
+
+TEST(ThreadPool, SubmitFromWithinATask) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&pool, &count] {
+    count.fetch_add(1);
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+  });
+  pool.wait();
+  EXPECT_EQ(count.load(), 9);
+}
+
+TEST(ThreadPool, ResolveThreadsHonoursExplicitRequest) {
+  EXPECT_EQ(ThreadPool::resolve_threads(3), 3);
+  EXPECT_EQ(ThreadPool::resolve_threads(1), 1);
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1);
+  EXPECT_GE(ThreadPool::resolve_threads(-1), 1);
+}
+
+}  // namespace
+}  // namespace abg::exp

@@ -72,5 +72,27 @@ TEST(Cli, NegativeNumbersAsValues) {
   EXPECT_EQ(cli.get_int("n", 0), -3);
 }
 
+
+TEST(Cli, GetAllCollectsRepeatedFlags) {
+  const Cli cli = make_cli(
+      {"--param=scheduler=abg", "--param", "load=1,2", "--seed=3"});
+  const std::vector<std::string> params = cli.get_all("param");
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0], "scheduler=abg");
+  EXPECT_EQ(params[1], "load=1,2");
+  EXPECT_EQ(cli.get_all("seed"), std::vector<std::string>{"3"});
+}
+
+TEST(Cli, GetAllOfAbsentFlagIsEmpty) {
+  const Cli cli = make_cli({"--seed=3"});
+  EXPECT_TRUE(cli.get_all("param").empty());
+}
+
+TEST(Cli, RepeatedScalarFlagLastOccurrenceWins) {
+  const Cli cli = make_cli({"--seed=3", "--seed=9"});
+  EXPECT_EQ(cli.get_int("seed", 0), 9);
+  EXPECT_EQ(cli.get_all("seed").size(), 2u);
+}
+
 }  // namespace
 }  // namespace abg::util

@@ -175,7 +175,7 @@ abg::fault::FaultPlan make_fault_plan(const Cli& cli, std::uint64_t seed) {
       } else if (f[0] == "poisson" && f.size() == 3) {
         // Deterministic given --seed; a distinct stream from the
         // workload's so the job set is unchanged by adding faults.
-        abg::util::Rng rng(seed + 0x9e3779b97f4a7c15ull);
+        abg::util::Rng rng = abg::util::Rng::derive(seed, 1);
         plan = abg::fault::poisson_churn_plan(rng, std::stoll(f[2]),
                                               std::stod(f[1]),
                                               /*mean_outage=*/500,

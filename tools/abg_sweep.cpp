@@ -1,0 +1,351 @@
+// abg_sweep — the unified parameter-sweep CLI.
+//
+// Replaces the ad-hoc nested loops of the figure harnesses with one grid
+// runner: a sweep is the cartesian product of repeated `--param` flags,
+// executed on the exp::SweepRunner thread pool with deterministic per-run
+// seeding (results are byte-identical at any --jobs level), aggregated by
+// exp::ResultSink into JSONL plus a BENCH_sweeps.json summary.
+//
+//   ./abg_sweep --param scheduler=abg,a-greedy --param load=0.5,1,2
+//               --reps 30 --jobs 8
+//
+// Grid parameters (each takes a comma-separated value list):
+//   scheduler   abg | a-greedy | abg-auto | static   [default abg,a-greedy]
+//   r           ABG convergence rate                  [default 0.2]
+//   workload    job-set | fork-join | square-wave     [default job-set]
+//   load        job-set target load                   [default 1]
+//   factor      fork-join transition factor           [default 10]
+//   njobs       fork-join / square-wave job count     [default 4]
+//   levels      square-wave profile length            [default 600]
+//   processors  machine size P                        [default 128]
+//   quantum     quantum length L                      [default 1000]
+//   allocator   deq | rr                              [default deq]
+//   fault       none | step | impulse | poisson | crash  [default none]
+//
+// Other flags:
+//   --reps=N      replications per grid point (default 5)
+//   --seed=S      base seed (default 2008)
+//   --jobs=N      worker threads; 0 = hardware concurrency (default 1)
+//   --jsonl=PATH  per-run records; '-' = stdout, 'none' = skip
+//                 (default sweep.jsonl)
+//   --summary=PATH  aggregated summary; 'none' = skip
+//                 (default BENCH_sweeps.json)
+//   --quiet       suppress the stderr progress line
+//
+// Scheduler-side parameters (scheduler, r) do not advance the workload
+// seed index: every scheduler variant runs the exact same workloads, so
+// paired ratios between schedulers are free of sampling noise.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/result_sink.hpp"
+#include "exp/runner.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using abg::exp::RunRecord;
+using abg::exp::RunSpec;
+
+/// One grid dimension: a key and its value list.
+struct Dimension {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+/// Canonical dimension order (fixes expansion order and run ids).
+const std::vector<std::string> kKnownKeys = {
+    "scheduler", "r",      "workload",   "load",      "factor", "njobs",
+    "levels",    "quantum", "processors", "allocator", "fault"};
+
+/// Keys that select the scheduler rather than the simulated scenario;
+/// they are excluded from the workload seed index and the group label.
+bool is_scheduler_key(const std::string& key) {
+  return key == "scheduler" || key == "r";
+}
+
+/// Keys that shape the generated workload (seed-index-relevant).  The
+/// allocator and fault plan perturb the simulation of a workload, not the
+/// workload itself, so they share seeds across their values too.
+bool is_workload_key(const std::string& key) {
+  return key == "workload" || key == "load" || key == "factor" ||
+         key == "njobs" || key == "levels" || key == "quantum" ||
+         key == "processors";
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > start) {
+      out.push_back(text.substr(start, end - start));
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(value, &pos);
+    if (pos != value.size()) {
+      throw std::invalid_argument("trailing characters");
+    }
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--param " + key + ": '" + value +
+                                "' is not a number");
+  }
+}
+
+int parse_int(const std::string& key, const std::string& value) {
+  const double parsed = parse_double(key, value);
+  const int as_int = static_cast<int>(parsed);
+  if (static_cast<double>(as_int) != parsed) {
+    throw std::invalid_argument("--param " + key + ": '" + value +
+                                "' is not an integer");
+  }
+  return as_int;
+}
+
+/// Parses the repeated --param flags into ordered dimensions, injecting
+/// defaults for absent keys.
+std::vector<Dimension> build_dimensions(const abg::util::Cli& cli) {
+  std::map<std::string, std::vector<std::string>> params;
+  for (const std::string& flag : cli.get_all("param")) {
+    const std::size_t eq = flag.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("--param expects key=v1,v2,..., got '" +
+                                  flag + "'");
+    }
+    const std::string key = flag.substr(0, eq);
+    if (std::find(kKnownKeys.begin(), kKnownKeys.end(), key) ==
+        kKnownKeys.end()) {
+      std::string known;
+      for (const std::string& k : kKnownKeys) {
+        if (!known.empty()) {
+          known += ", ";
+        }
+        known += k;
+      }
+      throw std::invalid_argument("--param " + key +
+                                  ": unknown key (known: " + known + ")");
+    }
+    const std::vector<std::string> values = split_csv(flag.substr(eq + 1));
+    if (values.empty()) {
+      throw std::invalid_argument("--param " + key + ": empty value list");
+    }
+    auto& slot = params[key];
+    slot.insert(slot.end(), values.begin(), values.end());
+  }
+  if (!params.contains("scheduler")) {
+    params["scheduler"] = {"abg", "a-greedy"};
+  }
+
+  std::vector<Dimension> dims;
+  for (const std::string& key : kKnownKeys) {
+    const auto it = params.find(key);
+    if (it != params.end()) {
+      dims.push_back({key, it->second});
+    }
+  }
+  return dims;
+}
+
+/// Builds the RunSpec of one fully bound grid point.
+RunSpec spec_of(const std::map<std::string, std::string>& point) {
+  RunSpec spec;
+  std::string group;
+  for (const std::string& key : kKnownKeys) {
+    const auto it = point.find(key);
+    if (it == point.end()) {
+      continue;
+    }
+    const std::string& value = it->second;
+    if (key == "scheduler") {
+      spec.scheduler = abg::exp::scheduler_kind_from_name(value);
+    } else if (key == "r") {
+      spec.scheduler_params.convergence_rate = parse_double(key, value);
+    } else if (key == "workload") {
+      spec.workload.kind = abg::exp::workload_kind_from_name(value);
+    } else if (key == "load") {
+      spec.workload.load = parse_double(key, value);
+    } else if (key == "factor") {
+      spec.workload.transition_factor = parse_double(key, value);
+    } else if (key == "njobs") {
+      spec.workload.jobs = parse_int(key, value);
+    } else if (key == "levels") {
+      spec.workload.levels = parse_int(key, value);
+    } else if (key == "quantum") {
+      spec.machine.quantum_length = parse_int(key, value);
+    } else if (key == "processors") {
+      spec.machine.processors = parse_int(key, value);
+    } else if (key == "allocator") {
+      if (value != "deq" && value != "rr") {
+        throw std::invalid_argument("--param allocator: expected deq or rr");
+      }
+      spec.allocator = value == "rr" ? abg::exp::AllocatorKind::kRoundRobin
+                                     : abg::exp::AllocatorKind::kDefault;
+    } else if (key == "fault") {
+      spec.faults.scenario = abg::exp::fault_scenario_from_name(value);
+    }
+    if (!is_scheduler_key(key)) {
+      group += (group.empty() ? "" : ",") + key + "=" + value;
+    }
+  }
+  spec.group = group.empty() ? "all" : group;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const abg::util::Cli cli(argc, argv);
+    const auto reps = static_cast<int>(cli.get_int("reps", 5));
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2008));
+    const auto threads = static_cast<int>(cli.get_int("jobs", 1));
+    const std::string jsonl_path = cli.get("jsonl", "sweep.jsonl");
+    const std::string summary_path = cli.get("summary", "BENCH_sweeps.json");
+    if (reps < 1) {
+      throw std::invalid_argument("--reps must be >= 1");
+    }
+
+    const std::vector<Dimension> dims = build_dimensions(cli);
+
+    // Odometer over the dimensions, last dimension fastest.  The workload
+    // seed index enumerates only workload-shaping dimensions, so scheduler
+    // / allocator / fault variants replay identical workloads.
+    std::size_t workload_points = 1;
+    for (const Dimension& dim : dims) {
+      if (is_workload_key(dim.key)) {
+        workload_points *= dim.values.size();
+      }
+    }
+    std::vector<RunSpec> specs;
+    std::vector<std::size_t> odometer(dims.size(), 0);
+    for (;;) {
+      std::map<std::string, std::string> point;
+      std::size_t workload_index = 0;
+      for (std::size_t d = 0; d < dims.size(); ++d) {
+        point[dims[d].key] = dims[d].values[odometer[d]];
+        if (is_workload_key(dims[d].key)) {
+          workload_index =
+              workload_index * dims[d].values.size() + odometer[d];
+        }
+      }
+      RunSpec base = spec_of(point);
+      for (int rep = 0; rep < reps; ++rep) {
+        RunSpec spec = base;
+        spec.seed_index = static_cast<std::uint64_t>(rep) * workload_points +
+                          workload_index;
+        specs.push_back(std::move(spec));
+      }
+      // Advance the odometer; stop after the most significant digit wraps.
+      bool wrapped = true;
+      for (std::size_t d = dims.size(); d-- > 0;) {
+        if (++odometer[d] < dims[d].values.size()) {
+          wrapped = false;
+          break;
+        }
+        odometer[d] = 0;
+      }
+      if (dims.empty() || wrapped) {
+        break;
+      }
+    }
+
+    abg::exp::SweepConfig sweep;
+    sweep.threads = threads;
+    sweep.base_seed = seed;
+    if (!cli.get_bool("quiet", false)) {
+      sweep.on_progress = abg::exp::stderr_progress();
+    }
+    const std::vector<RunRecord> records =
+        abg::exp::SweepRunner(sweep).run(specs);
+
+    // Aggregate table on stdout: one row per (group, scheduler) in order
+    // of first appearance.
+    struct Agg {
+      std::string group;
+      std::string scheduler;
+      abg::util::RunningStats makespan;
+      abg::util::RunningStats m_over_lb;
+      abg::util::RunningStats r_over_lb;
+      abg::util::RunningStats waste;
+    };
+    std::vector<Agg> aggs;
+    for (const RunRecord& record : records) {
+      auto it = std::find_if(aggs.begin(), aggs.end(), [&](const Agg& a) {
+        return a.group == record.group && a.scheduler == record.scheduler;
+      });
+      if (it == aggs.end()) {
+        aggs.push_back(Agg{record.group, record.scheduler, {}, {}, {}, {}});
+        it = std::prev(aggs.end());
+      }
+      it->makespan.add(record.metric("makespan"));
+      if (record.has_metric("makespan_over_lb")) {
+        it->m_over_lb.add(record.metric("makespan_over_lb"));
+      }
+      if (record.has_metric("response_over_lb")) {
+        it->r_over_lb.add(record.metric("response_over_lb"));
+      }
+      it->waste.add(record.metric("total_waste"));
+    }
+    abg::util::Table table({"group", "scheduler", "runs", "makespan", "M/LB",
+                            "R/LB", "waste"});
+    for (const Agg& agg : aggs) {
+      table.add_row({agg.group, agg.scheduler,
+                     std::to_string(agg.makespan.count()),
+                     abg::util::format_double(agg.makespan.mean(), 1),
+                     abg::util::format_double(agg.m_over_lb.mean(), 3),
+                     abg::util::format_double(agg.r_over_lb.mean(), 3),
+                     abg::util::format_double(agg.waste.mean(), 1)});
+    }
+    std::cout << "abg_sweep: " << specs.size() << " runs ("
+              << reps << " rep(s) x " << specs.size() / std::max(1, reps)
+              << " grid points), base seed " << seed << "\n\n";
+    table.print(std::cout);
+
+    abg::exp::ResultSink sink("sweeps", seed);
+    sink.add_all(records);
+    if (jsonl_path == "-") {
+      sink.write_jsonl(std::cout);
+    } else if (jsonl_path != "none") {
+      std::ofstream out(jsonl_path);
+      if (!out) {
+        throw std::runtime_error("cannot open --jsonl path " + jsonl_path);
+      }
+      sink.write_jsonl(out);
+      std::cout << "\nwrote " << records.size() << " records to "
+                << jsonl_path;
+    }
+    if (summary_path != "none") {
+      std::ofstream out(summary_path);
+      if (!out) {
+        throw std::runtime_error("cannot open --summary path " +
+                                 summary_path);
+      }
+      sink.write_summary(out);
+      std::cout << "\nwrote summary to " << summary_path;
+    }
+    std::cout << "\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "abg_sweep: " << error.what() << "\n";
+    return 2;
+  }
+}
