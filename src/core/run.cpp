@@ -4,6 +4,7 @@
 
 #include "alloc/equipartition.hpp"
 #include "alloc/unconstrained.hpp"
+#include "sim/async_simulator.hpp"
 
 namespace abg::core {
 
@@ -63,6 +64,10 @@ sim::SimResult run_set(const SchedulerSpec& spec,
   }
   alloc::EquiPartition fallback;
   alloc::Allocator& alloc_ref = allocator ? *allocator : fallback;
+  if (config.engine == sim::EngineKind::kAsync) {
+    return sim::simulate_job_set_async(std::move(submissions), *spec.execution,
+                                       *spec.request, alloc_ref, config);
+  }
   return sim::simulate_job_set(std::move(submissions), *spec.execution,
                                *spec.request, alloc_ref, config);
 }

@@ -53,6 +53,8 @@ sim::JobTrace run_single(const SchedulerSpec& spec, dag::Job& job,
 
 /// Runs a job set to completion under the spec.  When `allocator` is null
 /// dynamic equi-partitioning is used (the paper's multiprogrammed setup).
+/// `config.engine` selects the boundary model: synchronous global quanta
+/// (default) or per-job asynchronous quanta.
 sim::SimResult run_set(const SchedulerSpec& spec,
                        std::vector<sim::JobSubmission> submissions,
                        const sim::SimConfig& config,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <tuple>
 #include <utility>
 
 #include "util/bootstrap.hpp"
@@ -29,8 +30,13 @@ util::Json record_to_json(const RunRecord& record) {
       .set("group", util::Json::string(record.group))
       .set("scheduler", util::Json::string(record.scheduler))
       .set("workload", util::Json::string(record.workload))
-      .set("fault", util::Json::string(record.fault))
-      .set("seed", util::Json::integer(static_cast<std::int64_t>(record.seed)))
+      .set("fault", util::Json::string(record.fault));
+  // The default engine is omitted so artifacts produced before the engine
+  // axis existed (and all default-engine sweeps) stay byte-identical.
+  if (!record.engine.empty() && record.engine != "sync") {
+    j.set("engine", util::Json::string(record.engine));
+  }
+  j.set("seed", util::Json::integer(static_cast<std::int64_t>(record.seed)))
       .set("metrics", std::move(metrics));
   return j;
 }
@@ -52,14 +58,17 @@ void ResultSink::write_jsonl(std::ostream& os) const {
 }
 
 util::Json ResultSink::summary() const {
-  // Group by (group, scheduler) in order of first appearance.
+  // Group by (group, scheduler, engine) in order of first appearance.
   struct Bucket {
     const RunRecord* exemplar = nullptr;
     std::vector<const RunRecord*> members;
   };
-  std::vector<std::pair<std::pair<std::string, std::string>, Bucket>> buckets;
+  std::vector<std::pair<std::tuple<std::string, std::string, std::string>,
+                        Bucket>>
+      buckets;
   for (const RunRecord& record : records_) {
-    const auto key = std::make_pair(record.group, record.scheduler);
+    const auto key =
+        std::make_tuple(record.group, record.scheduler, record.engine);
     auto it = std::find_if(buckets.begin(), buckets.end(),
                            [&](const auto& b) { return b.first == key; });
     if (it == buckets.end()) {
@@ -97,12 +106,19 @@ util::Json ResultSink::summary() const {
                                                 static_cast<std::int64_t>(
                                                     samples.size()))));
     }
-    groups.push(util::Json::object()
-                    .set("group", util::Json::string(key.first))
-                    .set("scheduler", util::Json::string(key.second))
-                    .set("runs", util::Json::integer(static_cast<std::int64_t>(
-                                     bucket.members.size())))
-                    .set("metrics", std::move(metrics)));
+    util::Json group_obj = util::Json::object();
+    group_obj.set("group", util::Json::string(std::get<0>(key)))
+        .set("scheduler", util::Json::string(std::get<1>(key)));
+    // Same omission rule as record_to_json: the default engine keeps
+    // summaries byte-identical to pre-engine-axis artifacts.
+    if (!std::get<2>(key).empty() && std::get<2>(key) != "sync") {
+      group_obj.set("engine", util::Json::string(std::get<2>(key)));
+    }
+    group_obj
+        .set("runs", util::Json::integer(
+                         static_cast<std::int64_t>(bucket.members.size())))
+        .set("metrics", std::move(metrics));
+    groups.push(std::move(group_obj));
     ++ordinal;
   }
 

@@ -99,6 +99,10 @@ struct RunSpec {
   MachineSpec machine;
   FaultSpec faults;
   AllocatorKind allocator = AllocatorKind::kDefault;
+  /// Boundary model the run simulates under (sync global quanta or
+  /// per-job async quanta); an engine axis in a grid makes boundary-model
+  /// comparisons on common random numbers.
+  sim::EngineKind engine = sim::EngineKind::kSync;
   /// Index fed to Rng::derive(base_seed, seed_index) for workload and
   /// fault-plan generation.  Specs sharing a seed index see identical
   /// workloads (use this to pair scheduler variants).

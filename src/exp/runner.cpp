@@ -200,6 +200,7 @@ RunRecord execute_run(const RunSpec& spec, std::uint64_t base_seed) {
   record.scheduler = to_string(spec.scheduler);
   record.workload = to_string(spec.workload.kind);
   record.fault = to_string(spec.faults.scenario);
+  record.engine = std::string(sim::to_string(spec.engine));
   record.seed = seed;
 
   // Workload generation consumes the run's stream from the start so a
@@ -214,7 +215,8 @@ RunRecord execute_run(const RunSpec& spec, std::uint64_t base_seed) {
   }
 
   const sim::SimConfig config{.processors = spec.machine.processors,
-                              .quantum_length = spec.machine.quantum_length};
+                              .quantum_length = spec.machine.quantum_length,
+                              .engine = spec.engine};
 
   // One allocator instance per simulated run: allocators may be stateful
   // (round-robin rotates its start index), so sharing one across threads

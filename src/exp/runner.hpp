@@ -30,6 +30,10 @@ struct RunRecord {
   std::string scheduler;
   std::string workload;
   std::string fault;
+  /// Simulation engine the run used ("sync" / "async").  Serialized to
+  /// JSONL only when it differs from the default "sync" (and is
+  /// non-empty), so pre-engine-axis artifacts stay byte-identical.
+  std::string engine;
   std::uint64_t seed = 0;
   std::vector<std::pair<std::string, double>> metrics;
 

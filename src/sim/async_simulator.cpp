@@ -1,48 +1,28 @@
 #include "sim/async_simulator.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "alloc/equipartition.hpp"
-#include "fault/fault_injector.hpp"
-#include "fault/faulty_allocator.hpp"
+#include "sim/engine_core.hpp"
+#include "sim/job_runtime.hpp"
 
 namespace abg::sim {
-
-namespace {
-
-struct AsyncJobState {
-  std::unique_ptr<dag::Job> job;
-  std::unique_ptr<sched::RequestPolicy> request;
-  JobTrace trace;
-  int desire = 1;
-  int allotment = 0;
-  /// Step from which the job may be (re-)admitted: the release step, or
-  /// after a crash the crash step plus one plus the restart delay.
-  dag::Steps eligible_step = 0;
-  /// A crashed job with preserved policy state resumes with its last
-  /// desire instead of first_request() on re-admission.
-  bool resumed = false;
-  bool active = false;
-  bool done = false;
-  // Current-quantum accumulators.
-  std::int64_t local_quantum = 0;
-  dag::Steps quantum_elapsed = 0;
-  dag::Steps quantum_start = 0;
-  dag::TaskCount work_before = 0;
-  double progress_before = 0.0;
-  dag::TaskCount held_cycles = 0;     // Σ allotment over quantum steps
-  dag::TaskCount idle_cycles = 0;     // Σ (allotment − executed) per step
-  dag::Steps idle_steps = 0;
-};
-
-}  // namespace
 
 SimResult simulate_job_set_async(std::vector<JobSubmission> submissions,
                                  const sched::ExecutionPolicy& execution,
                                  const sched::RequestPolicy& request_prototype,
+                                 const SimConfig& config) {
+  alloc::EquiPartition deq;
+  return simulate_job_set_async(std::move(submissions), execution,
+                                request_prototype, deq, config);
+}
+
+SimResult simulate_job_set_async(std::vector<JobSubmission> submissions,
+                                 const sched::ExecutionPolicy& execution,
+                                 const sched::RequestPolicy& request_prototype,
+                                 alloc::Allocator& allocator,
                                  const SimConfig& config) {
   if (config.processors < 1) {
     throw std::invalid_argument(
@@ -52,334 +32,47 @@ SimResult simulate_job_set_async(std::vector<JobSubmission> submissions,
     throw std::invalid_argument(
         "simulate_job_set_async: quantum length must be >= 1");
   }
-  if (config.reallocation_cost_per_proc != 0) {
-    throw std::invalid_argument(
-        "simulate_job_set_async: reallocation overhead is not supported");
-  }
+  allocator.reset();
 
-  std::vector<AsyncJobState> states;
-  states.reserve(submissions.size());
-  dag::TaskCount total_work = 0;
-  dag::Steps latest_release = 0;
-  for (auto& sub : submissions) {
-    if (!sub.job) {
-      throw std::invalid_argument("simulate_job_set_async: null job");
-    }
-    if (sub.release_step < 0) {
-      throw std::invalid_argument(
-          "simulate_job_set_async: negative release step");
-    }
-    AsyncJobState st;
-    st.job = std::move(sub.job);
-    st.request = request_prototype.clone();
-    st.request->reset();
-    st.trace.release_step = sub.release_step;
-    st.eligible_step = sub.release_step;
-    st.trace.work = st.job->total_work();
-    st.trace.critical_path = st.job->critical_path();
-    total_work += st.trace.work;
-    latest_release = std::max(latest_release, sub.release_step);
-    if (st.job->finished()) {
-      st.done = true;
-      st.trace.completion_step = sub.release_step;
-    }
-    states.push_back(std::move(st));
-  }
+  IntakeTotals totals;
+  std::vector<JobRuntime> states =
+      intake_submissions(std::move(submissions), request_prototype,
+                         "simulate_job_set_async", totals);
 
-  // Fault machinery only exists when a non-empty plan is attached; the
-  // fault-free path below is byte-identical to a run without the plan.
-  const bool faulty = config.faults != nullptr && !config.faults->empty();
+  dag::Steps initial_length = config.quantum_length;
+  if (config.quantum_length_policy != nullptr) {
+    config.quantum_length_policy->reset();
+    initial_length = config.quantum_length_policy->initial_length();
+    if (initial_length < 1) {
+      throw std::logic_error(
+          "simulate_job_set_async: quantum-length policy returned length < "
+          "1");
+    }
+  }
+  const dag::Steps bound_length =
+      std::max(config.quantum_length, initial_length);
   dag::Steps max_steps =
       config.max_steps > 0
           ? config.max_steps
-          : latest_release + 8 * total_work + 64 * config.quantum_length;
+          : totals.latest_release + 8 * totals.total_work + 64 * bound_length;
+  const bool faulty = config.faults != nullptr && !config.faults->empty();
   if (faulty && config.max_steps == 0) {
-    const auto crashes =
-        static_cast<dag::Steps>(config.faults->crash_count());
-    const auto events =
-        static_cast<dag::Steps>(config.faults->events.size());
-    max_steps += config.faults->last_event_step() +
-                 config.faults->restart_delay * crashes +
-                 8 * total_work * crashes +
-                 64 * config.quantum_length * events;
-  }
-  const std::size_t max_active =
-      config.max_active_jobs > 0
-          ? static_cast<std::size_t>(config.max_active_jobs)
-          : static_cast<std::size_t>(config.processors);
-
-  alloc::EquiPartition deq;
-  std::optional<fault::FaultInjector> injector;
-  std::optional<fault::FaultyAllocator> faulty_allocator;
-  if (faulty) {
-    injector.emplace(*config.faults);
-    faulty_allocator.emplace(deq, *injector);
-  }
-  alloc::Allocator& machine =
-      faulty ? static_cast<alloc::Allocator&>(*faulty_allocator) : deq;
-
-  SimResult result;
-  result.averaged_allotments = true;
-  if (faulty) {
-    result.fault_log.enabled = true;
-    result.fault_log.min_capacity = config.processors;
-  }
-  fault::FaultLog& log = result.fault_log;
-  dag::Steps now = 0;
-  bool partition_dirty = true;
-  std::size_t remaining = 0;
-  for (const AsyncJobState& st : states) {
-    remaining += st.done ? 0u : 1u;
+    max_steps +=
+        fault_bound_slack(*config.faults, totals.total_work, bound_length);
   }
 
-  // Rounded-up allotted cycles of the in-flight quantum, matching how
-  // finalize_quantum will record it in the trace.
-  auto rounded_cycles = [&](const AsyncJobState& st) {
-    const dag::TaskCount procs =
-        (st.held_cycles + config.quantum_length - 1) / config.quantum_length;
-    return procs * static_cast<dag::TaskCount>(config.quantum_length);
-  };
-
-  auto finalize_quantum = [&](AsyncJobState& st, bool finished) {
-    sched::QuantumStats stats;
-    stats.index = st.local_quantum;
-    stats.start_step = st.quantum_start;
-    stats.request = st.desire;
-    stats.length = config.quantum_length;
-    stats.steps_used = finished ? st.quantum_elapsed : config.quantum_length;
-    stats.work = st.job->completed_work() - st.work_before;
-    stats.cpl = st.job->level_progress() - st.progress_before;
-    stats.finished = finished;
-    // Time-averaged processors held, rounded UP so work <= allotment *
-    // length stays invariant; the exact waste is accumulated separately.
-    stats.allotment = static_cast<int>(
-        (st.held_cycles + config.quantum_length - 1) /
-        config.quantum_length);
-    stats.request = std::max(stats.request, stats.allotment);
-    stats.available = stats.allotment;
-    stats.full = !finished && st.idle_steps == 0 && stats.allotment > 0;
-    st.trace.quanta.push_back(stats);
-    if (faulty) {
-      // Mirror the trace's rounded accounting so the balance identity
-      // holds exactly against total_allotted()/total_waste().
-      log.allotted_cycles +=
-          static_cast<dag::TaskCount>(stats.allotment) *
-          static_cast<dag::TaskCount>(config.quantum_length);
-    }
-  };
-
-  while (remaining > 0) {
-    // Consume fault events for the unit step [now, now + 1).  Events in
-    // ranges skipped by the idle fast-path are consumed lazily on the
-    // next iteration, which is sound: failures/repairs net out and a
-    // crash can only hit an active job.
-    if (faulty) {
-      const fault::WindowFaults window = injector->advance(now, now + 1);
-      for (const fault::FaultEvent& e : window.applied) {
-        log.disturbance_steps.push_back(e.step);
-        switch (e.kind) {
-          case fault::FaultKind::kProcessorFailure:
-            ++log.failure_events;
-            break;
-          case fault::FaultKind::kProcessorRepair:
-            ++log.repair_events;
-            break;
-          case fault::FaultKind::kAllotmentRevocation:
-            ++log.revocation_events;
-            break;
-          case fault::FaultKind::kJobCrash:
-            break;  // counted via log.crashes when applied
-        }
-      }
-      log.min_capacity =
-          std::min(log.min_capacity, injector->capacity(config.processors));
-      if (window.capacity_changed) {
-        partition_dirty = true;
-      }
-      for (const fault::FaultEvent& e : window.crashes) {
-        const auto j = static_cast<std::size_t>(e.job);
-        if (j >= states.size() || !states[j].active) {
-          continue;  // crash of an inactive job is a no-op
-        }
-        AsyncJobState& st = states[j];
-        fault::CrashRecord record;
-        record.job = j;
-        record.step = now;
-        if (config.faults->work_loss ==
-            fault::WorkLoss::kCheckpointQuantum) {
-          // The work executed so far survives (there is no rollback in a
-          // live DAG): close the in-flight quantum early as a checkpoint.
-          finalize_quantum(st, /*finished=*/false);
-          st.trace.quanta.back().steps_used = st.quantum_elapsed;
-          st.trace.quanta.back().full = false;
-        } else {
-          // Restart from scratch: the whole trace so far, including the
-          // in-flight quantum, is discarded and the job restarts fresh.
-          record.lost_work = st.job->completed_work();
-          record.discarded_cycles =
-              st.trace.total_allotted() + rounded_cycles(st);
-          log.allotted_cycles += rounded_cycles(st);
-          st.job = st.job->fresh_clone();
-          st.trace.quanta.clear();
-        }
-        if (config.faults->policy_on_restart ==
-            fault::PolicyOnRestart::kReset) {
-          st.request->reset();
-          st.resumed = false;
-        } else {
-          st.resumed = true;  // re-admission keeps the preserved desire
-        }
-        log.crashes.push_back(record);
-        log.lost_work += record.lost_work;
-        log.discarded_cycles += record.discarded_cycles;
-        st.active = false;
-        st.allotment = 0;
-        st.eligible_step = now + 1 + config.faults->restart_delay;
-        partition_dirty = true;
-      }
-    }
-
-    // Admission, FCFS by eligible (release or post-crash restart) step.
-    std::size_t active_count = 0;
-    for (const AsyncJobState& st : states) {
-      active_count += st.active ? 1u : 0u;
-    }
-    while (active_count < max_active) {
-      std::size_t best = states.size();
-      for (std::size_t i = 0; i < states.size(); ++i) {
-        const AsyncJobState& st = states[i];
-        if (st.done || st.active || st.eligible_step > now) {
-          continue;
-        }
-        if (best == states.size() ||
-            st.eligible_step < states[best].eligible_step) {
-          best = i;
-        }
-      }
-      if (best == states.size()) {
-        break;
-      }
-      AsyncJobState& st = states[best];
-      st.active = true;
-      if (st.resumed) {
-        st.resumed = false;  // keep the preserved desire
-      } else {
-        st.desire = st.request->first_request();
-      }
-      // Continues the trace after a checkpoint crash; 1 on first
-      // admission and after a from-scratch restart.
-      st.local_quantum =
-          static_cast<std::int64_t>(st.trace.quanta.size()) + 1;
-      st.quantum_start = now;
-      st.quantum_elapsed = 0;
-      st.work_before = st.job->completed_work();
-      st.progress_before = st.job->level_progress();
-      st.held_cycles = 0;
-      st.idle_cycles = 0;
-      st.idle_steps = 0;
-      partition_dirty = true;
-      ++active_count;
-    }
-
-    if (active_count == 0) {
-      // Idle-skip to the next eligibility boundary.
-      dag::Steps next_release = max_steps;
-      for (const AsyncJobState& st : states) {
-        if (!st.done) {
-          next_release = std::min(next_release, st.eligible_step);
-        }
-      }
-      now = std::max(now + 1, next_release);
-      if (now >= max_steps) {
-        throw std::runtime_error("simulate_job_set_async: step bound hit");
-      }
-      continue;
-    }
-
-    // Re-partition on any event.
-    if (partition_dirty) {
-      std::vector<int> requests(states.size(), 0);
-      for (std::size_t i = 0; i < states.size(); ++i) {
-        if (states[i].active) {
-          requests[i] = states[i].desire;
-        }
-      }
-      const std::vector<int> allotments =
-          machine.allocate(requests, config.processors);
-      for (std::size_t i = 0; i < states.size(); ++i) {
-        if (states[i].active) {
-          states[i].allotment = allotments[i];
-        }
-      }
-      partition_dirty = false;
-    }
-
-    // One unit step for every active job.
-    for (AsyncJobState& st : states) {
-      if (!st.active) {
-        continue;
-      }
-      const dag::TaskCount done =
-          st.job->step(st.allotment, execution.order());
-      ++st.quantum_elapsed;
-      st.held_cycles += st.allotment;
-      st.idle_cycles += static_cast<dag::TaskCount>(st.allotment) - done;
-      if (done == 0) {
-        ++st.idle_steps;
-      }
-    }
-    ++now;
-    ++result.quanta;  // counts unit steps of engine activity
-
-    // Post-step events: completions and quantum boundaries.
-    for (AsyncJobState& st : states) {
-      if (!st.active) {
-        continue;
-      }
-      if (st.job->finished()) {
-        finalize_quantum(st, /*finished=*/true);
-        st.trace.completion_step = now;
-        st.active = false;
-        st.done = true;
-        --remaining;
-        partition_dirty = true;
-        continue;
-      }
-      if (st.quantum_elapsed == config.quantum_length) {
-        finalize_quantum(st, /*finished=*/false);
-        st.desire = st.request->next_request(st.trace.quanta.back());
-        ++st.local_quantum;
-        st.quantum_start = now;
-        st.quantum_elapsed = 0;
-        st.work_before = st.job->completed_work();
-        st.progress_before = st.job->level_progress();
-        st.held_cycles = 0;
-        st.idle_cycles = 0;
-        st.idle_steps = 0;
-        partition_dirty = true;
-      }
-    }
-
-    if (remaining > 0 && now >= max_steps) {
-      throw std::runtime_error(
-          "simulate_job_set_async: exceeded step bound");
-    }
-  }
-
-  double response_sum = 0.0;
-  for (AsyncJobState& st : states) {
-    result.makespan = std::max(result.makespan, st.trace.completion_step);
-    response_sum += static_cast<double>(st.trace.response_time());
-    // Consistent with the per-quantum stats (which round the held
-    // processor average up), so validate_result's cross-checks apply; the
-    // rounding overstates waste by at most one quantum per quantum.
-    result.total_waste += st.trace.total_waste();
-    result.jobs.push_back(std::move(st.trace));
-  }
-  result.mean_response_time =
-      states.empty() ? 0.0
-                     : response_sum / static_cast<double>(states.size());
-  return result;
+  CoreConfig core;
+  core.context = "simulate_job_set_async";
+  core.processors = config.processors;
+  core.quantum_length = config.quantum_length;
+  core.max_steps = max_steps;
+  core.max_active = config.max_active_jobs > 0
+                        ? static_cast<std::size_t>(config.max_active_jobs)
+                        : static_cast<std::size_t>(config.processors);
+  core.reallocation_cost_per_proc = config.reallocation_cost_per_proc;
+  core.faults = config.faults;
+  core.quantum_length_policy = config.quantum_length_policy;
+  return run_per_job_quanta(states, totals, execution, allocator, core);
 }
 
 }  // namespace abg::sim

@@ -22,6 +22,7 @@
 // feedback still sees per-quantum T1(q), T∞(q), capacity.
 #pragma once
 
+#include "alloc/allocator.hpp"
 #include "sched/execution_policy.hpp"
 #include "sched/request_policy.hpp"
 #include "sim/simulator.hpp"
@@ -31,11 +32,23 @@ namespace abg::sim {
 /// Simulates the job set with per-job quantum boundaries and
 /// equi-partition reclamation at every event.  Jobs are admitted FCFS up
 /// to the admission cap, as in the synchronous engine.  Reallocation
-/// overhead is not supported in this engine (config.reallocation_cost_per_proc
-/// must be 0).
+/// overhead (config.reallocation_cost_per_proc) is charged as migration
+/// debt: a repartition that moves a job's processors costs cost·|Δa|
+/// unit steps (capped at one quantum) during which the job holds its
+/// allotment but executes nothing — the per-event realization of the
+/// synchronous engine's up-front penalty.
 SimResult simulate_job_set_async(std::vector<JobSubmission> submissions,
                                  const sched::ExecutionPolicy& execution,
                                  const sched::RequestPolicy& request_prototype,
+                                 const SimConfig& config);
+
+/// As above with an explicit allocator dividing the machine at each
+/// repartition instead of the built-in dynamic equi-partitioning.  The
+/// allocator is reset at the start of the run.
+SimResult simulate_job_set_async(std::vector<JobSubmission> submissions,
+                                 const sched::ExecutionPolicy& execution,
+                                 const sched::RequestPolicy& request_prototype,
+                                 alloc::Allocator& allocator,
                                  const SimConfig& config);
 
 }  // namespace abg::sim

@@ -1,0 +1,679 @@
+#include "sim/engine_core.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "fault/fault_injector.hpp"
+#include "fault/faulty_allocator.hpp"
+#include "sim/quantum_engine.hpp"
+
+namespace abg::sim {
+
+std::string_view to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSync:
+      return "sync";
+    case EngineKind::kAsync:
+      return "async";
+  }
+  return "sync";
+}
+
+EngineKind engine_kind_from_name(std::string_view name) {
+  if (name == "sync") {
+    return EngineKind::kSync;
+  }
+  if (name == "async") {
+    return EngineKind::kAsync;
+  }
+  throw std::invalid_argument("engine_kind_from_name: unknown engine '" +
+                              std::string(name) + "' (expected sync|async)");
+}
+
+dag::Steps fault_bound_slack(const fault::FaultPlan& plan,
+                             dag::TaskCount total_work,
+                             dag::Steps quantum_length) {
+  const auto crashes = static_cast<dag::Steps>(plan.crash_count());
+  const auto events = static_cast<dag::Steps>(plan.events.size());
+  return plan.last_event_step() + plan.restart_delay * crashes +
+         8 * total_work * crashes + 64 * quantum_length * events;
+}
+
+namespace {
+
+/// Fault machinery for one run.  Only constructed when a non-empty plan is
+/// attached; the fault-free path is byte-identical to a run without the
+/// plan.
+struct FaultSession {
+  bool faulty = false;
+  std::optional<fault::FaultInjector> injector;
+  std::optional<fault::FaultyAllocator> faulty_allocator;
+  alloc::Allocator* machine = nullptr;
+
+  FaultSession(alloc::Allocator& base, const fault::FaultPlan* plan) {
+    faulty = plan != nullptr && !plan->empty();
+    if (faulty) {
+      injector.emplace(*plan);
+      faulty_allocator.emplace(base, *injector);
+      machine = &*faulty_allocator;
+    } else {
+      machine = &base;
+    }
+  }
+};
+
+/// Tallies a consumed fault window into the log: disturbance steps and
+/// per-kind event counters (crashes are counted via log.crashes when they
+/// are applied to a running job).
+void log_window_events(const fault::WindowFaults& window,
+                       fault::FaultLog& log) {
+  for (const fault::FaultEvent& e : window.applied) {
+    log.disturbance_steps.push_back(e.step);
+    switch (e.kind) {
+      case fault::FaultKind::kProcessorFailure:
+        ++log.failure_events;
+        break;
+      case fault::FaultKind::kProcessorRepair:
+        ++log.repair_events;
+        break;
+      case fault::FaultKind::kAllotmentRevocation:
+        ++log.revocation_events;
+        break;
+      case fault::FaultKind::kJobCrash:
+        break;  // counted via log.crashes when applied
+    }
+  }
+}
+
+/// FCFS admission candidate: the queued job with the lowest eligible step
+/// (ties by submission order), or states.size() when none is eligible.
+/// Candidates are scanned in submission order; releases are not required
+/// to be sorted.
+std::size_t next_admission(const std::vector<JobRuntime>& states,
+                           dag::Steps now) {
+  std::size_t best = states.size();
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    const JobRuntime& st = states[i];
+    if (st.done || st.active || st.eligible_step > now) {
+      continue;
+    }
+    if (best == states.size() ||
+        st.eligible_step < states[best].eligible_step) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// Earliest step at which any unfinished job becomes eligible, for the
+/// idle fast-path; `bound` when none exists.
+dag::Steps next_eligible_step(const std::vector<JobRuntime>& states,
+                              dag::Steps bound) {
+  dag::Steps next_release = bound;
+  for (const JobRuntime& st : states) {
+    if (!st.done) {
+      next_release = std::min(next_release, st.eligible_step);
+    }
+  }
+  return next_release;
+}
+
+void commit_crash(fault::FaultLog& log, const fault::CrashRecord& record) {
+  log.crashes.push_back(record);
+  log.lost_work += record.lost_work;
+  log.discarded_cycles += record.discarded_cycles;
+}
+
+/// Moves per-job traces into the result and derives the aggregate metrics
+/// (identical in both boundary models).
+void aggregate_result(std::vector<JobRuntime>& states, SimResult& result) {
+  double response_sum = 0.0;
+  for (JobRuntime& st : states) {
+    result.makespan = std::max(result.makespan, st.trace.completion_step);
+    response_sum += static_cast<double>(st.trace.response_time());
+    result.total_waste += st.trace.total_waste();
+    result.jobs.push_back(std::move(st.trace));
+  }
+  result.mean_response_time =
+      states.empty() ? 0.0
+                     : response_sum / static_cast<double>(states.size());
+}
+
+}  // namespace
+
+SimResult run_global_quanta(std::vector<JobRuntime>& states,
+                            const IntakeTotals& totals,
+                            const sched::ExecutionPolicy& execution,
+                            alloc::Allocator& allocator,
+                            const CoreConfig& config) {
+  FaultSession session(allocator, config.faults);
+  const bool faulty = session.faulty;
+  alloc::Allocator& machine = *session.machine;
+  const dag::Steps max_steps = config.max_steps;
+
+  SimResult result;
+  if (faulty) {
+    result.fault_log.enabled = true;
+    result.fault_log.min_capacity = config.processors;
+  }
+  fault::FaultLog& log = result.fault_log;
+  dag::Steps now = 0;
+  dag::Steps length = config.quantum_length;
+  std::vector<std::size_t> active_idx;
+  std::vector<int> requests;
+  std::vector<std::size_t> feedback;
+  std::size_t remaining = totals.remaining;
+
+  while (remaining > 0) {
+    // Consume fault events for the quantum [now, now + length).  Events
+    // inside windows skipped by the idle fast-path below are consumed
+    // lazily on the next boundary; failures/repairs net out and crashes of
+    // non-running jobs are no-ops, so laziness is sound.
+    fault::WindowFaults window;
+    if (faulty) {
+      window = session.injector->advance(now, now + length);
+      log_window_events(window, log);
+      log.min_capacity = std::min(
+          log.min_capacity, session.injector->capacity(config.processors));
+    }
+
+    // Admit jobs eligible by the current boundary, FCFS by eligible step
+    // (ties by submission order), up to the admission cap.
+    active_idx.clear();
+    requests.clear();
+    std::size_t active_count = 0;
+    for (const JobRuntime& st : states) {
+      if (st.active) {
+        ++active_count;
+      }
+    }
+    while (active_count < config.max_active) {
+      const std::size_t best = next_admission(states, now);
+      if (best == states.size()) {
+        break;
+      }
+      JobRuntime& st = states[best];
+      st.active = true;
+      if (st.resumed) {
+        st.resumed = false;  // keep the preserved desire
+      } else {
+        st.desire = st.request->first_request();
+      }
+      ++active_count;
+    }
+    // One request slot per submitted job, in stable submission order:
+    // inactive (unreleased, queued, finished) jobs request 0.  Stable
+    // positions let positional allocators (per-job weights) work across
+    // job completions.
+    requests.assign(states.size(), 0);
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      JobRuntime& st = states[i];
+      if (st.active) {
+        active_idx.push_back(i);
+        requests[i] = st.desire;
+      }
+    }
+
+    if (active_idx.empty()) {
+      // All remaining jobs are eligible in the future: idle to the next
+      // eligibility boundary.
+      const dag::Steps gap = next_eligible_step(states, max_steps) - now;
+      const dag::Steps quanta_to_skip = std::max<dag::Steps>(1, gap / length);
+      now += quanta_to_skip * length;
+      if (now >= max_steps) {
+        throw std::runtime_error(std::string(config.context) +
+                                 ": exceeded step bound");
+      }
+      continue;
+    }
+
+    ++result.quanta;
+    const int pool = machine.pool(config.processors);
+    const std::vector<int> allotments =
+        machine.allocate(requests, config.processors);
+    int assigned = 0;
+    for (const int a : allotments) {
+      assigned += a;
+    }
+    // Revoked processors are held by the revoker, not idle: exclude them
+    // from the leftover availability reported to jobs.
+    const int revoked = faulty ? session.faulty_allocator->last_revoked() : 0;
+    const int leftover = std::max(0, pool - assigned - revoked);
+
+    // Which active jobs crash during this quantum.
+    std::vector<std::size_t> crash_victims;
+    if (faulty) {
+      for (const fault::FaultEvent& e : window.crashes) {
+        const auto j = static_cast<std::size_t>(e.job);
+        if (j < states.size() && states[j].active &&
+            std::find(crash_victims.begin(), crash_victims.end(), j) ==
+                crash_victims.end()) {
+          crash_victims.push_back(j);
+        }
+      }
+    }
+
+    // Inputs for the optional quantum-length policy, gathered as stats are
+    // produced: the sole job's stats verbatim when exactly one job ran the
+    // quantum (the single-job feedback loop), machine-aggregated stats
+    // otherwise.
+    sched::QuantumStats qlen_agg;
+    qlen_agg.full = true;
+    sched::QuantumStats qlen_sole;
+    std::size_t qlen_count = 0;
+    bool qlen_sole_valid = false;
+
+    feedback.clear();
+    for (const std::size_t i : active_idx) {
+      JobRuntime& st = states[i];
+      const int allotment = allotments[i];
+      if (faulty) {
+        log.allotted_cycles += static_cast<dag::TaskCount>(allotment) *
+                               static_cast<dag::TaskCount>(length);
+      }
+      const bool crashed =
+          faulty && std::find(crash_victims.begin(), crash_victims.end(),
+                              i) != crash_victims.end();
+      if (crashed) {
+        // The job held its allotment when the crash hit: the whole
+        // quantum is forfeited.  Under checkpoint recovery the voided
+        // quantum stays in the trace as pure waste; under
+        // restart-from-scratch the entire trace so far is discarded and
+        // the job restarts as a fresh DAG.
+        ++st.local_quantum;
+        sched::QuantumStats stats;
+        stats.index = st.local_quantum;
+        stats.start_step = now;
+        stats.request = st.desire;
+        stats.allotment = allotment;
+        stats.available = allotment + leftover;
+        stats.length = length;
+        st.trace.quanta.push_back(stats);
+        if (config.quantum_length_policy != nullptr) {
+          ++qlen_count;
+          qlen_sole_valid = false;
+          qlen_agg.work += stats.work;
+          qlen_agg.allotment += stats.allotment;
+          qlen_agg.request += stats.request;
+          qlen_agg.cpl = std::max(qlen_agg.cpl, stats.cpl);
+          qlen_agg.full = qlen_agg.full && stats.full;
+        }
+        fault::CrashRecord record;
+        record.job = i;
+        record.step = now;
+        if (config.faults->work_loss == fault::WorkLoss::kRestartFromScratch) {
+          record.lost_work = st.job->completed_work();
+          record.discarded_cycles = st.trace.total_allotted();
+          st.restart_from_scratch();
+          st.trace.quanta.clear();
+          st.local_quantum = 0;
+        }
+        if (config.faults->policy_on_restart ==
+            fault::PolicyOnRestart::kReset) {
+          st.request->reset();
+          st.desire = st.request->first_request();
+        } else {
+          st.resumed = true;  // re-admission keeps the preserved desire
+        }
+        commit_crash(log, record);
+        st.previous_allotment = 0;
+        st.active = false;
+        st.eligible_step = now + length + config.faults->restart_delay;
+        continue;
+      }
+      ++st.local_quantum;
+      const dag::Steps penalty = reallocation_penalty(
+          st.previous_allotment, allotment,
+          config.reallocation_cost_per_proc, length);
+      st.previous_allotment = allotment;
+      sched::QuantumStats stats;
+      if (penalty < length) {
+        stats = execution.run_quantum(*st.job, st.local_quantum, st.desire,
+                                      allotment, length - penalty);
+      } else {
+        stats.index = st.local_quantum;
+        stats.request = st.desire;
+        stats.allotment = allotment;
+        stats.finished = st.job->finished();
+      }
+      stats.length = length;
+      stats.steps_used += penalty;
+      if (penalty > 0) {
+        stats.full = false;  // the migration steps did no work
+      }
+      stats.available = allotment + leftover;
+      stats.start_step = now;
+      st.trace.quanta.push_back(stats);
+      if (config.quantum_length_policy != nullptr) {
+        ++qlen_count;
+        qlen_sole = stats;
+        qlen_sole_valid = true;
+        qlen_agg.work += stats.work;
+        qlen_agg.allotment += stats.allotment;
+        qlen_agg.request += stats.request;
+        qlen_agg.cpl = std::max(qlen_agg.cpl, stats.cpl);
+        qlen_agg.full = qlen_agg.full && stats.full;
+      }
+      if (stats.finished) {
+        st.trace.completion_step = now + stats.steps_used;
+        st.done = true;
+        st.active = false;
+        --remaining;
+      } else {
+        feedback.push_back(i);
+      }
+    }
+
+    now += length;
+    if (remaining > 0 && now >= max_steps) {
+      throw std::runtime_error(std::string(config.context) +
+                               ": exceeded step bound; " +
+                               config.stall_reason);
+    }
+    // Quantum-boundary feedback.  next_request is deferred until after the
+    // bound check so a stalled run throws before touching the (possibly
+    // caller-owned) request policy again — the historic single-job
+    // contract.  Each job has its own policy state, so the deferral is
+    // otherwise unobservable.
+    for (const std::size_t i : feedback) {
+      JobRuntime& st = states[i];
+      st.desire = st.request->next_request(st.trace.quanta.back());
+    }
+    if (config.quantum_length_policy != nullptr && remaining > 0) {
+      if (qlen_count == 1 && qlen_sole_valid) {
+        length = config.quantum_length_policy->next_length(qlen_sole);
+      } else {
+        qlen_agg.index = result.quanta;
+        qlen_agg.start_step = now - length;
+        qlen_agg.length = length;
+        qlen_agg.steps_used = length;
+        qlen_agg.available = pool;
+        length = config.quantum_length_policy->next_length(qlen_agg);
+      }
+      if (length < 1) {
+        throw std::logic_error(
+            std::string(config.context) +
+            ": quantum-length policy returned length < 1");
+      }
+    }
+  }
+
+  aggregate_result(states, result);
+  return result;
+}
+
+SimResult run_per_job_quanta(std::vector<JobRuntime>& states,
+                             const IntakeTotals& totals,
+                             const sched::ExecutionPolicy& execution,
+                             alloc::Allocator& allocator,
+                             const CoreConfig& config) {
+  FaultSession session(allocator, config.faults);
+  const bool faulty = session.faulty;
+  alloc::Allocator& machine = *session.machine;
+  const dag::Steps max_steps = config.max_steps;
+
+  // Each job's boundary schedule is its own, so each job gets its own
+  // quantum-length policy state (a clone of the run's prototype).
+  for (JobRuntime& st : states) {
+    st.quantum_target = config.quantum_length;
+    if (config.quantum_length_policy != nullptr) {
+      st.quantum_policy = config.quantum_length_policy->clone();
+      st.quantum_policy->reset();
+    }
+  }
+
+  SimResult result;
+  result.averaged_allotments = true;
+  if (faulty) {
+    result.fault_log.enabled = true;
+    result.fault_log.min_capacity = config.processors;
+  }
+  fault::FaultLog& log = result.fault_log;
+  dag::Steps now = 0;
+  bool partition_dirty = true;
+  std::size_t remaining = totals.remaining;
+
+  // Rounded-up allotted cycles of the in-flight quantum, matching how
+  // finalize_quantum will record it in the trace.
+  auto rounded_cycles = [](const JobRuntime& st) {
+    const dag::TaskCount procs =
+        (st.held_cycles + st.quantum_target - 1) / st.quantum_target;
+    return procs * static_cast<dag::TaskCount>(st.quantum_target);
+  };
+
+  auto finalize_quantum = [&](JobRuntime& st, bool finished) {
+    sched::QuantumStats stats;
+    stats.index = st.local_quantum;
+    stats.start_step = st.quantum_start;
+    stats.request = st.desire;
+    stats.length = st.quantum_target;
+    stats.steps_used = finished ? st.quantum_elapsed : st.quantum_target;
+    stats.work = st.job->completed_work() - st.work_before;
+    stats.cpl = st.job->level_progress() - st.progress_before;
+    stats.finished = finished;
+    // Time-averaged processors held, rounded UP so work <= allotment *
+    // length stays invariant; the exact waste is accumulated separately.
+    stats.allotment = static_cast<int>(
+        (st.held_cycles + st.quantum_target - 1) / st.quantum_target);
+    stats.request = std::max(stats.request, stats.allotment);
+    stats.available = stats.allotment;
+    stats.full = !finished && st.idle_steps == 0 && stats.allotment > 0;
+    st.trace.quanta.push_back(stats);
+    if (faulty) {
+      // Mirror the trace's rounded accounting so the balance identity
+      // holds exactly against total_allotted()/total_waste().
+      log.allotted_cycles += static_cast<dag::TaskCount>(stats.allotment) *
+                             static_cast<dag::TaskCount>(st.quantum_target);
+    }
+  };
+
+  // Opens a fresh quantum for the job at the current step.
+  auto begin_quantum = [&](JobRuntime& st) {
+    st.quantum_start = now;
+    st.quantum_elapsed = 0;
+    st.work_before = st.job->completed_work();
+    st.progress_before = st.job->level_progress();
+    st.held_cycles = 0;
+    st.idle_cycles = 0;
+    st.idle_steps = 0;
+  };
+
+  while (remaining > 0) {
+    // Consume fault events for the unit step [now, now + 1).  Events in
+    // ranges skipped by the idle fast-path are consumed lazily on the
+    // next iteration, which is sound: failures/repairs net out and a
+    // crash can only hit an active job.
+    if (faulty) {
+      const fault::WindowFaults window = session.injector->advance(now, now + 1);
+      log_window_events(window, log);
+      log.min_capacity = std::min(
+          log.min_capacity, session.injector->capacity(config.processors));
+      if (window.capacity_changed) {
+        partition_dirty = true;
+      }
+      for (const fault::FaultEvent& e : window.crashes) {
+        const auto j = static_cast<std::size_t>(e.job);
+        if (j >= states.size() || !states[j].active) {
+          continue;  // crash of an inactive job is a no-op
+        }
+        JobRuntime& st = states[j];
+        fault::CrashRecord record;
+        record.job = j;
+        record.step = now;
+        if (config.faults->work_loss == fault::WorkLoss::kCheckpointQuantum) {
+          // The work executed so far survives (there is no rollback in a
+          // live DAG): close the in-flight quantum early as a checkpoint.
+          finalize_quantum(st, /*finished=*/false);
+          st.trace.quanta.back().steps_used = st.quantum_elapsed;
+          st.trace.quanta.back().full = false;
+        } else {
+          // Restart from scratch: the whole trace so far, including the
+          // in-flight quantum, is discarded and the job restarts fresh.
+          record.lost_work = st.job->completed_work();
+          record.discarded_cycles =
+              st.trace.total_allotted() + rounded_cycles(st);
+          log.allotted_cycles += rounded_cycles(st);
+          st.restart_from_scratch();
+          st.trace.quanta.clear();
+        }
+        if (config.faults->policy_on_restart ==
+            fault::PolicyOnRestart::kReset) {
+          st.request->reset();
+          if (st.quantum_policy) {
+            st.quantum_policy->reset();
+          }
+          st.resumed = false;
+        } else {
+          st.resumed = true;  // re-admission keeps the preserved desire
+        }
+        commit_crash(log, record);
+        st.active = false;
+        st.allotment = 0;
+        st.previous_allotment = 0;
+        st.migration_debt = 0;
+        st.eligible_step = now + 1 + config.faults->restart_delay;
+        partition_dirty = true;
+      }
+    }
+
+    // Admission, FCFS by eligible (release or post-crash restart) step.
+    std::size_t active_count = 0;
+    for (const JobRuntime& st : states) {
+      active_count += st.active ? 1u : 0u;
+    }
+    while (active_count < config.max_active) {
+      const std::size_t best = next_admission(states, now);
+      if (best == states.size()) {
+        break;
+      }
+      JobRuntime& st = states[best];
+      st.active = true;
+      if (st.resumed) {
+        st.resumed = false;  // keep the preserved desire
+      } else {
+        st.desire = st.request->first_request();
+      }
+      // Continues the trace after a checkpoint crash; 1 on first
+      // admission and after a from-scratch restart.
+      st.local_quantum =
+          static_cast<std::int64_t>(st.trace.quanta.size()) + 1;
+      if (st.quantum_policy && st.local_quantum == 1) {
+        st.quantum_target = st.quantum_policy->initial_length();
+      }
+      begin_quantum(st);
+      partition_dirty = true;
+      ++active_count;
+    }
+
+    if (active_count == 0) {
+      // Idle-skip to the next eligibility boundary.
+      const dag::Steps next_release = next_eligible_step(states, max_steps);
+      now = std::max(now + 1, next_release);
+      if (now >= max_steps) {
+        throw std::runtime_error(std::string(config.context) +
+                                 ": step bound hit");
+      }
+      continue;
+    }
+
+    // Re-partition on any event.
+    if (partition_dirty) {
+      std::vector<int> requests(states.size(), 0);
+      for (std::size_t i = 0; i < states.size(); ++i) {
+        if (states[i].active) {
+          requests[i] = states[i].desire;
+        }
+      }
+      const std::vector<int> allotments =
+          machine.allocate(requests, config.processors);
+      for (std::size_t i = 0; i < states.size(); ++i) {
+        JobRuntime& st = states[i];
+        if (!st.active) {
+          continue;
+        }
+        if (config.reallocation_cost_per_proc > 0) {
+          // A repartition that moves this job's processors charges
+          // cost·|Δa| migration steps, accumulated as debt and capped at
+          // one quantum — the unit-step realization of the synchronous
+          // engine's up-front penalty.
+          const dag::Steps penalty = reallocation_penalty(
+              st.previous_allotment, allotments[i],
+              config.reallocation_cost_per_proc, st.quantum_target);
+          st.migration_debt =
+              std::min(st.quantum_target, st.migration_debt + penalty);
+        }
+        st.previous_allotment = allotments[i];
+        st.allotment = allotments[i];
+      }
+      partition_dirty = false;
+    }
+
+    // One unit step for every active job.
+    for (JobRuntime& st : states) {
+      if (!st.active) {
+        continue;
+      }
+      dag::TaskCount done = 0;
+      if (st.migration_debt > 0) {
+        // A migration step: the job holds its allotment but executes
+        // nothing, so the cycles land in idle_cycles (waste) and the
+        // quantum cannot be full.
+        --st.migration_debt;
+      } else {
+        done = st.job->step(st.allotment, execution.order());
+      }
+      ++st.quantum_elapsed;
+      st.held_cycles += st.allotment;
+      st.idle_cycles += static_cast<dag::TaskCount>(st.allotment) - done;
+      if (done == 0) {
+        ++st.idle_steps;
+      }
+    }
+    ++now;
+    ++result.quanta;  // counts unit steps of engine activity
+
+    // Post-step events: completions and quantum boundaries.
+    for (JobRuntime& st : states) {
+      if (!st.active) {
+        continue;
+      }
+      if (st.job->finished()) {
+        finalize_quantum(st, /*finished=*/true);
+        st.trace.completion_step = now;
+        st.active = false;
+        st.done = true;
+        --remaining;
+        partition_dirty = true;
+        continue;
+      }
+      if (st.quantum_elapsed == st.quantum_target) {
+        finalize_quantum(st, /*finished=*/false);
+        st.desire = st.request->next_request(st.trace.quanta.back());
+        if (st.quantum_policy) {
+          st.quantum_target =
+              st.quantum_policy->next_length(st.trace.quanta.back());
+          if (st.quantum_target < 1) {
+            throw std::logic_error(
+                std::string(config.context) +
+                ": quantum-length policy returned length < 1");
+          }
+        }
+        ++st.local_quantum;
+        begin_quantum(st);
+        partition_dirty = true;
+      }
+    }
+
+    if (remaining > 0 && now >= max_steps) {
+      throw std::runtime_error(std::string(config.context) +
+                               ": exceeded step bound");
+    }
+  }
+
+  aggregate_result(states, result);
+  return result;
+}
+
+}  // namespace abg::sim

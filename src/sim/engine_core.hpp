@@ -1,0 +1,110 @@
+// Unified event-driven simulation core.
+//
+// One engine, two boundary policies.  Every simulation entry point in this
+// library — run_single_job (Figures 1/4/5), simulate_job_set (synchronous
+// global quanta, Figure 6) and simulate_job_set_async (per-job quantum
+// boundaries) — is a thin wrapper that validates its inputs, resolves its
+// safety bound, and hands a vector of JobRuntime states to one of two loop
+// drivers here:
+//
+//   * run_global_quanta — all jobs share quantum boundaries.  Per
+//     boundary: consume fault window, admit FCFS up to the cap, allocate
+//     once for everyone, run each active job a whole quantum (charging
+//     reallocation penalties against the quantum), feed completed stats
+//     back to the request policies, and let the optional quantum-length
+//     policy pick the next boundary.  A job set of one with the machine
+//     allocator *is* the single-job engine.
+//
+//   * run_per_job_quanta — each job's quanta are counted from its own
+//     admission; the machine is re-partitioned over the active jobs'
+//     requests whenever any event occurs (admission, boundary, completion,
+//     capacity change), so allotments can change mid-quantum and the
+//     recorded per-quantum allotment is a rounded time average.
+//     Reallocation penalties are charged as *migration debt*: each
+//     repartition that moves a job's processors adds cost·|Δa| pending
+//     migration steps (capped at the quantum length) during which the job
+//     holds its allotment but executes nothing — the unit-step realization
+//     of the synchronous engine's up-front penalty.
+//
+// Both drivers share the machinery the three engines used to duplicate:
+// FCFS admission with the max_active cap, fault-plan application
+// (checkpoint/scratch crash recovery, preserve/reset policy state,
+// capacity churn via FaultyAllocator), per-quantum accounting
+// (T1(q), T∞(q), waste, availability) and JobTrace/QuantumStats emission.
+//
+// Regression contract: with the features a wrapper historically exposed,
+// the refactored wrappers produce byte-identical traces, metrics and
+// exception messages.  Error strings are assembled from `context` so each
+// entry point keeps its historic prefix.
+#pragma once
+
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "fault/fault_plan.hpp"
+#include "sched/execution_policy.hpp"
+#include "sched/quantum_length.hpp"
+#include "sim/job_runtime.hpp"
+#include "sim/simulator.hpp"
+
+namespace abg::sim {
+
+/// Resolved configuration handed to a loop driver.  Wrappers translate
+/// their public config structs into this: bounds resolved (> 0), caps
+/// resolved, message prefix fixed.
+struct CoreConfig {
+  /// Message prefix for exceptions ("simulate_job_set", ...).
+  const char* context = "engine_core";
+  /// Machine size P.
+  int processors = 0;
+  /// Fixed quantum length — or, when `quantum_length_policy` is set, the
+  /// already-resolved initial length (the core never re-queries
+  /// initial_length()).
+  dag::Steps quantum_length = 0;
+  /// Resolved safety bound on simulated steps (> 0).
+  dag::Steps max_steps = 0;
+  /// Resolved admission cap (> 0).
+  std::size_t max_active = 0;
+  /// Reallocation overhead per moved processor (0 = overhead-free).
+  dag::Steps reallocation_cost_per_proc = 0;
+  /// Optional fault plan; null or empty is a strict no-op.
+  const fault::FaultPlan* faults = nullptr;
+  /// Optional quantum-length policy.  Global driver: consulted once per
+  /// global boundary (with the sole job's stats when exactly one job ran
+  /// the quantum — the single-job feedback loop — or machine-aggregated
+  /// stats otherwise).  Per-job driver: cloned per job, consulted at that
+  /// job's own boundaries.  Must outlive the run; reset by the wrapper.
+  sched::QuantumLengthPolicy* quantum_length_policy = nullptr;
+  /// Suffix of the stalled-progress error, after "<context>: exceeded
+  /// step bound; " (the historic messages differ per entry point).
+  const char* stall_reason = "scheduling is not making progress";
+};
+
+/// Drives `states` to completion with global synchronous quantum
+/// boundaries.  The allocator is used as-is (wrappers decide whether to
+/// reset it).
+SimResult run_global_quanta(std::vector<JobRuntime>& states,
+                            const IntakeTotals& totals,
+                            const sched::ExecutionPolicy& execution,
+                            alloc::Allocator& allocator,
+                            const CoreConfig& config);
+
+/// Drives `states` to completion with per-job quantum boundaries and
+/// repartition-on-every-event, in unit steps.  Sets
+/// SimResult::averaged_allotments; `SimResult::quanta` counts unit steps
+/// of engine activity.
+SimResult run_per_job_quanta(std::vector<JobRuntime>& states,
+                             const IntakeTotals& totals,
+                             const sched::ExecutionPolicy& execution,
+                             alloc::Allocator& allocator,
+                             const CoreConfig& config);
+
+/// Extra steps to add to a derived (config.max_steps == 0) safety bound
+/// when a non-empty fault plan is attached: crashes redo work and outages
+/// stall progress, so the bound widens by the work each crash can force to
+/// be repeated, a window per event, and the plan's own horizon.
+dag::Steps fault_bound_slack(const fault::FaultPlan& plan,
+                             dag::TaskCount total_work,
+                             dag::Steps quantum_length);
+
+}  // namespace abg::sim

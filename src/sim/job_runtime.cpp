@@ -1,0 +1,48 @@
+#include "sim/job_runtime.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace abg::sim {
+
+std::vector<JobRuntime> intake_submissions(
+    std::vector<JobSubmission> submissions,
+    const sched::RequestPolicy& request_prototype, const char* context,
+    IntakeTotals& totals) {
+  std::vector<JobRuntime> states;
+  states.reserve(submissions.size());
+  for (auto& sub : submissions) {
+    if (!sub.job) {
+      throw std::invalid_argument(std::string(context) + ": null job");
+    }
+    if (sub.release_step < 0) {
+      throw std::invalid_argument(std::string(context) +
+                                  ": negative release step");
+    }
+    JobRuntime st;
+    st.owned_job = std::move(sub.job);
+    st.job = st.owned_job.get();
+    st.owned_request = request_prototype.clone();
+    st.request = st.owned_request.get();
+    st.request->reset();
+    st.trace.release_step = sub.release_step;
+    st.eligible_step = sub.release_step;
+    st.trace.work = st.job->total_work();
+    st.trace.critical_path = st.job->critical_path();
+    totals.total_work += st.trace.work;
+    totals.latest_release = std::max(totals.latest_release, sub.release_step);
+    if (st.job->finished()) {  // zero-work job
+      st.done = true;
+      st.trace.completion_step = sub.release_step;
+    }
+    states.push_back(std::move(st));
+  }
+  totals.remaining = static_cast<std::size_t>(
+      std::count_if(states.begin(), states.end(),
+                    [](const JobRuntime& s) { return !s.done; }));
+  return states;
+}
+
+}  // namespace abg::sim

@@ -1,0 +1,109 @@
+// Per-job runtime state shared by every simulation engine.
+//
+// All three engines (single-job, synchronous global quanta, asynchronous
+// per-job quanta) track the same per-job bookkeeping: the executable job,
+// its private clone of the request-policy prototype, the trace being
+// assembled, the feedback desire, admission eligibility and crash/restart
+// flags.  JobRuntime is the union of that state; fields used by only one
+// boundary model are documented as such and cost nothing when unused.
+//
+// This header is an engine-internal contract (consumed by
+// sim/engine_core.hpp); external code interacts with the engines through
+// sim/quantum_engine.hpp, sim/simulator.hpp and sim/async_simulator.hpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dag/job.hpp"
+#include "sched/quantum_length.hpp"
+#include "sched/request_policy.hpp"
+#include "sim/simulator.hpp"
+
+namespace abg::sim {
+
+/// Runtime state of one job inside an engine run.
+///
+/// The job and request policy are working pointers: engines that own their
+/// jobs (the multiprogrammed simulators, which take submissions by value)
+/// keep the owning unique_ptr alongside, while run_single_job borrows the
+/// caller's objects.  A restart-from-scratch crash recovery always moves to
+/// an owned fresh clone, so a borrowed original is left as-is (partially
+/// executed) and the restarted run continues on engine-owned state.
+struct JobRuntime {
+  dag::Job* job = nullptr;
+  std::unique_ptr<dag::Job> owned_job;
+  sched::RequestPolicy* request = nullptr;
+  std::unique_ptr<sched::RequestPolicy> owned_request;
+  /// Per-job clone of the run's quantum-length policy (asynchronous engine
+  /// only — each job has its own boundary schedule, hence its own policy
+  /// state).  Null when the run uses a fixed quantum length.
+  std::unique_ptr<sched::QuantumLengthPolicy> quantum_policy;
+  JobTrace trace;
+  int desire = 1;
+  /// Allotment of the previous quantum (or repartition), for reallocation-
+  /// penalty charging; 0 after (re-)admission so the initial placement is
+  /// charged too.
+  int previous_allotment = 0;
+  /// Current allotment (asynchronous engine: held between repartitions).
+  int allotment = 0;
+  /// 1-based index of the quantum in flight (or last completed).
+  std::int64_t local_quantum = 0;
+  /// Step from which the job may be (re-)admitted: the release step, or
+  /// after a crash the end of the crash quantum plus the restart delay.
+  dag::Steps eligible_step = 0;
+  /// A checkpoint-crashed job with preserved policy state resumes with
+  /// its last desire instead of first_request() on re-admission.
+  bool resumed = false;
+  bool active = false;
+  bool done = false;
+
+  // Current-quantum accumulators (asynchronous engine: quanta are counted
+  // from the job's own admission and executed in unit steps).
+  /// Length of the in-flight quantum (the run's fixed L, or the per-job
+  /// quantum-length policy's current choice).
+  dag::Steps quantum_target = 0;
+  dag::Steps quantum_elapsed = 0;
+  dag::Steps quantum_start = 0;
+  dag::TaskCount work_before = 0;
+  double progress_before = 0.0;
+  dag::TaskCount held_cycles = 0;  // Σ allotment over quantum steps
+  dag::TaskCount idle_cycles = 0;  // Σ (allotment − executed) per step
+  dag::Steps idle_steps = 0;
+  /// Outstanding migration steps: while positive, the job holds its
+  /// allotment but executes no work (the asynchronous realization of the
+  /// reallocation penalty; see engine_core.hpp).
+  dag::Steps migration_debt = 0;
+
+  /// Replaces the job with a fresh clone (restart-from-scratch recovery).
+  /// The replacement is always engine-owned, whether or not the original
+  /// was.
+  void restart_from_scratch() {
+    owned_job = job->fresh_clone();
+    job = owned_job.get();
+  }
+};
+
+/// Totals accumulated while ingesting submissions, needed by the engines'
+/// safety-bound formulas and completion tracking.
+struct IntakeTotals {
+  dag::TaskCount total_work = 0;
+  dag::Steps latest_release = 0;
+  /// Number of jobs not already finished at submission (zero-work jobs
+  /// complete at their release step without entering the engine loop).
+  std::size_t remaining = 0;
+};
+
+/// Validates and ingests a submission list into runtime states: each job
+/// gets its own reset clone of the request prototype, its trace seeded with
+/// release/work/critical-path, and zero-work jobs are marked done at their
+/// release step.  Throws std::invalid_argument (prefixed with `context`)
+/// on a null job or negative release step, matching the engines' historic
+/// messages.
+std::vector<JobRuntime> intake_submissions(
+    std::vector<JobSubmission> submissions,
+    const sched::RequestPolicy& request_prototype, const char* context,
+    IntakeTotals& totals);
+
+}  // namespace abg::sim

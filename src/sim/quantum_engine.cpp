@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "sim/engine_core.hpp"
+#include "sim/job_runtime.hpp"
 
 namespace abg::sim {
 
@@ -55,71 +59,58 @@ JobTrace run_single_job(dag::Job& job, const sched::ExecutionPolicy& execution,
   request.reset();
   quantum_length.reset();
 
-  JobTrace trace;
-  trace.work = job.total_work();
-  trace.critical_path = job.critical_path();
-  if (job.finished()) {
+  if (job.finished()) {  // zero-work job
+    JobTrace trace;
+    trace.work = job.total_work();
+    trace.critical_path = job.critical_path();
     trace.completion_step = 0;
     return trace;
   }
 
-  dag::Steps length = quantum_length.initial_length();
-  const dag::Steps max_steps =
-      config.max_steps > 0
-          ? config.max_steps
-          : default_step_bound(job, config, length);
-  int desire = request.first_request();
-  int previous_allotment = 0;
-  dag::Steps now = 0;
-  std::int64_t q = 0;
-  while (!job.finished()) {
-    ++q;
-    const int pool = allocator.pool(config.processors);
-    const std::vector<int> allotments =
-        allocator.allocate({desire}, config.processors);
-    const int allotment = allotments.at(0);
-    // Migration penalty: the quantum's first `penalty` steps do no work.
-    const dag::Steps penalty = reallocation_penalty(
-        previous_allotment, allotment, config.reallocation_cost_per_proc,
-        length);
-    previous_allotment = allotment;
-    sched::QuantumStats stats;
-    if (penalty < length) {
-      stats = execution.run_quantum(job, q, desire, allotment,
-                                    length - penalty);
-    } else {
-      stats.index = q;
-      stats.request = desire;
-      stats.allotment = allotment;
-      stats.finished = job.finished();
-    }
-    stats.length = length;
-    stats.steps_used += penalty;
-    if (penalty > 0) {
-      stats.full = false;  // the migration steps did no work
-    }
-    stats.available = allotment + std::max(0, pool - allotment);
-    stats.start_step = now;
-    trace.quanta.push_back(stats);
-    if (stats.finished) {
-      trace.completion_step = now + stats.steps_used;
-    }
-    now += length;
-    if (!job.finished()) {
-      if (now >= max_steps) {
-        throw std::runtime_error(
-            "run_single_job: exceeded step bound; feedback loop is not "
-            "making progress");
-      }
-      desire = request.next_request(stats);
-      length = quantum_length.next_length(stats);
-      if (length < 1) {
-        throw std::logic_error(
-            "run_single_job: quantum-length policy returned length < 1");
-      }
-    }
+  const dag::Steps initial_length = quantum_length.initial_length();
+  if (initial_length < 1) {
+    throw std::logic_error(
+        "run_single_job: quantum-length policy returned length < 1");
   }
-  return trace;
+  dag::Steps max_steps = config.max_steps > 0
+                             ? config.max_steps
+                             : default_step_bound(job, config, initial_length);
+  const bool faulty = config.faults != nullptr && !config.faults->empty();
+  if (faulty && config.max_steps == 0) {
+    max_steps += fault_bound_slack(
+        *config.faults, job.total_work(),
+        std::max(config.quantum_length, initial_length));
+  }
+
+  // A job set of one over the unified core: the caller's job and request
+  // policy are borrowed (no owning pointers), the allocator is used as-is.
+  std::vector<JobRuntime> states(1);
+  JobRuntime& st = states.front();
+  st.job = &job;
+  st.request = &request;
+  st.trace.work = job.total_work();
+  st.trace.critical_path = job.critical_path();
+  IntakeTotals totals;
+  totals.total_work = st.trace.work;
+  totals.latest_release = 0;
+  totals.remaining = 1;
+
+  CoreConfig core;
+  core.context = "run_single_job";
+  core.processors = config.processors;
+  core.quantum_length = initial_length;
+  core.max_steps = max_steps;
+  core.max_active = 1;
+  core.reallocation_cost_per_proc = config.reallocation_cost_per_proc;
+  core.faults = config.faults;
+  core.quantum_length_policy = &quantum_length;
+  core.stall_reason = "feedback loop is not making progress";
+  SimResult result = run_global_quanta(states, totals, execution, allocator,
+                                       core);
+  if (config.fault_log_out != nullptr) {
+    *config.fault_log_out = std::move(result.fault_log);
+  }
+  return std::move(result.jobs.front());
 }
 
 }  // namespace abg::sim

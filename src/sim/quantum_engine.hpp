@@ -9,6 +9,8 @@
 
 #include "alloc/allocator.hpp"
 #include "dag/job.hpp"
+#include "fault/fault_log.hpp"
+#include "fault/fault_plan.hpp"
 #include "sched/execution_policy.hpp"
 #include "sched/quantum_length.hpp"
 #include "sched/request_policy.hpp"
@@ -33,6 +35,15 @@ struct SingleJobConfig {
   /// instability.  The job's initial allocation is also charged (a job
   /// must be placed).  0 reproduces the paper's overhead-free setting.
   dag::Steps reallocation_cost_per_proc = 0;
+  /// Optional fault plan (see fault/fault_plan.hpp); job index 0 is this
+  /// job.  Null or empty is a strict no-op.  Under restart-from-scratch
+  /// recovery the engine continues on an internal fresh clone and the
+  /// caller's job object is left partially executed.  The plan must
+  /// outlive the call.
+  const fault::FaultPlan* faults = nullptr;
+  /// When set, the run's fault log (crashes, lost work, capacity history)
+  /// is copied here — the JobTrace return value has nowhere to carry it.
+  fault::FaultLog* fault_log_out = nullptr;
 };
 
 /// Steps lost to processor migration when the allotment changes from

@@ -1,35 +1,12 @@
 #include "sim/simulator.hpp"
 
-#include "fault/fault_injector.hpp"
-#include "fault/faulty_allocator.hpp"
-#include "sim/quantum_engine.hpp"
-
 #include <algorithm>
-#include <optional>
 #include <stdexcept>
 
+#include "sim/engine_core.hpp"
+#include "sim/job_runtime.hpp"
+
 namespace abg::sim {
-
-namespace {
-
-struct JobState {
-  std::unique_ptr<dag::Job> job;
-  std::unique_ptr<sched::RequestPolicy> request;
-  JobTrace trace;
-  int desire = 1;
-  int previous_allotment = 0;
-  std::int64_t local_quantum = 0;
-  /// Step from which the job may be (re-)admitted: the release step, or
-  /// after a crash the end of the crash quantum plus the restart delay.
-  dag::Steps eligible_step = 0;
-  /// A checkpoint-crashed job with preserved policy state resumes with
-  /// its last desire instead of first_request() on re-admission.
-  bool resumed = false;
-  bool active = false;
-  bool done = false;
-};
-
-}  // namespace
 
 SimResult simulate_job_set(std::vector<JobSubmission> submissions,
                            const sched::ExecutionPolicy& execution,
@@ -45,316 +22,48 @@ SimResult simulate_job_set(std::vector<JobSubmission> submissions,
   }
   allocator.reset();
 
-  // Fault machinery only exists when a non-empty plan is attached; the
-  // fault-free path below is byte-identical to a run without the plan.
-  const bool faulty = config.faults != nullptr && !config.faults->empty();
-  std::optional<fault::FaultInjector> injector;
-  std::optional<fault::FaultyAllocator> faulty_allocator;
-  if (faulty) {
-    injector.emplace(*config.faults);
-    faulty_allocator.emplace(allocator, *injector);
-  }
-  alloc::Allocator& machine =
-      faulty ? static_cast<alloc::Allocator&>(*faulty_allocator)
-             : allocator;
+  IntakeTotals totals;
+  std::vector<JobRuntime> states = intake_submissions(
+      std::move(submissions), request_prototype, "simulate_job_set", totals);
 
-  std::vector<JobState> states;
-  states.reserve(submissions.size());
-  dag::TaskCount total_work = 0;
-  for (auto& sub : submissions) {
-    if (!sub.job) {
-      throw std::invalid_argument("simulate_job_set: null job");
+  // With a quantum-length policy the first boundary is the policy's
+  // choice and the derived safety bound is widened to the larger of the
+  // two lengths; without one this resolves to config.quantum_length and
+  // the arithmetic below is the historic formula, bit for bit.
+  dag::Steps initial_length = config.quantum_length;
+  if (config.quantum_length_policy != nullptr) {
+    config.quantum_length_policy->reset();
+    initial_length = config.quantum_length_policy->initial_length();
+    if (initial_length < 1) {
+      throw std::logic_error(
+          "simulate_job_set: quantum-length policy returned length < 1");
     }
-    if (sub.release_step < 0) {
-      throw std::invalid_argument("simulate_job_set: negative release step");
-    }
-    JobState st;
-    st.job = std::move(sub.job);
-    st.request = request_prototype.clone();
-    st.request->reset();
-    st.trace.release_step = sub.release_step;
-    st.eligible_step = sub.release_step;
-    st.trace.work = st.job->total_work();
-    st.trace.critical_path = st.job->critical_path();
-    total_work += st.trace.work;
-    if (st.job->finished()) {  // zero-work job
-      st.done = true;
-      st.trace.completion_step = sub.release_step;
-    }
-    states.push_back(std::move(st));
   }
-
-  dag::Steps latest_release = 0;
-  for (const JobState& st : states) {
-    latest_release = std::max(latest_release, st.trace.release_step);
-  }
+  const dag::Steps bound_length =
+      std::max(config.quantum_length, initial_length);
   dag::Steps max_steps =
       config.max_steps > 0
           ? config.max_steps
-          : latest_release + 8 * total_work + 64 * config.quantum_length;
+          : totals.latest_release + 8 * totals.total_work + 64 * bound_length;
+  const bool faulty = config.faults != nullptr && !config.faults->empty();
   if (faulty && config.max_steps == 0) {
-    // Crashes redo work and outages stall progress: widen the safety
-    // bound by the work each crash can force to be repeated, a window per
-    // event, and the plan's own horizon.
-    const auto crashes =
-        static_cast<dag::Steps>(config.faults->crash_count());
-    const auto events =
-        static_cast<dag::Steps>(config.faults->events.size());
-    max_steps += config.faults->last_event_step() +
-                 config.faults->restart_delay * crashes +
-                 8 * total_work * crashes +
-                 64 * config.quantum_length * events;
+    max_steps +=
+        fault_bound_slack(*config.faults, totals.total_work, bound_length);
   }
 
-  SimResult result;
-  if (faulty) {
-    result.fault_log.enabled = true;
-    result.fault_log.min_capacity = config.processors;
-  }
-  fault::FaultLog& log = result.fault_log;
-  dag::Steps now = 0;
-  std::vector<std::size_t> active_idx;
-  std::vector<int> requests;
-  std::size_t remaining =
-      static_cast<std::size_t>(std::count_if(states.begin(), states.end(),
-                                             [](const JobState& s) {
-                                               return !s.done;
-                                             }));
-
-  const std::size_t max_active =
-      config.max_active_jobs > 0
-          ? static_cast<std::size_t>(config.max_active_jobs)
-          : static_cast<std::size_t>(config.processors);
-
-  while (remaining > 0) {
-    // Consume fault events for the quantum [now, now + L).  Events inside
-    // windows skipped by the idle fast-path below are consumed lazily on
-    // the next boundary; failures/repairs net out and crashes of
-    // non-running jobs are no-ops, so laziness is sound.
-    fault::WindowFaults window;
-    if (faulty) {
-      window = injector->advance(now, now + config.quantum_length);
-      for (const fault::FaultEvent& e : window.applied) {
-        log.disturbance_steps.push_back(e.step);
-        switch (e.kind) {
-          case fault::FaultKind::kProcessorFailure:
-            ++log.failure_events;
-            break;
-          case fault::FaultKind::kProcessorRepair:
-            ++log.repair_events;
-            break;
-          case fault::FaultKind::kAllotmentRevocation:
-            ++log.revocation_events;
-            break;
-          case fault::FaultKind::kJobCrash:
-            break;  // counted via log.crashes when applied
-        }
-      }
-      log.min_capacity =
-          std::min(log.min_capacity, injector->capacity(config.processors));
-    }
-
-    // Admit jobs eligible by the current boundary, FCFS by eligible step
-    // (ties by submission order), up to the admission cap.
-    active_idx.clear();
-    requests.clear();
-    std::size_t active_count = 0;
-    for (const JobState& st : states) {
-      if (st.active) {
-        ++active_count;
-      }
-    }
-    // Candidates are scanned in submission order; releases were not
-    // required to be sorted, so pick the earliest-eligible job until the
-    // cap fills.
-    while (active_count < max_active) {
-      std::size_t best = states.size();
-      for (std::size_t i = 0; i < states.size(); ++i) {
-        const JobState& st = states[i];
-        if (st.done || st.active || st.eligible_step > now) {
-          continue;
-        }
-        if (best == states.size() ||
-            st.eligible_step < states[best].eligible_step) {
-          best = i;
-        }
-      }
-      if (best == states.size()) {
-        break;
-      }
-      JobState& st = states[best];
-      st.active = true;
-      if (st.resumed) {
-        st.resumed = false;  // keep the preserved desire
-      } else {
-        st.desire = st.request->first_request();
-      }
-      ++active_count;
-    }
-    // One request slot per submitted job, in stable submission order:
-    // inactive (unreleased, queued, finished) jobs request 0.  Stable
-    // positions let positional allocators (per-job weights) work across
-    // job completions.
-    requests.assign(states.size(), 0);
-    for (std::size_t i = 0; i < states.size(); ++i) {
-      JobState& st = states[i];
-      if (st.active) {
-        active_idx.push_back(i);
-        requests[i] = st.desire;
-      }
-    }
-
-    if (active_idx.empty()) {
-      // All remaining jobs are eligible in the future: idle to the next
-      // eligibility boundary.
-      dag::Steps next_release = max_steps;
-      for (const JobState& st : states) {
-        if (!st.done) {
-          next_release = std::min(next_release, st.eligible_step);
-        }
-      }
-      const dag::Steps gap = next_release - now;
-      const dag::Steps quanta_to_skip =
-          std::max<dag::Steps>(1, gap / config.quantum_length);
-      now += quanta_to_skip * config.quantum_length;
-      if (now >= max_steps) {
-        throw std::runtime_error("simulate_job_set: exceeded step bound");
-      }
-      continue;
-    }
-
-    ++result.quanta;
-    const int pool = machine.pool(config.processors);
-    const std::vector<int> allotments =
-        machine.allocate(requests, config.processors);
-    int assigned = 0;
-    for (const int a : allotments) {
-      assigned += a;
-    }
-    // Revoked processors are held by the revoker, not idle: exclude them
-    // from the leftover availability reported to jobs.
-    const int revoked = faulty ? faulty_allocator->last_revoked() : 0;
-    const int leftover = std::max(0, pool - assigned - revoked);
-
-    // Which active jobs crash during this quantum.
-    std::vector<std::size_t> crash_victims;
-    if (faulty) {
-      for (const fault::FaultEvent& e : window.crashes) {
-        const auto j = static_cast<std::size_t>(e.job);
-        if (j < states.size() && states[j].active &&
-            std::find(crash_victims.begin(), crash_victims.end(), j) ==
-                crash_victims.end()) {
-          crash_victims.push_back(j);
-        }
-      }
-    }
-
-    for (const std::size_t i : active_idx) {
-      JobState& st = states[i];
-      const int allotment = allotments[i];
-      if (faulty) {
-        log.allotted_cycles +=
-            static_cast<dag::TaskCount>(allotment) *
-            static_cast<dag::TaskCount>(config.quantum_length);
-      }
-      const bool crashed =
-          faulty && std::find(crash_victims.begin(), crash_victims.end(),
-                              i) != crash_victims.end();
-      if (crashed) {
-        // The job held its allotment when the crash hit: the whole
-        // quantum is forfeited.  Under checkpoint recovery the voided
-        // quantum stays in the trace as pure waste; under
-        // restart-from-scratch the entire trace so far is discarded and
-        // the job restarts as a fresh DAG.
-        ++st.local_quantum;
-        sched::QuantumStats stats;
-        stats.index = st.local_quantum;
-        stats.start_step = now;
-        stats.request = st.desire;
-        stats.allotment = allotment;
-        stats.available = allotment + leftover;
-        stats.length = config.quantum_length;
-        st.trace.quanta.push_back(stats);
-        fault::CrashRecord record;
-        record.job = i;
-        record.step = now;
-        if (config.faults->work_loss == fault::WorkLoss::kRestartFromScratch) {
-          record.lost_work = st.job->completed_work();
-          record.discarded_cycles = st.trace.total_allotted();
-          st.job = st.job->fresh_clone();
-          st.trace.quanta.clear();
-          st.local_quantum = 0;
-        }
-        if (config.faults->policy_on_restart ==
-            fault::PolicyOnRestart::kReset) {
-          st.request->reset();
-          st.desire = st.request->first_request();
-        } else {
-          st.resumed = true;  // re-admission keeps the preserved desire
-        }
-        log.crashes.push_back(record);
-        log.lost_work += record.lost_work;
-        log.discarded_cycles += record.discarded_cycles;
-        st.previous_allotment = 0;
-        st.active = false;
-        st.eligible_step =
-            now + config.quantum_length + config.faults->restart_delay;
-        continue;
-      }
-      ++st.local_quantum;
-      const dag::Steps penalty = reallocation_penalty(
-          st.previous_allotment, allotment,
-          config.reallocation_cost_per_proc, config.quantum_length);
-      st.previous_allotment = allotment;
-      sched::QuantumStats stats;
-      if (penalty < config.quantum_length) {
-        stats = execution.run_quantum(*st.job, st.local_quantum, st.desire,
-                                      allotment,
-                                      config.quantum_length - penalty);
-      } else {
-        stats.index = st.local_quantum;
-        stats.request = st.desire;
-        stats.allotment = allotment;
-        stats.finished = st.job->finished();
-      }
-      stats.length = config.quantum_length;
-      stats.steps_used += penalty;
-      if (penalty > 0) {
-        stats.full = false;
-      }
-      stats.available = allotment + leftover;
-      stats.start_step = now;
-      st.trace.quanta.push_back(stats);
-      if (stats.finished) {
-        st.trace.completion_step = now + stats.steps_used;
-        st.done = true;
-        st.active = false;
-        --remaining;
-      } else {
-        st.desire = st.request->next_request(stats);
-      }
-    }
-
-    now += config.quantum_length;
-    if (remaining > 0 && now >= max_steps) {
-      throw std::runtime_error(
-          "simulate_job_set: exceeded step bound; scheduling is not making "
-          "progress");
-    }
-  }
-
-  // Aggregate metrics.
-  double response_sum = 0.0;
-  for (JobState& st : states) {
-    result.makespan = std::max(result.makespan, st.trace.completion_step);
-    response_sum += static_cast<double>(st.trace.response_time());
-    result.total_waste += st.trace.total_waste();
-    result.jobs.push_back(std::move(st.trace));
-  }
-  result.mean_response_time =
-      states.empty() ? 0.0
-                     : response_sum / static_cast<double>(states.size());
-  return result;
+  CoreConfig core;
+  core.context = "simulate_job_set";
+  core.processors = config.processors;
+  core.quantum_length = initial_length;
+  core.max_steps = max_steps;
+  core.max_active = config.max_active_jobs > 0
+                        ? static_cast<std::size_t>(config.max_active_jobs)
+                        : static_cast<std::size_t>(config.processors);
+  core.reallocation_cost_per_proc = config.reallocation_cost_per_proc;
+  core.faults = config.faults;
+  core.quantum_length_policy = config.quantum_length_policy;
+  core.stall_reason = "scheduling is not making progress";
+  return run_global_quanta(states, totals, execution, allocator, core);
 }
 
 }  // namespace abg::sim

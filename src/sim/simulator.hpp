@@ -12,6 +12,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "alloc/allocator.hpp"
@@ -19,10 +20,28 @@
 #include "fault/fault_log.hpp"
 #include "fault/fault_plan.hpp"
 #include "sched/execution_policy.hpp"
+#include "sched/quantum_length.hpp"
 #include "sched/request_policy.hpp"
 #include "sim/trace.hpp"
 
 namespace abg::sim {
+
+/// Which boundary model a job-set run uses.  Both are thin policies over
+/// the unified core in sim/engine_core.hpp.
+enum class EngineKind {
+  /// Global synchronous quantum boundaries shared by all jobs
+  /// (simulate_job_set — the setup the paper's Figure 6 implies).
+  kSync,
+  /// Per-job quantum boundaries with repartition on every event
+  /// (simulate_job_set_async).
+  kAsync,
+};
+
+/// "sync" / "async".
+std::string_view to_string(EngineKind kind);
+
+/// Parses "sync" / "async"; throws std::invalid_argument otherwise.
+EngineKind engine_kind_from_name(std::string_view name);
 
 /// One job submitted to the simulator.
 struct JobSubmission {
@@ -56,6 +75,19 @@ struct SimConfig {
   /// output is identical to a run without the field.  The plan must
   /// outlive the simulation call.
   const fault::FaultPlan* faults = nullptr;
+  /// Boundary model used by drivers that dispatch on the config
+  /// (core::run_set, the exp sweep layer).  Direct calls to
+  /// simulate_job_set / simulate_job_set_async ignore this field — the
+  /// entry point already names the engine.
+  EngineKind engine = EngineKind::kSync;
+  /// Optional quantum-length policy (Section 9's dynamic-quantum
+  /// extension).  Null reproduces the fixed-length setting byte-for-byte.
+  /// Sync engine: consulted once per global boundary — with the sole job's
+  /// stats when exactly one job ran the quantum, with machine-aggregated
+  /// stats otherwise.  Async engine: cloned per job and consulted at that
+  /// job's own boundaries.  Reset at the start of the run; must outlive
+  /// the simulation call.
+  sched::QuantumLengthPolicy* quantum_length_policy = nullptr;
 };
 
 /// Result of simulating a job set.

@@ -86,12 +86,13 @@ std::vector<std::string> validate_trace(const JobTrace& trace) {
   return issues;
 }
 
-std::vector<std::string> validate_result(const SimResult& result,
-                                         int processors) {
-  std::vector<std::string> issues;
+ValidationReport validate_result_report(const SimResult& result,
+                                        int processors) {
+  ValidationReport report;
+  std::vector<std::string>& issues = report.issues;
   if (processors < 1) {
     issues.emplace_back("processors must be >= 1");
-    return issues;
+    return report;
   }
   dag::Steps max_completion = 0;
   double response_sum = 0.0;
@@ -126,10 +127,12 @@ std::vector<std::string> validate_result(const SimResult& result,
   // its allotment for its full length [start, start + length), so the
   // running sum of +allotment at each start and -allotment at each end
   // must never exceed P.  This handles non-uniform and unaligned quantum
-  // lengths; it is skipped only for results whose recorded allotments are
-  // rounded time averages (the asynchronous engine), where sums of
-  // per-window averages can legitimately exceed P.
-  if (!result.averaged_allotments) {
+  // lengths.
+  if (result.averaged_allotments) {
+    report.notes.emplace_back(
+        "instantaneous machine-capacity checks skipped: allotments are "
+        "rounded time averages (asynchronous engine)");
+  } else {
     std::map<dag::Steps, int> deltas;
     for (const JobTrace& t : result.jobs) {
       for (const auto& q : t.quanta) {
@@ -146,7 +149,12 @@ std::vector<std::string> validate_result(const SimResult& result,
             "machine oversubscribed at step " + std::to_string(step));
     }
   }
-  return issues;
+  return report;
+}
+
+std::vector<std::string> validate_result(const SimResult& result,
+                                         int processors) {
+  return validate_result_report(result, processors).issues;
 }
 
 }  // namespace abg::sim

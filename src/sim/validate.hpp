@@ -24,10 +24,29 @@ namespace abg::sim {
 /// availability >= allotment, and non-negative waste.
 std::vector<std::string> validate_trace(const JobTrace& trace);
 
+/// Outcome of validating a SimResult.  `issues` are hard inconsistencies
+/// (empty = valid); `notes` are advisory — checks that could not run on
+/// this result and why (e.g. the instantaneous machine-capacity sweep is
+/// skipped when allotments are rounded time averages).  Notes never make
+/// a result invalid.
+struct ValidationReport {
+  std::vector<std::string> issues;
+  std::vector<std::string> notes;
+
+  bool valid() const { return issues.empty(); }
+};
+
 /// Validates every job trace of a result plus the aggregates: makespan is
 /// the max completion, mean response time is the mean of per-job response
-/// times, total waste is the sum, and — when quantum lengths are uniform —
-/// no global quantum oversubscribes the machine.
+/// times, total waste is the sum, and no instant oversubscribes the
+/// machine.  The capacity sweep degrades to a note for results with
+/// `averaged_allotments` set (the asynchronous engine), where sums of
+/// per-window averages can legitimately exceed P.
+ValidationReport validate_result_report(const SimResult& result,
+                                        int processors);
+
+/// The issues of validate_result_report (empty = valid), for callers that
+/// do not care about advisory notes.
 std::vector<std::string> validate_result(const SimResult& result,
                                          int processors);
 

@@ -5,6 +5,8 @@
 #include "alloc/equipartition.hpp"
 #include "core/run.hpp"
 #include "dag/profile_job.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/resilience.hpp"
 #include "sim/validate.hpp"
 #include "workload/fork_join.hpp"
 #include "workload/job_set.hpp"
@@ -35,11 +37,76 @@ TEST(AsyncSimulator, Validation) {
     std::vector<JobSubmission> subs;
     subs.push_back(submit({1}));
     SimConfig config;
-    config.reallocation_cost_per_proc = 1;
+    config.processors = 0;
     EXPECT_THROW(
         simulate_job_set_async(std::move(subs), exec, proto, config),
         std::invalid_argument);
   }
+}
+
+TEST(AsyncSimulator, ReallocationCostChargesMigrationDebt) {
+  // Reallocation overhead is now supported by the asynchronous engine:
+  // repartitions charge a migration debt that stalls the job, so a costed
+  // run can only be slower than the free one, never cheaper.
+  auto subs_for = [] {
+    std::vector<JobSubmission> subs;
+    subs.push_back(submit(workload::square_wave_profile(2, 40, 12, 40, 4)));
+    subs.push_back(submit(workload::square_wave_profile(12, 40, 2, 40, 4),
+                          23));
+    return subs;
+  };
+  sched::BGreedyExecution exec;
+  sched::AControlRequest proto;
+  SimConfig config{.processors = 16, .quantum_length = 25};
+  const SimResult free_run =
+      simulate_job_set_async(subs_for(), exec, proto, config);
+  config.reallocation_cost_per_proc = 3;
+  const SimResult costed =
+      simulate_job_set_async(subs_for(), exec, proto, config);
+  for (const JobTrace& trace : costed.jobs) {
+    EXPECT_TRUE(trace.finished());
+  }
+  EXPECT_GE(costed.makespan, free_run.makespan);
+  const auto issues = validate_result(costed, 16);
+  EXPECT_TRUE(issues.empty()) << (issues.empty() ? "" : issues.front());
+}
+
+TEST(AsyncSimulator, FaultedRunWithReallocationCostBalances) {
+  // Faults and reallocation overhead compose in the asynchronous engine:
+  // the crashed job restarts, every job finishes, and the lost-work
+  // accounting identity (allotted = work + lost + waste) still holds.
+  auto subs_for = [] {
+    std::vector<JobSubmission> subs;
+    for (int j = 0; j < 3; ++j) {
+      subs.push_back(submit(workload::constant_profile(6, 120)));
+    }
+    return subs;
+  };
+  sched::BGreedyExecution exec;
+  sched::AControlRequest proto;
+  SimConfig config{.processors = 12, .quantum_length = 20};
+  config.reallocation_cost_per_proc = 2;
+  const SimResult reference =
+      simulate_job_set_async(subs_for(), exec, proto, config);
+
+  fault::FaultPlan plan = fault::periodic_crash_plan(0, 45, 60, 2);
+  plan.work_loss = fault::WorkLoss::kCheckpointQuantum;
+  config.faults = &plan;
+  const SimResult faulty =
+      simulate_job_set_async(subs_for(), exec, proto, config);
+  for (const JobTrace& trace : faulty.jobs) {
+    EXPECT_TRUE(trace.finished());
+  }
+  EXPECT_GE(faulty.makespan, reference.makespan);
+  const fault::ResilienceReport report =
+      fault::analyze_resilience(faulty, reference);
+  EXPECT_GE(report.crash_events, 1);
+  EXPECT_TRUE(report.accounting_balances())
+      << "allotted " << report.allotted_cycles << " != work "
+      << report.work_done << " + lost " << report.lost_work << " + waste "
+      << report.waste;
+  const auto issues = validate_result(faulty, 12);
+  EXPECT_TRUE(issues.empty()) << (issues.empty() ? "" : issues.front());
 }
 
 TEST(AsyncSimulator, SingleJobMatchesSynchronousEngine) {

@@ -219,5 +219,27 @@ TEST(ValidateResult, AveragedAllotmentsSkipTheCapacitySweep) {
   EXPECT_TRUE(validate_result(result, 3).empty());
 }
 
+TEST(ValidateResult, AveragedAllotmentsDegradeWithAnExplicitNote) {
+  // The skipped capacity sweep is not silent: the report carries an
+  // advisory note naming the checks that could not run, while issues stay
+  // empty (notes never make a result invalid).
+  SimResult result = non_uniform_result();
+  result.averaged_allotments = true;
+  const ValidationReport report = validate_result_report(result, 3);
+  EXPECT_TRUE(report.valid());
+  ASSERT_EQ(report.notes.size(), 1u);
+  EXPECT_NE(report.notes.front().find("machine-capacity checks skipped"),
+            std::string::npos);
+  EXPECT_NE(report.notes.front().find("asynchronous engine"),
+            std::string::npos);
+}
+
+TEST(ValidateResult, ExactResultsCarryNoNotes) {
+  const ValidationReport report =
+      validate_result_report(non_uniform_result(), 4);
+  EXPECT_TRUE(report.valid());
+  EXPECT_TRUE(report.notes.empty());
+}
+
 }  // namespace
 }  // namespace abg::sim

@@ -12,6 +12,7 @@
 //   --workload   forkjoin | constant | randomwalk | jobset   [forkjoin]
 //   --scheduler  abg | abg-auto | a-greedy | filtered | static:N   [abg]
 //   --allocator  deq | rr | unconstrained                    [auto]
+//   --engine     sync | async  (boundary model)              [sync]
 //   --processors P [128]      --quantum L [1000]   --seed S [1]
 //   --rate r [0.2]            --cost c [0]  (reallocation steps/proc)
 //   --transition C [16]       (forkjoin)
@@ -225,6 +226,7 @@ void print_usage(std::ostream& os) {
         "               [--scheduler=abg|abg-auto|a-greedy|filtered|"
         "static:N]\n"
         "               [--allocator=deq|rr|unconstrained]\n"
+        "               [--engine=sync|async]\n"
         "               [--processors=P] [--quantum=L] [--seed=S]\n"
         "               [--rate=r] [--cost=c] [--transition=C]\n"
         "               [--width=W] [--levels=N] [--load=X] "
@@ -270,21 +272,31 @@ int main(int argc, char** argv) {
         .quantum_length = quantum,
         .max_active_jobs =
             static_cast<int>(cli.get_int("jobs-cap", 0)),
-        .reallocation_cost_per_proc = cli.get_int("cost", 0)};
+        .reallocation_cost_per_proc = cli.get_int("cost", 0),
+        .engine =
+            abg::sim::engine_kind_from_name(cli.get("engine", "sync"))};
     if (!faults.empty()) {
       config.faults = &faults;
     }
     const abg::sim::SimResult result = abg::core::run_set(
         scheduler, std::move(submissions), config, allocator.get());
 
-    for (const std::string& issue :
-         abg::sim::validate_result(result, processors)) {
+    const abg::sim::ValidationReport validation =
+        abg::sim::validate_result_report(result, processors);
+    for (const std::string& issue : validation.issues) {
       std::cerr << "VALIDATION: " << issue << "\n";
+    }
+    for (const std::string& note : validation.notes) {
+      std::cerr << "VALIDATION NOTE: " << note << "\n";
     }
 
     std::cout << "scheduler " << scheduler.name << ", allocator "
-              << (allocator ? allocator->name() : "default") << ", P = "
-              << processors << ", L = " << quantum << ", jobs = "
+              << (allocator ? allocator->name() : "default");
+    if (config.engine != abg::sim::EngineKind::kSync) {
+      // The default engine is not printed so historic outputs are stable.
+      std::cout << ", engine " << abg::sim::to_string(config.engine);
+    }
+    std::cout << ", P = " << processors << ", L = " << quantum << ", jobs = "
               << result.jobs.size() << "\n\n";
     abg::util::Table table({"job", "work", "T_inf", "response", "resp/Tinf",
                             "waste/T1", "measured C_L", "quanta"});

@@ -21,6 +21,7 @@
 //   quantum     quantum length L                      [default 1000]
 //   allocator   deq | rr                              [default deq]
 //   fault       none | step | impulse | poisson | crash  [default none]
+//   engine      sync | async boundary model           [default sync]
 //
 // Other flags:
 //   --reps=N      replications per grid point (default 5)
@@ -62,8 +63,8 @@ struct Dimension {
 
 /// Canonical dimension order (fixes expansion order and run ids).
 const std::vector<std::string> kKnownKeys = {
-    "scheduler", "r",      "workload",   "load",      "factor", "njobs",
-    "levels",    "quantum", "processors", "allocator", "fault"};
+    "scheduler", "r",       "workload",   "load",      "factor", "njobs",
+    "levels",    "quantum", "processors", "allocator", "fault",  "engine"};
 
 /// Keys that select the scheduler rather than the simulated scenario;
 /// they are excluded from the workload seed index and the group label.
@@ -201,6 +202,8 @@ RunSpec spec_of(const std::map<std::string, std::string>& point) {
                                      : abg::exp::AllocatorKind::kDefault;
     } else if (key == "fault") {
       spec.faults.scenario = abg::exp::fault_scenario_from_name(value);
+    } else if (key == "engine") {
+      spec.engine = abg::sim::engine_kind_from_name(value);
     }
     if (!is_scheduler_key(key)) {
       group += (group.empty() ? "" : ",") + key + "=" + value;
