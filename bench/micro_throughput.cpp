@@ -20,6 +20,11 @@
 #include "dag/builders.hpp"
 #include "dag/dag_job.hpp"
 #include "dag/profile_job.hpp"
+#include "obs/event_bus.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_sink.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/trace_sink.hpp"
 #include "sim/simulator.hpp"
 #include "workload/fork_join.hpp"
 #include "workload/job_set.hpp"
@@ -127,6 +132,47 @@ void BM_JobSetSimulation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_JobSetSimulation)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_JobSetSimulationObserved(benchmark::State& state) {
+  // Same job set as BM_JobSetSimulation but with the full observability
+  // stack attached (Perfetto trace sink + metrics sink), quantifying what
+  // --trace-out/--metrics-out cost relative to the unobserved run above.
+  const double load = static_cast<double>(state.range(0)) / 10.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    abg::util::Rng rng(23);
+    abg::workload::JobSetSpec spec;
+    spec.load = load;
+    spec.processors = 128;
+    spec.min_phase_levels = 500;
+    spec.max_phase_levels = 2000;
+    auto jobs = abg::workload::make_job_set(rng, spec);
+    std::vector<abg::sim::JobSubmission> subs;
+    for (auto& g : jobs) {
+      abg::sim::JobSubmission s;
+      s.job = std::move(g.job);
+      subs.push_back(std::move(s));
+    }
+    abg::obs::PerfettoTrace trace;
+    abg::obs::SimTraceSink trace_sink(trace);
+    abg::obs::MetricsRegistry registry;
+    abg::obs::MetricsSink metrics_sink(registry);
+    abg::obs::EventBus bus;
+    bus.subscribe(&trace_sink);
+    bus.subscribe(&metrics_sink);
+    abg::sim::SimConfig config{.processors = 128, .quantum_length = 1000};
+    config.obs.event_bus = &bus;
+    state.ResumeTiming();
+    const auto result = abg::core::run_set(abg::core::abg_spec(),
+                                           std::move(subs), config);
+    benchmark::DoNotOptimize(result.makespan);
+    benchmark::DoNotOptimize(trace.event_count());
+  }
+}
+BENCHMARK(BM_JobSetSimulationObserved)
+    ->Arg(5)
+    ->Arg(20)
+    ->Unit(benchmark::kMillisecond);
 
 /// Console reporter that additionally records every run in a ResultSink.
 class SinkReporter : public benchmark::ConsoleReporter {

@@ -1,7 +1,9 @@
 # Runs abg_sweep twice on the same small grid — single-threaded and with 4
-# worker threads — and fails unless the JSONL records and the summary JSON
-# are byte-identical.  This is the CLI-level guarantee behind every
-# BENCH_*.json trajectory: thread count never changes results.
+# worker threads — and fails unless the JSONL records, the summary JSON and
+# the merged metrics registry are byte-identical.  This is the CLI-level
+# guarantee behind every BENCH_*.json trajectory: thread count never
+# changes results (metric merges are commutative, so even the merged
+# registry is order-independent).
 #
 # Expects: -DABG_SWEEP=<path to binary> -DWORK_DIR=<scratch dir>
 file(MAKE_DIRECTORY "${WORK_DIR}")
@@ -16,6 +18,7 @@ set(grid
 execute_process(
   COMMAND "${ABG_SWEEP}" ${grid} --jobs=1
           --jsonl=${WORK_DIR}/serial.jsonl --summary=${WORK_DIR}/serial.json
+          --metrics-out=${WORK_DIR}/serial_metrics.json
   RESULT_VARIABLE serial_status
   OUTPUT_QUIET)
 if(NOT serial_status EQUAL 0)
@@ -25,6 +28,7 @@ endif()
 execute_process(
   COMMAND "${ABG_SWEEP}" ${grid} --jobs=4
           --jsonl=${WORK_DIR}/pool.jsonl --summary=${WORK_DIR}/pool.json
+          --metrics-out=${WORK_DIR}/pool_metrics.json
   RESULT_VARIABLE pool_status
   OUTPUT_QUIET)
 if(NOT pool_status EQUAL 0)
@@ -45,4 +49,12 @@ execute_process(
   RESULT_VARIABLE summary_diff)
 if(NOT summary_diff EQUAL 0)
   message(FATAL_ERROR "summary JSON differs between --jobs=1 and --jobs=4")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK_DIR}/serial_metrics.json" "${WORK_DIR}/pool_metrics.json"
+  RESULT_VARIABLE metrics_diff)
+if(NOT metrics_diff EQUAL 0)
+  message(FATAL_ERROR "metrics JSON differs between --jobs=1 and --jobs=4")
 endif()

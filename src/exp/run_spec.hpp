@@ -18,6 +18,7 @@
 
 #include "core/run.hpp"
 #include "dag/job.hpp"
+#include "obs/obs_config.hpp"
 
 namespace abg::exp {
 
@@ -110,6 +111,11 @@ struct RunSpec {
   /// Aggregation key: records with equal (group, scheduler name) are
   /// summarized together by the ResultSink (e.g. "load=1.5").
   std::string group;
+  /// Observability hooks threaded into the run's SimConfig.  A bus set
+  /// here receives the run's engine events (chained after the runner's
+  /// own sinks).  Because specs are executed concurrently, a bus must not
+  /// be shared between specs of one sweep.
+  obs::ObsConfig obs = {};
 };
 
 /// Canonical lower-case names used in CLI flags and JSON records.

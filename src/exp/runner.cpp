@@ -5,11 +5,14 @@
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 
 #include "alloc/round_robin.hpp"
 #include "exp/thread_pool.hpp"
 #include "fault/fault_plan.hpp"
+#include "obs/event_bus.hpp"
+#include "obs/metrics_sink.hpp"
 #include "fault/resilience.hpp"
 #include "metrics/lower_bounds.hpp"
 #include "sim/validate.hpp"
@@ -36,11 +39,12 @@ bool RunRecord::has_metric(const std::string& name) const {
 
 std::function<void(const Progress&)> stderr_progress() {
   return [](const Progress& p) {
-    std::fprintf(stderr,
-                 "\r[sweep] %lld/%lld runs  %.1f runs/s  ETA %.0fs   ",
-                 static_cast<long long>(p.completed),
-                 static_cast<long long>(p.total), p.runs_per_second,
-                 p.eta_seconds);
+    std::fprintf(
+        stderr,
+        "\r[sweep] %lld/%lld runs  %.1f runs/s  elapsed %.0fs  ETA %.0fs   ",
+        static_cast<long long>(p.completed),
+        static_cast<long long>(p.total), p.runs_per_second,
+        p.elapsed_seconds, p.eta_seconds);
     if (p.completed == p.total) {
       std::fprintf(stderr, "\n");
     }
@@ -193,6 +197,11 @@ void append_sim_metrics(const RunSpec& spec, const sim::SimResult& result,
 }  // namespace
 
 RunRecord execute_run(const RunSpec& spec, std::uint64_t base_seed) {
+  return execute_run(spec, base_seed, nullptr);
+}
+
+RunRecord execute_run(const RunSpec& spec, std::uint64_t base_seed,
+                      obs::MetricsRegistry* metrics_out) {
   const std::uint64_t seed = util::Rng::derive_seed(base_seed,
                                                     spec.seed_index);
   RunRecord record;
@@ -214,9 +223,21 @@ RunRecord execute_run(const RunSpec& spec, std::uint64_t base_seed) {
                                             s.job->critical_path(), 0});
   }
 
-  const sim::SimConfig config{.processors = spec.machine.processors,
-                              .quantum_length = spec.machine.quantum_length,
-                              .engine = spec.engine};
+  // The run's private bus: the runner's metrics sink first, then any
+  // caller-supplied bus from the spec.  With neither, the bus stays
+  // inactive and the engine takes the observability-free path.
+  obs::EventBus bus;
+  std::optional<obs::MetricsSink> metrics_sink;
+  if (metrics_out != nullptr) {
+    metrics_sink.emplace(*metrics_out);
+    bus.subscribe(&*metrics_sink);
+  }
+  bus.subscribe(spec.obs.event_bus);
+
+  sim::SimConfig config{.processors = spec.machine.processors,
+                        .quantum_length = spec.machine.quantum_length,
+                        .engine = spec.engine};
+  config.obs.event_bus = &bus;
 
   // One allocator instance per simulated run: allocators may be stateful
   // (round-robin rotates its start index), so sharing one across threads
@@ -284,14 +305,41 @@ std::vector<RunRecord> SweepRunner::run(
 
   ThreadPool pool(ThreadPool::resolve_threads(config_.threads));
   std::mutex progress_mutex;
+  std::mutex metrics_mutex;
   std::int64_t completed = 0;
   const auto start = std::chrono::steady_clock::now();
 
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    pool.submit([this, i, &specs, &records, &progress_mutex, &completed,
-                 start] {
-      RunRecord record = execute_run(specs[i], config_.base_seed);
+    pool.submit([this, i, &specs, &records, &progress_mutex, &metrics_mutex,
+                 &completed, start] {
+      const auto seconds_since_start = [start] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+      };
+      const double run_start = seconds_since_start();
+      // Each run aggregates into a private registry; the merge below is
+      // commutative and associative, so the combined registry is
+      // independent of thread count and completion order.
+      obs::MetricsRegistry local_metrics;
+      RunRecord record =
+          execute_run(specs[i], config_.base_seed,
+                      config_.metrics != nullptr ? &local_metrics : nullptr);
+      const double run_end = seconds_since_start();
       record.run_id = static_cast<std::int64_t>(i);
+      if (config_.metrics != nullptr) {
+        std::lock_guard<std::mutex> lock(metrics_mutex);
+        config_.metrics->merge(local_metrics);
+      }
+      if (config_.timeline != nullptr) {
+        config_.timeline->record(static_cast<std::int64_t>(i),
+                                 record.scheduler + "/" + record.workload,
+                                 run_start, run_end);
+      }
+      if (config_.profiler != nullptr) {
+        config_.profiler->record("sweep.run", run_end - run_start,
+                                 /*items=*/1);
+      }
       records[i] = std::move(record);
       if (config_.on_progress) {
         std::lock_guard<std::mutex> lock(progress_mutex);
@@ -299,10 +347,8 @@ std::vector<RunRecord> SweepRunner::run(
         Progress p;
         p.completed = completed;
         p.total = static_cast<std::int64_t>(specs.size());
-        const double elapsed =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - start)
-                .count();
+        const double elapsed = seconds_since_start();
+        p.elapsed_seconds = elapsed;
         p.runs_per_second =
             elapsed > 0.0 ? static_cast<double>(completed) / elapsed : 0.0;
         p.eta_seconds = p.runs_per_second > 0.0

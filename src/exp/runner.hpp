@@ -18,6 +18,9 @@
 #include <vector>
 
 #include "exp/run_spec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/sweep_timeline.hpp"
 
 namespace abg::exp {
 
@@ -49,6 +52,9 @@ struct Progress {
   std::int64_t completed = 0;
   std::int64_t total = 0;
   double runs_per_second = 0.0;
+  /// Wall-clock seconds since the sweep started.
+  double elapsed_seconds = 0.0;
+  /// Estimated wall-clock seconds to completion at the current rate.
   double eta_seconds = 0.0;
 };
 
@@ -60,6 +66,17 @@ struct SweepConfig {
   std::uint64_t base_seed = 2008;
   /// Optional telemetry hook; see stderr_progress().
   std::function<void(const Progress&)> on_progress;
+  /// When set, every run simulates under a private EventBus + MetricsSink
+  /// and its registry is merged here under the runner's lock.  Merges are
+  /// commutative and associative, so the merged registry is byte-identical
+  /// at any thread count.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// When set, each run's wall-clock execution slice (worker thread, start,
+  /// end) is recorded here for Perfetto export.
+  obs::SweepTimeline* timeline = nullptr;
+  /// When set, accumulates span "sweep.run" (seconds + run count) so
+  /// BENCH_profile.json can report sweep throughput.
+  obs::Profiler* profiler = nullptr;
 };
 
 /// Progress callback that renders a single self-overwriting status line
@@ -70,6 +87,15 @@ std::function<void(const Progress&)> stderr_progress();
 /// run_id unset).  This is the unit of work SweepRunner parallelizes;
 /// exposed so tests and special-purpose harnesses can run it directly.
 RunRecord execute_run(const RunSpec& spec, std::uint64_t base_seed);
+
+/// As above, but additionally accumulates the run's engine metrics into
+/// `*metrics_out` (not cleared first) when non-null: the run simulates
+/// under a private EventBus with a MetricsSink attached, chained into
+/// spec.obs.event_bus when that is also set.  For a faulted spec the
+/// fault-free reference simulation is observed too (it is part of the
+/// run's cost).
+RunRecord execute_run(const RunSpec& spec, std::uint64_t base_seed,
+                      obs::MetricsRegistry* metrics_out);
 
 /// Thread-pool executor for RunSpec grids.
 class SweepRunner {

@@ -1,0 +1,89 @@
+// Observability events.
+//
+// One flat event record covers everything the simulation engines report:
+// run lifecycle, job lifecycle (submit/admit/complete/crash), allocation
+// decisions, per-quantum measurements and applied fault events.  The
+// engines publish these through an obs::EventBus (see event_bus.hpp) at
+// the points where the corresponding state change is committed; a run
+// without a bus attached publishes nothing and takes exactly the
+// pre-observability code path.
+//
+// Events are observation-only: no sink can influence the simulation, so
+// attaching or detaching sinks never changes results — the golden-artifact
+// tests pin this.
+#pragma once
+
+#include <cstdint>
+
+#include "dag/job.hpp"
+#include "fault/fault_plan.hpp"
+#include "sched/quantum_stats.hpp"
+
+namespace abg::obs {
+
+/// What happened.  Field validity per kind is documented on Event.
+enum class EventKind : std::uint8_t {
+  /// The engine loop is about to start (after intake).
+  kRunStart,
+  /// One job entered the run (emitted per job right after kRunStart).
+  kJobSubmit,
+  /// A queued job was admitted to the active set.
+  kJobAdmit,
+  /// The allocator partitioned the machine over the active requests.
+  kAllocation,
+  /// One quantum of one job completed (including crash-voided and
+  /// checkpoint-truncated quanta; the stats are what entered the trace).
+  kQuantum,
+  /// A job finished.
+  kJobComplete,
+  /// A job crash was applied to a running job.
+  kJobCrash,
+  /// A non-crash fault event (failure / repair / revocation) was applied.
+  kFault,
+  /// The run completed; aggregate results are final.
+  kRunEnd,
+};
+
+/// One observation.  `kind` and `step` are always valid; the remaining
+/// fields are grouped by the kinds that set them and are default elsewhere.
+struct Event {
+  EventKind kind = EventKind::kRunStart;
+  /// Global simulation step the event is anchored at.
+  dag::Steps step = 0;
+  /// Submission index of the job concerned (-1 for machine-level events).
+  std::int64_t job = -1;
+
+  // kRunStart
+  int processors = 0;
+  dag::Steps quantum_length = 0;
+  std::int64_t job_count = 0;
+
+  // kJobSubmit
+  dag::TaskCount work = 0;
+  dag::Steps critical_path = 0;
+
+  // kJobAdmit
+  int desire = 0;
+
+  // kAllocation
+  int pool = 0;
+  int assigned = 0;
+  std::int64_t active_jobs = 0;
+
+  // kQuantum — points at the stats record as it entered the trace.  Valid
+  // only for the duration of the sink callback; copy what you keep.
+  const sched::QuantumStats* stats = nullptr;
+
+  // kJobCrash
+  dag::TaskCount lost_work = 0;
+  /// Step from which the crashed job may be re-admitted.
+  dag::Steps restart_step = 0;
+
+  // kFault
+  fault::FaultKind fault = fault::FaultKind::kProcessorFailure;
+
+  // kRunEnd
+  dag::Steps makespan = 0;
+};
+
+}  // namespace abg::obs

@@ -1,0 +1,13 @@
+#include "obs/event_bus.hpp"
+
+namespace abg::obs {
+
+Sink::~Sink() = default;
+
+void EventBus::subscribe(Sink* sink) {
+  if (sink != nullptr) {
+    sinks_.push_back(sink);
+  }
+}
+
+}  // namespace abg::obs

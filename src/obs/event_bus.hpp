@@ -1,0 +1,57 @@
+// Event bus: the narrow seam between the engines and every observer.
+//
+// The engines hold one `EventBus*` (null by default) and publish obs::Event
+// records through it; sinks — metrics aggregation, Perfetto trace
+// recording, test probes — subscribe before the run.  The design center is
+// hot-path cost: with no bus attached the engines pay a single pointer
+// test per hook site, and a bus with no sinks is skipped the same way
+// (engine wrappers pass the bus through only when it has subscribers).
+//
+// The bus is deliberately synchronous and unsynchronized: events are
+// delivered inline on the simulating thread, in program order, and a bus
+// must not be shared between concurrently simulating threads (the sweep
+// runner builds one bus per run for exactly this reason).
+#pragma once
+
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace abg::obs {
+
+/// Observer interface.  Sinks receive every published event in engine
+/// order; they must not retain Event::stats past the callback and cannot
+/// influence the simulation.
+class Sink {
+ public:
+  virtual ~Sink();
+  virtual void on_event(const Event& event) = 0;
+};
+
+/// Fan-out of one run's events to its subscribed sinks.  An EventBus is
+/// itself a Sink, so buses can be chained (the sweep runner forwards each
+/// run's private bus into a caller-supplied one).
+class EventBus final : public Sink {
+ public:
+  /// Subscribes a sink (not owned; must outlive the run).  Null is
+  /// ignored.  Sinks are invoked in subscription order.
+  void subscribe(Sink* sink);
+
+  /// True when at least one sink is subscribed.  Engines treat an inactive
+  /// bus exactly like a null one.
+  bool active() const { return !sinks_.empty(); }
+
+  /// Delivers one event to every subscribed sink, in order.
+  void publish(const Event& event) const {
+    for (Sink* sink : sinks_) {
+      sink->on_event(event);
+    }
+  }
+
+  void on_event(const Event& event) override { publish(event); }
+
+ private:
+  std::vector<Sink*> sinks_;
+};
+
+}  // namespace abg::obs

@@ -1,0 +1,157 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+namespace abg::obs {
+
+void Gauge::set(double value) {
+  value_ = value;
+  set_ = true;
+}
+
+void Gauge::merge(const Gauge& other) {
+  if (!other.set_) {
+    return;
+  }
+  value_ = set_ ? std::max(value_, other.value_) : other.value_;
+  set_ = true;
+}
+
+namespace {
+
+/// Bucket index of a sample: 0 for values < 1, else 1 + floor(log2 v),
+/// capped at the last bucket.
+int bucket_of(double value) {
+  if (!(value >= 1.0)) {
+    return 0;
+  }
+  const int exponent = std::ilogb(value);
+  return std::min(Histogram::kBuckets - 1, exponent + 1);
+}
+
+/// Upper bound of bucket `i`: 1 for bucket 0, else 2^i.
+double bucket_upper(int i) { return i == 0 ? 1.0 : std::ldexp(1.0, i); }
+
+}  // namespace
+
+void Histogram::observe(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[bucket_of(value)];
+}
+
+double Histogram::min() const {
+  return count_ > 0 ? min_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double Histogram::max() const {
+  return count_ > 0 ? max_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double Histogram::mean() const {
+  return count_ > 0 ? sum_ / static_cast<double>(count_)
+                    : std::numeric_limits<double>::quiet_NaN();
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::int64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return std::clamp(bucket_upper(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, counter] : other.counters_) {
+    counters_[name].merge(counter);
+  }
+  for (const auto& [name, gauge] : other.gauges_) {
+    gauges_[name].merge(gauge);
+  }
+  for (const auto& [name, histogram] : other.histograms_) {
+    histograms_[name].merge(histogram);
+  }
+}
+
+util::Json MetricsRegistry::to_json() const {
+  util::Json counters = util::Json::object();
+  for (const auto& [name, counter] : counters_) {
+    counters.set(name, util::Json::integer(counter.value()));
+  }
+  util::Json gauges = util::Json::object();
+  for (const auto& [name, gauge] : gauges_) {
+    gauges.set(name, util::Json::number(gauge.value()));
+  }
+  util::Json histograms = util::Json::object();
+  for (const auto& [name, histogram] : histograms_) {
+    util::Json h = util::Json::object();
+    h.set("count", util::Json::integer(histogram.count()));
+    h.set("sum", util::Json::number(histogram.sum()));
+    h.set("min", util::Json::number(histogram.min()));
+    h.set("max", util::Json::number(histogram.max()));
+    h.set("mean", util::Json::number(histogram.mean()));
+    h.set("p50", util::Json::number(histogram.quantile(0.5)));
+    h.set("p95", util::Json::number(histogram.quantile(0.95)));
+    int last = -1;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (histogram.bucket(i) > 0) {
+        last = i;
+      }
+    }
+    util::Json buckets = util::Json::array();
+    for (int i = 0; i <= last; ++i) {
+      buckets.push(util::Json::integer(histogram.bucket(i)));
+    }
+    h.set("buckets", std::move(buckets));
+    histograms.set(name, std::move(h));
+  }
+  util::Json root = util::Json::object();
+  root.set("counters", std::move(counters));
+  root.set("gauges", std::move(gauges));
+  root.set("histograms", std::move(histograms));
+  return root;
+}
+
+void MetricsRegistry::write(std::ostream& os) const {
+  to_json().write(os);
+  os << "\n";
+}
+
+}  // namespace abg::obs

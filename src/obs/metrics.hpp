@@ -1,0 +1,113 @@
+// Metrics registry: counters, gauges and log-bucketed histograms.
+//
+// A MetricsRegistry aggregates one run's observations into a fixed, small
+// summary that serializes deterministically via util/json.  The sweep
+// runner merges per-run registries into one; every merge operation is
+// commutative and associative (counters and histogram buckets add, gauges
+// take the max), so a merged registry is byte-identical regardless of
+// thread count or completion order — the same determinism contract the
+// sweep records obey.
+//
+// Histograms are log2-bucketed: bucket 0 holds values < 1, bucket i >= 1
+// holds [2^(i-1), 2^i).  Exact count/sum/min/max ride alongside, and
+// percentiles are estimated from bucket upper bounds (within a factor of
+// two, which is what capacity-planning questions need).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace abg::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) { value_ += delta; }
+  std::int64_t value() const { return value_; }
+  void merge(const Counter& other) { value_ += other.value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Last-set value within a run; merges across runs take the max (the only
+/// order-independent choice), so a merged gauge reads as "worst observed".
+class Gauge {
+ public:
+  void set(double value);
+  double value() const { return value_; }
+  bool has_value() const { return set_; }
+  void merge(const Gauge& other);
+
+ private:
+  double value_ = 0.0;
+  bool set_ = false;
+};
+
+/// Log2-bucketed histogram with exact count/sum/min/max.
+class Histogram {
+ public:
+  /// Number of buckets: bucket 0 (< 1) plus one per power of two up to
+  /// 2^62, which covers every step/cycle count the simulator can produce.
+  static constexpr int kBuckets = 64;
+
+  /// Records one sample.  Negative samples clamp into bucket 0.
+  void observe(double value);
+
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  /// Estimated q-quantile (0 <= q <= 1) from bucket upper bounds, clamped
+  /// to the exact [min, max]; NaN when empty.
+  double quantile(double q) const;
+
+  /// Count in bucket `i` (see class comment for bucket bounds).
+  std::int64_t bucket(int i) const { return buckets_[i]; }
+
+  void merge(const Histogram& other);
+
+ private:
+  std::int64_t buckets_[kBuckets] = {};
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named metrics of one run (or one merged sweep).  Names are kept in a
+/// sorted map so serialization order is independent of touch order.
+class MetricsRegistry {
+ public:
+  /// Finds or creates the named metric.
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Merges another registry in (commutative; see class comment).
+  void merge(const MetricsRegistry& other);
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
+  /// max,mean,p50,p95,buckets:[...trailing zeros trimmed...]}}} — keys
+  /// sorted, numbers in util::Json's deterministic shortest form.
+  util::Json to_json() const;
+
+  /// Serializes to_json() with a trailing newline.
+  void write(std::ostream& os) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace abg::obs

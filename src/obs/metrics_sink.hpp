@@ -1,0 +1,28 @@
+// Event-to-metrics aggregation.
+//
+// A MetricsSink subscribes to a run's EventBus and folds the event stream
+// into a caller-owned MetricsRegistry.  The metric catalogue lives here
+// (and is documented in docs/observability.md); everything is derived from
+// events alone, so the sink works identically under both engines and with
+// or without faults.
+#pragma once
+
+#include "obs/event_bus.hpp"
+#include "obs/metrics.hpp"
+
+namespace abg::obs {
+
+/// Folds engine events into a registry.  The registry is not owned and may
+/// be shared across sequential runs (metrics accumulate); for parallel
+/// runs give each its own registry and merge.
+class MetricsSink final : public Sink {
+ public:
+  explicit MetricsSink(MetricsRegistry& registry) : registry_(&registry) {}
+
+  void on_event(const Event& event) override;
+
+ private:
+  MetricsRegistry* registry_;
+};
+
+}  // namespace abg::obs

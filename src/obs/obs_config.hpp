@@ -1,0 +1,21 @@
+// Observability configuration carried by simulation and sweep configs.
+//
+// Kept to a forward declaration plus one pointer so including it from the
+// widely-included config headers (sim/simulator.hpp, exp/run_spec.hpp)
+// costs nothing.
+#pragma once
+
+namespace abg::obs {
+
+class EventBus;
+
+/// Observability hooks of one run.  Default (null bus) means fully off:
+/// the engines take the pre-observability code path and pay one branch per
+/// hook site.
+struct ObsConfig {
+  /// Event bus the run publishes to.  Not owned; must outlive the run and
+  /// must not be shared between concurrently simulating threads.
+  EventBus* event_bus = nullptr;
+};
+
+}  // namespace abg::obs

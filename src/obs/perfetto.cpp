@@ -1,0 +1,104 @@
+#include "obs/perfetto.hpp"
+
+namespace abg::obs {
+
+namespace {
+
+/// ts values are step counts mapped to integral microseconds; emit them as
+/// integers when exact so traces stay compact and byte-stable.
+util::Json number_or_integer(double value) {
+  const auto as_int = static_cast<std::int64_t>(value);
+  if (static_cast<double>(as_int) == value) {
+    return util::Json::integer(as_int);
+  }
+  return util::Json::number(value);
+}
+
+util::Json args_object(const PerfettoTrace::Args& args) {
+  util::Json out = util::Json::object();
+  for (const auto& [key, value] : args) {
+    out.set(key, number_or_integer(value));
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Json PerfettoTrace::base_event(const char* phase,
+                                     const std::string& name,
+                                     std::int64_t pid) const {
+  util::Json event = util::Json::object();
+  event.set("name", util::Json::string(name));
+  event.set("ph", util::Json::string(phase));
+  event.set("pid", util::Json::integer(pid));
+  return event;
+}
+
+void PerfettoTrace::set_process_name(std::int64_t pid,
+                                     const std::string& name) {
+  util::Json event = base_event("M", "process_name", pid);
+  event.set("args",
+            util::Json::object().set("name", util::Json::string(name)));
+  events_.push_back(std::move(event));
+}
+
+void PerfettoTrace::set_thread_name(std::int64_t pid, std::int64_t tid,
+                                    const std::string& name) {
+  util::Json event = base_event("M", "thread_name", pid);
+  event.set("tid", util::Json::integer(tid));
+  event.set("args",
+            util::Json::object().set("name", util::Json::string(name)));
+  events_.push_back(std::move(event));
+}
+
+void PerfettoTrace::add_slice(std::int64_t pid, std::int64_t tid,
+                              const std::string& name, double ts_us,
+                              double dur_us, const std::string& cname,
+                              const Args& args) {
+  util::Json event = base_event("X", name, pid);
+  event.set("tid", util::Json::integer(tid));
+  event.set("ts", number_or_integer(ts_us));
+  event.set("dur", number_or_integer(dur_us));
+  if (!cname.empty()) {
+    event.set("cname", util::Json::string(cname));
+  }
+  if (!args.empty()) {
+    event.set("args", args_object(args));
+  }
+  events_.push_back(std::move(event));
+}
+
+void PerfettoTrace::add_instant(std::int64_t pid, std::int64_t tid,
+                                const std::string& name, double ts_us) {
+  util::Json event = base_event("i", name, pid);
+  event.set("tid", util::Json::integer(tid));
+  event.set("ts", number_or_integer(ts_us));
+  event.set("s", util::Json::string("t"));
+  events_.push_back(std::move(event));
+}
+
+void PerfettoTrace::add_counter(std::int64_t pid, const std::string& track,
+                                double ts_us, const Args& series) {
+  util::Json event = base_event("C", track, pid);
+  event.set("ts", number_or_integer(ts_us));
+  event.set("args", args_object(series));
+  events_.push_back(std::move(event));
+}
+
+util::Json PerfettoTrace::to_json() const {
+  util::Json trace_events = util::Json::array();
+  for (const util::Json& event : events_) {
+    trace_events.push(event);
+  }
+  util::Json root = util::Json::object();
+  root.set("traceEvents", std::move(trace_events));
+  root.set("displayTimeUnit", util::Json::string("ms"));
+  return root;
+}
+
+void PerfettoTrace::write(std::ostream& os) const {
+  to_json().write(os);
+  os << "\n";
+}
+
+}  // namespace abg::obs

@@ -1,0 +1,74 @@
+// Chrome/Perfetto trace-event JSON builder.
+//
+// Emits the legacy Chrome trace-event format ("traceEvents" array of
+// phase-tagged records), which ui.perfetto.dev and chrome://tracing both
+// load directly.  Only the phases the simulator needs are implemented:
+//
+//   M  metadata       process_name / thread_name track labels
+//   X  complete slice duration event (ts + dur), one per quantum
+//   i  instant        point event (crashes, completions)
+//   C  counter        numeric series (d(q), a(q), A(q), utilization)
+//
+// Timestamps are microseconds in the format; the simulation sinks map one
+// simulated step to one microsecond, so simulated time reads directly off
+// the Perfetto timeline.  Serialization goes through util/json, so a trace
+// built from deterministic inputs is byte-identical across runs.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace abg::obs {
+
+/// Builder for one trace file.  Methods append events in call order
+/// (Perfetto sorts by timestamp on load, so order only needs to be
+/// deterministic, not sorted).
+class PerfettoTrace {
+ public:
+  using Args = std::vector<std::pair<std::string, double>>;
+
+  /// Labels a process track.
+  void set_process_name(std::int64_t pid, const std::string& name);
+
+  /// Labels a thread track within a process.
+  void set_thread_name(std::int64_t pid, std::int64_t tid,
+                       const std::string& name);
+
+  /// Adds a complete slice ("X").  `cname` selects a Chrome reserved color
+  /// ("good", "bad", "terrible", "grey", ...); empty omits the field.
+  void add_slice(std::int64_t pid, std::int64_t tid, const std::string& name,
+                 double ts_us, double dur_us, const std::string& cname = {},
+                 const Args& args = {});
+
+  /// Adds an instant event ("i", thread scope).
+  void add_instant(std::int64_t pid, std::int64_t tid,
+                   const std::string& name, double ts_us);
+
+  /// Adds one sample of a counter track ("C").  Multiple series on the
+  /// same track are passed as multiple args entries (e.g. {"d",4},{"a",2}).
+  void add_counter(std::int64_t pid, const std::string& track, double ts_us,
+                   const Args& series);
+
+  /// Number of events added so far (metadata included).
+  std::size_t event_count() const { return events_.size(); }
+
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  util::Json to_json() const;
+
+  /// Serializes to_json() with a trailing newline.
+  void write(std::ostream& os) const;
+
+ private:
+  /// Shared header of every event record.
+  util::Json base_event(const char* phase, const std::string& name,
+                        std::int64_t pid) const;
+
+  std::vector<util::Json> events_;
+};
+
+}  // namespace abg::obs

@@ -1,0 +1,63 @@
+#include "obs/profile.hpp"
+
+#include <utility>
+
+namespace abg::obs {
+
+Profiler::Scope::Scope(Profiler* profiler, std::string name,
+                       std::int64_t items)
+    : profiler_(profiler),
+      name_(std::move(name)),
+      items_(items),
+      start_(std::chrono::steady_clock::now()) {}
+
+Profiler::Scope::~Scope() {
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_)
+          .count();
+  profiler_->record(name_, seconds, items_);
+}
+
+void Profiler::record(const std::string& name, double seconds,
+                      std::int64_t items, std::int64_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ProfileSpan& span = spans_[name];
+  span.seconds += seconds;
+  span.count += count;
+  span.items += items;
+}
+
+ProfileSpan Profiler::span(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = spans_.find(name);
+  return it != spans_.end() ? it->second : ProfileSpan{};
+}
+
+util::Json Profiler::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  util::Json spans = util::Json::object();
+  for (const auto& [name, span] : spans_) {
+    util::Json entry = util::Json::object();
+    entry.set("seconds", util::Json::number(span.seconds));
+    entry.set("count", util::Json::integer(span.count));
+    entry.set("items", util::Json::integer(span.items));
+    entry.set("items_per_second",
+              util::Json::number(span.seconds > 0.0
+                                     ? static_cast<double>(span.items) /
+                                           span.seconds
+                                     : 0.0));
+    spans.set(name, std::move(entry));
+  }
+  util::Json root = util::Json::object();
+  root.set("benchmark", util::Json::string("profile"));
+  root.set("spans", std::move(spans));
+  return root;
+}
+
+void Profiler::write(std::ostream& os) const {
+  to_json().write(os);
+  os << "\n";
+}
+
+}  // namespace abg::obs

@@ -1,0 +1,87 @@
+// Self-profiling: how fast is the simulator itself?
+//
+// A Profiler accumulates named spans — wall-clock seconds, invocation
+// count, and an "items" tally (simulated steps, sweep runs) from which it
+// derives items/second — and serializes them as BENCH_profile.json so the
+// repository tracks a performance trajectory alongside the simulation
+// artifacts.  Wall-clock numbers are inherently nondeterministic, which is
+// why they live in their own artifact and never touch the deterministic
+// records/metrics/trace outputs.
+//
+// The profiler is thread-safe (one mutex around the span map); Scope is
+// the RAII way to time a region:
+//
+//   obs::Profiler profiler;
+//   {
+//     auto scope = profiler.time("engine.sync", simulated_steps);
+//   }  // records on destruction
+//   profiler.write(out);
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace abg::obs {
+
+/// Accumulated measurements of one named region.
+struct ProfileSpan {
+  double seconds = 0.0;
+  std::int64_t count = 0;
+  std::int64_t items = 0;
+};
+
+/// Thread-safe span accumulator with JSON emission.
+class Profiler {
+ public:
+  /// RAII timer; records into the profiler at destruction.
+  class Scope {
+   public:
+    Scope(Profiler* profiler, std::string name, std::int64_t items);
+    ~Scope();
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+    /// Adds to the item tally recorded when the scope closes (for counts
+    /// only known after the timed work ran).
+    void add_items(std::int64_t items) { items_ += items; }
+
+   private:
+    Profiler* profiler_;
+    std::string name_;
+    std::int64_t items_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  /// Starts timing `name`; see Scope.
+  Scope time(std::string name, std::int64_t items = 0) {
+    return Scope(this, std::move(name), items);
+  }
+
+  /// Records one finished measurement directly.
+  void record(const std::string& name, double seconds, std::int64_t items,
+              std::int64_t count = 1);
+
+  /// Snapshot of one span; zeros when the span was never recorded.
+  ProfileSpan span(const std::string& name) const;
+
+  /// {"benchmark":"profile","spans":{name:{seconds,count,items,
+  /// items_per_second}}} — keys sorted by name.
+  util::Json to_json() const;
+
+  /// Serializes to_json() with a trailing newline (the BENCH_profile.json
+  /// format).
+  void write(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, ProfileSpan> spans_;
+};
+
+}  // namespace abg::obs

@@ -1,0 +1,43 @@
+#include "obs/sweep_timeline.hpp"
+
+namespace abg::obs {
+
+void SweepTimeline::record(std::int64_t run_id, const std::string& label,
+                           double start_seconds, double end_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = workers_.try_emplace(
+      std::this_thread::get_id(),
+      static_cast<std::int64_t>(workers_.size()));
+  slices_.push_back(
+      Slice{run_id, label, it->second, start_seconds, end_seconds});
+}
+
+std::size_t SweepTimeline::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slices_.size();
+}
+
+PerfettoTrace SweepTimeline::to_trace() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PerfettoTrace trace;
+  trace.set_process_name(1, "abg_sweep");
+  std::int64_t worker_count = 0;
+  for (const auto& [thread, worker] : workers_) {
+    worker_count = std::max(worker_count, worker + 1);
+  }
+  for (std::int64_t w = 0; w < worker_count; ++w) {
+    trace.set_thread_name(1, w + 1, "worker " + std::to_string(w));
+  }
+  for (const Slice& slice : slices_) {
+    trace.add_slice(
+        1, slice.worker + 1,
+        "run " + std::to_string(slice.run_id) +
+            (slice.label.empty() ? "" : " " + slice.label),
+        slice.start_seconds * 1e6,
+        (slice.end_seconds - slice.start_seconds) * 1e6, "",
+        {{"run_id", static_cast<double>(slice.run_id)}});
+  }
+  return trace;
+}
+
+}  // namespace abg::obs

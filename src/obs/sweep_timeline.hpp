@@ -1,0 +1,51 @@
+// Wall-clock timeline of a sweep execution.
+//
+// The simulation trace (trace_sink.hpp) shows one run in simulated time;
+// this shows the sweep engine itself in real time — one thread track per
+// worker, one slice per executed run — so thread-pool utilization, stragglers
+// and scheduling gaps are visible in ui.perfetto.dev.  Wall-clock data is
+// nondeterministic by nature, so the timeline is a separate artifact and
+// never feeds the deterministic records.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/perfetto.hpp"
+
+namespace abg::obs {
+
+/// Thread-safe collector of per-run execution slices.
+class SweepTimeline {
+ public:
+  /// Records one run executed on the calling thread.  Times are seconds
+  /// from any common epoch (the runner uses its start time).
+  void record(std::int64_t run_id, const std::string& label,
+              double start_seconds, double end_seconds);
+
+  /// Number of recorded slices.
+  std::size_t size() const;
+
+  /// Renders the timeline: pid 1, one thread track per worker ("worker N"
+  /// in first-seen order), one slice per run with its run id and label.
+  PerfettoTrace to_trace() const;
+
+ private:
+  struct Slice {
+    std::int64_t run_id;
+    std::string label;
+    std::int64_t worker;
+    double start_seconds;
+    double end_seconds;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::thread::id, std::int64_t> workers_;
+  std::vector<Slice> slices_;
+};
+
+}  // namespace abg::obs

@@ -1,0 +1,102 @@
+#include "obs/trace_sink.hpp"
+
+#include <string>
+
+namespace abg::obs {
+
+namespace {
+
+/// Chrome reserved color for a quantum's desire-vs-allotment regime.
+const char* regime_color(const sched::QuantumStats& q) {
+  if (q.work == 0) {
+    return "grey";  // crash-voided or pure-migration quantum
+  }
+  return q.deprived() ? "terrible" : "good";
+}
+
+}  // namespace
+
+void SimTraceSink::on_event(const Event& event) {
+  PerfettoTrace& trace = *trace_;
+  switch (event.kind) {
+    case EventKind::kRunStart:
+      trace.set_process_name(
+          pid_, "abg machine P=" + std::to_string(event.processors) +
+                    " L=" + std::to_string(event.quantum_length));
+      break;
+    case EventKind::kJobSubmit:
+      trace.set_thread_name(
+          pid_, event.job + 1,
+          "job " + std::to_string(event.job) +
+              " (T1=" + std::to_string(event.work) +
+              ", Tinf=" + std::to_string(event.critical_path) + ")");
+      break;
+    case EventKind::kJobAdmit:
+      trace.add_instant(pid_, event.job + 1, "admit",
+                        static_cast<double>(event.step));
+      break;
+    case EventKind::kAllocation: {
+      const double utilization =
+          event.pool > 0 ? static_cast<double>(event.assigned) /
+                               static_cast<double>(event.pool)
+                         : 0.0;
+      trace.add_counter(pid_, "utilization",
+                        static_cast<double>(event.step),
+                        {{"busy", utilization}});
+      trace.add_counter(pid_, "active jobs", static_cast<double>(event.step),
+                        {{"jobs", static_cast<double>(event.active_jobs)}});
+      break;
+    }
+    case EventKind::kQuantum: {
+      const sched::QuantumStats& q = *event.stats;
+      const auto ts = static_cast<double>(q.start_step);
+      // The allotment is held for the whole quantum even when the job
+      // finishes early (the paper's waste accounting); the final quantum's
+      // slice is trimmed to the steps actually used.
+      const auto dur =
+          static_cast<double>(q.finished ? q.steps_used : q.length);
+      const std::string job = std::to_string(event.job);
+      std::string slice_name = "q";
+      slice_name += std::to_string(q.index);
+      std::string da_track = "job ";
+      da_track += job;
+      std::string a_track = da_track;
+      da_track += " d/a";
+      a_track += " A";
+      trace.add_slice(pid_, event.job + 1, slice_name, ts, dur,
+                      regime_color(q),
+                      {{"d", static_cast<double>(q.request)},
+                       {"a", static_cast<double>(q.allotment)},
+                       {"p", static_cast<double>(q.available)},
+                       {"work", static_cast<double>(q.work)},
+                       {"cpl", q.cpl},
+                       {"A", q.average_parallelism()}});
+      trace.add_counter(pid_, da_track, ts,
+                        {{"d", static_cast<double>(q.request)},
+                         {"a", static_cast<double>(q.allotment)}});
+      trace.add_counter(pid_, a_track, ts, {{"A", q.average_parallelism()}});
+      break;
+    }
+    case EventKind::kJobComplete:
+      trace.add_instant(pid_, event.job + 1, "complete",
+                        static_cast<double>(event.step));
+      break;
+    case EventKind::kJobCrash:
+      trace.add_instant(pid_, event.job + 1, "crash",
+                        static_cast<double>(event.step));
+      break;
+    case EventKind::kFault:
+      trace.add_instant(pid_, 0, "fault", static_cast<double>(event.step));
+      break;
+    case EventKind::kRunEnd:
+      // Close the machine counters at the makespan so the last sample
+      // doesn't visually extend forever.
+      trace.add_counter(pid_, "utilization",
+                        static_cast<double>(event.makespan), {{"busy", 0.0}});
+      trace.add_counter(pid_, "active jobs",
+                        static_cast<double>(event.makespan), {{"jobs", 0.0}});
+      break;
+  }
+}
+
+}  // namespace abg::obs

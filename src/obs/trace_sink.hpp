@@ -1,0 +1,43 @@
+// Simulation-to-Perfetto trace recording.
+//
+// A SimTraceSink subscribes to a run's EventBus and renders the run as a
+// Chrome/Perfetto timeline (open the written file in ui.perfetto.dev):
+//
+//   * one thread track per job, one slice per quantum, named "q<index>"
+//     and colored by the desire-vs-allotment regime — green ("good") when
+//     the request was satisfied, red ("terrible") when the allocator
+//     deprived the job, grey when the quantum did no work (crash-voided or
+//     pure migration);
+//   * a per-job counter track "job N d/a" with the request d(q) and
+//     allotment a(q) series, and "job N A" with the measured average
+//     parallelism A(q);
+//   * machine-level counter tracks "utilization" (assigned / pool) and
+//     "active jobs", sampled at every allocation decision;
+//   * instants for crashes and completions.
+//
+// One simulated step maps to one trace microsecond.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/event_bus.hpp"
+#include "obs/perfetto.hpp"
+
+namespace abg::obs {
+
+/// Records one run's events into a caller-owned PerfettoTrace.
+class SimTraceSink final : public Sink {
+ public:
+  /// pid of the machine process track; distinct pids keep multiple
+  /// recorded runs apart in one trace file.
+  explicit SimTraceSink(PerfettoTrace& trace, std::int64_t pid = 1)
+      : trace_(&trace), pid_(pid) {}
+
+  void on_event(const Event& event) override;
+
+ private:
+  PerfettoTrace* trace_;
+  std::int64_t pid_;
+};
+
+}  // namespace abg::obs

@@ -72,6 +72,7 @@ SimResult simulate_job_set_async(std::vector<JobSubmission> submissions,
   core.reallocation_cost_per_proc = config.reallocation_cost_per_proc;
   core.faults = config.faults;
   core.quantum_length_policy = config.quantum_length_policy;
+  core.bus = config.obs.event_bus;
   return run_per_job_quanta(states, totals, execution, allocator, core);
 }
 

@@ -7,6 +7,7 @@
 
 #include "fault/fault_injector.hpp"
 #include "fault/faulty_allocator.hpp"
+#include "obs/event_bus.hpp"
 #include "sim/quantum_engine.hpp"
 
 namespace abg::sim {
@@ -28,8 +29,8 @@ EngineKind engine_kind_from_name(std::string_view name) {
   if (name == "async") {
     return EngineKind::kAsync;
   }
-  throw std::invalid_argument("engine_kind_from_name: unknown engine '" +
-                              std::string(name) + "' (expected sync|async)");
+  throw std::invalid_argument("unknown engine '" + std::string(name) +
+                              "' (expected sync|async)");
 }
 
 dag::Steps fault_bound_slack(const fault::FaultPlan& plan,
@@ -64,11 +65,107 @@ struct FaultSession {
   }
 };
 
+/// Resolves the configured bus to null when it has no sinks, so every hook
+/// site below is one pointer test on the hot path.
+obs::EventBus* active_bus(const CoreConfig& config) {
+  return config.bus != nullptr && config.bus->active() ? config.bus : nullptr;
+}
+
+/// Publishes the run-start event and one submit event per ingested job.
+void publish_intake(obs::EventBus* bus,
+                    const std::vector<JobRuntime>& states,
+                    const CoreConfig& config) {
+  if (bus == nullptr) {
+    return;
+  }
+  obs::Event start;
+  start.kind = obs::EventKind::kRunStart;
+  start.processors = config.processors;
+  start.quantum_length = config.quantum_length;
+  start.job_count = static_cast<std::int64_t>(states.size());
+  bus->publish(start);
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    obs::Event e;
+    e.kind = obs::EventKind::kJobSubmit;
+    e.step = states[i].trace.release_step;
+    e.job = static_cast<std::int64_t>(i);
+    e.work = states[i].trace.work;
+    e.critical_path = states[i].trace.critical_path;
+    bus->publish(e);
+  }
+}
+
+void publish_admit(obs::EventBus* bus, std::size_t job, dag::Steps now,
+                   int desire) {
+  obs::Event e;
+  e.kind = obs::EventKind::kJobAdmit;
+  e.step = now;
+  e.job = static_cast<std::int64_t>(job);
+  e.desire = desire;
+  bus->publish(e);
+}
+
+void publish_allocation(obs::EventBus* bus, dag::Steps now, int pool,
+                        const std::vector<int>& allotments,
+                        std::int64_t active_jobs) {
+  obs::Event e;
+  e.kind = obs::EventKind::kAllocation;
+  e.step = now;
+  e.pool = pool;
+  for (const int a : allotments) {
+    e.assigned += a;
+  }
+  e.active_jobs = active_jobs;
+  bus->publish(e);
+}
+
+/// Publishes a quantum record exactly as it entered the trace.
+void publish_quantum(obs::EventBus* bus, std::size_t job,
+                     const sched::QuantumStats& stats) {
+  obs::Event e;
+  e.kind = obs::EventKind::kQuantum;
+  e.step = stats.start_step;
+  e.job = static_cast<std::int64_t>(job);
+  e.stats = &stats;
+  bus->publish(e);
+}
+
+void publish_complete(obs::EventBus* bus, std::size_t job, dag::Steps step) {
+  obs::Event e;
+  e.kind = obs::EventKind::kJobComplete;
+  e.step = step;
+  e.job = static_cast<std::int64_t>(job);
+  bus->publish(e);
+}
+
+void publish_crash(obs::EventBus* bus, std::size_t job, dag::Steps now,
+                   const fault::CrashRecord& record, dag::Steps restart_step) {
+  obs::Event e;
+  e.kind = obs::EventKind::kJobCrash;
+  e.step = now;
+  e.job = static_cast<std::int64_t>(job);
+  e.lost_work = record.lost_work;
+  e.restart_step = restart_step;
+  bus->publish(e);
+}
+
+void publish_run_end(obs::EventBus* bus, dag::Steps makespan) {
+  if (bus == nullptr) {
+    return;
+  }
+  obs::Event e;
+  e.kind = obs::EventKind::kRunEnd;
+  e.step = makespan;
+  e.makespan = makespan;
+  bus->publish(e);
+}
+
 /// Tallies a consumed fault window into the log: disturbance steps and
 /// per-kind event counters (crashes are counted via log.crashes when they
-/// are applied to a running job).
+/// are applied to a running job).  Non-crash events are also published to
+/// the bus when one is attached.
 void log_window_events(const fault::WindowFaults& window,
-                       fault::FaultLog& log) {
+                       fault::FaultLog& log, obs::EventBus* bus) {
   for (const fault::FaultEvent& e : window.applied) {
     log.disturbance_steps.push_back(e.step);
     switch (e.kind) {
@@ -82,7 +179,14 @@ void log_window_events(const fault::WindowFaults& window,
         ++log.revocation_events;
         break;
       case fault::FaultKind::kJobCrash:
-        break;  // counted via log.crashes when applied
+        continue;  // counted via log.crashes when applied
+    }
+    if (bus != nullptr) {
+      obs::Event ev;
+      ev.kind = obs::EventKind::kFault;
+      ev.step = e.step;
+      ev.fault = e.kind;
+      bus->publish(ev);
     }
   }
 }
@@ -152,6 +256,8 @@ SimResult run_global_quanta(std::vector<JobRuntime>& states,
   const bool faulty = session.faulty;
   alloc::Allocator& machine = *session.machine;
   const dag::Steps max_steps = config.max_steps;
+  obs::EventBus* const bus = active_bus(config);
+  publish_intake(bus, states, config);
 
   SimResult result;
   if (faulty) {
@@ -174,7 +280,7 @@ SimResult run_global_quanta(std::vector<JobRuntime>& states,
     fault::WindowFaults window;
     if (faulty) {
       window = session.injector->advance(now, now + length);
-      log_window_events(window, log);
+      log_window_events(window, log, bus);
       log.min_capacity = std::min(
           log.min_capacity, session.injector->capacity(config.processors));
     }
@@ -200,6 +306,9 @@ SimResult run_global_quanta(std::vector<JobRuntime>& states,
         st.resumed = false;  // keep the preserved desire
       } else {
         st.desire = st.request->first_request();
+      }
+      if (bus != nullptr) {
+        publish_admit(bus, best, now, st.desire);
       }
       ++active_count;
     }
@@ -241,6 +350,10 @@ SimResult run_global_quanta(std::vector<JobRuntime>& states,
     // from the leftover availability reported to jobs.
     const int revoked = faulty ? session.faulty_allocator->last_revoked() : 0;
     const int leftover = std::max(0, pool - assigned - revoked);
+    if (bus != nullptr) {
+      publish_allocation(bus, now, pool, allotments,
+                         static_cast<std::int64_t>(active_idx.size()));
+    }
 
     // Which active jobs crash during this quantum.
     std::vector<std::size_t> crash_victims;
@@ -291,6 +404,9 @@ SimResult run_global_quanta(std::vector<JobRuntime>& states,
         stats.available = allotment + leftover;
         stats.length = length;
         st.trace.quanta.push_back(stats);
+        if (bus != nullptr) {
+          publish_quantum(bus, i, stats);
+        }
         if (config.quantum_length_policy != nullptr) {
           ++qlen_count;
           qlen_sole_valid = false;
@@ -321,6 +437,9 @@ SimResult run_global_quanta(std::vector<JobRuntime>& states,
         st.previous_allotment = 0;
         st.active = false;
         st.eligible_step = now + length + config.faults->restart_delay;
+        if (bus != nullptr) {
+          publish_crash(bus, i, now, record, st.eligible_step);
+        }
         continue;
       }
       ++st.local_quantum;
@@ -346,6 +465,9 @@ SimResult run_global_quanta(std::vector<JobRuntime>& states,
       stats.available = allotment + leftover;
       stats.start_step = now;
       st.trace.quanta.push_back(stats);
+      if (bus != nullptr) {
+        publish_quantum(bus, i, stats);
+      }
       if (config.quantum_length_policy != nullptr) {
         ++qlen_count;
         qlen_sole = stats;
@@ -361,6 +483,9 @@ SimResult run_global_quanta(std::vector<JobRuntime>& states,
         st.done = true;
         st.active = false;
         --remaining;
+        if (bus != nullptr) {
+          publish_complete(bus, i, st.trace.completion_step);
+        }
       } else {
         feedback.push_back(i);
       }
@@ -401,6 +526,7 @@ SimResult run_global_quanta(std::vector<JobRuntime>& states,
   }
 
   aggregate_result(states, result);
+  publish_run_end(bus, result.makespan);
   return result;
 }
 
@@ -413,6 +539,8 @@ SimResult run_per_job_quanta(std::vector<JobRuntime>& states,
   const bool faulty = session.faulty;
   alloc::Allocator& machine = *session.machine;
   const dag::Steps max_steps = config.max_steps;
+  obs::EventBus* const bus = active_bus(config);
+  publish_intake(bus, states, config);
 
   // Each job's boundary schedule is its own, so each job gets its own
   // quantum-length policy state (a clone of the run's prototype).
@@ -487,7 +615,7 @@ SimResult run_per_job_quanta(std::vector<JobRuntime>& states,
     // crash can only hit an active job.
     if (faulty) {
       const fault::WindowFaults window = session.injector->advance(now, now + 1);
-      log_window_events(window, log);
+      log_window_events(window, log, bus);
       log.min_capacity = std::min(
           log.min_capacity, session.injector->capacity(config.processors));
       if (window.capacity_changed) {
@@ -508,6 +636,9 @@ SimResult run_per_job_quanta(std::vector<JobRuntime>& states,
           finalize_quantum(st, /*finished=*/false);
           st.trace.quanta.back().steps_used = st.quantum_elapsed;
           st.trace.quanta.back().full = false;
+          if (bus != nullptr) {
+            publish_quantum(bus, j, st.trace.quanta.back());
+          }
         } else {
           // Restart from scratch: the whole trace so far, including the
           // in-flight quantum, is discarded and the job restarts fresh.
@@ -534,6 +665,9 @@ SimResult run_per_job_quanta(std::vector<JobRuntime>& states,
         st.previous_allotment = 0;
         st.migration_debt = 0;
         st.eligible_step = now + 1 + config.faults->restart_delay;
+        if (bus != nullptr) {
+          publish_crash(bus, j, now, record, st.eligible_step);
+        }
         partition_dirty = true;
       }
     }
@@ -563,6 +697,9 @@ SimResult run_per_job_quanta(std::vector<JobRuntime>& states,
         st.quantum_target = st.quantum_policy->initial_length();
       }
       begin_quantum(st);
+      if (bus != nullptr) {
+        publish_admit(bus, best, now, st.desire);
+      }
       partition_dirty = true;
       ++active_count;
     }
@@ -607,6 +744,11 @@ SimResult run_per_job_quanta(std::vector<JobRuntime>& states,
         st.previous_allotment = allotments[i];
         st.allotment = allotments[i];
       }
+      if (bus != nullptr) {
+        publish_allocation(bus, now, machine.pool(config.processors),
+                           allotments,
+                           static_cast<std::int64_t>(active_count));
+      }
       partition_dirty = false;
     }
 
@@ -639,17 +781,26 @@ SimResult run_per_job_quanta(std::vector<JobRuntime>& states,
       if (!st.active) {
         continue;
       }
+      const auto job_index =
+          static_cast<std::size_t>(&st - states.data());
       if (st.job->finished()) {
         finalize_quantum(st, /*finished=*/true);
         st.trace.completion_step = now;
         st.active = false;
         st.done = true;
         --remaining;
+        if (bus != nullptr) {
+          publish_quantum(bus, job_index, st.trace.quanta.back());
+          publish_complete(bus, job_index, now);
+        }
         partition_dirty = true;
         continue;
       }
       if (st.quantum_elapsed == st.quantum_target) {
         finalize_quantum(st, /*finished=*/false);
+        if (bus != nullptr) {
+          publish_quantum(bus, job_index, st.trace.quanta.back());
+        }
         st.desire = st.request->next_request(st.trace.quanta.back());
         if (st.quantum_policy) {
           st.quantum_target =
@@ -673,6 +824,7 @@ SimResult run_per_job_quanta(std::vector<JobRuntime>& states,
   }
 
   aggregate_result(states, result);
+  publish_run_end(bus, result.makespan);
   return result;
 }
 

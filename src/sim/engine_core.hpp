@@ -47,6 +47,10 @@
 #include "sim/job_runtime.hpp"
 #include "sim/simulator.hpp"
 
+namespace abg::obs {
+class EventBus;
+}  // namespace abg::obs
+
 namespace abg::sim {
 
 /// Resolved configuration handed to a loop driver.  Wrappers translate
@@ -78,6 +82,11 @@ struct CoreConfig {
   /// Suffix of the stalled-progress error, after "<context>: exceeded
   /// step bound; " (the historic messages differ per entry point).
   const char* stall_reason = "scheduling is not making progress";
+  /// Optional observability bus.  Null (or a bus with no sinks) keeps the
+  /// engine on the exact pre-observability code path: each hook site pays
+  /// one pointer test and nothing else.  Sinks observe; they cannot
+  /// influence the run.
+  obs::EventBus* bus = nullptr;
 };
 
 /// Drives `states` to completion with global synchronous quantum

@@ -105,6 +105,7 @@ JobTrace run_single_job(dag::Job& job, const sched::ExecutionPolicy& execution,
   core.faults = config.faults;
   core.quantum_length_policy = &quantum_length;
   core.stall_reason = "feedback loop is not making progress";
+  core.bus = config.obs.event_bus;
   SimResult result = run_global_quanta(states, totals, execution, allocator,
                                        core);
   if (config.fault_log_out != nullptr) {

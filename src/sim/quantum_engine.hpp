@@ -11,6 +11,7 @@
 #include "dag/job.hpp"
 #include "fault/fault_log.hpp"
 #include "fault/fault_plan.hpp"
+#include "obs/obs_config.hpp"
 #include "sched/execution_policy.hpp"
 #include "sched/quantum_length.hpp"
 #include "sched/request_policy.hpp"
@@ -44,6 +45,9 @@ struct SingleJobConfig {
   /// When set, the run's fault log (crashes, lost work, capacity history)
   /// is copied here — the JobTrace return value has nowhere to carry it.
   fault::FaultLog* fault_log_out = nullptr;
+  /// Observability hooks (see obs/obs_config.hpp); the default publishes
+  /// nothing and takes the exact pre-observability code path.
+  obs::ObsConfig obs = {};
 };
 
 /// Steps lost to processor migration when the allotment changes from

@@ -63,6 +63,7 @@ SimResult simulate_job_set(std::vector<JobSubmission> submissions,
   core.faults = config.faults;
   core.quantum_length_policy = config.quantum_length_policy;
   core.stall_reason = "scheduling is not making progress";
+  core.bus = config.obs.event_bus;
   return run_global_quanta(states, totals, execution, allocator, core);
 }
 

@@ -19,6 +19,7 @@
 #include "dag/job.hpp"
 #include "fault/fault_log.hpp"
 #include "fault/fault_plan.hpp"
+#include "obs/obs_config.hpp"
 #include "sched/execution_policy.hpp"
 #include "sched/quantum_length.hpp"
 #include "sched/request_policy.hpp"
@@ -88,6 +89,12 @@ struct SimConfig {
   /// job's own boundaries.  Reset at the start of the run; must outlive
   /// the simulation call.
   sched::QuantumLengthPolicy* quantum_length_policy = nullptr;
+  /// Observability hooks (see obs/obs_config.hpp).  The default — no event
+  /// bus — keeps the engine on the exact pre-observability code path; with
+  /// a bus attached the engine publishes lifecycle, allocation, quantum
+  /// and fault events to its sinks.  Sinks observe only: results are
+  /// byte-identical with or without them.  Must outlive the call.
+  obs::ObsConfig obs = {};
 };
 
 /// Result of simulating a job set.

@@ -5,14 +5,16 @@
 // thread counts, so the writer is deliberately strict: object keys keep
 // insertion order, doubles are rendered with std::to_chars (shortest
 // round-trip form, locale-independent), and there is no whitespace
-// variation.  Only what the sinks need is implemented — construction and
-// serialization, no parsing.
+// variation.  A small strict parser (Json::parse) exists for the tools
+// that validate emitted artifacts (trace_check); it accepts exactly the
+// JSON grammar, nothing vendor-specific.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -28,6 +30,13 @@ class Json {
   static Json number(double value);
   static Json integer(std::int64_t value);
   static Json boolean(bool value);
+  static Json null();
+
+  /// Parses a complete JSON document (trailing whitespace allowed, trailing
+  /// garbage rejected).  Numbers without '.', 'e' or 'E' that fit int64
+  /// become integers, everything else a double.  Throws
+  /// std::invalid_argument with a byte offset on malformed input.
+  static Json parse(std::string_view text);
 
   /// Adds a key/value pair to an object (keys keep insertion order; the
   /// caller must not repeat keys).  Returns *this for chaining.  Throws
@@ -50,8 +59,54 @@ class Json {
   /// parameter values match the emitted JSON.
   static std::string format_number(double value);
 
+  /// Kind queries.
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_integer() const { return kind_ == Kind::kInteger; }
+  bool is_boolean() const { return kind_ == Kind::kBoolean; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Element / member count of an array or object; 0 for scalars.
+  std::size_t size() const;
+
+  /// Object member lookup (first match in insertion order); nullptr when
+  /// the key is absent or this value is not an object.
+  const Json* find(std::string_view key) const;
+
+  /// Like find() but throws std::out_of_range when absent.
+  const Json& at(std::string_view key) const;
+
+  /// Array element access; throws std::out_of_range when out of bounds or
+  /// not an array.
+  const Json& at(std::size_t index) const;
+
+  /// Typed reads; each throws std::logic_error on a kind mismatch.
+  /// as_number additionally accepts integers (widened to double).
+  const std::string& as_string() const;
+  double as_number() const;
+  std::int64_t as_integer() const;
+  bool as_boolean() const;
+
+  /// Object members in insertion order; throws std::logic_error when this
+  /// value is not an object.
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  /// Array elements; throws std::logic_error when this value is not an
+  /// array.
+  const std::vector<Json>& items() const;
+
  private:
-  enum class Kind { kObject, kArray, kString, kNumber, kInteger, kBoolean };
+  enum class Kind {
+    kObject,
+    kArray,
+    kString,
+    kNumber,
+    kInteger,
+    kBoolean,
+    kNull
+  };
 
   explicit Json(Kind kind) : kind_(kind) {}
 

@@ -59,7 +59,7 @@ double RunningStats::max() const {
 
 double quantile(std::vector<double> samples, double q) {
   if (samples.empty()) {
-    throw std::invalid_argument("quantile: empty sample set");
+    return std::numeric_limits<double>::quiet_NaN();
   }
   q = std::clamp(q, 0.0, 1.0);
   std::sort(samples.begin(), samples.end());
@@ -72,7 +72,7 @@ double quantile(std::vector<double> samples, double q) {
 
 double mean_of(const std::vector<double>& samples) {
   if (samples.empty()) {
-    throw std::invalid_argument("mean_of: empty sample set");
+    return std::numeric_limits<double>::quiet_NaN();
   }
   RunningStats acc;
   for (double s : samples) {
@@ -83,7 +83,7 @@ double mean_of(const std::vector<double>& samples) {
 
 double geometric_mean(const std::vector<double>& samples) {
   if (samples.empty()) {
-    throw std::invalid_argument("geometric_mean: empty sample set");
+    return std::numeric_limits<double>::quiet_NaN();
   }
   double log_sum = 0.0;
   for (double s : samples) {
@@ -93,6 +93,17 @@ double geometric_mean(const std::vector<double>& samples) {
     log_sum += std::log(s);
   }
   return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+double stddev_of(const std::vector<double>& samples) {
+  if (samples.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  RunningStats acc;
+  for (double s : samples) {
+    acc.add(s);
+  }
+  return acc.stddev();
 }
 
 bool approx_equal(double a, double b, double rel_tol, double abs_tol) {

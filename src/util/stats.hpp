@@ -49,16 +49,26 @@ class RunningStats {
   double max_ = 0.0;
 };
 
+// Contract for empty inputs: the vector helpers below return quiet NaN
+// rather than throwing, so aggregation pipelines (sweep summaries, metric
+// registries) can pass possibly-empty sample sets straight through —
+// util::Json serializes NaN as null, which downstream tooling reads as "no
+// data".  Test with std::isnan, not ==.
+
 /// Returns the q-quantile (0 <= q <= 1) of `samples` using linear
-/// interpolation between order statistics.  Throws on an empty input.
+/// interpolation between order statistics; quiet NaN on empty input.
 double quantile(std::vector<double> samples, double q);
 
-/// Arithmetic mean of a vector; throws on empty input.
+/// Arithmetic mean of a vector; quiet NaN on empty input.
 double mean_of(const std::vector<double>& samples);
 
-/// Geometric mean of strictly positive samples; throws on empty input or a
-/// non-positive sample.
+/// Geometric mean of strictly positive samples; quiet NaN on empty input.
+/// Throws std::invalid_argument on a non-positive sample.
 double geometric_mean(const std::vector<double>& samples);
+
+/// Unbiased sample standard deviation; quiet NaN on empty input, 0 for a
+/// single sample (matching RunningStats::stddev).
+double stddev_of(const std::vector<double>& samples);
 
 /// True when |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
 bool approx_equal(double a, double b, double rel_tol = 1e-9,

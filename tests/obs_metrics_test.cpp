@@ -1,0 +1,139 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace abg::obs {
+namespace {
+
+TEST(Counter, AddsAndMerges) {
+  Counter a;
+  a.add();
+  a.add(4);
+  EXPECT_EQ(a.value(), 5);
+  Counter b;
+  b.add(7);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 12);
+}
+
+TEST(Gauge, MergeTakesMaxAndRespectsUnset) {
+  Gauge a;
+  Gauge b;
+  b.set(3.0);
+  a.merge(b);
+  EXPECT_TRUE(a.has_value());
+  EXPECT_DOUBLE_EQ(a.value(), 3.0);
+
+  Gauge lower;
+  lower.set(1.0);
+  a.merge(lower);
+  EXPECT_DOUBLE_EQ(a.value(), 3.0);
+
+  Gauge unset;
+  a.merge(unset);
+  EXPECT_DOUBLE_EQ(a.value(), 3.0);
+}
+
+TEST(HistogramTest, BucketsByPowerOfTwo) {
+  Histogram h;
+  h.observe(0.5);   // bucket 0 (< 1)
+  h.observe(-2.0);  // clamps into bucket 0
+  h.observe(1.0);   // bucket 1: [1, 2)
+  h.observe(3.0);   // bucket 2: [2, 4)
+  h.observe(4.0);   // bucket 3: [4, 8)
+  EXPECT_EQ(h.bucket(0), 2);
+  EXPECT_EQ(h.bucket(1), 1);
+  EXPECT_EQ(h.bucket(2), 1);
+  EXPECT_EQ(h.bucket(3), 1);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.min(), -2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 6.5);
+}
+
+TEST(HistogramTest, EmptyStatsAreNaN) {
+  const Histogram h;
+  EXPECT_TRUE(std::isnan(h.min()));
+  EXPECT_TRUE(std::isnan(h.max()));
+  EXPECT_TRUE(std::isnan(h.mean()));
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+}
+
+TEST(HistogramTest, QuantileWithinFactorOfTwoAndClamped) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) {
+    h.observe(10.0);
+  }
+  // All mass in [8, 16); the estimate is the bucket upper bound clamped to
+  // the exact extrema.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+}
+
+MetricsRegistry sample_registry(int scale) {
+  MetricsRegistry r;
+  r.counter("runs").add(scale);
+  r.counter("crashes").add(scale * 2);
+  r.gauge("max_makespan").set(100.0 * scale);
+  for (int i = 1; i <= scale * 4; ++i) {
+    r.histogram("quantum.steps").observe(static_cast<double>(i));
+  }
+  return r;
+}
+
+TEST(MetricsRegistry, MergeIsCommutative) {
+  // The sweep runner's determinism contract: merged registries must be
+  // byte-identical regardless of merge order.
+  const MetricsRegistry a = sample_registry(1);
+  const MetricsRegistry b = sample_registry(3);
+  const MetricsRegistry c = sample_registry(7);
+
+  MetricsRegistry abc;
+  abc.merge(a);
+  abc.merge(b);
+  abc.merge(c);
+  MetricsRegistry cba;
+  cba.merge(c);
+  cba.merge(b);
+  cba.merge(a);
+  EXPECT_EQ(abc.to_json().dump(), cba.to_json().dump());
+
+  MetricsRegistry assoc;
+  MetricsRegistry bc;
+  bc.merge(b);
+  bc.merge(c);
+  assoc.merge(a);
+  assoc.merge(bc);
+  EXPECT_EQ(abc.to_json().dump(), assoc.to_json().dump());
+}
+
+TEST(MetricsRegistry, SerializationShape) {
+  MetricsRegistry r;
+  EXPECT_TRUE(r.empty());
+  r.counter("sim.runs").add();
+  r.gauge("makespan").set(42.0);
+  r.histogram("steps").observe(3.0);
+  EXPECT_FALSE(r.empty());
+  std::ostringstream out;
+  r.write(out);
+  EXPECT_EQ(out.str(),
+            "{\"counters\":{\"sim.runs\":1},\"gauges\":{\"makespan\":42},"
+            "\"histograms\":{\"steps\":{\"count\":1,\"sum\":3,\"min\":3,"
+            "\"max\":3,\"mean\":3,\"p50\":3,\"p95\":3,\"buckets\":[0,0,1]}}}"
+            "\n");
+}
+
+TEST(MetricsRegistry, KeysSerializeSorted) {
+  MetricsRegistry r;
+  r.counter("zeta").add();
+  r.counter("alpha").add();
+  const std::string text = r.to_json().dump();
+  EXPECT_LT(text.find("alpha"), text.find("zeta"));
+}
+
+}  // namespace
+}  // namespace abg::obs

@@ -1,0 +1,77 @@
+#include "obs/perfetto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace abg::obs {
+namespace {
+
+TEST(PerfettoTrace, EmitsChromeTraceEventShape) {
+  PerfettoTrace trace;
+  trace.set_process_name(1, "abg machine P=8 L=20");
+  trace.set_thread_name(1, 2, "job 1 (T1=100, Tinf=10)");
+  trace.add_slice(1, 2, "q0", 0.0, 20.0, "good",
+                  {{"d", 4.0}, {"a", 2.0}});
+  trace.add_instant(1, 2, "complete", 20.0);
+  trace.add_counter(1, "job 1 d/a", 0.0, {{"d", 4.0}, {"a", 2.0}});
+  EXPECT_EQ(trace.event_count(), 5u);
+
+  const util::Json doc = util::Json::parse(trace.to_json().dump());
+  const util::Json& events = doc.at("traceEvents");
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+
+  const util::Json& meta = events.at(std::size_t{1});
+  EXPECT_EQ(meta.at("ph").as_string(), "M");
+  EXPECT_EQ(meta.at("name").as_string(), "thread_name");
+  EXPECT_EQ(meta.at("args").at("name").as_string(), "job 1 (T1=100, Tinf=10)");
+
+  const util::Json& slice = events.at(std::size_t{2});
+  EXPECT_EQ(slice.at("ph").as_string(), "X");
+  EXPECT_EQ(slice.at("tid").as_integer(), 2);
+  EXPECT_EQ(slice.at("ts").as_integer(), 0);
+  EXPECT_EQ(slice.at("dur").as_integer(), 20);
+  EXPECT_EQ(slice.at("cname").as_string(), "good");
+  EXPECT_DOUBLE_EQ(slice.at("args").at("d").as_number(), 4.0);
+
+  const util::Json& instant = events.at(std::size_t{3});
+  EXPECT_EQ(instant.at("ph").as_string(), "i");
+  EXPECT_EQ(instant.at("s").as_string(), "t");
+
+  const util::Json& counter = events.at(std::size_t{4});
+  EXPECT_EQ(counter.at("ph").as_string(), "C");
+  EXPECT_EQ(counter.at("name").as_string(), "job 1 d/a");
+  EXPECT_EQ(counter.at("args").at("a").as_integer(), 2);
+}
+
+TEST(PerfettoTrace, IntegralTimesSerializeAsIntegers) {
+  PerfettoTrace trace;
+  trace.add_slice(1, 1, "q", 10.0, 2.5);
+  const std::string text = trace.to_json().dump();
+  EXPECT_NE(text.find("\"ts\":10,"), std::string::npos);
+  EXPECT_NE(text.find("\"dur\":2.5"), std::string::npos);
+}
+
+TEST(PerfettoTrace, OmitsEmptyColorAndArgs) {
+  PerfettoTrace trace;
+  trace.add_slice(1, 1, "q", 0.0, 1.0);
+  const std::string text = trace.to_json().dump();
+  EXPECT_EQ(text.find("cname"), std::string::npos);
+  EXPECT_EQ(text.find("args"), std::string::npos);
+}
+
+TEST(PerfettoTrace, WriteEndsWithNewline) {
+  PerfettoTrace trace;
+  std::ostringstream out;
+  trace.write(out);
+  const std::string text = out.str();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  EXPECT_EQ(text, "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+}  // namespace
+}  // namespace abg::obs

@@ -1,0 +1,115 @@
+#include "obs/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "obs/sweep_timeline.hpp"
+#include "util/json.hpp"
+
+namespace abg::obs {
+namespace {
+
+TEST(Profiler, RecordAccumulates) {
+  Profiler profiler;
+  profiler.record("engine.sync", 0.5, 1000);
+  profiler.record("engine.sync", 1.5, 3000);
+  const ProfileSpan span = profiler.span("engine.sync");
+  EXPECT_DOUBLE_EQ(span.seconds, 2.0);
+  EXPECT_EQ(span.count, 2);
+  EXPECT_EQ(span.items, 4000);
+}
+
+TEST(Profiler, UnknownSpanIsZeros) {
+  const Profiler profiler;
+  const ProfileSpan span = profiler.span("never");
+  EXPECT_DOUBLE_EQ(span.seconds, 0.0);
+  EXPECT_EQ(span.count, 0);
+  EXPECT_EQ(span.items, 0);
+}
+
+TEST(Profiler, ScopeRecordsOnDestruction) {
+  Profiler profiler;
+  {
+    auto scope = profiler.time("region", 10);
+    scope.add_items(5);
+    EXPECT_EQ(profiler.span("region").count, 0);  // Not recorded yet.
+  }
+  const ProfileSpan span = profiler.span("region");
+  EXPECT_EQ(span.count, 1);
+  EXPECT_EQ(span.items, 15);
+  EXPECT_GE(span.seconds, 0.0);
+}
+
+TEST(Profiler, JsonShape) {
+  Profiler profiler;
+  profiler.record("engine.sync", 2.0, 1000);
+  profiler.record("engine.async", 0.0, 500);  // Zero time: rate omitted as 0.
+  std::ostringstream out;
+  profiler.write(out);
+  const std::string text = out.str();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+
+  const util::Json doc = util::Json::parse(text);
+  EXPECT_EQ(doc.at("benchmark").as_string(), "profile");
+  const util::Json& sync = doc.at("spans").at("engine.sync");
+  EXPECT_DOUBLE_EQ(sync.at("seconds").as_number(), 2.0);
+  EXPECT_EQ(sync.at("count").as_integer(), 1);
+  EXPECT_EQ(sync.at("items").as_integer(), 1000);
+  EXPECT_DOUBLE_EQ(sync.at("items_per_second").as_number(), 500.0);
+  const util::Json& async_span = doc.at("spans").at("engine.async");
+  EXPECT_DOUBLE_EQ(async_span.at("items_per_second").as_number(), 0.0);
+}
+
+TEST(SweepTimeline, OneTrackPerWorkerOneSlicePerRun) {
+  SweepTimeline timeline;
+  timeline.record(0, "abg/fig5", 0.0, 1.5);
+  timeline.record(1, "a-greedy/fig5", 1.5, 2.0);
+  std::thread other(
+      [&timeline] { timeline.record(2, "abg/fig6", 0.5, 2.5); });
+  other.join();
+  EXPECT_EQ(timeline.size(), 3u);
+
+  const util::Json doc = util::Json::parse(timeline.to_trace().to_json().dump());
+  const util::Json& events = doc.at("traceEvents");
+  std::int64_t slices = 0;
+  std::int64_t worker_tracks = 0;
+  for (const util::Json& event : events.items()) {
+    const std::string& phase = event.at("ph").as_string();
+    if (phase == "X") {
+      ++slices;
+      EXPECT_GE(event.at("dur").as_number(), 0.0);
+    } else if (phase == "M" && event.at("name").as_string() == "thread_name") {
+      const std::string& label = event.at("args").at("name").as_string();
+      EXPECT_EQ(label.rfind("worker ", 0), 0u) << label;
+      ++worker_tracks;
+    }
+  }
+  EXPECT_EQ(slices, 3);
+  // The main thread ran two runs on one worker track; the helper thread
+  // got its own.
+  EXPECT_EQ(worker_tracks, 2);
+}
+
+TEST(SweepTimeline, SliceCarriesRunIdAndLabel) {
+  SweepTimeline timeline;
+  timeline.record(7, "abg/fig5", 0.25, 1.0);
+  const util::Json doc = util::Json::parse(timeline.to_trace().to_json().dump());
+  bool found = false;
+  for (const util::Json& event : doc.at("traceEvents").items()) {
+    if (event.at("ph").as_string() != "X") {
+      continue;
+    }
+    found = true;
+    EXPECT_EQ(event.at("name").as_string(), "run 7 abg/fig5");
+    EXPECT_EQ(event.at("args").at("run_id").as_integer(), 7);
+    EXPECT_DOUBLE_EQ(event.at("ts").as_number(), 250000.0);
+    EXPECT_DOUBLE_EQ(event.at("dur").as_number(), 750000.0);
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace abg::obs

@@ -6,6 +6,7 @@
 
 #include "core/run.hpp"
 #include "dag/profile_job.hpp"
+#include "fault/fault_plan.hpp"
 #include "workload/profiles.hpp"
 
 namespace abg::sim {
@@ -18,8 +19,7 @@ JobTrace sample_trace() {
       SingleJobConfig{.processors = 16, .quantum_length = 15});
 }
 
-TEST(TraceIo, RoundTripPreservesQuanta) {
-  const JobTrace original = sample_trace();
+void expect_round_trips(const JobTrace& original) {
   std::stringstream buffer;
   write_trace_csv(buffer, original);
   const JobTrace parsed = read_trace_csv(buffer);
@@ -27,17 +27,75 @@ TEST(TraceIo, RoundTripPreservesQuanta) {
   for (std::size_t i = 0; i < original.quanta.size(); ++i) {
     const auto& a = original.quanta[i];
     const auto& b = parsed.quanta[i];
-    EXPECT_EQ(a.index, b.index);
-    EXPECT_EQ(a.start_step, b.start_step);
-    EXPECT_EQ(a.request, b.request);
-    EXPECT_EQ(a.allotment, b.allotment);
-    EXPECT_EQ(a.available, b.available);
-    EXPECT_EQ(a.length, b.length);
-    EXPECT_EQ(a.steps_used, b.steps_used);
-    EXPECT_EQ(a.work, b.work);
-    EXPECT_NEAR(a.cpl, b.cpl, 1e-9);
-    EXPECT_EQ(a.full, b.full);
-    EXPECT_EQ(a.finished, b.finished);
+    EXPECT_EQ(a.index, b.index) << "quantum " << i;
+    EXPECT_EQ(a.start_step, b.start_step) << "quantum " << i;
+    EXPECT_EQ(a.request, b.request) << "quantum " << i;
+    EXPECT_EQ(a.allotment, b.allotment) << "quantum " << i;
+    EXPECT_EQ(a.available, b.available) << "quantum " << i;
+    EXPECT_EQ(a.length, b.length) << "quantum " << i;
+    EXPECT_EQ(a.steps_used, b.steps_used) << "quantum " << i;
+    EXPECT_EQ(a.work, b.work) << "quantum " << i;
+    EXPECT_NEAR(a.cpl, b.cpl, 1e-9) << "quantum " << i;
+    EXPECT_EQ(a.full, b.full) << "quantum " << i;
+    EXPECT_EQ(a.finished, b.finished) << "quantum " << i;
+  }
+}
+
+std::vector<JobSubmission> two_job_set() {
+  std::vector<JobSubmission> subs;
+  for (int j = 0; j < 2; ++j) {
+    JobSubmission s;
+    s.job = std::make_unique<dag::ProfileJob>(
+        workload::square_wave_profile(2, 24, 8, 40, 3));
+    subs.push_back(std::move(s));
+  }
+  return subs;
+}
+
+SimResult faulted_run(fault::WorkLoss work_loss, EngineKind engine) {
+  fault::FaultPlan plan = fault::periodic_crash_plan(
+      /*job=*/0, /*first_step=*/30, /*period=*/90, /*count=*/2);
+  plan.work_loss = work_loss;
+  SimConfig config{.processors = 8, .quantum_length = 20};
+  config.faults = &plan;
+  config.engine = engine;
+  return core::run_set(core::abg_spec(), two_job_set(), config);
+}
+
+TEST(TraceIo, RoundTripPreservesQuanta) { expect_round_trips(sample_trace()); }
+
+TEST(TraceIo, CheckpointCrashTraceRoundTrips) {
+  // Crash-voided quanta (steps_used < length, not finished) must survive
+  // the CSV round-trip exactly; the crashed job keeps its pre-crash quanta
+  // under checkpoint semantics.
+  const SimResult result =
+      faulted_run(fault::WorkLoss::kCheckpointQuantum, EngineKind::kSync);
+  ASSERT_FALSE(result.fault_log.crashes.empty());
+  for (const JobTrace& trace : result.jobs) {
+    expect_round_trips(trace);
+  }
+}
+
+TEST(TraceIo, ScratchCrashTraceRoundTrips) {
+  // Restart-from-scratch clears the crashed job's trace; whatever quanta
+  // remain (the rerun) must still round-trip.
+  const SimResult result =
+      faulted_run(fault::WorkLoss::kRestartFromScratch, EngineKind::kSync);
+  ASSERT_FALSE(result.fault_log.crashes.empty());
+  for (const JobTrace& trace : result.jobs) {
+    expect_round_trips(trace);
+  }
+}
+
+TEST(TraceIo, AsyncEngineTraceRoundTrips) {
+  // The asynchronous engine's averaged allotments and per-job boundaries
+  // produce quantum rows the sync engine never emits; the CSV format must
+  // carry them unchanged.
+  const SimResult result =
+      faulted_run(fault::WorkLoss::kCheckpointQuantum, EngineKind::kAsync);
+  ASSERT_TRUE(result.averaged_allotments);
+  for (const JobTrace& trace : result.jobs) {
+    expect_round_trips(trace);
   }
 }
 

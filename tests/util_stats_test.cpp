@@ -94,13 +94,14 @@ TEST(Quantile, ClampsOutOfRangeQ) {
   EXPECT_DOUBLE_EQ(quantile({1.0, 2.0}, 1.5), 2.0);
 }
 
-TEST(Quantile, ThrowsOnEmpty) {
-  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
-}
+// The documented empty-input contract: the vector helpers return quiet
+// NaN, never throw, so aggregation pipelines can pass possibly-empty
+// sample sets straight through (util::Json renders NaN as null).
+TEST(Quantile, NanOnEmpty) { EXPECT_TRUE(std::isnan(quantile({}, 0.5))); }
 
 TEST(MeanOf, Basic) {
   EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
-  EXPECT_THROW(mean_of({}), std::invalid_argument);
+  EXPECT_TRUE(std::isnan(mean_of({})));
 }
 
 TEST(GeometricMean, Basic) {
@@ -110,7 +111,13 @@ TEST(GeometricMean, Basic) {
 
 TEST(GeometricMean, RejectsNonPositive) {
   EXPECT_THROW(geometric_mean({1.0, 0.0}), std::invalid_argument);
-  EXPECT_THROW(geometric_mean({}), std::invalid_argument);
+  EXPECT_TRUE(std::isnan(geometric_mean({})));
+}
+
+TEST(StddevOf, NanOnEmptyZeroOnSingle) {
+  EXPECT_TRUE(std::isnan(stddev_of({})));
+  EXPECT_DOUBLE_EQ(stddev_of({7.0}), 0.0);
+  EXPECT_NEAR(stddev_of({1.0, 3.0}), std::sqrt(2.0), 1e-12);
 }
 
 TEST(ApproxEqual, RelativeAndAbsolute) {

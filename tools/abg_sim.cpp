@@ -19,6 +19,14 @@
 //   --width W [10] --levels N [20000]  (constant / randomwalk)
 //   --load X [1.0] --jobs-cap N [0]    (jobset)
 //   --trace FILE   dump the first job's per-quantum CSV
+//   --trace-out FILE    write a Chrome/Perfetto trace of the run (open in
+//                       ui.perfetto.dev): per-job quantum slices colored by
+//                       the desire-vs-allotment regime, d/a/A counter
+//                       tracks, machine utilization
+//   --metrics-out FILE  write the run's aggregated metrics registry (JSON)
+//   --profile[=FILE]    time the configured workload under BOTH engines and
+//                       write simulated-steps/sec spans
+//                       [FILE defaults to BENCH_profile.json]
 //   --report       print sparkline feedback report per job
 //   --gantt        print an ASCII Gantt chart of the whole run
 //   --compare      also run A-Greedy on the identical workload
@@ -43,6 +51,12 @@
 #include "metrics/lower_bounds.hpp"
 #include "metrics/parallelism_stats.hpp"
 #include "metrics/scheduler_diagnostics.hpp"
+#include "obs/event_bus.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_sink.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace_sink.hpp"
 #include "sim/report.hpp"
 #include "sim/trace_io.hpp"
 #include "sim/validate.hpp"
@@ -237,7 +251,9 @@ void print_usage(std::ostream& os) {
         "               [--policy-restart=preserve|reset] "
         "[--restart-delay=N]\n"
         "               [--resilience] [--trace=FILE] [--report] "
-        "[--gantt] [--compare]\n";
+        "[--gantt] [--compare]\n"
+        "               [--trace-out=FILE] [--metrics-out=FILE] "
+        "[--profile[=FILE]]\n";
 }
 
 }  // namespace
@@ -278,6 +294,22 @@ int main(int argc, char** argv) {
     if (!faults.empty()) {
       config.faults = &faults;
     }
+
+    // Observability: the bus stays inactive (and the engine untouched)
+    // unless an output flag subscribes a sink.
+    abg::obs::EventBus bus;
+    abg::obs::PerfettoTrace perfetto;
+    abg::obs::SimTraceSink perfetto_sink(perfetto);
+    abg::obs::MetricsRegistry registry;
+    abg::obs::MetricsSink metrics_sink(registry);
+    if (cli.has("trace-out")) {
+      bus.subscribe(&perfetto_sink);
+    }
+    if (cli.has("metrics-out")) {
+      bus.subscribe(&metrics_sink);
+    }
+    config.obs.event_bus = &bus;
+
     const abg::sim::SimResult result = abg::core::run_set(
         scheduler, std::move(submissions), config, allocator.get());
 
@@ -349,8 +381,12 @@ int main(int argc, char** argv) {
     }
     if (cli.get_bool("compare", false)) {
       const auto baseline_alloc = make_allocator(cli);
+      // The comparison run is not part of the observed run: detach the bus
+      // so --trace-out / --metrics-out describe the primary result only.
+      abg::sim::SimConfig baseline_config = config;
+      baseline_config.obs = {};
       const abg::sim::SimResult baseline = abg::core::run_set(
-          abg::core::a_greedy_spec(), build_workload(), config,
+          abg::core::a_greedy_spec(), build_workload(), baseline_config,
           baseline_alloc.get());
       std::cout << "\nA-Greedy on the identical workload: makespan "
                 << baseline.makespan << " ("
@@ -365,6 +401,7 @@ int main(int argc, char** argv) {
       // Fault-free reference on the byte-identical workload.
       abg::sim::SimConfig reference_config = config;
       reference_config.faults = nullptr;
+      reference_config.obs = {};
       const auto reference_alloc = make_allocator(cli);
       const abg::sim::SimResult reference = abg::core::run_set(
           scheduler, build_workload(), reference_config,
@@ -376,6 +413,73 @@ int main(int argc, char** argv) {
       std::ofstream out(cli.get("trace", ""));
       abg::sim::write_trace_csv(out, result.jobs.at(0));
       std::cout << "\nwrote " << cli.get("trace", "") << "\n";
+    }
+    if (cli.has("trace-out")) {
+      const std::string path = cli.get("trace-out", "");
+      std::ofstream out(path);
+      if (!out) {
+        throw std::runtime_error("cannot open --trace-out path " + path);
+      }
+      perfetto.write(out);
+      std::cout << "\nwrote Perfetto trace to " << path << " ("
+                << perfetto.event_count()
+                << " events; open in ui.perfetto.dev)\n";
+    }
+    if (cli.has("metrics-out")) {
+      const std::string path = cli.get("metrics-out", "");
+      std::ofstream out(path);
+      if (!out) {
+        throw std::runtime_error("cannot open --metrics-out path " + path);
+      }
+      registry.write(out);
+      out << "\n";
+      std::cout << "\nwrote metrics to " << path << "\n";
+    }
+    if (cli.has("profile")) {
+      // Self-profiling: rerun the configured scenario under BOTH boundary
+      // models, timed, and report simulated-steps/sec per engine.
+      std::string path = cli.get("profile", "");
+      if (path.empty() || path == "true") {
+        path = "BENCH_profile.json";
+      }
+      const auto simulated_steps = [](const abg::sim::SimResult& r) {
+        std::int64_t steps = 0;
+        for (const auto& trace : r.jobs) {
+          for (const auto& q : trace.quanta) {
+            steps += q.steps_used;
+          }
+        }
+        return steps;
+      };
+      abg::obs::Profiler profiler;
+      for (const abg::sim::EngineKind kind :
+           {abg::sim::EngineKind::kSync, abg::sim::EngineKind::kAsync}) {
+        abg::sim::SimConfig profile_config = config;
+        profile_config.engine = kind;
+        profile_config.obs = {};
+        const auto profile_alloc = make_allocator(cli);
+        auto scope = profiler.time(
+            "engine." + std::string(abg::sim::to_string(kind)));
+        const abg::sim::SimResult timed = abg::core::run_set(
+            scheduler, build_workload(), profile_config,
+            profile_alloc.get());
+        scope.add_items(simulated_steps(timed));
+      }
+      std::ofstream out(path);
+      if (!out) {
+        throw std::runtime_error("cannot open --profile path " + path);
+      }
+      profiler.write(out);
+      const auto rate = [&profiler](const char* span) {
+        const abg::obs::ProfileSpan s = profiler.span(span);
+        return s.seconds > 0.0 ? static_cast<double>(s.items) / s.seconds
+                               : 0.0;
+      };
+      std::cout << "\nwrote profile to " << path << " (sync "
+                << abg::util::format_double(rate("engine.sync"), 0)
+                << " steps/s, async "
+                << abg::util::format_double(rate("engine.async"), 0)
+                << " steps/s)\n";
     }
     return 0;
   } catch (const std::invalid_argument& e) {

@@ -32,6 +32,13 @@
 //   --summary=PATH  aggregated summary; 'none' = skip
 //                 (default BENCH_sweeps.json)
 //   --quiet       suppress the stderr progress line
+//   --metrics-out=PATH  merged engine-metrics registry of every run (JSON;
+//                 thread-count independent, cmp-able across --jobs levels)
+//   --trace-out=PATH    Perfetto timeline of the sweep execution itself
+//                 (one track per worker thread, one slice per run;
+//                 wall-clock, open in ui.perfetto.dev)
+//   --profile[=PATH]    sweep throughput spans (runs/sec)
+//                 [PATH defaults to BENCH_profile.json]
 //
 // Scheduler-side parameters (scheduler, r) do not advance the workload
 // seed index: every scheduler variant runs the exact same workloads, so
@@ -40,12 +47,16 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "exp/result_sink.hpp"
 #include "exp/runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/sweep_timeline.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -277,8 +288,30 @@ int main(int argc, char** argv) {
     if (!cli.get_bool("quiet", false)) {
       sweep.on_progress = abg::exp::stderr_progress();
     }
-    const std::vector<RunRecord> records =
-        abg::exp::SweepRunner(sweep).run(specs);
+    // Observability outputs: all three are opt-in and none touches the
+    // deterministic records (metrics merges are thread-count independent;
+    // the timeline and profiler are wall-clock by design).
+    abg::obs::MetricsRegistry registry;
+    abg::obs::SweepTimeline timeline;
+    abg::obs::Profiler profiler;
+    if (cli.has("metrics-out")) {
+      sweep.metrics = &registry;
+    }
+    if (cli.has("trace-out")) {
+      sweep.timeline = &timeline;
+    }
+    if (cli.has("profile")) {
+      sweep.profiler = &profiler;
+    }
+    std::vector<RunRecord> records;
+    {
+      std::optional<abg::obs::Profiler::Scope> total_scope;
+      if (cli.has("profile")) {
+        total_scope.emplace(&profiler, "sweep.total",
+                            static_cast<std::int64_t>(specs.size()));
+      }
+      records = abg::exp::SweepRunner(sweep).run(specs);
+    }
 
     // Aggregate table on stdout: one row per (group, scheduler) in order
     // of first appearance.
@@ -344,6 +377,46 @@ int main(int argc, char** argv) {
       }
       sink.write_summary(out);
       std::cout << "\nwrote summary to " << summary_path;
+    }
+    if (cli.has("metrics-out")) {
+      const std::string path = cli.get("metrics-out", "");
+      std::ofstream out(path);
+      if (!out) {
+        throw std::runtime_error("cannot open --metrics-out path " + path);
+      }
+      registry.write(out);
+      out << "\n";
+      std::cout << "\nwrote merged metrics to " << path;
+    }
+    if (cli.has("trace-out")) {
+      const std::string path = cli.get("trace-out", "");
+      std::ofstream out(path);
+      if (!out) {
+        throw std::runtime_error("cannot open --trace-out path " + path);
+      }
+      const abg::obs::PerfettoTrace trace = timeline.to_trace();
+      trace.write(out);
+      std::cout << "\nwrote sweep timeline to " << path << " ("
+                << timeline.size() << " run slices)";
+    }
+    if (cli.has("profile")) {
+      std::string path = cli.get("profile", "");
+      if (path.empty() || path == "true") {
+        path = "BENCH_profile.json";
+      }
+      std::ofstream out(path);
+      if (!out) {
+        throw std::runtime_error("cannot open --profile path " + path);
+      }
+      profiler.write(out);
+      const abg::obs::ProfileSpan total = profiler.span("sweep.total");
+      std::cout << "\nwrote profile to " << path << " ("
+                << abg::util::format_double(
+                       total.seconds > 0.0
+                           ? static_cast<double>(total.items) / total.seconds
+                           : 0.0,
+                       1)
+                << " runs/s)";
     }
     std::cout << "\n";
     return 0;

@@ -1,0 +1,185 @@
+// trace_check: structural validator for the observability artifacts.
+//
+// CI and ctest use this to prove that what the tools emit actually loads:
+//
+//   trace_check trace FILE     Chrome/Perfetto trace-event JSON: parses,
+//                              has >= 1 named job track, >= 1 quantum
+//                              slice per job track, and the d/a counter
+//                              series the exporter promises.
+//   trace_check metrics FILE   metrics-registry JSON: parses, has the
+//                              counters/gauges/histograms sections, and
+//                              every histogram carries a consistent count.
+//   trace_check profile FILE [SPAN...]
+//                              BENCH_profile.json: parses, every span has
+//                              seconds/count/items/items_per_second, and
+//                              each SPAN argument names an existing span.
+//
+// Prints one summary line on success; prints the failure and exits 1
+// otherwise.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace {
+
+using abg::util::Json;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what);
+}
+
+const Json& require(const Json& parent, const std::string& key) {
+  const Json* found = parent.find(key);
+  if (found == nullptr) {
+    fail("missing required key '" + key + "'");
+  }
+  return *found;
+}
+
+int check_trace(const std::string& path) {
+  const Json doc = Json::parse(read_file(path));
+  const Json& events = require(doc, "traceEvents");
+  if (!events.is_array()) {
+    fail("traceEvents is not an array");
+  }
+  // Job tracks are announced as thread_name metadata ("job N (...)");
+  // quantum slices are X events on the same tid.
+  std::map<std::int64_t, std::string> job_tracks;
+  std::map<std::int64_t, std::int64_t> slices_per_tid;
+  std::set<std::string> counter_tracks;
+  for (const Json& event : events.items()) {
+    const std::string& phase = require(event, "ph").as_string();
+    if (phase == "M" && require(event, "name").as_string() == "thread_name") {
+      const std::string& label =
+          require(require(event, "args"), "name").as_string();
+      if (label.rfind("job ", 0) == 0) {
+        job_tracks[require(event, "tid").as_integer()] = label;
+      }
+    } else if (phase == "X") {
+      ++slices_per_tid[require(event, "tid").as_integer()];
+      if (require(event, "dur").as_number() < 0) {
+        fail("slice with negative duration");
+      }
+    } else if (phase == "C") {
+      counter_tracks.insert(require(event, "name").as_string());
+    }
+  }
+  if (job_tracks.empty()) {
+    fail("no job tracks (thread_name metadata) found");
+  }
+  std::int64_t total_slices = 0;
+  std::int64_t da_tracks = 0;
+  for (const auto& [tid, label] : job_tracks) {
+    const auto found = slices_per_tid.find(tid);
+    if (found == slices_per_tid.end() || found->second == 0) {
+      fail("track '" + label + "' has no quantum slices");
+    }
+    total_slices += found->second;
+    // "job N d/a" counter series accompany every job track.
+    const std::string job_id = label.substr(0, label.find(" ("));
+    if (counter_tracks.count(job_id + " d/a") > 0) {
+      ++da_tracks;
+    }
+  }
+  if (da_tracks == 0) {
+    fail("no 'job N d/a' counter tracks found");
+  }
+  std::cout << "trace_check: " << path << " ok (" << job_tracks.size()
+            << " job tracks, " << total_slices << " slices, " << da_tracks
+            << " d/a counter tracks)\n";
+  return 0;
+}
+
+int check_metrics(const std::string& path) {
+  const Json doc = Json::parse(read_file(path));
+  const Json& counters = require(doc, "counters");
+  const Json& gauges = require(doc, "gauges");
+  const Json& histograms = require(doc, "histograms");
+  if (!counters.is_object() || !gauges.is_object() ||
+      !histograms.is_object()) {
+    fail("counters/gauges/histograms must be objects");
+  }
+  for (const auto& [name, histogram] : histograms.members()) {
+    const std::int64_t count = require(histogram, "count").as_integer();
+    std::int64_t bucketed = 0;
+    for (const Json& bucket : require(histogram, "buckets").items()) {
+      bucketed += bucket.as_integer();
+    }
+    if (bucketed != count) {
+      fail("histogram '" + name + "' buckets sum to " +
+           std::to_string(bucketed) + " but count is " +
+           std::to_string(count));
+    }
+  }
+  std::cout << "trace_check: " << path << " ok (" << counters.size()
+            << " counters, " << gauges.size() << " gauges, "
+            << histograms.size() << " histograms)\n";
+  return 0;
+}
+
+int check_profile(const std::string& path,
+                  const std::vector<std::string>& required_spans) {
+  const Json doc = Json::parse(read_file(path));
+  if (require(doc, "benchmark").as_string() != "profile") {
+    fail("benchmark field is not 'profile'");
+  }
+  const Json& spans = require(doc, "spans");
+  for (const auto& [name, span] : spans.members()) {
+    if (require(span, "seconds").as_number() < 0) {
+      fail("span '" + name + "' has negative seconds");
+    }
+    require(span, "count");
+    require(span, "items");
+    require(span, "items_per_second");
+  }
+  for (const std::string& name : required_spans) {
+    if (spans.find(name) == nullptr) {
+      fail("required span '" + name + "' missing");
+    }
+  }
+  std::cout << "trace_check: " << path << " ok (" << spans.size()
+            << " spans)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.size() >= 2 && args[0] == "trace") {
+      return check_trace(args[1]);
+    }
+    if (args.size() >= 2 && args[0] == "metrics") {
+      return check_metrics(args[1]);
+    }
+    if (args.size() >= 2 && args[0] == "profile") {
+      return check_profile(
+          args[1], std::vector<std::string>(args.begin() + 2, args.end()));
+    }
+    std::cerr << "usage: trace_check trace|metrics|profile FILE [SPAN...]\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "trace_check: " << (args.size() >= 2 ? args[1] : "") << ": "
+              << e.what() << "\n";
+    return 1;
+  }
+}
