@@ -36,7 +36,9 @@ int AvailabilityProfile::pool(int total_processors) const {
 }
 
 std::unique_ptr<Allocator> AvailabilityProfile::clone() const {
-  return std::make_unique<AvailabilityProfile>(availability_);
+  // Copy-construct so the profile position survives: a clone replays the
+  // profile from the original's current quantum, not from the start.
+  return std::make_unique<AvailabilityProfile>(*this);
 }
 
 int AvailabilityProfile::availability_at(std::size_t q) const {

@@ -19,8 +19,10 @@ class EquiPartition final : public Allocator {
                             int total_processors) override;
   void reset() override { rotation_ = 0; }
   std::string_view name() const override { return "equi-partition"; }
+  /// Copies the rotation offset: a clone continues the original's
+  /// remainder rotation instead of restarting it at job 0.
   std::unique_ptr<Allocator> clone() const override {
-    return std::make_unique<EquiPartition>();
+    return std::make_unique<EquiPartition>(*this);
   }
 
  private:

@@ -19,8 +19,10 @@ class RoundRobin final : public Allocator {
                             int total_processors) override;
   void reset() override { rotation_ = 0; }
   std::string_view name() const override { return "round-robin"; }
+  /// Copies the rotation offset: a clone continues the original's dealing
+  /// order instead of restarting it at job 0.
   std::unique_ptr<Allocator> clone() const override {
-    return std::make_unique<RoundRobin>();
+    return std::make_unique<RoundRobin>(*this);
   }
 
  private:

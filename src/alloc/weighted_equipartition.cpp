@@ -86,7 +86,9 @@ std::vector<int> WeightedEquiPartition::allocate(
 }
 
 std::unique_ptr<Allocator> WeightedEquiPartition::clone() const {
-  return std::make_unique<WeightedEquiPartition>(weights_);
+  // Copy-construct so the rotation offset survives: a clone continues the
+  // original's remainder rotation instead of restarting it at job 0.
+  return std::make_unique<WeightedEquiPartition>(*this);
 }
 
 }  // namespace abg::alloc

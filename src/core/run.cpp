@@ -5,6 +5,7 @@
 #include "alloc/equipartition.hpp"
 #include "alloc/unconstrained.hpp"
 #include "sim/async_simulator.hpp"
+#include "sim/sharded_engine.hpp"
 
 namespace abg::core {
 
@@ -64,6 +65,13 @@ sim::SimResult run_set(const SchedulerSpec& spec,
   }
   alloc::EquiPartition fallback;
   alloc::Allocator& alloc_ref = allocator ? *allocator : fallback;
+  if (config.hier.groups != 0) {
+    // Hierarchical allocation: the sharded engine validates the rest of
+    // the config (sync-only, no faults, no quantum-length policy).
+    return sim::simulate_job_set_sharded(std::move(submissions),
+                                         *spec.execution, *spec.request,
+                                         alloc_ref, config);
+  }
   if (config.engine == sim::EngineKind::kAsync) {
     return sim::simulate_job_set_async(std::move(submissions), *spec.execution,
                                        *spec.request, alloc_ref, config);

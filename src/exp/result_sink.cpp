@@ -36,6 +36,14 @@ util::Json record_to_json(const RunRecord& record) {
   if (!record.engine.empty() && record.engine != "sync") {
     j.set("engine", util::Json::string(record.engine));
   }
+  // Same rule for the hier axis: flat runs (hier_groups == 0) serialize
+  // exactly as they did before the axis existed.
+  if (record.hier_groups > 0) {
+    j.set("hier_groups", util::Json::integer(record.hier_groups));
+    if (!record.hier_alloc.empty()) {
+      j.set("hier_alloc", util::Json::string(record.hier_alloc));
+    }
+  }
   j.set("seed", util::Json::integer(static_cast<std::int64_t>(record.seed)))
       .set("metrics", std::move(metrics));
   return j;

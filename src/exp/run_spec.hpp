@@ -104,6 +104,13 @@ struct RunSpec {
   /// per-job async quanta); an engine axis in a grid makes boundary-model
   /// comparisons on common random numbers.
   sim::EngineKind engine = sim::EngineKind::kSync;
+  /// Hierarchical allocation: number of groups for the sharded set engine
+  /// (0 = the flat path, the default) and the group/root allocator name
+  /// ("" = the run's own allocator kind; else "deq" | "rr").  Sweeps run
+  /// each group loop single-threaded — runs are already the unit of
+  /// parallelism — so hier specs stay deterministic under SweepRunner.
+  int hier_groups = 0;
+  std::string hier_alloc;
   /// Index fed to Rng::derive(base_seed, seed_index) for workload and
   /// fault-plan generation.  Specs sharing a seed index see identical
   /// workloads (use this to pair scheduler variants).

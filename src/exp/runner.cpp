@@ -210,6 +210,8 @@ RunRecord execute_run(const RunSpec& spec, std::uint64_t base_seed,
   record.workload = to_string(spec.workload.kind);
   record.fault = to_string(spec.faults.scenario);
   record.engine = std::string(sim::to_string(spec.engine));
+  record.hier_groups = spec.hier_groups;
+  record.hier_alloc = spec.hier_alloc;
   record.seed = seed;
 
   // Workload generation consumes the run's stream from the start so a
@@ -238,6 +240,13 @@ RunRecord execute_run(const RunSpec& spec, std::uint64_t base_seed,
                         .quantum_length = spec.machine.quantum_length,
                         .engine = spec.engine};
   config.obs.event_bus = &bus;
+  // Hierarchical runs keep their group loops single-threaded inside a
+  // sweep: runs are the sweep's unit of parallelism, and nested pools
+  // would oversubscribe without changing any result (the sharded engine
+  // is thread-count independent).
+  config.hier.groups = spec.hier_groups;
+  config.hier.allocator = spec.hier_alloc;
+  config.hier.threads = 1;
 
   // One allocator instance per simulated run: allocators may be stateful
   // (round-robin rotates its start index), so sharing one across threads

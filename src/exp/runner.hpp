@@ -37,6 +37,11 @@ struct RunRecord {
   /// JSONL only when it differs from the default "sync" (and is
   /// non-empty), so pre-engine-axis artifacts stay byte-identical.
   std::string engine;
+  /// Hierarchical allocation of the run: group count (0 = flat) and group
+  /// allocator name.  Serialized only when hier_groups > 0 (same omission
+  /// rule as `engine`), so pre-hier artifacts stay byte-identical.
+  int hier_groups = 0;
+  std::string hier_alloc;
   std::uint64_t seed = 0;
   std::vector<std::pair<std::string, double>> metrics;
 

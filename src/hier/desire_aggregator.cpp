@@ -1,0 +1,77 @@
+#include "hier/desire_aggregator.hpp"
+
+#include <stdexcept>
+
+namespace abg::hier {
+
+DesireAggregator::DesireAggregator(int groups,
+                                   std::unique_ptr<alloc::Allocator> root)
+    : groups_(groups), root_(std::move(root)) {
+  if (groups_ < 1) {
+    throw std::invalid_argument("DesireAggregator: groups must be >= 1");
+  }
+  if (root_ == nullptr) {
+    throw std::invalid_argument("DesireAggregator: null root allocator");
+  }
+}
+
+std::vector<int> DesireAggregator::roll_up(
+    const std::vector<int>& requests) const {
+  std::vector<int> desires(static_cast<std::size_t>(groups_), 0);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i] < 0) {
+      throw std::invalid_argument("DesireAggregator: negative request");
+    }
+    desires[group_of(i, desires.size())] += requests[i];
+  }
+  return desires;
+}
+
+std::vector<int> DesireAggregator::split(const std::vector<int>& group_desires,
+                                         int total_processors) {
+  if (group_desires.size() != static_cast<std::size_t>(groups_)) {
+    throw std::invalid_argument(
+        "DesireAggregator::split: expected one desire per group");
+  }
+  std::vector<int> budgets = root_->allocate(group_desires, total_processors);
+  ++rebalances_;
+
+  int assigned = 0;
+  for (const int b : budgets) {
+    assigned += b;
+  }
+  int surplus = total_processors - assigned;
+  if (surplus > 0) {
+    // All desires were met (the root is conservative): spread the idle
+    // remainder so budgets sum to the machine size, rotating the start of
+    // the indivisible part so no group is systematically favored.
+    const int share = surplus / groups_;
+    int extra = surplus % groups_;
+    const std::size_t offset = surplus_rotation_ % budgets.size();
+    for (std::size_t k = 0; k < budgets.size(); ++k) {
+      const std::size_t g = (offset + k) % budgets.size();
+      budgets[g] += share;
+      if (extra > 0) {
+        ++budgets[g];
+        --extra;
+      }
+    }
+  }
+  ++surplus_rotation_;
+  return budgets;
+}
+
+void DesireAggregator::reset() {
+  root_->reset();
+  surplus_rotation_ = 0;
+  rebalances_ = 0;
+}
+
+std::unique_ptr<DesireAggregator> DesireAggregator::clone() const {
+  auto copy = std::make_unique<DesireAggregator>(groups_, root_->clone());
+  copy->surplus_rotation_ = surplus_rotation_;
+  copy->rebalances_ = rebalances_;
+  return copy;
+}
+
+}  // namespace abg::hier

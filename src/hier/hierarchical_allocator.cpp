@@ -1,0 +1,90 @@
+#include "hier/hierarchical_allocator.hpp"
+
+#include <stdexcept>
+
+#include "alloc/equipartition.hpp"
+#include "alloc/round_robin.hpp"
+
+namespace abg::hier {
+
+std::unique_ptr<alloc::Allocator> make_group_allocator(
+    const std::string& name) {
+  if (name == "deq") {
+    return std::make_unique<alloc::EquiPartition>();
+  }
+  if (name == "rr") {
+    return std::make_unique<alloc::RoundRobin>();
+  }
+  throw std::invalid_argument("unknown group allocator '" + name +
+                              "' (expected deq|rr)");
+}
+
+HierarchicalAllocator::HierarchicalAllocator(
+    int groups, const alloc::Allocator& prototype) {
+  if (groups < 1) {
+    throw std::invalid_argument(
+        "HierarchicalAllocator: groups must be >= 1");
+  }
+  aggregator_ =
+      std::make_unique<DesireAggregator>(groups, prototype.clone());
+  group_allocators_.reserve(static_cast<std::size_t>(groups));
+  for (int g = 0; g < groups; ++g) {
+    group_allocators_.push_back(prototype.clone());
+  }
+  name_ = "hier-" + std::to_string(groups) + "-" +
+          std::string(prototype.name());
+}
+
+std::vector<int> HierarchicalAllocator::allocate(
+    const std::vector<int>& requests, int total_processors) {
+  alloc::validate_allocation_inputs(requests, total_processors);
+  const std::size_t n = requests.size();
+  const auto groups = group_allocators_.size();
+
+  // Up: member requests per group, in submission order within the group.
+  std::vector<std::vector<int>> member_requests(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    member_requests[g].reserve(n / groups + 1);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    member_requests[group_of(i, groups)].push_back(requests[i]);
+  }
+  last_budgets_ =
+      aggregator_->split(aggregator_->roll_up(requests), total_processors);
+
+  // Down: each group divides its budget with its own allocator.  Every
+  // group allocator is called every quantum — including empty groups — so
+  // rotation state advances identically whether or not a group currently
+  // holds jobs.
+  std::vector<int> allotments(n, 0);
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::vector<int> group_allotment =
+        group_allocators_[g]->allocate(member_requests[g], last_budgets_[g]);
+    for (std::size_t k = 0; k < group_allotment.size(); ++k) {
+      allotments[k * groups + g] = group_allotment[k];
+    }
+  }
+  return allotments;
+}
+
+void HierarchicalAllocator::reset() {
+  aggregator_->reset();
+  for (const auto& allocator : group_allocators_) {
+    allocator->reset();
+  }
+  last_budgets_.clear();
+}
+
+std::unique_ptr<alloc::Allocator> HierarchicalAllocator::clone() const {
+  std::unique_ptr<HierarchicalAllocator> copy(new HierarchicalAllocator());
+  copy->aggregator_ = aggregator_->clone();
+  copy->group_allocators_.reserve(group_allocators_.size());
+  for (const auto& allocator : group_allocators_) {
+    copy->group_allocators_.push_back(allocator->clone());
+  }
+  copy->last_budgets_ = last_budgets_;
+  copy->name_ = name_;
+  return copy;
+}
+
+}  // namespace abg::hier

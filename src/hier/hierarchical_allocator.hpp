@@ -1,0 +1,61 @@
+// Hierarchical allocator: the allocation tree packaged as a flat
+// alloc::Allocator.
+//
+// allocate() performs one full tree pass — roll member requests up into
+// per-group desires, split the machine over the groups (DesireAggregator),
+// then let each group's own allocator divide its budget over its members —
+// and scatters the per-group allotments back into flat request order.  Any
+// conservative, non-reserving group allocator (equi-partition, round-robin,
+// weighted) keeps those properties through the tree; global fairness is
+// deliberately traded away for scalability at groups > 1 (jobs in a
+// contended group can get less than jobs in a quiet one), while fairness
+// *within* each group still holds.  With one group the tree collapses and
+// the output is byte-identical to the inner allocator alone.
+//
+// This class is what the property tests exercise and what a flat engine can
+// use directly; the sharded engine (sim/sharded_engine.hpp) runs the same
+// tree but advances the group loops on worker threads.
+#pragma once
+
+#include <string>
+
+#include "hier/desire_aggregator.hpp"
+
+namespace abg::hier {
+
+/// Builds the allocator a group-level name selects: "deq" (dynamic
+/// equi-partitioning) or "rr" (round-robin).  Throws std::invalid_argument
+/// on anything else.
+std::unique_ptr<alloc::Allocator> make_group_allocator(
+    const std::string& name);
+
+class HierarchicalAllocator final : public alloc::Allocator {
+ public:
+  /// A tree of `groups` groups, each running a fresh clone of `prototype`;
+  /// the root runs another clone.  `groups` >= 1.
+  HierarchicalAllocator(int groups, const alloc::Allocator& prototype);
+
+  std::vector<int> allocate(const std::vector<int>& requests,
+                            int total_processors) override;
+  void reset() override;
+  /// "hier-<groups>-<inner name>", e.g. "hier-4-equi-partition".
+  std::string_view name() const override { return name_; }
+  /// Deep copy preserving the root's and every group allocator's state.
+  std::unique_ptr<Allocator> clone() const override;
+
+  int groups() const { return aggregator_->groups(); }
+  /// Root split count since construction or reset().
+  std::int64_t rebalances() const { return aggregator_->rebalances(); }
+  /// Budgets of the most recent allocate() call (empty before the first).
+  const std::vector<int>& last_budgets() const { return last_budgets_; }
+
+ private:
+  HierarchicalAllocator() = default;  // for clone()
+
+  std::unique_ptr<DesireAggregator> aggregator_;
+  std::vector<std::unique_ptr<alloc::Allocator>> group_allocators_;
+  std::vector<int> last_budgets_;
+  std::string name_;
+};
+
+}  // namespace abg::hier

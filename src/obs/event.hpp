@@ -40,6 +40,13 @@ enum class EventKind : std::uint8_t {
   kJobCrash,
   /// A non-crash fault event (failure / repair / revocation) was applied.
   kFault,
+  /// The hierarchical root re-split the machine over the groups'
+  /// aggregated desires (sharded engine; once per rebalance epoch, from
+  /// the coordinator thread between group barriers).
+  kHierRebalance,
+  /// Per-group utilization summary of a completed sharded run (one per
+  /// group, before kRunEnd; job = group index).
+  kHierGroupSummary,
   /// The run completed; aggregate results are final.
   kRunEnd,
 };
@@ -65,10 +72,17 @@ struct Event {
   // kJobAdmit
   int desire = 0;
 
-  // kAllocation
+  // kAllocation / kHierRebalance (pool = machine size; assigned = sum of
+  // group budgets; desire = sum of aggregated group desires)
   int pool = 0;
   int assigned = 0;
   std::int64_t active_jobs = 0;
+
+  // kHierRebalance / kHierGroupSummary
+  int hier_groups = 0;
+  /// kHierGroupSummary: processor cycles the group's jobs held over the
+  /// run (work reuses the kJobSubmit field for cycles actually executed).
+  dag::TaskCount allotted_cycles = 0;
 
   // kQuantum — points at the stats record as it entered the trace.  Valid
   // only for the duration of the sink callback; copy what you keep.

@@ -70,6 +70,25 @@ void MetricsSink::on_event(const Event& event) {
           break;  // applied crashes arrive as kJobCrash
       }
       break;
+    case EventKind::kHierRebalance:
+      reg.counter("hier.rebalances").add();
+      reg.gauge("hier.groups").set(static_cast<double>(event.hier_groups));
+      reg.histogram("hier.aggregate_desire")
+          .observe(static_cast<double>(event.desire));
+      if (event.pool > 0) {
+        reg.histogram("hier.budget_utilization_pct")
+            .observe(100.0 * static_cast<double>(event.assigned) /
+                     static_cast<double>(event.pool));
+      }
+      break;
+    case EventKind::kHierGroupSummary:
+      reg.counter("hier.group_summaries").add();
+      if (event.allotted_cycles > 0) {
+        reg.histogram("hier.group_utilization_pct")
+            .observe(100.0 * static_cast<double>(event.work) /
+                     static_cast<double>(event.allotted_cycles));
+      }
+      break;
     case EventKind::kRunEnd:
       reg.gauge("sim.makespan").set(static_cast<double>(event.makespan));
       break;

@@ -88,6 +88,15 @@ void SimTraceSink::on_event(const Event& event) {
     case EventKind::kFault:
       trace.add_instant(pid_, 0, "fault", static_cast<double>(event.step));
       break;
+    case EventKind::kHierRebalance:
+      trace.add_counter(pid_, "hier budget",
+                        static_cast<double>(event.step),
+                        {{"assigned", static_cast<double>(event.assigned)},
+                         {"desire", static_cast<double>(event.desire)}});
+      break;
+    case EventKind::kHierGroupSummary:
+      break;  // aggregate-only; no timeline anchor
+
     case EventKind::kRunEnd:
       // Close the machine counters at the makespan so the last sample
       // doesn't visually extend forever.

@@ -1,0 +1,468 @@
+#include "sim/sharded_engine.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "exp/thread_pool.hpp"
+#include "hier/desire_aggregator.hpp"
+#include "hier/hierarchical_allocator.hpp"
+#include "obs/event_bus.hpp"
+#include "obs/profile.hpp"
+#include "sim/engine_core.hpp"
+#include "sim/job_runtime.hpp"
+#include "sim/quantum_engine.hpp"
+
+namespace abg::sim {
+
+namespace {
+
+constexpr const char* kContext = "simulate_job_set_sharded";
+
+/// Run-wide constants shared by every group loop (read-only during an
+/// epoch, so group tasks can touch them without synchronization).
+struct SharedConfig {
+  const sched::ExecutionPolicy* execution = nullptr;
+  dag::Steps length = 0;
+  dag::Steps max_steps = 0;
+  std::size_t max_active = 0;
+  dag::Steps reallocation_cost_per_proc = 0;
+};
+
+/// FCFS admission candidate within one group, mirroring engine_core.cpp:
+/// lowest eligible step, ties by submission order.
+std::size_t next_admission(const std::vector<JobRuntime>& states,
+                           dag::Steps now) {
+  std::size_t best = states.size();
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    const JobRuntime& st = states[i];
+    if (st.done || st.active || st.eligible_step > now) {
+      continue;
+    }
+    if (best == states.size() ||
+        st.eligible_step < states[best].eligible_step) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// Earliest step at which any unfinished job of the group becomes
+/// eligible; `bound` when none exists.
+dag::Steps next_eligible_step(const std::vector<JobRuntime>& states,
+                              dag::Steps bound) {
+  dag::Steps next_release = bound;
+  for (const JobRuntime& st : states) {
+    if (!st.done) {
+      next_release = std::min(next_release, st.eligible_step);
+    }
+  }
+  return next_release;
+}
+
+/// One allocation group: its members' runtime states, its own allocator,
+/// and a re-entrant quantum loop the coordinator advances epoch by epoch.
+struct GroupEngine {
+  std::vector<JobRuntime> states;
+  /// Original submission index of states[k] (for deterministic merge).
+  std::vector<std::size_t> original;
+  std::unique_ptr<alloc::Allocator> allocator;
+  std::size_t remaining = 0;
+  dag::Steps now = 0;
+  std::int64_t quanta = 0;
+  dag::TaskCount executed_work = 0;
+  dag::TaskCount allotted_cycles = 0;
+
+  // Scratch buffers reused across quanta.
+  std::vector<std::size_t> active_idx;
+  std::vector<int> requests;
+  std::vector<std::size_t> feedback;
+
+  /// Aggregated desire of the group for the epoch ending at `horizon`:
+  /// the live desires of its active jobs plus one processor per queued
+  /// job that becomes eligible inside the epoch (its real desire is
+  /// unknown until admission; one is the conservative floor).
+  int aggregated_desire(dag::Steps horizon) const {
+    int desire = 0;
+    for (const JobRuntime& st : states) {
+      if (st.done) {
+        continue;
+      }
+      if (st.active) {
+        desire += st.desire;
+      } else if (st.eligible_step < horizon) {
+        desire += 1;
+      }
+    }
+    return desire;
+  }
+
+  /// Runs the group's quantum loop until the epoch boundary, the group's
+  /// completion, or the step bound.  The body replicates the fault-free
+  /// synchronous loop of engine_core.cpp against `budget` processors, so
+  /// the 1-group trace is byte-identical to the flat engine's.
+  void advance(dag::Steps epoch_end, int budget, const SharedConfig& shared) {
+    const dag::Steps length = shared.length;
+    while (remaining > 0 && now < epoch_end) {
+      active_idx.clear();
+      std::size_t active_count = 0;
+      for (const JobRuntime& st : states) {
+        if (st.active) {
+          ++active_count;
+        }
+      }
+      while (active_count < shared.max_active) {
+        const std::size_t best = next_admission(states, now);
+        if (best == states.size()) {
+          break;
+        }
+        JobRuntime& st = states[best];
+        st.active = true;
+        st.desire = st.request->first_request();
+        ++active_count;
+      }
+      requests.assign(states.size(), 0);
+      for (std::size_t i = 0; i < states.size(); ++i) {
+        if (states[i].active) {
+          active_idx.push_back(i);
+          requests[i] = states[i].desire;
+        }
+      }
+
+      if (active_idx.empty()) {
+        // All remaining jobs of this group are eligible in the future:
+        // idle to the next eligibility boundary (possibly overshooting
+        // the epoch — boundaries stay aligned since epochs are whole
+        // quanta, and the coordinator simply skips the group until the
+        // epoch clock catches up).
+        const dag::Steps gap =
+            next_eligible_step(states, shared.max_steps) - now;
+        const dag::Steps quanta_to_skip =
+            std::max<dag::Steps>(1, gap / length);
+        now += quanta_to_skip * length;
+        if (now >= shared.max_steps) {
+          throw std::runtime_error(std::string(kContext) +
+                                   ": exceeded step bound");
+        }
+        continue;
+      }
+
+      ++quanta;
+      const int pool = allocator->pool(budget);
+      const std::vector<int> allotments =
+          allocator->allocate(requests, budget);
+      int assigned = 0;
+      for (const int a : allotments) {
+        assigned += a;
+      }
+      const int leftover = std::max(0, pool - assigned);
+
+      feedback.clear();
+      for (const std::size_t i : active_idx) {
+        JobRuntime& st = states[i];
+        const int allotment = allotments[i];
+        ++st.local_quantum;
+        const dag::Steps penalty = reallocation_penalty(
+            st.previous_allotment, allotment,
+            shared.reallocation_cost_per_proc, length);
+        st.previous_allotment = allotment;
+        sched::QuantumStats stats;
+        if (penalty < length) {
+          stats = shared.execution->run_quantum(*st.job, st.local_quantum,
+                                                st.desire, allotment,
+                                                length - penalty);
+        } else {
+          stats.index = st.local_quantum;
+          stats.request = st.desire;
+          stats.allotment = allotment;
+          stats.finished = st.job->finished();
+        }
+        stats.length = length;
+        stats.steps_used += penalty;
+        if (penalty > 0) {
+          stats.full = false;  // the migration steps did no work
+        }
+        stats.available = allotment + leftover;
+        stats.start_step = now;
+        st.trace.quanta.push_back(stats);
+        executed_work += stats.work;
+        allotted_cycles += static_cast<dag::TaskCount>(allotment) *
+                           static_cast<dag::TaskCount>(length);
+        if (stats.finished) {
+          st.trace.completion_step = now + stats.steps_used;
+          st.done = true;
+          st.active = false;
+          --remaining;
+        } else {
+          feedback.push_back(i);
+        }
+      }
+
+      now += length;
+      if (remaining > 0 && now >= shared.max_steps) {
+        throw std::runtime_error(std::string(kContext) +
+                                 ": exceeded step bound; scheduling is not "
+                                 "making progress");
+      }
+      for (const std::size_t i : feedback) {
+        JobRuntime& st = states[i];
+        st.desire = st.request->next_request(st.trace.quanta.back());
+      }
+    }
+  }
+};
+
+}  // namespace
+
+SimResult simulate_job_set_sharded(
+    std::vector<JobSubmission> submissions,
+    const sched::ExecutionPolicy& execution,
+    const sched::RequestPolicy& request_prototype,
+    alloc::Allocator& allocator, const SimConfig& config) {
+  if (config.processors < 1) {
+    throw std::invalid_argument(std::string(kContext) +
+                                ": processors must be >= 1");
+  }
+  if (config.quantum_length < 1) {
+    throw std::invalid_argument(std::string(kContext) +
+                                ": quantum length must be >= 1");
+  }
+  if (config.hier.groups < 1) {
+    throw std::invalid_argument(std::string(kContext) +
+                                ": hier groups must be >= 1");
+  }
+  if (config.hier.rebalance_quanta < 1) {
+    throw std::invalid_argument(std::string(kContext) +
+                                ": hier rebalance epoch must be >= 1 quanta");
+  }
+  if (config.engine == EngineKind::kAsync) {
+    throw std::invalid_argument(
+        std::string(kContext) +
+        ": hierarchical allocation requires the sync boundary model");
+  }
+  if (config.faults != nullptr && !config.faults->empty()) {
+    throw std::invalid_argument(
+        std::string(kContext) +
+        ": fault plans are not supported with hierarchical allocation");
+  }
+  if (config.quantum_length_policy != nullptr) {
+    throw std::invalid_argument(
+        std::string(kContext) +
+        ": quantum-length policies are not supported with hierarchical "
+        "allocation");
+  }
+  allocator.reset();
+
+  const auto group_count = static_cast<std::size_t>(config.hier.groups);
+  const std::size_t n = submissions.size();
+
+  // Partition submissions into groups, remembering original indices.
+  std::vector<std::vector<JobSubmission>> group_submissions(group_count);
+  std::vector<GroupEngine> groups(group_count);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t g = hier::group_of(i, group_count);
+    group_submissions[g].push_back(std::move(submissions[i]));
+    groups[g].original.push_back(i);
+  }
+
+  // Per-group intake; the safety bound uses the *global* totals so the
+  // 1-group bound matches the flat engine's formula bit for bit.
+  IntakeTotals totals;
+  std::size_t total_remaining = 0;
+  for (std::size_t g = 0; g < group_count; ++g) {
+    IntakeTotals group_totals;
+    groups[g].states = intake_submissions(std::move(group_submissions[g]),
+                                          request_prototype, kContext,
+                                          group_totals);
+    groups[g].remaining = group_totals.remaining;
+    totals.total_work += group_totals.total_work;
+    totals.latest_release =
+        std::max(totals.latest_release, group_totals.latest_release);
+    totals.remaining += group_totals.remaining;
+    total_remaining += group_totals.remaining;
+  }
+
+  SharedConfig shared;
+  shared.execution = &execution;
+  shared.length = config.quantum_length;
+  shared.max_steps = config.max_steps > 0
+                         ? config.max_steps
+                         : totals.latest_release + 8 * totals.total_work +
+                               64 * config.quantum_length;
+  // The admission cap applies per group (each group runs its own FCFS
+  // queue); the flat default — cap P — is preserved at one group.
+  shared.max_active = config.max_active_jobs > 0
+                          ? static_cast<std::size_t>(config.max_active_jobs)
+                          : static_cast<std::size_t>(config.processors);
+  shared.reallocation_cost_per_proc = config.reallocation_cost_per_proc;
+
+  // The tree: a root clone for the aggregator plus one allocator clone
+  // per group — of the named group allocator, or of the machine allocator
+  // (which is what makes 1 group ≡ flat under the same allocator).
+  const auto make_level = [&]() -> std::unique_ptr<alloc::Allocator> {
+    if (config.hier.allocator.empty()) {
+      return allocator.clone();
+    }
+    return hier::make_group_allocator(config.hier.allocator);
+  };
+  hier::DesireAggregator aggregator(config.hier.groups, make_level());
+  for (GroupEngine& group : groups) {
+    group.allocator = make_level();
+    group.allocator->reset();
+  }
+
+  // Observability: coordinator-thread publishing only (the bus is
+  // unsynchronized; group loops must not touch it).
+  obs::EventBus* bus = config.obs.event_bus != nullptr &&
+                               config.obs.event_bus->active()
+                           ? config.obs.event_bus
+                           : nullptr;
+  if (bus != nullptr) {
+    obs::Event start;
+    start.kind = obs::EventKind::kRunStart;
+    start.processors = config.processors;
+    start.quantum_length = config.quantum_length;
+    start.job_count = static_cast<std::int64_t>(n);
+    bus->publish(start);
+    // One submit event per job, in original submission order.
+    std::vector<const JobTrace*> traces(n, nullptr);
+    for (const GroupEngine& group : groups) {
+      for (std::size_t k = 0; k < group.states.size(); ++k) {
+        traces[group.original[k]] = &group.states[k].trace;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      obs::Event e;
+      e.kind = obs::EventKind::kJobSubmit;
+      e.step = traces[i]->release_step;
+      e.job = static_cast<std::int64_t>(i);
+      e.work = traces[i]->work;
+      e.critical_path = traces[i]->critical_path;
+      bus->publish(e);
+    }
+  }
+
+  exp::ThreadPool pool(exp::ThreadPool::resolve_threads(config.hier.threads));
+  const dag::Steps epoch_length =
+      config.hier.rebalance_quanta * config.quantum_length;
+  dag::Steps epoch_start = 0;
+  std::vector<int> desires(group_count, 0);
+
+  while (total_remaining > 0) {
+    const dag::Steps epoch_end = epoch_start + epoch_length;
+    std::vector<int> budgets;
+    {
+      // Desire aggregation + root split, timed as the coordination cost of
+      // the epoch (the serial section between parallel group phases).
+      std::optional<obs::Profiler::Scope> scope;
+      if (config.hier.profiler != nullptr) {
+        scope.emplace(config.hier.profiler, "hier.rebalance", 1);
+      }
+      for (std::size_t g = 0; g < group_count; ++g) {
+        desires[g] = groups[g].aggregated_desire(epoch_end);
+      }
+      budgets = aggregator.split(desires, config.processors);
+    }
+    if (bus != nullptr) {
+      obs::Event e;
+      e.kind = obs::EventKind::kHierRebalance;
+      e.step = epoch_start;
+      e.hier_groups = config.hier.groups;
+      e.pool = config.processors;
+      for (const int b : budgets) {
+        e.assigned += b;
+      }
+      for (const int d : desires) {
+        e.desire += d;
+      }
+      for (const GroupEngine& group : groups) {
+        if (group.remaining > 0) {
+          ++e.active_jobs;  // live groups this epoch
+        }
+      }
+      bus->publish(e);
+    }
+
+    for (std::size_t g = 0; g < group_count; ++g) {
+      GroupEngine& group = groups[g];
+      if (group.remaining == 0 || group.now >= epoch_end) {
+        continue;  // finished, or idle-skipped past this epoch
+      }
+      const int budget = budgets[g];
+      pool.submit(
+          [&group, epoch_end, budget, &shared] {
+            group.advance(epoch_end, budget, shared);
+          });
+    }
+    pool.wait();  // barrier: rethrows the first group exception
+
+    total_remaining = 0;
+    for (const GroupEngine& group : groups) {
+      total_remaining += group.remaining;
+    }
+    epoch_start = epoch_end;
+  }
+
+  // Deterministic merge: traces by original submission index, aggregate
+  // metrics exactly as engine_core's aggregate_result derives them.
+  SimResult result;
+  result.jobs.resize(n);
+  double response_sum = 0.0;
+  for (GroupEngine& group : groups) {
+    result.quanta += group.quanta;
+    for (std::size_t k = 0; k < group.states.size(); ++k) {
+      JobTrace& trace = group.states[k].trace;
+      result.makespan = std::max(result.makespan, trace.completion_step);
+      response_sum += static_cast<double>(trace.response_time());
+      result.total_waste += trace.total_waste();
+      result.jobs[group.original[k]] = std::move(trace);
+    }
+  }
+  result.mean_response_time =
+      n == 0 ? 0.0 : response_sum / static_cast<double>(n);
+
+  if (bus != nullptr) {
+    // Replay the per-quantum stream from the coordinator.  The group loops
+    // must not publish concurrently (the bus is unsynchronized), but after
+    // the final barrier the merged traces are complete, so sinks receive
+    // the same per-job quantum records the flat engine emits live — just
+    // grouped by job instead of interleaved by step.
+    for (std::size_t j = 0; j < result.jobs.size(); ++j) {
+      const JobTrace& trace = result.jobs[j];
+      for (const sched::QuantumStats& stats : trace.quanta) {
+        obs::Event e;
+        e.kind = obs::EventKind::kQuantum;
+        e.step = stats.start_step;
+        e.job = static_cast<std::int64_t>(j);
+        e.stats = &stats;
+        bus->publish(e);
+      }
+      obs::Event done;
+      done.kind = obs::EventKind::kJobComplete;
+      done.step = trace.completion_step;
+      done.job = static_cast<std::int64_t>(j);
+      bus->publish(done);
+    }
+    for (std::size_t g = 0; g < group_count; ++g) {
+      obs::Event e;
+      e.kind = obs::EventKind::kHierGroupSummary;
+      e.step = groups[g].now;
+      e.job = static_cast<std::int64_t>(g);
+      e.hier_groups = config.hier.groups;
+      e.work = groups[g].executed_work;
+      e.allotted_cycles = groups[g].allotted_cycles;
+      e.active_jobs = static_cast<std::int64_t>(groups[g].states.size());
+      bus->publish(e);
+    }
+    obs::Event end;
+    end.kind = obs::EventKind::kRunEnd;
+    end.step = result.makespan;
+    end.makespan = result.makespan;
+    bus->publish(end);
+  }
+  return result;
+}
+
+}  // namespace abg::sim

@@ -25,6 +25,10 @@
 #include "sched/request_policy.hpp"
 #include "sim/trace.hpp"
 
+namespace abg::obs {
+class Profiler;
+}  // namespace abg::obs
+
 namespace abg::sim {
 
 /// Which boundary model a job-set run uses.  Both are thin policies over
@@ -51,6 +55,31 @@ struct JobSubmission {
   dag::Steps release_step = 0;
   /// Optional label carried through to the result.
   std::string name;
+};
+
+/// Hierarchical allocation parameters (see hier/desire_aggregator.hpp and
+/// sim/sharded_engine.hpp).  The default — 0 groups — selects the flat
+/// engines and is a strict no-op.
+struct HierConfig {
+  /// Number of allocation groups; 0 = flat path, >= 1 = sharded engine
+  /// (jobs dealt to groups by submission index mod groups).
+  int groups = 0;
+  /// Group/root allocator name ("deq" | "rr"); empty clones the run's
+  /// machine allocator per group instead, which is what makes the 1-group
+  /// case byte-identical to the flat path under the same allocator.
+  std::string allocator;
+  /// Rebalance epoch in quanta: the root re-splits the machine over the
+  /// groups' aggregated desires every this many quanta (>= 1).  1 re-splits
+  /// at every global boundary (tightest coupling, most synchronization);
+  /// larger epochs let group loops run further between barriers.
+  dag::Steps rebalance_quanta = 1;
+  /// Worker threads for the group loops; <= 0 selects hardware
+  /// concurrency.  Results are byte-identical at any thread count.
+  int threads = 1;
+  /// Optional self-profiling: accumulates span "hier.rebalance"
+  /// (wall-clock aggregation latency; items = rebalances).  Wall-clock by
+  /// design — never touches the deterministic outputs.
+  obs::Profiler* profiler = nullptr;
 };
 
 /// Simulation parameters.
@@ -95,6 +124,11 @@ struct SimConfig {
   /// and fault events to its sinks.  Sinks observe only: results are
   /// byte-identical with or without them.  Must outlive the call.
   obs::ObsConfig obs = {};
+  /// Hierarchical allocation (0 groups = flat, the default).  When groups
+  /// >= 1, core::run_set dispatches to the sharded set engine
+  /// (sim/sharded_engine.hpp), which requires the sync boundary model and
+  /// supports no fault plan or quantum-length policy.
+  HierConfig hier = {};
 };
 
 /// Result of simulating a job set.

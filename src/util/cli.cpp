@@ -73,6 +73,20 @@ std::int64_t Cli::get_int(const std::string& name,
   }
 }
 
+std::int64_t Cli::get_positive_int(const std::string& name,
+                                   std::int64_t fallback) const {
+  if (!has(name)) {
+    return fallback;
+  }
+  const std::int64_t value = get_int(name, fallback);
+  if (value < 1) {
+    throw std::invalid_argument("Cli: flag --" + name +
+                                " expects a positive integer, got '" +
+                                get(name, "") + "'");
+  }
+  return value;
+}
+
 double Cli::get_double(const std::string& name, double fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) {

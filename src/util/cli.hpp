@@ -36,6 +36,13 @@ class Cli {
   /// not parse.
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
 
+  /// As get_int, but additionally throws std::invalid_argument when the
+  /// flag is present with a value < 1 — for count-like flags where 0 or a
+  /// negative value is a contradiction, not a fallback request.  The
+  /// fallback itself is returned unvalidated when the flag is absent.
+  std::int64_t get_positive_int(const std::string& name,
+                                std::int64_t fallback) const;
+
   /// Real-valued flag; throws std::invalid_argument when the value does not
   /// parse.
   double get_double(const std::string& name, double fallback) const;

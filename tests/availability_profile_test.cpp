@@ -65,10 +65,18 @@ TEST(AvailabilityProfile, ResetReplaysFromStart) {
   EXPECT_EQ(ap.allocate({10}, 100).at(0), 1);
 }
 
-TEST(AvailabilityProfile, CloneRestartsProfile) {
+TEST(AvailabilityProfile, ClonePreservesProfileCursor) {
+  // clone() must carry the quantum cursor: a copy taken mid-run continues
+  // the availability sequence instead of replaying it from p(1).  (The
+  // restart behavior was a bug — cloned allocators silently dropped their
+  // rotation/cursor state; reset() is the explicit way to restart.)
   AvailabilityProfile ap({1, 9});
   ap.allocate({10}, 100);
   const auto clone = ap.clone();
+  EXPECT_EQ(clone->allocate({10}, 100).at(0), 9);
+  EXPECT_EQ(ap.allocate({10}, 100).at(0), 9);
+  // reset() still restarts.
+  clone->reset();
   EXPECT_EQ(clone->allocate({10}, 100).at(0), 1);
 }
 

@@ -54,6 +54,44 @@ TEST(Cli, RejectsMalformedValues) {
   EXPECT_THROW(make_cli({"--=3"}), std::invalid_argument);
 }
 
+TEST(Cli, PositiveIntAcceptsValidValues) {
+  EXPECT_EQ(make_cli({"--hier-groups=4"}).get_positive_int("hier-groups", 0),
+            4);
+  EXPECT_EQ(make_cli({"--hier-groups", "1"}).get_positive_int("hier-groups",
+                                                              0),
+            1);
+}
+
+TEST(Cli, PositiveIntAbsentFlagReturnsFallbackUnvalidated) {
+  // The fallback expresses "feature off" (0 here) and is exempt from the
+  // >= 1 check — only user-supplied values are validated.
+  const Cli cli = make_cli({});
+  EXPECT_EQ(cli.get_positive_int("hier-groups", 0), 0);
+  EXPECT_EQ(cli.get_positive_int("hier-groups", -5), -5);
+}
+
+TEST(Cli, PositiveIntRejectsZeroNegativeAndJunk) {
+  EXPECT_THROW(
+      make_cli({"--hier-groups=0"}).get_positive_int("hier-groups", 1),
+      std::invalid_argument);
+  EXPECT_THROW(
+      make_cli({"--hier-groups=-3"}).get_positive_int("hier-groups", 1),
+      std::invalid_argument);
+  EXPECT_THROW(
+      make_cli({"--hier-groups=four"}).get_positive_int("hier-groups", 1),
+      std::invalid_argument);
+  // The diagnostic names the flag and the offending value.
+  try {
+    make_cli({"--hier-groups=0"}).get_positive_int("hier-groups", 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--hier-groups"), std::string::npos);
+    EXPECT_NE(what.find("positive integer"), std::string::npos);
+    EXPECT_NE(what.find("'0'"), std::string::npos);
+  }
+}
+
 TEST(Cli, CollectsPositionalArguments) {
   const Cli cli = make_cli({"input.txt", "--seed=1", "more"});
   ASSERT_EQ(cli.positional().size(), 2u);

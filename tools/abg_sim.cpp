@@ -13,6 +13,11 @@
 //   --scheduler  abg | abg-auto | a-greedy | filtered | static:N   [abg]
 //   --allocator  deq | rr | unconstrained                    [auto]
 //   --engine     sync | async  (boundary model)              [sync]
+//   --hier-groups N    hierarchical allocation with N groups on the
+//                      sharded engine (sync only, no faults)  [flat]
+//   --hier-alloc deq|rr  group/root allocator of the tree    [--allocator]
+//   --hier-rebalance N  rebalance epoch in quanta            [1]
+//   --hier-threads N    group-loop workers; 0 = hw concurrency [1]
 //   --processors P [128]      --quantum L [1000]   --seed S [1]
 //   --rate r [0.2]            --cost c [0]  (reallocation steps/proc)
 //   --transition C [16]       (forkjoin)
@@ -241,6 +246,8 @@ void print_usage(std::ostream& os) {
         "static:N]\n"
         "               [--allocator=deq|rr|unconstrained]\n"
         "               [--engine=sync|async]\n"
+        "               [--hier-groups=N] [--hier-alloc=deq|rr]\n"
+        "               [--hier-rebalance=N] [--hier-threads=N]\n"
         "               [--processors=P] [--quantum=L] [--seed=S]\n"
         "               [--rate=r] [--cost=c] [--transition=C]\n"
         "               [--width=W] [--levels=N] [--load=X] "
@@ -295,6 +302,30 @@ int main(int argc, char** argv) {
       config.faults = &faults;
     }
 
+    // Hierarchical allocation: --hier-groups switches run_set onto the
+    // sharded engine; the companion flags refine the tree and are
+    // contradictions without it.
+    config.hier.groups =
+        static_cast<int>(cli.get_positive_int("hier-groups", 0));
+    config.hier.allocator = cli.get("hier-alloc", "");
+    config.hier.rebalance_quanta = cli.get_positive_int("hier-rebalance", 1);
+    config.hier.threads = static_cast<int>(cli.get_int("hier-threads", 1));
+    if (config.hier.groups == 0) {
+      for (const char* flag : {"hier-alloc", "hier-rebalance",
+                               "hier-threads"}) {
+        if (cli.has(flag)) {
+          throw std::invalid_argument(std::string("--") + flag +
+                                      " requires --hier-groups");
+        }
+      }
+    }
+    if (!config.hier.allocator.empty() && config.hier.allocator != "deq" &&
+        config.hier.allocator != "rr") {
+      throw std::invalid_argument("unknown --hier-alloc '" +
+                                  config.hier.allocator +
+                                  "' (expected deq|rr)");
+    }
+
     // Observability: the bus stays inactive (and the engine untouched)
     // unless an output flag subscribes a sink.
     abg::obs::EventBus bus;
@@ -327,6 +358,14 @@ int main(int argc, char** argv) {
     if (config.engine != abg::sim::EngineKind::kSync) {
       // The default engine is not printed so historic outputs are stable.
       std::cout << ", engine " << abg::sim::to_string(config.engine);
+    }
+    if (config.hier.groups > 0) {
+      // Flat runs stay byte-identical: the hier clause only appears when
+      // the axis is in use.
+      std::cout << ", hier groups = " << config.hier.groups << " ("
+                << (config.hier.allocator.empty() ? "inherit"
+                                                  : config.hier.allocator)
+                << ")";
     }
     std::cout << ", P = " << processors << ", L = " << quantum << ", jobs = "
               << result.jobs.size() << "\n\n";
@@ -457,9 +496,25 @@ int main(int argc, char** argv) {
         abg::sim::SimConfig profile_config = config;
         profile_config.engine = kind;
         profile_config.obs = {};
+        // The flat legs compare the two boundary models; the sharded
+        // engine (sync-only) gets its own leg below when configured.
+        profile_config.hier = {};
         const auto profile_alloc = make_allocator(cli);
         auto scope = profiler.time(
             "engine." + std::string(abg::sim::to_string(kind)));
+        const abg::sim::SimResult timed = abg::core::run_set(
+            scheduler, build_workload(), profile_config,
+            profile_alloc.get());
+        scope.add_items(simulated_steps(timed));
+      }
+      if (config.hier.groups > 0) {
+        // Third leg: the configured hierarchical run itself, with the
+        // aggregation-latency span ("hier.rebalance") attached.
+        abg::sim::SimConfig profile_config = config;
+        profile_config.obs = {};
+        profile_config.hier.profiler = &profiler;
+        const auto profile_alloc = make_allocator(cli);
+        auto scope = profiler.time("engine.hier");
         const abg::sim::SimResult timed = abg::core::run_set(
             scheduler, build_workload(), profile_config,
             profile_alloc.get());
@@ -479,7 +534,13 @@ int main(int argc, char** argv) {
                 << abg::util::format_double(rate("engine.sync"), 0)
                 << " steps/s, async "
                 << abg::util::format_double(rate("engine.async"), 0)
-                << " steps/s)\n";
+                << " steps/s";
+      if (config.hier.groups > 0) {
+        std::cout << ", hier "
+                  << abg::util::format_double(rate("engine.hier"), 0)
+                  << " steps/s";
+      }
+      std::cout << ")\n";
     }
     return 0;
   } catch (const std::invalid_argument& e) {

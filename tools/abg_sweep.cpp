@@ -27,6 +27,11 @@
 //   --reps=N      replications per grid point (default 5)
 //   --seed=S      base seed (default 2008)
 //   --jobs=N      worker threads; 0 = hardware concurrency (default 1)
+//   --hier-groups=N   run every point on the sharded hierarchical engine
+//                 with N allocation groups (N >= 1; sync engine, no fault
+//                 scenarios).  Default: flat engines.
+//   --hier-alloc=deq|rr  group/root allocator of the hierarchical tree
+//                 (requires --hier-groups; default: the run's allocator)
 //   --jsonl=PATH  per-run records; '-' = stdout, 'none' = skip
 //                 (default sweep.jsonl)
 //   --summary=PATH  aggregated summary; 'none' = skip
@@ -238,7 +243,40 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("--reps must be >= 1");
     }
 
+    // Hierarchical axis: a global switch, not a grid dimension — every
+    // grid point runs on the same tree.  Contradictory values (0,
+    // negative, junk) are Cli errors, not silent fallbacks.
+    const auto hier_groups =
+        static_cast<int>(cli.get_positive_int("hier-groups", 0));
+    const std::string hier_alloc = cli.get("hier-alloc", "");
+    if (!hier_alloc.empty() && hier_groups == 0) {
+      throw std::invalid_argument("--hier-alloc requires --hier-groups");
+    }
+    if (!hier_alloc.empty() && hier_alloc != "deq" && hier_alloc != "rr") {
+      throw std::invalid_argument("--hier-alloc: expected deq or rr, got '" +
+                                  hier_alloc + "'");
+    }
+
     const std::vector<Dimension> dims = build_dimensions(cli);
+    if (hier_groups > 0) {
+      // The sharded engine supports neither fault plans nor the async
+      // boundary model; reject the combination up front with a clear
+      // message instead of failing mid-sweep.
+      for (const Dimension& dim : dims) {
+        for (const std::string& value : dim.values) {
+          if (dim.key == "fault" && value != "none") {
+            throw std::invalid_argument(
+                "--hier-groups: fault scenarios are not supported by the "
+                "sharded engine (drop --param fault=" + value + ")");
+          }
+          if (dim.key == "engine" && value != "sync") {
+            throw std::invalid_argument(
+                "--hier-groups requires the sync engine (drop --param "
+                "engine=" + value + ")");
+          }
+        }
+      }
+    }
 
     // Odometer over the dimensions, last dimension fastest.  The workload
     // seed index enumerates only workload-shaping dimensions, so scheduler
@@ -262,6 +300,8 @@ int main(int argc, char** argv) {
         }
       }
       RunSpec base = spec_of(point);
+      base.hier_groups = hier_groups;
+      base.hier_alloc = hier_alloc;
       for (int rep = 0; rep < reps; ++rep) {
         RunSpec spec = base;
         spec.seed_index = static_cast<std::uint64_t>(rep) * workload_points +
