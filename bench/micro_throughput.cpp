@@ -7,9 +7,12 @@
 // writes BENCH_throughput.json (override with --sink-out=PATH, disable
 // with --sink-out=none; --sink-jsonl=PATH additionally dumps per-run
 // records), so the repository tracks a throughput trajectory per change.
+// --profile-out=PATH additionally writes a BENCH_profile.json-format
+// self-profile (one span per measured benchmark plus bench.total).  All
+// artifacts go through util::write_file_atomic, so an interrupted bench
+// never leaves a torn JSON behind.
 #include <benchmark/benchmark.h>
 
-#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,8 +27,10 @@
 #include "obs/metrics.hpp"
 #include "obs/metrics_sink.hpp"
 #include "obs/perfetto.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace_sink.hpp"
 #include "sim/simulator.hpp"
+#include "util/atomic_file.hpp"
 #include "workload/fork_join.hpp"
 #include "workload/job_set.hpp"
 #include "workload/profiles.hpp"
@@ -174,10 +179,13 @@ BENCHMARK(BM_JobSetSimulationObserved)
     ->Arg(20)
     ->Unit(benchmark::kMillisecond);
 
-/// Console reporter that additionally records every run in a ResultSink.
+/// Console reporter that additionally records every run in a ResultSink
+/// and, when a profiler is attached, one profile span per benchmark
+/// (seconds = measured wall time, items = iterations).
 class SinkReporter : public benchmark::ConsoleReporter {
  public:
-  explicit SinkReporter(abg::exp::ResultSink* sink) : sink_(sink) {}
+  SinkReporter(abg::exp::ResultSink* sink, abg::obs::Profiler* profiler)
+      : sink_(sink), profiler_(profiler) {}
 
   void ReportRuns(const std::vector<Run>& runs) override {
     for (const Run& run : runs) {
@@ -200,12 +208,19 @@ class SinkReporter : public benchmark::ConsoleReporter {
                                     items->second.value);
       }
       sink_->add(std::move(record));
+      if (profiler_ != nullptr) {
+        // real_accumulated_time is whole-run seconds, independent of the
+        // benchmark's display time unit.
+        profiler_->record("bench." + run.benchmark_name(),
+                          run.real_accumulated_time, run.iterations);
+      }
     }
     ConsoleReporter::ReportRuns(runs);
   }
 
  private:
   abg::exp::ResultSink* sink_;
+  abg::obs::Profiler* profiler_;
   std::int64_t next_id_ = 0;
 };
 
@@ -232,23 +247,34 @@ int main(int argc, char** argv) {
   const std::string sink_out =
       take_flag(argc, argv, "sink-out", "BENCH_throughput.json");
   const std::string sink_jsonl = take_flag(argc, argv, "sink-jsonl", "none");
+  const std::string profile_out = take_flag(argc, argv, "profile-out", "none");
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
   }
   abg::exp::ResultSink sink("throughput", 0);
-  SinkReporter reporter(&sink);
-  benchmark::RunSpecifiedBenchmarks(&reporter);
+  abg::obs::Profiler profiler;
+  SinkReporter reporter(&sink,
+                        profile_out != "none" ? &profiler : nullptr);
+  {
+    auto total = profiler.time("bench.total");
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
   benchmark::Shutdown();
 
   if (sink_out != "none") {
-    std::ofstream out(sink_out);
-    sink.write_summary(out);
+    abg::util::write_file_atomic(
+        sink_out, [&sink](std::ostream& os) { sink.write_summary(os); });
   }
   if (sink_jsonl != "none") {
-    std::ofstream out(sink_jsonl);
-    sink.write_jsonl(out);
+    abg::util::write_file_atomic(
+        sink_jsonl, [&sink](std::ostream& os) { sink.write_jsonl(os); });
+  }
+  if (profile_out != "none") {
+    abg::util::write_file_atomic(
+        profile_out,
+        [&profiler](std::ostream& os) { profiler.write(os); });
   }
   return 0;
 }

@@ -1,0 +1,114 @@
+# Kill-and-resume determinism check for abg_sweep's crash-safe execution.
+#
+# The scenario: a sweep is interrupted after completing some cells — here
+# simulated by running the full sweep with a journal and then truncating
+# the journal mid-line, exactly the file a SIGKILL during an append leaves
+# behind (a valid JSONL prefix plus one torn trailing line).  `--resume`
+# must replay the complete lines, re-execute only the rest, and produce a
+# JSONL file and summary byte-identical to the uninterrupted reference —
+# at --jobs 1 and --jobs 4, and on a hierarchical grid running the sharded
+# multi-threaded engine (--hier-threads 2).
+#
+# Expects: -DABG_SWEEP=<binary> -DTRACE_CHECK=<binary> -DWORK_DIR=<scratch>
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(grid
+  --param scheduler=abg,a-greedy
+  --param load=0.5,1.5
+  --param quantum=50
+  --param processors=32
+  --reps=2 --seed=77 --quiet)
+
+set(hier_grid
+  --param scheduler=abg
+  --param load=0.5,1.5
+  --param quantum=50
+  --param processors=32
+  --hier-groups=2 --hier-threads=2
+  --reps=2 --seed=41 --quiet)
+
+# Runs one scenario: reference sweep, journaled sweep, truncate, resume at
+# the given job count, byte-compare.
+function(check_resume name jobs)
+  set(gridvar ${ARGN})
+  set(ref ${WORK_DIR}/${name}_ref)
+  set(res ${WORK_DIR}/${name}_res)
+
+  execute_process(
+    COMMAND "${ABG_SWEEP}" ${gridvar} --jobs=1
+            --jsonl=${ref}.jsonl --summary=${ref}.json
+    RESULT_VARIABLE status OUTPUT_QUIET)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "${name}: reference sweep failed (${status})")
+  endif()
+
+  # The journal is append-only; clear any state from a previous ctest run
+  # so the truncation below tears this sweep's events, not stale ones.
+  file(REMOVE ${res}.journal)
+  execute_process(
+    COMMAND "${ABG_SWEEP}" ${gridvar} --jobs=${jobs}
+            --jsonl=${res}_full.jsonl --summary=${res}_full.json
+            --journal=${res}.journal
+    RESULT_VARIABLE status OUTPUT_QUIET)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "${name}: journaled sweep failed (${status})")
+  endif()
+
+  # Tear the journal as a crash would: drop the last 200 bytes, cutting
+  # the final "done" line mid-JSON and discarding at least one record.
+  # (head -c, not file(READ)+file(WRITE): CMake's string round-trip
+  # appends a newline, which would heal the tear into a complete —
+  # invalid — line.)
+  file(SIZE ${res}.journal journal_size)
+  math(EXPR keep "${journal_size} - 200")
+  if(keep LESS 80)
+    message(FATAL_ERROR "${name}: journal too small to truncate")
+  endif()
+  execute_process(
+    COMMAND head -c ${keep} ${res}.journal
+    OUTPUT_FILE ${res}.torn.journal
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "${name}: truncating journal failed (${status})")
+  endif()
+
+  # The torn journal must still validate (torn tail is part of the format).
+  execute_process(
+    COMMAND "${TRACE_CHECK}" journal ${res}.torn.journal
+    RESULT_VARIABLE status OUTPUT_QUIET)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "${name}: trace_check rejected torn journal")
+  endif()
+
+  execute_process(
+    COMMAND "${ABG_SWEEP}" ${gridvar} --jobs=${jobs}
+            --jsonl=${res}.jsonl --summary=${res}.json
+            --resume=${res}.torn.journal
+    RESULT_VARIABLE status
+    OUTPUT_VARIABLE resume_out)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "${name}: resumed sweep failed (${status})")
+  endif()
+  if(NOT resume_out MATCHES "resumed [1-9]")
+    message(FATAL_ERROR
+      "${name}: resume did not report resumed cells:\n${resume_out}")
+  endif()
+
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${res}.jsonl ${ref}.jsonl
+    RESULT_VARIABLE jsonl_diff)
+  if(NOT jsonl_diff EQUAL 0)
+    message(FATAL_ERROR "${name}: resumed JSONL differs from reference")
+  endif()
+
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${res}.json ${ref}.json
+    RESULT_VARIABLE summary_diff)
+  if(NOT summary_diff EQUAL 0)
+    message(FATAL_ERROR "${name}: resumed summary differs from reference")
+  endif()
+endfunction()
+
+check_resume(serial 1 ${grid})
+check_resume(pool 4 ${grid})
+check_resume(hier 2 ${hier_grid})

@@ -1,0 +1,105 @@
+# Watchdog / retry / quarantine smoke for abg_sweep, driven by the hidden
+# test hooks (--test-hang-run pins one cell in a cancellable busy-wait;
+# --test-fail-run makes a cell's first N attempts throw).
+#
+# Asserts the full degraded-coverage contract:
+#   - a hung run is killed at --run-timeout, retried with backoff, and
+#     quarantined after --max-retries — sweep exits 3 (degraded), not 1;
+#   - the quarantine appears in the table output, the summary JSON and the
+#     journal (which still validates);
+#   - a transiently failing run is retried to success and the sweep stays
+#     exit 0 with artifacts intact.
+#
+# Expects: -DABG_SWEEP=<binary> -DTRACE_CHECK=<binary> -DWORK_DIR=<scratch>
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(grid
+  --param scheduler=abg,a-greedy
+  --param load=0.5
+  --param quantum=50
+  --param processors=32
+  --reps=1 --seed=19 --quiet)
+
+# --- Hung run: timeout -> retries -> quarantine -> exit 3. ---------------
+# The journal is append-only by design, so stale state from a previous
+# ctest invocation must be cleared for the event counts to be exact.
+file(REMOVE ${WORK_DIR}/hang.journal)
+execute_process(
+  COMMAND "${ABG_SWEEP}" ${grid} --jobs=2
+          --run-timeout=0.3 --max-retries=1 --backoff=0.05
+          --test-hang-run=1
+          --jsonl=${WORK_DIR}/hang.jsonl --summary=${WORK_DIR}/hang.json
+          --journal=${WORK_DIR}/hang.journal
+  RESULT_VARIABLE status OUTPUT_VARIABLE out ERROR_QUIET)
+if(NOT status EQUAL 3)
+  message(FATAL_ERROR
+    "quarantined sweep: expected exit 3 (degraded), got ${status}:\n${out}")
+endif()
+if(NOT out MATCHES "QUARANTINED 1 run")
+  message(FATAL_ERROR "missing quarantine report:\n${out}")
+endif()
+if(NOT out MATCHES "timeout")
+  message(FATAL_ERROR "quarantine report does not name the cause:\n${out}")
+endif()
+if(NOT out MATCHES "1 retry, 2 timeout")
+  message(FATAL_ERROR "missing retry/timeout accounting:\n${out}")
+endif()
+
+file(READ ${WORK_DIR}/hang.json summary)
+if(NOT summary MATCHES "\"quarantined_runs\":1")
+  message(FATAL_ERROR "summary does not count the quarantined run")
+endif()
+file(READ ${WORK_DIR}/hang.jsonl jsonl)
+if(NOT jsonl MATCHES "\"failure\":\"timeout\"")
+  message(FATAL_ERROR "JSONL does not carry the failure record")
+endif()
+
+execute_process(
+  COMMAND "${TRACE_CHECK}" journal ${WORK_DIR}/hang.journal
+  RESULT_VARIABLE status OUTPUT_VARIABLE out)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "journal of quarantined sweep invalid:\n${out}")
+endif()
+if(NOT out MATCHES "1 quarantines")
+  message(FATAL_ERROR "journal does not record the quarantine:\n${out}")
+endif()
+
+# --- Transient failure: retry succeeds, coverage complete, exit 0. -------
+execute_process(
+  COMMAND "${ABG_SWEEP}" ${grid} --jobs=2
+          --max-retries=2 --backoff=0.05
+          --test-fail-run=0:2
+          --jsonl=${WORK_DIR}/flaky.jsonl --summary=${WORK_DIR}/flaky.json
+  RESULT_VARIABLE status OUTPUT_VARIABLE out ERROR_QUIET)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "flaky sweep: expected exit 0, got ${status}:\n${out}")
+endif()
+if(NOT out MATCHES "2 retries")
+  message(FATAL_ERROR "flaky sweep did not report its retries:\n${out}")
+endif()
+if(out MATCHES "QUARANTINED")
+  message(FATAL_ERROR "flaky sweep must not quarantine:\n${out}")
+endif()
+
+# Retries leave no trace: artifacts equal a clean run of the same grid.
+execute_process(
+  COMMAND "${ABG_SWEEP}" ${grid} --jobs=1
+          --jsonl=${WORK_DIR}/clean.jsonl --summary=${WORK_DIR}/clean.json
+  RESULT_VARIABLE status OUTPUT_QUIET)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "clean sweep failed (${status})")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/flaky.jsonl ${WORK_DIR}/clean.jsonl
+  RESULT_VARIABLE jsonl_diff)
+if(NOT jsonl_diff EQUAL 0)
+  message(FATAL_ERROR "retried sweep's JSONL differs from a clean run")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/flaky.json ${WORK_DIR}/clean.json
+  RESULT_VARIABLE summary_diff)
+if(NOT summary_diff EQUAL 0)
+  message(FATAL_ERROR "retried sweep's summary differs from a clean run")
+endif()

@@ -1,0 +1,54 @@
+# Exit-code contract of trace_check: scripts (CI, fixtures) react to the
+# code, so each failure class must map to its documented value —
+#   0 ok / 2 usage / 3 missing file / 4 parse error / 5 invariant.
+#
+# Expects: -DTRACE_CHECK=<binary> -DWORK_DIR=<scratch dir>
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(expect_code code)
+  execute_process(
+    COMMAND "${TRACE_CHECK}" ${ARGN}
+    RESULT_VARIABLE status OUTPUT_QUIET ERROR_QUIET)
+  if(NOT status EQUAL ${code})
+    message(FATAL_ERROR
+      "trace_check ${ARGN}: expected exit ${code}, got ${status}")
+  endif()
+endfunction()
+
+# Usage errors.
+expect_code(2)
+expect_code(2 metrics)
+expect_code(2 bogus-mode ${WORK_DIR}/whatever.json)
+
+# Missing file.
+expect_code(3 metrics ${WORK_DIR}/does-not-exist.json)
+expect_code(3 journal ${WORK_DIR}/does-not-exist.jsonl)
+
+# Parse errors.
+file(WRITE ${WORK_DIR}/garbage.json "this is not json")
+expect_code(4 metrics ${WORK_DIR}/garbage.json)
+expect_code(4 trace ${WORK_DIR}/garbage.json)
+file(WRITE ${WORK_DIR}/garbage.jsonl
+  "{\"kind\":\"journal\",\"base_seed\":1,\"cells\":1,\"grid_digest\":\"0000000000000000\"}\nnot json\n{\"kind\":\"start\"}\n")
+expect_code(4 journal ${WORK_DIR}/garbage.jsonl)
+
+# Invariant violations: parses, wrong shape.
+file(WRITE ${WORK_DIR}/empty_object.json "{}")
+expect_code(5 metrics ${WORK_DIR}/empty_object.json)
+expect_code(5 trace ${WORK_DIR}/empty_object.json)
+expect_code(5 profile ${WORK_DIR}/empty_object.json)
+file(WRITE ${WORK_DIR}/headerless.jsonl
+  "{\"kind\":\"start\",\"run_id\":0,\"spec\":\"0000000000000000\",\"attempt\":0}\n")
+expect_code(5 journal ${WORK_DIR}/headerless.jsonl)
+file(WRITE ${WORK_DIR}/bad_kind.jsonl
+  "{\"kind\":\"journal\",\"base_seed\":1,\"cells\":2,\"grid_digest\":\"0000000000000000\"}\n{\"kind\":\"nonsense\",\"run_id\":0,\"spec\":\"0000000000000000\"}\n")
+expect_code(5 journal ${WORK_DIR}/bad_kind.jsonl)
+file(WRITE ${WORK_DIR}/bad_run_id.jsonl
+  "{\"kind\":\"journal\",\"base_seed\":1,\"cells\":2,\"grid_digest\":\"0000000000000000\"}\n{\"kind\":\"start\",\"run_id\":7,\"spec\":\"0000000000000000\",\"attempt\":0}\n")
+expect_code(5 journal ${WORK_DIR}/bad_run_id.jsonl)
+
+# A valid journal with a torn trailing line is OK (exit 0) — that is the
+# crash-recovery contract, not a failure.
+file(WRITE ${WORK_DIR}/torn.jsonl
+  "{\"kind\":\"journal\",\"base_seed\":1,\"cells\":2,\"grid_digest\":\"0000000000000000\"}\n{\"kind\":\"start\",\"run_id\":0,\"spec\":\"0000000000000000\",\"attempt\":0}\n{\"kind\":\"do")
+expect_code(0 journal ${WORK_DIR}/torn.jsonl)

@@ -1,0 +1,259 @@
+#include "exp/journal.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "exp/result_sink.hpp"
+#include "util/json.hpp"
+
+namespace abg::exp {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Incremental FNV-1a over a canonical token stream.  Every token is
+/// rendered to text and terminated with an out-of-band separator, so
+/// adjacent fields cannot alias ("ab"+"c" != "a"+"bc").
+class Digest {
+ public:
+  void feed(const std::string& token) {
+    for (const char c : token) {
+      mix(static_cast<unsigned char>(c));
+    }
+    mix(0x1F);  // unit separator — never appears in rendered tokens
+  }
+
+  void feed(std::int64_t value) { feed(std::to_string(value)); }
+
+  void feed(double value) { feed(util::Json::format_number(value)); }
+
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  void mix(unsigned char byte) {
+    hash_ ^= byte;
+    hash_ *= kFnvPrime;
+  }
+
+  std::uint64_t hash_ = kFnvOffset;
+};
+
+}  // namespace
+
+std::uint64_t spec_digest(const RunSpec& spec) {
+  Digest d;
+  d.feed(to_string(spec.scheduler));
+  d.feed(spec.scheduler_params.convergence_rate);
+  d.feed(spec.scheduler_params.utilization);
+  d.feed(spec.scheduler_params.responsiveness);
+  d.feed(static_cast<std::int64_t>(spec.scheduler_params.static_processors));
+  d.feed(to_string(spec.workload.kind));
+  d.feed(spec.workload.load);
+  d.feed(spec.workload.transition_factor);
+  d.feed(static_cast<std::int64_t>(spec.workload.jobs));
+  d.feed(static_cast<std::int64_t>(spec.workload.levels));
+  d.feed(static_cast<std::int64_t>(spec.machine.processors));
+  d.feed(static_cast<std::int64_t>(spec.machine.quantum_length));
+  d.feed(to_string(spec.faults.scenario));
+  d.feed(spec.faults.fraction);
+  d.feed(static_cast<std::int64_t>(spec.faults.crash_job));
+  d.feed(static_cast<std::int64_t>(spec.faults.crashes));
+  d.feed(static_cast<std::int64_t>(spec.faults.scratch ? 1 : 0));
+  d.feed(static_cast<std::int64_t>(spec.allocator));
+  d.feed(std::string(sim::to_string(spec.engine)));
+  d.feed(static_cast<std::int64_t>(spec.hier_groups));
+  d.feed(spec.hier_alloc);
+  d.feed(static_cast<std::int64_t>(spec.seed_index));
+  d.feed(spec.group);
+  return d.value();
+}
+
+std::uint64_t grid_digest(const std::vector<RunSpec>& specs,
+                          std::uint64_t base_seed) {
+  Digest d;
+  d.feed(static_cast<std::int64_t>(base_seed));
+  d.feed(static_cast<std::int64_t>(specs.size()));
+  for (const RunSpec& spec : specs) {
+    d.feed(digest_to_hex(spec_digest(spec)));
+  }
+  return d.value();
+}
+
+std::string digest_to_hex(std::uint64_t digest) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[digest & 0xF];
+    digest >>= 4;
+  }
+  return out;
+}
+
+RunJournal::RunJournal(const std::string& path, std::uint64_t base_seed,
+                       std::size_t cells, std::uint64_t grid)
+    : path_(path) {
+  // Peek at the current size first: the header is written exactly once,
+  // so resuming re-opens the same file and keeps appending after it.
+  std::ifstream probe(path, std::ios::binary | std::ios::ate);
+  const bool empty = !probe || probe.tellg() <= 0;
+  probe.close();
+  out_.open(path, std::ios::binary | std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("journal path not writable: " + path);
+  }
+  if (empty) {
+    util::Json header = util::Json::object();
+    header.set("kind", util::Json::string("journal"))
+        .set("base_seed",
+             util::Json::integer(static_cast<std::int64_t>(base_seed)))
+        .set("cells",
+             util::Json::integer(static_cast<std::int64_t>(cells)))
+        .set("grid_digest", util::Json::string(digest_to_hex(grid)));
+    append(header.dump());
+  }
+}
+
+void RunJournal::record_start(std::int64_t run_id, std::uint64_t spec,
+                              int attempt) {
+  util::Json j = util::Json::object();
+  j.set("kind", util::Json::string("start"))
+      .set("run_id", util::Json::integer(run_id))
+      .set("spec", util::Json::string(digest_to_hex(spec)))
+      .set("attempt", util::Json::integer(attempt));
+  append(j.dump());
+}
+
+void RunJournal::record_done(std::int64_t run_id, std::uint64_t spec,
+                             const RunRecord& record) {
+  util::Json j = util::Json::object();
+  j.set("kind", util::Json::string("done"))
+      .set("run_id", util::Json::integer(run_id))
+      .set("spec", util::Json::string(digest_to_hex(spec)))
+      .set("record", record_to_json(record));
+  append(j.dump());
+}
+
+void RunJournal::record_failure(std::int64_t run_id, std::uint64_t spec,
+                                int attempt, const std::string& cause,
+                                const std::string& error) {
+  util::Json j = util::Json::object();
+  j.set("kind", util::Json::string("fail"))
+      .set("run_id", util::Json::integer(run_id))
+      .set("spec", util::Json::string(digest_to_hex(spec)))
+      .set("attempt", util::Json::integer(attempt))
+      .set("cause", util::Json::string(cause))
+      .set("error", util::Json::string(error));
+  append(j.dump());
+}
+
+void RunJournal::record_quarantine(std::int64_t run_id, std::uint64_t spec,
+                                   int attempts, const std::string& cause) {
+  util::Json j = util::Json::object();
+  j.set("kind", util::Json::string("quarantine"))
+      .set("run_id", util::Json::integer(run_id))
+      .set("spec", util::Json::string(digest_to_hex(spec)))
+      .set("attempts", util::Json::integer(attempts))
+      .set("cause", util::Json::string(cause));
+  append(j.dump());
+}
+
+void RunJournal::append(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << line << '\n';
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("journal write failed: " + path_);
+  }
+}
+
+const RunRecord* JournalReplay::completed_record(std::int64_t run_id,
+                                                 std::uint64_t spec) const {
+  const auto it = completed.find(run_id);
+  if (it == completed.end() || it->second.first != spec) {
+    return nullptr;
+  }
+  return &it->second.second;
+}
+
+JournalReplay load_journal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("journal not readable: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  JournalReplay replay;
+  bool saw_header = false;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const bool torn = eol == std::string::npos;
+    const std::string line =
+        text.substr(pos, torn ? std::string::npos : eol - pos);
+    pos = torn ? text.size() : eol + 1;
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    util::Json j = util::Json::null();
+    try {
+      j = util::Json::parse(line);
+    } catch (const std::exception& e) {
+      if (torn) {
+        break;  // the crash-torn tail: ignore and stop
+      }
+      throw std::runtime_error("journal " + path + " line " +
+                               std::to_string(line_no) + ": " + e.what());
+    }
+    const util::Json* kind = j.find("kind");
+    if (kind == nullptr || !kind->is_string()) {
+      if (torn) {
+        break;
+      }
+      throw std::runtime_error("journal " + path + " line " +
+                               std::to_string(line_no) + ": missing kind");
+    }
+    try {
+      if (kind->as_string() == "journal") {
+        replay.base_seed =
+            static_cast<std::uint64_t>(j.at("base_seed").as_integer());
+        replay.cells = static_cast<std::size_t>(j.at("cells").as_integer());
+        replay.grid = std::stoull(j.at("grid_digest").as_string(), nullptr,
+                                  16);
+        saw_header = true;
+      } else if (kind->as_string() == "done") {
+        const std::int64_t run_id = j.at("run_id").as_integer();
+        const std::uint64_t spec =
+            std::stoull(j.at("spec").as_string(), nullptr, 16);
+        replay.completed[run_id] = {spec,
+                                    record_from_json(j.at("record"))};
+        replay.quarantined.erase(run_id);
+      } else if (kind->as_string() == "quarantine") {
+        const std::int64_t run_id = j.at("run_id").as_integer();
+        if (!replay.completed.contains(run_id)) {
+          replay.quarantined[run_id] = j.at("cause").as_string();
+        }
+      }
+      // "start" / "fail" lines are progress breadcrumbs: a cell with no
+      // later "done" simply re-executes on resume.
+    } catch (const std::exception& e) {
+      if (torn) {
+        break;
+      }
+      throw std::runtime_error("journal " + path + " line " +
+                               std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  if (!saw_header) {
+    throw std::runtime_error("journal " + path + ": no header line");
+  }
+  return replay;
+}
+
+}  // namespace abg::exp

@@ -1,0 +1,115 @@
+// Crash-safe run journal for sweep execution.
+//
+// The journal is an append-only JSONL file recording the lifecycle of
+// every cell of a sweep grid: a header naming the grid (base seed, cell
+// count, grid digest), then one line per event —
+//
+//   {"kind":"journal","base_seed":...,"cells":N,"grid_digest":"<hex>"}
+//   {"kind":"start","run_id":i,"spec":"<hex>","attempt":k}
+//   {"kind":"done","run_id":i,"spec":"<hex>","record":{...}}
+//   {"kind":"fail","run_id":i,"spec":"<hex>","attempt":k,
+//    "cause":"timeout"|"error","error":"..."}
+//   {"kind":"quarantine","run_id":i,"spec":"<hex>","attempts":k,
+//    "cause":"..."}
+//
+// Each line is written and flushed under a lock, so after a crash the
+// file is a valid JSONL prefix plus at most one truncated trailing line.
+// load_journal() tolerates exactly that: the torn tail is ignored, every
+// complete line replays.
+//
+// "done" lines embed the full RunRecord JSON (record_to_json), which is
+// what makes `--resume` byte-exact: a resumed sweep re-emits recorded
+// cells through the same serializer that wrote them, and util::Json's
+// shortest-round-trip doubles guarantee parse → re-emit identity.
+//
+// Digests are FNV-1a 64 over a canonical serialization of the spec
+// (every result-determining field; observability and thread-count knobs
+// excluded).  They guard resume against grids that drifted between
+// invocations: a recorded cell is only skipped when its digest still
+// matches the spec at the same grid position.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exp/run_spec.hpp"
+#include "exp/runner.hpp"
+
+namespace abg::exp {
+
+/// FNV-1a 64 digest of every result-determining field of a spec.
+/// Excludes obs hooks, debug hooks and hier_threads (none of them can
+/// change the record).
+std::uint64_t spec_digest(const RunSpec& spec);
+
+/// Digest of a whole grid: base seed, cell count and every cell digest in
+/// position order.  Two invocations with equal grid digests will execute
+/// the identical sweep.
+std::uint64_t grid_digest(const std::vector<RunSpec>& specs,
+                          std::uint64_t base_seed);
+
+/// Fixed-width lower-case hex rendering used for digests in journal lines.
+std::string digest_to_hex(std::uint64_t digest);
+
+/// Append-only journal writer.  Thread-safe: every event is rendered to
+/// one line and appended + flushed under an internal lock.
+class RunJournal {
+ public:
+  /// Opens `path` for appending (the file is created if absent) and, when
+  /// the file was empty, writes the header line.  Throws
+  /// std::runtime_error naming the path when the file cannot be opened.
+  RunJournal(const std::string& path, std::uint64_t base_seed,
+             std::size_t cells, std::uint64_t grid);
+
+  /// A cell attempt began.
+  void record_start(std::int64_t run_id, std::uint64_t spec, int attempt);
+
+  /// A cell completed; `record` is embedded verbatim for resume.
+  void record_done(std::int64_t run_id, std::uint64_t spec,
+                   const RunRecord& record);
+
+  /// A cell attempt failed with `cause` ("timeout" | "error") and will be
+  /// retried or quarantined.
+  void record_failure(std::int64_t run_id, std::uint64_t spec, int attempt,
+                      const std::string& cause, const std::string& error);
+
+  /// A cell exhausted its retry budget and is excluded from the sweep.
+  void record_quarantine(std::int64_t run_id, std::uint64_t spec,
+                         int attempts, const std::string& cause);
+
+ private:
+  void append(const std::string& line);
+
+  std::mutex mutex_;
+  std::ofstream out_;
+  std::string path_;
+};
+
+/// Replayed journal state used by `--resume`.
+struct JournalReplay {
+  std::uint64_t base_seed = 0;
+  std::size_t cells = 0;
+  std::uint64_t grid = 0;
+  /// Completed cells: run_id -> (spec digest, recorded result).
+  std::map<std::int64_t, std::pair<std::uint64_t, RunRecord>> completed;
+  /// Cells whose last event was a quarantine (re-executed on resume, on
+  /// the theory that the failure may have been transient).
+  std::map<std::int64_t, std::string> quarantined;
+
+  /// The recorded result for a cell, or nullptr when the cell is not
+  /// completed or its digest no longer matches `spec`.
+  const RunRecord* completed_record(std::int64_t run_id,
+                                    std::uint64_t spec) const;
+};
+
+/// Parses a journal file.  A truncated trailing line (torn by a crash) is
+/// ignored; any other malformed line throws std::runtime_error with the
+/// line number.  Throws std::runtime_error when the file cannot be read
+/// or has no header.
+JournalReplay load_journal(const std::string& path);
+
+}  // namespace abg::exp

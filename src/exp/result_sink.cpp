@@ -5,6 +5,7 @@
 #include <tuple>
 #include <utility>
 
+#include "util/atomic_file.hpp"
 #include "util/bootstrap.hpp"
 #include "util/rng.hpp"
 
@@ -44,9 +45,40 @@ util::Json record_to_json(const RunRecord& record) {
       j.set("hier_alloc", util::Json::string(record.hier_alloc));
     }
   }
+  // Only quarantined cells carry a failure; completed records serialize
+  // exactly as before the robustness layer existed.
+  if (!record.failure.empty()) {
+    j.set("failure", util::Json::string(record.failure));
+  }
   j.set("seed", util::Json::integer(static_cast<std::int64_t>(record.seed)))
       .set("metrics", std::move(metrics));
   return j;
+}
+
+RunRecord record_from_json(const util::Json& json) {
+  RunRecord record;
+  record.run_id = json.at("run_id").as_integer();
+  record.group = json.at("group").as_string();
+  record.scheduler = json.at("scheduler").as_string();
+  record.workload = json.at("workload").as_string();
+  record.fault = json.at("fault").as_string();
+  // Restore the serializer's omission defaults so a round-tripped record
+  // is indistinguishable from a freshly executed one.
+  const util::Json* engine = json.find("engine");
+  record.engine = engine != nullptr ? engine->as_string() : "sync";
+  const util::Json* hier_groups = json.find("hier_groups");
+  record.hier_groups =
+      hier_groups != nullptr ? static_cast<int>(hier_groups->as_integer())
+                             : 0;
+  const util::Json* hier_alloc = json.find("hier_alloc");
+  record.hier_alloc = hier_alloc != nullptr ? hier_alloc->as_string() : "";
+  const util::Json* failure = json.find("failure");
+  record.failure = failure != nullptr ? failure->as_string() : "";
+  record.seed = static_cast<std::uint64_t>(json.at("seed").as_integer());
+  for (const auto& [name, value] : json.at("metrics").members()) {
+    record.metrics.emplace_back(name, value.as_number());
+  }
+  return record;
 }
 
 void ResultSink::write_jsonl(std::ostream& os) const {
@@ -74,7 +106,14 @@ util::Json ResultSink::summary() const {
   std::vector<std::pair<std::tuple<std::string, std::string, std::string>,
                         Bucket>>
       buckets;
+  std::vector<const RunRecord*> failed;
+  std::size_t completed = 0;
   for (const RunRecord& record : records_) {
+    if (!record.failure.empty()) {
+      failed.push_back(&record);
+      continue;
+    }
+    ++completed;
     const auto key =
         std::make_tuple(record.group, record.scheduler, record.engine);
     auto it = std::find_if(buckets.begin(), buckets.end(),
@@ -134,15 +173,46 @@ util::Json ResultSink::summary() const {
   j.set("benchmark", util::Json::string(benchmark_))
       .set("base_seed",
            util::Json::integer(static_cast<std::int64_t>(base_seed_)))
-      .set("total_runs", util::Json::integer(
-                             static_cast<std::int64_t>(records_.size())))
-      .set("groups", std::move(groups));
+      .set("total_runs",
+           util::Json::integer(static_cast<std::int64_t>(completed)));
+  // The degraded-coverage report: present only when a cell was actually
+  // quarantined, so clean sweeps keep their pre-robustness byte layout.
+  if (!failed.empty()) {
+    std::stable_sort(failed.begin(), failed.end(),
+                     [](const RunRecord* a, const RunRecord* b) {
+                       return a->run_id < b->run_id;
+                     });
+    util::Json quarantined = util::Json::array();
+    for (const RunRecord* record : failed) {
+      quarantined.push(util::Json::object()
+                           .set("run_id", util::Json::integer(record->run_id))
+                           .set("group", util::Json::string(record->group))
+                           .set("scheduler",
+                                util::Json::string(record->scheduler))
+                           .set("failure",
+                                util::Json::string(record->failure)));
+    }
+    j.set("quarantined_runs",
+          util::Json::integer(static_cast<std::int64_t>(failed.size())))
+        .set("quarantined", std::move(quarantined));
+  }
+  j.set("groups", std::move(groups));
   return j;
 }
 
 void ResultSink::write_summary(std::ostream& os) const {
   summary().write(os);
   os << '\n';
+}
+
+void ResultSink::write_jsonl_file(const std::string& path) const {
+  util::write_file_atomic(path,
+                          [this](std::ostream& os) { write_jsonl(os); });
+}
+
+void ResultSink::write_summary_file(const std::string& path) const {
+  util::write_file_atomic(path,
+                          [this](std::ostream& os) { write_summary(os); });
 }
 
 }  // namespace abg::exp

@@ -45,11 +45,20 @@ class ResultSink {
   void write_jsonl(std::ostream& os) const;
 
   /// The summary tree: per (group, scheduler) record counts plus
-  /// mean / CI-lower / CI-upper of every metric.
+  /// mean / CI-lower / CI-upper of every metric.  Quarantined records
+  /// (non-empty `failure`) contribute no samples; when any exist, the
+  /// summary carries a "quarantined" array naming them — the degraded-
+  /// coverage report — and "total_runs" counts only completed records, so
+  /// quarantine-free artifacts stay byte-identical to pre-robustness ones.
   util::Json summary() const;
 
   /// Serializes summary() with a trailing newline.
   void write_summary(std::ostream& os) const;
+
+  /// write_jsonl / write_summary into `path` via util::write_file_atomic:
+  /// the artifact is either fully written or absent/previous, never torn.
+  void write_jsonl_file(const std::string& path) const;
+  void write_summary_file(const std::string& path) const;
 
  private:
   std::string benchmark_;
@@ -59,5 +68,12 @@ class ResultSink {
 
 /// Renders one record as a compact JSON object (no newline).
 util::Json record_to_json(const RunRecord& record);
+
+/// Inverse of record_to_json, used by journal resume.  Absent optional
+/// keys restore their defaults — engine "sync", hier_groups 0, failure ""
+/// — so a resumed record buckets and re-serializes exactly like a freshly
+/// executed one.  Throws (std::out_of_range / std::logic_error) on a
+/// record missing required keys.
+RunRecord record_from_json(const util::Json& json);
 
 }  // namespace abg::exp

@@ -92,6 +92,21 @@ enum class AllocatorKind {
   kRoundRobin,
 };
 
+/// Failure-injection hooks for robustness tests.  Never part of a spec's
+/// digest: they change how a run *executes*, not what it computes, and
+/// exist so ctest fixtures can exercise the watchdog / retry / quarantine
+/// machinery deterministically.
+struct DebugHooks {
+  /// The run blocks until its cancellation token fires (then unwinds with
+  /// util::CancelledError) instead of simulating.  Requires a token; a
+  /// hang without one would never terminate, so it throws std::logic_error.
+  bool hang = false;
+  /// The first `fail_attempts` attempts of the run throw
+  /// std::runtime_error before simulating; attempt `fail_attempts`
+  /// onwards succeed.  0 disables the hook.
+  int fail_attempts = 0;
+};
+
 /// One run of a sweep: the full cartesian point plus its seed index.
 struct RunSpec {
   SchedulerKind scheduler = SchedulerKind::kAbg;
@@ -106,11 +121,15 @@ struct RunSpec {
   sim::EngineKind engine = sim::EngineKind::kSync;
   /// Hierarchical allocation: number of groups for the sharded set engine
   /// (0 = the flat path, the default) and the group/root allocator name
-  /// ("" = the run's own allocator kind; else "deq" | "rr").  Sweeps run
-  /// each group loop single-threaded — runs are already the unit of
-  /// parallelism — so hier specs stay deterministic under SweepRunner.
+  /// ("" = the run's own allocator kind; else "deq" | "rr").
   int hier_groups = 0;
   std::string hier_alloc;
+  /// Worker threads for a hier run's group loops (>= 1).  The default of 1
+  /// keeps runs as the sweep's sole unit of parallelism; larger values let
+  /// a sweep of few large hier cells use the machine.  The sharded engine
+  /// is thread-count independent, so this never changes a record — which
+  /// is also why it is excluded from the run's journal digest.
+  int hier_threads = 1;
   /// Index fed to Rng::derive(base_seed, seed_index) for workload and
   /// fault-plan generation.  Specs sharing a seed index see identical
   /// workloads (use this to pair scheduler variants).
@@ -123,6 +142,8 @@ struct RunSpec {
   /// own sinks).  Because specs are executed concurrently, a bus must not
   /// be shared between specs of one sweep.
   obs::ObsConfig obs = {};
+  /// Failure-injection hooks (tests only; excluded from the digest).
+  DebugHooks debug = {};
 };
 
 /// Canonical lower-case names used in CLI flags and JSON records.

@@ -7,9 +7,12 @@
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 
 #include "alloc/round_robin.hpp"
+#include "exp/journal.hpp"
 #include "exp/thread_pool.hpp"
+#include "exp/watchdog.hpp"
 #include "fault/fault_plan.hpp"
 #include "obs/event_bus.hpp"
 #include "obs/metrics_sink.hpp"
@@ -197,11 +200,38 @@ void append_sim_metrics(const RunSpec& spec, const sim::SimResult& result,
 }  // namespace
 
 RunRecord execute_run(const RunSpec& spec, std::uint64_t base_seed) {
-  return execute_run(spec, base_seed, nullptr);
+  return execute_run(spec, base_seed, RunContext{});
 }
 
 RunRecord execute_run(const RunSpec& spec, std::uint64_t base_seed,
                       obs::MetricsRegistry* metrics_out) {
+  RunContext context;
+  context.metrics = metrics_out;
+  return execute_run(spec, base_seed, context);
+}
+
+RunRecord execute_run(const RunSpec& spec, std::uint64_t base_seed,
+                      const RunContext& context) {
+  obs::MetricsRegistry* const metrics_out = context.metrics;
+  // Failure-injection hooks (robustness fixtures only).
+  if (spec.debug.fail_attempts > 0 &&
+      context.attempt < spec.debug.fail_attempts) {
+    throw std::runtime_error("debug: injected failure (attempt " +
+                             std::to_string(context.attempt) + ")");
+  }
+  if (spec.debug.hang) {
+    if (context.cancel == nullptr) {
+      throw std::logic_error(
+          "execute_run: debug.hang requires a cancellation token");
+    }
+    while (!context.cancel->cancelled()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    throw util::CancelledError(
+        "execute_run: run cancelled (" +
+            std::string(util::to_string(context.cancel->cause())) + ")",
+        context.cancel->cause());
+  }
   const std::uint64_t seed = util::Rng::derive_seed(base_seed,
                                                     spec.seed_index);
   RunRecord record;
@@ -240,13 +270,15 @@ RunRecord execute_run(const RunSpec& spec, std::uint64_t base_seed,
                         .quantum_length = spec.machine.quantum_length,
                         .engine = spec.engine};
   config.obs.event_bus = &bus;
-  // Hierarchical runs keep their group loops single-threaded inside a
-  // sweep: runs are the sweep's unit of parallelism, and nested pools
+  config.cancel = context.cancel;
+  // Hierarchical runs default their group loops to single-threaded inside
+  // a sweep: runs are the sweep's unit of parallelism, and nested pools
   // would oversubscribe without changing any result (the sharded engine
-  // is thread-count independent).
+  // is thread-count independent).  Sweeps of few large hier cells can opt
+  // into wider group loops via spec.hier_threads.
   config.hier.groups = spec.hier_groups;
   config.hier.allocator = spec.hier_alloc;
-  config.hier.threads = 1;
+  config.hier.threads = std::max(1, spec.hier_threads);
 
   // One allocator instance per simulated run: allocators may be stateful
   // (round-robin rotates its start index), so sharing one across threads
@@ -370,6 +402,224 @@ std::vector<RunRecord> SweepRunner::run(
   }
   pool.wait();
   return records;
+}
+
+SweepOutcome SweepRunner::run_monitored(
+    const std::vector<RunSpec>& specs) const {
+  const RobustnessConfig& rb = config_.robustness;
+  SweepOutcome outcome;
+  outcome.records.resize(specs.size());
+  if (specs.empty()) {
+    return outcome;
+  }
+
+  // The watchdog exists only when something can cancel a run; without it
+  // the monitored path carries no extra threads.
+  std::optional<Watchdog> watchdog;
+  if (rb.run_timeout_seconds > 0.0 || rb.abort != nullptr) {
+    Watchdog::Config wc;
+    wc.run_timeout_seconds = rb.run_timeout_seconds;
+    wc.abort = rb.abort;
+    watchdog.emplace(wc);
+  }
+
+  const auto drained = [&rb] {
+    return (rb.drain != nullptr && rb.drain->cancelled()) ||
+           (rb.abort != nullptr && rb.abort->cancelled());
+  };
+
+  ThreadPool pool(ThreadPool::resolve_threads(config_.threads));
+  std::mutex progress_mutex;
+  std::mutex metrics_mutex;
+  std::mutex outcome_mutex;
+  std::int64_t completed = 0;
+  const auto start = std::chrono::steady_clock::now();
+  const auto seconds_since_start = [start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  // Resolved-cell progress (success, quarantine or resume), same shape as
+  // run()'s telemetry.
+  const auto report_progress = [&] {
+    if (!config_.on_progress) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(progress_mutex);
+    ++completed;
+    Progress p;
+    p.completed = completed;
+    p.total = static_cast<std::int64_t>(specs.size());
+    const double elapsed = seconds_since_start();
+    p.elapsed_seconds = elapsed;
+    p.runs_per_second =
+        elapsed > 0.0 ? static_cast<double>(completed) / elapsed : 0.0;
+    p.eta_seconds = p.runs_per_second > 0.0
+                        ? static_cast<double>(p.total - completed) /
+                              p.runs_per_second
+                        : 0.0;
+    config_.on_progress(p);
+  };
+  const auto count = [&outcome_mutex](std::int64_t& field) {
+    std::lock_guard<std::mutex> lock(outcome_mutex);
+    ++field;
+  };
+  const auto bump_metric = [&](const char* name) {
+    if (config_.metrics != nullptr) {
+      std::lock_guard<std::mutex> lock(metrics_mutex);
+      config_.metrics->counter(name).add(1);
+    }
+  };
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    pool.submit([&, i] {
+      const RunSpec& spec = specs[i];
+      const std::uint64_t digest = spec_digest(spec);
+      const auto run_id = static_cast<std::int64_t>(i);
+
+      // Resume: a cell recorded complete under the same digest re-uses
+      // its journaled record verbatim.
+      if (rb.resume != nullptr) {
+        const RunRecord* recorded =
+            rb.resume->completed_record(run_id, digest);
+        if (recorded != nullptr) {
+          RunRecord record = *recorded;
+          record.run_id = run_id;
+          outcome.records[i] = std::move(record);
+          count(outcome.resumed);
+          bump_metric("exp.resumed_cells");
+          report_progress();
+          return;
+        }
+      }
+
+      if (drained()) {
+        count(outcome.skipped);
+        return;
+      }
+
+      count(outcome.executed);
+      util::CancelToken token;
+      const int attempts_allowed = 1 + std::max(0, rb.max_retries);
+      std::string failure_cause;
+      for (int attempt = 0; attempt < attempts_allowed; ++attempt) {
+        if (attempt > 0) {
+          count(outcome.retries);
+          bump_metric("exp.retries");
+          // Backoff, in slices so a drain cuts the wait short.
+          const auto wait_until =
+              std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<
+                  std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(
+                      backoff_seconds(rb.backoff_seconds, attempt - 1)));
+          while (std::chrono::steady_clock::now() < wait_until &&
+                 !drained()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          }
+          if (drained()) {
+            count(outcome.skipped);
+            return;
+          }
+        }
+        token.reset();
+        if (rb.journal != nullptr) {
+          rb.journal->record_start(run_id, digest, attempt);
+        }
+        std::optional<Watchdog::Lease> lease;
+        if (watchdog.has_value()) {
+          lease.emplace(watchdog->watch(&token));
+        }
+        // Metrics of failed attempts are discarded: only the successful
+        // attempt's registry merges, so a retried cell contributes the
+        // same engine metrics as an untroubled one.
+        obs::MetricsRegistry local_metrics;
+        const double run_start = seconds_since_start();
+        try {
+          RunContext context;
+          context.metrics =
+              config_.metrics != nullptr ? &local_metrics : nullptr;
+          context.cancel = &token;
+          context.attempt = attempt;
+          RunRecord record = execute_run(spec, config_.base_seed, context);
+          lease.reset();
+          const double run_end = seconds_since_start();
+          record.run_id = run_id;
+          if (rb.journal != nullptr) {
+            rb.journal->record_done(run_id, digest, record);
+          }
+          if (config_.metrics != nullptr) {
+            std::lock_guard<std::mutex> lock(metrics_mutex);
+            config_.metrics->merge(local_metrics);
+          }
+          if (config_.timeline != nullptr) {
+            config_.timeline->record(run_id,
+                                     record.scheduler + "/" + record.workload,
+                                     run_start, run_end);
+          }
+          if (config_.profiler != nullptr) {
+            config_.profiler->record("sweep.run", run_end - run_start,
+                                     /*items=*/1);
+          }
+          outcome.records[i] = std::move(record);
+          report_progress();
+          return;
+        } catch (const util::CancelledError& e) {
+          lease.reset();
+          if (e.cause() == util::CancelCause::kShutdown) {
+            // Torn down by an abort: the cell stays incomplete in the
+            // journal and re-executes on resume.
+            if (rb.journal != nullptr) {
+              rb.journal->record_failure(run_id, digest, attempt,
+                                         "shutdown", e.what());
+            }
+            count(outcome.skipped);
+            return;
+          }
+          count(outcome.timeouts);
+          bump_metric("exp.timeouts");
+          failure_cause = "timeout";
+          if (rb.journal != nullptr) {
+            rb.journal->record_failure(run_id, digest, attempt, "timeout",
+                                       e.what());
+          }
+        } catch (const std::exception& e) {
+          lease.reset();
+          failure_cause = std::string("error: ") + e.what();
+          if (rb.journal != nullptr) {
+            rb.journal->record_failure(run_id, digest, attempt, "error",
+                                       e.what());
+          }
+        }
+      }
+
+      // Poison run: the retry budget is gone.  Record identity + cause so
+      // the artifacts say explicitly what is missing and why.
+      RunRecord record;
+      record.run_id = run_id;
+      record.group = spec.group;
+      record.scheduler = to_string(spec.scheduler);
+      record.workload = to_string(spec.workload.kind);
+      record.fault = to_string(spec.faults.scenario);
+      record.engine = std::string(sim::to_string(spec.engine));
+      record.hier_groups = spec.hier_groups;
+      record.hier_alloc = spec.hier_alloc;
+      record.failure = failure_cause;
+      record.seed =
+          util::Rng::derive_seed(config_.base_seed, spec.seed_index);
+      if (rb.journal != nullptr) {
+        rb.journal->record_quarantine(run_id, digest, attempts_allowed,
+                                      failure_cause);
+      }
+      outcome.records[i] = std::move(record);
+      count(outcome.quarantined);
+      bump_metric("exp.quarantined");
+      report_progress();
+    });
+  }
+  pool.wait();
+  outcome.interrupted = drained();
+  return outcome;
 }
 
 }  // namespace abg::exp

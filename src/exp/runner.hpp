@@ -21,8 +21,12 @@
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/sweep_timeline.hpp"
+#include "util/cancel.hpp"
 
 namespace abg::exp {
+
+class RunJournal;
+struct JournalReplay;
 
 /// Result of one run: identity plus a flat, ordered metric map.  Generic
 /// on purpose — simulation sweeps, resilience studies and throughput
@@ -42,6 +46,12 @@ struct RunRecord {
   /// rule as `engine`), so pre-hier artifacts stay byte-identical.
   int hier_groups = 0;
   std::string hier_alloc;
+  /// Why the cell was quarantined ("timeout" / "error: ..."); empty — the
+  /// default — for completed runs.  A quarantined record carries no
+  /// metrics, is excluded from summary statistics, and is serialized with
+  /// a "failure" key; completed records serialize exactly as before the
+  /// field existed.
+  std::string failure;
   std::uint64_t seed = 0;
   std::vector<std::pair<std::string, double>> metrics;
 
@@ -63,6 +73,34 @@ struct Progress {
   double eta_seconds = 0.0;
 };
 
+/// Durability / fault-handling knobs of a sweep execution.  The defaults
+/// are all strict no-ops: no journal, no resume, no deadlines, no retry
+/// budget, no shutdown tokens — run_monitored() then executes exactly the
+/// grid, once each, and quarantines any cell whose single attempt throws.
+struct RobustnessConfig {
+  /// Per-run wall-clock deadline in seconds; <= 0 disables the watchdog
+  /// deadline (runs may still be torn down via `abort`).
+  double run_timeout_seconds = 0.0;
+  /// Extra attempts granted to a failing cell before it is quarantined
+  /// (0 = one attempt, no retry).
+  int max_retries = 0;
+  /// Base of the deterministic exponential retry backoff, in seconds
+  /// (attempt k waits backoff * 2^(k-1)).
+  double backoff_seconds = 0.1;
+  /// When set, every cell lifecycle event is appended here (see
+  /// exp/journal.hpp).  Must outlive the sweep.
+  RunJournal* journal = nullptr;
+  /// When set, cells recorded complete in the replay (with a matching
+  /// spec digest) are re-used instead of executed.
+  const JournalReplay* resume = nullptr;
+  /// Orderly-shutdown token (first SIGINT): once fired, no new cell
+  /// starts; in-flight runs finish and are journaled.
+  const util::CancelToken* drain = nullptr;
+  /// Escalation token (second SIGINT): once fired, in-flight runs are
+  /// cancelled too (via the watchdog).  Implies drain.
+  const util::CancelToken* abort = nullptr;
+};
+
 /// Configuration of a sweep execution.
 struct SweepConfig {
   /// Worker threads; <= 0 selects hardware_concurrency.
@@ -82,6 +120,8 @@ struct SweepConfig {
   /// When set, accumulates span "sweep.run" (seconds + run count) so
   /// BENCH_profile.json can report sweep throughput.
   obs::Profiler* profiler = nullptr;
+  /// Durability knobs used by run_monitored(); ignored by run().
+  RobustnessConfig robustness;
 };
 
 /// Progress callback that renders a single self-overwriting status line
@@ -102,6 +142,45 @@ RunRecord execute_run(const RunSpec& spec, std::uint64_t base_seed);
 RunRecord execute_run(const RunSpec& spec, std::uint64_t base_seed,
                       obs::MetricsRegistry* metrics_out);
 
+/// Per-attempt execution context of the monitored sweep path.
+struct RunContext {
+  /// As the metrics_out parameter of the overload above.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Cancellation token threaded into the run's SimConfig; the engines
+  /// poll it at quantum boundaries and unwind with util::CancelledError.
+  const util::CancelToken* cancel = nullptr;
+  /// Zero-based attempt number (consumed by RunSpec::debug hooks).
+  int attempt = 0;
+};
+
+/// The fully-parameterized unit of work: execute_run with cancellation
+/// and attempt context.  The simpler overloads delegate here.
+RunRecord execute_run(const RunSpec& spec, std::uint64_t base_seed,
+                      const RunContext& context);
+
+/// What a monitored sweep did, beyond the records themselves.
+struct SweepOutcome {
+  /// One record per grid cell, ordered by grid position.  Completed cells
+  /// carry metrics; quarantined cells carry `failure` and no metrics;
+  /// cells skipped by a drain keep run_id == -1 (the sweep is then
+  /// `interrupted` and the artifacts are not final).
+  std::vector<RunRecord> records;
+  /// Cells actually executed (at least one attempt ran).
+  std::int64_t executed = 0;
+  /// Cells re-used from the resume replay without executing.
+  std::int64_t resumed = 0;
+  /// Cells that exhausted their retry budget.
+  std::int64_t quarantined = 0;
+  /// Attempts beyond each cell's first (sum over cells).
+  std::int64_t retries = 0;
+  /// Attempts cancelled by the watchdog deadline.
+  std::int64_t timeouts = 0;
+  /// Cells never started because a drain/abort arrived first.
+  std::int64_t skipped = 0;
+  /// True when a drain or abort token fired during the sweep.
+  bool interrupted = false;
+};
+
 /// Thread-pool executor for RunSpec grids.
 class SweepRunner {
  public:
@@ -110,8 +189,17 @@ class SweepRunner {
   /// Runs every spec and returns records ordered by grid position
   /// (records[i].run_id == i).  An empty grid is a no-op returning {}.
   /// The first exception thrown by any run propagates; remaining runs
-  /// still execute.
+  /// still execute.  Ignores config.robustness — this is the legacy
+  /// fail-fast path benches and tests pin.
   std::vector<RunRecord> run(const std::vector<RunSpec>& specs) const;
+
+  /// The durable path: journaling, resume, watchdog deadlines, retry with
+  /// backoff, quarantine, and drain/abort handling per
+  /// config.robustness.  Run exceptions never propagate — a cell that
+  /// exhausts its budget is quarantined and the sweep continues.  With a
+  /// default-constructed RobustnessConfig the returned records are
+  /// byte-identical to run()'s on a grid where no run throws.
+  SweepOutcome run_monitored(const std::vector<RunSpec>& specs) const;
 
  private:
   SweepConfig config_;

@@ -1,0 +1,87 @@
+#include "exp/watchdog.hpp"
+
+#include <algorithm>
+
+namespace abg::exp {
+
+double backoff_seconds(double base, int attempt, double cap) {
+  double delay = base;
+  for (int i = 0; i < attempt && delay < cap; ++i) {
+    delay *= 2.0;
+  }
+  return std::min(delay, cap);
+}
+
+void Watchdog::Lease::release() {
+  if (owner_ != nullptr) {
+    owner_->unwatch(id_);
+    owner_ = nullptr;
+  }
+}
+
+Watchdog::Watchdog(Config config) : config_(config) {
+  monitor_ = std::thread([this] { loop(); });
+}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  monitor_.join();
+}
+
+Watchdog::Lease Watchdog::watch(util::CancelToken* token) {
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = next_id_++;
+    Entry entry;
+    entry.token = token;
+    entry.deadline =
+        config_.run_timeout_seconds > 0.0
+            ? std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(
+                          config_.run_timeout_seconds))
+            : std::chrono::steady_clock::time_point::max();
+    entries_.emplace(id, entry);
+  }
+  cv_.notify_all();
+  return Lease(this, id);
+}
+
+void Watchdog::unwatch(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.erase(id);
+}
+
+void Watchdog::loop() {
+  // The abort token is signal-set, not cv-notified, so the monitor never
+  // sleeps longer than this between polls.
+  constexpr auto kPollInterval = std::chrono::milliseconds(20);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    auto wake = std::chrono::steady_clock::now() + kPollInterval;
+    for (const auto& [id, entry] : entries_) {
+      wake = std::min(wake, entry.deadline);
+    }
+    cv_.wait_until(lock, wake, [this] { return stop_; });
+    if (stop_) {
+      return;
+    }
+    const bool aborted = config_.abort != nullptr && config_.abort->cancelled();
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& [id, entry] : entries_) {
+      if (aborted) {
+        entry.token->cancel(util::CancelCause::kShutdown);
+      } else if (now >= entry.deadline) {
+        entry.token->cancel(util::CancelCause::kTimeout);
+      }
+    }
+  }
+}
+
+}  // namespace abg::exp

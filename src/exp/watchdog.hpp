@@ -1,0 +1,107 @@
+// Wall-clock watchdog for sweep runs.
+//
+// One monitor thread guards every in-flight run of a sweep.  A worker
+// registers its run's CancelToken before executing (watch() returns an
+// RAII Lease; destroying it deregisters), and the monitor cancels the
+// token with CancelCause::kTimeout once the run's wall-clock deadline
+// passes.  Cancellation is cooperative — the engines poll their token at
+// quantum boundaries and unwind with util::CancelledError — so the
+// watchdog never interrupts a thread asynchronously, which keeps it
+// sanitizer-clean and leaves no detached threads behind.
+//
+// The monitor also polls an optional abort token (the CLI's second-SIGINT
+// escalation): when it fires, every active lease's token is cancelled
+// with kShutdown, which is how in-flight runs are torn down without the
+// signal handler ever taking a lock.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "util/cancel.hpp"
+
+namespace abg::exp {
+
+/// Deterministic exponential backoff: `base * 2^attempt` seconds, capped
+/// at `cap`.  No jitter — retries are rare and reproducible delays make
+/// fixture timing predictable.
+double backoff_seconds(double base, int attempt, double cap = 30.0);
+
+/// Monitor thread cancelling overdue (or aborted) run tokens.
+class Watchdog {
+ public:
+  struct Config {
+    /// Per-run wall-clock deadline; <= 0 disables deadlines (the watchdog
+    /// then only serves abort propagation).
+    double run_timeout_seconds = 0.0;
+    /// Optional abort token: when it fires, every active lease's token is
+    /// cancelled with kShutdown.  Must outlive the watchdog.
+    const util::CancelToken* abort = nullptr;
+  };
+
+  /// Deregisters a watched token on destruction.  Movable, not copyable.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept { swap(other); }
+    Lease& operator=(Lease&& other) noexcept {
+      release();
+      swap(other);
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    /// Deregisters early (idempotent).
+    void release();
+
+   private:
+    friend class Watchdog;
+    Lease(Watchdog* owner, std::uint64_t id) : owner_(owner), id_(id) {}
+    void swap(Lease& other) {
+      std::swap(owner_, other.owner_);
+      std::swap(id_, other.id_);
+    }
+
+    Watchdog* owner_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+
+  explicit Watchdog(Config config);
+  /// Stops and joins the monitor thread.  All leases must be released
+  /// first (the runner's structure guarantees it: leases live inside
+  /// pool tasks, and the pool is drained before the watchdog dies).
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Starts guarding `token`: it is cancelled with kTimeout once
+  /// run_timeout_seconds elapse (if enabled), or with kShutdown when the
+  /// abort token fires.  The token must outlive the lease.
+  Lease watch(util::CancelToken* token);
+
+ private:
+  struct Entry {
+    util::CancelToken* token = nullptr;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  void unwatch(std::uint64_t id);
+  void loop();
+
+  const Config config_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, Entry> entries_;
+  std::uint64_t next_id_ = 1;
+  bool stop_ = false;
+  std::thread monitor_;
+};
+
+}  // namespace abg::exp

@@ -73,6 +73,7 @@ SimResult simulate_job_set_async(std::vector<JobSubmission> submissions,
   core.faults = config.faults;
   core.quantum_length_policy = config.quantum_length_policy;
   core.bus = config.obs.event_bus;
+  core.cancel = config.cancel;
   return run_per_job_quanta(states, totals, execution, allocator, core);
 }
 

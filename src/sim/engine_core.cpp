@@ -273,6 +273,12 @@ SimResult run_global_quanta(std::vector<JobRuntime>& states,
   std::size_t remaining = totals.remaining;
 
   while (remaining > 0) {
+    if (config.cancel != nullptr && config.cancel->cancelled()) {
+      throw util::CancelledError(
+          std::string(config.context) + ": run cancelled (" +
+              util::to_string(config.cancel->cause()) + ")",
+          config.cancel->cause());
+    }
     // Consume fault events for the quantum [now, now + length).  Events
     // inside windows skipped by the idle fast-path below are consumed
     // lazily on the next boundary; failures/repairs net out and crashes of
@@ -609,6 +615,12 @@ SimResult run_per_job_quanta(std::vector<JobRuntime>& states,
   };
 
   while (remaining > 0) {
+    if (config.cancel != nullptr && config.cancel->cancelled()) {
+      throw util::CancelledError(
+          std::string(config.context) + ": run cancelled (" +
+              util::to_string(config.cancel->cause()) + ")",
+          config.cancel->cause());
+    }
     // Consume fault events for the unit step [now, now + 1).  Events in
     // ranges skipped by the idle fast-path are consumed lazily on the
     // next iteration, which is sound: failures/repairs net out and a

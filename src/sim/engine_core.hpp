@@ -87,6 +87,10 @@ struct CoreConfig {
   /// one pointer test and nothing else.  Sinks observe; they cannot
   /// influence the run.
   obs::EventBus* bus = nullptr;
+  /// Optional cooperative cancellation token, polled at the top of every
+  /// boundary iteration.  A cancelled run throws util::CancelledError.
+  /// Null — the default — costs one pointer test per boundary.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Drives `states` to completion with global synchronous quantum

@@ -351,6 +351,12 @@ SimResult simulate_job_set_sharded(
   std::vector<int> desires(group_count, 0);
 
   while (total_remaining > 0) {
+    if (config.cancel != nullptr && config.cancel->cancelled()) {
+      throw util::CancelledError(
+          std::string(kContext) + ": run cancelled (" +
+              util::to_string(config.cancel->cause()) + ")",
+          config.cancel->cause());
+    }
     const dag::Steps epoch_end = epoch_start + epoch_length;
     std::vector<int> budgets;
     {

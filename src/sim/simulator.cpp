@@ -64,6 +64,7 @@ SimResult simulate_job_set(std::vector<JobSubmission> submissions,
   core.quantum_length_policy = config.quantum_length_policy;
   core.stall_reason = "scheduling is not making progress";
   core.bus = config.obs.event_bus;
+  core.cancel = config.cancel;
   return run_global_quanta(states, totals, execution, allocator, core);
 }
 

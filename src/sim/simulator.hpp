@@ -24,6 +24,7 @@
 #include "sched/quantum_length.hpp"
 #include "sched/request_policy.hpp"
 #include "sim/trace.hpp"
+#include "util/cancel.hpp"
 
 namespace abg::obs {
 class Profiler;
@@ -129,6 +130,11 @@ struct SimConfig {
   /// (sim/sharded_engine.hpp), which requires the sync boundary model and
   /// supports no fault plan or quantum-length policy.
   HierConfig hier = {};
+  /// Optional cooperative cancellation (see util/cancel.hpp).  Polled at
+  /// quantum boundaries; a cancelled run unwinds by throwing
+  /// util::CancelledError.  Null — the default — is a strict no-op.  Must
+  /// outlive the simulation call.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Result of simulating a job set.

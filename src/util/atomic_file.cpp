@@ -1,0 +1,69 @@
+#include "util/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+#include <unistd.h>
+
+namespace abg::util {
+
+namespace {
+
+/// The sibling temp path: same directory (so the rename cannot cross a
+/// filesystem), disambiguated by pid so concurrent processes writing the
+/// same artifact do not clobber each other's temp files.
+std::string temp_path_for(const std::string& path) {
+  return path + ".tmp." +
+         std::to_string(static_cast<long long>(::getpid()));
+}
+
+[[noreturn]] void fail(const std::string& action, const std::string& path) {
+  throw std::runtime_error("output path not writable: " + path + " (" +
+                           action + ": " + std::strerror(errno) + ")");
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& emit) {
+  const std::string temp = temp_path_for(path);
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      fail("cannot create temp file", path);
+    }
+    emit(out);
+    out.flush();
+    if (!out) {
+      std::error_code ignored;
+      std::filesystem::remove(temp, ignored);
+      fail("write failed", path);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(temp, ignored);
+    throw std::runtime_error("output path not writable: " + path +
+                             " (rename failed: " + ec.message() + ")");
+  }
+}
+
+void probe_writable(const std::string& path) {
+  const std::string temp = temp_path_for(path);
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      fail("cannot create file", path);
+    }
+  }
+  std::error_code ignored;
+  std::filesystem::remove(temp, ignored);
+}
+
+}  // namespace abg::util

@@ -1,0 +1,35 @@
+// Crash-safe artifact writing: temp-file + rename, and fail-fast probes.
+//
+// Every artifact the experiment harness emits (JSONL records, BENCH_*.json
+// summaries, Perfetto traces, metrics registries, run journals' final
+// merge targets) is either the complete new file or the previous file —
+// never a half-written hybrid.  write_file_atomic() streams into
+// "<path>.tmp.<pid>" in the same directory and std::filesystem::rename()s
+// it onto the destination, which POSIX guarantees is atomic within a
+// filesystem.  A crash mid-write leaves only a stale .tmp file behind.
+//
+// probe_writable() is the companion fail-fast check: it proves an output
+// path can actually be created *before* hours of sweep CPU are burned,
+// throwing a diagnostic that names the path when it cannot.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace abg::util {
+
+/// Writes an artifact atomically: `emit` streams into a sibling temp file
+/// which is then renamed onto `path`.  Throws std::runtime_error naming
+/// the path when the temp file cannot be opened, the stream fails, or the
+/// rename fails (the temp file is removed on failure).
+void write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& emit);
+
+/// Fail-fast writability check: verifies a file can be created at `path`
+/// (by opening and removing the same sibling temp file the atomic writer
+/// would use).  Throws std::runtime_error naming the path otherwise.
+/// The destination itself is never touched.
+void probe_writable(const std::string& path);
+
+}  // namespace abg::util

@@ -87,6 +87,20 @@ std::int64_t Cli::get_positive_int(const std::string& name,
   return value;
 }
 
+std::int64_t Cli::get_non_negative_int(const std::string& name,
+                                       std::int64_t fallback) const {
+  if (!has(name)) {
+    return fallback;
+  }
+  const std::int64_t value = get_int(name, fallback);
+  if (value < 0) {
+    throw std::invalid_argument("Cli: flag --" + name +
+                                " expects a non-negative integer, got '" +
+                                get(name, "") + "'");
+  }
+  return value;
+}
+
 double Cli::get_double(const std::string& name, double fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) {
@@ -104,6 +118,20 @@ double Cli::get_double(const std::string& name, double fallback) const {
                                 " expects a real number, got '" + it->second.back() +
                                 "'");
   }
+}
+
+double Cli::get_positive_double(const std::string& name,
+                                double fallback) const {
+  if (!has(name)) {
+    return fallback;
+  }
+  const double value = get_double(name, fallback);
+  if (!(value > 0.0)) {
+    throw std::invalid_argument("Cli: flag --" + name +
+                                " expects a positive real number, got '" +
+                                get(name, "") + "'");
+  }
+  return value;
 }
 
 bool Cli::get_bool(const std::string& name, bool fallback) const {

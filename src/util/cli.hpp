@@ -43,9 +43,20 @@ class Cli {
   std::int64_t get_positive_int(const std::string& name,
                                 std::int64_t fallback) const;
 
+  /// As get_int, but additionally throws std::invalid_argument when the
+  /// flag is present with a value < 0 — for budget-like flags (retry
+  /// counts) where 0 is meaningful but a negative value is garbage.
+  std::int64_t get_non_negative_int(const std::string& name,
+                                    std::int64_t fallback) const;
+
   /// Real-valued flag; throws std::invalid_argument when the value does not
   /// parse.
   double get_double(const std::string& name, double fallback) const;
+
+  /// As get_double, but additionally throws std::invalid_argument when the
+  /// flag is present with a value <= 0 — for duration-like flags (timeouts,
+  /// backoff bases) where zero or negative time is a contradiction.
+  double get_positive_double(const std::string& name, double fallback) const;
 
   /// Boolean flag: present without value, or with value true/false/1/0.
   bool get_bool(const std::string& name, bool fallback) const;

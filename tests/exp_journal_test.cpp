@@ -1,0 +1,263 @@
+#include "exp/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/result_sink.hpp"
+#include "exp/runner.hpp"
+
+namespace abg::exp {
+namespace {
+
+RunSpec sample_spec() {
+  RunSpec spec;
+  spec.scheduler = SchedulerKind::kAbg;
+  spec.workload.kind = WorkloadKind::kSquareWave;
+  spec.workload.jobs = 2;
+  spec.workload.levels = 100;
+  spec.machine = {.processors = 16, .quantum_length = 50};
+  spec.seed_index = 3;
+  spec.group = "point=3";
+  return spec;
+}
+
+RunRecord sample_record() {
+  RunRecord record;
+  record.run_id = 0;
+  record.group = "point=3";
+  record.scheduler = "abg";
+  record.workload = "square-wave";
+  record.fault = "none";
+  record.seed = 12345;
+  record.metrics = {{"makespan", 1234.5}, {"mean_a", 0.9376215}};
+  return record;
+}
+
+/// RAII scratch file removed on destruction.
+class ScratchFile {
+ public:
+  explicit ScratchFile(const std::string& name)
+      : path_(testing::TempDir() + name) {
+    std::remove(path_.c_str());
+  }
+  ~ScratchFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+  std::string contents() const {
+    std::ifstream in(path_, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+
+  void overwrite(const std::string& text) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+
+ private:
+  std::string path_;
+};
+
+TEST(SpecDigest, IsStableAndSensitiveToResultFields) {
+  const RunSpec spec = sample_spec();
+  EXPECT_EQ(spec_digest(spec), spec_digest(sample_spec()));
+
+  RunSpec other = sample_spec();
+  other.seed_index = 4;
+  EXPECT_NE(spec_digest(spec), spec_digest(other));
+
+  other = sample_spec();
+  other.scheduler = SchedulerKind::kAGreedy;
+  EXPECT_NE(spec_digest(spec), spec_digest(other));
+
+  other = sample_spec();
+  other.machine.quantum_length = 51;
+  EXPECT_NE(spec_digest(spec), spec_digest(other));
+}
+
+TEST(SpecDigest, IgnoresObsAndDebugAndThreadKnobs) {
+  // None of these can change the record, so resume must not treat them as
+  // a different cell.
+  const RunSpec spec = sample_spec();
+  RunSpec other = sample_spec();
+  other.hier_threads = 8;
+  other.debug.hang = true;
+  other.debug.fail_attempts = 2;
+  EXPECT_EQ(spec_digest(spec), spec_digest(other));
+}
+
+TEST(GridDigest, DependsOnSeedOrderAndCells) {
+  const std::vector<RunSpec> grid = {sample_spec(), sample_spec()};
+  EXPECT_EQ(grid_digest(grid, 7), grid_digest(grid, 7));
+  EXPECT_NE(grid_digest(grid, 7), grid_digest(grid, 8));
+  EXPECT_NE(grid_digest(grid, 7), grid_digest({sample_spec()}, 7));
+}
+
+TEST(DigestToHex, IsFixedWidthLowercase) {
+  EXPECT_EQ(digest_to_hex(0), "0000000000000000");
+  EXPECT_EQ(digest_to_hex(0xDEADBEEFull), "00000000deadbeef");
+  EXPECT_EQ(digest_to_hex(~0ull), "ffffffffffffffff");
+}
+
+TEST(RunJournal, RoundTripsCompletedCells) {
+  ScratchFile file("journal_roundtrip.jsonl");
+  const RunSpec spec = sample_spec();
+  const std::uint64_t digest = spec_digest(spec);
+  const RunRecord record = sample_record();
+  {
+    RunJournal journal(file.path(), 2008, 1, grid_digest({spec}, 2008));
+    journal.record_start(0, digest, 0);
+    journal.record_done(0, digest, record);
+  }
+
+  const JournalReplay replay = load_journal(file.path());
+  EXPECT_EQ(replay.base_seed, 2008u);
+  EXPECT_EQ(replay.cells, 1u);
+  EXPECT_EQ(replay.grid, grid_digest({spec}, 2008));
+  ASSERT_EQ(replay.completed.size(), 1u);
+
+  const RunRecord* replayed = replay.completed_record(0, digest);
+  ASSERT_NE(replayed, nullptr);
+  EXPECT_EQ(replayed->group, record.group);
+  EXPECT_EQ(replayed->seed, record.seed);
+  ASSERT_EQ(replayed->metrics.size(), record.metrics.size());
+  EXPECT_EQ(replayed->metrics[1].first, "mean_a");
+  EXPECT_DOUBLE_EQ(replayed->metrics[1].second, 0.9376215);
+
+  // A drifted spec at the same position must not be treated as completed.
+  EXPECT_EQ(replay.completed_record(0, digest + 1), nullptr);
+  EXPECT_EQ(replay.completed_record(1, digest), nullptr);
+}
+
+TEST(RunJournal, ReplayedRecordSerializesByteIdentically) {
+  // The byte-exactness contract of --resume: a record that went through
+  // the journal re-emits exactly what a fresh run would have written.
+  ScratchFile file("journal_bytes.jsonl");
+  const RunSpec spec = sample_spec();
+  const std::uint64_t digest = spec_digest(spec);
+  const RunRecord record = sample_record();
+  {
+    RunJournal journal(file.path(), 2008, 1, grid_digest({spec}, 2008));
+    journal.record_done(0, digest, record);
+  }
+  const JournalReplay replay = load_journal(file.path());
+  const RunRecord* replayed = replay.completed_record(0, digest);
+  ASSERT_NE(replayed, nullptr);
+  EXPECT_EQ(record_to_json(*replayed).dump(),
+            record_to_json(record).dump());
+}
+
+TEST(RunJournal, ToleratesTornTrailingLine) {
+  ScratchFile file("journal_torn.jsonl");
+  const RunSpec spec = sample_spec();
+  const std::uint64_t digest = spec_digest(spec);
+  {
+    RunJournal journal(file.path(), 9, 2, grid_digest({spec, spec}, 9));
+    journal.record_done(0, digest, sample_record());
+    journal.record_start(1, digest, 0);
+  }
+  // Tear the final line mid-JSON, as a crash during append would.
+  std::string text = file.contents();
+  ASSERT_EQ(text.back(), '\n');
+  file.overwrite(text.substr(0, text.size() - 10));
+
+  const JournalReplay replay = load_journal(file.path());
+  EXPECT_EQ(replay.completed.size(), 1u);
+  EXPECT_NE(replay.completed_record(0, digest), nullptr);
+}
+
+TEST(RunJournal, MalformedInteriorLineThrows) {
+  ScratchFile file("journal_corrupt.jsonl");
+  const RunSpec spec = sample_spec();
+  {
+    RunJournal journal(file.path(), 9, 1, grid_digest({spec}, 9));
+    journal.record_done(0, spec_digest(spec), sample_record());
+  }
+  file.overwrite("this is not json\n" + file.contents());
+  EXPECT_THROW(load_journal(file.path()), std::runtime_error);
+}
+
+TEST(RunJournal, MissingHeaderThrows) {
+  ScratchFile file("journal_headerless.jsonl");
+  file.overwrite("{\"kind\":\"start\",\"run_id\":0,\"spec\":\"00\"}\n");
+  EXPECT_THROW(load_journal(file.path()), std::runtime_error);
+  EXPECT_THROW(load_journal(file.path() + ".does-not-exist"),
+               std::runtime_error);
+}
+
+TEST(RunJournal, QuarantineIsSupersededByLaterDone) {
+  // A resumed sweep re-executes quarantined cells; when the re-execution
+  // succeeds, the appended "done" must win over the older quarantine.
+  ScratchFile file("journal_requarantine.jsonl");
+  const RunSpec spec = sample_spec();
+  const std::uint64_t digest = spec_digest(spec);
+  {
+    RunJournal journal(file.path(), 9, 1, grid_digest({spec}, 9));
+    journal.record_failure(0, digest, 0, "timeout", "");
+    journal.record_quarantine(0, digest, 1, "timeout");
+  }
+  {
+    const JournalReplay replay = load_journal(file.path());
+    EXPECT_TRUE(replay.completed.empty());
+    ASSERT_EQ(replay.quarantined.size(), 1u);
+    EXPECT_EQ(replay.quarantined.at(0), "timeout");
+  }
+  {
+    RunJournal journal(file.path(), 9, 1, grid_digest({spec}, 9));
+    journal.record_done(0, digest, sample_record());
+  }
+  const JournalReplay replay = load_journal(file.path());
+  EXPECT_TRUE(replay.quarantined.empty());
+  EXPECT_NE(replay.completed_record(0, digest), nullptr);
+}
+
+TEST(RunJournal, AppendingKeepsSingleHeader) {
+  // Re-opening an existing journal (what --resume with --journal at the
+  // same path does) appends events without writing a second header.
+  ScratchFile file("journal_reopen.jsonl");
+  const RunSpec spec = sample_spec();
+  const std::uint64_t grid = grid_digest({spec}, 9);
+  { RunJournal journal(file.path(), 9, 1, grid); }
+  { RunJournal journal(file.path(), 9, 1, grid); }
+  const std::string text = file.contents();
+  std::size_t headers = 0;
+  std::istringstream lines(text);
+  for (std::string line; std::getline(lines, line);) {
+    headers += line.find("\"kind\":\"journal\"") != std::string::npos;
+  }
+  EXPECT_EQ(headers, 1u);
+}
+
+TEST(RecordFromJson, RestoresOmittedDefaults) {
+  // Omitted optional keys (engine, hier, failure) must come back as the
+  // exact defaults record_to_json omitted them for, or a resumed record
+  // would serialize differently from the original.
+  RunRecord record = sample_record();
+  const RunRecord parsed = record_from_json(record_to_json(record));
+  EXPECT_EQ(parsed.engine, "sync");
+  EXPECT_EQ(parsed.hier_groups, 0);
+  EXPECT_EQ(parsed.hier_alloc, "");
+  EXPECT_EQ(parsed.failure, "");
+  EXPECT_EQ(record_to_json(parsed).dump(), record_to_json(record).dump());
+
+  record.engine = "async";
+  record.hier_groups = 4;
+  record.hier_alloc = "deq";
+  record.failure = "timeout";
+  record.metrics.clear();
+  const RunRecord parsed2 = record_from_json(record_to_json(record));
+  EXPECT_EQ(parsed2.engine, "async");
+  EXPECT_EQ(parsed2.hier_groups, 4);
+  EXPECT_EQ(parsed2.failure, "timeout");
+  EXPECT_EQ(record_to_json(parsed2).dump(), record_to_json(record).dump());
+}
+
+}  // namespace
+}  // namespace abg::exp

@@ -1,0 +1,192 @@
+// run_monitored(): the durable sweep path — retry with backoff, watchdog
+// deadlines, quarantine, journaling and resume — exercised at the library
+// level with the RunSpec debug hooks standing in for flaky and hung runs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/journal.hpp"
+#include "exp/result_sink.hpp"
+#include "exp/runner.hpp"
+#include "obs/metrics.hpp"
+#include "util/cancel.hpp"
+
+namespace abg::exp {
+namespace {
+
+std::vector<RunSpec> tiny_grid(int cells) {
+  std::vector<RunSpec> specs;
+  for (int i = 0; i < cells; ++i) {
+    RunSpec spec;
+    spec.scheduler = SchedulerKind::kAbg;
+    spec.workload.kind = WorkloadKind::kSquareWave;
+    spec.workload.jobs = 2;
+    spec.workload.levels = 100;
+    spec.machine = {.processors = 16, .quantum_length = 50};
+    spec.seed_index = static_cast<std::uint64_t>(i);
+    spec.group = "cell=" + std::to_string(i);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::string jsonl_of(const std::vector<RunRecord>& records) {
+  ResultSink sink("monitored_test", 2008);
+  sink.add_all(records);
+  std::ostringstream os;
+  sink.write_jsonl(os);
+  return os.str();
+}
+
+class ScratchFile {
+ public:
+  explicit ScratchFile(const std::string& name)
+      : path_(testing::TempDir() + name) {
+    std::remove(path_.c_str());
+  }
+  ~ScratchFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(RunMonitored, DefaultConfigMatchesLegacyRunByteForByte) {
+  const std::vector<RunSpec> specs = tiny_grid(3);
+  SweepConfig config;
+  config.threads = 2;
+  const SweepRunner runner(config);
+  const std::vector<RunRecord> legacy = runner.run(specs);
+  const SweepOutcome outcome = runner.run_monitored(specs);
+  EXPECT_EQ(outcome.executed, 3);
+  EXPECT_EQ(outcome.quarantined, 0);
+  EXPECT_FALSE(outcome.interrupted);
+  EXPECT_EQ(jsonl_of(outcome.records), jsonl_of(legacy));
+}
+
+TEST(RunMonitored, RetriesTransientFailureAndConverges) {
+  std::vector<RunSpec> specs = tiny_grid(2);
+  specs[1].debug.fail_attempts = 2;  // attempts 0 and 1 throw, 2 succeeds
+
+  SweepConfig config;
+  config.threads = 1;
+  config.robustness.max_retries = 2;
+  config.robustness.backoff_seconds = 0.001;
+  obs::MetricsRegistry metrics;
+  config.metrics = &metrics;
+  const SweepOutcome outcome = SweepRunner(config).run_monitored(specs);
+
+  EXPECT_EQ(outcome.retries, 2);
+  EXPECT_EQ(outcome.quarantined, 0);
+  EXPECT_EQ(metrics.counter("exp.retries").value(), 2);
+  ASSERT_EQ(outcome.records.size(), 2u);
+  EXPECT_TRUE(outcome.records[1].failure.empty());
+  EXPECT_FALSE(outcome.records[1].metrics.empty());
+
+  // The retried cell's record must equal a clean run's: failed attempts
+  // leave no trace in results or metrics.
+  SweepConfig clean_config;
+  clean_config.threads = 1;
+  const std::vector<RunRecord> clean =
+      SweepRunner(clean_config).run(tiny_grid(2));
+  EXPECT_EQ(jsonl_of(outcome.records), jsonl_of(clean));
+}
+
+TEST(RunMonitored, QuarantinesAfterRetryBudgetExhausted) {
+  std::vector<RunSpec> specs = tiny_grid(2);
+  specs[0].debug.fail_attempts = 99;
+
+  SweepConfig config;
+  config.threads = 2;
+  config.robustness.max_retries = 1;
+  config.robustness.backoff_seconds = 0.001;
+  obs::MetricsRegistry metrics;
+  config.metrics = &metrics;
+  const SweepOutcome outcome = SweepRunner(config).run_monitored(specs);
+
+  EXPECT_EQ(outcome.quarantined, 1);
+  EXPECT_EQ(outcome.retries, 1);
+  EXPECT_EQ(metrics.counter("exp.quarantined").value(), 1);
+  ASSERT_EQ(outcome.records.size(), 2u);
+  EXPECT_EQ(outcome.records[0].failure.rfind("error: ", 0), 0u);
+  EXPECT_TRUE(outcome.records[0].metrics.empty());
+  EXPECT_TRUE(outcome.records[1].failure.empty());
+
+  // Quarantine is not interruption: the sweep covered every cell it could.
+  EXPECT_FALSE(outcome.interrupted);
+}
+
+TEST(RunMonitored, WatchdogKillsHungRunAndQuarantinesIt) {
+  std::vector<RunSpec> specs = tiny_grid(1);
+  specs[0].debug.hang = true;
+
+  SweepConfig config;
+  config.threads = 1;
+  config.robustness.run_timeout_seconds = 0.05;
+  config.robustness.max_retries = 1;
+  config.robustness.backoff_seconds = 0.001;
+  obs::MetricsRegistry metrics;
+  config.metrics = &metrics;
+  const SweepOutcome outcome = SweepRunner(config).run_monitored(specs);
+
+  EXPECT_EQ(outcome.timeouts, 2);  // first attempt + one retry
+  EXPECT_EQ(outcome.quarantined, 1);
+  EXPECT_EQ(metrics.counter("exp.timeouts").value(), 2);
+  ASSERT_EQ(outcome.records.size(), 1u);
+  EXPECT_EQ(outcome.records[0].failure, "timeout");
+}
+
+TEST(RunMonitored, ResumeSkipsCompletedCellsByteForByte) {
+  const std::vector<RunSpec> specs = tiny_grid(3);
+  ScratchFile journal_file("monitored_resume.jsonl");
+  const std::uint64_t grid = grid_digest(specs, 2008);
+
+  SweepConfig first_config;
+  first_config.threads = 1;
+  const std::vector<RunRecord> reference =
+      SweepRunner(first_config).run(specs);
+
+  // Journal only the first two cells, as an interrupted sweep would have.
+  {
+    RunJournal journal(journal_file.path(), 2008, specs.size(), grid);
+    journal.record_done(0, spec_digest(specs[0]), reference[0]);
+    journal.record_done(1, spec_digest(specs[1]), reference[1]);
+  }
+  const JournalReplay replay = load_journal(journal_file.path());
+
+  SweepConfig config;
+  config.threads = 2;
+  config.robustness.resume = &replay;
+  obs::MetricsRegistry metrics;
+  config.metrics = &metrics;
+  const SweepOutcome outcome = SweepRunner(config).run_monitored(specs);
+
+  EXPECT_EQ(outcome.resumed, 2);
+  EXPECT_EQ(outcome.executed, 1);
+  EXPECT_EQ(metrics.counter("exp.resumed_cells").value(), 2);
+  EXPECT_EQ(jsonl_of(outcome.records), jsonl_of(reference));
+}
+
+TEST(RunMonitored, PreFiredDrainSkipsEverything) {
+  util::CancelToken drain;
+  drain.cancel(util::CancelCause::kShutdown);
+
+  SweepConfig config;
+  config.threads = 2;
+  config.robustness.drain = &drain;
+  const SweepOutcome outcome =
+      SweepRunner(config).run_monitored(tiny_grid(3));
+
+  EXPECT_TRUE(outcome.interrupted);
+  EXPECT_EQ(outcome.skipped, 3);
+  EXPECT_EQ(outcome.executed, 0);
+  for (const RunRecord& record : outcome.records) {
+    EXPECT_EQ(record.run_id, -1);
+  }
+}
+
+}  // namespace
+}  // namespace abg::exp

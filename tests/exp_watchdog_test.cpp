@@ -1,0 +1,106 @@
+#include "exp/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "util/cancel.hpp"
+
+namespace abg::exp {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Spins until `token` is cancelled or `budget` elapses; true on cancel.
+bool wait_cancelled(const util::CancelToken& token,
+                    std::chrono::milliseconds budget) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (token.cancelled()) {
+      return true;
+    }
+    std::this_thread::sleep_for(1ms);
+  }
+  return token.cancelled();
+}
+
+TEST(Backoff, DoublesFromBaseAndCaps) {
+  EXPECT_DOUBLE_EQ(backoff_seconds(0.1, 0), 0.1);
+  EXPECT_DOUBLE_EQ(backoff_seconds(0.1, 1), 0.2);
+  EXPECT_DOUBLE_EQ(backoff_seconds(0.1, 2), 0.4);
+  EXPECT_DOUBLE_EQ(backoff_seconds(0.5, 3), 4.0);
+  // The cap bounds the wait however deep the retry budget goes.
+  EXPECT_DOUBLE_EQ(backoff_seconds(1.0, 20), 30.0);
+  EXPECT_DOUBLE_EQ(backoff_seconds(1.0, 4, 10.0), 10.0);
+}
+
+TEST(Watchdog, CancelsOverdueTokenWithTimeout) {
+  Watchdog watchdog({.run_timeout_seconds = 0.05});
+  util::CancelToken token;
+  const Watchdog::Lease lease = watchdog.watch(&token);
+  ASSERT_TRUE(wait_cancelled(token, 2s));
+  EXPECT_EQ(token.cause(), util::CancelCause::kTimeout);
+}
+
+TEST(Watchdog, ReleasedLeaseIsNeverCancelled) {
+  Watchdog watchdog({.run_timeout_seconds = 0.02});
+  util::CancelToken token;
+  {
+    Watchdog::Lease lease = watchdog.watch(&token);
+    lease.release();
+    lease.release();  // idempotent
+  }
+  std::this_thread::sleep_for(100ms);
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(Watchdog, DisabledDeadlineNeverFires) {
+  Watchdog watchdog({.run_timeout_seconds = 0.0});
+  util::CancelToken token;
+  const Watchdog::Lease lease = watchdog.watch(&token);
+  std::this_thread::sleep_for(80ms);
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(Watchdog, AbortTokenTearsDownEveryLeaseAsShutdown) {
+  util::CancelToken abort;
+  Watchdog watchdog({.run_timeout_seconds = 60.0, .abort = &abort});
+  util::CancelToken first;
+  util::CancelToken second;
+  const Watchdog::Lease lease_a = watchdog.watch(&first);
+  const Watchdog::Lease lease_b = watchdog.watch(&second);
+  abort.cancel(util::CancelCause::kShutdown);
+  ASSERT_TRUE(wait_cancelled(first, 2s));
+  ASSERT_TRUE(wait_cancelled(second, 2s));
+  EXPECT_EQ(first.cause(), util::CancelCause::kShutdown);
+  EXPECT_EQ(second.cause(), util::CancelCause::kShutdown);
+}
+
+TEST(Watchdog, LeaseMoveTransfersOwnership) {
+  Watchdog watchdog({.run_timeout_seconds = 0.02});
+  util::CancelToken token;
+  Watchdog::Lease outer;
+  {
+    Watchdog::Lease inner = watchdog.watch(&token);
+    outer = std::move(inner);
+  }  // inner's destruction must not deregister the moved-from lease
+  ASSERT_TRUE(wait_cancelled(token, 2s));
+  EXPECT_EQ(token.cause(), util::CancelCause::kTimeout);
+}
+
+TEST(CancelToken, FirstCauseWinsAndResetRearms) {
+  util::CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.cause(), util::CancelCause::kNone);
+  token.cancel(util::CancelCause::kTimeout);
+  token.cancel(util::CancelCause::kShutdown);
+  EXPECT_EQ(token.cause(), util::CancelCause::kTimeout);
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+  token.cancel(util::CancelCause::kShutdown);
+  EXPECT_EQ(token.cause(), util::CancelCause::kShutdown);
+}
+
+}  // namespace
+}  // namespace abg::exp

@@ -1,0 +1,78 @@
+#include "util/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace abg::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(AtomicFile, WritesContentAndLeavesNoTempBehind) {
+  const std::string path = testing::TempDir() + "atomic_write.txt";
+  std::remove(path.c_str());
+  write_file_atomic(path, [](std::ostream& os) { os << "hello\nworld\n"; });
+  EXPECT_EQ(slurp(path), "hello\nworld\n");
+
+  // No .tmp.* sibling may survive a successful write.
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  for (const auto& entry : std::filesystem::directory_iterator(parent)) {
+    EXPECT_EQ(entry.path().string().find("atomic_write.txt.tmp"),
+              std::string::npos)
+        << "leftover temp file: " << entry.path();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, ReplacesExistingFileCompletely) {
+  const std::string path = testing::TempDir() + "atomic_replace.txt";
+  write_file_atomic(path,
+                    [](std::ostream& os) { os << "a much longer first body"; });
+  write_file_atomic(path, [](std::ostream& os) { os << "short"; });
+  EXPECT_EQ(slurp(path), "short");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, UnwritablePathThrowsNamingThePath) {
+  const std::string path = "/nonexistent-dir-abg/out.json";
+  try {
+    write_file_atomic(path, [](std::ostream& os) { os << "x"; });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << "diagnostic must name the path: " << e.what();
+  }
+}
+
+TEST(AtomicFile, ProbeWritableAcceptsWritableDirAndCleansUp) {
+  const std::string path = testing::TempDir() + "probe_target.json";
+  EXPECT_NO_THROW(probe_writable(path));
+  // The probe must not create the target (the sweep has not produced it
+  // yet) nor leave its temp file behind.
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(AtomicFile, ProbeWritableRejectsUnwritablePathNamingIt) {
+  const std::string path = "/nonexistent-dir-abg/out.json";
+  try {
+    probe_writable(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace abg::util

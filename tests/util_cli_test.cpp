@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 namespace abg::util {
 namespace {
 
@@ -130,6 +134,60 @@ TEST(Cli, RepeatedScalarFlagLastOccurrenceWins) {
   const Cli cli = make_cli({"--seed=3", "--seed=9"});
   EXPECT_EQ(cli.get_int("seed", 0), 9);
   EXPECT_EQ(cli.get_all("seed").size(), 2u);
+}
+
+TEST(Cli, PositiveIntRejectsZeroNegativeAndGarbage) {
+  EXPECT_EQ(make_cli({"--jobs=4"}).get_positive_int("jobs", 1), 4);
+  // The fallback is the caller's business and returns unvalidated.
+  EXPECT_EQ(make_cli({}).get_positive_int("jobs", 0), 0);
+  EXPECT_THROW(make_cli({"--jobs=0"}).get_positive_int("jobs", 1),
+               std::invalid_argument);
+  EXPECT_THROW(make_cli({"--jobs=-2"}).get_positive_int("jobs", 1),
+               std::invalid_argument);
+  EXPECT_THROW(make_cli({"--jobs=many"}).get_positive_int("jobs", 1),
+               std::invalid_argument);
+}
+
+TEST(Cli, NonNegativeIntAcceptsZeroRejectsNegative) {
+  EXPECT_EQ(make_cli({"--max-retries=0"}).get_non_negative_int(
+                "max-retries", 3),
+            0);
+  EXPECT_EQ(make_cli({}).get_non_negative_int("max-retries", 3), 3);
+  EXPECT_THROW(
+      make_cli({"--max-retries=-1"}).get_non_negative_int("max-retries", 0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      make_cli({"--max-retries=x"}).get_non_negative_int("max-retries", 0),
+      std::invalid_argument);
+}
+
+TEST(Cli, PositiveDoubleRejectsZeroNegativeAndGarbage) {
+  EXPECT_DOUBLE_EQ(
+      make_cli({"--run-timeout=2.5"}).get_positive_double("run-timeout", 0.0),
+      2.5);
+  EXPECT_DOUBLE_EQ(make_cli({}).get_positive_double("run-timeout", 0.0), 0.0);
+  EXPECT_THROW(
+      make_cli({"--run-timeout=0"}).get_positive_double("run-timeout", 1.0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      make_cli({"--run-timeout=-0.5"}).get_positive_double("run-timeout", 1.0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      make_cli({"--run-timeout=soon"}).get_positive_double("run-timeout", 1.0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      make_cli({"--run-timeout=nan"}).get_positive_double("run-timeout", 1.0),
+      std::invalid_argument);
+}
+
+TEST(Cli, ValidationErrorNamesTheFlag) {
+  try {
+    make_cli({"--backoff=-1"}).get_positive_double("backoff", 0.1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--backoff"), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

@@ -65,6 +65,7 @@
 #include "sim/report.hpp"
 #include "sim/trace_io.hpp"
 #include "sim/validate.hpp"
+#include "util/atomic_file.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "workload/fork_join.hpp"
@@ -235,7 +236,7 @@ abg::fault::FaultPlan make_fault_plan(const Cli& cli, std::uint64_t seed) {
     throw std::invalid_argument("unknown --policy-restart '" + restart +
                                 "' (preserve | reset)");
   }
-  plan.restart_delay = cli.get_int("restart-delay", 0);
+  plan.restart_delay = cli.get_non_negative_int("restart-delay", 0);
   plan.normalize();
   return plan;
 }
@@ -268,10 +269,13 @@ void print_usage(std::ostream& os) {
 int main(int argc, char** argv) {
   try {
     const Cli cli(argc, argv);
+    // Count-like flags reject zero / negative / garbage values up front
+    // (Cli throws std::invalid_argument, which exits 2 with usage).
     const int processors =
-        static_cast<int>(cli.get_int("processors", 128));
-    const abg::dag::Steps quantum = cli.get_int("quantum", 1000);
-    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+        static_cast<int>(cli.get_positive_int("processors", 128));
+    const abg::dag::Steps quantum = cli.get_positive_int("quantum", 1000);
+    const auto seed =
+        static_cast<std::uint64_t>(cli.get_non_negative_int("seed", 1));
 
     const abg::core::SchedulerSpec scheduler = make_scheduler(cli);
     const auto allocator = make_allocator(cli);
@@ -294,8 +298,8 @@ int main(int argc, char** argv) {
         .processors = processors,
         .quantum_length = quantum,
         .max_active_jobs =
-            static_cast<int>(cli.get_int("jobs-cap", 0)),
-        .reallocation_cost_per_proc = cli.get_int("cost", 0),
+            static_cast<int>(cli.get_non_negative_int("jobs-cap", 0)),
+        .reallocation_cost_per_proc = cli.get_non_negative_int("cost", 0),
         .engine =
             abg::sim::engine_kind_from_name(cli.get("engine", "sync"))};
     if (!faults.empty()) {
@@ -309,7 +313,8 @@ int main(int argc, char** argv) {
         static_cast<int>(cli.get_positive_int("hier-groups", 0));
     config.hier.allocator = cli.get("hier-alloc", "");
     config.hier.rebalance_quanta = cli.get_positive_int("hier-rebalance", 1);
-    config.hier.threads = static_cast<int>(cli.get_int("hier-threads", 1));
+    config.hier.threads =
+        static_cast<int>(cli.get_non_negative_int("hier-threads", 1));
     if (config.hier.groups == 0) {
       for (const char* flag : {"hier-alloc", "hier-rebalance",
                                "hier-threads"}) {
@@ -449,29 +454,26 @@ int main(int argc, char** argv) {
                 << abg::sim::resilience_report(result, reference);
     }
     if (cli.has("trace")) {
-      std::ofstream out(cli.get("trace", ""));
-      abg::sim::write_trace_csv(out, result.jobs.at(0));
-      std::cout << "\nwrote " << cli.get("trace", "") << "\n";
+      const std::string path = cli.get("trace", "");
+      abg::util::write_file_atomic(path, [&result](std::ostream& out) {
+        abg::sim::write_trace_csv(out, result.jobs.at(0));
+      });
+      std::cout << "\nwrote " << path << "\n";
     }
     if (cli.has("trace-out")) {
       const std::string path = cli.get("trace-out", "");
-      std::ofstream out(path);
-      if (!out) {
-        throw std::runtime_error("cannot open --trace-out path " + path);
-      }
-      perfetto.write(out);
+      abg::util::write_file_atomic(
+          path, [&perfetto](std::ostream& out) { perfetto.write(out); });
       std::cout << "\nwrote Perfetto trace to " << path << " ("
                 << perfetto.event_count()
                 << " events; open in ui.perfetto.dev)\n";
     }
     if (cli.has("metrics-out")) {
       const std::string path = cli.get("metrics-out", "");
-      std::ofstream out(path);
-      if (!out) {
-        throw std::runtime_error("cannot open --metrics-out path " + path);
-      }
-      registry.write(out);
-      out << "\n";
+      abg::util::write_file_atomic(path, [&registry](std::ostream& out) {
+        registry.write(out);
+        out << "\n";
+      });
       std::cout << "\nwrote metrics to " << path << "\n";
     }
     if (cli.has("profile")) {
@@ -520,11 +522,8 @@ int main(int argc, char** argv) {
             profile_alloc.get());
         scope.add_items(simulated_steps(timed));
       }
-      std::ofstream out(path);
-      if (!out) {
-        throw std::runtime_error("cannot open --profile path " + path);
-      }
-      profiler.write(out);
+      abg::util::write_file_atomic(
+          path, [&profiler](std::ostream& out) { profiler.write(out); });
       const auto rate = [&profiler](const char* span) {
         const abg::obs::ProfileSpan s = profiler.span(span);
         return s.seconds > 0.0 ? static_cast<double>(s.items) / s.seconds

@@ -44,11 +44,40 @@
 //                 wall-clock, open in ui.perfetto.dev)
 //   --profile[=PATH]    sweep throughput spans (runs/sec)
 //                 [PATH defaults to BENCH_profile.json]
+//   --hier-threads=N    worker threads per hier run's group loops
+//                 (requires --hier-groups; default 1; results are
+//                 thread-count independent)
+//
+// Robustness (see docs/robustness.md):
+//   --journal=PATH      append-only JSONL run journal of every cell's
+//                 lifecycle; survives crashes (at most one torn tail line)
+//   --resume=PATH       replay a journal: completed cells are re-used
+//                 verbatim, everything else re-executes; final artifacts
+//                 are byte-identical to an uninterrupted run.  The journal
+//                 keeps growing at the same path (--journal not needed).
+//   --run-timeout=SECS  wall-clock deadline per run; overdue runs are
+//                 cancelled cooperatively by the watchdog and retried
+//   --max-retries=N     extra attempts for a failing cell before it is
+//                 quarantined (default 0)
+//   --backoff=SECS      base of the exponential retry backoff (default 0.1)
+//
+// All artifacts are written atomically (temp file + rename), so a crash
+// never leaves a half-written JSONL/JSON behind.  SIGINT/SIGTERM drain
+// the sweep: the first signal stops new cells (in-flight runs finish and
+// are journaled), a second cancels in-flight runs too, a third exits
+// immediately.  An interrupted sweep skips the final artifacts, prints a
+// --resume hint and exits 130.
+//
+// Exit codes: 0 complete, 2 usage/config error, 3 completed with
+// quarantined cells (degraded coverage), 130 interrupted.
 //
 // Scheduler-side parameters (scheduler, r) do not advance the workload
 // seed index: every scheduler variant runs the exact same workloads, so
 // paired ratios between schedulers are free of sampling noise.
 #include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -57,11 +86,14 @@
 #include <string>
 #include <vector>
 
+#include "exp/journal.hpp"
 #include "exp/result_sink.hpp"
 #include "exp/runner.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/sweep_timeline.hpp"
+#include "util/atomic_file.hpp"
+#include "util/cancel.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -70,6 +102,26 @@ namespace {
 
 using abg::exp::RunRecord;
 using abg::exp::RunSpec;
+
+// Shutdown tokens set from the signal handler (CancelToken::cancel is a
+// single lock-free CAS, hence async-signal-safe).  First signal: drain —
+// no new cells start, in-flight runs finish and are journaled.  Second:
+// abort — the watchdog cancels in-flight runs too.  Third: give up and
+// exit immediately.
+abg::util::CancelToken g_drain;
+abg::util::CancelToken g_abort;
+std::atomic<int> g_signals{0};
+
+void handle_shutdown_signal(int /*signum*/) {
+  const int count = g_signals.fetch_add(1) + 1;
+  if (count == 1) {
+    g_drain.cancel(abg::util::CancelCause::kShutdown);
+  } else if (count == 2) {
+    g_abort.cancel(abg::util::CancelCause::kShutdown);
+  } else {
+    std::_Exit(130);
+  }
+}
 
 /// One grid dimension: a key and its value list.
 struct Dimension {
@@ -232,15 +284,33 @@ RunSpec spec_of(const std::map<std::string, std::string>& point) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::signal(SIGINT, handle_shutdown_signal);
+  std::signal(SIGTERM, handle_shutdown_signal);
   try {
     const abg::util::Cli cli(argc, argv);
-    const auto reps = static_cast<int>(cli.get_int("reps", 5));
-    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2008));
-    const auto threads = static_cast<int>(cli.get_int("jobs", 1));
+    const auto reps = static_cast<int>(cli.get_positive_int("reps", 5));
+    const auto seed =
+        static_cast<std::uint64_t>(cli.get_non_negative_int("seed", 2008));
+    const auto threads =
+        static_cast<int>(cli.get_non_negative_int("jobs", 1));
     const std::string jsonl_path = cli.get("jsonl", "sweep.jsonl");
     const std::string summary_path = cli.get("summary", "BENCH_sweeps.json");
-    if (reps < 1) {
-      throw std::invalid_argument("--reps must be >= 1");
+
+    // Robustness knobs.  Contradictory values (negative retries, zero
+    // timeout, garbage) are Cli errors up front, not mid-sweep surprises.
+    const double run_timeout = cli.get_positive_double("run-timeout", 0.0);
+    const auto max_retries =
+        static_cast<int>(cli.get_non_negative_int("max-retries", 0));
+    const double backoff = cli.get_positive_double("backoff", 0.1);
+    const std::string resume_path = cli.get("resume", "");
+    std::string journal_path = cli.get("journal", "");
+    if (!resume_path.empty()) {
+      if (!journal_path.empty() && journal_path != resume_path) {
+        throw std::invalid_argument(
+            "--resume already names the journal; drop --journal or make "
+            "them equal");
+      }
+      journal_path = resume_path;
     }
 
     // Hierarchical axis: a global switch, not a grid dimension — every
@@ -249,12 +319,17 @@ int main(int argc, char** argv) {
     const auto hier_groups =
         static_cast<int>(cli.get_positive_int("hier-groups", 0));
     const std::string hier_alloc = cli.get("hier-alloc", "");
+    const auto hier_threads =
+        static_cast<int>(cli.get_positive_int("hier-threads", 1));
     if (!hier_alloc.empty() && hier_groups == 0) {
       throw std::invalid_argument("--hier-alloc requires --hier-groups");
     }
     if (!hier_alloc.empty() && hier_alloc != "deq" && hier_alloc != "rr") {
       throw std::invalid_argument("--hier-alloc: expected deq or rr, got '" +
                                   hier_alloc + "'");
+    }
+    if (hier_threads > 1 && hier_groups == 0) {
+      throw std::invalid_argument("--hier-threads requires --hier-groups");
     }
 
     const std::vector<Dimension> dims = build_dimensions(cli);
@@ -302,6 +377,7 @@ int main(int argc, char** argv) {
       RunSpec base = spec_of(point);
       base.hier_groups = hier_groups;
       base.hier_alloc = hier_alloc;
+      base.hier_threads = hier_threads;
       for (int rep = 0; rep < reps; ++rep) {
         RunSpec spec = base;
         spec.seed_index = static_cast<std::uint64_t>(rep) * workload_points +
@@ -322,9 +398,82 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Undocumented fixture hooks: make run ID hang until cancelled /
+    // fail its first N attempts.  They never enter the spec digest, so a
+    // journal written with a hook resumes cleanly without it.
+    const std::int64_t hang_run = cli.get_int("test-hang-run", -1);
+    if (hang_run >= 0) {
+      if (static_cast<std::size_t>(hang_run) >= specs.size()) {
+        throw std::invalid_argument("--test-hang-run: run id out of range");
+      }
+      specs[static_cast<std::size_t>(hang_run)].debug.hang = true;
+    }
+    const std::string fail_run = cli.get("test-fail-run", "");
+    if (!fail_run.empty()) {
+      const std::size_t colon = fail_run.find(':');
+      if (colon == std::string::npos) {
+        throw std::invalid_argument("--test-fail-run expects RUN_ID:N");
+      }
+      const std::int64_t id = std::stoll(fail_run.substr(0, colon));
+      const int attempts = std::stoi(fail_run.substr(colon + 1));
+      if (id < 0 || static_cast<std::size_t>(id) >= specs.size() ||
+          attempts < 1) {
+        throw std::invalid_argument("--test-fail-run: bad RUN_ID:N");
+      }
+      specs[static_cast<std::size_t>(id)].debug.fail_attempts = attempts;
+    }
+
+    // Fail fast on unwritable outputs: probe every artifact path before
+    // any sweep CPU is spent.
+    if (jsonl_path != "-" && jsonl_path != "none") {
+      abg::util::probe_writable(jsonl_path);
+    }
+    if (summary_path != "none") {
+      abg::util::probe_writable(summary_path);
+    }
+    for (const char* flag : {"metrics-out", "trace-out"}) {
+      if (cli.has(flag)) {
+        abg::util::probe_writable(cli.get(flag, ""));
+      }
+    }
+    std::string profile_path = cli.get("profile", "");
+    if (profile_path.empty() || profile_path == "true") {
+      profile_path = "BENCH_profile.json";
+    }
+    if (cli.has("profile")) {
+      abg::util::probe_writable(profile_path);
+    }
+
+    // Journal / resume: the replay is validated against this exact grid
+    // before any cell is skipped.
+    const std::uint64_t grid = abg::exp::grid_digest(specs, seed);
+    std::optional<abg::exp::JournalReplay> replay;
+    if (!resume_path.empty()) {
+      replay.emplace(abg::exp::load_journal(resume_path));
+      if (replay->grid != grid) {
+        throw std::invalid_argument(
+            "--resume: journal " + resume_path +
+            " records a different grid (digest " +
+            abg::exp::digest_to_hex(replay->grid) + " vs " +
+            abg::exp::digest_to_hex(grid) +
+            "); refusing to mix sweeps");
+      }
+    }
+    std::optional<abg::exp::RunJournal> journal;
+    if (!journal_path.empty()) {
+      journal.emplace(journal_path, seed, specs.size(), grid);
+    }
+
     abg::exp::SweepConfig sweep;
     sweep.threads = threads;
     sweep.base_seed = seed;
+    sweep.robustness.run_timeout_seconds = run_timeout;
+    sweep.robustness.max_retries = max_retries;
+    sweep.robustness.backoff_seconds = backoff;
+    sweep.robustness.journal = journal.has_value() ? &*journal : nullptr;
+    sweep.robustness.resume = replay.has_value() ? &*replay : nullptr;
+    sweep.robustness.drain = &g_drain;
+    sweep.robustness.abort = &g_abort;
     if (!cli.get_bool("quiet", false)) {
       sweep.on_progress = abg::exp::stderr_progress();
     }
@@ -343,15 +492,32 @@ int main(int argc, char** argv) {
     if (cli.has("profile")) {
       sweep.profiler = &profiler;
     }
-    std::vector<RunRecord> records;
+    abg::exp::SweepOutcome outcome;
     {
       std::optional<abg::obs::Profiler::Scope> total_scope;
       if (cli.has("profile")) {
         total_scope.emplace(&profiler, "sweep.total",
                             static_cast<std::int64_t>(specs.size()));
       }
-      records = abg::exp::SweepRunner(sweep).run(specs);
+      outcome = abg::exp::SweepRunner(sweep).run_monitored(specs);
     }
+
+    // Interrupted: the grid is incomplete, so no final artifact is
+    // written (partial files would be mistaken for results).  The journal
+    // already holds every completed cell; resume picks them up.
+    if (outcome.interrupted) {
+      std::cerr << "\nabg_sweep: interrupted — " << outcome.skipped
+                << " of " << specs.size() << " cells not completed\n";
+      if (journal_path.empty()) {
+        std::cerr << "abg_sweep: no journal was kept; rerun with "
+                     "--journal=PATH to make sweeps resumable\n";
+      } else {
+        std::cerr << "abg_sweep: resume with --resume=" << journal_path
+                  << "\n";
+      }
+      return 130;
+    }
+    const std::vector<RunRecord>& records = outcome.records;
 
     // Aggregate table on stdout: one row per (group, scheduler) in order
     // of first appearance.
@@ -365,6 +531,9 @@ int main(int argc, char** argv) {
     };
     std::vector<Agg> aggs;
     for (const RunRecord& record : records) {
+      if (!record.failure.empty()) {
+        continue;  // quarantined cells have no metrics to aggregate
+      }
       auto it = std::find_if(aggs.begin(), aggs.end(), [&](const Agg& a) {
         return a.group == record.group && a.scheduler == record.scheduler;
       });
@@ -393,64 +562,68 @@ int main(int argc, char** argv) {
     }
     std::cout << "abg_sweep: " << specs.size() << " runs ("
               << reps << " rep(s) x " << specs.size() / std::max(1, reps)
-              << " grid points), base seed " << seed << "\n\n";
+              << " grid points), base seed " << seed << "\n";
+    if (outcome.resumed > 0) {
+      std::cout << "abg_sweep: resumed " << outcome.resumed
+                << " completed cell(s) from " << resume_path << ", executed "
+                << outcome.executed << "\n";
+    }
+    if (outcome.retries > 0 || outcome.timeouts > 0) {
+      std::cout << "abg_sweep: " << outcome.retries << " retr"
+                << (outcome.retries == 1 ? "y" : "ies") << ", "
+                << outcome.timeouts << " timeout(s)\n";
+    }
+    std::cout << "\n";
     table.print(std::cout);
+
+    // The degraded-coverage report: name every excluded cell and why.
+    if (outcome.quarantined > 0) {
+      std::cout << "\nabg_sweep: QUARANTINED " << outcome.quarantined
+                << " run(s) — coverage is degraded:\n";
+      for (const RunRecord& record : records) {
+        if (!record.failure.empty()) {
+          std::cout << "  run " << record.run_id << " [" << record.group
+                    << " / " << record.scheduler << "]: " << record.failure
+                    << "\n";
+        }
+      }
+    }
 
     abg::exp::ResultSink sink("sweeps", seed);
     sink.add_all(records);
     if (jsonl_path == "-") {
       sink.write_jsonl(std::cout);
     } else if (jsonl_path != "none") {
-      std::ofstream out(jsonl_path);
-      if (!out) {
-        throw std::runtime_error("cannot open --jsonl path " + jsonl_path);
-      }
-      sink.write_jsonl(out);
+      sink.write_jsonl_file(jsonl_path);
       std::cout << "\nwrote " << records.size() << " records to "
                 << jsonl_path;
     }
     if (summary_path != "none") {
-      std::ofstream out(summary_path);
-      if (!out) {
-        throw std::runtime_error("cannot open --summary path " +
-                                 summary_path);
-      }
-      sink.write_summary(out);
+      sink.write_summary_file(summary_path);
       std::cout << "\nwrote summary to " << summary_path;
     }
     if (cli.has("metrics-out")) {
       const std::string path = cli.get("metrics-out", "");
-      std::ofstream out(path);
-      if (!out) {
-        throw std::runtime_error("cannot open --metrics-out path " + path);
-      }
-      registry.write(out);
-      out << "\n";
+      abg::util::write_file_atomic(path, [&registry](std::ostream& out) {
+        registry.write(out);
+        out << "\n";
+      });
       std::cout << "\nwrote merged metrics to " << path;
     }
     if (cli.has("trace-out")) {
       const std::string path = cli.get("trace-out", "");
-      std::ofstream out(path);
-      if (!out) {
-        throw std::runtime_error("cannot open --trace-out path " + path);
-      }
       const abg::obs::PerfettoTrace trace = timeline.to_trace();
-      trace.write(out);
+      abg::util::write_file_atomic(
+          path, [&trace](std::ostream& out) { trace.write(out); });
       std::cout << "\nwrote sweep timeline to " << path << " ("
                 << timeline.size() << " run slices)";
     }
     if (cli.has("profile")) {
-      std::string path = cli.get("profile", "");
-      if (path.empty() || path == "true") {
-        path = "BENCH_profile.json";
-      }
-      std::ofstream out(path);
-      if (!out) {
-        throw std::runtime_error("cannot open --profile path " + path);
-      }
-      profiler.write(out);
+      abg::util::write_file_atomic(
+          profile_path,
+          [&profiler](std::ostream& out) { profiler.write(out); });
       const abg::obs::ProfileSpan total = profiler.span("sweep.total");
-      std::cout << "\nwrote profile to " << path << " ("
+      std::cout << "\nwrote profile to " << profile_path << " ("
                 << abg::util::format_double(
                        total.seconds > 0.0
                            ? static_cast<double>(total.items) / total.seconds
@@ -459,7 +632,7 @@ int main(int argc, char** argv) {
                 << " runs/s)";
     }
     std::cout << "\n";
-    return 0;
+    return outcome.quarantined > 0 ? 3 : 0;
   } catch (const std::exception& error) {
     std::cerr << "abg_sweep: " << error.what() << "\n";
     return 2;

@@ -13,9 +13,19 @@
 //                              BENCH_profile.json: parses, every span has
 //                              seconds/count/items/items_per_second, and
 //                              each SPAN argument names an existing span.
+//   trace_check journal FILE   abg_sweep run journal (JSONL): has a
+//                              header, every complete line is a known
+//                              event with consistent run ids/digests.  A
+//                              crash-torn trailing line is tolerated (and
+//                              reported) — that is the format's contract.
 //
-// Prints one summary line on success; prints the failure and exits 1
-// otherwise.
+// Prints one summary line on success.  Exit codes classify the failure so
+// scripts can react without scraping stderr:
+//   0  artifact ok
+//   2  usage error
+//   3  file missing / unreadable
+//   4  file is not valid JSON / JSONL (parse error)
+//   5  file parsed but violates a structural invariant
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -32,10 +42,22 @@ namespace {
 
 using abg::util::Json;
 
+/// The file could not be opened or read (exit 3).
+struct MissingFileError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// The file parsed but breaks a structural promise (exit 5).  JSON parse
+/// errors keep their std::invalid_argument type from Json::parse and map
+/// to exit 4.
+struct InvariantError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    throw std::runtime_error("cannot open " + path);
+    throw MissingFileError("cannot open " + path);
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
@@ -43,7 +65,7 @@ std::string read_file(const std::string& path) {
 }
 
 [[noreturn]] void fail(const std::string& what) {
-  throw std::runtime_error(what);
+  throw InvariantError(what);
 }
 
 const Json& require(const Json& parent, const std::string& key) {
@@ -160,10 +182,115 @@ int check_profile(const std::string& path,
   return 0;
 }
 
+bool is_hex_digest(const std::string& text) {
+  if (text.size() != 16) {
+    return false;
+  }
+  for (const char c : text) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int check_journal(const std::string& path) {
+  const std::string text = read_file(path);
+  bool saw_header = false;
+  bool torn_tail = false;
+  std::int64_t cells = -1;
+  std::int64_t done = 0;
+  std::int64_t fails = 0;
+  std::int64_t quarantines = 0;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const bool last_and_unterminated = eol == std::string::npos;
+    const std::string line = text.substr(
+        pos, last_and_unterminated ? std::string::npos : eol - pos);
+    pos = last_and_unterminated ? text.size() : eol + 1;
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    Json j = Json::null();
+    try {
+      j = Json::parse(line);
+    } catch (const std::invalid_argument&) {
+      if (last_and_unterminated) {
+        // A crash tore the final append mid-line — by design recoverable.
+        torn_tail = true;
+        break;
+      }
+      throw std::invalid_argument("line " + std::to_string(line_no) +
+                                  " is not valid JSON");
+    }
+    const std::string& kind = require(j, "kind").as_string();
+    if (kind == "journal") {
+      if (saw_header) {
+        fail("line " + std::to_string(line_no) + ": duplicate header");
+      }
+      require(j, "base_seed");
+      cells = require(j, "cells").as_integer();
+      if (!is_hex_digest(require(j, "grid_digest").as_string())) {
+        fail("header grid_digest is not a 16-digit hex digest");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header) {
+      fail("line " + std::to_string(line_no) +
+           ": event before the header line");
+    }
+    if (kind != "start" && kind != "done" && kind != "fail" &&
+        kind != "quarantine") {
+      fail("line " + std::to_string(line_no) + ": unknown kind '" + kind +
+           "'");
+    }
+    const std::int64_t run_id = require(j, "run_id").as_integer();
+    if (run_id < 0 || (cells >= 0 && run_id >= cells)) {
+      fail("line " + std::to_string(line_no) + ": run_id " +
+           std::to_string(run_id) + " outside [0, " + std::to_string(cells) +
+           ")");
+    }
+    if (!is_hex_digest(require(j, "spec").as_string())) {
+      fail("line " + std::to_string(line_no) +
+           ": spec is not a 16-digit hex digest");
+    }
+    if (kind == "done") {
+      const Json& record = require(j, "record");
+      if (require(record, "run_id").as_integer() != run_id) {
+        fail("line " + std::to_string(line_no) +
+             ": embedded record run_id mismatch");
+      }
+      require(record, "metrics");
+      ++done;
+    } else if (kind == "fail") {
+      require(j, "attempt");
+      require(j, "cause");
+      ++fails;
+    } else if (kind == "quarantine") {
+      require(j, "attempts");
+      require(j, "cause");
+      ++quarantines;
+    }
+  }
+  if (!saw_header) {
+    fail("no header line");
+  }
+  std::cout << "trace_check: " << path << " ok (" << cells << " cells, "
+            << done << " done, " << fails << " failures, " << quarantines
+            << " quarantines" << (torn_tail ? ", torn tail line" : "")
+            << ")\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::vector<std::string> args(argv + 1, argv + argc);
+  const std::string target = args.size() >= 2 ? args[1] : "";
   try {
     if (args.size() >= 2 && args[0] == "trace") {
       return check_trace(args[1]);
@@ -175,11 +302,25 @@ int main(int argc, char** argv) {
       return check_profile(
           args[1], std::vector<std::string>(args.begin() + 2, args.end()));
     }
-    std::cerr << "usage: trace_check trace|metrics|profile FILE [SPAN...]\n";
+    if (args.size() >= 2 && args[0] == "journal") {
+      return check_journal(args[1]);
+    }
+    std::cerr
+        << "usage: trace_check trace|metrics|profile|journal FILE "
+           "[SPAN...]\n";
     return 2;
+  } catch (const MissingFileError& e) {
+    std::cerr << "trace_check: " << target << ": " << e.what() << "\n";
+    return 3;
+  } catch (const std::invalid_argument& e) {
+    // Json::parse rejects malformed documents with std::invalid_argument.
+    std::cerr << "trace_check: " << target << ": parse error: " << e.what()
+              << "\n";
+    return 4;
   } catch (const std::exception& e) {
-    std::cerr << "trace_check: " << (args.size() >= 2 ? args[1] : "") << ": "
-              << e.what() << "\n";
-    return 1;
+    // Structural invariant violations (InvariantError and the Json
+    // accessors' logic/range errors on shape mismatches).
+    std::cerr << "trace_check: " << target << ": " << e.what() << "\n";
+    return 5;
   }
 }
