@@ -6,111 +6,171 @@
 // compared on makespan normalized by the release-aware lower bound
 // max(ΣT1/P, max_j(release_j + T∞_j)).
 //
-//   ./arrivals_makespan [--seed=S] [--sets=N] [--csv]
+// The sweep executes on the exp::SweepRunner thread pool: every (schedule,
+// gap, set, scheduler) tuple is an independent RunSpec built on the
+// workload release axis, scheduler variants share a seed index (identical
+// job sets AND identical release draws), and results are byte-identical
+// at any --jobs level.  The monitored path makes long sweeps durable:
+// --journal appends every cell's lifecycle, --resume replays completed
+// cells verbatim, and the final artifacts are written atomically.
+//
+//   ./arrivals_makespan [--seed=S] [--sets=N] [--csv] [--jobs=N]
+//                       [--jsonl=PATH] [--json=PATH]
+//                       [--journal=PATH] [--resume=PATH]
 #include <iostream>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
-#include "metrics/lower_bounds.hpp"
-#include "workload/arrivals.hpp"
-#include "workload/job_set.hpp"
-
-namespace {
-
-struct SetOutcome {
-  double abg_over_bound = 0.0;
-  double ag_over_bound = 0.0;
-  double ratio = 0.0;
-};
-
-SetOutcome run_one(abg::util::Rng rng, const abg::bench::Machine& machine,
-                   bool poisson, double mean_gap) {
-  abg::workload::JobSetSpec spec;
-  spec.load = 1.0;
-  spec.processors = machine.processors;
-  spec.min_phase_levels = machine.quantum_length / 2;
-  spec.max_phase_levels = 2 * machine.quantum_length;
-  const auto jobs = abg::workload::make_job_set(rng, spec);
-
-  abg::util::Rng arrival_rng = rng.split();
-  const std::vector<abg::dag::Steps> releases =
-      poisson ? abg::workload::poisson_releases(arrival_rng, jobs.size(),
-                                                mean_gap)
-              : abg::workload::staggered_releases(
-                    jobs.size(),
-                    static_cast<abg::dag::Steps>(mean_gap));
-
-  std::vector<abg::metrics::JobSummary> summaries;
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    summaries.push_back(abg::metrics::JobSummary{
-        jobs[i].job->total_work(), jobs[i].job->critical_path(),
-        releases[i]});
-  }
-  const double bound =
-      abg::metrics::makespan_lower_bound(summaries, machine.processors);
-
-  auto submissions = [&] {
-    std::vector<abg::sim::JobSubmission> subs;
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      abg::sim::JobSubmission s;
-      s.job = std::make_unique<abg::dag::ProfileJob>(jobs[i].job->widths());
-      s.release_step = releases[i];
-      subs.push_back(std::move(s));
-    }
-    return subs;
-  };
-  const abg::sim::SimConfig config{.processors = machine.processors,
-                                   .quantum_length =
-                                       machine.quantum_length};
-  const auto abg_result =
-      abg::core::run_set(abg::core::abg_spec(), submissions(), config);
-  const auto ag_result =
-      abg::core::run_set(abg::core::a_greedy_spec(), submissions(), config);
-
-  SetOutcome out;
-  out.abg_over_bound = static_cast<double>(abg_result.makespan) / bound;
-  out.ag_over_bound = static_cast<double>(ag_result.makespan) / bound;
-  out.ratio = static_cast<double>(ag_result.makespan) /
-              static_cast<double>(abg_result.makespan);
-  return out;
-}
-
-}  // namespace
+#include "exp/journal.hpp"
+#include "exp/result_sink.hpp"
+#include "exp/runner.hpp"
+#include "util/atomic_file.hpp"
 
 int main(int argc, char** argv) {
-  const abg::util::Cli cli(argc, argv);
-  const abg::bench::StandardFlags flags(cli, 77);
-  const auto sets = static_cast<int>(cli.get_int("sets", 10));
-  const abg::bench::Machine machine;
+  try {
+    const abg::util::Cli cli(argc, argv);
+    const abg::bench::StandardFlags flags(cli, 77);
+    const auto sets = static_cast<int>(cli.get_int("sets", 10));
+    const int threads = abg::bench::thread_count_flag(cli);
+    const abg::bench::Machine machine;
+    const std::string summary_path =
+        cli.get("json", "BENCH_arrivals_makespan.json");
 
-  std::cout << "Makespan with arbitrary release times (Theorem 5's general "
-            << "case), " << sets << " job sets per row, load 1.0\n\n";
-  abg::util::Table table({"arrivals", "mean gap", "M/LB ABG",
-                          "M/LB A-Greedy", "M ratio"});
-  for (const bool poisson : {false, true}) {
-    for (const double gap : {500.0, 2000.0, 8000.0}) {
-      abg::util::RunningStats abg_norm;
-      abg::util::RunningStats ag_norm;
-      abg::util::RunningStats ratio;
-      abg::util::Rng root(flags.seed);
-      for (int s = 0; s < sets; ++s) {
-        const SetOutcome out =
-            run_one(root.split(), machine, poisson, gap);
-        abg_norm.add(out.abg_over_bound);
-        ag_norm.add(out.ag_over_bound);
-        ratio.add(out.ratio);
+    const std::vector<abg::exp::ReleaseKind> schedules = {
+        abg::exp::ReleaseKind::kStaggered, abg::exp::ReleaseKind::kPoisson};
+    const std::vector<double> gaps = {500.0, 2000.0, 8000.0};
+    const std::vector<abg::exp::SchedulerKind> schedulers = {
+        abg::exp::SchedulerKind::kAbg, abg::exp::SchedulerKind::kAGreedy};
+
+    std::cout << "Makespan with arbitrary release times (Theorem 5's "
+              << "general case), " << sets
+              << " job sets per row, load 1.0, " << threads
+              << " worker thread(s)\n\n";
+
+    // Grid: schedules x gaps x sets x {ABG, A-Greedy}, scheduler last so
+    // adjacent records pair up.  The seed index enumerates the workload-
+    // shaping dimensions only, so both schedulers replay the exact same
+    // job set and release schedule (common random numbers).
+    std::vector<abg::exp::RunSpec> specs;
+    specs.reserve(schedules.size() * gaps.size() *
+                  static_cast<std::size_t>(sets) * schedulers.size());
+    const std::uint64_t workload_points =
+        schedules.size() * gaps.size() * static_cast<std::uint64_t>(sets);
+    std::uint64_t workload_index = 0;
+    for (const abg::exp::ReleaseKind schedule : schedules) {
+      for (const double gap : gaps) {
+        for (int s = 0; s < sets; ++s) {
+          for (const abg::exp::SchedulerKind scheduler : schedulers) {
+            abg::exp::RunSpec spec;
+            spec.scheduler = scheduler;
+            spec.workload.kind = abg::exp::WorkloadKind::kJobSet;
+            spec.workload.load = 1.0;
+            spec.workload.release = schedule;
+            spec.workload.release_gap = gap;
+            spec.machine = {.processors = machine.processors,
+                            .quantum_length = machine.quantum_length};
+            spec.seed_index = workload_index;
+            spec.group = "release=" + abg::exp::to_string(schedule) +
+                         ",gap=" + abg::util::format_double(gap, 0);
+            specs.push_back(std::move(spec));
+          }
+          ++workload_index;
+        }
       }
-      table.add_row({poisson ? "poisson" : "staggered",
-                     abg::util::format_double(gap, 0),
-                     abg::util::format_double(abg_norm.mean(), 3),
-                     abg::util::format_double(ag_norm.mean(), 3),
-                     abg::util::format_double(ratio.mean(), 3)});
     }
+    (void)workload_points;
+
+    // Durability: --journal appends cell lifecycles; --resume replays a
+    // journal of the identical grid and keeps appending to it.
+    const std::string resume_path = cli.get("resume", "");
+    std::string journal_path = cli.get("journal", "");
+    if (!resume_path.empty()) {
+      if (!journal_path.empty() && journal_path != resume_path) {
+        throw std::invalid_argument(
+            "--resume already names the journal; drop --journal or make "
+            "them equal");
+      }
+      journal_path = resume_path;
+    }
+    const std::uint64_t grid = abg::exp::grid_digest(specs, flags.seed);
+    std::optional<abg::exp::JournalReplay> replay;
+    if (!resume_path.empty()) {
+      replay.emplace(abg::exp::load_journal(resume_path));
+      if (replay->grid != grid) {
+        throw std::invalid_argument(
+            "--resume: journal " + resume_path +
+            " records a different grid; refusing to mix sweeps");
+      }
+    }
+    std::optional<abg::exp::RunJournal> journal;
+    if (!journal_path.empty()) {
+      journal.emplace(journal_path, flags.seed, specs.size(), grid);
+    }
+
+    abg::exp::SweepConfig sweep;
+    sweep.threads = threads;
+    sweep.base_seed = flags.seed;
+    sweep.robustness.journal = journal.has_value() ? &*journal : nullptr;
+    sweep.robustness.resume = replay.has_value() ? &*replay : nullptr;
+    if (threads != 1) {
+      sweep.on_progress = abg::exp::stderr_progress();
+    }
+    const abg::exp::SweepOutcome outcome =
+        abg::exp::SweepRunner(sweep).run_monitored(specs);
+    const std::vector<abg::exp::RunRecord>& records = outcome.records;
+    if (outcome.resumed > 0) {
+      std::cout << "resumed " << outcome.resumed
+                << " completed cell(s) from " << resume_path << ", executed "
+                << outcome.executed << "\n\n";
+    }
+
+    // Records come back in grid order: (abg, a-greedy) pairs per set.
+    abg::util::Table table({"arrivals", "mean gap", "M/LB ABG",
+                            "M/LB A-Greedy", "M ratio"});
+    std::size_t r = 0;
+    for (const abg::exp::ReleaseKind schedule : schedules) {
+      for (const double gap : gaps) {
+        abg::util::RunningStats abg_norm;
+        abg::util::RunningStats ag_norm;
+        abg::util::RunningStats ratio;
+        for (int s = 0; s < sets; ++s) {
+          const abg::exp::RunRecord& abg_rec = records[r++];
+          const abg::exp::RunRecord& ag_rec = records[r++];
+          if (!abg_rec.failure.empty() || !ag_rec.failure.empty()) {
+            continue;  // quarantined pair: no metrics to aggregate
+          }
+          abg_norm.add(abg_rec.metric("makespan_over_lb"));
+          ag_norm.add(ag_rec.metric("makespan_over_lb"));
+          ratio.add(ag_rec.metric("makespan") / abg_rec.metric("makespan"));
+        }
+        table.add_row({abg::exp::to_string(schedule),
+                       abg::util::format_double(gap, 0),
+                       abg::util::format_double(abg_norm.mean(), 3),
+                       abg::util::format_double(ag_norm.mean(), 3),
+                       abg::util::format_double(ratio.mean(), 3)});
+      }
+    }
+    abg::bench::emit(table, flags);
+    std::cout << "\nBoth schedulers must stay above 1.0x the lower bound; "
+              << "ABG's advantage persists across arrival patterns and "
+              << "fades as arrivals spread out (each job increasingly runs "
+              << "alone).\n";
+
+    // Machine-readable artifacts, written atomically (temp + rename).
+    abg::exp::ResultSink sink("arrivals_makespan", flags.seed);
+    sink.add_all(records);
+    if (cli.has("jsonl")) {
+      sink.write_jsonl_file(cli.get("jsonl", ""));
+    }
+    if (summary_path != "none") {
+      sink.write_summary_file(summary_path);
+      std::cout << "\nwrote summary to " << summary_path << "\n";
+    }
+    return outcome.quarantined > 0 ? 3 : 0;
+  } catch (const std::exception& error) {
+    std::cerr << "arrivals_makespan: " << error.what() << "\n";
+    return 2;
   }
-  abg::bench::emit(table, flags);
-  std::cout << "\nBoth schedulers must stay above 1.0x the lower bound; "
-            << "ABG's advantage persists across arrival patterns and fades "
-            << "as arrivals spread out (each job increasingly runs "
-            << "alone).\n";
-  return 0;
 }

@@ -80,4 +80,23 @@ sim::SimResult run_set(const SchedulerSpec& spec,
                                *spec.request, alloc_ref, config);
 }
 
+open::OpenResult run_open(const SchedulerSpec& spec,
+                          const open::OpenConfig& config, std::uint64_t seed,
+                          const open::JobFactory& factory,
+                          alloc::Allocator* allocator) {
+  if (!spec.execution || !spec.request) {
+    throw std::invalid_argument("run_open: incomplete scheduler spec");
+  }
+  alloc::EquiPartition fallback;
+  alloc::Allocator& alloc_ref = allocator ? *allocator : fallback;
+  if (factory) {
+    return open::run_stream(*spec.execution, *spec.request, factory,
+                            alloc_ref, config, seed);
+  }
+  return open::run_stream(*spec.execution, *spec.request,
+                          open::default_open_job_factory(
+                              config.quantum_length),
+                          alloc_ref, config, seed);
+}
+
 }  // namespace abg::core

@@ -14,6 +14,7 @@
 #include "alloc/allocator.hpp"
 #include "core/a_greedy_scheduler.hpp"
 #include "core/abg_scheduler.hpp"
+#include "open/streaming_engine.hpp"
 #include "sched/execution_policy.hpp"
 #include "sched/request_policy.hpp"
 #include "sim/quantum_engine.hpp"
@@ -59,5 +60,15 @@ sim::SimResult run_set(const SchedulerSpec& spec,
                        std::vector<sim::JobSubmission> submissions,
                        const sim::SimConfig& config,
                        alloc::Allocator* allocator = nullptr);
+
+/// Runs an open-system stream to completion under the spec.  When
+/// `allocator` is null dynamic equi-partitioning is used; when `factory`
+/// is null the default open workload
+/// (open::default_open_job_factory(config.quantum_length)) is used.
+/// `seed` is the run seed all arrival/job/statistics streams derive from.
+open::OpenResult run_open(const SchedulerSpec& spec,
+                          const open::OpenConfig& config, std::uint64_t seed,
+                          const open::JobFactory& factory = nullptr,
+                          alloc::Allocator* allocator = nullptr);
 
 }  // namespace abg::core

@@ -66,6 +66,11 @@ std::uint64_t spec_digest(const RunSpec& spec) {
   d.feed(std::string(sim::to_string(spec.engine)));
   d.feed(static_cast<std::int64_t>(spec.hier_groups));
   d.feed(spec.hier_alloc);
+  d.feed(to_string(spec.workload.release));
+  d.feed(spec.workload.release_gap);
+  d.feed(open::to_string(spec.open.arrival));
+  d.feed(spec.open.jobs_total);
+  d.feed(spec.open.trace_path);
   d.feed(static_cast<std::int64_t>(spec.seed_index));
   d.feed(spec.group);
   return d.value();

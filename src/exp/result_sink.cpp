@@ -45,6 +45,11 @@ util::Json record_to_json(const RunRecord& record) {
       j.set("hier_alloc", util::Json::string(record.hier_alloc));
     }
   }
+  // Same rule for the open axis: closed runs (empty arrival) serialize
+  // exactly as they did before the axis existed.
+  if (!record.arrival.empty()) {
+    j.set("arrival", util::Json::string(record.arrival));
+  }
   // Only quarantined cells carry a failure; completed records serialize
   // exactly as before the robustness layer existed.
   if (!record.failure.empty()) {
@@ -72,6 +77,8 @@ RunRecord record_from_json(const util::Json& json) {
                              : 0;
   const util::Json* hier_alloc = json.find("hier_alloc");
   record.hier_alloc = hier_alloc != nullptr ? hier_alloc->as_string() : "";
+  const util::Json* arrival = json.find("arrival");
+  record.arrival = arrival != nullptr ? arrival->as_string() : "";
   const util::Json* failure = json.find("failure");
   record.failure = failure != nullptr ? failure->as_string() : "";
   record.seed = static_cast<std::uint64_t>(json.at("seed").as_integer());

@@ -46,6 +46,18 @@ std::string to_string(FaultScenario scenario) {
   throw std::invalid_argument("unknown FaultScenario");
 }
 
+std::string to_string(ReleaseKind kind) {
+  switch (kind) {
+    case ReleaseKind::kBatched:
+      return "batched";
+    case ReleaseKind::kStaggered:
+      return "staggered";
+    case ReleaseKind::kPoisson:
+      return "poisson";
+  }
+  throw std::invalid_argument("unknown ReleaseKind");
+}
+
 SchedulerKind scheduler_kind_from_name(const std::string& name) {
   if (name == "abg") {
     return SchedulerKind::kAbg;
@@ -97,6 +109,20 @@ FaultScenario fault_scenario_from_name(const std::string& name) {
   throw std::invalid_argument(
       "unknown fault scenario '" + name +
       "' (expected none, step, impulse, poisson, crash)");
+}
+
+ReleaseKind release_kind_from_name(const std::string& name) {
+  if (name == "batched") {
+    return ReleaseKind::kBatched;
+  }
+  if (name == "staggered") {
+    return ReleaseKind::kStaggered;
+  }
+  if (name == "poisson") {
+    return ReleaseKind::kPoisson;
+  }
+  throw std::invalid_argument("unknown release schedule '" + name +
+                              "' (expected batched, staggered, poisson)");
 }
 
 core::SchedulerSpec make_scheduler(SchedulerKind kind,

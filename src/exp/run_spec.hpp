@@ -48,10 +48,18 @@ enum class WorkloadKind {
   kSquareWave,
 };
 
+/// Release-time schedule applied to a closed workload's submissions
+/// (workload/arrivals helpers).  kBatched — every job at step 0 — is the
+/// historic default; the other kinds feed Theorem 5's arbitrary-release
+/// bound and the arrivals bench.
+enum class ReleaseKind { kBatched, kStaggered, kPoisson };
+
 /// Parameters of the workload generators (unused members are ignored).
 struct WorkloadSpec {
   WorkloadKind kind = WorkloadKind::kJobSet;
-  /// kJobSet: target load (Σ average parallelism / P).
+  /// kJobSet: target load (Σ average parallelism / P).  Open-axis runs
+  /// (RunSpec::open) reuse this as the offered load rho the arrival gap
+  /// is calibrated to.
   double load = 1.0;
   /// kForkJoin: target transition factor.
   double transition_factor = 10.0;
@@ -59,6 +67,14 @@ struct WorkloadSpec {
   int jobs = 1;
   /// kSquareWave: per-job profile length scale in levels.
   dag::Steps levels = 600;
+  /// Release schedule of the generated jobs (closed runs only; the open
+  /// axis owns its own arrival process).  Releases are drawn from the
+  /// run's workload stream after job generation, so kBatched runs keep
+  /// their historic draw sequence.
+  ReleaseKind release = ReleaseKind::kBatched;
+  /// kStaggered: the fixed inter-release gap; kPoisson: the mean
+  /// inter-release gap (both in steps).
+  double release_gap = 0.0;
 };
 
 /// Machine parameters of a run.
@@ -82,6 +98,21 @@ struct FaultSpec {
   int crashes = 2;
   /// kCrash: restart from scratch instead of the last quantum checkpoint.
   bool scratch = false;
+};
+
+/// The open-system axis of a run.  When `arrival != kNone` the run streams
+/// `jobs_total` continuously arriving jobs through open::run_stream (the
+/// default open workload, constant-memory statistics) instead of
+/// simulating a closed job set; workload.load doubles as the offered load
+/// the arrival gap is calibrated to (0 = use the generator defaults).
+/// Open runs compose with the scheduler, machine, and allocator axes but
+/// not with faults, hierarchical allocation, or the async engine.
+struct OpenSpec {
+  open::ArrivalKind arrival = open::ArrivalKind::kNone;
+  /// Arrivals to stream through the system (>= 1 when engaged).
+  std::int64_t jobs_total = 100000;
+  /// kTrace: path of the JSONL arrival trace to replay.
+  std::string trace_path;
 };
 
 /// OS-level allocator coupled with the schedulers.
@@ -114,6 +145,9 @@ struct RunSpec {
   WorkloadSpec workload;
   MachineSpec machine;
   FaultSpec faults;
+  /// Open-system axis; arrival == kNone (the default) keeps the closed
+  /// path byte-identical to pre-open artifacts.
+  OpenSpec open;
   AllocatorKind allocator = AllocatorKind::kDefault;
   /// Boundary model the run simulates under (sync global quanta or
   /// per-job async quanta); an engine axis in a grid makes boundary-model
@@ -150,11 +184,13 @@ struct RunSpec {
 std::string to_string(SchedulerKind kind);
 std::string to_string(WorkloadKind kind);
 std::string to_string(FaultScenario scenario);
+std::string to_string(ReleaseKind kind);
 
 /// Parses the canonical names (throws std::invalid_argument on unknown).
 SchedulerKind scheduler_kind_from_name(const std::string& name);
 WorkloadKind workload_kind_from_name(const std::string& name);
 FaultScenario fault_scenario_from_name(const std::string& name);
+ReleaseKind release_kind_from_name(const std::string& name);
 
 /// Instantiates the scheduler a spec names.
 core::SchedulerSpec make_scheduler(SchedulerKind kind,

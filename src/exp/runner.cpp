@@ -20,6 +20,7 @@
 #include "metrics/lower_bounds.hpp"
 #include "sim/validate.hpp"
 #include "util/rng.hpp"
+#include "workload/arrivals.hpp"
 #include "workload/fork_join.hpp"
 #include "workload/job_set.hpp"
 #include "workload/profiles.hpp"
@@ -113,6 +114,25 @@ std::vector<sim::JobSubmission> build_workload(const RunSpec& spec,
   if (subs.empty()) {
     throw std::invalid_argument("RunSpec: workload produced no jobs");
   }
+  // Release schedule, drawn after job generation so the default (batched)
+  // keeps the historic draw sequence of every existing spec.
+  if (spec.workload.release != ReleaseKind::kBatched) {
+    const double gap = spec.workload.release_gap;
+    std::vector<dag::Steps> releases;
+    if (spec.workload.release == ReleaseKind::kStaggered) {
+      if (gap < 0.0 || gap > 9e18) {
+        throw std::invalid_argument(
+            "RunSpec: staggered release_gap out of range");
+      }
+      releases = workload::staggered_releases(subs.size(),
+                                              static_cast<dag::Steps>(gap));
+    } else {
+      releases = workload::poisson_releases(rng, subs.size(), gap);
+    }
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      subs[i].release_step = releases[i];
+    }
+  }
   return subs;
 }
 
@@ -197,6 +217,39 @@ void append_sim_metrics(const RunSpec& spec, const sim::SimResult& result,
   }
 }
 
+/// Appends an open-system run's aggregate and percentile metrics.  Names
+/// shared with the closed path (jobs, makespan, total_work, ...) keep
+/// their semantics; the percentile/slowdown/queue metrics are open-only.
+void append_open_metrics(const open::OpenResult& result, RunRecord& record) {
+  const open::OnlineStats& stats = result.stats;
+  record.metrics.emplace_back("jobs", static_cast<double>(result.completed));
+  record.metrics.emplace_back("makespan",
+                              static_cast<double>(result.makespan));
+  record.metrics.emplace_back("mean_response_time", stats.response().mean());
+  record.metrics.emplace_back("response_p50", stats.response_quantile(0.50));
+  record.metrics.emplace_back("response_p95", stats.response_quantile(0.95));
+  record.metrics.emplace_back("response_p99", stats.response_quantile(0.99));
+  record.metrics.emplace_back("mean_slowdown", stats.slowdown().mean());
+  record.metrics.emplace_back(
+      "max_slowdown",
+      stats.slowdown().count() > 0 ? stats.slowdown().max() : 0.0);
+  record.metrics.emplace_back("slowdown_p99", stats.slowdown_quantile(0.99));
+  record.metrics.emplace_back("queue_depth_mean", stats.queue_depth().mean());
+  record.metrics.emplace_back("queue_depth_p95",
+                              stats.queue_depth_quantile(0.95));
+  record.metrics.emplace_back(
+      "in_system_high_water",
+      static_cast<double>(result.in_system_high_water));
+  record.metrics.emplace_back("total_work",
+                              static_cast<double>(result.total_work));
+  record.metrics.emplace_back("total_waste",
+                              static_cast<double>(result.total_waste));
+  record.metrics.emplace_back("quanta", static_cast<double>(result.quanta));
+  if (result.mean_gap > 0.0) {
+    record.metrics.emplace_back("mean_gap", result.mean_gap);
+  }
+}
+
 }  // namespace
 
 RunRecord execute_run(const RunSpec& spec, std::uint64_t base_seed) {
@@ -244,17 +297,6 @@ RunRecord execute_run(const RunSpec& spec, std::uint64_t base_seed,
   record.hier_alloc = spec.hier_alloc;
   record.seed = seed;
 
-  // Workload generation consumes the run's stream from the start so a
-  // given seed index always means the same jobs, faulted or not.
-  util::Rng workload_rng(seed);
-  auto submissions = build_workload(spec, workload_rng);
-  std::vector<metrics::JobSummary> summaries;
-  summaries.reserve(submissions.size());
-  for (const auto& s : submissions) {
-    summaries.push_back(metrics::JobSummary{s.job->total_work(),
-                                            s.job->critical_path(), 0});
-  }
-
   // The run's private bus: the runner's metrics sink first, then any
   // caller-supplied bus from the spec.  With neither, the bus stays
   // inactive and the engine takes the observability-free path.
@@ -265,6 +307,52 @@ RunRecord execute_run(const RunSpec& spec, std::uint64_t base_seed,
     bus.subscribe(&*metrics_sink);
   }
   bus.subscribe(spec.obs.event_bus);
+
+  // Open-system axis: stream continuously arriving jobs instead of
+  // simulating a closed workload.
+  if (spec.open.arrival != open::ArrivalKind::kNone) {
+    if (spec.faults.scenario != FaultScenario::kNone) {
+      throw std::invalid_argument(
+          "RunSpec: open runs do not compose with fault scenarios");
+    }
+    if (spec.hier_groups != 0) {
+      throw std::invalid_argument(
+          "RunSpec: open runs do not compose with hierarchical allocation");
+    }
+    if (spec.engine != sim::EngineKind::kSync) {
+      throw std::invalid_argument(
+          "RunSpec: open runs require the sync engine");
+    }
+    record.arrival = open::to_string(spec.open.arrival);
+    open::OpenConfig open_config;
+    open_config.processors = spec.machine.processors;
+    open_config.quantum_length = spec.machine.quantum_length;
+    open_config.jobs_total = spec.open.jobs_total;
+    open_config.arrival = spec.open.arrival;
+    open_config.trace_path = spec.open.trace_path;
+    open_config.load = spec.workload.load;
+    open_config.bus = &bus;
+    open_config.cancel = context.cancel;
+    alloc::RoundRobin round_robin;
+    const open::OpenResult result = core::run_open(
+        make_scheduler(spec.scheduler, spec.scheduler_params), open_config,
+        seed, nullptr,
+        spec.allocator == AllocatorKind::kRoundRobin ? &round_robin
+                                                     : nullptr);
+    append_open_metrics(result, record);
+    return record;
+  }
+
+  // Workload generation consumes the run's stream from the start so a
+  // given seed index always means the same jobs, faulted or not.
+  util::Rng workload_rng(seed);
+  auto submissions = build_workload(spec, workload_rng);
+  std::vector<metrics::JobSummary> summaries;
+  summaries.reserve(submissions.size());
+  for (const auto& s : submissions) {
+    summaries.push_back(metrics::JobSummary{
+        s.job->total_work(), s.job->critical_path(), s.release_step});
+  }
 
   sim::SimConfig config{.processors = spec.machine.processors,
                         .quantum_length = spec.machine.quantum_length,
@@ -604,6 +692,9 @@ SweepOutcome SweepRunner::run_monitored(
       record.engine = std::string(sim::to_string(spec.engine));
       record.hier_groups = spec.hier_groups;
       record.hier_alloc = spec.hier_alloc;
+      if (spec.open.arrival != open::ArrivalKind::kNone) {
+        record.arrival = open::to_string(spec.open.arrival);
+      }
       record.failure = failure_cause;
       record.seed =
           util::Rng::derive_seed(config_.base_seed, spec.seed_index);

@@ -46,6 +46,11 @@ struct RunRecord {
   /// rule as `engine`), so pre-hier artifacts stay byte-identical.
   int hier_groups = 0;
   std::string hier_alloc;
+  /// Arrival-process family of an open-system run ("poisson" / "mmpp" /
+  /// "diurnal" / "heavytail" / "trace"); empty — the default — for closed
+  /// runs.  Serialized only when non-empty, so closed artifacts stay
+  /// byte-identical.
+  std::string arrival;
   /// Why the cell was quarantined ("timeout" / "error: ..."); empty — the
   /// default — for completed runs.  A quarantined record carries no
   /// metrics, is excluded from summary statistics, and is serialized with

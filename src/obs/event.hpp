@@ -47,6 +47,14 @@ enum class EventKind : std::uint8_t {
   /// Per-group utilization summary of a completed sharded run (one per
   /// group, before kRunEnd; job = group index).
   kHierGroupSummary,
+  /// An open-system arrival entered the backlog (streaming engine; one
+  /// per generated job, at the boundary that first saw its release).
+  kOpenArrival,
+  /// An open-system job completed and its runtime state was retired
+  /// (streaming engine; carries the response time).
+  kOpenDeparture,
+  /// Aggregate open-run summary (streaming engine; once, before kRunEnd).
+  kOpenSummary,
   /// The run completed; aggregate results are final.
   kRunEnd,
 };
@@ -95,6 +103,19 @@ struct Event {
 
   // kFault
   fault::FaultKind fault = fault::FaultKind::kProcessorFailure;
+
+  // kOpenArrival / kOpenDeparture: jobs in the open system (queued +
+  // active) right after the event.
+  std::int64_t in_system = 0;
+  // kOpenDeparture: completion − release of the departing job (work
+  // reuses the kJobSubmit field for its executed work).
+  dag::Steps response = 0;
+
+  // kOpenSummary
+  std::int64_t open_admitted = 0;
+  std::int64_t open_completed = 0;
+  std::int64_t open_high_water = 0;
+  std::int64_t open_stats_merges = 0;
 
   // kRunEnd
   dag::Steps makespan = 0;

@@ -89,6 +89,25 @@ void MetricsSink::on_event(const Event& event) {
                      static_cast<double>(event.allotted_cycles));
       }
       break;
+    case EventKind::kOpenArrival:
+      reg.counter("open.arrivals").add();
+      reg.histogram("open.in_system")
+          .observe(static_cast<double>(event.in_system));
+      break;
+    case EventKind::kOpenDeparture:
+      reg.counter("open.completed").add();
+      reg.histogram("open.response")
+          .observe(static_cast<double>(event.response));
+      reg.histogram("open.job_work").observe(static_cast<double>(event.work));
+      reg.histogram("open.in_system")
+          .observe(static_cast<double>(event.in_system));
+      break;
+    case EventKind::kOpenSummary:
+      reg.counter("open.admitted").add(event.open_admitted);
+      reg.gauge("open.in_system_high_water")
+          .set(static_cast<double>(event.open_high_water));
+      reg.counter("open.stats_merges").add(event.open_stats_merges);
+      break;
     case EventKind::kRunEnd:
       reg.gauge("sim.makespan").set(static_cast<double>(event.makespan));
       break;

@@ -96,7 +96,20 @@ void SimTraceSink::on_event(const Event& event) {
       break;
     case EventKind::kHierGroupSummary:
       break;  // aggregate-only; no timeline anchor
-
+    case EventKind::kOpenArrival:
+      trace.add_counter(pid_, "open in-system",
+                        static_cast<double>(event.step),
+                        {{"jobs", static_cast<double>(event.in_system)}});
+      break;
+    case EventKind::kOpenDeparture:
+      trace.add_instant(pid_, event.job + 1, "depart",
+                        static_cast<double>(event.step));
+      trace.add_counter(pid_, "open in-system",
+                        static_cast<double>(event.step),
+                        {{"jobs", static_cast<double>(event.in_system)}});
+      break;
+    case EventKind::kOpenSummary:
+      break;  // aggregate-only; no timeline anchor
     case EventKind::kRunEnd:
       // Close the machine counters at the makespan so the last sample
       // doesn't visually extend forever.

@@ -1,0 +1,140 @@
+// Continuous arrival generation for the open-system engine.
+//
+// Closed experiments (Figures 5/6) hand the simulator a finite job set up
+// front; the open system instead draws an unbounded stream of arrivals
+// from an ArrivalProcess and admits them as simulated time reaches their
+// release steps.  The process abstracts *when* jobs arrive and *how big*
+// they are relative to the calibrated mean (work_scale); the streaming
+// driver (open/streaming_engine.hpp) turns each arrival into a concrete
+// DAG via a job factory.
+//
+// Four generator families cover the standard open-system workloads plus a
+// replay path:
+//   * Poisson      — memoryless gaps (geometric, the discrete analogue),
+//                    extending workload::poisson_releases to a stream.
+//   * MMPP         — 2-state Markov-modulated Poisson (bursty): gaps
+//                    alternate between a burst regime and a calm regime
+//                    whose factors average to 1, so the stationary mean
+//                    gap equals `mean_gap` regardless of burstiness.
+//   * Diurnal      — Poisson gaps modulated by a triangle wave of the
+//                    given period/amplitude (a deterministic stand-in for
+//                    a sinusoidal day/night cycle; no libm in the mean
+//                    path keeps golden fixtures portable).
+//   * Heavy-tail   — Poisson gaps with bounded-Pareto work_scale, the
+//                    M/G-style size distribution of Berg et al.'s
+//                    parallel-scheduling studies.
+//   * Trace        — replays a JSONL trace file; when the stream needs
+//                    more arrivals than the trace holds, the trace tiles
+//                    with a cumulative release offset.
+//
+// Determinism contract: a process draws only from the Rng passed to
+// next(), so (kind, config, seed) fully determines the stream — the same
+// Rng::derive discipline every other generator in this library follows.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dag/job.hpp"
+#include "util/rng.hpp"
+
+namespace abg::open {
+
+/// Arrival-process families.  kNone is the "closed system" sentinel used
+/// by exp::RunSpec (an open axis that is not engaged).
+enum class ArrivalKind {
+  kNone,
+  kPoisson,
+  kMmpp,
+  kDiurnal,
+  kHeavyTail,
+  kTrace,
+};
+
+/// Canonical lower-case names ("none", "poisson", "mmpp", "diurnal",
+/// "heavytail", "trace") used in CLI flags and JSON records.
+std::string to_string(ArrivalKind kind);
+
+/// Parses the canonical names; throws std::invalid_argument on unknown.
+ArrivalKind arrival_kind_from_name(const std::string& name);
+
+/// One arrival: an absolute release step plus the job-size multiplier the
+/// job factory applies to its calibrated mean job (1.0 = an average job).
+struct Arrival {
+  dag::Steps release = 0;
+  double work_scale = 1.0;
+};
+
+/// Tunables of the generator families (unused members are ignored).
+struct ArrivalConfig {
+  /// Stationary mean inter-arrival gap in steps (>= 1; gaps are whole
+  /// steps, so sub-step means would silently degenerate to batched
+  /// release — the same validation rule as workload::poisson_releases).
+  double mean_gap = 1000.0;
+  /// kMmpp: burst-regime gaps have mean mean_gap / burst_factor; the calm
+  /// regime compensates with mean_gap * (2 - 1/burst_factor) so the
+  /// 50/50-stationary mean stays mean_gap.  Requires burst_factor >= 1.
+  double burst_factor = 4.0;
+  /// kMmpp: per-arrival probability of switching regimes (in (0, 1]).
+  double switch_probability = 0.05;
+  /// kDiurnal: modulation period in steps (0 derives 64 * mean_gap) and
+  /// peak-to-mean amplitude in [0, 1): instantaneous mean gap sweeps
+  /// through [mean_gap * (1 - amplitude), mean_gap * (1 + amplitude)].
+  dag::Steps period = 0;
+  double amplitude = 0.8;
+  /// kHeavyTail: bounded-Pareto work_scale with shape tail_alpha (> 0) on
+  /// [1, tail_cap]; mean ≈ α/(α−1) for α > 1 with a generous cap.
+  double tail_alpha = 1.5;
+  double tail_cap = 64.0;
+};
+
+/// A stream of arrivals with monotone non-decreasing release steps.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Produces the next arrival, drawing randomness only from `rng`.
+  virtual Arrival next(util::Rng& rng) = 0;
+
+  /// Rewinds the stream to step 0 (trace replay restarts; generators
+  /// reset their regime state — their randomness lives in the caller's
+  /// Rng, which the caller re-seeds).
+  virtual void reset() = 0;
+
+  /// Canonical family name (matches to_string of the kind).
+  virtual std::string_view name() const = 0;
+};
+
+/// Builds a generator of the given kind; kTrace is built separately from
+/// a loaded trace (make_trace_arrivals) and kNone is rejected.  Throws
+/// std::invalid_argument on out-of-range config values.
+std::unique_ptr<ArrivalProcess> make_arrival_process(
+    ArrivalKind kind, const ArrivalConfig& config);
+
+/// Replays `entries` in order; once exhausted the trace tiles, shifting
+/// every repetition by (last release + mean observed gap + 1) so releases
+/// stay strictly ordered across repetitions.  Requires a non-empty,
+/// monotone non-decreasing trace with non-negative releases and positive,
+/// finite work scales (validated; throws std::invalid_argument).
+std::unique_ptr<ArrivalProcess> make_trace_arrivals(
+    std::vector<Arrival> entries);
+
+/// Reads a JSONL arrival trace: one {"release":N[,"work_scale":X]} object
+/// per line (blank lines ignored), releases monotone non-decreasing.
+/// Throws std::invalid_argument naming the offending line on malformed
+/// input.
+std::vector<Arrival> read_arrival_trace(std::istream& in);
+
+/// Loads read_arrival_trace from a file; throws std::runtime_error when
+/// the file cannot be opened.
+std::vector<Arrival> load_arrival_trace(const std::string& path);
+
+/// Writes the JSONL form read_arrival_trace parses (the round-trip is
+/// exact: releases are integers and work scales shortest-form doubles).
+void write_arrival_trace(std::ostream& out,
+                         const std::vector<Arrival>& entries);
+
+}  // namespace abg::open

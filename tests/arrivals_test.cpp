@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 #include "core/run.hpp"
 #include "dag/profile_job.hpp"
@@ -34,6 +35,15 @@ TEST(Arrivals, StaggeredRejectsNegativeGap) {
   EXPECT_THROW(staggered_releases(3, -1), std::invalid_argument);
 }
 
+TEST(Arrivals, StaggeredRejectsOverflowingSchedule) {
+  // (jobs - 1) * gap must fit in the step counter; the last release of
+  // this schedule would wrap to a negative step.
+  const dag::Steps huge = std::numeric_limits<dag::Steps>::max() / 2 + 1;
+  EXPECT_THROW(staggered_releases(3, huge), std::invalid_argument);
+  // The boundary itself is fine: one job never multiplies the gap.
+  EXPECT_EQ(staggered_releases(1, huge), (std::vector<dag::Steps>{0}));
+}
+
 TEST(Arrivals, PoissonMonotoneFromZero) {
   util::Rng rng(5);
   const auto releases = poisson_releases(rng, 50, 200.0);
@@ -61,6 +71,11 @@ TEST(Arrivals, PoissonRejectsBadMean) {
   util::Rng rng(1);
   EXPECT_THROW(poisson_releases(rng, 3, 0.0), std::invalid_argument);
   EXPECT_THROW(poisson_releases(rng, 3, -1.0), std::invalid_argument);
+  // Sub-step means would silently degenerate to batched release (gaps are
+  // whole steps), and huge means would overflow the truncation bound.
+  EXPECT_THROW(poisson_releases(rng, 3, 0.5), std::invalid_argument);
+  EXPECT_THROW(poisson_releases(rng, 3, 2e12), std::invalid_argument);
+  EXPECT_NO_THROW(poisson_releases(rng, 3, 1.0));
 }
 
 TEST(Arrivals, StaggeredJobsFinishInArrivalFriendlyOrder) {

@@ -1,0 +1,183 @@
+#include "open/online_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace abg::open {
+namespace {
+
+TEST(Reservoir, ExactWhileUnderCapacity) {
+  Reservoir reservoir(100, 1);
+  for (int i = 1; i <= 99; ++i) {
+    reservoir.add(static_cast<double>(i));
+  }
+  EXPECT_EQ(reservoir.seen(), 99);
+  EXPECT_EQ(reservoir.size(), 99u);
+  EXPECT_DOUBLE_EQ(reservoir.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(reservoir.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(reservoir.quantile(1.0), 99.0);
+}
+
+TEST(Reservoir, EmptyQuantileIsNan) {
+  Reservoir reservoir(16, 1);
+  EXPECT_TRUE(std::isnan(reservoir.quantile(0.5)));
+}
+
+TEST(Reservoir, BoundedMemoryAndApproximateQuantiles) {
+  Reservoir reservoir(512, 9);
+  const std::int64_t n = 100000;
+  for (std::int64_t i = 0; i < n; ++i) {
+    reservoir.add(static_cast<double>(i));
+  }
+  EXPECT_EQ(reservoir.seen(), n);
+  EXPECT_EQ(reservoir.size(), 512u);
+  // Rank standard error ~ sqrt(q(1-q)/512) ~ 2.2% at the median; allow
+  // four sigma.
+  EXPECT_NEAR(reservoir.quantile(0.5), 50000.0, 9000.0);
+  EXPECT_NEAR(reservoir.quantile(0.95), 95000.0, 9000.0);
+}
+
+TEST(Reservoir, DeterministicForSeed) {
+  Reservoir a(64, 5);
+  Reservoir b(64, 5);
+  for (int i = 0; i < 5000; ++i) {
+    a.add(static_cast<double>(i % 997));
+    b.add(static_cast<double>(i % 997));
+  }
+  EXPECT_EQ(a.samples(), b.samples());
+}
+
+TEST(Reservoir, MergeIsCommutative) {
+  const auto fill = [](Reservoir& r, std::uint64_t seed, double shift) {
+    util::Rng rng(seed);
+    for (int i = 0; i < 3000; ++i) {
+      r.add(shift + rng.uniform01() * 100.0);
+    }
+  };
+  Reservoir ab(128, 1);
+  Reservoir ba(128, 2);
+  {
+    Reservoir a(128, 3);
+    Reservoir b(128, 4);
+    fill(a, 11, 0.0);
+    fill(b, 12, 1000.0);
+    ab = a;
+    ab.merge(b);
+    ba = b;
+    ba.merge(a);
+  }
+  EXPECT_EQ(ab.seen(), ba.seen());
+  EXPECT_EQ(ab.samples(), ba.samples());
+  // The merged sample covers both halves of the union.
+  EXPECT_LT(ab.quantile(0.25), 100.0);
+  EXPECT_GT(ab.quantile(0.75), 1000.0);
+}
+
+TEST(DownsampledSeries, SpansStreamAtBoundedCapacity) {
+  DownsampledSeries series(64);
+  for (int i = 0; i < 10000; ++i) {
+    series.add(i, static_cast<double>(i));
+  }
+  EXPECT_LE(series.points().size(), 64u);
+  ASSERT_FALSE(series.points().empty());
+  EXPECT_EQ(series.points().front().step, 0);
+  // Stride doubling keeps the retained points spread over the whole run.
+  EXPECT_GT(series.points().back().step, 9000);
+  for (std::size_t i = 1; i < series.points().size(); ++i) {
+    EXPECT_GT(series.points()[i].step, series.points()[i - 1].step);
+  }
+}
+
+TEST(OnlineStats, AggregatesMatchDirectComputation) {
+  OnlineStats stats(OnlineStatsConfig{.reservoir_capacity = 1024,
+                                      .series_capacity = 64,
+                                      .seed = 3});
+  // Jobs with known responses 100, 200, 300 and critical paths 50.
+  stats.record_completion(0, 100, 50, 400, 10);
+  stats.record_completion(10, 210, 50, 500, 20);
+  stats.record_completion(20, 320, 50, 600, 30);
+  EXPECT_EQ(stats.completed(), 3);
+  EXPECT_EQ(stats.total_work(), 1500);
+  EXPECT_EQ(stats.total_waste(), 60);
+  EXPECT_DOUBLE_EQ(stats.response().mean(), 200.0);
+  EXPECT_DOUBLE_EQ(stats.response_quantile(0.5), 200.0);
+  EXPECT_DOUBLE_EQ(stats.slowdown().mean(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.slowdown().max(), 6.0);
+}
+
+TEST(OnlineStats, SlowdownClampsCriticalPath) {
+  OnlineStats stats;
+  stats.record_completion(0, 100, 0, 1, 0);  // degenerate critical path
+  EXPECT_DOUBLE_EQ(stats.slowdown().mean(), 100.0);
+}
+
+TEST(OnlineStats, MergeCombinesShardsCommutatively) {
+  const auto run_shard = [](std::uint64_t seed, int jobs) {
+    OnlineStats stats(OnlineStatsConfig{.reservoir_capacity = 256,
+                                        .series_capacity = 32,
+                                        .seed = seed});
+    util::Rng rng(seed);
+    dag::Steps now = 0;
+    for (int i = 0; i < jobs; ++i) {
+      const auto response =
+          static_cast<dag::Steps>(50.0 + rng.uniform01() * 500.0);
+      stats.record_completion(now, now + response, 40, 100, 5);
+      stats.record_queue_depth(now, i % 7);
+      now += 10;
+    }
+    return stats;
+  };
+  const OnlineStats a = run_shard(1, 900);
+  const OnlineStats b = run_shard(2, 1100);
+  OnlineStats ab = a;
+  ab.merge(b);
+  OnlineStats ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.completed(), 2000);
+  EXPECT_EQ(ab.completed(), ba.completed());
+  EXPECT_EQ(ab.total_work(), ba.total_work());
+  EXPECT_DOUBLE_EQ(ab.response().mean(), ba.response().mean());
+  EXPECT_DOUBLE_EQ(ab.response_quantile(0.95), ba.response_quantile(0.95));
+  EXPECT_DOUBLE_EQ(ab.queue_depth().mean(), ba.queue_depth().mean());
+  EXPECT_EQ(ab.merges(), 1);
+  EXPECT_EQ(ba.merges(), 1);
+}
+
+TEST(OnlineStats, ToJsonCarriesTheSummary) {
+  OnlineStats stats;
+  stats.record_completion(0, 100, 50, 400, 10);
+  stats.record_queue_depth(0, 3);
+  const util::Json j = stats.to_json();
+  EXPECT_EQ(j.at("completed").as_integer(), 1);
+  EXPECT_DOUBLE_EQ(j.at("response").at("mean").as_number(), 100.0);
+  EXPECT_DOUBLE_EQ(j.at("slowdown").at("mean").as_number(), 2.0);
+  EXPECT_TRUE(j.at("queue_series").is_array());
+}
+
+TEST(OnlineStats, ConstantMemoryOverLongStreams) {
+  OnlineStats stats(OnlineStatsConfig{.reservoir_capacity = 128,
+                                      .series_capacity = 32,
+                                      .seed = 7});
+  util::Rng rng(7);
+  for (int i = 0; i < 200000; ++i) {
+    const auto response =
+        static_cast<dag::Steps>(1.0 + rng.uniform01() * 1000.0);
+    stats.record_completion(i, i + response, 100, 50, 1);
+    if (i % 16 == 0) {
+      stats.record_queue_depth(i, i % 11);
+    }
+  }
+  EXPECT_EQ(stats.completed(), 200000);
+  // Percentiles of U(1, 1001) responses land near the uniform quantiles
+  // (reservoir of 128: rank stderr ~4.4%; allow wide tolerance).
+  EXPECT_NEAR(stats.response_quantile(0.5), 500.0, 150.0);
+  EXPECT_LE(stats.queue_series().points().size(), 32u);
+}
+
+}  // namespace
+}  // namespace abg::open

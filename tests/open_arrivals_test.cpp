@@ -1,0 +1,264 @@
+#include "open/arrival_process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace abg::open {
+namespace {
+
+std::vector<Arrival> draw(ArrivalProcess& process, std::uint64_t seed,
+                          int count) {
+  util::Rng rng = util::Rng::derive(seed, 1);
+  process.reset();
+  std::vector<Arrival> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back(process.next(rng));
+  }
+  return out;
+}
+
+double empirical_mean_gap(const std::vector<Arrival>& arrivals) {
+  return static_cast<double>(arrivals.back().release) /
+         static_cast<double>(arrivals.size() - 1);
+}
+
+TEST(ArrivalKindNames, RoundTrip) {
+  for (const ArrivalKind kind :
+       {ArrivalKind::kNone, ArrivalKind::kPoisson, ArrivalKind::kMmpp,
+        ArrivalKind::kDiurnal, ArrivalKind::kHeavyTail,
+        ArrivalKind::kTrace}) {
+    EXPECT_EQ(arrival_kind_from_name(to_string(kind)), kind);
+  }
+  EXPECT_THROW(arrival_kind_from_name("warp"), std::invalid_argument);
+}
+
+TEST(ArrivalProcesses, ReleasesMonotoneNonDecreasing) {
+  for (const ArrivalKind kind :
+       {ArrivalKind::kPoisson, ArrivalKind::kMmpp, ArrivalKind::kDiurnal,
+        ArrivalKind::kHeavyTail}) {
+    ArrivalConfig config;
+    config.mean_gap = 40.0;
+    const auto process = make_arrival_process(kind, config);
+    const std::vector<Arrival> arrivals = draw(*process, 11, 500);
+    EXPECT_EQ(arrivals.front().release, 0) << process->name();
+    for (std::size_t i = 1; i < arrivals.size(); ++i) {
+      EXPECT_GE(arrivals[i].release, arrivals[i - 1].release)
+          << process->name() << " entry " << i;
+    }
+  }
+}
+
+TEST(ArrivalProcesses, DeterministicUnderDerivedStreams) {
+  // (kind, config, seed) fully determines the stream: re-deriving the
+  // same Rng and resetting the process replays it exactly.
+  for (const ArrivalKind kind :
+       {ArrivalKind::kPoisson, ArrivalKind::kMmpp, ArrivalKind::kDiurnal,
+        ArrivalKind::kHeavyTail}) {
+    ArrivalConfig config;
+    config.mean_gap = 25.0;
+    const auto process = make_arrival_process(kind, config);
+    const std::vector<Arrival> first = draw(*process, 42, 200);
+    const std::vector<Arrival> second = draw(*process, 42, 200);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(first[i].release, second[i].release) << process->name();
+      EXPECT_EQ(first[i].work_scale, second[i].work_scale)
+          << process->name();
+    }
+    // A different stream index produces a different schedule.
+    const std::vector<Arrival> other = draw(*process, 43, 200);
+    EXPECT_NE(first.back().release, other.back().release)
+        << process->name();
+  }
+}
+
+TEST(ArrivalProcesses, PoissonEmpiricalMeanGap) {
+  ArrivalConfig config;
+  config.mean_gap = 100.0;
+  const auto process =
+      make_arrival_process(ArrivalKind::kPoisson, config);
+  const std::vector<Arrival> arrivals = draw(*process, 7, 4000);
+  EXPECT_NEAR(empirical_mean_gap(arrivals), 100.0, 10.0);
+  for (const Arrival& a : arrivals) {
+    EXPECT_EQ(a.work_scale, 1.0);
+  }
+}
+
+TEST(ArrivalProcesses, MmppStationaryMeanGapMatchesConfig) {
+  // Burst and calm regime gaps average to mean_gap under the symmetric
+  // switch chain, whatever the burst factor.
+  for (const double burst : {2.0, 8.0}) {
+    ArrivalConfig config;
+    config.mean_gap = 80.0;
+    config.burst_factor = burst;
+    config.switch_probability = 0.1;
+    const auto process = make_arrival_process(ArrivalKind::kMmpp, config);
+    const std::vector<Arrival> arrivals = draw(*process, 17, 8000);
+    EXPECT_NEAR(empirical_mean_gap(arrivals), 80.0, 12.0)
+        << "burst factor " << burst;
+  }
+}
+
+TEST(ArrivalProcesses, MmppBurstinessRaisesGapVariance) {
+  ArrivalConfig calm_config;
+  calm_config.mean_gap = 50.0;
+  ArrivalConfig bursty_config = calm_config;
+  bursty_config.burst_factor = 16.0;
+  bursty_config.switch_probability = 0.02;
+  const auto poisson =
+      make_arrival_process(ArrivalKind::kPoisson, calm_config);
+  const auto mmpp =
+      make_arrival_process(ArrivalKind::kMmpp, bursty_config);
+  const auto gap_variance = [](const std::vector<Arrival>& arrivals) {
+    const double mean = empirical_mean_gap(arrivals);
+    double sum = 0.0;
+    for (std::size_t i = 1; i < arrivals.size(); ++i) {
+      const double gap = static_cast<double>(arrivals[i].release -
+                                             arrivals[i - 1].release);
+      sum += (gap - mean) * (gap - mean);
+    }
+    return sum / static_cast<double>(arrivals.size() - 1);
+  };
+  EXPECT_GT(gap_variance(draw(*mmpp, 5, 4000)),
+            gap_variance(draw(*poisson, 5, 4000)));
+}
+
+TEST(ArrivalProcesses, DiurnalMeanGapNearConfigOverFullPeriods) {
+  ArrivalConfig config;
+  config.mean_gap = 50.0;
+  config.period = 4000;
+  config.amplitude = 0.6;
+  const auto process =
+      make_arrival_process(ArrivalKind::kDiurnal, config);
+  const std::vector<Arrival> arrivals = draw(*process, 23, 8000);
+  // The triangle modulation averages out over whole periods.
+  EXPECT_NEAR(empirical_mean_gap(arrivals), 50.0, 10.0);
+}
+
+TEST(ArrivalProcesses, HeavyTailScalesBoundedWithParetoMean) {
+  ArrivalConfig config;
+  config.mean_gap = 30.0;
+  config.tail_alpha = 1.5;
+  config.tail_cap = 64.0;
+  const auto process =
+      make_arrival_process(ArrivalKind::kHeavyTail, config);
+  const std::vector<Arrival> arrivals = draw(*process, 31, 8000);
+  double sum = 0.0;
+  for (const Arrival& a : arrivals) {
+    EXPECT_GE(a.work_scale, 1.0);
+    EXPECT_LE(a.work_scale, 64.0);
+    sum += a.work_scale;
+  }
+  // Bounded-Pareto mean: a/(a-1) * (1 - cap^(1-a)) / (1 - cap^-a) ~ 2.65
+  // at alpha 1.5, cap 64.
+  EXPECT_NEAR(sum / static_cast<double>(arrivals.size()), 2.65, 0.4);
+}
+
+TEST(ArrivalProcesses, ValidationRejectsDegenerateConfigs) {
+  ArrivalConfig config;
+  config.mean_gap = 0.5;  // sub-step mean degenerates to batched release
+  for (const ArrivalKind kind :
+       {ArrivalKind::kPoisson, ArrivalKind::kMmpp, ArrivalKind::kDiurnal,
+        ArrivalKind::kHeavyTail}) {
+    EXPECT_THROW(make_arrival_process(kind, config), std::invalid_argument);
+  }
+  config.mean_gap = 2e12;  // would overflow the truncation bound
+  EXPECT_THROW(make_arrival_process(ArrivalKind::kPoisson, config),
+               std::invalid_argument);
+  config.mean_gap = 100.0;
+  config.burst_factor = 0.5;
+  EXPECT_THROW(make_arrival_process(ArrivalKind::kMmpp, config),
+               std::invalid_argument);
+  config.burst_factor = 4.0;
+  config.switch_probability = 0.0;
+  EXPECT_THROW(make_arrival_process(ArrivalKind::kMmpp, config),
+               std::invalid_argument);
+  config.switch_probability = 0.05;
+  config.amplitude = 1.0;
+  EXPECT_THROW(make_arrival_process(ArrivalKind::kDiurnal, config),
+               std::invalid_argument);
+  config.amplitude = 0.8;
+  config.tail_alpha = 0.0;
+  EXPECT_THROW(make_arrival_process(ArrivalKind::kHeavyTail, config),
+               std::invalid_argument);
+  EXPECT_THROW(make_arrival_process(ArrivalKind::kNone, {}),
+               std::invalid_argument);
+  EXPECT_THROW(make_arrival_process(ArrivalKind::kTrace, {}),
+               std::invalid_argument);
+}
+
+TEST(TraceArrivals, ReplaysEntriesThenTilesMonotonically) {
+  const std::vector<Arrival> entries = {
+      {0, 1.0}, {10, 2.0}, {30, 1.0}};
+  const auto process = make_trace_arrivals(entries);
+  util::Rng rng(1);
+  std::vector<Arrival> seen;
+  for (int i = 0; i < 9; ++i) {
+    seen.push_back(process->next(rng));
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].work_scale, entries[i % 3].work_scale);
+    if (i > 0) {
+      EXPECT_GT(seen[i].release, seen[i - 1].release) << "entry " << i;
+    }
+  }
+  // reset() rewinds to the untiled start.
+  process->reset();
+  EXPECT_EQ(process->next(rng).release, 0);
+}
+
+TEST(TraceArrivals, ValidatesEntries) {
+  EXPECT_THROW(make_trace_arrivals({}), std::invalid_argument);
+  EXPECT_THROW(make_trace_arrivals({{-1, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(make_trace_arrivals({{10, 1.0}, {5, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(make_trace_arrivals({{0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(make_trace_arrivals({{0, -2.0}}), std::invalid_argument);
+}
+
+TEST(TraceIo, JsonlRoundTripIsExact) {
+  const std::vector<Arrival> entries = {
+      {0, 1.0}, {7, 3.5}, {7, 1.0}, {120, 0.25}};
+  std::stringstream stream;
+  write_arrival_trace(stream, entries);
+  const std::vector<Arrival> parsed = read_arrival_trace(stream);
+  ASSERT_EQ(parsed.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(parsed[i].release, entries[i].release);
+    EXPECT_EQ(parsed[i].work_scale, entries[i].work_scale);
+  }
+}
+
+TEST(TraceIo, DefaultWorkScaleOmittedAndRestored) {
+  std::stringstream stream;
+  write_arrival_trace(stream, {{5, 1.0}});
+  EXPECT_EQ(stream.str(), "{\"release\":5}\n");
+  const std::vector<Arrival> parsed = read_arrival_trace(stream);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].work_scale, 1.0);
+}
+
+TEST(TraceIo, ReaderNamesOffendingLine) {
+  std::stringstream garbage("{\"release\":0}\nnot json\n");
+  try {
+    read_arrival_trace(garbage);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  std::stringstream negative("{\"release\":-3}\n");
+  EXPECT_THROW(read_arrival_trace(negative), std::invalid_argument);
+  std::stringstream unordered("{\"release\":9}\n{\"release\":2}\n");
+  EXPECT_THROW(read_arrival_trace(unordered), std::invalid_argument);
+  std::stringstream blank_ok("{\"release\":1}\n\n{\"release\":4}\n");
+  EXPECT_EQ(read_arrival_trace(blank_ok).size(), 2u);
+}
+
+}  // namespace
+}  // namespace abg::open

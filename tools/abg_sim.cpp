@@ -41,6 +41,20 @@
 //   --policy-restart preserve | reset      [preserve]
 //   --restart-delay N [0]
 //   --resilience   also run fault-free and print the resilience report
+//
+// Open-system mode (streams continuously arriving jobs through the
+// scheduler instead of simulating a closed job set; composes with
+// --scheduler / --allocator / --processors / --quantum / --cost but not
+// with faults, hierarchy, or the async engine):
+//   --open                switch to the streaming driver
+//   --arrival  poisson | mmpp | diurnal | heavytail | trace   [poisson]
+//   --jobs-total N        arrivals to stream                  [100000]
+//   --load X              offered load rho; calibrates the arrival gap
+//                         from a pre-sample of the job factory  [0.8]
+//   --arrival-gap G       fix the mean inter-arrival gap instead of
+//                         calibrating (use with --load=0)
+//   --trace-path FILE     JSONL arrival trace (--arrival=trace)
+//   --stats-out FILE      write the online-statistics summary (JSON)
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -241,6 +255,126 @@ abg::fault::FaultPlan make_fault_plan(const Cli& cli, std::uint64_t seed) {
   return plan;
 }
 
+// The open-system path: streams --jobs-total arrivals through the
+// scheduler and prints the constant-memory statistics summary.  Fully
+// self-contained (own bus, own outputs) because it shares no SimConfig /
+// SimResult machinery with the closed path.
+int run_open_mode(const Cli& cli, const abg::core::SchedulerSpec& scheduler,
+                  abg::alloc::Allocator* allocator, int processors,
+                  abg::dag::Steps quantum, std::uint64_t seed) {
+  for (const char* flag :
+       {"faults", "hier-groups", "compare", "resilience", "gantt",
+        "report", "trace", "profile"}) {
+    if (cli.has(flag)) {
+      throw std::invalid_argument(std::string("--") + flag +
+                                  " does not apply to --open runs");
+    }
+  }
+  if (cli.get("engine", "sync") != "sync") {
+    throw std::invalid_argument("--open requires the sync engine");
+  }
+
+  abg::open::OpenConfig config;
+  config.processors = processors;
+  config.quantum_length = quantum;
+  config.jobs_total = cli.get_positive_int("jobs-total", 100000);
+  config.arrival = abg::open::arrival_kind_from_name(
+      cli.get("arrival", "poisson"));
+  config.trace_path = cli.get("trace-path", "");
+  config.load = cli.get_double("load", 0.8);
+  config.reallocation_cost_per_proc = cli.get_non_negative_int("cost", 0);
+  if (cli.has("arrival-gap")) {
+    config.arrivals.mean_gap = cli.get_double("arrival-gap", 1000.0);
+    if (config.load != 0.0) {
+      throw std::invalid_argument(
+          "--arrival-gap requires --load=0 (load calibration would "
+          "override the fixed gap)");
+    }
+  }
+
+  abg::obs::EventBus bus;
+  abg::obs::PerfettoTrace perfetto;
+  abg::obs::SimTraceSink perfetto_sink(perfetto);
+  abg::obs::MetricsRegistry registry;
+  abg::obs::MetricsSink metrics_sink(registry);
+  if (cli.has("trace-out")) {
+    bus.subscribe(&perfetto_sink);
+  }
+  if (cli.has("metrics-out")) {
+    bus.subscribe(&metrics_sink);
+  }
+  if (cli.has("trace-out") || cli.has("metrics-out")) {
+    config.bus = &bus;
+  }
+
+  const abg::open::OpenResult result =
+      abg::core::run_open(scheduler, config, seed, nullptr, allocator);
+
+  std::cout << "scheduler " << scheduler.name << ", allocator "
+            << (allocator ? allocator->name() : "default") << ", arrival "
+            << abg::open::to_string(config.arrival) << ", P = " << processors
+            << ", L = " << quantum << "\n\n";
+  abg::util::Table table({"metric", "value"});
+  const auto row = [&table](const std::string& name,
+                            const std::string& value) {
+    table.add_row({name, value});
+  };
+  row("jobs streamed", std::to_string(result.completed));
+  row("makespan", std::to_string(result.makespan));
+  row("quanta", std::to_string(result.quanta));
+  row("in-system high water", std::to_string(result.in_system_high_water));
+  if (result.mean_gap > 0.0) {
+    row("calibrated mean gap",
+        abg::util::format_double(result.mean_gap, 1));
+  }
+  row("mean response",
+      abg::util::format_double(result.stats.response().mean(), 1));
+  row("response p50",
+      abg::util::format_double(result.stats.response_quantile(0.5), 1));
+  row("response p95",
+      abg::util::format_double(result.stats.response_quantile(0.95), 1));
+  row("response p99",
+      abg::util::format_double(result.stats.response_quantile(0.99), 1));
+  row("mean slowdown",
+      abg::util::format_double(result.stats.slowdown().mean(), 2));
+  row("max slowdown",
+      abg::util::format_double(result.stats.slowdown().max(), 2));
+  row("queue depth mean",
+      abg::util::format_double(result.stats.queue_depth().mean(), 2));
+  row("queue depth p95",
+      abg::util::format_double(result.stats.queue_depth_quantile(0.95), 1));
+  row("total work", std::to_string(result.total_work));
+  row("total waste", std::to_string(result.total_waste));
+  table.print(std::cout);
+
+  if (cli.has("stats-out")) {
+    const std::string path = cli.get("stats-out", "");
+    const abg::util::Json summary = result.stats.to_json();
+    abg::util::write_file_atomic(path, [&summary](std::ostream& out) {
+      summary.write(out);
+      out << "\n";
+    });
+    std::cout << "\nwrote statistics to " << path << "\n";
+  }
+  if (cli.has("trace-out")) {
+    const std::string path = cli.get("trace-out", "");
+    abg::util::write_file_atomic(
+        path, [&perfetto](std::ostream& out) { perfetto.write(out); });
+    std::cout << "\nwrote Perfetto trace to " << path << " ("
+              << perfetto.event_count()
+              << " events; open in ui.perfetto.dev)\n";
+  }
+  if (cli.has("metrics-out")) {
+    const std::string path = cli.get("metrics-out", "");
+    abg::util::write_file_atomic(path, [&registry](std::ostream& out) {
+      registry.write(out);
+      out << "\n";
+    });
+    std::cout << "\nwrote metrics to " << path << "\n";
+  }
+  return 0;
+}
+
 void print_usage(std::ostream& os) {
   os << "usage: abg_sim [--workload=forkjoin|constant|randomwalk|jobset]\n"
         "               [--scheduler=abg|abg-auto|a-greedy|filtered|"
@@ -261,7 +395,12 @@ void print_usage(std::ostream& os) {
         "               [--resilience] [--trace=FILE] [--report] "
         "[--gantt] [--compare]\n"
         "               [--trace-out=FILE] [--metrics-out=FILE] "
-        "[--profile[=FILE]]\n";
+        "[--profile[=FILE]]\n"
+        "               [--open] [--arrival=poisson|mmpp|diurnal|"
+        "heavytail|trace]\n"
+        "               [--jobs-total=N] [--arrival-gap=G] "
+        "[--trace-path=FILE]\n"
+        "               [--stats-out=FILE]\n";
 }
 
 }  // namespace
@@ -279,6 +418,12 @@ int main(int argc, char** argv) {
 
     const abg::core::SchedulerSpec scheduler = make_scheduler(cli);
     const auto allocator = make_allocator(cli);
+
+    if (cli.get_bool("open", false) || cli.has("arrival")) {
+      return run_open_mode(cli, scheduler, allocator.get(), processors,
+                           quantum, seed);
+    }
+
     // Workload construction is a pure function of the seed, so the
     // comparison run can rebuild the byte-identical job set.
     auto build_workload = [&] {

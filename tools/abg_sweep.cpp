@@ -22,6 +22,14 @@
 //   allocator   deq | rr                              [default deq]
 //   fault       none | step | impulse | poisson | crash  [default none]
 //   engine      sync | async boundary model           [default sync]
+//   release     batched | staggered | poisson closed-release schedule
+//               [default batched]
+//   gap         release-schedule (mean) inter-release gap in steps
+//   arrival     none | poisson | mmpp | diurnal | heavytail | trace —
+//               open-system streaming runs (the load param doubles as the
+//               offered load; composes with scheduler / allocator /
+//               machine params but not fault, engine=async, or
+//               --hier-groups)                        [default none]
 //
 // Other flags:
 //   --reps=N      replications per grid point (default 5)
@@ -47,6 +55,9 @@
 //   --hier-threads=N    worker threads per hier run's group loops
 //                 (requires --hier-groups; default 1; results are
 //                 thread-count independent)
+//   --jobs-total=N      arrivals per open-system run (requires a
+//                 non-none arrival param; default 100000)
+//   --trace-path=FILE   JSONL arrival trace of arrival=trace runs
 //
 // Robustness (see docs/robustness.md):
 //   --journal=PATH      append-only JSONL run journal of every cell's
@@ -131,8 +142,9 @@ struct Dimension {
 
 /// Canonical dimension order (fixes expansion order and run ids).
 const std::vector<std::string> kKnownKeys = {
-    "scheduler", "r",       "workload",   "load",      "factor", "njobs",
-    "levels",    "quantum", "processors", "allocator", "fault",  "engine"};
+    "scheduler", "r",       "workload",   "load",      "factor",
+    "njobs",     "levels",  "quantum",    "processors", "allocator",
+    "fault",     "engine",  "release",    "gap",        "arrival"};
 
 /// Keys that select the scheduler rather than the simulated scenario;
 /// they are excluded from the workload seed index and the group label.
@@ -146,7 +158,8 @@ bool is_scheduler_key(const std::string& key) {
 bool is_workload_key(const std::string& key) {
   return key == "workload" || key == "load" || key == "factor" ||
          key == "njobs" || key == "levels" || key == "quantum" ||
-         key == "processors";
+         key == "processors" || key == "release" || key == "gap" ||
+         key == "arrival";
 }
 
 std::vector<std::string> split_csv(const std::string& text) {
@@ -272,6 +285,12 @@ RunSpec spec_of(const std::map<std::string, std::string>& point) {
       spec.faults.scenario = abg::exp::fault_scenario_from_name(value);
     } else if (key == "engine") {
       spec.engine = abg::sim::engine_kind_from_name(value);
+    } else if (key == "release") {
+      spec.workload.release = abg::exp::release_kind_from_name(value);
+    } else if (key == "gap") {
+      spec.workload.release_gap = parse_double(key, value);
+    } else if (key == "arrival") {
+      spec.open.arrival = abg::open::arrival_kind_from_name(value);
     }
     if (!is_scheduler_key(key)) {
       group += (group.empty() ? "" : ",") + key + "=" + value;
@@ -332,7 +351,61 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("--hier-threads requires --hier-groups");
     }
 
+    // Open-system knobs: global (not grid dimensions) — every open grid
+    // point streams the same number of arrivals.
+    const auto jobs_total =
+        static_cast<std::int64_t>(cli.get_positive_int("jobs-total", 100000));
+    const std::string trace_path = cli.get("trace-path", "");
+
     const std::vector<Dimension> dims = build_dimensions(cli);
+    bool any_open = false;
+    for (const Dimension& dim : dims) {
+      if (dim.key != "arrival") {
+        continue;
+      }
+      for (const std::string& value : dim.values) {
+        if (value != "none") {
+          any_open = true;
+        }
+        if (value == "trace" && trace_path.empty()) {
+          throw std::invalid_argument(
+              "--param arrival=trace requires --trace-path");
+        }
+      }
+    }
+    if (any_open) {
+      // The streaming driver composes with scheduler / machine /
+      // allocator axes only; reject the rest up front with a clear
+      // message instead of quarantining every cell mid-sweep.
+      if (hier_groups > 0) {
+        throw std::invalid_argument(
+            "--hier-groups does not compose with open-system arrival "
+            "params");
+      }
+      for (const Dimension& dim : dims) {
+        for (const std::string& value : dim.values) {
+          if (dim.key == "fault" && value != "none") {
+            throw std::invalid_argument(
+                "open-system runs do not compose with fault scenarios "
+                "(drop --param fault=" + value + ")");
+          }
+          if (dim.key == "engine" && value != "sync") {
+            throw std::invalid_argument(
+                "open-system runs require the sync engine (drop --param "
+                "engine=" + value + ")");
+          }
+          if (dim.key == "release" && value != "batched") {
+            throw std::invalid_argument(
+                "open-system runs own their arrival process (drop "
+                "--param release=" + value + ")");
+          }
+        }
+      }
+    } else if (cli.has("jobs-total") || cli.has("trace-path")) {
+      throw std::invalid_argument(
+          "--jobs-total / --trace-path require an open-system arrival "
+          "param (e.g. --param arrival=poisson)");
+    }
     if (hier_groups > 0) {
       // The sharded engine supports neither fault plans nor the async
       // boundary model; reject the combination up front with a clear
@@ -378,6 +451,10 @@ int main(int argc, char** argv) {
       base.hier_groups = hier_groups;
       base.hier_alloc = hier_alloc;
       base.hier_threads = hier_threads;
+      if (base.open.arrival != abg::open::ArrivalKind::kNone) {
+        base.open.jobs_total = jobs_total;
+        base.open.trace_path = trace_path;
+      }
       for (int rep = 0; rep < reps; ++rep) {
         RunSpec spec = base;
         spec.seed_index = static_cast<std::uint64_t>(rep) * workload_points +

@@ -13,6 +13,11 @@
 //                              BENCH_profile.json: parses, every span has
 //                              seconds/count/items/items_per_second, and
 //                              each SPAN argument names an existing span.
+//   trace_check stats FILE     open-system online-statistics summary
+//                              (abg_sim --open --stats-out): parses, has
+//                              the completed/work totals, every
+//                              distribution carries mean/max/percentiles,
+//                              and the queue-depth series is step-ordered.
 //   trace_check journal FILE   abg_sweep run journal (JSONL): has a
 //                              header, every complete line is a known
 //                              event with consistent run ids/digests.  A
@@ -182,6 +187,48 @@ int check_profile(const std::string& path,
   return 0;
 }
 
+int check_stats(const std::string& path) {
+  const Json doc = Json::parse(read_file(path));
+  const std::int64_t completed = require(doc, "completed").as_integer();
+  if (completed < 0) {
+    fail("completed is negative");
+  }
+  if (require(doc, "total_work").as_integer() < 0 ||
+      require(doc, "total_waste").as_integer() < 0) {
+    fail("work totals must be non-negative");
+  }
+  for (const std::string& name : {"response", "slowdown", "queue_depth"}) {
+    const Json& dist = require(doc, name);
+    for (const std::string& key : {"mean", "max", "p50", "p95", "p99"}) {
+      require(dist, key);
+    }
+    // Percentiles of a completed stream are ordered; an empty stream
+    // serialises NaN percentiles, which the comparisons skip.
+    const double p50 = dist.at("p50").as_number();
+    const double p99 = dist.at("p99").as_number();
+    if (p50 == p50 && p99 == p99 && p50 > p99) {
+      fail("distribution '" + name + "' has p50 > p99");
+    }
+  }
+  const Json& series = require(doc, "queue_series");
+  if (!series.is_array()) {
+    fail("queue_series is not an array");
+  }
+  std::int64_t previous_step = -1;
+  for (const Json& point : series.items()) {
+    const std::int64_t step = require(point, "step").as_integer();
+    require(point, "value");
+    if (step <= previous_step) {
+      fail("queue_series steps are not strictly increasing");
+    }
+    previous_step = step;
+  }
+  std::cout << "trace_check: " << path << " ok (" << completed
+            << " completed, " << series.size()
+            << " queue-series points)\n";
+  return 0;
+}
+
 bool is_hex_digest(const std::string& text) {
   if (text.size() != 16) {
     return false;
@@ -302,11 +349,14 @@ int main(int argc, char** argv) {
       return check_profile(
           args[1], std::vector<std::string>(args.begin() + 2, args.end()));
     }
+    if (args.size() >= 2 && args[0] == "stats") {
+      return check_stats(args[1]);
+    }
     if (args.size() >= 2 && args[0] == "journal") {
       return check_journal(args[1]);
     }
     std::cerr
-        << "usage: trace_check trace|metrics|profile|journal FILE "
+        << "usage: trace_check trace|metrics|profile|stats|journal FILE "
            "[SPAN...]\n";
     return 2;
   } catch (const MissingFileError& e) {
