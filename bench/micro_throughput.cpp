@@ -3,10 +3,18 @@
 // document that the closed-form ProfileJob path is what makes the
 // paper-scale sweeps (5000 job sets at L = 1000) tractable.
 //
+// The BM_SimSteps family is the repo's headline raw-speed metric: each
+// variant runs a phase-structured job set to completion on one engine
+// axis (sync | async | sharded | open) and one job-shape class (square |
+// serial | wide) and reports simulated-steps/sec (items == simulated
+// steps advanced), which is what the skip-ahead evaluator is measured by.
+//
 // A custom main() funnels every measured run through exp::ResultSink and
-// writes BENCH_throughput.json (override with --sink-out=PATH, disable
-// with --sink-out=none; --sink-jsonl=PATH additionally dumps per-run
-// records), so the repository tracks a throughput trajectory per change.
+// writes BENCH_micro_throughput.json (override with --sink-out=PATH,
+// disable with --sink-out=none; --sink-jsonl=PATH additionally dumps
+// per-run records), so the repository tracks a throughput trajectory per
+// change; the committed root-level BENCH_micro_throughput.json is the
+// regression baseline `trace_check bench` compares against in CI.
 // --profile-out=PATH additionally writes a BENCH_profile.json-format
 // self-profile (one span per measured benchmark plus bench.total).  All
 // artifacts go through util::write_file_atomic, so an interrupted bench
@@ -179,6 +187,93 @@ BENCHMARK(BM_JobSetSimulationObserved)
     ->Arg(20)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Simulated-steps/sec per engine axis and per job-shape class.
+//
+// Shapes (all phase-structured ProfileJobs, the workload class the
+// skip-ahead evaluator targets):
+//   square — fork-join square wave (1 <-> 64): the paper's alternation,
+//            many short phases, exercises phase-crossing math.
+//   serial — long near-serial chain (width 2): span-dominated, the
+//            stride planner should jump whole quanta at a time.
+//   wide   — constant width 256 > P: work-dominated full quanta, few
+//            phase transitions.
+// Items processed == simulated steps advanced (makespan per run), so the
+// reported items_per_second is simulated-steps/sec on that axis.
+
+std::vector<abg::dag::TaskCount> shape_widths(const std::string& shape) {
+  if (shape == "square") {
+    return abg::workload::square_wave_profile(1, 40, 64, 40, 60);
+  }
+  if (shape == "serial") {
+    return abg::workload::constant_profile(2, 4000);
+  }
+  return abg::workload::constant_profile(256, 1500);  // wide
+}
+
+std::vector<abg::sim::JobSubmission> make_shaped_set(const std::string& shape,
+                                                     std::size_t jobs) {
+  const auto widths = shape_widths(shape);
+  std::vector<abg::sim::JobSubmission> subs;
+  subs.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    abg::sim::JobSubmission s;
+    s.job = std::make_unique<abg::dag::ProfileJob>(widths);
+    s.release_step = static_cast<abg::dag::Steps>(i * 500);
+    subs.push_back(std::move(s));
+  }
+  return subs;
+}
+
+void BM_SimSteps(benchmark::State& state, const std::string& axis,
+                 const std::string& shape) {
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto subs = make_shaped_set(shape, 8);
+    abg::sim::SimConfig config{.processors = 128, .quantum_length = 1000};
+    if (axis == "async") {
+      config.engine = abg::sim::EngineKind::kAsync;
+    } else if (axis == "sharded") {
+      config.hier.groups = 4;
+    }
+    state.ResumeTiming();
+    const auto result = abg::core::run_set(abg::core::abg_spec(),
+                                           std::move(subs), config);
+    steps += result.makespan;
+    benchmark::DoNotOptimize(result.makespan);
+  }
+  state.SetItemsProcessed(steps);
+}
+BENCHMARK_CAPTURE(BM_SimSteps, sync_square, "sync", "square");
+BENCHMARK_CAPTURE(BM_SimSteps, sync_serial, "sync", "serial");
+BENCHMARK_CAPTURE(BM_SimSteps, sync_wide, "sync", "wide");
+BENCHMARK_CAPTURE(BM_SimSteps, async_square, "async", "square");
+BENCHMARK_CAPTURE(BM_SimSteps, async_serial, "async", "serial");
+BENCHMARK_CAPTURE(BM_SimSteps, async_wide, "async", "wide");
+BENCHMARK_CAPTURE(BM_SimSteps, sharded_square, "sharded", "square");
+BENCHMARK_CAPTURE(BM_SimSteps, sharded_serial, "sharded", "serial");
+BENCHMARK_CAPTURE(BM_SimSteps, sharded_wide, "sharded", "wide");
+
+void BM_SimStepsOpen(benchmark::State& state) {
+  // Open-system axis: the default square-wave factory under a Poisson
+  // stream (the streaming driver shares the sync per-quantum block).
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    abg::open::OpenConfig config;
+    config.processors = 64;
+    config.quantum_length = 100;
+    config.jobs_total = 400;
+    config.load = 0.8;
+    const auto result =
+        abg::core::run_open(abg::core::abg_spec(), config, 11);
+    steps += result.makespan;
+    benchmark::DoNotOptimize(result.makespan);
+  }
+  state.SetItemsProcessed(steps);
+}
+BENCHMARK(BM_SimStepsOpen);
+
 /// Console reporter that additionally records every run in a ResultSink
 /// and, when a profiler is attached, one profile span per benchmark
 /// (seconds = measured wall time, items = iterations).
@@ -245,7 +340,7 @@ std::string take_flag(int& argc, char** argv, const std::string& name,
 
 int main(int argc, char** argv) {
   const std::string sink_out =
-      take_flag(argc, argv, "sink-out", "BENCH_throughput.json");
+      take_flag(argc, argv, "sink-out", "BENCH_micro_throughput.json");
   const std::string sink_jsonl = take_flag(argc, argv, "sink-jsonl", "none");
   const std::string profile_out = take_flag(argc, argv, "profile-out", "none");
 

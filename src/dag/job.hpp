@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 namespace abg::dag {
 
@@ -51,6 +52,19 @@ struct QuantumExecution {
   Steps idle_steps = 0;
   /// True when the job's last task completed during this quantum.
   bool finished = false;
+};
+
+/// Read-only view of a job's remaining phase structure, exposed by jobs
+/// whose execution is a pure function of (level widths, position): level
+/// `level` has `remaining_in_level` tasks left, and every later level
+/// `l > level` has its full `(*widths)[l]` tasks left.  A null `widths`
+/// means the job has no closed form and engines must run it stepwise.
+/// The skip-ahead evaluator (sim/quantum_eval.hpp) consumes this view to
+/// compute whole-quantum outcomes without mutating the job.
+struct PhaseView {
+  const std::vector<TaskCount>* widths = nullptr;
+  std::size_t level = 0;
+  TaskCount remaining_in_level = 0;
 };
 
 /// A malleable job: a DAG of unit tasks executed step-by-step.
@@ -88,6 +102,12 @@ class Job {
 
   /// Number of currently ready (executable) tasks.
   virtual TaskCount ready_count() const = 0;
+
+  /// The job's remaining phase structure, when it admits a closed form.
+  /// The default — a null view — opts out; engines then advance the job
+  /// stepwise.  The returned pointer must stay valid until the job is next
+  /// mutated.
+  virtual PhaseView phase_view() const { return {}; }
 
   /// Deep copy in the *initial* (unexecuted) state, regardless of how much
   /// of this instance has already run.  Used to replay the identical job

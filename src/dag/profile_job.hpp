@@ -40,6 +40,9 @@ class ProfileJob final : public Job {
   TaskCount completed_work() const override { return completed_; }
   double level_progress() const override;
   TaskCount ready_count() const override;
+  PhaseView phase_view() const override {
+    return PhaseView{widths_.get(), level_, remaining_in_level_};
+  }
   std::unique_ptr<Job> fresh_clone() const override;
 
   /// The level widths this job was built from.

@@ -10,6 +10,7 @@
 #include "dag/profile_job.hpp"
 #include "obs/event_bus.hpp"
 #include "sim/quantum_engine.hpp"
+#include "sim/quantum_eval.hpp"
 #include "workload/profiles.hpp"
 
 namespace abg::open {
@@ -397,24 +398,9 @@ OpenResult run_stream(const sched::ExecutionPolicy& execution,
           slot.previous_allotment, allotment,
           config.reallocation_cost_per_proc, length);
       slot.previous_allotment = allotment;
-      sched::QuantumStats stats;
-      if (penalty < length) {
-        stats = execution.run_quantum(*slot.job, slot.local_quantum,
-                                      slot.desire, allotment,
-                                      length - penalty);
-      } else {
-        stats.index = slot.local_quantum;
-        stats.request = slot.desire;
-        stats.allotment = allotment;
-        stats.finished = slot.job->finished();
-      }
-      stats.length = length;
-      stats.steps_used += penalty;
-      if (penalty > 0) {
-        stats.full = false;  // the migration steps did no work
-      }
-      stats.available = allotment + leftover;
-      stats.start_step = now;
+      const sched::QuantumStats stats = sim::quantum_eval::run_allotted_quantum(
+          *slot.job, execution, slot.local_quantum, slot.desire, allotment,
+          length, penalty, leftover, now);
       slot.waste += stats.waste();
       if (bus != nullptr) {
         obs::Event e;

@@ -35,9 +35,9 @@ SimResult simulate_job_set_async(std::vector<JobSubmission> submissions,
   allocator.reset();
 
   IntakeTotals totals;
-  std::vector<JobRuntime> states =
-      intake_submissions(std::move(submissions), request_prototype,
-                         "simulate_job_set_async", totals);
+  JobBatch batch = intake_submissions(std::move(submissions),
+                                      request_prototype,
+                                      "simulate_job_set_async", totals);
 
   dag::Steps initial_length = config.quantum_length;
   if (config.quantum_length_policy != nullptr) {
@@ -74,7 +74,8 @@ SimResult simulate_job_set_async(std::vector<JobSubmission> submissions,
   core.quantum_length_policy = config.quantum_length_policy;
   core.bus = config.obs.event_bus;
   core.cancel = config.cancel;
-  return run_per_job_quanta(states, totals, execution, allocator, core);
+  core.skip_ahead = config.skip_ahead;
+  return run_per_job_quanta(batch, totals, execution, allocator, core);
 }
 
 }  // namespace abg::sim

@@ -1,6 +1,7 @@
 #include "sim/engine_core.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -9,6 +10,7 @@
 #include "fault/faulty_allocator.hpp"
 #include "obs/event_bus.hpp"
 #include "sim/quantum_engine.hpp"
+#include "sim/quantum_eval.hpp"
 
 namespace abg::sim {
 
@@ -72,8 +74,7 @@ obs::EventBus* active_bus(const CoreConfig& config) {
 }
 
 /// Publishes the run-start event and one submit event per ingested job.
-void publish_intake(obs::EventBus* bus,
-                    const std::vector<JobRuntime>& states,
+void publish_intake(obs::EventBus* bus, const JobBatch& batch,
                     const CoreConfig& config) {
   if (bus == nullptr) {
     return;
@@ -82,15 +83,15 @@ void publish_intake(obs::EventBus* bus,
   start.kind = obs::EventKind::kRunStart;
   start.processors = config.processors;
   start.quantum_length = config.quantum_length;
-  start.job_count = static_cast<std::int64_t>(states.size());
+  start.job_count = static_cast<std::int64_t>(batch.size());
   bus->publish(start);
-  for (std::size_t i = 0; i < states.size(); ++i) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
     obs::Event e;
     e.kind = obs::EventKind::kJobSubmit;
-    e.step = states[i].trace.release_step;
+    e.step = batch.jobs[i].trace.release_step;
     e.job = static_cast<std::int64_t>(i);
-    e.work = states[i].trace.work;
-    e.critical_path = states[i].trace.critical_path;
+    e.work = batch.jobs[i].trace.work;
+    e.critical_path = batch.jobs[i].trace.critical_path;
     bus->publish(e);
   }
 }
@@ -191,39 +192,6 @@ void log_window_events(const fault::WindowFaults& window,
   }
 }
 
-/// FCFS admission candidate: the queued job with the lowest eligible step
-/// (ties by submission order), or states.size() when none is eligible.
-/// Candidates are scanned in submission order; releases are not required
-/// to be sorted.
-std::size_t next_admission(const std::vector<JobRuntime>& states,
-                           dag::Steps now) {
-  std::size_t best = states.size();
-  for (std::size_t i = 0; i < states.size(); ++i) {
-    const JobRuntime& st = states[i];
-    if (st.done || st.active || st.eligible_step > now) {
-      continue;
-    }
-    if (best == states.size() ||
-        st.eligible_step < states[best].eligible_step) {
-      best = i;
-    }
-  }
-  return best;
-}
-
-/// Earliest step at which any unfinished job becomes eligible, for the
-/// idle fast-path; `bound` when none exists.
-dag::Steps next_eligible_step(const std::vector<JobRuntime>& states,
-                              dag::Steps bound) {
-  dag::Steps next_release = bound;
-  for (const JobRuntime& st : states) {
-    if (!st.done) {
-      next_release = std::min(next_release, st.eligible_step);
-    }
-  }
-  return next_release;
-}
-
 void commit_crash(fault::FaultLog& log, const fault::CrashRecord& record) {
   log.crashes.push_back(record);
   log.lost_work += record.lost_work;
@@ -232,23 +200,22 @@ void commit_crash(fault::FaultLog& log, const fault::CrashRecord& record) {
 
 /// Moves per-job traces into the result and derives the aggregate metrics
 /// (identical in both boundary models).
-void aggregate_result(std::vector<JobRuntime>& states, SimResult& result) {
+void aggregate_result(JobBatch& batch, SimResult& result) {
   double response_sum = 0.0;
-  for (JobRuntime& st : states) {
+  for (JobRuntime& st : batch.jobs) {
     result.makespan = std::max(result.makespan, st.trace.completion_step);
     response_sum += static_cast<double>(st.trace.response_time());
     result.total_waste += st.trace.total_waste();
     result.jobs.push_back(std::move(st.trace));
   }
   result.mean_response_time =
-      states.empty() ? 0.0
-                     : response_sum / static_cast<double>(states.size());
+      batch.empty() ? 0.0
+                    : response_sum / static_cast<double>(batch.size());
 }
 
 }  // namespace
 
-SimResult run_global_quanta(std::vector<JobRuntime>& states,
-                            const IntakeTotals& totals,
+SimResult run_global_quanta(JobBatch& batch, const IntakeTotals& totals,
                             const sched::ExecutionPolicy& execution,
                             alloc::Allocator& allocator,
                             const CoreConfig& config) {
@@ -257,7 +224,7 @@ SimResult run_global_quanta(std::vector<JobRuntime>& states,
   alloc::Allocator& machine = *session.machine;
   const dag::Steps max_steps = config.max_steps;
   obs::EventBus* const bus = active_bus(config);
-  publish_intake(bus, states, config);
+  publish_intake(bus, batch, config);
 
   SimResult result;
   if (faulty) {
@@ -295,26 +262,21 @@ SimResult run_global_quanta(std::vector<JobRuntime>& states,
     // (ties by submission order), up to the admission cap.
     active_idx.clear();
     requests.clear();
-    std::size_t active_count = 0;
-    for (const JobRuntime& st : states) {
-      if (st.active) {
-        ++active_count;
-      }
-    }
+    std::size_t active_count = batch.active_count();
     while (active_count < config.max_active) {
-      const std::size_t best = next_admission(states, now);
-      if (best == states.size()) {
+      const std::size_t best = batch.next_admission(now);
+      if (best == batch.size()) {
         break;
       }
-      JobRuntime& st = states[best];
-      st.active = true;
+      JobRuntime& st = batch.jobs[best];
+      batch.regime[best] = JobRegime::kActive;
       if (st.resumed) {
         st.resumed = false;  // keep the preserved desire
       } else {
-        st.desire = st.request->first_request();
+        batch.desire[best] = st.request->first_request();
       }
       if (bus != nullptr) {
-        publish_admit(bus, best, now, st.desire);
+        publish_admit(bus, best, now, batch.desire[best]);
       }
       ++active_count;
     }
@@ -322,19 +284,18 @@ SimResult run_global_quanta(std::vector<JobRuntime>& states,
     // inactive (unreleased, queued, finished) jobs request 0.  Stable
     // positions let positional allocators (per-job weights) work across
     // job completions.
-    requests.assign(states.size(), 0);
-    for (std::size_t i = 0; i < states.size(); ++i) {
-      JobRuntime& st = states[i];
-      if (st.active) {
+    requests.assign(batch.size(), 0);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch.active(i)) {
         active_idx.push_back(i);
-        requests[i] = st.desire;
+        requests[i] = batch.desire[i];
       }
     }
 
     if (active_idx.empty()) {
       // All remaining jobs are eligible in the future: idle to the next
       // eligibility boundary.
-      const dag::Steps gap = next_eligible_step(states, max_steps) - now;
+      const dag::Steps gap = batch.next_eligible_step(max_steps) - now;
       const dag::Steps quanta_to_skip = std::max<dag::Steps>(1, gap / length);
       now += quanta_to_skip * length;
       if (now >= max_steps) {
@@ -366,7 +327,7 @@ SimResult run_global_quanta(std::vector<JobRuntime>& states,
     if (faulty) {
       for (const fault::FaultEvent& e : window.crashes) {
         const auto j = static_cast<std::size_t>(e.job);
-        if (j < states.size() && states[j].active &&
+        if (j < batch.size() && batch.active(j) &&
             std::find(crash_victims.begin(), crash_victims.end(), j) ==
                 crash_victims.end()) {
           crash_victims.push_back(j);
@@ -386,7 +347,7 @@ SimResult run_global_quanta(std::vector<JobRuntime>& states,
 
     feedback.clear();
     for (const std::size_t i : active_idx) {
-      JobRuntime& st = states[i];
+      JobRuntime& st = batch.jobs[i];
       const int allotment = allotments[i];
       if (faulty) {
         log.allotted_cycles += static_cast<dag::TaskCount>(allotment) *
@@ -405,7 +366,7 @@ SimResult run_global_quanta(std::vector<JobRuntime>& states,
         sched::QuantumStats stats;
         stats.index = st.local_quantum;
         stats.start_step = now;
-        stats.request = st.desire;
+        stats.request = batch.desire[i];
         stats.allotment = allotment;
         stats.available = allotment + leftover;
         stats.length = length;
@@ -435,41 +396,27 @@ SimResult run_global_quanta(std::vector<JobRuntime>& states,
         if (config.faults->policy_on_restart ==
             fault::PolicyOnRestart::kReset) {
           st.request->reset();
-          st.desire = st.request->first_request();
+          batch.desire[i] = st.request->first_request();
         } else {
           st.resumed = true;  // re-admission keeps the preserved desire
         }
         commit_crash(log, record);
-        st.previous_allotment = 0;
-        st.active = false;
-        st.eligible_step = now + length + config.faults->restart_delay;
+        batch.previous_allotment[i] = 0;
+        batch.regime[i] = JobRegime::kQueued;
+        batch.eligible_step[i] = now + length + config.faults->restart_delay;
         if (bus != nullptr) {
-          publish_crash(bus, i, now, record, st.eligible_step);
+          publish_crash(bus, i, now, record, batch.eligible_step[i]);
         }
         continue;
       }
       ++st.local_quantum;
       const dag::Steps penalty = reallocation_penalty(
-          st.previous_allotment, allotment,
+          batch.previous_allotment[i], allotment,
           config.reallocation_cost_per_proc, length);
-      st.previous_allotment = allotment;
-      sched::QuantumStats stats;
-      if (penalty < length) {
-        stats = execution.run_quantum(*st.job, st.local_quantum, st.desire,
-                                      allotment, length - penalty);
-      } else {
-        stats.index = st.local_quantum;
-        stats.request = st.desire;
-        stats.allotment = allotment;
-        stats.finished = st.job->finished();
-      }
-      stats.length = length;
-      stats.steps_used += penalty;
-      if (penalty > 0) {
-        stats.full = false;  // the migration steps did no work
-      }
-      stats.available = allotment + leftover;
-      stats.start_step = now;
+      batch.previous_allotment[i] = allotment;
+      const sched::QuantumStats stats = quantum_eval::run_allotted_quantum(
+          *st.job, execution, st.local_quantum, batch.desire[i], allotment,
+          length, penalty, leftover, now);
       st.trace.quanta.push_back(stats);
       if (bus != nullptr) {
         publish_quantum(bus, i, stats);
@@ -486,8 +433,7 @@ SimResult run_global_quanta(std::vector<JobRuntime>& states,
       }
       if (stats.finished) {
         st.trace.completion_step = now + stats.steps_used;
-        st.done = true;
-        st.active = false;
+        batch.regime[i] = JobRegime::kDone;
         --remaining;
         if (bus != nullptr) {
           publish_complete(bus, i, st.trace.completion_step);
@@ -509,8 +455,8 @@ SimResult run_global_quanta(std::vector<JobRuntime>& states,
     // contract.  Each job has its own policy state, so the deferral is
     // otherwise unobservable.
     for (const std::size_t i : feedback) {
-      JobRuntime& st = states[i];
-      st.desire = st.request->next_request(st.trace.quanta.back());
+      JobRuntime& st = batch.jobs[i];
+      batch.desire[i] = st.request->next_request(st.trace.quanta.back());
     }
     if (config.quantum_length_policy != nullptr && remaining > 0) {
       if (qlen_count == 1 && qlen_sole_valid) {
@@ -531,13 +477,12 @@ SimResult run_global_quanta(std::vector<JobRuntime>& states,
     }
   }
 
-  aggregate_result(states, result);
+  aggregate_result(batch, result);
   publish_run_end(bus, result.makespan);
   return result;
 }
 
-SimResult run_per_job_quanta(std::vector<JobRuntime>& states,
-                             const IntakeTotals& totals,
+SimResult run_per_job_quanta(JobBatch& batch, const IntakeTotals& totals,
                              const sched::ExecutionPolicy& execution,
                              alloc::Allocator& allocator,
                              const CoreConfig& config) {
@@ -546,17 +491,21 @@ SimResult run_per_job_quanta(std::vector<JobRuntime>& states,
   alloc::Allocator& machine = *session.machine;
   const dag::Steps max_steps = config.max_steps;
   obs::EventBus* const bus = active_bus(config);
-  publish_intake(bus, states, config);
+  publish_intake(bus, batch, config);
 
   // Each job's boundary schedule is its own, so each job gets its own
   // quantum-length policy state (a clone of the run's prototype).
-  for (JobRuntime& st : states) {
+  for (JobRuntime& st : batch.jobs) {
     st.quantum_target = config.quantum_length;
     if (config.quantum_length_policy != nullptr) {
       st.quantum_policy = config.quantum_length_policy->clone();
       st.quantum_policy->reset();
     }
   }
+  // Stride planning applies only when every step of the span is
+  // event-free, which a fault plan cannot guarantee: its windows are
+  // consumed per unit step, so a faulty run is driven stepwise.
+  const bool skip_ahead = config.skip_ahead && !faulty;
 
   SimResult result;
   result.averaged_allotments = true;
@@ -577,11 +526,12 @@ SimResult run_per_job_quanta(std::vector<JobRuntime>& states,
     return procs * static_cast<dag::TaskCount>(st.quantum_target);
   };
 
-  auto finalize_quantum = [&](JobRuntime& st, bool finished) {
+  auto finalize_quantum = [&](std::size_t i, bool finished) {
+    JobRuntime& st = batch.jobs[i];
     sched::QuantumStats stats;
     stats.index = st.local_quantum;
     stats.start_step = st.quantum_start;
-    stats.request = st.desire;
+    stats.request = batch.desire[i];
     stats.length = st.quantum_target;
     stats.steps_used = finished ? st.quantum_elapsed : st.quantum_target;
     stats.work = st.job->completed_work() - st.work_before;
@@ -635,17 +585,17 @@ SimResult run_per_job_quanta(std::vector<JobRuntime>& states,
       }
       for (const fault::FaultEvent& e : window.crashes) {
         const auto j = static_cast<std::size_t>(e.job);
-        if (j >= states.size() || !states[j].active) {
+        if (j >= batch.size() || !batch.active(j)) {
           continue;  // crash of an inactive job is a no-op
         }
-        JobRuntime& st = states[j];
+        JobRuntime& st = batch.jobs[j];
         fault::CrashRecord record;
         record.job = j;
         record.step = now;
         if (config.faults->work_loss == fault::WorkLoss::kCheckpointQuantum) {
           // The work executed so far survives (there is no rollback in a
           // live DAG): close the in-flight quantum early as a checkpoint.
-          finalize_quantum(st, /*finished=*/false);
+          finalize_quantum(j, /*finished=*/false);
           st.trace.quanta.back().steps_used = st.quantum_elapsed;
           st.trace.quanta.back().full = false;
           if (bus != nullptr) {
@@ -672,34 +622,31 @@ SimResult run_per_job_quanta(std::vector<JobRuntime>& states,
           st.resumed = true;  // re-admission keeps the preserved desire
         }
         commit_crash(log, record);
-        st.active = false;
-        st.allotment = 0;
-        st.previous_allotment = 0;
+        batch.regime[j] = JobRegime::kQueued;
+        batch.allotment[j] = 0;
+        batch.previous_allotment[j] = 0;
         st.migration_debt = 0;
-        st.eligible_step = now + 1 + config.faults->restart_delay;
+        batch.eligible_step[j] = now + 1 + config.faults->restart_delay;
         if (bus != nullptr) {
-          publish_crash(bus, j, now, record, st.eligible_step);
+          publish_crash(bus, j, now, record, batch.eligible_step[j]);
         }
         partition_dirty = true;
       }
     }
 
     // Admission, FCFS by eligible (release or post-crash restart) step.
-    std::size_t active_count = 0;
-    for (const JobRuntime& st : states) {
-      active_count += st.active ? 1u : 0u;
-    }
+    std::size_t active_count = batch.active_count();
     while (active_count < config.max_active) {
-      const std::size_t best = next_admission(states, now);
-      if (best == states.size()) {
+      const std::size_t best = batch.next_admission(now);
+      if (best == batch.size()) {
         break;
       }
-      JobRuntime& st = states[best];
-      st.active = true;
+      JobRuntime& st = batch.jobs[best];
+      batch.regime[best] = JobRegime::kActive;
       if (st.resumed) {
         st.resumed = false;  // keep the preserved desire
       } else {
-        st.desire = st.request->first_request();
+        batch.desire[best] = st.request->first_request();
       }
       // Continues the trace after a checkpoint crash; 1 on first
       // admission and after a from-scratch restart.
@@ -710,7 +657,7 @@ SimResult run_per_job_quanta(std::vector<JobRuntime>& states,
       }
       begin_quantum(st);
       if (bus != nullptr) {
-        publish_admit(bus, best, now, st.desire);
+        publish_admit(bus, best, now, batch.desire[best]);
       }
       partition_dirty = true;
       ++active_count;
@@ -718,7 +665,7 @@ SimResult run_per_job_quanta(std::vector<JobRuntime>& states,
 
     if (active_count == 0) {
       // Idle-skip to the next eligibility boundary.
-      const dag::Steps next_release = next_eligible_step(states, max_steps);
+      const dag::Steps next_release = batch.next_eligible_step(max_steps);
       now = std::max(now + 1, next_release);
       if (now >= max_steps) {
         throw std::runtime_error(std::string(config.context) +
@@ -729,17 +676,16 @@ SimResult run_per_job_quanta(std::vector<JobRuntime>& states,
 
     // Re-partition on any event.
     if (partition_dirty) {
-      std::vector<int> requests(states.size(), 0);
-      for (std::size_t i = 0; i < states.size(); ++i) {
-        if (states[i].active) {
-          requests[i] = states[i].desire;
+      std::vector<int> requests(batch.size(), 0);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (batch.active(i)) {
+          requests[i] = batch.desire[i];
         }
       }
       const std::vector<int> allotments =
           machine.allocate(requests, config.processors);
-      for (std::size_t i = 0; i < states.size(); ++i) {
-        JobRuntime& st = states[i];
-        if (!st.active) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (!batch.active(i)) {
           continue;
         }
         if (config.reallocation_cost_per_proc > 0) {
@@ -747,14 +693,15 @@ SimResult run_per_job_quanta(std::vector<JobRuntime>& states,
           // cost·|Δa| migration steps, accumulated as debt and capped at
           // one quantum — the unit-step realization of the synchronous
           // engine's up-front penalty.
+          JobRuntime& st = batch.jobs[i];
           const dag::Steps penalty = reallocation_penalty(
-              st.previous_allotment, allotments[i],
+              batch.previous_allotment[i], allotments[i],
               config.reallocation_cost_per_proc, st.quantum_target);
           st.migration_debt =
               std::min(st.quantum_target, st.migration_debt + penalty);
         }
-        st.previous_allotment = allotments[i];
-        st.allotment = allotments[i];
+        batch.previous_allotment[i] = allotments[i];
+        batch.allotment[i] = allotments[i];
       }
       if (bus != nullptr) {
         publish_allocation(bus, now, machine.pool(config.processors),
@@ -764,56 +711,149 @@ SimResult run_per_job_quanta(std::vector<JobRuntime>& states,
       partition_dirty = false;
     }
 
-    // One unit step for every active job.
-    for (JobRuntime& st : states) {
-      if (!st.active) {
-        continue;
+    // Plan the stride: the longest span guaranteed event-free, so jumping
+    // it wholesale is indistinguishable from running it step by step.
+    // Unit steps (stride 1 through the stepwise body) whenever closed
+    // form does not apply: fault plans (handled above via skip_ahead) or
+    // an active job without a phase view.
+    dag::Steps stride = 1;
+    bool batched = false;
+    if (skip_ahead) {
+      batched = true;
+      stride = max_steps - now;  // the bound check below fires on time
+      for (std::size_t i = 0; i < batch.size() && batched; ++i) {
+        if (!batch.active(i)) {
+          continue;
+        }
+        JobRuntime& st = batch.jobs[i];
+        // Next boundary of this job's own quantum clock.
+        stride = std::min(stride, st.quantum_target - st.quantum_elapsed);
+        const dag::PhaseView view = st.job->phase_view();
+        if (view.widths == nullptr) {
+          batched = false;
+          break;
+        }
+        // Next completion: migration debt delays execution, then the
+        // phase walk gives the exact finish distance (cap+1 = "not
+        // within the stride", which leaves the stride unconstrained).
+        const int allot = batch.allotment[i];
+        if (allot > 0 && st.migration_debt < stride) {
+          const dag::Steps cap = stride - st.migration_debt;
+          const dag::Steps fin =
+              quantum_eval::steps_to_finish(view, allot, cap);
+          if (fin <= cap) {
+            stride = std::min(stride, st.migration_debt + fin);
+          }
+        }
       }
-      dag::TaskCount done = 0;
-      if (st.migration_debt > 0) {
-        // A migration step: the job holds its allotment but executes
-        // nothing, so the cycles land in idle_cycles (waste) and the
-        // quantum cannot be full.
-        --st.migration_debt;
-      } else {
-        done = st.job->step(st.allotment, execution.order());
+      if (batched && active_count < config.max_active) {
+        // Next admission: every queued unfinished job became eligible
+        // strictly in the future (the drain above admitted the rest).  At
+        // the cap this cannot constrain the stride — a slot only frees at
+        // a completion, which already bounds it.
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          if (batch.regime[i] == JobRegime::kQueued) {
+            stride = std::min(stride, batch.eligible_step[i] - now);
+          }
+        }
       }
-      ++st.quantum_elapsed;
-      st.held_cycles += st.allotment;
-      st.idle_cycles += static_cast<dag::TaskCount>(st.allotment) - done;
-      if (done == 0) {
-        ++st.idle_steps;
+      if (!batched) {
+        stride = 1;
+      }
+      assert(stride >= 1);
+    }
+
+    if (batched) {
+      // Advance every active job by the stride in closed form.  The
+      // planner guarantees no job finishes strictly inside the span, so
+      // run_quantum consumes it fully; accounting matches the stepwise
+      // body summed over `stride` iterations.
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (!batch.active(i)) {
+          continue;
+        }
+        JobRuntime& st = batch.jobs[i];
+        const int allot = batch.allotment[i];
+        const dag::Steps debt = std::min(stride, st.migration_debt);
+        if (debt > 0) {
+          // Migration steps: the job holds its allotment but executes
+          // nothing, so the cycles land in idle_cycles (waste).
+          st.migration_debt -= debt;
+          const dag::TaskCount held =
+              mul_cycles_checked(allot, debt, config.context);
+          add_cycles_checked(st.held_cycles, held, config.context);
+          add_cycles_checked(st.idle_cycles, held, config.context);
+          st.idle_steps += debt;
+        }
+        const dag::Steps run = stride - debt;
+        if (run > 0) {
+          const dag::QuantumExecution exec =
+              st.job->run_quantum(allot, run, execution.order());
+          assert(exec.steps == run);
+          const dag::TaskCount held =
+              mul_cycles_checked(allot, run, config.context);
+          add_cycles_checked(st.held_cycles, held, config.context);
+          add_cycles_checked(st.idle_cycles, held - exec.work,
+                             config.context);
+          st.idle_steps += exec.idle_steps;
+        }
+        st.quantum_elapsed += stride;
+      }
+    } else {
+      // One unit step for every active job.
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (!batch.active(i)) {
+          continue;
+        }
+        JobRuntime& st = batch.jobs[i];
+        dag::TaskCount done = 0;
+        if (st.migration_debt > 0) {
+          // A migration step: the job holds its allotment but executes
+          // nothing, so the cycles land in idle_cycles (waste) and the
+          // quantum cannot be full.
+          --st.migration_debt;
+        } else {
+          done = st.job->step(batch.allotment[i], execution.order());
+        }
+        ++st.quantum_elapsed;
+        add_cycles_checked(st.held_cycles, batch.allotment[i],
+                           config.context);
+        add_cycles_checked(
+            st.idle_cycles,
+            static_cast<dag::TaskCount>(batch.allotment[i]) - done,
+            config.context);
+        if (done == 0) {
+          ++st.idle_steps;
+        }
       }
     }
-    ++now;
-    ++result.quanta;  // counts unit steps of engine activity
+    now += stride;
+    result.quanta += stride;  // counts unit steps of engine activity
 
     // Post-step events: completions and quantum boundaries.
-    for (JobRuntime& st : states) {
-      if (!st.active) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (!batch.active(i)) {
         continue;
       }
-      const auto job_index =
-          static_cast<std::size_t>(&st - states.data());
+      JobRuntime& st = batch.jobs[i];
       if (st.job->finished()) {
-        finalize_quantum(st, /*finished=*/true);
+        finalize_quantum(i, /*finished=*/true);
         st.trace.completion_step = now;
-        st.active = false;
-        st.done = true;
+        batch.regime[i] = JobRegime::kDone;
         --remaining;
         if (bus != nullptr) {
-          publish_quantum(bus, job_index, st.trace.quanta.back());
-          publish_complete(bus, job_index, now);
+          publish_quantum(bus, i, st.trace.quanta.back());
+          publish_complete(bus, i, now);
         }
         partition_dirty = true;
         continue;
       }
       if (st.quantum_elapsed == st.quantum_target) {
-        finalize_quantum(st, /*finished=*/false);
+        finalize_quantum(i, /*finished=*/false);
         if (bus != nullptr) {
-          publish_quantum(bus, job_index, st.trace.quanta.back());
+          publish_quantum(bus, i, st.trace.quanta.back());
         }
-        st.desire = st.request->next_request(st.trace.quanta.back());
+        batch.desire[i] = st.request->next_request(st.trace.quanta.back());
         if (st.quantum_policy) {
           st.quantum_target =
               st.quantum_policy->next_length(st.trace.quanta.back());
@@ -835,7 +875,7 @@ SimResult run_per_job_quanta(std::vector<JobRuntime>& states,
     }
   }
 
-  aggregate_result(states, result);
+  aggregate_result(batch, result);
   publish_run_end(bus, result.makespan);
   return result;
 }

@@ -19,7 +19,13 @@
 //     admission; the machine is re-partitioned over the active jobs'
 //     requests whenever any event occurs (admission, boundary, completion,
 //     capacity change), so allotments can change mid-quantum and the
-//     recorded per-quantum allotment is a rounded time average.
+//     recorded per-quantum allotment is a rounded time average.  Between
+//     events the system evolves deterministically at fixed allotments, so
+//     the driver plans the distance to the next event (quantum boundary,
+//     completion, admission eligibility, step bound) and advances all
+//     active jobs by that stride in closed form (sim/quantum_eval.hpp) —
+//     O(events + phase transitions) instead of O(steps) — falling back to
+//     unit steps under fault plans and for jobs without a phase view.
 //     Reallocation penalties are charged as *migration debt*: each
 //     repartition that moves a job's processors adds cost·|Δa| pending
 //     migration steps (capped at the quantum length) during which the job
@@ -91,23 +97,31 @@ struct CoreConfig {
   /// boundary iteration.  A cancelled run throws util::CancelledError.
   /// Null — the default — costs one pointer test per boundary.
   const util::CancelToken* cancel = nullptr;
+  /// Per-job driver only: advance in closed-form strides between events
+  /// (sim/quantum_eval.hpp) instead of unit steps.  Outputs are identical
+  /// either way — the differential tests pin it — so false exists as the
+  /// reference mode for those tests and for debugging, not as a feature
+  /// switch.  Fault plans force unit steps regardless.
+  bool skip_ahead = true;
 };
 
-/// Drives `states` to completion with global synchronous quantum
+/// Drives `batch` to completion with global synchronous quantum
 /// boundaries.  The allocator is used as-is (wrappers decide whether to
 /// reset it).
-SimResult run_global_quanta(std::vector<JobRuntime>& states,
-                            const IntakeTotals& totals,
+SimResult run_global_quanta(JobBatch& batch, const IntakeTotals& totals,
                             const sched::ExecutionPolicy& execution,
                             alloc::Allocator& allocator,
                             const CoreConfig& config);
 
-/// Drives `states` to completion with per-job quantum boundaries and
-/// repartition-on-every-event, in unit steps.  Sets
+/// Drives `batch` to completion with per-job quantum boundaries and
+/// repartition-on-every-event.  Time advances in planned strides: between
+/// events (boundaries, completions, admissions, repartitions) the system
+/// is closed-form for phase-structured jobs, so the driver jumps whole
+/// event-free spans at once (config.skip_ahead) and falls back to unit
+/// steps under faults or for jobs without a phase view.  Sets
 /// SimResult::averaged_allotments; `SimResult::quanta` counts unit steps
-/// of engine activity.
-SimResult run_per_job_quanta(std::vector<JobRuntime>& states,
-                             const IntakeTotals& totals,
+/// of engine activity (identical under either advance mode).
+SimResult run_per_job_quanta(JobBatch& batch, const IntakeTotals& totals,
                              const sched::ExecutionPolicy& execution,
                              alloc::Allocator& allocator,
                              const CoreConfig& config);

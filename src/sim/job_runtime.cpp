@@ -7,12 +7,11 @@
 
 namespace abg::sim {
 
-std::vector<JobRuntime> intake_submissions(
-    std::vector<JobSubmission> submissions,
-    const sched::RequestPolicy& request_prototype, const char* context,
-    IntakeTotals& totals) {
-  std::vector<JobRuntime> states;
-  states.reserve(submissions.size());
+JobBatch intake_submissions(std::vector<JobSubmission> submissions,
+                            const sched::RequestPolicy& request_prototype,
+                            const char* context, IntakeTotals& totals) {
+  JobBatch batch;
+  batch.jobs.reserve(submissions.size());
   for (auto& sub : submissions) {
     if (!sub.job) {
       throw std::invalid_argument(std::string(context) + ": null job");
@@ -28,21 +27,24 @@ std::vector<JobRuntime> intake_submissions(
     st.request = st.owned_request.get();
     st.request->reset();
     st.trace.release_step = sub.release_step;
-    st.eligible_step = sub.release_step;
     st.trace.work = st.job->total_work();
     st.trace.critical_path = st.job->critical_path();
     totals.total_work += st.trace.work;
     totals.latest_release = std::max(totals.latest_release, sub.release_step);
-    if (st.job->finished()) {  // zero-work job
-      st.done = true;
+    const bool finished = st.job->finished();
+    if (finished) {  // zero-work job
       st.trace.completion_step = sub.release_step;
     }
-    states.push_back(std::move(st));
+    const std::size_t i = batch.append(std::move(st));
+    batch.eligible_step[i] = sub.release_step;
+    if (finished) {
+      batch.regime[i] = JobRegime::kDone;
+    }
   }
   totals.remaining = static_cast<std::size_t>(
-      std::count_if(states.begin(), states.end(),
-                    [](const JobRuntime& s) { return !s.done; }));
-  return states;
+      std::count_if(batch.regime.begin(), batch.regime.end(),
+                    [](JobRegime r) { return r != JobRegime::kDone; }));
+  return batch;
 }
 
 }  // namespace abg::sim

@@ -1,19 +1,28 @@
-// Per-job runtime state shared by every simulation engine.
+// Per-job runtime state shared by every simulation engine, batched
+// structure-of-arrays.
 //
 // All three engines (single-job, synchronous global quanta, asynchronous
 // per-job quanta) track the same per-job bookkeeping: the executable job,
 // its private clone of the request-policy prototype, the trace being
 // assembled, the feedback desire, admission eligibility and crash/restart
-// flags.  JobRuntime is the union of that state; fields used by only one
-// boundary model are documented as such and cost nothing when unused.
+// flags.  The hot per-boundary passes — admission scans, desire
+// collection, regime counting, stride planning — touch only a few small
+// fields per job, so those live in JobBatch as contiguous lanes (desire,
+// allotment, previous_allotment, eligible_step, regime) the engines sweep
+// cache-line by cache-line, while the cold per-job state (job pointers,
+// policy clones, the growing trace, quantum accumulators) stays in
+// JobRuntime, one element per lane slot.
 //
 // This header is an engine-internal contract (consumed by
 // sim/engine_core.hpp); external code interacts with the engines through
 // sim/quantum_engine.hpp, sim/simulator.hpp and sim/async_simulator.hpp.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "dag/job.hpp"
@@ -23,7 +32,44 @@
 
 namespace abg::sim {
 
-/// Runtime state of one job inside an engine run.
+/// Adds `delta` cycles to an accumulator with an overflow check.  Cycle
+/// counters sum allotment · steps products; at large P over long quanta
+/// (or under a runaway quantum-length policy) they can approach the
+/// TaskCount range, and a silent wrap would corrupt waste accounting —
+/// fail loudly instead.
+inline void add_cycles_checked(dag::TaskCount& acc, dag::TaskCount delta,
+                               const char* what) {
+  dag::TaskCount out = 0;
+  if (__builtin_add_overflow(acc, delta, &out)) {
+    throw std::overflow_error(std::string(what) +
+                              ": cycle accumulator overflow");
+  }
+  acc = out;
+}
+
+/// allotment · steps with an overflow check, for the same accumulators.
+inline dag::TaskCount mul_cycles_checked(dag::TaskCount a, dag::TaskCount b,
+                                         const char* what) {
+  dag::TaskCount out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    throw std::overflow_error(std::string(what) +
+                              ": cycle product overflow");
+  }
+  return out;
+}
+
+/// Lifecycle lane of one batch slot.
+enum class JobRegime : std::uint8_t {
+  /// Submitted but not running: unreleased, queued behind the admission
+  /// cap, or awaiting a post-crash restart.
+  kQueued = 0,
+  /// Admitted and holding a processor allotment.
+  kActive = 1,
+  /// Finished (or zero-work at submission).
+  kDone = 2,
+};
+
+/// Cold runtime state of one job inside an engine run.
 ///
 /// The job and request policy are working pointers: engines that own their
 /// jobs (the multiprogrammed simulators, which take submissions by value)
@@ -41,26 +87,15 @@ struct JobRuntime {
   /// state).  Null when the run uses a fixed quantum length.
   std::unique_ptr<sched::QuantumLengthPolicy> quantum_policy;
   JobTrace trace;
-  int desire = 1;
-  /// Allotment of the previous quantum (or repartition), for reallocation-
-  /// penalty charging; 0 after (re-)admission so the initial placement is
-  /// charged too.
-  int previous_allotment = 0;
-  /// Current allotment (asynchronous engine: held between repartitions).
-  int allotment = 0;
   /// 1-based index of the quantum in flight (or last completed).
   std::int64_t local_quantum = 0;
-  /// Step from which the job may be (re-)admitted: the release step, or
-  /// after a crash the end of the crash quantum plus the restart delay.
-  dag::Steps eligible_step = 0;
   /// A checkpoint-crashed job with preserved policy state resumes with
   /// its last desire instead of first_request() on re-admission.
   bool resumed = false;
-  bool active = false;
-  bool done = false;
 
   // Current-quantum accumulators (asynchronous engine: quanta are counted
-  // from the job's own admission and executed in unit steps).
+  // from the job's own admission and executed in unit steps or planned
+  // strides).
   /// Length of the in-flight quantum (the run's fixed L, or the per-job
   /// quantum-length policy's current choice).
   dag::Steps quantum_target = 0;
@@ -85,6 +120,78 @@ struct JobRuntime {
   }
 };
 
+/// Structure-of-arrays batch of job runtime states.  Lane i and jobs[i]
+/// describe the same submission; lanes are kept in lockstep by append().
+struct JobBatch {
+  /// Current feedback desire d(q) (valid while kActive or resumed).
+  std::vector<int> desire;
+  /// Current allotment (asynchronous engine: held between repartitions).
+  std::vector<int> allotment;
+  /// Allotment of the previous quantum (or repartition), for reallocation-
+  /// penalty charging; 0 after (re-)admission so the initial placement is
+  /// charged too.
+  std::vector<int> previous_allotment;
+  /// Step from which the job may be (re-)admitted: the release step, or
+  /// after a crash the end of the crash quantum plus the restart delay.
+  std::vector<dag::Steps> eligible_step;
+  std::vector<JobRegime> regime;
+  std::vector<JobRuntime> jobs;
+
+  std::size_t size() const { return jobs.size(); }
+  bool empty() const { return jobs.empty(); }
+  bool active(std::size_t i) const { return regime[i] == JobRegime::kActive; }
+  bool done(std::size_t i) const { return regime[i] == JobRegime::kDone; }
+
+  /// Appends one slot with default lanes (desire 1, no allotment,
+  /// eligible at step 0, queued) and returns its index.
+  std::size_t append(JobRuntime runtime) {
+    jobs.push_back(std::move(runtime));
+    desire.push_back(1);
+    allotment.push_back(0);
+    previous_allotment.push_back(0);
+    eligible_step.push_back(0);
+    regime.push_back(JobRegime::kQueued);
+    return jobs.size() - 1;
+  }
+
+  std::size_t active_count() const {
+    std::size_t count = 0;
+    for (const JobRegime r : regime) {
+      count += r == JobRegime::kActive ? 1u : 0u;
+    }
+    return count;
+  }
+
+  /// FCFS admission candidate: the queued job with the lowest eligible
+  /// step (ties by submission order), or size() when none is eligible.
+  /// Candidates are scanned in submission order; releases are not
+  /// required to be sorted.
+  std::size_t next_admission(dag::Steps now) const {
+    std::size_t best = size();
+    for (std::size_t i = 0; i < size(); ++i) {
+      if (regime[i] != JobRegime::kQueued || eligible_step[i] > now) {
+        continue;
+      }
+      if (best == size() || eligible_step[i] < eligible_step[best]) {
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  /// Earliest step at which any unfinished job becomes eligible, for the
+  /// idle fast-path; `bound` when none exists.
+  dag::Steps next_eligible_step(dag::Steps bound) const {
+    dag::Steps next_release = bound;
+    for (std::size_t i = 0; i < size(); ++i) {
+      if (regime[i] != JobRegime::kDone) {
+        next_release = std::min(next_release, eligible_step[i]);
+      }
+    }
+    return next_release;
+  }
+};
+
 /// Totals accumulated while ingesting submissions, needed by the engines'
 /// safety-bound formulas and completion tracking.
 struct IntakeTotals {
@@ -95,15 +202,14 @@ struct IntakeTotals {
   std::size_t remaining = 0;
 };
 
-/// Validates and ingests a submission list into runtime states: each job
+/// Validates and ingests a submission list into a runtime batch: each job
 /// gets its own reset clone of the request prototype, its trace seeded with
 /// release/work/critical-path, and zero-work jobs are marked done at their
 /// release step.  Throws std::invalid_argument (prefixed with `context`)
 /// on a null job or negative release step, matching the engines' historic
 /// messages.
-std::vector<JobRuntime> intake_submissions(
-    std::vector<JobSubmission> submissions,
-    const sched::RequestPolicy& request_prototype, const char* context,
-    IntakeTotals& totals);
+JobBatch intake_submissions(std::vector<JobSubmission> submissions,
+                            const sched::RequestPolicy& request_prototype,
+                            const char* context, IntakeTotals& totals);
 
 }  // namespace abg::sim

@@ -84,14 +84,17 @@ JobTrace run_single_job(dag::Job& job, const sched::ExecutionPolicy& execution,
 
   // A job set of one over the unified core: the caller's job and request
   // policy are borrowed (no owning pointers), the allocator is used as-is.
-  std::vector<JobRuntime> states(1);
-  JobRuntime& st = states.front();
-  st.job = &job;
-  st.request = &request;
-  st.trace.work = job.total_work();
-  st.trace.critical_path = job.critical_path();
+  JobBatch batch;
+  {
+    JobRuntime st;
+    st.job = &job;
+    st.request = &request;
+    st.trace.work = job.total_work();
+    st.trace.critical_path = job.critical_path();
+    batch.append(std::move(st));
+  }
   IntakeTotals totals;
-  totals.total_work = st.trace.work;
+  totals.total_work = batch.jobs.front().trace.work;
   totals.latest_release = 0;
   totals.remaining = 1;
 
@@ -106,7 +109,7 @@ JobTrace run_single_job(dag::Job& job, const sched::ExecutionPolicy& execution,
   core.quantum_length_policy = &quantum_length;
   core.stall_reason = "feedback loop is not making progress";
   core.bus = config.obs.event_bus;
-  SimResult result = run_global_quanta(states, totals, execution, allocator,
+  SimResult result = run_global_quanta(batch, totals, execution, allocator,
                                        core);
   if (config.fault_log_out != nullptr) {
     *config.fault_log_out = std::move(result.fault_log);

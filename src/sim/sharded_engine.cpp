@@ -14,6 +14,7 @@
 #include "sim/engine_core.hpp"
 #include "sim/job_runtime.hpp"
 #include "sim/quantum_engine.hpp"
+#include "sim/quantum_eval.hpp"
 
 namespace abg::sim {
 
@@ -31,42 +32,11 @@ struct SharedConfig {
   dag::Steps reallocation_cost_per_proc = 0;
 };
 
-/// FCFS admission candidate within one group, mirroring engine_core.cpp:
-/// lowest eligible step, ties by submission order.
-std::size_t next_admission(const std::vector<JobRuntime>& states,
-                           dag::Steps now) {
-  std::size_t best = states.size();
-  for (std::size_t i = 0; i < states.size(); ++i) {
-    const JobRuntime& st = states[i];
-    if (st.done || st.active || st.eligible_step > now) {
-      continue;
-    }
-    if (best == states.size() ||
-        st.eligible_step < states[best].eligible_step) {
-      best = i;
-    }
-  }
-  return best;
-}
-
-/// Earliest step at which any unfinished job of the group becomes
-/// eligible; `bound` when none exists.
-dag::Steps next_eligible_step(const std::vector<JobRuntime>& states,
-                              dag::Steps bound) {
-  dag::Steps next_release = bound;
-  for (const JobRuntime& st : states) {
-    if (!st.done) {
-      next_release = std::min(next_release, st.eligible_step);
-    }
-  }
-  return next_release;
-}
-
 /// One allocation group: its members' runtime states, its own allocator,
 /// and a re-entrant quantum loop the coordinator advances epoch by epoch.
 struct GroupEngine {
-  std::vector<JobRuntime> states;
-  /// Original submission index of states[k] (for deterministic merge).
+  JobBatch batch;
+  /// Original submission index of batch slot k (for deterministic merge).
   std::vector<std::size_t> original;
   std::unique_ptr<alloc::Allocator> allocator;
   std::size_t remaining = 0;
@@ -86,13 +56,13 @@ struct GroupEngine {
   /// unknown until admission; one is the conservative floor).
   int aggregated_desire(dag::Steps horizon) const {
     int desire = 0;
-    for (const JobRuntime& st : states) {
-      if (st.done) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch.done(i)) {
         continue;
       }
-      if (st.active) {
-        desire += st.desire;
-      } else if (st.eligible_step < horizon) {
+      if (batch.active(i)) {
+        desire += batch.desire[i];
+      } else if (batch.eligible_step[i] < horizon) {
         desire += 1;
       }
     }
@@ -107,27 +77,21 @@ struct GroupEngine {
     const dag::Steps length = shared.length;
     while (remaining > 0 && now < epoch_end) {
       active_idx.clear();
-      std::size_t active_count = 0;
-      for (const JobRuntime& st : states) {
-        if (st.active) {
-          ++active_count;
-        }
-      }
+      std::size_t active_count = batch.active_count();
       while (active_count < shared.max_active) {
-        const std::size_t best = next_admission(states, now);
-        if (best == states.size()) {
+        const std::size_t best = batch.next_admission(now);
+        if (best == batch.size()) {
           break;
         }
-        JobRuntime& st = states[best];
-        st.active = true;
-        st.desire = st.request->first_request();
+        batch.regime[best] = JobRegime::kActive;
+        batch.desire[best] = batch.jobs[best].request->first_request();
         ++active_count;
       }
-      requests.assign(states.size(), 0);
-      for (std::size_t i = 0; i < states.size(); ++i) {
-        if (states[i].active) {
+      requests.assign(batch.size(), 0);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (batch.active(i)) {
           active_idx.push_back(i);
-          requests[i] = states[i].desire;
+          requests[i] = batch.desire[i];
         }
       }
 
@@ -138,7 +102,7 @@ struct GroupEngine {
         // quanta, and the coordinator simply skips the group until the
         // epoch clock catches up).
         const dag::Steps gap =
-            next_eligible_step(states, shared.max_steps) - now;
+            batch.next_eligible_step(shared.max_steps) - now;
         const dag::Steps quanta_to_skip =
             std::max<dag::Steps>(1, gap / length);
         now += quanta_to_skip * length;
@@ -161,39 +125,23 @@ struct GroupEngine {
 
       feedback.clear();
       for (const std::size_t i : active_idx) {
-        JobRuntime& st = states[i];
+        JobRuntime& st = batch.jobs[i];
         const int allotment = allotments[i];
         ++st.local_quantum;
         const dag::Steps penalty = reallocation_penalty(
-            st.previous_allotment, allotment,
+            batch.previous_allotment[i], allotment,
             shared.reallocation_cost_per_proc, length);
-        st.previous_allotment = allotment;
-        sched::QuantumStats stats;
-        if (penalty < length) {
-          stats = shared.execution->run_quantum(*st.job, st.local_quantum,
-                                                st.desire, allotment,
-                                                length - penalty);
-        } else {
-          stats.index = st.local_quantum;
-          stats.request = st.desire;
-          stats.allotment = allotment;
-          stats.finished = st.job->finished();
-        }
-        stats.length = length;
-        stats.steps_used += penalty;
-        if (penalty > 0) {
-          stats.full = false;  // the migration steps did no work
-        }
-        stats.available = allotment + leftover;
-        stats.start_step = now;
+        batch.previous_allotment[i] = allotment;
+        const sched::QuantumStats stats = quantum_eval::run_allotted_quantum(
+            *st.job, *shared.execution, st.local_quantum, batch.desire[i],
+            allotment, length, penalty, leftover, now);
         st.trace.quanta.push_back(stats);
         executed_work += stats.work;
         allotted_cycles += static_cast<dag::TaskCount>(allotment) *
                            static_cast<dag::TaskCount>(length);
         if (stats.finished) {
           st.trace.completion_step = now + stats.steps_used;
-          st.done = true;
-          st.active = false;
+          batch.regime[i] = JobRegime::kDone;
           --remaining;
         } else {
           feedback.push_back(i);
@@ -207,8 +155,8 @@ struct GroupEngine {
                                  "making progress");
       }
       for (const std::size_t i : feedback) {
-        JobRuntime& st = states[i];
-        st.desire = st.request->next_request(st.trace.quanta.back());
+        JobRuntime& st = batch.jobs[i];
+        batch.desire[i] = st.request->next_request(st.trace.quanta.back());
       }
     }
   }
@@ -273,9 +221,9 @@ SimResult simulate_job_set_sharded(
   std::size_t total_remaining = 0;
   for (std::size_t g = 0; g < group_count; ++g) {
     IntakeTotals group_totals;
-    groups[g].states = intake_submissions(std::move(group_submissions[g]),
-                                          request_prototype, kContext,
-                                          group_totals);
+    groups[g].batch = intake_submissions(std::move(group_submissions[g]),
+                                         request_prototype, kContext,
+                                         group_totals);
     groups[g].remaining = group_totals.remaining;
     totals.total_work += group_totals.total_work;
     totals.latest_release =
@@ -329,8 +277,8 @@ SimResult simulate_job_set_sharded(
     // One submit event per job, in original submission order.
     std::vector<const JobTrace*> traces(n, nullptr);
     for (const GroupEngine& group : groups) {
-      for (std::size_t k = 0; k < group.states.size(); ++k) {
-        traces[group.original[k]] = &group.states[k].trace;
+      for (std::size_t k = 0; k < group.batch.size(); ++k) {
+        traces[group.original[k]] = &group.batch.jobs[k].trace;
       }
     }
     for (std::size_t i = 0; i < n; ++i) {
@@ -418,8 +366,8 @@ SimResult simulate_job_set_sharded(
   double response_sum = 0.0;
   for (GroupEngine& group : groups) {
     result.quanta += group.quanta;
-    for (std::size_t k = 0; k < group.states.size(); ++k) {
-      JobTrace& trace = group.states[k].trace;
+    for (std::size_t k = 0; k < group.batch.size(); ++k) {
+      JobTrace& trace = group.batch.jobs[k].trace;
       result.makespan = std::max(result.makespan, trace.completion_step);
       response_sum += static_cast<double>(trace.response_time());
       result.total_waste += trace.total_waste();
@@ -459,7 +407,7 @@ SimResult simulate_job_set_sharded(
       e.hier_groups = config.hier.groups;
       e.work = groups[g].executed_work;
       e.allotted_cycles = groups[g].allotted_cycles;
-      e.active_jobs = static_cast<std::int64_t>(groups[g].states.size());
+      e.active_jobs = static_cast<std::int64_t>(groups[g].batch.size());
       bus->publish(e);
     }
     obs::Event end;

@@ -23,8 +23,9 @@ SimResult simulate_job_set(std::vector<JobSubmission> submissions,
   allocator.reset();
 
   IntakeTotals totals;
-  std::vector<JobRuntime> states = intake_submissions(
-      std::move(submissions), request_prototype, "simulate_job_set", totals);
+  JobBatch batch = intake_submissions(std::move(submissions),
+                                      request_prototype, "simulate_job_set",
+                                      totals);
 
   // With a quantum-length policy the first boundary is the policy's
   // choice and the derived safety bound is widened to the larger of the
@@ -65,7 +66,7 @@ SimResult simulate_job_set(std::vector<JobSubmission> submissions,
   core.stall_reason = "scheduling is not making progress";
   core.bus = config.obs.event_bus;
   core.cancel = config.cancel;
-  return run_global_quanta(states, totals, execution, allocator, core);
+  return run_global_quanta(batch, totals, execution, allocator, core);
 }
 
 }  // namespace abg::sim

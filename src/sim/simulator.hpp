@@ -135,6 +135,13 @@ struct SimConfig {
   /// util::CancelledError.  Null — the default — is a strict no-op.  Must
   /// outlive the simulation call.
   const util::CancelToken* cancel = nullptr;
+  /// Async engine only: advance in closed-form strides between events
+  /// instead of unit steps (see sim/quantum_eval.hpp).  Results are
+  /// byte-identical either way — false is the stepwise reference mode for
+  /// the differential tests, not a feature switch.  Fault plans force
+  /// unit steps regardless.  The sync engine executes whole quanta in
+  /// closed form already and ignores this field.
+  bool skip_ahead = true;
 };
 
 /// Result of simulating a job set.

@@ -1,0 +1,270 @@
+// Differential suite for the skip-ahead engines: the stride-planned async
+// driver (SimConfig::skip_ahead = true, the default) must produce traces
+// BYTE-IDENTICAL to the stepwise reference driver (skip_ahead = false) on
+// randomized job sets across the whole feature matrix — quantum-length
+// policies, reallocation overhead, admission caps, staggered releases —
+// and a job without a phase view must take the stepwise fallback
+// transparently, inside a batch that otherwise skips ahead.  "Byte
+// identical" is checked on the serialized CSV traces (sim/trace_io.hpp),
+// the same serialization the golden fixtures pin.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "alloc/equipartition.hpp"
+#include "dag/profile_job.hpp"
+#include "fault/fault_plan.hpp"
+#include "sched/a_control.hpp"
+#include "sched/execution_policy.hpp"
+#include "sched/quantum_length.hpp"
+#include "sim/async_simulator.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace_io.hpp"
+#include "util/rng.hpp"
+#include "workload/profiles.hpp"
+
+namespace abg::sim {
+namespace {
+
+/// A ProfileJob with its closed form hidden: no phase view, and the
+/// generic stepwise run_quantum.  Behaviourally identical to the wrapped
+/// profile, so it drives the engines' stepwise fallback with known-good
+/// semantics.
+class OpaqueProfileJob final : public dag::Job {
+ public:
+  explicit OpaqueProfileJob(std::vector<dag::TaskCount> widths)
+      : inner_(std::move(widths)) {}
+
+  bool finished() const override { return inner_.finished(); }
+  dag::TaskCount step(int procs, dag::PickOrder order) override {
+    return inner_.step(procs, order);
+  }
+  // run_quantum: the Job base-class unit-step loop.  phase_view: the null
+  // default.  Both inherited on purpose.
+  dag::TaskCount total_work() const override { return inner_.total_work(); }
+  dag::Steps critical_path() const override {
+    return inner_.critical_path();
+  }
+  dag::TaskCount completed_work() const override {
+    return inner_.completed_work();
+  }
+  double level_progress() const override { return inner_.level_progress(); }
+  dag::TaskCount ready_count() const override {
+    return inner_.ready_count();
+  }
+  std::unique_ptr<dag::Job> fresh_clone() const override {
+    return std::make_unique<OpaqueProfileJob>(inner_.widths());
+  }
+
+ private:
+  dag::ProfileJob inner_;
+};
+
+std::vector<dag::TaskCount> random_profile(util::Rng& rng) {
+  const auto levels = static_cast<std::size_t>(rng.uniform_int(2, 10));
+  std::vector<dag::TaskCount> widths(levels);
+  for (auto& w : widths) {
+    w = rng.uniform_int(1, 60);
+  }
+  return widths;
+}
+
+std::vector<JobSubmission> random_set(std::uint64_t seed, std::size_t jobs,
+                                      bool opaque_mix = false) {
+  util::Rng rng(util::Rng::derive_seed(4242, seed));
+  std::vector<JobSubmission> subs;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    auto widths = random_profile(rng);
+    std::unique_ptr<dag::Job> job;
+    if (opaque_mix && i % 3 == 1) {
+      job = std::make_unique<OpaqueProfileJob>(std::move(widths));
+    } else {
+      job = std::make_unique<dag::ProfileJob>(std::move(widths));
+    }
+    subs.push_back(JobSubmission{
+        std::move(job),
+        static_cast<dag::Steps>(rng.uniform_int(0, 200)),
+        {}});
+  }
+  return subs;
+}
+
+std::string serialize(const SimResult& result) {
+  std::ostringstream os;
+  for (const JobTrace& trace : result.jobs) {
+    write_trace_csv(os, trace);
+    os << "\n";
+  }
+  os << "makespan=" << result.makespan << " quanta=" << result.quanta
+     << " waste=" << result.total_waste
+     << " mrt=" << result.mean_response_time << "\n";
+  return os.str();
+}
+
+/// Runs the identical scenario under both advance modes and requires the
+/// serialized results to match byte for byte.
+void expect_modes_identical(std::uint64_t seed, SimConfig config,
+                            std::size_t jobs, bool opaque_mix = false) {
+  sched::BGreedyExecution exec;
+  sched::AControlRequest proto;
+
+  config.skip_ahead = true;
+  alloc::EquiPartition deq_fast;
+  const SimResult fast = simulate_job_set_async(
+      random_set(seed, jobs, opaque_mix), exec, proto, deq_fast, config);
+
+  config.skip_ahead = false;
+  alloc::EquiPartition deq_slow;
+  const SimResult slow = simulate_job_set_async(
+      random_set(seed, jobs, opaque_mix), exec, proto, deq_slow, config);
+
+  ASSERT_EQ(serialize(fast), serialize(slow)) << "seed " << seed;
+}
+
+TEST(SkipAheadDifferentialTest, PlainRandomSets) {
+  SimConfig config;
+  config.processors = 32;
+  config.quantum_length = 50;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    expect_modes_identical(seed, config, 6);
+  }
+}
+
+TEST(SkipAheadDifferentialTest, SmallQuantaManyBoundaries) {
+  SimConfig config;
+  config.processors = 16;
+  config.quantum_length = 3;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    expect_modes_identical(seed, config, 5);
+  }
+}
+
+TEST(SkipAheadDifferentialTest, AdmissionCapQueuesJobs) {
+  SimConfig config;
+  config.processors = 32;
+  config.quantum_length = 40;
+  config.max_active_jobs = 2;  // forces queue churn and admission events
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    expect_modes_identical(seed, config, 7);
+  }
+}
+
+TEST(SkipAheadDifferentialTest, ReallocationOverheadMigrationDebt) {
+  SimConfig config;
+  config.processors = 24;
+  config.quantum_length = 30;
+  config.reallocation_cost_per_proc = 3;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    expect_modes_identical(seed, config, 6);
+  }
+}
+
+TEST(SkipAheadDifferentialTest, AdaptiveQuantumLengths) {
+  sched::AdaptiveQuantumConfig qc;
+  qc.min_length = 8;
+  qc.max_length = 128;
+  sched::AdaptiveQuantumLength policy(qc);
+  SimConfig config;
+  config.processors = 32;
+  config.quantum_length = 8;
+  config.quantum_length_policy = &policy;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    expect_modes_identical(seed, config, 5);
+  }
+}
+
+TEST(SkipAheadDifferentialTest, OpaqueJobsForceStepwiseFallback) {
+  // A mixed batch: jobs without a phase view drop the whole planner to
+  // unit strides, and the result must still match the pure reference.
+  SimConfig config;
+  config.processors = 32;
+  config.quantum_length = 25;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    expect_modes_identical(seed, config, 6, /*opaque_mix=*/true);
+  }
+}
+
+TEST(SkipAheadDifferentialTest, FaultPlansForceStepwise) {
+  // With a fault plan both modes must take the identical stepwise path —
+  // skip_ahead is documented as a no-op under faults.
+  fault::FaultPlan plan;
+  fault::FaultEvent fail;
+  fail.step = 40;
+  fail.kind = fault::FaultKind::kProcessorFailure;
+  fail.processors = 8;
+  plan.events.push_back(fail);
+  fault::FaultEvent repair;
+  repair.step = 120;
+  repair.kind = fault::FaultKind::kProcessorRepair;
+  repair.processors = 8;
+  plan.events.push_back(repair);
+  fault::FaultEvent crash;
+  crash.step = 90;
+  crash.kind = fault::FaultKind::kJobCrash;
+  crash.job = 1;
+  plan.events.push_back(crash);
+
+  SimConfig config;
+  config.processors = 24;
+  config.quantum_length = 20;
+  config.faults = &plan;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    expect_modes_identical(seed, config, 5);
+  }
+}
+
+/// The combinatorial stress case: everything at once.
+TEST(SkipAheadDifferentialTest, KitchenSink) {
+  sched::AdaptiveQuantumConfig qc;
+  qc.min_length = 5;
+  qc.max_length = 60;
+  sched::AdaptiveQuantumLength policy(qc);
+  SimConfig config;
+  config.processors = 20;
+  config.quantum_length = 10;
+  config.max_active_jobs = 3;
+  config.reallocation_cost_per_proc = 2;
+  config.quantum_length_policy = &policy;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    expect_modes_identical(seed, config, 8, /*opaque_mix=*/true);
+  }
+}
+
+/// The sync engine's whole-quantum path must be unaffected by job opacity:
+/// an opaque job runs through ExecutionPolicy::run_quantum's stepwise
+/// loop and must land on the identical trace as the closed-form profile.
+TEST(SkipAheadDifferentialTest, SyncEngineOpaqueEquivalence) {
+  sched::BGreedyExecution exec;
+  sched::AControlRequest proto;
+  SimConfig config;
+  config.processors = 32;
+  config.quantum_length = 40;
+
+  alloc::EquiPartition deq_a;
+  const SimResult closed = simulate_job_set(
+      random_set(7, 5, /*opaque_mix=*/false), exec, proto, deq_a, config);
+  alloc::EquiPartition deq_b;
+  SimResult opaque;
+  {
+    // Same profiles, every job opaque.
+    util::Rng rng(util::Rng::derive_seed(4242, 7));
+    std::vector<JobSubmission> subs;
+    for (std::size_t i = 0; i < 5; ++i) {
+      auto widths = random_profile(rng);
+      subs.push_back(JobSubmission{
+          std::make_unique<OpaqueProfileJob>(std::move(widths)),
+          static_cast<dag::Steps>(rng.uniform_int(0, 200)),
+          {}});
+    }
+    opaque = simulate_job_set(std::move(subs), exec, proto, deq_b, config);
+  }
+  EXPECT_EQ(serialize(closed), serialize(opaque));
+}
+
+}  // namespace
+}  // namespace abg::sim

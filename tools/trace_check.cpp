@@ -23,6 +23,15 @@
 //                              event with consistent run ids/digests.  A
 //                              crash-torn trailing line is tolerated (and
 //                              reported) — that is the format's contract.
+//   trace_check bench CURRENT BASELINE [--max-regress=R]
+//                              micro-benchmark summary (ResultSink JSON,
+//                              e.g. BENCH_micro_throughput.json): every
+//                              group in BASELINE must exist in CURRENT
+//                              with items_per_second mean no worse than
+//                              (1 - R) x the baseline (default R = 0.3).
+//                              A regression is an invariant violation
+//                              (exit 5), which is what lets CI fail the
+//                              perf smoke on it.
 //
 // Prints one summary line on success.  Exit codes classify the failure so
 // scripts can react without scraping stderr:
@@ -229,6 +238,79 @@ int check_stats(const std::string& path) {
   return 0;
 }
 
+/// Group name -> items_per_second mean of a ResultSink summary document.
+std::map<std::string, double> bench_rates(const Json& doc,
+                                          const std::string& label) {
+  const Json& groups = require(doc, "groups");
+  if (!groups.is_array()) {
+    fail(label + ": groups is not an array");
+  }
+  std::map<std::string, double> rates;
+  for (const Json& group : groups.items()) {
+    const std::string& name = require(group, "group").as_string();
+    const Json& metrics = require(group, "metrics");
+    const Json* rate = metrics.find("items_per_second");
+    if (rate == nullptr) {
+      continue;  // timing-only benchmarks carry no throughput metric
+    }
+    const double mean = require(*rate, "mean").as_number();
+    if (mean < 0) {
+      fail(label + ": group '" + name + "' has negative items_per_second");
+    }
+    rates[name] = mean;
+  }
+  if (rates.empty()) {
+    fail(label + ": no groups with an items_per_second metric");
+  }
+  return rates;
+}
+
+int check_bench(const std::string& current_path,
+                const std::string& baseline_path, double max_regress) {
+  const Json current_doc = Json::parse(read_file(current_path));
+  const Json baseline_doc = Json::parse(read_file(baseline_path));
+  const std::map<std::string, double> current =
+      bench_rates(current_doc, "current");
+  const std::map<std::string, double> baseline =
+      bench_rates(baseline_doc, "baseline");
+  std::int64_t compared = 0;
+  double worst_ratio = 1e300;
+  std::string worst_group;
+  for (const auto& [name, base_rate] : baseline) {
+    const auto found = current.find(name);
+    if (found == current.end()) {
+      fail("baseline group '" + name + "' missing from current results");
+    }
+    ++compared;
+    if (base_rate == 0) {
+      continue;  // nothing to regress against
+    }
+    const double ratio = found->second / base_rate;
+    if (ratio < worst_ratio) {
+      worst_ratio = ratio;
+      worst_group = name;
+    }
+    if (ratio < 1.0 - max_regress) {
+      std::ostringstream msg;
+      msg << "group '" << name << "' regressed: " << found->second
+          << " items/s vs baseline " << base_rate << " ("
+          << static_cast<std::int64_t>((1.0 - ratio) * 100.0)
+          << "% slower, tolerance "
+          << static_cast<std::int64_t>(max_regress * 100.0) << "%)";
+      fail(msg.str());
+    }
+  }
+  std::cout << "trace_check: " << current_path << " ok (" << compared
+            << " groups vs baseline";
+  if (!worst_group.empty()) {
+    std::cout << ", worst '" << worst_group << "' at "
+              << static_cast<std::int64_t>(worst_ratio * 100.0)
+              << "% of baseline";
+  }
+  std::cout << ")\n";
+  return 0;
+}
+
 bool is_hex_digest(const std::string& text) {
   if (text.size() != 16) {
     return false;
@@ -355,9 +437,28 @@ int main(int argc, char** argv) {
     if (args.size() >= 2 && args[0] == "journal") {
       return check_journal(args[1]);
     }
+    if (args.size() >= 3 && args[0] == "bench") {
+      double max_regress = 0.3;
+      for (std::size_t i = 3; i < args.size(); ++i) {
+        const std::string prefix = "--max-regress=";
+        if (args[i].rfind(prefix, 0) == 0) {
+          max_regress = std::stod(args[i].substr(prefix.size()));
+        } else {
+          std::cerr << "trace_check: unknown bench option '" << args[i]
+                    << "'\n";
+          return 2;
+        }
+      }
+      if (max_regress < 0 || max_regress >= 1) {
+        std::cerr << "trace_check: --max-regress must be in [0, 1)\n";
+        return 2;
+      }
+      return check_bench(args[1], args[2], max_regress);
+    }
     std::cerr
         << "usage: trace_check trace|metrics|profile|stats|journal FILE "
-           "[SPAN...]\n";
+           "[SPAN...]\n"
+           "       trace_check bench CURRENT BASELINE [--max-regress=R]\n";
     return 2;
   } catch (const MissingFileError& e) {
     std::cerr << "trace_check: " << target << ": " << e.what() << "\n";
