@@ -1,0 +1,92 @@
+# Importer round-trip: export a scenario's jobs as a JSONL trace,
+# re-import the trace as a new scenario file, and prove
+#
+#   (a) import -> export is idempotent: exporting the imported scenario
+#       reproduces the first trace byte for byte (under a different seed,
+#       because an explicit scenario consumes no randomness), and
+#   (b) sweeping the original and the imported scenario produces
+#       byte-identical result artifacts — same group labels (identity is
+#       the scenario *name*, not the file path), same jobs, same metrics.
+#
+# Expects: -DABG_SWEEP=<path> -DTRACE_CHECK=<path>
+#          -DSCENARIOS_DIR=<repo scenarios/> -DWORK_DIR=<scratch dir>
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(original ${SCENARIOS_DIR}/explicit_tiny.json)
+
+execute_process(
+  COMMAND "${TRACE_CHECK}" export ${original} ${WORK_DIR}/first.jsonl
+          --seed=5
+  RESULT_VARIABLE export_status
+  OUTPUT_QUIET)
+if(NOT export_status EQUAL 0)
+  message(FATAL_ERROR "trace_check export failed (${export_status})")
+endif()
+
+execute_process(
+  COMMAND "${TRACE_CHECK}" import ${WORK_DIR}/first.jsonl
+          ${WORK_DIR}/imported.json
+  RESULT_VARIABLE import_status
+  OUTPUT_QUIET)
+if(NOT import_status EQUAL 0)
+  message(FATAL_ERROR "trace_check import failed (${import_status})")
+endif()
+
+# (a) Re-export under a different seed: an explicit scenario ignores the
+# RNG, so the bytes must match the first export exactly.
+execute_process(
+  COMMAND "${TRACE_CHECK}" export ${WORK_DIR}/imported.json
+          ${WORK_DIR}/second.jsonl --seed=9
+  RESULT_VARIABLE reexport_status
+  OUTPUT_QUIET)
+if(NOT reexport_status EQUAL 0)
+  message(FATAL_ERROR "trace_check re-export failed (${reexport_status})")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK_DIR}/first.jsonl" "${WORK_DIR}/second.jsonl"
+  RESULT_VARIABLE trace_diff)
+if(NOT trace_diff EQUAL 0)
+  message(FATAL_ERROR "export -> import -> export is not idempotent")
+endif()
+
+# (b) Identical sweep artifacts from the original and the imported file.
+set(grid --param scheduler=abg,a-greedy --param allocator=deq,hesrpt
+    --reps=2 --seed=12 --jobs=2 --quiet)
+execute_process(
+  COMMAND "${ABG_SWEEP}" --scenario ${original} ${grid}
+          --jsonl=${WORK_DIR}/original.jsonl
+          --summary=${WORK_DIR}/original.json
+  RESULT_VARIABLE original_status
+  OUTPUT_QUIET)
+if(NOT original_status EQUAL 0)
+  message(FATAL_ERROR "sweep of the original scenario failed "
+                      "(${original_status})")
+endif()
+execute_process(
+  COMMAND "${ABG_SWEEP}" --scenario ${WORK_DIR}/imported.json ${grid}
+          --jsonl=${WORK_DIR}/roundtrip.jsonl
+          --summary=${WORK_DIR}/roundtrip.json
+  RESULT_VARIABLE roundtrip_status
+  OUTPUT_QUIET)
+if(NOT roundtrip_status EQUAL 0)
+  message(FATAL_ERROR "sweep of the imported scenario failed "
+                      "(${roundtrip_status})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK_DIR}/original.jsonl" "${WORK_DIR}/roundtrip.jsonl"
+  RESULT_VARIABLE jsonl_diff)
+if(NOT jsonl_diff EQUAL 0)
+  message(FATAL_ERROR
+          "round-tripped sweep JSONL differs from the original's")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK_DIR}/original.json" "${WORK_DIR}/roundtrip.json"
+  RESULT_VARIABLE summary_diff)
+if(NOT summary_diff EQUAL 0)
+  message(FATAL_ERROR
+          "round-tripped sweep summary differs from the original's")
+endif()

@@ -1,0 +1,55 @@
+# Scenario-axis determinism: the same scenario sweep — one closed library
+# scenario plus the streaming (arrival-block) one, crossed with an
+# allocator axis — run with --jobs=1 and --jobs=4 must produce
+# byte-identical JSONL records and summary JSON.  This extends the
+# sweep-level determinism contract to the scenario front-end: scenario
+# loading (the library cache), generator sampling and the open-factory
+# path all sit inside the per-run derived RNG streams, so thread count
+# must never perturb them.
+#
+# Expects: -DABG_SWEEP=<path> -DSCENARIOS_DIR=<repo scenarios/>
+#          -DWORK_DIR=<scratch dir>
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(grid
+  --scenario ${SCENARIOS_DIR}/explicit_tiny.json
+  --scenario ${SCENARIOS_DIR}/open_poisson_mix.json
+  --param scheduler=abg,a-greedy
+  --param allocator=deq,hesrpt
+  --reps=2 --seed=41 --quiet)
+
+execute_process(
+  COMMAND "${ABG_SWEEP}" ${grid} --jobs=1
+          --jsonl=${WORK_DIR}/serial.jsonl --summary=${WORK_DIR}/serial.json
+  RESULT_VARIABLE serial_status
+  OUTPUT_QUIET)
+if(NOT serial_status EQUAL 0)
+  message(FATAL_ERROR "scenario sweep --jobs=1 failed (${serial_status})")
+endif()
+
+execute_process(
+  COMMAND "${ABG_SWEEP}" ${grid} --jobs=4
+          --jsonl=${WORK_DIR}/pool.jsonl --summary=${WORK_DIR}/pool.json
+  RESULT_VARIABLE pool_status
+  OUTPUT_QUIET)
+if(NOT pool_status EQUAL 0)
+  message(FATAL_ERROR "scenario sweep --jobs=4 failed (${pool_status})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK_DIR}/serial.jsonl" "${WORK_DIR}/pool.jsonl"
+  RESULT_VARIABLE jsonl_diff)
+if(NOT jsonl_diff EQUAL 0)
+  message(FATAL_ERROR
+          "scenario JSONL differs between --jobs=1 and --jobs=4")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK_DIR}/serial.json" "${WORK_DIR}/pool.json"
+  RESULT_VARIABLE summary_diff)
+if(NOT summary_diff EQUAL 0)
+  message(FATAL_ERROR
+          "scenario summary differs between --jobs=1 and --jobs=4")
+endif()

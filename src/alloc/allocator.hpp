@@ -40,6 +40,24 @@ class Allocator {
   /// Resets any cross-quantum state (rotation offsets, profile position).
   virtual void reset() {}
 
+  /// True when the allocator wants remaining-size information; engines
+  /// then call allocate_sized instead of allocate.  Request-only
+  /// allocators (the default) never see sizes, so their call pattern is
+  /// unchanged.
+  virtual bool size_aware() const { return false; }
+
+  /// Size-aware allocation: `remaining[i]` is job i's remaining work (0
+  /// for jobs with no request).  The base implementation ignores the
+  /// sizes and defers to allocate(), so decorators can forward
+  /// unconditionally.  The conservative contract (allotment <= request)
+  /// applies unchanged.
+  virtual std::vector<int> allocate_sized(const std::vector<int>& requests,
+                                          const std::vector<double>& remaining,
+                                          int total_processors) {
+    (void)remaining;
+    return allocate(requests, total_processors);
+  }
+
   /// Human-readable allocator name.
   virtual std::string_view name() const = 0;
 

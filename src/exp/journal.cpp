@@ -71,6 +71,7 @@ std::uint64_t spec_digest(const RunSpec& spec) {
   d.feed(open::to_string(spec.open.arrival));
   d.feed(spec.open.jobs_total);
   d.feed(spec.open.trace_path);
+  d.feed(spec.workload.scenario_path);
   d.feed(static_cast<std::int64_t>(spec.seed_index));
   d.feed(spec.group);
   return d.value();

@@ -26,8 +26,36 @@ std::string to_string(WorkloadKind kind) {
       return "fork-join";
     case WorkloadKind::kSquareWave:
       return "square-wave";
+    case WorkloadKind::kScenario:
+      return "scenario";
   }
   throw std::invalid_argument("unknown WorkloadKind");
+}
+
+std::string to_string(AllocatorKind kind) {
+  switch (kind) {
+    case AllocatorKind::kDefault:
+      return "deq";
+    case AllocatorKind::kRoundRobin:
+      return "rr";
+    case AllocatorKind::kHesrpt:
+      return "hesrpt";
+  }
+  throw std::invalid_argument("unknown AllocatorKind");
+}
+
+AllocatorKind allocator_kind_from_name(const std::string& name) {
+  if (name == "deq" || name == "default") {
+    return AllocatorKind::kDefault;
+  }
+  if (name == "rr" || name == "round-robin") {
+    return AllocatorKind::kRoundRobin;
+  }
+  if (name == "hesrpt") {
+    return AllocatorKind::kHesrpt;
+  }
+  throw std::invalid_argument("unknown allocator '" + name +
+                              "' (expected deq, rr, hesrpt)");
 }
 
 std::string to_string(FaultScenario scenario) {
@@ -85,9 +113,12 @@ WorkloadKind workload_kind_from_name(const std::string& name) {
   if (name == "square-wave" || name == "square_wave") {
     return WorkloadKind::kSquareWave;
   }
+  if (name == "scenario") {
+    return WorkloadKind::kScenario;
+  }
   throw std::invalid_argument(
       "unknown workload '" + name +
-      "' (expected job-set, fork-join, square-wave)");
+      "' (expected job-set, fork-join, square-wave, scenario)");
 }
 
 FaultScenario fault_scenario_from_name(const std::string& name) {

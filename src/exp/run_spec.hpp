@@ -46,6 +46,10 @@ enum class WorkloadKind {
   /// `jobs` square-wave ProfileJobs with randomized amplitudes and phase
   /// lengths (the fault-resilience workload).
   kSquareWave,
+  /// Declarative scenario file (scenario::ScenarioSpec); the spec's
+  /// scenario_path names the file and the scenario owns job generation,
+  /// releases and machine defaults.
+  kScenario,
 };
 
 /// Release-time schedule applied to a closed workload's submissions
@@ -75,6 +79,10 @@ struct WorkloadSpec {
   /// kStaggered: the fixed inter-release gap; kPoisson: the mean
   /// inter-release gap (both in steps).
   double release_gap = 0.0;
+  /// kScenario: path of the scenario file to load (scenario::load_cached).
+  /// The scenario's own release schedule applies; the generic release
+  /// fields above are ignored for scenario workloads.
+  std::string scenario_path;
 };
 
 /// Machine parameters of a run.
@@ -121,7 +129,13 @@ enum class AllocatorKind {
   kDefault,
   /// Round-robin (the other fair allocator the benches compare against).
   kRoundRobin,
+  /// Size-aware heSRPT-style shares (alloc::HeSrpt): rank jobs by
+  /// remaining work and split the machine along (k/n)^(1/p) boundaries.
+  kHesrpt,
 };
+
+std::string to_string(AllocatorKind kind);
+AllocatorKind allocator_kind_from_name(const std::string& name);
 
 /// Failure-injection hooks for robustness tests.  Never part of a spec's
 /// digest: they change how a run *executes*, not what it computes, and

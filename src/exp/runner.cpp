@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "alloc/hesrpt.hpp"
 #include "alloc/round_robin.hpp"
 #include "exp/journal.hpp"
 #include "exp/thread_pool.hpp"
@@ -18,6 +19,8 @@
 #include "obs/metrics_sink.hpp"
 #include "fault/resilience.hpp"
 #include "metrics/lower_bounds.hpp"
+#include "scenario/generators.hpp"
+#include "scenario/library.hpp"
 #include "sim/validate.hpp"
 #include "util/rng.hpp"
 #include "workload/arrivals.hpp"
@@ -109,6 +112,18 @@ std::vector<sim::JobSubmission> build_workload(const RunSpec& spec,
         subs.push_back(std::move(s));
       }
       break;
+    }
+    case WorkloadKind::kScenario: {
+      if (spec.workload.scenario_path.empty()) {
+        throw std::invalid_argument(
+            "RunSpec: scenario workload needs a scenario_path");
+      }
+      const scenario::ScenarioSpec& scenario =
+          scenario::load_cached(spec.workload.scenario_path);
+      // The scenario owns the release schedule, so the generic release
+      // block below must not touch these submissions.
+      return scenario::generate_jobs(scenario, rng, spec.machine.processors,
+                                     spec.machine.quantum_length);
     }
   }
   if (subs.empty()) {
@@ -333,12 +348,27 @@ RunRecord execute_run(const RunSpec& spec, std::uint64_t base_seed,
     open_config.load = spec.workload.load;
     open_config.bus = &bus;
     open_config.cancel = context.cancel;
+    open::JobFactory factory;  // null = the engine's default workload
+    if (spec.workload.kind == WorkloadKind::kScenario) {
+      if (spec.workload.scenario_path.empty()) {
+        throw std::invalid_argument(
+            "RunSpec: scenario workload needs a scenario_path");
+      }
+      factory = scenario::make_open_factory(
+          scenario::load_cached(spec.workload.scenario_path),
+          spec.machine.processors, spec.machine.quantum_length);
+    }
     alloc::RoundRobin round_robin;
+    alloc::HeSrpt hesrpt;
+    alloc::Allocator* const machine =
+        spec.allocator == AllocatorKind::kRoundRobin
+            ? static_cast<alloc::Allocator*>(&round_robin)
+            : spec.allocator == AllocatorKind::kHesrpt
+                  ? static_cast<alloc::Allocator*>(&hesrpt)
+                  : nullptr;
     const open::OpenResult result = core::run_open(
         make_scheduler(spec.scheduler, spec.scheduler_params), open_config,
-        seed, nullptr,
-        spec.allocator == AllocatorKind::kRoundRobin ? &round_robin
-                                                     : nullptr);
+        seed, factory, machine);
     append_open_metrics(result, record);
     return record;
   }
@@ -377,11 +407,15 @@ RunRecord execute_run(const RunSpec& spec, std::uint64_t base_seed,
     sim::SimConfig run_config = config;
     run_config.faults = plan;
     alloc::RoundRobin round_robin;
+    alloc::HeSrpt hesrpt;
     return core::run_set(
         make_scheduler(spec.scheduler, spec.scheduler_params),
         std::move(subs), run_config,
-        spec.allocator == AllocatorKind::kRoundRobin ? &round_robin
-                                                     : nullptr);
+        spec.allocator == AllocatorKind::kRoundRobin
+            ? static_cast<alloc::Allocator*>(&round_robin)
+            : spec.allocator == AllocatorKind::kHesrpt
+                  ? static_cast<alloc::Allocator*>(&hesrpt)
+                  : nullptr);
   };
 
   if (spec.faults.scenario == FaultScenario::kNone) {

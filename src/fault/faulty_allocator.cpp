@@ -19,6 +19,24 @@ std::vector<int> FaultyAllocator::allocate(const std::vector<int>& requests,
                                            int total_processors) {
   std::vector<int> allotments =
       inner_->allocate(requests, injector_->capacity(total_processors));
+  apply_revocation_caps(allotments);
+  return allotments;
+}
+
+bool FaultyAllocator::size_aware() const { return inner_->size_aware(); }
+
+std::vector<int> FaultyAllocator::allocate_sized(
+    const std::vector<int>& requests, const std::vector<double>& remaining,
+    int total_processors) {
+  // The same shrink-only transform as allocate(): the inner allocator
+  // sees the fault-reduced machine, sizes pass through untouched.
+  std::vector<int> allotments = inner_->allocate_sized(
+      requests, remaining, injector_->capacity(total_processors));
+  apply_revocation_caps(allotments);
+  return allotments;
+}
+
+void FaultyAllocator::apply_revocation_caps(std::vector<int>& allotments) {
   last_revoked_ = 0;
   if (injector_->revocation_active()) {
     for (std::size_t i = 0; i < allotments.size(); ++i) {
@@ -29,7 +47,6 @@ std::vector<int> FaultyAllocator::allocate(const std::vector<int>& requests,
       }
     }
   }
-  return allotments;
 }
 
 int FaultyAllocator::pool(int total_processors) const {

@@ -32,6 +32,10 @@ class FaultyAllocator final : public alloc::Allocator {
 
   std::vector<int> allocate(const std::vector<int>& requests,
                             int total_processors) override;
+  bool size_aware() const override;
+  std::vector<int> allocate_sized(const std::vector<int>& requests,
+                                  const std::vector<double>& remaining,
+                                  int total_processors) override;
   int pool(int total_processors) const override;
   void reset() override;
   std::string_view name() const override { return name_; }
@@ -46,6 +50,8 @@ class FaultyAllocator final : public alloc::Allocator {
   const alloc::Allocator& inner() const { return *inner_; }
 
  private:
+  void apply_revocation_caps(std::vector<int>& allotments);
+
   std::unique_ptr<alloc::Allocator> owned_;  // null for the non-owning form
   alloc::Allocator* inner_;
   const FaultInjector* injector_;

@@ -372,8 +372,18 @@ OpenResult run_stream(const sched::ExecutionPolicy& execution,
       }
     }
     const int pool = allocator.pool(config.processors);
-    const std::vector<int> allotments =
-        allocator.allocate(requests, config.processors);
+    std::vector<int> allotments;
+    if (allocator.size_aware()) {
+      std::vector<double> remaining(slots.size(), 0.0);
+      for (const std::size_t i : active_idx) {
+        remaining[i] = static_cast<double>(slots[i].job->total_work() -
+                                           slots[i].job->completed_work());
+      }
+      allotments =
+          allocator.allocate_sized(requests, remaining, config.processors);
+    } else {
+      allotments = allocator.allocate(requests, config.processors);
+    }
     int assigned = 0;
     for (const int a : allotments) {
       assigned += a;

@@ -1,0 +1,46 @@
+// Compiles a ScenarioSpec into runnable workloads.
+//
+// Closed runs get a sim::JobSubmission vector (jobs plus release steps);
+// open runs get an open::JobFactory that materializes one job per arrival
+// and scales its size by the arrival's work_scale.  Both paths draw only
+// from the Rng they are handed, so a scenario run is a pure function of
+// (scenario file, seed) — the library's standard determinism contract.
+#pragma once
+
+#include <vector>
+
+#include "open/streaming_engine.hpp"
+#include "scenario/spec.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace abg::scenario {
+
+/// Generates the scenario's closed job set.  `processors` and `quantum`
+/// resolve the spec's machine-relative defaults (oscillator high = P,
+/// half-period = L, sublinear max_width = P); pass the values the run
+/// will simulate under.  Throws std::invalid_argument when the spec is
+/// structurally invalid.
+std::vector<sim::JobSubmission> generate_jobs(const ScenarioSpec& spec,
+                                              util::Rng& rng, int processors,
+                                              dag::Steps quantum);
+
+/// Wraps the scenario's per-job generator as an open-system job factory:
+/// every arrival draws one job from the generator (release schedules and
+/// the `jobs` count do not apply — the arrival process owns timing).  An
+/// explicit scenario draws uniformly from its literal job list.
+open::JobFactory make_open_factory(const ScenarioSpec& spec, int processors,
+                                   dag::Steps quantum);
+
+/// The level-width profile of one generated job (exposed for the
+/// trace exporter and tests).  `work_scale` multiplies the job's size
+/// (level counts / work targets) the way open arrivals do; pass 1.0 for
+/// closed runs.  kExplicit ignores the rng and reads `job_index` modulo
+/// the literal list; other generators ignore `job_index`.
+std::vector<dag::TaskCount> sample_profile(const ScenarioSpec& spec,
+                                           util::Rng& rng, int processors,
+                                           dag::Steps quantum,
+                                           double work_scale,
+                                           std::size_t job_index);
+
+}  // namespace abg::scenario

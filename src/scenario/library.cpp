@@ -1,0 +1,46 @@
+#include "scenario/library.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace abg::scenario {
+
+namespace {
+
+std::mutex& cache_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::map<std::string, std::unique_ptr<const ScenarioSpec>>& cache() {
+  static std::map<std::string, std::unique_ptr<const ScenarioSpec>> entries;
+  return entries;
+}
+
+}  // namespace
+
+const ScenarioSpec& load_cached(const std::string& path) {
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex());
+    const auto found = cache().find(path);
+    if (found != cache().end()) {
+      return *found->second;
+    }
+  }
+  // Parse outside the lock so a slow or failing load never serializes
+  // unrelated lookups; a racing duplicate parse is benign (first insert
+  // wins, the copies are identical).
+  auto loaded = std::make_unique<const ScenarioSpec>(
+      ScenarioSpec::load_file(path));
+  const std::lock_guard<std::mutex> lock(cache_mutex());
+  const auto [it, inserted] = cache().emplace(path, std::move(loaded));
+  return *it->second;
+}
+
+void clear_cache() {
+  const std::lock_guard<std::mutex> lock(cache_mutex());
+  cache().clear();
+}
+
+}  // namespace abg::scenario

@@ -1,0 +1,26 @@
+// Process-wide scenario cache.
+//
+// A sweep grid references the same scenario file from hundreds of cells
+// executing on a thread pool; parsing the file once and sharing the
+// immutable spec keeps the per-run cost at a map lookup.  Entries are
+// keyed by the path string as given (no canonicalization — two spellings
+// of one path are two entries, which is only a cache miss, never an
+// error).
+#pragma once
+
+#include <string>
+
+#include "scenario/spec.hpp"
+
+namespace abg::scenario {
+
+/// Loads `path` through the process-wide cache (thread-safe).  The
+/// returned reference stays valid for the process lifetime.  Throws what
+/// ScenarioSpec::load_file throws on the first load; failed loads are not
+/// cached, so a corrected file can be retried.
+const ScenarioSpec& load_cached(const std::string& path);
+
+/// Drops every cached entry (tests that rewrite scenario files).
+void clear_cache();
+
+}  // namespace abg::scenario

@@ -1,0 +1,184 @@
+// Declarative workload descriptions ("scenarios") parsed from JSON.
+//
+// A scenario file turns a workload into *data*: it names a generator
+// family, its parameters, and optional machine / release / arrival
+// defaults, and the library compiles it into the same sim::JobSubmission
+// vectors (closed runs) or open::JobFactory (streaming runs) the C++
+// workload generators produce.  Adding a workload to a sweep or bench is
+// then a new JSON file under scenarios/, not a code change.
+//
+// Generator families (ISSUE/PAPERS-named):
+//   * multiphase  — jobs that alternate phases of fixed per-phase
+//                   parallelism (Vaze, "Scheduling for Multi-Phase
+//                   Parallelizable Jobs"): each phase gives a width range
+//                   and a length range sampled per job.
+//   * sublinear   — job classes with sublinear speedup s(k) ~ k^alpha
+//                   (Berg et al., heSRPT): approximated by a geometric
+//                   staircase profile, widest phases first, with level
+//                   counts ~ w^(alpha-2) so most work sits at narrow
+//                   widths when alpha < 1.
+//   * mapreduce   — map/shuffle/reduce DAG phases: a wide map phase, a
+//                   serial shuffle barrier, and a reduce phase.
+//   * oscillator  — adversarial parallelism square waves near the C_L
+//                   bound: half-periods tied to the quantum length so the
+//                   profile transitions exactly when a quantum-based
+//                   scheduler has committed its allotment.
+//   * explicit    — literal per-job (release, [[width, levels], ...])
+//                   lists; the importer's output format.  Consumes no
+//                   randomness, so imported traces replay exactly.
+//
+// Determinism: sampling draws only from the Rng handed to the generator,
+// and a Range whose bounds coincide consumes no randomness, so a fully
+// pinned scenario is identical at every seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dag/job.hpp"
+#include "open/arrival_process.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace abg::scenario {
+
+/// Inclusive integer range sampled per job.  Parses from a JSON scalar
+/// (`5` -> [5, 5]) or a two-element array (`[2, 8]`).  A degenerate range
+/// consumes no randomness when sampled.
+struct Range {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  static Range fixed(std::int64_t value) { return Range{value, value}; }
+  bool is_fixed() const { return lo == hi; }
+  std::int64_t sample(util::Rng& rng) const;
+
+  static Range from_json(const util::Json& value, const std::string& where);
+  util::Json to_json() const;
+};
+
+/// Generator families.
+enum class GeneratorKind {
+  kMultiphase,
+  kSublinear,
+  kMapReduce,
+  kOscillator,
+  kExplicit,
+};
+
+/// Canonical lower-case names ("multiphase", "sublinear", "mapreduce",
+/// "oscillator", "explicit").
+std::string to_string(GeneratorKind kind);
+GeneratorKind generator_kind_from_name(const std::string& name);
+
+/// One phase of a multiphase job: `levels` levels of width `width`.
+struct PhaseSpec {
+  Range width = Range::fixed(1);
+  Range levels = Range::fixed(1);
+};
+
+/// One sublinear-speedup job class.
+struct ClassSpec {
+  /// Speedup exponent alpha in (0, 1]: s(k) ~ k^alpha.
+  double alpha = 0.5;
+  /// Total work target of a job of this class (tasks).
+  Range work = Range::fixed(100000);
+  /// Maximum parallelism (top of the staircase); 0 = machine size P.
+  Range max_width = Range::fixed(0);
+  /// Relative probability of drawing this class.
+  double weight = 1.0;
+};
+
+/// One literal phase of an explicit job.
+struct ExplicitPhase {
+  std::int64_t width = 1;
+  std::int64_t levels = 1;
+};
+
+/// One literal job of an explicit scenario.
+struct ExplicitJob {
+  dag::Steps release = 0;
+  std::vector<ExplicitPhase> phases;
+};
+
+/// Release-time schedule for closed runs (mirrors exp::ReleaseKind without
+/// depending on exp; the scenario layer sits below the experiment layer).
+enum class ReleaseSchedule { kBatched, kStaggered, kPoisson };
+
+std::string to_string(ReleaseSchedule schedule);
+ReleaseSchedule release_schedule_from_name(const std::string& name);
+
+/// Optional machine defaults a scenario may carry.  0 = unspecified (the
+/// consumer's --processors / --quantum or its defaults apply).
+struct MachineDefaults {
+  int processors = 0;
+  dag::Steps quantum = 0;
+};
+
+/// Release schedule of the generated jobs (closed runs; ignored when the
+/// consumer engages the open axis).
+struct ReleaseSpec {
+  ReleaseSchedule schedule = ReleaseSchedule::kBatched;
+  /// kStaggered: fixed gap; kPoisson: mean gap (steps).
+  double gap = 0.0;
+};
+
+/// Optional open-system defaults: when `kind != kNone` the scenario asks
+/// to be streamed through the open engine with this arrival process
+/// (consumers may override via their own --arrival axis).
+struct ArrivalSpec {
+  open::ArrivalKind kind = open::ArrivalKind::kNone;
+  /// Arrivals to stream (0 = consumer default).
+  std::int64_t jobs_total = 0;
+  /// Offered load the arrival gap is calibrated to (0 = consumer default).
+  double load = 0.0;
+};
+
+/// A parsed scenario file.
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  GeneratorKind generator = GeneratorKind::kMultiphase;
+  /// Number of jobs to generate (closed runs; kExplicit uses the literal
+  /// job list instead).
+  int jobs = 1;
+  MachineDefaults machine;
+  ReleaseSpec release;
+  ArrivalSpec arrival;
+
+  // Generator payloads (only the active generator's member is used).
+  std::vector<PhaseSpec> phases;        // kMultiphase
+  std::vector<ClassSpec> classes;       // kSublinear
+  Range maps = Range::fixed(32);        // kMapReduce
+  Range map_levels = Range::fixed(400);
+  Range shuffle_levels = Range::fixed(200);
+  Range reduces = Range::fixed(8);
+  Range reduce_levels = Range::fixed(400);
+  Range osc_low = Range::fixed(1);      // kOscillator
+  Range osc_high = Range::fixed(0);     // 0 = machine size P
+  Range half_period = Range::fixed(0);  // steps; 0 = quantum length L
+  Range periods = Range::fixed(8);
+  std::vector<ExplicitJob> explicit_jobs;  // kExplicit
+
+  /// Parses and validates a scenario document; throws
+  /// std::invalid_argument naming the offending field.
+  static ScenarioSpec from_json(const util::Json& doc);
+
+  /// Serializes in the exact shape from_json accepts (round-trip exact).
+  util::Json to_json() const;
+
+  /// Loads from a file; throws std::runtime_error when unreadable and
+  /// std::invalid_argument (prefixed with the path) on malformed content.
+  static ScenarioSpec load_file(const std::string& path);
+
+  /// Atomically writes to_json() to `path`.
+  void save_file(const std::string& path) const;
+
+  /// Structural validation (called by from_json; public so
+  /// programmatically built specs can self-check).  Throws
+  /// std::invalid_argument on the first violation.
+  void validate() const;
+};
+
+}  // namespace abg::scenario

@@ -5,6 +5,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "fault/fault_injector.hpp"
 #include "fault/faulty_allocator.hpp"
@@ -198,9 +199,26 @@ void commit_crash(fault::FaultLog& log, const fault::CrashRecord& record) {
   log.discarded_cycles += record.discarded_cycles;
 }
 
+/// Per-slot remaining work for a size-aware allocator: total minus
+/// completed for active jobs, 0 for everything else.  `buffer` is reused
+/// across quanta to keep the hot path allocation-free.
+const std::vector<double>& remaining_work(const JobBatch& batch,
+                                          std::vector<double>& buffer) {
+  buffer.assign(batch.size(), 0.0);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch.active(i)) {
+      const JobRuntime& st = batch.jobs[i];
+      buffer[i] = static_cast<double>(st.job->total_work() -
+                                      st.job->completed_work());
+    }
+  }
+  return buffer;
+}
+
 /// Moves per-job traces into the result and derives the aggregate metrics
 /// (identical in both boundary models).
 void aggregate_result(JobBatch& batch, SimResult& result) {
+  batch.flush_quanta();
   double response_sum = 0.0;
   for (JobRuntime& st : batch.jobs) {
     result.makespan = std::max(result.makespan, st.trace.completion_step);
@@ -236,7 +254,10 @@ SimResult run_global_quanta(JobBatch& batch, const IntakeTotals& totals,
   dag::Steps length = config.quantum_length;
   std::vector<std::size_t> active_idx;
   std::vector<int> requests;
-  std::vector<std::size_t> feedback;
+  std::vector<double> sized;
+  // (job, staged slot) pairs whose feedback is deferred past the bound
+  // check below.
+  std::vector<std::pair<std::size_t, std::size_t>> feedback;
   std::size_t remaining = totals.remaining;
 
   while (remaining > 0) {
@@ -252,6 +273,9 @@ SimResult run_global_quanta(JobBatch& batch, const IntakeTotals& totals,
     // non-running jobs are no-ops, so laziness is sound.
     fault::WindowFaults window;
     if (faulty) {
+      // Crash recovery below reads and may clear traces mid-run, so a
+      // faulty run keeps them materialized every boundary.
+      batch.flush_quanta();
       window = session.injector->advance(now, now + length);
       log_window_events(window, log, bus);
       log.min_capacity = std::min(
@@ -308,7 +332,10 @@ SimResult run_global_quanta(JobBatch& batch, const IntakeTotals& totals,
     ++result.quanta;
     const int pool = machine.pool(config.processors);
     const std::vector<int> allotments =
-        machine.allocate(requests, config.processors);
+        machine.size_aware()
+            ? machine.allocate_sized(requests, remaining_work(batch, sized),
+                                     config.processors)
+            : machine.allocate(requests, config.processors);
     int assigned = 0;
     for (const int a : allotments) {
       assigned += a;
@@ -417,7 +444,7 @@ SimResult run_global_quanta(JobBatch& batch, const IntakeTotals& totals,
       const sched::QuantumStats stats = quantum_eval::run_allotted_quantum(
           *st.job, execution, st.local_quantum, batch.desire[i], allotment,
           length, penalty, leftover, now);
-      st.trace.quanta.push_back(stats);
+      const std::size_t slot = batch.stage_quantum(i, stats);
       if (bus != nullptr) {
         publish_quantum(bus, i, stats);
       }
@@ -439,7 +466,7 @@ SimResult run_global_quanta(JobBatch& batch, const IntakeTotals& totals,
           publish_complete(bus, i, st.trace.completion_step);
         }
       } else {
-        feedback.push_back(i);
+        feedback.emplace_back(i, slot);
       }
     }
 
@@ -454,10 +481,11 @@ SimResult run_global_quanta(JobBatch& batch, const IntakeTotals& totals,
     // caller-owned) request policy again — the historic single-job
     // contract.  Each job has its own policy state, so the deferral is
     // otherwise unobservable.
-    for (const std::size_t i : feedback) {
+    for (const auto& [i, slot] : feedback) {
       JobRuntime& st = batch.jobs[i];
-      batch.desire[i] = st.request->next_request(st.trace.quanta.back());
+      batch.desire[i] = st.request->next_request(batch.staged(slot));
     }
+    batch.maybe_flush();
     if (config.quantum_length_policy != nullptr && remaining > 0) {
       if (qlen_count == 1 && qlen_sole_valid) {
         length = config.quantum_length_policy->next_length(qlen_sole);
@@ -516,6 +544,7 @@ SimResult run_per_job_quanta(JobBatch& batch, const IntakeTotals& totals,
   fault::FaultLog& log = result.fault_log;
   dag::Steps now = 0;
   bool partition_dirty = true;
+  std::vector<double> sized;
   std::size_t remaining = totals.remaining;
 
   // Rounded-up allotted cycles of the in-flight quantum, matching how
@@ -526,7 +555,9 @@ SimResult run_per_job_quanta(JobBatch& batch, const IntakeTotals& totals,
     return procs * static_cast<dag::TaskCount>(st.quantum_target);
   };
 
-  auto finalize_quantum = [&](std::size_t i, bool finished) {
+  // Stages the record and returns its slot so callers can publish from /
+  // amend the staged copy until the next flush.
+  auto finalize_quantum = [&](std::size_t i, bool finished) -> std::size_t {
     JobRuntime& st = batch.jobs[i];
     sched::QuantumStats stats;
     stats.index = st.local_quantum;
@@ -544,13 +575,13 @@ SimResult run_per_job_quanta(JobBatch& batch, const IntakeTotals& totals,
     stats.request = std::max(stats.request, stats.allotment);
     stats.available = stats.allotment;
     stats.full = !finished && st.idle_steps == 0 && stats.allotment > 0;
-    st.trace.quanta.push_back(stats);
     if (faulty) {
       // Mirror the trace's rounded accounting so the balance identity
       // holds exactly against total_allotted()/total_waste().
       log.allotted_cycles += static_cast<dag::TaskCount>(stats.allotment) *
                              static_cast<dag::TaskCount>(st.quantum_target);
     }
+    return batch.stage_quantum(i, stats);
   };
 
   // Opens a fresh quantum for the job at the current step.
@@ -576,6 +607,10 @@ SimResult run_per_job_quanta(JobBatch& batch, const IntakeTotals& totals,
     // next iteration, which is sound: failures/repairs net out and a
     // crash can only hit an active job.
     if (faulty) {
+      // Crash recovery below reads and may clear traces mid-run, and
+      // admission continues a checkpointed trace's quantum numbering, so a
+      // faulty run keeps traces materialized every step.
+      batch.flush_quanta();
       const fault::WindowFaults window = session.injector->advance(now, now + 1);
       log_window_events(window, log, bus);
       log.min_capacity = std::min(
@@ -595,11 +630,11 @@ SimResult run_per_job_quanta(JobBatch& batch, const IntakeTotals& totals,
         if (config.faults->work_loss == fault::WorkLoss::kCheckpointQuantum) {
           // The work executed so far survives (there is no rollback in a
           // live DAG): close the in-flight quantum early as a checkpoint.
-          finalize_quantum(j, /*finished=*/false);
-          st.trace.quanta.back().steps_used = st.quantum_elapsed;
-          st.trace.quanta.back().full = false;
+          const std::size_t slot = finalize_quantum(j, /*finished=*/false);
+          batch.staged_mutable(slot).steps_used = st.quantum_elapsed;
+          batch.staged_mutable(slot).full = false;
           if (bus != nullptr) {
-            publish_quantum(bus, j, st.trace.quanta.back());
+            publish_quantum(bus, j, batch.staged(slot));
           }
         } else {
           // Restart from scratch: the whole trace so far, including the
@@ -683,7 +718,11 @@ SimResult run_per_job_quanta(JobBatch& batch, const IntakeTotals& totals,
         }
       }
       const std::vector<int> allotments =
-          machine.allocate(requests, config.processors);
+          machine.size_aware()
+              ? machine.allocate_sized(requests,
+                                       remaining_work(batch, sized),
+                                       config.processors)
+              : machine.allocate(requests, config.processors);
       for (std::size_t i = 0; i < batch.size(); ++i) {
         if (!batch.active(i)) {
           continue;
@@ -837,26 +876,26 @@ SimResult run_per_job_quanta(JobBatch& batch, const IntakeTotals& totals,
       }
       JobRuntime& st = batch.jobs[i];
       if (st.job->finished()) {
-        finalize_quantum(i, /*finished=*/true);
+        const std::size_t slot = finalize_quantum(i, /*finished=*/true);
         st.trace.completion_step = now;
         batch.regime[i] = JobRegime::kDone;
         --remaining;
         if (bus != nullptr) {
-          publish_quantum(bus, i, st.trace.quanta.back());
+          publish_quantum(bus, i, batch.staged(slot));
           publish_complete(bus, i, now);
         }
         partition_dirty = true;
         continue;
       }
       if (st.quantum_elapsed == st.quantum_target) {
-        finalize_quantum(i, /*finished=*/false);
+        const std::size_t slot = finalize_quantum(i, /*finished=*/false);
         if (bus != nullptr) {
-          publish_quantum(bus, i, st.trace.quanta.back());
+          publish_quantum(bus, i, batch.staged(slot));
         }
-        batch.desire[i] = st.request->next_request(st.trace.quanta.back());
+        batch.desire[i] = st.request->next_request(batch.staged(slot));
         if (st.quantum_policy) {
           st.quantum_target =
-              st.quantum_policy->next_length(st.trace.quanta.back());
+              st.quantum_policy->next_length(batch.staged(slot));
           if (st.quantum_target < 1) {
             throw std::logic_error(
                 std::string(config.context) +
@@ -868,6 +907,7 @@ SimResult run_per_job_quanta(JobBatch& batch, const IntakeTotals& totals,
         partition_dirty = true;
       }
     }
+    batch.maybe_flush();
 
     if (remaining > 0 && now >= max_steps) {
       throw std::runtime_error(std::string(config.context) +

@@ -120,6 +120,12 @@ struct JobRuntime {
   }
 };
 
+/// One quantum record awaiting its flush into the owning job's trace.
+struct PendingQuantum {
+  std::uint32_t job = 0;
+  sched::QuantumStats stats;
+};
+
 /// Structure-of-arrays batch of job runtime states.  Lane i and jobs[i]
 /// describe the same submission; lanes are kept in lockstep by append().
 struct JobBatch {
@@ -189,6 +195,47 @@ struct JobBatch {
       }
     }
     return next_release;
+  }
+
+  // Batched trace appends.  The engine hot loops append one QuantumStats
+  // per job per boundary into per-job trace vectors — a scattered write
+  // pattern on wide batches.  stage_quantum() buffers the records in one
+  // contiguous pending lane instead; flush_quanta() distributes them in
+  // staging order, so a trace is byte-identical to one built by direct
+  // push_back (the golden fixtures pin this).  Engines flush at epoch
+  // boundaries: when the buffer reaches kFlushCapacity, before any code
+  // path that reads or clears a trace mid-run (crash recovery), and at
+  // aggregation.
+  std::vector<PendingQuantum> pending;
+  static constexpr std::size_t kFlushCapacity = 4096;
+
+  /// Buffers one quantum record for job `i`; returns its slot for
+  /// staged()/staged_mutable() reads until the next flush.
+  std::size_t stage_quantum(std::size_t i,
+                            const sched::QuantumStats& stats) {
+    pending.push_back(PendingQuantum{static_cast<std::uint32_t>(i), stats});
+    return pending.size() - 1;
+  }
+
+  const sched::QuantumStats& staged(std::size_t slot) const {
+    return pending[slot].stats;
+  }
+  sched::QuantumStats& staged_mutable(std::size_t slot) {
+    return pending[slot].stats;
+  }
+
+  /// Moves every pending record into its job's trace, in staging order.
+  void flush_quanta() {
+    for (const PendingQuantum& p : pending) {
+      jobs[p.job].trace.quanta.push_back(p.stats);
+    }
+    pending.clear();
+  }
+
+  void maybe_flush() {
+    if (pending.size() >= kFlushCapacity) {
+      flush_quanta();
+    }
   }
 };
 

@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace abg::util {
@@ -132,6 +133,41 @@ double Cli::get_positive_double(const std::string& name,
                                 get(name, "") + "'");
   }
   return value;
+}
+
+std::vector<std::string> Cli::names() const {
+  std::vector<std::string> out;
+  out.reserve(flags_.size());
+  for (const auto& [name, values] : flags_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+void Cli::reject_unknown(const std::vector<std::string>& allowed) const {
+  for (const auto& [name, values] : flags_) {
+    bool known = false;
+    for (const std::string& a : allowed) {
+      if (name == a) {
+        known = true;
+        break;
+      }
+    }
+    if (known) {
+      continue;
+    }
+    std::vector<std::string> sorted = allowed;
+    std::sort(sorted.begin(), sorted.end());
+    std::string list;
+    for (const std::string& a : sorted) {
+      if (!list.empty()) {
+        list += ", --";
+      }
+      list += a;
+    }
+    throw std::invalid_argument("Cli: unknown flag --" + name +
+                                " (valid flags: --" + list + ")");
+  }
 }
 
 bool Cli::get_bool(const std::string& name, bool fallback) const {

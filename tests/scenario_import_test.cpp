@@ -1,0 +1,176 @@
+// JSONL trace import/export: header handling, normalization (sort +
+// merge), validation diagnostics, round-trip idempotence, and the
+// process-wide scenario cache.
+#include "scenario/import.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "scenario/library.hpp"
+#include "scenario/spec.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace abg::scenario {
+namespace {
+
+ScenarioSpec import_text(const std::string& text,
+                         const std::string& default_name = "fallback") {
+  std::istringstream in(text);
+  return import_trace(in, default_name);
+}
+
+TEST(ScenarioImport, HeaderSuppliesNameAndMachine) {
+  const ScenarioSpec spec = import_text(
+      R"({"kind":"abg-jobs-trace","name":"cluster-a","processors":48,"quantum":800}
+{"release":0,"phases":[[4,100]]}
+)");
+  EXPECT_EQ(spec.name, "cluster-a");
+  EXPECT_EQ(spec.machine.processors, 48);
+  EXPECT_EQ(spec.machine.quantum, 800);
+  EXPECT_EQ(spec.generator, GeneratorKind::kExplicit);
+  ASSERT_EQ(spec.explicit_jobs.size(), 1u);
+}
+
+TEST(ScenarioImport, MissingHeaderFallsBackToDefaultName) {
+  const ScenarioSpec spec = import_text(
+      "{\"release\":0,\"phases\":[[2,50]]}\n", "from-file-stem");
+  EXPECT_EQ(spec.name, "from-file-stem");
+  EXPECT_EQ(spec.machine.processors, 0);
+  ASSERT_EQ(spec.explicit_jobs.size(), 1u);
+}
+
+TEST(ScenarioImport, JobsAreSortedByRelease) {
+  const ScenarioSpec spec = import_text(
+      R"({"release":500,"phases":[[1,10]]}
+{"release":0,"phases":[[2,10]]}
+{"release":250,"phases":[[3,10]]}
+)");
+  ASSERT_EQ(spec.explicit_jobs.size(), 3u);
+  EXPECT_EQ(spec.explicit_jobs[0].release, 0);
+  EXPECT_EQ(spec.explicit_jobs[0].phases[0].width, 2);
+  EXPECT_EQ(spec.explicit_jobs[1].release, 250);
+  EXPECT_EQ(spec.explicit_jobs[2].release, 500);
+}
+
+TEST(ScenarioImport, AdjacentEqualWidthPhasesMerge) {
+  const ScenarioSpec spec = import_text(
+      R"({"release":0,"phases":[[40,300],[40,200],[8,100]]}
+)");
+  ASSERT_EQ(spec.explicit_jobs.size(), 1u);
+  ASSERT_EQ(spec.explicit_jobs[0].phases.size(), 2u);
+  EXPECT_EQ(spec.explicit_jobs[0].phases[0].width, 40);
+  EXPECT_EQ(spec.explicit_jobs[0].phases[0].levels, 500);
+  EXPECT_EQ(spec.explicit_jobs[0].phases[1].width, 8);
+}
+
+TEST(ScenarioImport, DiagnosticsNameTheOffendingLine) {
+  const auto expect_throws_naming_line = [](const std::string& text,
+                                            const std::string& line_tag) {
+    try {
+      import_text(text);
+      FAIL() << "expected std::invalid_argument for: " << text;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(line_tag), std::string::npos)
+          << e.what();
+    }
+  };
+  // Zero width on line 2.
+  expect_throws_naming_line(
+      "{\"release\":0,\"phases\":[[1,10]]}\n"
+      "{\"release\":0,\"phases\":[[0,10]]}\n",
+      "line 2");
+  // Negative release.
+  expect_throws_naming_line("{\"release\":-5,\"phases\":[[1,10]]}\n",
+                            "line 1");
+  // A job with no phases.
+  expect_throws_naming_line("{\"release\":0,\"phases\":[]}\n", "line 1");
+  // A line that is not JSON at all.
+  expect_throws_naming_line("not json\n", "line 1");
+}
+
+TEST(ScenarioImport, EmptyTraceIsRejected) {
+  EXPECT_THROW(import_text(""), std::invalid_argument);
+  EXPECT_THROW(
+      import_text("{\"kind\":\"abg-jobs-trace\",\"name\":\"empty\"}\n"),
+      std::invalid_argument);
+}
+
+TEST(ScenarioExport, ExportImportExportIsIdempotent) {
+  const ScenarioSpec spec = ScenarioSpec::from_json(util::Json::parse(R"({
+    "name": "idem", "generator": "explicit",
+    "machine": {"processors": 24, "quantum": 600},
+    "params": {"jobs": [
+      {"release": 0, "phases": [[8, 40], [1, 10]]},
+      {"release": 100, "phases": [[4, 60]]}
+    ]}
+  })"));
+  std::ostringstream first;
+  util::Rng rng1(5);
+  export_trace(first, spec, rng1, 24, 600);
+
+  std::istringstream back(first.str());
+  const ScenarioSpec imported = import_trace(back, "unused");
+  EXPECT_EQ(imported.name, "idem");
+
+  // A different seed must not matter: explicit scenarios draw nothing.
+  std::ostringstream second;
+  util::Rng rng2(99);
+  export_trace(second, imported, rng2, 24, 600);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(ScenarioExport, SameSeedSameBytesForRandomizedScenarios) {
+  const ScenarioSpec spec = ScenarioSpec::from_json(util::Json::parse(R"({
+    "name": "rand", "generator": "multiphase", "jobs": 4,
+    "params": {"phases": [{"width": [2, 8], "levels": [50, 150]}]}
+  })"));
+  std::ostringstream a;
+  std::ostringstream b;
+  util::Rng ra(17);
+  util::Rng rb(17);
+  export_trace(a, spec, ra, 32, 1000);
+  export_trace(b, spec, rb, 32, 1000);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str().find("\"kind\":"), std::string::npos);
+}
+
+TEST(ScenarioLibrary, CacheReturnsTheSameSpecInstance) {
+  const std::string path = ::testing::TempDir() + "scenario_cache_probe.json";
+  ScenarioSpec spec;
+  spec.name = "cached";
+  spec.generator = GeneratorKind::kExplicit;
+  spec.explicit_jobs.push_back(ExplicitJob{0, {ExplicitPhase{2, 10}}});
+  spec.save_file(path);
+
+  clear_cache();
+  const ScenarioSpec& first = load_cached(path);
+  const ScenarioSpec& second = load_cached(path);
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(first.name, "cached");
+  clear_cache();
+}
+
+TEST(ScenarioLibrary, FailedLoadsAreNotCached) {
+  const std::string path = ::testing::TempDir() + "scenario_cache_retry.json";
+  {
+    std::ofstream out(path);
+    out << "{\"name\": \"broken\"";
+  }
+  clear_cache();
+  EXPECT_THROW(load_cached(path), std::invalid_argument);
+  ScenarioSpec spec;
+  spec.name = "fixed";
+  spec.generator = GeneratorKind::kExplicit;
+  spec.explicit_jobs.push_back(ExplicitJob{0, {ExplicitPhase{1, 5}}});
+  spec.save_file(path);
+  EXPECT_EQ(load_cached(path).name, "fixed");
+  clear_cache();
+}
+
+}  // namespace
+}  // namespace abg::scenario

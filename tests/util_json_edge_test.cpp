@@ -1,0 +1,132 @@
+// Edge cases of the JSON parser beyond the happy paths in
+// util_json_test.cpp: the exact nesting-depth boundary, integer overflow
+// and widening, duplicate object keys, escape-sequence corner cases, and
+// malformed documents that should fail with a clear diagnostic rather
+// than parse loosely.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace abg::util {
+namespace {
+
+std::string nested_arrays(int depth) {
+  return std::string(static_cast<std::size_t>(depth), '[') +
+         std::string(static_cast<std::size_t>(depth), ']');
+}
+
+TEST(JsonDepth, AcceptsNestingUpToTheLimit) {
+  EXPECT_NO_THROW(Json::parse(nested_arrays(64)));
+}
+
+TEST(JsonDepth, RejectsNestingJustPastTheLimit) {
+  try {
+    Json::parse(nested_arrays(66));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting"), std::string::npos);
+  }
+}
+
+TEST(JsonDepth, MixedObjectArrayNestingCountsBothKinds) {
+  std::string deep;
+  for (int i = 0; i < 40; ++i) {
+    deep += "{\"k\":[";
+  }
+  deep += "1";
+  for (int i = 0; i < 40; ++i) {
+    deep += "]}";
+  }
+  EXPECT_THROW(Json::parse(deep), std::invalid_argument);
+}
+
+TEST(JsonNumbers, Int64BoundsStayIntegral) {
+  const auto max = std::numeric_limits<std::int64_t>::max();
+  const auto min = std::numeric_limits<std::int64_t>::min();
+  EXPECT_TRUE(Json::parse(std::to_string(max)).is_integer());
+  EXPECT_EQ(Json::parse(std::to_string(max)).as_integer(), max);
+  EXPECT_TRUE(Json::parse(std::to_string(min)).is_integer());
+  EXPECT_EQ(Json::parse(std::to_string(min)).as_integer(), min);
+}
+
+TEST(JsonNumbers, BeyondInt64WidensToDouble) {
+  // One past int64 max: no longer representable as an integer, so the
+  // parser falls back to double instead of rejecting or wrapping.
+  const Json v = Json::parse("9223372036854775808");
+  EXPECT_FALSE(v.is_integer());
+  EXPECT_TRUE(v.is_number());
+  EXPECT_DOUBLE_EQ(v.as_number(), 9223372036854775808.0);
+}
+
+TEST(JsonNumbers, OverflowingExponentIsRejected) {
+  EXPECT_THROW(Json::parse("1e999"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("-1e999"), std::invalid_argument);
+}
+
+TEST(JsonNumbers, MalformedNumbersAreRejected) {
+  EXPECT_THROW(Json::parse("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("1e"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("+1"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("-"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("0x10"), std::invalid_argument);
+}
+
+TEST(JsonDuplicates, DuplicateKeysAreKeptAndLookupFindsTheFirst) {
+  // The member list preserves the document verbatim (both entries); key
+  // lookup resolves to the first occurrence, deterministically.
+  const Json doc = Json::parse(R"({"a":1,"a":2})");
+  ASSERT_EQ(doc.members().size(), 2u);
+  EXPECT_EQ(doc.members()[0].second.as_integer(), 1);
+  EXPECT_EQ(doc.members()[1].second.as_integer(), 2);
+  EXPECT_EQ(doc.at("a").as_integer(), 1);
+}
+
+TEST(JsonEscapes, ControlCharactersMustBeEscaped) {
+  EXPECT_THROW(Json::parse(std::string("\"a\tb\"")), std::invalid_argument);
+  EXPECT_THROW(Json::parse(std::string("\"a\nb\"")), std::invalid_argument);
+  EXPECT_EQ(Json::parse(R"("a\tb")").as_string(), "a\tb");
+}
+
+TEST(JsonEscapes, TruncatedAndInvalidEscapesAreRejected) {
+  EXPECT_THROW(Json::parse(R"("\u12")"), std::invalid_argument);
+  EXPECT_THROW(Json::parse(R"("\u12g4")"), std::invalid_argument);
+  EXPECT_THROW(Json::parse(R"("\q")"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"\\"), std::invalid_argument);
+}
+
+TEST(JsonEscapes, SurrogateCornerCases) {
+  // Low surrogate with no preceding high surrogate.
+  EXPECT_THROW(Json::parse(R"("\udc00")"), std::invalid_argument);
+  // High surrogate followed by a non-surrogate escape.
+  EXPECT_THROW(Json::parse(R"("\ud83dA")"), std::invalid_argument);
+  // Null escape round-trips as an embedded NUL byte.
+  const std::string with_nul = Json::parse("\"a\\u0000b\"").as_string();
+  ASSERT_EQ(with_nul.size(), 3u);
+  EXPECT_EQ(with_nul[1], '\0');
+}
+
+TEST(JsonWriteEscapes, ControlCharactersRenderAsEscapes) {
+  const std::string dumped = Json::string("a\x01z").dump();
+  EXPECT_EQ(dumped, "\"a\\u0001z\"");
+  // And the writer's output re-parses to the original bytes.
+  EXPECT_EQ(Json::parse(dumped).as_string(), "a\x01z");
+}
+
+TEST(JsonWhitespace, OnlyStandardWhitespaceIsSkipped) {
+  EXPECT_EQ(Json::parse(" \t\r\n 7 \t\r\n ").as_integer(), 7);
+  EXPECT_THROW(Json::parse("\f7"), std::invalid_argument);
+}
+
+TEST(JsonDocuments, TrailingGarbageIsRejected) {
+  EXPECT_THROW(Json::parse("{} {}"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("[1] x"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("null,"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace abg::util

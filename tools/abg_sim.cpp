@@ -10,8 +10,11 @@
 //
 // Flags (defaults in brackets):
 //   --workload   forkjoin | constant | randomwalk | jobset   [forkjoin]
+//   --scenario FILE   declarative scenario from the scenario library
+//                (mutually exclusive with --workload; supplies machine
+//                defaults and, via its arrival block, can engage --open)
 //   --scheduler  abg | abg-auto | a-greedy | filtered | static:N   [abg]
-//   --allocator  deq | rr | unconstrained                    [auto]
+//   --allocator  deq | rr | hesrpt | unconstrained           [auto]
 //   --engine     sync | async  (boundary model)              [sync]
 //   --hier-groups N    hierarchical allocation with N groups on the
 //                      sharded engine (sync only, no faults)  [flat]
@@ -62,9 +65,12 @@
 #include <vector>
 
 #include "alloc/equipartition.hpp"
+#include "alloc/hesrpt.hpp"
 #include "alloc/round_robin.hpp"
 #include "alloc/unconstrained.hpp"
 #include "core/run.hpp"
+#include "scenario/generators.hpp"
+#include "scenario/library.hpp"
 #include "fault/fault_plan.hpp"
 #include "dag/profile_job.hpp"
 #include "metrics/lower_bounds.hpp"
@@ -123,6 +129,9 @@ std::unique_ptr<abg::alloc::Allocator> make_allocator(const Cli& cli) {
   if (name == "rr") {
     return std::make_unique<abg::alloc::RoundRobin>();
   }
+  if (name == "hesrpt") {
+    return std::make_unique<abg::alloc::HeSrpt>();
+  }
   if (name == "unconstrained") {
     return std::make_unique<abg::alloc::Unconstrained>();
   }
@@ -132,10 +141,12 @@ std::unique_ptr<abg::alloc::Allocator> make_allocator(const Cli& cli) {
   throw std::invalid_argument("unknown --allocator '" + name + "'");
 }
 
-std::vector<abg::sim::JobSubmission> make_workload(const Cli& cli,
-                                                   abg::util::Rng& rng,
-                                                   int processors,
-                                                   abg::dag::Steps quantum) {
+std::vector<abg::sim::JobSubmission> make_workload(
+    const Cli& cli, const abg::scenario::ScenarioSpec* scenario,
+    abg::util::Rng& rng, int processors, abg::dag::Steps quantum) {
+  if (scenario != nullptr) {
+    return abg::scenario::generate_jobs(*scenario, rng, processors, quantum);
+  }
   const std::string kind = cli.get("workload", "forkjoin");
   std::vector<abg::sim::JobSubmission> subs;
   if (kind == "forkjoin") {
@@ -259,7 +270,9 @@ abg::fault::FaultPlan make_fault_plan(const Cli& cli, std::uint64_t seed) {
 // scheduler and prints the constant-memory statistics summary.  Fully
 // self-contained (own bus, own outputs) because it shares no SimConfig /
 // SimResult machinery with the closed path.
-int run_open_mode(const Cli& cli, const abg::core::SchedulerSpec& scheduler,
+int run_open_mode(const Cli& cli,
+                  const abg::scenario::ScenarioSpec* scenario,
+                  const abg::core::SchedulerSpec& scheduler,
                   abg::alloc::Allocator* allocator, int processors,
                   abg::dag::Steps quantum, std::uint64_t seed) {
   for (const char* flag :
@@ -274,14 +287,27 @@ int run_open_mode(const Cli& cli, const abg::core::SchedulerSpec& scheduler,
     throw std::invalid_argument("--open requires the sync engine");
   }
 
+  // A scenario with an arrival block supplies arrival / jobs-total / load
+  // defaults; explicit flags still win.
+  const bool scenario_open =
+      scenario != nullptr &&
+      scenario->arrival.kind != abg::open::ArrivalKind::kNone;
   abg::open::OpenConfig config;
   config.processors = processors;
   config.quantum_length = quantum;
-  config.jobs_total = cli.get_positive_int("jobs-total", 100000);
-  config.arrival = abg::open::arrival_kind_from_name(
-      cli.get("arrival", "poisson"));
+  config.jobs_total = cli.get_positive_int(
+      "jobs-total", scenario_open && scenario->arrival.jobs_total > 0
+                        ? scenario->arrival.jobs_total
+                        : 100000);
+  config.arrival =
+      cli.has("arrival") || !scenario_open
+          ? abg::open::arrival_kind_from_name(cli.get("arrival", "poisson"))
+          : scenario->arrival.kind;
   config.trace_path = cli.get("trace-path", "");
-  config.load = cli.get_double("load", 0.8);
+  config.load = cli.get_double(
+      "load", scenario_open && scenario->arrival.load > 0.0
+                  ? scenario->arrival.load
+                  : 0.8);
   config.reallocation_cost_per_proc = cli.get_non_negative_int("cost", 0);
   if (cli.has("arrival-gap")) {
     config.arrivals.mean_gap = cli.get_double("arrival-gap", 1000.0);
@@ -307,8 +333,13 @@ int run_open_mode(const Cli& cli, const abg::core::SchedulerSpec& scheduler,
     config.bus = &bus;
   }
 
+  abg::open::JobFactory factory;
+  if (scenario != nullptr) {
+    factory = abg::scenario::make_open_factory(*scenario, processors,
+                                               quantum);
+  }
   const abg::open::OpenResult result =
-      abg::core::run_open(scheduler, config, seed, nullptr, allocator);
+      abg::core::run_open(scheduler, config, seed, factory, allocator);
 
   std::cout << "scheduler " << scheduler.name << ", allocator "
             << (allocator ? allocator->name() : "default") << ", arrival "
@@ -377,9 +408,10 @@ int run_open_mode(const Cli& cli, const abg::core::SchedulerSpec& scheduler,
 
 void print_usage(std::ostream& os) {
   os << "usage: abg_sim [--workload=forkjoin|constant|randomwalk|jobset]\n"
+        "               [--scenario=FILE]\n"
         "               [--scheduler=abg|abg-auto|a-greedy|filtered|"
         "static:N]\n"
-        "               [--allocator=deq|rr|unconstrained]\n"
+        "               [--allocator=deq|rr|hesrpt|unconstrained]\n"
         "               [--engine=sync|async]\n"
         "               [--hier-groups=N] [--hier-alloc=deq|rr]\n"
         "               [--hier-rebalance=N] [--hier-threads=N]\n"
@@ -408,27 +440,46 @@ void print_usage(std::ostream& os) {
 int main(int argc, char** argv) {
   try {
     const Cli cli(argc, argv);
+    // A --scenario file replaces the --workload axis and may carry machine
+    // defaults; explicit --processors / --quantum flags still win.
+    const abg::scenario::ScenarioSpec* scenario = nullptr;
+    if (cli.has("scenario")) {
+      if (cli.has("workload")) {
+        throw std::invalid_argument(
+            "--scenario and --workload are mutually exclusive");
+      }
+      scenario = &abg::scenario::load_cached(cli.get("scenario", ""));
+    }
     // Count-like flags reject zero / negative / garbage values up front
     // (Cli throws std::invalid_argument, which exits 2 with usage).
-    const int processors =
-        static_cast<int>(cli.get_positive_int("processors", 128));
-    const abg::dag::Steps quantum = cli.get_positive_int("quantum", 1000);
+    const int processors = static_cast<int>(cli.get_positive_int(
+        "processors", scenario != nullptr && scenario->machine.processors > 0
+                          ? scenario->machine.processors
+                          : 128));
+    const abg::dag::Steps quantum = cli.get_positive_int(
+        "quantum", scenario != nullptr && scenario->machine.quantum > 0
+                       ? scenario->machine.quantum
+                       : 1000);
     const auto seed =
         static_cast<std::uint64_t>(cli.get_non_negative_int("seed", 1));
 
     const abg::core::SchedulerSpec scheduler = make_scheduler(cli);
     const auto allocator = make_allocator(cli);
 
-    if (cli.get_bool("open", false) || cli.has("arrival")) {
-      return run_open_mode(cli, scheduler, allocator.get(), processors,
-                           quantum, seed);
+    // A scenario with an arrival block engages the open driver by itself.
+    const bool scenario_open =
+        scenario != nullptr &&
+        scenario->arrival.kind != abg::open::ArrivalKind::kNone;
+    if (cli.get_bool("open", false) || cli.has("arrival") || scenario_open) {
+      return run_open_mode(cli, scenario, scheduler, allocator.get(),
+                           processors, quantum, seed);
     }
 
     // Workload construction is a pure function of the seed, so the
     // comparison run can rebuild the byte-identical job set.
     auto build_workload = [&] {
       abg::util::Rng rng(seed);
-      return make_workload(cli, rng, processors, quantum);
+      return make_workload(cli, scenario, rng, processors, quantum);
     };
     auto submissions = build_workload();
 

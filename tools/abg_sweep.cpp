@@ -13,13 +13,18 @@
 //   scheduler   abg | a-greedy | abg-auto | static   [default abg,a-greedy]
 //   r           ABG convergence rate                  [default 0.2]
 //   workload    job-set | fork-join | square-wave     [default job-set]
+//   scenario    scenario file path(s) — declarative workloads from the
+//               scenario library (mutually exclusive with workload; the
+//               file's machine / arrival defaults apply unless the grid
+//               overrides them).  Also settable as repeated --scenario
+//               flags.
 //   load        job-set target load                   [default 1]
 //   factor      fork-join transition factor           [default 10]
 //   njobs       fork-join / square-wave job count     [default 4]
 //   levels      square-wave profile length            [default 600]
 //   processors  machine size P                        [default 128]
 //   quantum     quantum length L                      [default 1000]
-//   allocator   deq | rr                              [default deq]
+//   allocator   deq | rr | hesrpt                     [default deq]
 //   fault       none | step | impulse | poisson | crash  [default none]
 //   engine      sync | async boundary model           [default sync]
 //   release     batched | staggered | poisson closed-release schedule
@@ -100,6 +105,7 @@
 #include "exp/journal.hpp"
 #include "exp/result_sink.hpp"
 #include "exp/runner.hpp"
+#include "scenario/library.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/sweep_timeline.hpp"
@@ -142,9 +148,20 @@ struct Dimension {
 
 /// Canonical dimension order (fixes expansion order and run ids).
 const std::vector<std::string> kKnownKeys = {
-    "scheduler", "r",       "workload",   "load",      "factor",
-    "njobs",     "levels",  "quantum",    "processors", "allocator",
-    "fault",     "engine",  "release",    "gap",        "arrival"};
+    "scheduler", "r",       "workload",   "scenario",   "load",
+    "factor",    "njobs",   "levels",     "quantum",    "processors",
+    "allocator", "fault",   "engine",     "release",    "gap",
+    "arrival"};
+
+/// Every flag this tool understands; anything else is a usage error
+/// (Cli::reject_unknown) so a misspelled flag cannot silently vanish.
+const std::vector<std::string> kKnownFlags = {
+    "param",        "scenario",    "reps",        "seed",
+    "jobs",         "jsonl",       "summary",     "quiet",
+    "metrics-out",  "trace-out",   "profile",     "hier-groups",
+    "hier-alloc",   "hier-threads", "jobs-total", "trace-path",
+    "journal",      "resume",      "run-timeout", "max-retries",
+    "backoff",      "test-hang-run", "test-fail-run"};
 
 /// Keys that select the scheduler rather than the simulated scenario;
 /// they are excluded from the workload seed index and the group label.
@@ -156,10 +173,10 @@ bool is_scheduler_key(const std::string& key) {
 /// allocator and fault plan perturb the simulation of a workload, not the
 /// workload itself, so they share seeds across their values too.
 bool is_workload_key(const std::string& key) {
-  return key == "workload" || key == "load" || key == "factor" ||
-         key == "njobs" || key == "levels" || key == "quantum" ||
-         key == "processors" || key == "release" || key == "gap" ||
-         key == "arrival";
+  return key == "workload" || key == "scenario" || key == "load" ||
+         key == "factor" || key == "njobs" || key == "levels" ||
+         key == "quantum" || key == "processors" || key == "release" ||
+         key == "gap" || key == "arrival";
 }
 
 std::vector<std::string> split_csv(const std::string& text) {
@@ -233,6 +250,19 @@ std::vector<Dimension> build_dimensions(const abg::util::Cli& cli) {
     auto& slot = params[key];
     slot.insert(slot.end(), values.begin(), values.end());
   }
+  // Repeated --scenario FILE flags merge into the scenario dimension, the
+  // ergonomic spelling of --param scenario=FILE1,FILE2.
+  for (const std::string& path : cli.get_all("scenario")) {
+    if (path.empty() || path == "true") {
+      throw std::invalid_argument("--scenario expects a scenario file path");
+    }
+    params["scenario"].push_back(path);
+  }
+  if (params.contains("scenario") && params.contains("workload")) {
+    throw std::invalid_argument(
+        "--param workload and scenario are mutually exclusive (a scenario "
+        "file fully describes its workload)");
+  }
   if (!params.contains("scheduler")) {
     params["scheduler"] = {"abg", "a-greedy"};
   }
@@ -263,6 +293,9 @@ RunSpec spec_of(const std::map<std::string, std::string>& point) {
       spec.scheduler_params.convergence_rate = parse_double(key, value);
     } else if (key == "workload") {
       spec.workload.kind = abg::exp::workload_kind_from_name(value);
+    } else if (key == "scenario") {
+      spec.workload.kind = abg::exp::WorkloadKind::kScenario;
+      spec.workload.scenario_path = value;
     } else if (key == "load") {
       spec.workload.load = parse_double(key, value);
     } else if (key == "factor") {
@@ -276,11 +309,7 @@ RunSpec spec_of(const std::map<std::string, std::string>& point) {
     } else if (key == "processors") {
       spec.machine.processors = parse_int(key, value);
     } else if (key == "allocator") {
-      if (value != "deq" && value != "rr") {
-        throw std::invalid_argument("--param allocator: expected deq or rr");
-      }
-      spec.allocator = value == "rr" ? abg::exp::AllocatorKind::kRoundRobin
-                                     : abg::exp::AllocatorKind::kDefault;
+      spec.allocator = abg::exp::allocator_kind_from_name(value);
     } else if (key == "fault") {
       spec.faults.scenario = abg::exp::fault_scenario_from_name(value);
     } else if (key == "engine") {
@@ -293,7 +322,33 @@ RunSpec spec_of(const std::map<std::string, std::string>& point) {
       spec.open.arrival = abg::open::arrival_kind_from_name(value);
     }
     if (!is_scheduler_key(key)) {
-      group += (group.empty() ? "" : ",") + key + "=" + value;
+      // Scenario identity is the spec's *name*, not its path: an imported
+      // copy of a scenario at a different path yields identical group
+      // labels, hence identical aggregated artifacts.
+      const std::string label =
+          key == "scenario" ? abg::scenario::load_cached(value).name : value;
+      group += (group.empty() ? "" : ",") + key + "=" + label;
+    }
+  }
+  // Scenario machine / arrival defaults apply where the grid is silent.
+  if (spec.workload.kind == abg::exp::WorkloadKind::kScenario) {
+    const abg::scenario::ScenarioSpec& scenario =
+        abg::scenario::load_cached(spec.workload.scenario_path);
+    if (scenario.machine.processors > 0 && !point.contains("processors")) {
+      spec.machine.processors = scenario.machine.processors;
+    }
+    if (scenario.machine.quantum > 0 && !point.contains("quantum")) {
+      spec.machine.quantum_length = scenario.machine.quantum;
+    }
+    if (scenario.arrival.kind != abg::open::ArrivalKind::kNone &&
+        !point.contains("arrival")) {
+      spec.open.arrival = scenario.arrival.kind;
+      if (scenario.arrival.jobs_total > 0) {
+        spec.open.jobs_total = scenario.arrival.jobs_total;
+      }
+      if (scenario.arrival.load > 0.0 && !point.contains("load")) {
+        spec.workload.load = scenario.arrival.load;
+      }
     }
   }
   spec.group = group.empty() ? "all" : group;
@@ -307,6 +362,12 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, handle_shutdown_signal);
   try {
     const abg::util::Cli cli(argc, argv);
+    cli.reject_unknown(kKnownFlags);
+    if (!cli.positional().empty()) {
+      throw std::invalid_argument("unexpected argument '" +
+                                  cli.positional().front() +
+                                  "' (abg_sweep takes only --flags)");
+    }
     const auto reps = static_cast<int>(cli.get_positive_int("reps", 5));
     const auto seed =
         static_cast<std::uint64_t>(cli.get_non_negative_int("seed", 2008));
@@ -359,6 +420,7 @@ int main(int argc, char** argv) {
 
     const std::vector<Dimension> dims = build_dimensions(cli);
     bool any_open = false;
+    bool any_grid_arrival = false;
     for (const Dimension& dim : dims) {
       if (dim.key != "arrival") {
         continue;
@@ -366,10 +428,26 @@ int main(int argc, char** argv) {
       for (const std::string& value : dim.values) {
         if (value != "none") {
           any_open = true;
+          any_grid_arrival = true;
         }
         if (value == "trace" && trace_path.empty()) {
           throw std::invalid_argument(
               "--param arrival=trace requires --trace-path");
+        }
+      }
+    }
+    // A scenario file can engage the open axis on its own (its arrival
+    // block), unless the grid pins an explicit arrival dimension.
+    if (!any_grid_arrival) {
+      for (const Dimension& dim : dims) {
+        if (dim.key != "scenario") {
+          continue;
+        }
+        for (const std::string& value : dim.values) {
+          if (abg::scenario::load_cached(value).arrival.kind !=
+              abg::open::ArrivalKind::kNone) {
+            any_open = true;
+          }
         }
       }
     }
@@ -452,8 +530,13 @@ int main(int argc, char** argv) {
       base.hier_alloc = hier_alloc;
       base.hier_threads = hier_threads;
       if (base.open.arrival != abg::open::ArrivalKind::kNone) {
-        base.open.jobs_total = jobs_total;
-        base.open.trace_path = trace_path;
+        // A scenario's own jobs_total survives unless the flag was given.
+        if (cli.has("jobs-total") || base.open.jobs_total <= 0) {
+          base.open.jobs_total = jobs_total;
+        }
+        if (!trace_path.empty()) {
+          base.open.trace_path = trace_path;
+        }
       }
       for (int rep = 0; rep < reps; ++rep) {
         RunSpec spec = base;

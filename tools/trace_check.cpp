@@ -32,6 +32,19 @@
 //                              A regression is an invariant violation
 //                              (exit 5), which is what lets CI fail the
 //                              perf smoke on it.
+//   trace_check scenario FILE  scenario-library file: parses, passes
+//                              ScenarioSpec validation, and prints the
+//                              generator / jobs / machine summary.
+//   trace_check import IN.jsonl OUT.json [--name=X]
+//                              converts an external JSONL job trace into
+//                              an explicit scenario file (validated and
+//                              normalized); the scenario name defaults to
+//                              the input filename stem.
+//   trace_check export SCENARIO.json OUT.jsonl [--seed=N]
+//                              [--processors=P] [--quantum=L]
+//                              materializes a scenario's generator and
+//                              writes the jobs as a JSONL trace, so
+//                              export -> import round-trips exactly.
 //
 // Prints one summary line on success.  Exit codes classify the failure so
 // scripts can react without scraping stderr:
@@ -50,7 +63,11 @@
 #include <string>
 #include <vector>
 
+#include "scenario/import.hpp"
+#include "scenario/spec.hpp"
+#include "util/atomic_file.hpp"
 #include "util/json.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -415,6 +432,84 @@ int check_journal(const std::string& path) {
   return 0;
 }
 
+/// Loads and structurally validates a scenario file.  JSON syntax errors
+/// keep their std::invalid_argument type (exit 4); a document that parses
+/// but fails ScenarioSpec validation is an invariant violation (exit 5).
+abg::scenario::ScenarioSpec load_scenario(const std::string& path) {
+  const Json doc = Json::parse(read_file(path));
+  try {
+    return abg::scenario::ScenarioSpec::from_json(doc);
+  } catch (const std::invalid_argument& e) {
+    fail(path + ": " + e.what());
+  }
+}
+
+int check_scenario(const std::string& path) {
+  const abg::scenario::ScenarioSpec spec = load_scenario(path);
+  const std::size_t jobs =
+      spec.generator == abg::scenario::GeneratorKind::kExplicit
+          ? spec.explicit_jobs.size()
+          : static_cast<std::size_t>(spec.jobs);
+  std::cout << "trace_check: " << path << " ok (scenario '" << spec.name
+            << "', generator " << abg::scenario::to_string(spec.generator)
+            << ", " << jobs << " jobs";
+  if (spec.machine.processors > 0) {
+    std::cout << ", P = " << spec.machine.processors;
+  }
+  if (spec.machine.quantum > 0) {
+    std::cout << ", L = " << spec.machine.quantum;
+  }
+  if (spec.arrival.kind != abg::open::ArrivalKind::kNone) {
+    std::cout << ", arrival " << abg::open::to_string(spec.arrival.kind);
+  }
+  std::cout << ")\n";
+  return 0;
+}
+
+/// "path/to/cluster-day.jsonl" -> "cluster-day".
+std::string filename_stem(const std::string& path) {
+  const std::size_t slash = path.find_last_of("/\\");
+  const std::size_t from = slash == std::string::npos ? 0 : slash + 1;
+  const std::size_t dot = path.find_last_of('.');
+  const std::size_t to =
+      dot == std::string::npos || dot <= from ? path.size() : dot;
+  return path.substr(from, to - from);
+}
+
+int import_scenario(const std::string& in_path, const std::string& out_path,
+                    const std::string& name) {
+  const std::string default_name =
+      name.empty() ? filename_stem(in_path) : name;
+  std::istringstream in(read_file(in_path));
+  const abg::scenario::ScenarioSpec spec =
+      abg::scenario::import_trace(in, default_name);
+  spec.save_file(out_path);
+  std::cout << "trace_check: imported " << in_path << " -> " << out_path
+            << " (scenario '" << spec.name << "', "
+            << spec.explicit_jobs.size() << " jobs)\n";
+  return 0;
+}
+
+int export_scenario(const std::string& in_path, const std::string& out_path,
+                    std::uint64_t seed, int processors,
+                    abg::dag::Steps quantum) {
+  const abg::scenario::ScenarioSpec spec = load_scenario(in_path);
+  const int p = processors > 0 ? processors
+              : spec.machine.processors > 0 ? spec.machine.processors
+                                            : 128;
+  const abg::dag::Steps l = quantum > 0 ? quantum
+                          : spec.machine.quantum > 0 ? spec.machine.quantum
+                                                     : 1000;
+  abg::util::write_file_atomic(out_path, [&](std::ostream& out) {
+    abg::util::Rng rng(seed);
+    abg::scenario::export_trace(out, spec, rng, p, l);
+  });
+  std::cout << "trace_check: exported " << in_path << " -> " << out_path
+            << " (scenario '" << spec.name << "', P = " << p << ", L = " << l
+            << ", seed " << seed << ")\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -437,6 +532,46 @@ int main(int argc, char** argv) {
     if (args.size() >= 2 && args[0] == "journal") {
       return check_journal(args[1]);
     }
+    if (args.size() >= 2 && args[0] == "scenario") {
+      return check_scenario(args[1]);
+    }
+    if (args.size() >= 3 && args[0] == "import") {
+      std::string name;
+      for (std::size_t i = 3; i < args.size(); ++i) {
+        const std::string prefix = "--name=";
+        if (args[i].rfind(prefix, 0) == 0) {
+          name = args[i].substr(prefix.size());
+        } else {
+          std::cerr << "trace_check: unknown import option '" << args[i]
+                    << "'\n";
+          return 2;
+        }
+      }
+      return import_scenario(args[1], args[2], name);
+    }
+    if (args.size() >= 3 && args[0] == "export") {
+      std::uint64_t seed = 1;
+      int processors = 0;
+      abg::dag::Steps quantum = 0;
+      for (std::size_t i = 3; i < args.size(); ++i) {
+        const std::string& opt = args[i];
+        const auto value_of = [&opt](const std::string& prefix) {
+          return std::stoll(opt.substr(prefix.size()));
+        };
+        if (opt.rfind("--seed=", 0) == 0) {
+          seed = static_cast<std::uint64_t>(value_of("--seed="));
+        } else if (opt.rfind("--processors=", 0) == 0) {
+          processors = static_cast<int>(value_of("--processors="));
+        } else if (opt.rfind("--quantum=", 0) == 0) {
+          quantum = value_of("--quantum=");
+        } else {
+          std::cerr << "trace_check: unknown export option '" << opt
+                    << "'\n";
+          return 2;
+        }
+      }
+      return export_scenario(args[1], args[2], seed, processors, quantum);
+    }
     if (args.size() >= 3 && args[0] == "bench") {
       double max_regress = 0.3;
       for (std::size_t i = 3; i < args.size(); ++i) {
@@ -456,9 +591,12 @@ int main(int argc, char** argv) {
       return check_bench(args[1], args[2], max_regress);
     }
     std::cerr
-        << "usage: trace_check trace|metrics|profile|stats|journal FILE "
-           "[SPAN...]\n"
-           "       trace_check bench CURRENT BASELINE [--max-regress=R]\n";
+        << "usage: trace_check trace|metrics|profile|stats|journal|scenario "
+           "FILE [SPAN...]\n"
+           "       trace_check bench CURRENT BASELINE [--max-regress=R]\n"
+           "       trace_check import IN.jsonl OUT.json [--name=X]\n"
+           "       trace_check export SCENARIO.json OUT.jsonl [--seed=N] "
+           "[--processors=P] [--quantum=L]\n";
     return 2;
   } catch (const MissingFileError& e) {
     std::cerr << "trace_check: " << target << ": " << e.what() << "\n";
