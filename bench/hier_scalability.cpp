@@ -56,17 +56,25 @@ struct Point {
   double rebalance_ms = 0.0;
   double makespan = 0.0;
   double quanta = 0.0;
+  /// Fraction of the run's wall-clock each pool worker spent executing
+  /// group tasks (min / mean / max over workers).  A low min with a high
+  /// max reads as packing imbalance, not barrier overhead.
+  double busy_min = 0.0;
+  double busy_mean = 0.0;
+  double busy_max = 0.0;
 };
 
 Point run_point(int njobs, int groups, int threads, int processors,
                 dag::Steps rebalance, std::uint64_t seed) {
   auto subs = make_submissions(njobs, seed);
   obs::Profiler profiler;
+  std::vector<double> busy_seconds;
   sim::SimConfig config{.processors = processors, .quantum_length = 50};
   config.hier.groups = groups;
   config.hier.threads = threads;
   config.hier.rebalance_quanta = rebalance;
   config.hier.profiler = &profiler;
+  config.hier.worker_busy_seconds = &busy_seconds;
 
   const auto start = std::chrono::steady_clock::now();
   const sim::SimResult result =
@@ -82,6 +90,18 @@ Point run_point(int njobs, int groups, int threads, int processors,
   point.rebalance_ms = profiler.span("hier.rebalance").seconds * 1000.0;
   point.makespan = static_cast<double>(result.makespan);
   point.quanta = static_cast<double>(result.quanta);
+  if (!busy_seconds.empty() && wall.count() > 0.0) {
+    const double wall_seconds = wall.count() / 1000.0;
+    double sum = 0.0;
+    point.busy_min = busy_seconds.front() / wall_seconds;
+    for (const double seconds : busy_seconds) {
+      const double fraction = seconds / wall_seconds;
+      point.busy_min = std::min(point.busy_min, fraction);
+      point.busy_max = std::max(point.busy_max, fraction);
+      sum += fraction;
+    }
+    point.busy_mean = sum / static_cast<double>(busy_seconds.size());
+  }
   return point;
 }
 
@@ -124,7 +144,8 @@ int main(int argc, char** argv) {
 
     util::Table table(
         {"njobs", "groups", "threads", "epoch", "wall_ms", "speedup",
-         "rebalance_ms", "makespan", "quanta"});
+         "efficiency", "busy_min", "busy_mean", "busy_max", "rebalance_ms",
+         "makespan", "quanta"});
     exp::ResultSink sink("hier_scalability", flags.seed);
     std::int64_t run_id = 0;
 
@@ -140,11 +161,18 @@ int main(int argc, char** argv) {
           const double speedup =
               p.wall_ms > 0.0 && serial_ms > 0.0 ? serial_ms / p.wall_ms
                                                  : 1.0;
+          // Scaling efficiency: fraction of ideal linear speedup realised
+          // at this thread count (1.0 = perfectly parallel).
+          const double efficiency = speedup / static_cast<double>(threads);
           table.add_row({std::to_string(p.njobs), std::to_string(p.groups),
                          std::to_string(p.threads),
                          std::to_string(static_cast<long long>(rebalance)),
                          util::format_double(p.wall_ms, 2),
                          util::format_double(speedup, 2),
+                         util::format_double(efficiency, 2),
+                         util::format_double(p.busy_min, 2),
+                         util::format_double(p.busy_mean, 2),
+                         util::format_double(p.busy_max, 2),
                          util::format_double(p.rebalance_ms, 2),
                          util::format_double(p.makespan, 0),
                          util::format_double(p.quanta, 0)});
@@ -169,6 +197,10 @@ int main(int argc, char** argv) {
                                 1u, std::thread::hardware_concurrency())));
           record.metrics.emplace_back("wall_ms", p.wall_ms);
           record.metrics.emplace_back("speedup", speedup);
+          record.metrics.emplace_back("efficiency", efficiency);
+          record.metrics.emplace_back("busy_min", p.busy_min);
+          record.metrics.emplace_back("busy_mean", p.busy_mean);
+          record.metrics.emplace_back("busy_max", p.busy_max);
           record.metrics.emplace_back("rebalance_ms", p.rebalance_ms);
           record.metrics.emplace_back("makespan", p.makespan);
           record.metrics.emplace_back("quanta", p.quanta);

@@ -1,0 +1,45 @@
+// Multi-machine cluster driver over the unified engine core.
+//
+// Simulates a datacenter of N machines, each running its own allocator
+// over its own synchronous quantum loop (the fault-free loop of
+// sim/engine_core.hpp, the same replica the sharded engine runs per
+// group).  Submissions are placed once by a Router policy
+// (cluster/router.hpp), then the coordinator advances all machines in
+// lockstep epochs on an exp::ThreadPool — one machine per task, submitted
+// longest-first (sim/lpt_pack.hpp) — and, between barriers, detects desire
+// imbalance and migrates queued jobs from over-quota machines to machines
+// with slack, charging one quantum of transfer debt (the migrated job's
+// eligibility moves past the epoch by the quantum length, and its next
+// placement is charged the full reallocation penalty because its previous
+// allotment resets to zero).
+//
+// Determinism contract (pinned by golden fixtures + ctest):
+//   * byte-identical results at any ClusterConfig::threads — machine
+//     loops touch only their own state; routing, migration and event
+//     publishing happen on the coordinator thread between barriers;
+//   * a 1-machine cluster without explicit shapes is byte-identical to
+//     the flat engine under the same allocator (the machine clones the
+//     run's allocator, its budget is the whole machine, and no routing or
+//     migration decision can differ).
+#pragma once
+
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "sched/execution_policy.hpp"
+#include "sched/request_policy.hpp"
+#include "sim/simulator.hpp"
+
+namespace abg::cluster {
+
+/// Simulates the job set on the cluster `config.cluster` describes.
+/// Requires the sync boundary model and no fault plan, quantum-length
+/// policy, or hierarchical allocation; throws std::invalid_argument
+/// otherwise.  The allocator is reset and cloned per machine.
+sim::SimResult simulate_job_set_cluster(
+    std::vector<sim::JobSubmission> submissions,
+    const sched::ExecutionPolicy& execution,
+    const sched::RequestPolicy& request_prototype,
+    alloc::Allocator& allocator, const sim::SimConfig& config);
+
+}  // namespace abg::cluster

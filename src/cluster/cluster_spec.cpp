@@ -1,0 +1,107 @@
+#include "cluster/cluster_spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "sim/quantum_engine.hpp"
+
+namespace abg::cluster {
+
+int ClusterSpec::total_processors() const {
+  int total = 0;
+  for (const sim::ClusterMachine& machine : machines) {
+    total += machine.processors;
+  }
+  return total;
+}
+
+ClusterSpec ClusterSpec::resolve(const sim::SimConfig& config,
+                                 const char* context) {
+  const std::string prefix(context);
+  if (config.cluster.machines < 1) {
+    throw std::invalid_argument(prefix + ": cluster machines must be >= 1");
+  }
+  ClusterSpec spec;
+  const auto count = static_cast<std::size_t>(config.cluster.machines);
+  if (config.cluster.shapes.empty()) {
+    sim::ClusterMachine uniform;
+    uniform.processors = config.processors;
+    spec.machines.assign(count, uniform);
+    return spec;
+  }
+  if (config.cluster.shapes.size() != count) {
+    throw std::invalid_argument(
+        prefix + ": cluster shape list has " +
+        std::to_string(config.cluster.shapes.size()) + " entries for " +
+        std::to_string(config.cluster.machines) + " machines");
+  }
+  for (std::size_t m = 0; m < count; ++m) {
+    const sim::ClusterMachine& machine = config.cluster.shapes[m];
+    const std::string where = prefix + ": cluster machine " +
+                              std::to_string(m);
+    if (machine.processors < 1) {
+      throw std::invalid_argument(where + ": processors must be >= 1");
+    }
+    int region_sum = 0;
+    for (const sim::ClusterRegion& region : machine.regions) {
+      if (region.processors < 1) {
+        throw std::invalid_argument(where +
+                                    ": region processors must be >= 1");
+      }
+      if (!(region.cost_multiplier > 0.0)) {
+        throw std::invalid_argument(where +
+                                    ": region cost multiplier must be > 0");
+      }
+      region_sum += region.processors;
+    }
+    if (!machine.regions.empty() && region_sum != machine.processors) {
+      throw std::invalid_argument(
+          where + ": regions cover " + std::to_string(region_sum) +
+          " processors but the machine has " +
+          std::to_string(machine.processors));
+    }
+  }
+  spec.machines = config.cluster.shapes;
+  return spec;
+}
+
+dag::Steps region_reallocation_penalty(const sim::ClusterMachine& machine,
+                                       int previous_allotment, int allotment,
+                                       dag::Steps cost_per_proc,
+                                       dag::Steps quantum_length) {
+  if (machine.regions.empty()) {
+    return sim::reallocation_penalty(previous_allotment, allotment,
+                                     cost_per_proc, quantum_length);
+  }
+  if (cost_per_proc <= 0 || previous_allotment == allotment) {
+    return 0;
+  }
+  // Allotments fill the machine region by region in declaration order, so
+  // an allotment change touches the processor indices between the old and
+  // new boundary; each index pays its region's multiplier.
+  const int lo = std::min(previous_allotment, allotment);
+  const int hi = std::max(previous_allotment, allotment);
+  double weighted = 0.0;
+  int region_start = 0;
+  for (const sim::ClusterRegion& region : machine.regions) {
+    const int region_end = region_start + region.processors;
+    const int overlap =
+        std::min(hi, region_end) - std::max(lo, region_start);
+    if (overlap > 0) {
+      weighted += static_cast<double>(overlap) * region.cost_multiplier;
+    }
+    region_start = region_end;
+  }
+  // Indices past the declared regions (over-subscribed allotments) pay the
+  // flat rate.
+  if (hi > region_start) {
+    weighted += static_cast<double>(hi - std::max(lo, region_start));
+  }
+  const auto penalty = static_cast<dag::Steps>(
+      std::llround(static_cast<double>(cost_per_proc) * weighted));
+  return std::min(quantum_length, penalty);
+}
+
+}  // namespace abg::cluster

@@ -1,0 +1,145 @@
+#include "cluster/router.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace abg::cluster {
+
+namespace {
+
+/// a × b with saturation to the int64 range (loads can in principle grow
+/// past what a cross-multiplication holds; a saturated compare still
+/// orders deterministically).
+std::int64_t mul_saturated(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return out;
+}
+
+/// Lowest index minimizing `numerator[m] / machines[m].processors`,
+/// compared by cross-multiplication so the choice never depends on
+/// floating-point rounding.
+template <typename Num>
+std::size_t min_density(const std::vector<MachineLoad>& machines,
+                        Num (*numerator)(const MachineLoad&)) {
+  std::size_t best = 0;
+  for (std::size_t m = 1; m < machines.size(); ++m) {
+    const std::int64_t lhs =
+        mul_saturated(static_cast<std::int64_t>(numerator(machines[m])),
+                      machines[best].processors);
+    const std::int64_t rhs =
+        mul_saturated(static_cast<std::int64_t>(numerator(machines[best])),
+                      machines[m].processors);
+    if (lhs < rhs) {
+      best = m;
+    }
+  }
+  return best;
+}
+
+class LeastLoadedRouter final : public Router {
+ public:
+  std::string_view name() const override { return "least-loaded"; }
+  std::size_t route(const RouteRequest& /*job*/,
+                    const std::vector<MachineLoad>& machines) override {
+    return min_density<dag::TaskCount>(
+        machines, [](const MachineLoad& m) { return m.assigned_work; });
+  }
+};
+
+class RoundRobinRouter final : public Router {
+ public:
+  std::string_view name() const override { return "round-robin"; }
+  std::size_t route(const RouteRequest& /*job*/,
+                    const std::vector<MachineLoad>& machines) override {
+    return cursor_++ % machines.size();
+  }
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+class DesireAwareRouter final : public Router {
+ public:
+  std::string_view name() const override { return "desire-aware"; }
+  std::size_t route(const RouteRequest& /*job*/,
+                    const std::vector<MachineLoad>& machines) override {
+    return min_density<std::int64_t>(
+        machines, [](const MachineLoad& m) { return m.assigned_desire; });
+  }
+};
+
+/// FNV-1a over the class label; unlabeled jobs fall back to a
+/// parallelism-bucket class so closed-form workloads still spread by
+/// shape instead of all hashing to one machine.
+class ClassAffinityRouter final : public Router {
+ public:
+  std::string_view name() const override { return "class-affinity"; }
+  std::size_t route(const RouteRequest& job,
+                    const std::vector<MachineLoad>& machines) override {
+    std::uint64_t hash = 1469598103934665603ull;
+    const auto feed = [&hash](unsigned char byte) {
+      hash ^= byte;
+      hash *= 1099511628211ull;
+    };
+    if (!job.job_class.empty()) {
+      for (const char c : job.job_class) {
+        feed(static_cast<unsigned char>(c));
+      }
+    } else {
+      // Bucket by the bit width of the equilibrium desire: jobs within a
+      // 2x parallelism band share a machine.
+      std::uint64_t bucket = 0;
+      for (auto d = static_cast<std::uint64_t>(
+               equilibrium_desire(job.work, job.critical_path));
+           d > 0; d >>= 1) {
+        ++bucket;
+      }
+      for (int i = 0; i < 8; ++i) {
+        feed(static_cast<unsigned char>(bucket >> (8 * i)));
+      }
+    }
+    return static_cast<std::size_t>(hash % machines.size());
+  }
+};
+
+}  // namespace
+
+std::int64_t equilibrium_desire(dag::TaskCount work,
+                                dag::Steps critical_path) {
+  if (work <= 0 || critical_path <= 0) {
+    return 1;
+  }
+  const auto span = static_cast<dag::TaskCount>(critical_path);
+  return static_cast<std::int64_t>((work + span - 1) / span);
+}
+
+std::unique_ptr<Router> make_router(const std::string& name) {
+  if (name.empty() || name == "least-loaded") {
+    return std::make_unique<LeastLoadedRouter>();
+  }
+  if (name == "round-robin") {
+    return std::make_unique<RoundRobinRouter>();
+  }
+  if (name == "desire-aware") {
+    return std::make_unique<DesireAwareRouter>();
+  }
+  if (name == "class-affinity") {
+    return std::make_unique<ClassAffinityRouter>();
+  }
+  throw std::invalid_argument(
+      "unknown router '" + name +
+      "' (expected least-loaded, round-robin, desire-aware or "
+      "class-affinity)");
+}
+
+const std::vector<std::string>& router_names() {
+  static const std::vector<std::string> names = {
+      "least-loaded", "round-robin", "desire-aware", "class-affinity"};
+  return names;
+}
+
+}  // namespace abg::cluster

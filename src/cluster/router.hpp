@@ -1,0 +1,85 @@
+// Routing policies: which machine of a cluster a job is placed on.
+//
+// The cluster driver routes every submission once, in submission order, on
+// the coordinator thread before the machine loops start; migration (see
+// cluster_engine.cpp) later corrects imbalance the router could not see.
+// Routers are pure choosers over the per-machine load ledger the driver
+// maintains — they read it, pick a machine, and the driver updates the
+// ledger — so a router never observes its own side effects and identical
+// inputs always produce identical placements (the determinism contract
+// the unit suite pins).
+//
+// Policies:
+//   * least-loaded   — the machine with the lowest routed-work density
+//                      (assigned work / processors; ties to the lowest
+//                      index).
+//   * round-robin    — a rotating cursor over the machines.
+//   * desire-aware   — the machine with the lowest aggregate equilibrium
+//                      desire per processor.  A job's A-Control desire
+//                      converges toward its average parallelism T1/T∞, so
+//                      the aggregate of those equilibria is the steady
+//                      processor demand the machine is heading for.
+//   * class-affinity — jobs of the same class hash to the same machine
+//                      (scenario job classes; unlabeled jobs fall back to
+//                      a parallelism-bucket class), co-locating workloads
+//                      that share a shape.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dag/job.hpp"
+
+namespace abg::cluster {
+
+/// Routed-load ledger of one machine, updated by the driver after every
+/// placement.
+struct MachineLoad {
+  int processors = 0;
+  /// Total work of the jobs routed here so far.
+  dag::TaskCount assigned_work = 0;
+  std::int64_t assigned_jobs = 0;
+  /// Sum of the routed jobs' equilibrium desires.
+  std::int64_t assigned_desire = 0;
+};
+
+/// One submission to place.
+struct RouteRequest {
+  std::size_t submission_index = 0;
+  dag::TaskCount work = 0;
+  dag::Steps critical_path = 0;
+  dag::Steps release_step = 0;
+  /// Job class label (scenario generators label their jobs; empty for
+  /// unlabeled workloads).
+  std::string_view job_class;
+};
+
+/// A routing policy.  route() is called once per submission, in
+/// submission order, from the coordinator thread.
+class Router {
+ public:
+  virtual ~Router() = default;
+  virtual std::string_view name() const = 0;
+  /// Returns the index of the chosen machine (< machines.size()).
+  virtual std::size_t route(const RouteRequest& job,
+                           const std::vector<MachineLoad>& machines) = 0;
+};
+
+/// Estimated steady-state A-Control desire of a job: the average
+/// parallelism ceil(T1 / T∞) its desire feedback converges toward
+/// (at least 1).
+std::int64_t equilibrium_desire(dag::TaskCount work,
+                                dag::Steps critical_path);
+
+/// Instantiates "least-loaded" | "round-robin" | "desire-aware" |
+/// "class-affinity"; throws std::invalid_argument naming the valid
+/// policies otherwise.
+std::unique_ptr<Router> make_router(const std::string& name);
+
+/// The canonical policy names, in the order documented above.
+const std::vector<std::string>& router_names();
+
+}  // namespace abg::cluster

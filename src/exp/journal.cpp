@@ -66,6 +66,14 @@ std::uint64_t spec_digest(const RunSpec& spec) {
   d.feed(std::string(sim::to_string(spec.engine)));
   d.feed(static_cast<std::int64_t>(spec.hier_groups));
   d.feed(spec.hier_alloc);
+  // The cluster axis feeds only when engaged so journals written before
+  // the axis existed keep resumable digests.  cluster_threads is excluded
+  // like hier_threads: it never changes what a run computes.
+  if (spec.cluster_machines != 0) {
+    d.feed(static_cast<std::int64_t>(spec.cluster_machines));
+    d.feed(spec.router);
+    d.feed(static_cast<std::int64_t>(spec.migration_period));
+  }
   d.feed(to_string(spec.workload.release));
   d.feed(spec.workload.release_gap);
   d.feed(open::to_string(spec.open.arrival));

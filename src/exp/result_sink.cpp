@@ -45,6 +45,14 @@ util::Json record_to_json(const RunRecord& record) {
       j.set("hier_alloc", util::Json::string(record.hier_alloc));
     }
   }
+  // Same rule for the cluster axis: flat runs (cluster_machines == 0)
+  // serialize exactly as they did before the axis existed.
+  if (record.cluster_machines > 0) {
+    j.set("cluster_machines", util::Json::integer(record.cluster_machines));
+    if (!record.router.empty()) {
+      j.set("router", util::Json::string(record.router));
+    }
+  }
   // Same rule for the open axis: closed runs (empty arrival) serialize
   // exactly as they did before the axis existed.
   if (!record.arrival.empty()) {
@@ -77,6 +85,13 @@ RunRecord record_from_json(const util::Json& json) {
                              : 0;
   const util::Json* hier_alloc = json.find("hier_alloc");
   record.hier_alloc = hier_alloc != nullptr ? hier_alloc->as_string() : "";
+  const util::Json* cluster_machines = json.find("cluster_machines");
+  record.cluster_machines =
+      cluster_machines != nullptr
+          ? static_cast<int>(cluster_machines->as_integer())
+          : 0;
+  const util::Json* router = json.find("router");
+  record.router = router != nullptr ? router->as_string() : "";
   const util::Json* arrival = json.find("arrival");
   record.arrival = arrival != nullptr ? arrival->as_string() : "";
   const util::Json* failure = json.find("failure");

@@ -178,6 +178,20 @@ struct RunSpec {
   /// is thread-count independent, so this never changes a record — which
   /// is also why it is excluded from the run's journal digest.
   int hier_threads = 1;
+  /// Cluster axis: number of machines for the multi-machine engine
+  /// (0 = the flat single-machine path, the default).  When engaged the
+  /// run's `machine.processors` is the per-machine processor count and the
+  /// cluster engine routes jobs across `cluster_machines` uniform machines.
+  int cluster_machines = 0;
+  /// Router policy of a cluster run ("" = the engine default,
+  /// least-loaded; else round-robin | desire-aware | class-affinity).
+  std::string router;
+  /// Inter-machine migration period in quanta (0 = migration disabled).
+  dag::Steps migration_period = 0;
+  /// Worker threads for a cluster run's machine loops (>= 1).  Like
+  /// hier_threads this never changes a record (the cluster engine is
+  /// thread-count independent) and is excluded from the journal digest.
+  int cluster_threads = 1;
   /// Index fed to Rng::derive(base_seed, seed_index) for workload and
   /// fault-plan generation.  Specs sharing a seed index see identical
   /// workloads (use this to pair scheduler variants).

@@ -310,6 +310,8 @@ RunRecord execute_run(const RunSpec& spec, std::uint64_t base_seed,
   record.engine = std::string(sim::to_string(spec.engine));
   record.hier_groups = spec.hier_groups;
   record.hier_alloc = spec.hier_alloc;
+  record.cluster_machines = spec.cluster_machines;
+  record.router = spec.router;
   record.seed = seed;
 
   // The run's private bus: the runner's metrics sink first, then any
@@ -333,6 +335,10 @@ RunRecord execute_run(const RunSpec& spec, std::uint64_t base_seed,
     if (spec.hier_groups != 0) {
       throw std::invalid_argument(
           "RunSpec: open runs do not compose with hierarchical allocation");
+    }
+    if (spec.cluster_machines != 0) {
+      throw std::invalid_argument(
+          "RunSpec: open runs do not compose with the cluster axis");
     }
     if (spec.engine != sim::EngineKind::kSync) {
       throw std::invalid_argument(
@@ -397,6 +403,42 @@ RunRecord execute_run(const RunSpec& spec, std::uint64_t base_seed,
   config.hier.groups = spec.hier_groups;
   config.hier.allocator = spec.hier_alloc;
   config.hier.threads = std::max(1, spec.hier_threads);
+
+  // Cluster axis: route the workload across cluster_machines machines of
+  // machine.processors each.  Like hier_threads, cluster_threads only
+  // parallelizes the machine loops without changing any result.
+  if (spec.cluster_machines != 0) {
+    if (spec.faults.scenario != FaultScenario::kNone) {
+      throw std::invalid_argument(
+          "RunSpec: cluster runs do not compose with fault scenarios");
+    }
+    if (spec.hier_groups != 0) {
+      throw std::invalid_argument(
+          "RunSpec: cluster runs do not compose with hierarchical "
+          "allocation");
+    }
+    if (spec.engine != sim::EngineKind::kSync) {
+      throw std::invalid_argument(
+          "RunSpec: cluster runs require the sync engine");
+    }
+    config.cluster.machines = spec.cluster_machines;
+    config.cluster.router = spec.router;
+    config.cluster.migration_period = spec.migration_period;
+    config.cluster.threads = std::max(1, spec.cluster_threads);
+    // A scenario may carry heterogeneous machine shapes for the cluster it
+    // was written for; they apply when the run's machine count matches
+    // (shapes are scenario content, external by path like the jobs
+    // themselves, so they never appear in the spec or its digest).
+    if (spec.workload.kind == WorkloadKind::kScenario &&
+        !spec.workload.scenario_path.empty()) {
+      const scenario::ScenarioSpec& scenario =
+          scenario::load_cached(spec.workload.scenario_path);
+      if (static_cast<int>(scenario.cluster.shapes.size()) ==
+          spec.cluster_machines) {
+        config.cluster.shapes = scenario.cluster.shapes;
+      }
+    }
+  }
 
   // One allocator instance per simulated run: allocators may be stateful
   // (round-robin rotates its start index), so sharing one across threads
@@ -726,6 +768,8 @@ SweepOutcome SweepRunner::run_monitored(
       record.engine = std::string(sim::to_string(spec.engine));
       record.hier_groups = spec.hier_groups;
       record.hier_alloc = spec.hier_alloc;
+      record.cluster_machines = spec.cluster_machines;
+      record.router = spec.router;
       if (spec.open.arrival != open::ArrivalKind::kNone) {
         record.arrival = open::to_string(spec.open.arrival);
       }

@@ -46,6 +46,11 @@ struct RunRecord {
   /// rule as `engine`), so pre-hier artifacts stay byte-identical.
   int hier_groups = 0;
   std::string hier_alloc;
+  /// Cluster axis of the run: machine count (0 = flat) and router policy
+  /// name.  Serialized only when cluster_machines > 0 (same omission rule
+  /// as `hier_groups`), so pre-cluster artifacts stay byte-identical.
+  int cluster_machines = 0;
+  std::string router;
   /// Arrival-process family of an open-system run ("poisson" / "mmpp" /
   /// "diurnal" / "heavytail" / "trace"); empty — the default — for closed
   /// runs.  Serialized only when non-empty, so closed artifacts stay

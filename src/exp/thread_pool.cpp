@@ -1,15 +1,18 @@
 #include "exp/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 namespace abg::exp {
 
 ThreadPool::ThreadPool(int threads) {
   const int n = std::max(1, threads);
+  busy_seconds_.assign(static_cast<std::size_t>(n), 0.0);
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
   }
 }
 
@@ -50,7 +53,7 @@ int ThreadPool::resolve_threads(int requested) {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
   for (;;) {
     std::function<void()> task;
     {
@@ -64,6 +67,7 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
+    const auto start = std::chrono::steady_clock::now();
     try {
       task();
     } catch (...) {
@@ -72,14 +76,22 @@ void ThreadPool::worker_loop() {
         first_error_ = std::current_exception();
       }
     }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      busy_seconds_[worker_index] += elapsed.count();
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) {
         idle_.notify_all();
       }
     }
   }
+}
+
+std::vector<double> ThreadPool::worker_busy_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return busy_seconds_;
 }
 
 }  // namespace abg::exp

@@ -46,20 +46,29 @@ class ThreadPool {
   /// Number of worker threads.
   int thread_count() const { return static_cast<int>(workers_.size()); }
 
+  /// Wall-clock seconds each worker has spent executing tasks since
+  /// construction (index = worker).  Snapshot under the pool lock; tasks
+  /// still in flight are not included until they finish, so call after
+  /// wait() for a complete picture.
+  std::vector<double> worker_busy_seconds() const;
+
   /// Recommended worker count for `requested`: the value itself when
   /// positive, otherwise std::thread::hardware_concurrency (>= 1).
   static int resolve_threads(int requested);
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
   std::exception_ptr first_error_;
+  /// Per-worker cumulative task-execution time (guarded by mutex_; each
+  /// worker adds its slice under the post-task lock it takes anyway).
+  std::vector<double> busy_seconds_;
   std::vector<std::thread> workers_;
 };
 

@@ -55,6 +55,16 @@ enum class EventKind : std::uint8_t {
   kOpenDeparture,
   /// Aggregate open-run summary (streaming engine; once, before kRunEnd).
   kOpenSummary,
+  /// The cluster router placed one submission on a machine (cluster
+  /// driver; one per job, in submission order, from the coordinator
+  /// thread before the machine loops start).
+  kClusterRoute,
+  /// The imbalance pass migrated a queued job between machines (cluster
+  /// driver; at an epoch boundary, from the coordinator thread).
+  kClusterMigrate,
+  /// Per-machine utilization summary of a completed cluster run (one per
+  /// machine, before kRunEnd; job = machine index).
+  kClusterMachineSummary,
   /// The run completed; aggregate results are final.
   kRunEnd,
 };
@@ -110,6 +120,22 @@ struct Event {
   // kOpenDeparture: completion − release of the departing job (work
   // reuses the kJobSubmit field for its executed work).
   dag::Steps response = 0;
+
+  // kClusterRoute / kClusterMigrate / kClusterMachineSummary
+  int cluster_machines = 0;
+  /// Machine the job landed on (route/migrate) or the summarized machine.
+  /// kClusterRoute: `work` reuses the kJobSubmit field for the cumulative
+  /// work routed to that machine; kClusterMachineSummary: `work` is the
+  /// cycles the machine executed, `allotted_cycles` the cycles it handed
+  /// out, `processors` its size, `active_jobs` the jobs that finished on
+  /// it.
+  std::int64_t machine = -1;
+  /// kClusterMigrate: source machine.
+  std::int64_t machine_from = -1;
+  /// kClusterMigrate: transfer debt charged to the migrated job (steps of
+  /// delayed eligibility; its reallocation debt on re-placement is charged
+  /// by the engine on admission).
+  dag::Steps debt_steps = 0;
 
   // kOpenSummary
   std::int64_t open_admitted = 0;

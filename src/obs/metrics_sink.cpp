@@ -108,6 +108,26 @@ void MetricsSink::on_event(const Event& event) {
           .set(static_cast<double>(event.open_high_water));
       reg.counter("open.stats_merges").add(event.open_stats_merges);
       break;
+    case EventKind::kClusterRoute:
+      reg.counter("cluster.routes").add();
+      reg.gauge("cluster.machines")
+          .set(static_cast<double>(event.cluster_machines));
+      break;
+    case EventKind::kClusterMigrate:
+      reg.counter("cluster.migrations").add();
+      reg.counter("cluster.migration_debt_steps")
+          .add(static_cast<std::int64_t>(event.debt_steps));
+      break;
+    case EventKind::kClusterMachineSummary:
+      reg.counter("cluster.machine_summaries").add();
+      reg.histogram("cluster.machine_jobs")
+          .observe(static_cast<double>(event.active_jobs));
+      if (event.allotted_cycles > 0) {
+        reg.histogram("cluster.machine_utilization_pct")
+            .observe(100.0 * static_cast<double>(event.work) /
+                     static_cast<double>(event.allotted_cycles));
+      }
+      break;
     case EventKind::kRunEnd:
       reg.gauge("sim.makespan").set(static_cast<double>(event.makespan));
       break;

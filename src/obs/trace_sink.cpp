@@ -110,6 +110,32 @@ void SimTraceSink::on_event(const Event& event) {
       break;
     case EventKind::kOpenSummary:
       break;  // aggregate-only; no timeline anchor
+    case EventKind::kClusterRoute:
+      // One counter track per machine: the cumulative work the router has
+      // placed on it, sampled at each placement.
+      trace.add_counter(pid_,
+                        "cluster m" + std::to_string(event.machine) +
+                            " routed work",
+                        static_cast<double>(event.step),
+                        {{"work", static_cast<double>(event.work)}});
+      break;
+    case EventKind::kClusterMigrate:
+      trace.add_instant(pid_, event.job + 1,
+                        "migrate m" + std::to_string(event.machine_from) +
+                            "->m" + std::to_string(event.machine),
+                        static_cast<double>(event.step));
+      break;
+    case EventKind::kClusterMachineSummary:
+      // One counter track per machine: its end-of-run busy fraction
+      // (executed over allotted cycles), anchored at its final clock.
+      trace.add_counter(
+          pid_, "cluster m" + std::to_string(event.machine) + " busy",
+          static_cast<double>(event.step),
+          {{"busy", event.allotted_cycles > 0
+                        ? static_cast<double>(event.work) /
+                              static_cast<double>(event.allotted_cycles)
+                        : 0.0}});
+      break;
     case EventKind::kRunEnd:
       // Close the machine counters at the makespan so the last sample
       // doesn't visually extend forever.

@@ -116,10 +116,15 @@ std::vector<dag::TaskCount> sample_profile(const ScenarioSpec& spec,
                                            util::Rng& rng, int processors,
                                            dag::Steps quantum,
                                            double work_scale,
-                                           std::size_t job_index) {
+                                           std::size_t job_index,
+                                           std::string* class_label) {
   if (processors < 1 || quantum < 1) {
     throw std::invalid_argument(
         "scenario: processors and quantum must be >= 1");
+  }
+  // Default label: the generator family (a sublinear draw refines it).
+  if (class_label != nullptr) {
+    *class_label = to_string(spec.generator);
   }
   std::vector<dag::TaskCount> widths;
   switch (spec.generator) {
@@ -135,6 +140,10 @@ std::vector<dag::TaskCount> sample_profile(const ScenarioSpec& spec,
     }
     case GeneratorKind::kSublinear: {
       const ClassSpec& klass = pick_class(spec.classes, rng);
+      if (class_label != nullptr) {
+        *class_label =
+            "class" + std::to_string(&klass - spec.classes.data());
+      }
       widths = sublinear_profile(spec, klass, rng, processors, work_scale);
       break;
     }
@@ -204,8 +213,10 @@ std::vector<sim::JobSubmission> generate_jobs(const ScenarioSpec& spec,
   subs.reserve(count);
   for (std::size_t j = 0; j < count; ++j) {
     sim::JobSubmission sub;
+    // The class label rides along as the submission name (unused by the
+    // engines; the cluster's class-affinity router keys on it).
     sub.job = std::make_unique<dag::ProfileJob>(
-        sample_profile(spec, rng, processors, quantum, 1.0, j));
+        sample_profile(spec, rng, processors, quantum, 1.0, j, &sub.name));
     subs.push_back(std::move(sub));
   }
   // Releases are assigned after every job is generated, so the job shapes

@@ -7,6 +7,7 @@
 // (scenario file, seed) — the library's standard determinism contract.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "open/streaming_engine.hpp"
@@ -36,11 +37,16 @@ open::JobFactory make_open_factory(const ScenarioSpec& spec, int processors,
 /// trace exporter and tests).  `work_scale` multiplies the job's size
 /// (level counts / work targets) the way open arrivals do; pass 1.0 for
 /// closed runs.  kExplicit ignores the rng and reads `job_index` modulo
-/// the literal list; other generators ignore `job_index`.
+/// the literal list; other generators ignore `job_index`.  When
+/// `class_label` is non-null it receives the job's class name — the
+/// generator name, or "class<i>" for the sublinear class actually drawn —
+/// which generate_jobs stores as the submission name for class-affinity
+/// cluster routing.
 std::vector<dag::TaskCount> sample_profile(const ScenarioSpec& spec,
                                            util::Rng& rng, int processors,
                                            dag::Steps quantum,
                                            double work_scale,
-                                           std::size_t job_index);
+                                           std::size_t job_index,
+                                           std::string* class_label = nullptr);
 
 }  // namespace abg::scenario

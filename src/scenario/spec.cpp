@@ -197,7 +197,7 @@ ReleaseSchedule release_schedule_from_name(const std::string& name) {
 ScenarioSpec ScenarioSpec::from_json(const util::Json& doc) {
   expect_keys(doc,
               {"name", "description", "generator", "jobs", "machine",
-               "release", "arrival", "params"},
+               "release", "arrival", "cluster", "params"},
               "document");
   ScenarioSpec spec;
   spec.name = read_string(doc, "name", "", "document");
@@ -225,6 +225,47 @@ ScenarioSpec ScenarioSpec::from_json(const util::Json& doc) {
     spec.arrival.jobs_total =
         read_int(*arrival, "jobs_total", 0, "arrival");
     spec.arrival.load = read_double(*arrival, "load", 0.0, "arrival");
+  }
+  if (const util::Json* cluster = doc.find("cluster")) {
+    expect_keys(*cluster,
+                {"machines", "router", "migration-period", "shapes"},
+                "cluster");
+    spec.cluster.machines =
+        static_cast<int>(read_int(*cluster, "machines", 0, "cluster"));
+    spec.cluster.router = read_string(*cluster, "router", "", "cluster");
+    spec.cluster.migration_period =
+        read_int(*cluster, "migration-period", 0, "cluster");
+    if (const util::Json* shapes = cluster->find("shapes")) {
+      if (!shapes->is_array()) {
+        bad("cluster", "'shapes' must be an array");
+      }
+      for (std::size_t i = 0; i < shapes->size(); ++i) {
+        const std::string where = "cluster.shapes[" + std::to_string(i) + "]";
+        const util::Json& shape = shapes->at(i);
+        expect_keys(shape, {"processors", "regions"}, where);
+        sim::ClusterMachine parsed_shape;
+        parsed_shape.processors =
+            static_cast<int>(read_int(shape, "processors", 0, where));
+        if (const util::Json* regions = shape.find("regions")) {
+          if (!regions->is_array()) {
+            bad(where, "'regions' must be an array");
+          }
+          for (std::size_t r = 0; r < regions->size(); ++r) {
+            const std::string region_where =
+                where + ".regions[" + std::to_string(r) + "]";
+            const util::Json& region = regions->at(r);
+            expect_keys(region, {"processors", "multiplier"}, region_where);
+            sim::ClusterRegion parsed;
+            parsed.processors = static_cast<int>(
+                read_int(region, "processors", 0, region_where));
+            parsed.cost_multiplier =
+                read_double(region, "multiplier", 1.0, region_where);
+            parsed_shape.regions.push_back(parsed);
+          }
+        }
+        spec.cluster.shapes.push_back(std::move(parsed_shape));
+      }
+    }
   }
 
   const util::Json* params = doc.find("params");
@@ -368,6 +409,38 @@ util::Json ScenarioSpec::to_json() const {
     }
     doc.set("arrival", std::move(a));
   }
+  if (cluster.machines > 0) {
+    util::Json c = util::Json::object();
+    c.set("machines", util::Json::integer(cluster.machines));
+    if (!cluster.router.empty()) {
+      c.set("router", util::Json::string(cluster.router));
+    }
+    if (cluster.migration_period != 0) {
+      c.set("migration-period", util::Json::integer(cluster.migration_period));
+    }
+    if (!cluster.shapes.empty()) {
+      util::Json shapes = util::Json::array();
+      for (const sim::ClusterMachine& cluster_machine : cluster.shapes) {
+        util::Json shape = util::Json::object();
+        shape.set("processors",
+                  util::Json::integer(cluster_machine.processors));
+        if (!cluster_machine.regions.empty()) {
+          util::Json regions = util::Json::array();
+          for (const sim::ClusterRegion& region : cluster_machine.regions) {
+            regions.push(
+                util::Json::object()
+                    .set("processors", util::Json::integer(region.processors))
+                    .set("multiplier",
+                         util::Json::number(region.cost_multiplier)));
+          }
+          shape.set("regions", std::move(regions));
+        }
+        shapes.push(std::move(shape));
+      }
+      c.set("shapes", std::move(shapes));
+    }
+    doc.set("cluster", std::move(c));
+  }
 
   util::Json params = util::Json::object();
   switch (generator) {
@@ -469,6 +542,49 @@ void ScenarioSpec::validate() const {
   }
   if (arrival.load < 0.0) {
     bad("arrival", "'load' must be >= 0");
+  }
+  if (cluster.machines < 0) {
+    bad("cluster", "'machines' must be >= 0 (0 = single machine)");
+  }
+  if (cluster.migration_period < 0) {
+    bad("cluster", "'migration-period' must be >= 0 (0 = disabled)");
+  }
+  if (cluster.machines == 0 &&
+      (!cluster.router.empty() || cluster.migration_period != 0 ||
+       !cluster.shapes.empty())) {
+    bad("cluster", "'machines' must be >= 1 when the block is populated");
+  }
+  if (!cluster.shapes.empty() &&
+      static_cast<int>(cluster.shapes.size()) != cluster.machines) {
+    bad("cluster", "'shapes' must list exactly 'machines' entries (got " +
+                       std::to_string(cluster.shapes.size()) + " for " +
+                       std::to_string(cluster.machines) + " machines)");
+  }
+  for (std::size_t i = 0; i < cluster.shapes.size(); ++i) {
+    const std::string where = "cluster.shapes[" + std::to_string(i) + "]";
+    const sim::ClusterMachine& machine_shape = cluster.shapes[i];
+    if (machine_shape.processors < 1) {
+      bad(where, "'processors' must be >= 1");
+    }
+    int region_sum = 0;
+    for (std::size_t r = 0; r < machine_shape.regions.size(); ++r) {
+      const std::string region_where =
+          where + ".regions[" + std::to_string(r) + "]";
+      const sim::ClusterRegion& region = machine_shape.regions[r];
+      if (region.processors < 1) {
+        bad(region_where, "'processors' must be >= 1");
+      }
+      if (!(region.cost_multiplier > 0.0)) {
+        bad(region_where, "'multiplier' must be > 0");
+      }
+      region_sum += region.processors;
+    }
+    if (!machine_shape.regions.empty() &&
+        region_sum != machine_shape.processors) {
+      bad(where, "region processors must sum to the machine's processors (" +
+                     std::to_string(region_sum) + " != " +
+                     std::to_string(machine_shape.processors) + ")");
+    }
   }
   if (generator != GeneratorKind::kExplicit && jobs < 1) {
     bad("document", "'jobs' must be >= 1");

@@ -38,6 +38,7 @@
 
 #include "dag/job.hpp"
 #include "open/arrival_process.hpp"
+#include "sim/simulator.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 
@@ -135,6 +136,21 @@ struct ArrivalSpec {
   double load = 0.0;
 };
 
+/// Optional cluster defaults: when `machines > 0` the scenario asks to be
+/// routed across a multi-machine cluster (cluster/cluster_engine.hpp).
+/// Consumers may override the count/router via their own cluster axes;
+/// the heterogeneous `shapes` apply whenever the effective machine count
+/// matches their length.
+struct ClusterDefaults {
+  int machines = 0;
+  /// Router policy name ("" = consumer default, least-loaded).
+  std::string router;
+  /// Migration epoch in quanta (0 = migration disabled).
+  dag::Steps migration_period = 0;
+  /// Per-machine shapes (empty = uniform machines of the consumer's P).
+  std::vector<sim::ClusterMachine> shapes;
+};
+
 /// A parsed scenario file.
 struct ScenarioSpec {
   std::string name;
@@ -146,6 +162,7 @@ struct ScenarioSpec {
   MachineDefaults machine;
   ReleaseSpec release;
   ArrivalSpec arrival;
+  ClusterDefaults cluster;
 
   // Generator payloads (only the active generator's member is used).
   std::vector<PhaseSpec> phases;        // kMultiphase

@@ -1,0 +1,18 @@
+#include "sim/lpt_pack.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace abg::sim {
+
+std::vector<std::size_t> lpt_order(const std::vector<std::size_t>& weights) {
+  std::vector<std::size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&weights](std::size_t a, std::size_t b) {
+                     return weights[a] > weights[b];
+                   });
+  return order;
+}
+
+}  // namespace abg::sim

@@ -1,0 +1,23 @@
+// Size-aware shard→worker submission order.
+//
+// The sharded and cluster drivers advance their shards (groups, machines)
+// between barriers on a fixed FIFO thread pool.  Submitting shards in
+// index order lets a long shard land last and stretch the barrier by its
+// full epoch; submitting longest-first (LPT list scheduling, with the
+// shard's active-job count as the size estimate) starts the stragglers
+// while the short shards pack around them.  The order only changes *when*
+// a shard's task starts — every shard still runs exactly once per epoch
+// against its own state — so results stay byte-identical at any thread
+// count and to the index-order schedule (the golden fixtures pin this).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace abg::sim {
+
+/// Returns the indices of `weights` ordered largest weight first, ties by
+/// ascending index.  Deterministic for equal inputs.
+std::vector<std::size_t> lpt_order(const std::vector<std::size_t>& weights);
+
+}  // namespace abg::sim

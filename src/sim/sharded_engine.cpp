@@ -13,6 +13,7 @@
 #include "obs/profile.hpp"
 #include "sim/engine_core.hpp"
 #include "sim/job_runtime.hpp"
+#include "sim/lpt_pack.hpp"
 #include "sim/quantum_engine.hpp"
 #include "sim/quantum_eval.hpp"
 
@@ -297,6 +298,7 @@ SimResult simulate_job_set_sharded(
       config.hier.rebalance_quanta * config.quantum_length;
   dag::Steps epoch_start = 0;
   std::vector<int> desires(group_count, 0);
+  std::vector<std::size_t> weights(group_count, 0);
 
   while (total_remaining > 0) {
     if (config.cancel != nullptr && config.cancel->cancelled()) {
@@ -339,7 +341,14 @@ SimResult simulate_job_set_sharded(
       bus->publish(e);
     }
 
+    // Longest-first group→worker packing (active jobs as the size
+    // estimate): heterogeneous groups start their stragglers first so the
+    // short groups pack around them instead of idling the pool at the
+    // barrier.  Order only affects wall-clock, never results.
     for (std::size_t g = 0; g < group_count; ++g) {
+      weights[g] = groups[g].remaining;
+    }
+    for (const std::size_t g : lpt_order(weights)) {
       GroupEngine& group = groups[g];
       if (group.remaining == 0 || group.now >= epoch_end) {
         continue;  // finished, or idle-skipped past this epoch
@@ -357,6 +366,10 @@ SimResult simulate_job_set_sharded(
       total_remaining += group.remaining;
     }
     epoch_start = epoch_end;
+  }
+
+  if (config.hier.worker_busy_seconds != nullptr) {
+    *config.hier.worker_busy_seconds = pool.worker_busy_seconds();
   }
 
   // Deterministic merge: traces by original submission index, aggregate

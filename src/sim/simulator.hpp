@@ -81,6 +81,49 @@ struct HierConfig {
   /// (wall-clock aggregation latency; items = rebalances).  Wall-clock by
   /// design — never touches the deterministic outputs.
   obs::Profiler* profiler = nullptr;
+  /// Optional out-param: filled with each pool worker's wall-clock busy
+  /// seconds after the run (index = worker; see ThreadPool).  Wall-clock
+  /// observation only — never touches the deterministic outputs.
+  std::vector<double>* worker_busy_seconds = nullptr;
+};
+
+/// One NUMA-shaped region of a cluster machine: `processors` contiguous
+/// processors whose reallocation traffic costs `cost_multiplier` times the
+/// run's per-processor reallocation cost (cluster/cluster_spec.hpp).
+struct ClusterRegion {
+  int processors = 0;
+  double cost_multiplier = 1.0;
+};
+
+/// One machine of a simulated cluster.  Regions partition the machine's
+/// processors in order; an empty region list means one uniform region
+/// (multiplier 1.0), which reproduces the flat reallocation penalty.
+struct ClusterMachine {
+  int processors = 0;
+  std::vector<ClusterRegion> regions;
+};
+
+/// Cluster-mode parameters (see cluster/cluster_engine.hpp).  The default
+/// — 0 machines — selects the flat engines and is a strict no-op.
+struct ClusterConfig {
+  /// Number of machines; 0 = flat path, >= 1 = the cluster driver (jobs
+  /// placed by the router, one engine loop per machine).
+  int machines = 0;
+  /// Router policy name ("least-loaded" | "round-robin" | "desire-aware" |
+  /// "class-affinity"); empty selects "least-loaded".
+  std::string router;
+  /// Inter-machine migration epoch in quanta: every this many quanta the
+  /// coordinator checks desire imbalance and migrates queued jobs from
+  /// over-quota machines, charging one quantum of transfer debt.  0 — the
+  /// default — disables migration entirely.
+  dag::Steps migration_period = 0;
+  /// Worker threads for the machine loops; <= 0 selects hardware
+  /// concurrency.  Results are byte-identical at any thread count.
+  int threads = 1;
+  /// Explicit machine shapes.  Empty — the default — builds `machines`
+  /// uniform machines of SimConfig::processors each; when non-empty the
+  /// size must equal `machines`.
+  std::vector<ClusterMachine> shapes;
 };
 
 /// Simulation parameters.
@@ -130,6 +173,12 @@ struct SimConfig {
   /// (sim/sharded_engine.hpp), which requires the sync boundary model and
   /// supports no fault plan or quantum-length policy.
   HierConfig hier = {};
+  /// Cluster mode (0 machines = flat, the default).  When machines >= 1,
+  /// core::run_set dispatches to the cluster driver
+  /// (cluster/cluster_engine.hpp), which requires the sync boundary model
+  /// and composes with neither fault plans, quantum-length policies, nor
+  /// hierarchical allocation.
+  ClusterConfig cluster = {};
   /// Optional cooperative cancellation (see util/cancel.hpp).  Polled at
   /// quantum boundaries; a cancelled run unwinds by throwing
   /// util::CancelledError.  Null — the default — is a strict no-op.  Must

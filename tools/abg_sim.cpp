@@ -21,6 +21,14 @@
 //   --hier-alloc deq|rr  group/root allocator of the tree    [--allocator]
 //   --hier-rebalance N  rebalance epoch in quanta            [1]
 //   --hier-threads N    group-loop workers; 0 = hw concurrency [1]
+//   --cluster-machines N   simulate a cluster of N machines of P
+//                      processors each (sync only, no faults, no hier);
+//                      a scenario's cluster block engages this too [flat]
+//   --router least-loaded|round-robin|desire-aware|class-affinity
+//                      job-placement policy            [least-loaded]
+//   --migration-period N   inter-machine migration epoch in quanta;
+//                      0 disables migration                   [0]
+//   --cluster-threads N    machine-loop workers; 0 = hw concurrency [1]
 //   --processors P [128]      --quantum L [1000]   --seed S [1]
 //   --rate r [0.2]            --cost c [0]  (reallocation steps/proc)
 //   --transition C [16]       (forkjoin)
@@ -68,6 +76,7 @@
 #include "alloc/hesrpt.hpp"
 #include "alloc/round_robin.hpp"
 #include "alloc/unconstrained.hpp"
+#include "cluster/router.hpp"
 #include "core/run.hpp"
 #include "scenario/generators.hpp"
 #include "scenario/library.hpp"
@@ -276,8 +285,8 @@ int run_open_mode(const Cli& cli,
                   abg::alloc::Allocator* allocator, int processors,
                   abg::dag::Steps quantum, std::uint64_t seed) {
   for (const char* flag :
-       {"faults", "hier-groups", "compare", "resilience", "gantt",
-        "report", "trace", "profile"}) {
+       {"faults", "hier-groups", "cluster-machines", "compare",
+        "resilience", "gantt", "report", "trace", "profile"}) {
     if (cli.has(flag)) {
       throw std::invalid_argument(std::string("--") + flag +
                                   " does not apply to --open runs");
@@ -415,6 +424,9 @@ void print_usage(std::ostream& os) {
         "               [--engine=sync|async]\n"
         "               [--hier-groups=N] [--hier-alloc=deq|rr]\n"
         "               [--hier-rebalance=N] [--hier-threads=N]\n"
+        "               [--cluster-machines=N] [--router=least-loaded|"
+        "round-robin|desire-aware|class-affinity]\n"
+        "               [--migration-period=N] [--cluster-threads=N]\n"
         "               [--processors=P] [--quantum=L] [--seed=S]\n"
         "               [--rate=r] [--cost=c] [--transition=C]\n"
         "               [--width=W] [--levels=N] [--load=X] "
@@ -527,6 +539,53 @@ int main(int argc, char** argv) {
                                   "' (expected deq|rr)");
     }
 
+    // Cluster mode: --cluster-machines switches run_set onto the cluster
+    // driver; the companion flags refine it and are contradictions
+    // without it.  A scenario with a cluster block engages cluster mode
+    // by itself (explicit flags still win).
+    config.cluster.machines = static_cast<int>(cli.get_positive_int(
+        "cluster-machines",
+        scenario != nullptr ? scenario->cluster.machines : 0));
+    config.cluster.router = cli.get(
+        "router", scenario != nullptr ? scenario->cluster.router : "");
+    config.cluster.migration_period = cli.get_non_negative_int(
+        "migration-period",
+        scenario != nullptr ? scenario->cluster.migration_period : 0);
+    config.cluster.threads =
+        static_cast<int>(cli.get_non_negative_int("cluster-threads", 1));
+    if (config.cluster.machines == 0) {
+      for (const char* flag :
+           {"router", "migration-period", "cluster-threads"}) {
+        if (cli.has(flag)) {
+          throw std::invalid_argument(std::string("--") + flag +
+                                      " requires --cluster-machines");
+        }
+      }
+    } else {
+      // Validate the router name up front so a typo exits with usage
+      // instead of surfacing mid-run.
+      abg::cluster::make_router(config.cluster.router);
+      if (config.hier.groups != 0) {
+        throw std::invalid_argument(
+            "--cluster-machines does not compose with --hier-groups");
+      }
+      if (!faults.empty()) {
+        throw std::invalid_argument(
+            "--cluster-machines does not compose with --faults");
+      }
+      if (config.engine != abg::sim::EngineKind::kSync) {
+        throw std::invalid_argument(
+            "--cluster-machines requires the sync engine");
+      }
+      // Heterogeneous shapes from the scenario apply when the effective
+      // machine count matches the shape list.
+      if (scenario != nullptr &&
+          static_cast<int>(scenario->cluster.shapes.size()) ==
+              config.cluster.machines) {
+        config.cluster.shapes = scenario->cluster.shapes;
+      }
+    }
+
     // Observability: the bus stays inactive (and the engine untouched)
     // unless an output flag subscribes a sink.
     abg::obs::EventBus bus;
@@ -545,8 +604,21 @@ int main(int argc, char** argv) {
     const abg::sim::SimResult result = abg::core::run_set(
         scheduler, std::move(submissions), config, allocator.get());
 
+    // Validate against the run's real capacity: a cluster run schedules
+    // over every machine, not the per-machine --processors value.
+    int capacity = processors;
+    if (config.cluster.machines > 0) {
+      if (config.cluster.shapes.empty()) {
+        capacity = config.cluster.machines * processors;
+      } else {
+        capacity = 0;
+        for (const abg::sim::ClusterMachine& shape : config.cluster.shapes) {
+          capacity += shape.processors;
+        }
+      }
+    }
     const abg::sim::ValidationReport validation =
-        abg::sim::validate_result_report(result, processors);
+        abg::sim::validate_result_report(result, capacity);
     for (const std::string& issue : validation.issues) {
       std::cerr << "VALIDATION: " << issue << "\n";
     }
@@ -566,6 +638,13 @@ int main(int argc, char** argv) {
       std::cout << ", hier groups = " << config.hier.groups << " ("
                 << (config.hier.allocator.empty() ? "inherit"
                                                   : config.hier.allocator)
+                << ")";
+    }
+    if (config.cluster.machines > 0) {
+      // Same omission rule as the hier clause.
+      std::cout << ", cluster machines = " << config.cluster.machines << " ("
+                << (config.cluster.router.empty() ? "least-loaded"
+                                                  : config.cluster.router)
                 << ")";
     }
     std::cout << ", P = " << processors << ", L = " << quantum << ", jobs = "
@@ -594,13 +673,13 @@ int main(int argc, char** argv) {
     std::cout << "\nmakespan " << result.makespan << " (lower bound "
               << abg::util::format_double(
                      abg::metrics::makespan_lower_bound(summaries,
-                                                        processors), 1)
+                                                        capacity), 1)
               << "), mean response "
               << abg::util::format_double(result.mean_response_time, 1)
               << ", total waste " << result.total_waste
               << ", machine utilization "
               << abg::util::format_double(
-                     abg::sim::machine_utilization(result, processors), 3)
+                     abg::sim::machine_utilization(result, capacity), 3)
               << "\n";
 
     if (result.jobs.size() > 1) {
@@ -697,6 +776,7 @@ int main(int argc, char** argv) {
         // The flat legs compare the two boundary models; the sharded
         // engine (sync-only) gets its own leg below when configured.
         profile_config.hier = {};
+        profile_config.cluster = {};
         const auto profile_alloc = make_allocator(cli);
         auto scope = profiler.time(
             "engine." + std::string(abg::sim::to_string(kind)));

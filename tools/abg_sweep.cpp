@@ -35,6 +35,14 @@
 //               offered load; composes with scheduler / allocator /
 //               machine params but not fault, engine=async, or
 //               --hier-groups)                        [default none]
+//   cluster-machines  machine counts for the cluster engine (0 = flat;
+//               processors is then the per-machine size; composes with
+//               scheduler / allocator / machine params but not fault,
+//               engine=async, arrival params, or --hier-groups)
+//               [default 0]
+//   router      least-loaded | round-robin | desire-aware |
+//               class-affinity job-placement policy (requires a
+//               cluster-machines param)               [default least-loaded]
 //
 // Other flags:
 //   --reps=N      replications per grid point (default 5)
@@ -60,6 +68,12 @@
 //   --hier-threads=N    worker threads per hier run's group loops
 //                 (requires --hier-groups; default 1; results are
 //                 thread-count independent)
+//   --migration-period=N   inter-machine migration epoch in quanta for
+//                 cluster runs (requires a cluster-machines param;
+//                 default 0 = migration disabled)
+//   --cluster-threads=N    worker threads per cluster run's machine loops
+//                 (requires a cluster-machines param; default 1; results
+//                 are thread-count independent)
 //   --jobs-total=N      arrivals per open-system run (requires a
 //                 non-none arrival param; default 100000)
 //   --trace-path=FILE   JSONL arrival trace of arrival=trace runs
@@ -102,6 +116,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/router.hpp"
 #include "exp/journal.hpp"
 #include "exp/result_sink.hpp"
 #include "exp/runner.hpp"
@@ -151,7 +166,7 @@ const std::vector<std::string> kKnownKeys = {
     "scheduler", "r",       "workload",   "scenario",   "load",
     "factor",    "njobs",   "levels",     "quantum",    "processors",
     "allocator", "fault",   "engine",     "release",    "gap",
-    "arrival"};
+    "arrival",   "cluster-machines",      "router"};
 
 /// Every flag this tool understands; anything else is a usage error
 /// (Cli::reject_unknown) so a misspelled flag cannot silently vanish.
@@ -160,6 +175,7 @@ const std::vector<std::string> kKnownFlags = {
     "jobs",         "jsonl",       "summary",     "quiet",
     "metrics-out",  "trace-out",   "profile",     "hier-groups",
     "hier-alloc",   "hier-threads", "jobs-total", "trace-path",
+    "migration-period", "cluster-threads",
     "journal",      "resume",      "run-timeout", "max-retries",
     "backoff",      "test-hang-run", "test-fail-run"};
 
@@ -320,6 +336,17 @@ RunSpec spec_of(const std::map<std::string, std::string>& point) {
       spec.workload.release_gap = parse_double(key, value);
     } else if (key == "arrival") {
       spec.open.arrival = abg::open::arrival_kind_from_name(value);
+    } else if (key == "cluster-machines") {
+      const int machines = parse_int(key, value);
+      if (machines < 0) {
+        throw std::invalid_argument(
+            "--param cluster-machines: '" + value +
+            "' must be >= 0 (0 = flat single machine)");
+      }
+      spec.cluster_machines = machines;
+    } else if (key == "router") {
+      abg::cluster::make_router(value);  // validates the policy name
+      spec.router = value;
     }
     if (!is_scheduler_key(key)) {
       // Scenario identity is the spec's *name*, not its path: an imported
@@ -348,6 +375,17 @@ RunSpec spec_of(const std::map<std::string, std::string>& point) {
       }
       if (scenario.arrival.load > 0.0 && !point.contains("load")) {
         spec.workload.load = scenario.arrival.load;
+      }
+    }
+    // A scenario's cluster block engages the cluster engine where the
+    // grid is silent (its migration period rides along; the
+    // --migration-period flag still wins in main()).
+    if (scenario.cluster.machines > 0 &&
+        !point.contains("cluster-machines")) {
+      spec.cluster_machines = scenario.cluster.machines;
+      spec.migration_period = scenario.cluster.migration_period;
+      if (!point.contains("router")) {
+        spec.router = scenario.cluster.router;
       }
     }
   }
@@ -417,6 +455,13 @@ int main(int argc, char** argv) {
     const auto jobs_total =
         static_cast<std::int64_t>(cli.get_positive_int("jobs-total", 100000));
     const std::string trace_path = cli.get("trace-path", "");
+
+    // Cluster knobs: global like the hier/open ones — every cluster grid
+    // point shares the migration epoch and machine-loop thread count.
+    const abg::dag::Steps migration_period =
+        cli.get_non_negative_int("migration-period", 0);
+    const auto cluster_threads =
+        static_cast<int>(cli.get_positive_int("cluster-threads", 1));
 
     const std::vector<Dimension> dims = build_dimensions(cli);
     bool any_open = false;
@@ -504,6 +549,79 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Cluster detection mirrors the open-axis scan: an explicit
+    // cluster-machines dimension, or a scenario whose cluster block
+    // engages the engine on its own (unless the grid pins the dimension).
+    bool any_cluster = false;
+    bool has_cluster_dim = false;
+    bool has_router_dim = false;
+    for (const Dimension& dim : dims) {
+      if (dim.key == "router") {
+        has_router_dim = true;
+      }
+      if (dim.key != "cluster-machines") {
+        continue;
+      }
+      has_cluster_dim = true;
+      for (const std::string& value : dim.values) {
+        if (value != "0") {
+          any_cluster = true;
+        }
+      }
+    }
+    if (!has_cluster_dim) {
+      for (const Dimension& dim : dims) {
+        if (dim.key != "scenario") {
+          continue;
+        }
+        for (const std::string& value : dim.values) {
+          if (abg::scenario::load_cached(value).cluster.machines > 0) {
+            any_cluster = true;
+          }
+        }
+      }
+    }
+    if (has_router_dim && !any_cluster) {
+      throw std::invalid_argument(
+          "--param router requires a cluster axis (add --param "
+          "cluster-machines=N)");
+    }
+    if ((cli.has("migration-period") || cli.has("cluster-threads")) &&
+        !any_cluster) {
+      throw std::invalid_argument(
+          "--migration-period / --cluster-threads require a cluster axis "
+          "(add --param cluster-machines=N)");
+    }
+    if (any_cluster) {
+      // The cluster driver composes with scheduler / allocator / machine
+      // params only; reject the rest up front with actionable messages
+      // instead of quarantining every cell mid-sweep.
+      if (any_open) {
+        throw std::invalid_argument(
+            "cluster runs do not compose with open-system arrival params "
+            "(drop --param arrival=... or --param cluster-machines=...)");
+      }
+      if (hier_groups > 0) {
+        throw std::invalid_argument(
+            "--hier-groups does not compose with the cluster axes (drop "
+            "--hier-groups or --param cluster-machines=...)");
+      }
+      for (const Dimension& dim : dims) {
+        for (const std::string& value : dim.values) {
+          if (dim.key == "fault" && value != "none") {
+            throw std::invalid_argument(
+                "cluster runs do not compose with fault scenarios (drop "
+                "--param fault=" + value + ")");
+          }
+          if (dim.key == "engine" && value != "sync") {
+            throw std::invalid_argument(
+                "cluster runs require the sync engine (drop --param "
+                "engine=" + value + ")");
+          }
+        }
+      }
+    }
+
     // Odometer over the dimensions, last dimension fastest.  The workload
     // seed index enumerates only workload-shaping dimensions, so scheduler
     // / allocator / fault variants replay identical workloads.
@@ -529,6 +647,13 @@ int main(int argc, char** argv) {
       base.hier_groups = hier_groups;
       base.hier_alloc = hier_alloc;
       base.hier_threads = hier_threads;
+      if (base.cluster_machines > 0) {
+        base.cluster_threads = cluster_threads;
+        // The flag overrides a scenario-adopted migration period.
+        if (cli.has("migration-period")) {
+          base.migration_period = migration_period;
+        }
+      }
       if (base.open.arrival != abg::open::ArrivalKind::kNone) {
         // A scenario's own jobs_total survives unless the flag was given.
         if (cli.has("jobs-total") || base.open.jobs_total <= 0) {
